@@ -1,0 +1,364 @@
+//! Ripple-carry adder built from full-adder cells.
+
+use crate::{FaultableUnit, Word};
+use scdp_fault::{CellFault, CellKind, FaGateFault, FaultUniverse, UnitFault};
+
+/// Evaluates one full-adder cell, optionally corrupted by a truth-table
+/// cell fault. Returns `(sum, carry_out)`.
+#[inline]
+pub(crate) fn full_adder(a: bool, b: bool, cin: bool, fault: Option<&CellFault>) -> (bool, bool) {
+    let row = u8::from(a) | (u8::from(b) << 1) | (u8::from(cin) << 2);
+    let mut s = a ^ b ^ cin;
+    let mut c = (a & b) | (a & cin) | (b & cin);
+    if let Some(f) = fault {
+        s = f.apply(row, 0, s);
+        c = f.apply(row, 1, c);
+    }
+    (s, c)
+}
+
+/// A fault injected into one full adder of a ripple-carry chain.
+///
+/// Two models are supported, matching the two interpretations of the
+/// paper's `num_faults_1bit = 32`:
+///
+/// * [`RcaFault::Cell`] — a truth-table entry of the cell is stuck
+///   (row-local; 32 faults per cell counting latent polarities);
+/// * [`RcaFault::Gate`] — a gate-level stuck-at inside the five-gate full
+///   adder (line-global; 16 sites × 2 polarities = 32 faults per cell).
+///
+/// The gate model is the one that reproduces Table 2 of the paper (a
+/// row-local fault cannot mask across the nominal addition and its
+/// checking subtraction at width 1, but the paper reports < 100% coverage
+/// there).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RcaFault {
+    /// Truth-table cell fault at a bit position.
+    Cell(UnitFault),
+    /// Gate-level stuck-at inside the full adder at `position`.
+    Gate {
+        /// Bit position of the faulty full adder.
+        position: usize,
+        /// The stuck-at fault inside that adder.
+        fault: FaGateFault,
+    },
+}
+
+impl RcaFault {
+    /// The affected bit position.
+    #[must_use]
+    pub const fn position(&self) -> usize {
+        match self {
+            RcaFault::Cell(uf) => uf.position(),
+            RcaFault::Gate { position, .. } => *position,
+        }
+    }
+
+    /// Evaluates the faulty full adder at the fault's position.
+    #[inline]
+    #[must_use]
+    fn eval(&self, a: bool, b: bool, cin: bool) -> (bool, bool) {
+        match self {
+            RcaFault::Cell(uf) => {
+                let f = uf.fault();
+                full_adder(a, b, cin, Some(&f))
+            }
+            RcaFault::Gate { fault, .. } => fault.eval(a, b, cin),
+        }
+    }
+}
+
+impl From<UnitFault> for RcaFault {
+    fn from(uf: UnitFault) -> Self {
+        RcaFault::Cell(uf)
+    }
+}
+
+impl From<(usize, FaGateFault)> for RcaFault {
+    fn from((position, fault): (usize, FaGateFault)) -> Self {
+        RcaFault::Gate { position, fault }
+    }
+}
+
+/// An n-bit ripple-carry adder made of `n` full-adder cells.
+///
+/// This is the paper's running example (§2.1, §4.1). Subtraction is
+/// executed on the **same cells**: `x - y = x + !y + 1` (the *g*-function
+/// produces the 1's complement and the *f*-function — the adder — receives
+/// a forced carry-in of 1). Consequently a fault injected into the adder
+/// perturbs both an addition and the inverse subtraction used to check it,
+/// which is exactly the worst-case situation analysed in Table 2.
+///
+/// Cell position `i` of the fault universe is the full adder of bit `i`.
+///
+/// # Example
+///
+/// ```
+/// use scdp_arith::{RippleCarryAdder, Word};
+/// use scdp_fault::{FaGateFault, FaSite};
+///
+/// let adder = RippleCarryAdder::new(4);
+/// let a = Word::from_i64(4, 3);
+/// let b = Word::from_i64(4, 2);
+/// assert_eq!(adder.add(a, b, None).to_i64(), 5);
+///
+/// // Stuck the sum output of bit 0 at 0:
+/// let fault = (0usize, FaGateFault::new(FaSite::Sum, false)).into();
+/// let faulty = adder.add(a, b, Some(fault));
+/// assert_eq!(faulty.to_i64(), 4);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RippleCarryAdder {
+    width: u32,
+}
+
+impl RippleCarryAdder {
+    /// Creates an adder for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        Self { width }
+    }
+
+    /// Adds `a + b` with explicit carry-in, under an optional fault.
+    ///
+    /// Returns the sum word; the final carry-out is dropped (wrapping
+    /// two's-complement semantics, as in the paper's integer data types).
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ from the unit width.
+    #[must_use]
+    pub fn add_cin(&self, a: Word, b: Word, cin: bool, fault: Option<RcaFault>) -> Word {
+        assert_eq!(a.width(), self.width, "operand width mismatch");
+        assert_eq!(b.width(), self.width, "operand width mismatch");
+        let mut carry = cin;
+        let mut out = 0u64;
+        let fault_pos = fault.map_or(usize::MAX, |f| f.position());
+        for i in 0..self.width {
+            let (s, c) = if i as usize == fault_pos {
+                fault.as_ref().expect("position matched").eval(a.bit(i), b.bit(i), carry)
+            } else {
+                full_adder(a.bit(i), b.bit(i), carry, None)
+            };
+            if s {
+                out |= 1 << i;
+            }
+            carry = c;
+        }
+        Word::new(self.width, out)
+    }
+
+    /// Adds `a + b` (carry-in 0) under an optional fault.
+    #[must_use]
+    pub fn add(&self, a: Word, b: Word, fault: Option<RcaFault>) -> Word {
+        self.add_cin(a, b, false, fault)
+    }
+
+    /// Subtracts `a - b` on the same cells: `a + !b` with carry-in 1.
+    ///
+    /// The 1's complement (*g*-function) is fault-free; the fault lives in
+    /// the shared full-adder chain.
+    #[must_use]
+    pub fn sub(&self, a: Word, b: Word, fault: Option<RcaFault>) -> Word {
+        self.add_cin(a, b.not(), true, fault)
+    }
+
+    /// Negates `b` on the adder: `0 + !b` with carry-in 1.
+    #[must_use]
+    pub fn neg(&self, b: Word, fault: Option<RcaFault>) -> Word {
+        self.add_cin(Word::zero(self.width), b.not(), true, fault)
+    }
+
+    /// Enumerates the gate-level fault universe: `32 · n` stuck-at faults
+    /// (16 sites × 2 polarities per full adder). This is the universe of
+    /// the paper's Table 2.
+    pub fn gate_faults(&self) -> impl Iterator<Item = RcaFault> + '_ {
+        (0..self.width as usize)
+            .flat_map(|pos| FaGateFault::enumerate().map(move |f| RcaFault::Gate { position: pos, fault: f }))
+    }
+
+    /// Enumerates the truth-table fault universe (also `32 · n` faults,
+    /// half of them latent).
+    pub fn cell_faults(&self) -> impl Iterator<Item = RcaFault> + '_ {
+        self.universe().iter().map(RcaFault::Cell).collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl FaultableUnit for RippleCarryAdder {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// One [`CellKind::FullAdder`] site per bit: `32 · n` truth-table
+    /// faults.
+    fn universe(&self) -> FaultUniverse {
+        FaultUniverse::homogeneous(CellKind::FullAdder, self.width as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_fault::FaSite;
+
+    #[test]
+    fn add_matches_golden_exhaustively() {
+        let adder = RippleCarryAdder::new(4);
+        for a in Word::all(4) {
+            for b in Word::all(4) {
+                assert_eq!(adder.add(a, b, None), a.wrapping_add(b), "{a:?}+{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_golden_exhaustively() {
+        let adder = RippleCarryAdder::new(4);
+        for a in Word::all(4) {
+            for b in Word::all(4) {
+                assert_eq!(adder.sub(a, b, None), a.wrapping_sub(b), "{a:?}-{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn neg_matches_golden() {
+        let adder = RippleCarryAdder::new(6);
+        for b in Word::all(6) {
+            assert_eq!(adder.neg(b, None), b.wrapping_neg());
+        }
+    }
+
+    #[test]
+    fn universe_size_is_32n() {
+        let adder = RippleCarryAdder::new(8);
+        assert_eq!(adder.universe().fault_count(), 32 * 8);
+        assert_eq!(adder.gate_faults().count(), 32 * 8);
+        assert_eq!(adder.width(), 8);
+    }
+
+    #[test]
+    fn latent_cell_faults_never_corrupt() {
+        let adder = RippleCarryAdder::new(3);
+        for uf in adder.universe().iter().filter(|f| f.fault().is_latent()) {
+            let rf = RcaFault::from(uf);
+            for a in Word::all(3) {
+                for b in Word::all(3) {
+                    assert_eq!(adder.add(a, b, Some(rf)), a.wrapping_add(b), "{uf}");
+                    assert_eq!(adder.sub(a, b, Some(rf)), a.wrapping_sub(b), "{uf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_msb_carry_faults_are_unexcitable() {
+        // Wrapping semantics drop the final carry-out, so faults whose
+        // only effect is the MSB cell's carry output are structurally
+        // unobservable; every other non-latent fault must be excitable by
+        // some addition or subtraction. Both operations are needed: the
+        // bit-0 cell only ever sees carry-in 0 during addition and
+        // carry-in 1 during subtraction.
+        let width = 3;
+        let adder = RippleCarryAdder::new(width);
+        let mut unexcitable = Vec::new();
+        for uf in adder.universe().iter().filter(|f| !f.fault().is_latent()) {
+            let rf = RcaFault::from(uf);
+            let excitable = Word::all(width).any(|a| {
+                Word::all(width).any(|b| {
+                    adder.add(a, b, Some(rf)) != a.wrapping_add(b)
+                        || adder.sub(a, b, Some(rf)) != a.wrapping_sub(b)
+                })
+            });
+            if !excitable {
+                unexcitable.push(uf);
+            }
+        }
+        // Exactly the 8 non-latent carry-output faults of the MSB cell.
+        assert_eq!(unexcitable.len(), 8, "{unexcitable:?}");
+        for uf in unexcitable {
+            assert_eq!(uf.position(), width as usize - 1);
+            assert_eq!(uf.fault().output(), 1, "must be a cout fault: {uf}");
+        }
+    }
+
+    #[test]
+    fn only_msb_carry_gate_faults_are_unexcitable() {
+        let width = 3;
+        let adder = RippleCarryAdder::new(width);
+        let mut unexcitable = Vec::new();
+        for rf in adder.gate_faults() {
+            let excitable = Word::all(width).any(|a| {
+                Word::all(width).any(|b| {
+                    adder.add(a, b, Some(rf)) != a.wrapping_add(b)
+                        || adder.sub(a, b, Some(rf)) != a.wrapping_sub(b)
+                })
+            });
+            if !excitable {
+                unexcitable.push(rf);
+            }
+        }
+        // The 7 carry-only sites (a>and, b>and, cin>and, p>and, g, t,
+        // cout) × 2 polarities of the MSB cell.
+        assert_eq!(unexcitable.len(), 14, "{unexcitable:?}");
+        assert!(unexcitable
+            .iter()
+            .all(|rf| rf.position() == width as usize - 1));
+    }
+
+    #[test]
+    fn fault_in_high_bit_does_not_touch_low_bits() {
+        let adder = RippleCarryAdder::new(8);
+        let rf = RcaFault::Gate {
+            position: 7,
+            fault: FaGateFault::new(FaSite::Sum, true),
+        };
+        let a = Word::from_i64(8, 5);
+        let b = Word::from_i64(8, 9);
+        let faulty = adder.add(a, b, Some(rf));
+        let golden = a.wrapping_add(b);
+        assert_eq!(faulty.bits() & 0x7F, golden.bits() & 0x7F);
+    }
+
+    #[test]
+    fn inverse_identity_holds_fault_free() {
+        // z = x + y  =>  z - y == x, including across overflow (wrapping).
+        let adder = RippleCarryAdder::new(5);
+        for x in Word::all(5) {
+            for y in Word::all(5) {
+                let z = adder.add(x, y, None);
+                assert_eq!(adder.sub(z, y, None), x);
+                assert_eq!(adder.sub(z, x, None), y);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_fault_masking_exists_at_width_1() {
+        // The crux of Table 2: at width 1 some gate fault produces a wrong
+        // sum AND a checking subtraction that still passes (Tech1:
+        // op2' = ris - op1 compared against op2).
+        let adder = RippleCarryAdder::new(1);
+        let mut masked = 0;
+        for rf in adder.gate_faults() {
+            for a in Word::all(1) {
+                for b in Word::all(1) {
+                    let ris = adder.add(a, b, Some(rf));
+                    if ris == a.wrapping_add(b) {
+                        continue; // not observable
+                    }
+                    let op2p = adder.sub(ris, a, Some(rf));
+                    if op2p == b {
+                        masked += 1;
+                    }
+                }
+            }
+        }
+        assert!(masked > 0, "expected masking situations at width 1");
+    }
+}

@@ -1,0 +1,286 @@
+//! Sequential restoring divider with a reused faultable subtractor array.
+
+use crate::adder::full_adder;
+use crate::{FaultableUnit, Word};
+use scdp_fault::{CellKind, FaultUniverse, UnitFault};
+
+/// Quotient and remainder produced by [`RestoringDivider::div_rem`].
+///
+/// Semantics follow truncating signed division (Rust/C): the quotient
+/// rounds toward zero and the remainder takes the dividend's sign, so that
+/// `op1 == quotient · op2 + remainder` holds — the identity the paper's
+/// `/` checking techniques rely on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DivOutcome {
+    /// The (possibly fault-corrupted) quotient.
+    pub quotient: Word,
+    /// The (possibly fault-corrupted) remainder.
+    pub remainder: Word,
+}
+
+/// An n-bit sequential restoring divider.
+///
+/// The datapath consists of an `(n+1)`-bit subtractor (full-adder chain
+/// evaluating `R − D` as `R + !D + 1`) and an `(n+1)`-bit restore
+/// multiplexer row. Both are **reused across all n iterations**, so a
+/// single cell fault perturbs every step of the division — the worst-case
+/// single-functional-unit failure of the paper's fault model.
+///
+/// The restore decision is the subtractor's carry-out (no borrow ⇒ the
+/// trial difference is kept and the quotient bit is 1); a fault on the top
+/// cell's carry output therefore corrupts quotient *decisions*, which is
+/// the classic mechanism that lets a wrong `(quotient, remainder)` pair
+/// still satisfy `op1 == q·op2 + r` (with an out-of-range remainder) and
+/// escape the paper's Tech1 check — reproducing why division coverage in
+/// Table 1 is the lowest of the four operators.
+///
+/// Signs are handled by fault-free operand conditioning (magnitude
+/// extraction and result sign correction), mirroring the paper's
+/// fault-free *g*-function convention.
+///
+/// # Cell map
+///
+/// Positions `0 ..= n`: full-adder cells of the subtractor (LSB first).
+/// Positions `n+1 ..= 2n+1`: restore multiplexer cells (LSB first).
+///
+/// # Example
+///
+/// ```
+/// use scdp_arith::{RestoringDivider, Word};
+///
+/// let div = RestoringDivider::new(8);
+/// let out = div
+///     .div_rem(Word::from_i64(8, -77), Word::from_i64(8, 10), None)
+///     .expect("divisor is non-zero");
+/// assert_eq!(out.quotient.to_i64(), -7);
+/// assert_eq!(out.remainder.to_i64(), -7);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RestoringDivider {
+    width: u32,
+}
+
+impl RestoringDivider {
+    /// Creates a divider for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63 (one extra bit is needed
+    /// for the partial remainder).
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((1..=63).contains(&width), "width {width} out of range");
+        Self { width }
+    }
+
+    /// Divides `a / b`, returning `None` when `b` is zero.
+    ///
+    /// The optional cell fault is applied to the shared subtractor /
+    /// restore-mux array on **every** iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand widths differ from the unit width.
+    #[must_use]
+    pub fn div_rem(&self, a: Word, b: Word, fault: Option<UnitFault>) -> Option<DivOutcome> {
+        assert_eq!(a.width(), self.width, "operand width mismatch");
+        assert_eq!(b.width(), self.width, "operand width mismatch");
+        if b.bits() == 0 {
+            return None;
+        }
+        let n = self.width;
+        // Fault-free operand conditioning: extract magnitudes.
+        let a_neg = a.sign();
+        let b_neg = b.sign();
+        let a_mag = (a.to_i64().unsigned_abs()) & Word::new(n + 1, u64::MAX).bits();
+        let b_mag = b.to_i64().unsigned_abs();
+
+        let (fault_pos, cell_fault) = match &fault {
+            Some(uf) => (uf.position(), Some(uf.fault())),
+            None => (usize::MAX, None),
+        };
+        let rbits = n + 1; // partial remainder width
+        let mux_base = rbits as usize;
+
+        let mut r: u64 = 0;
+        let mut q: u64 = 0;
+        for step in (0..n).rev() {
+            r = ((r << 1) | ((a_mag >> step) & 1)) & ((1u64 << rbits) - 1);
+            // Trial subtraction T = R - D on the shared FA chain.
+            let mut carry = true;
+            let mut t: u64 = 0;
+            for i in 0..rbits {
+                let ra = (r >> i) & 1 != 0;
+                let db = (b_mag >> i) & 1 != 0;
+                let cf = if i as usize == fault_pos {
+                    cell_fault
+                } else {
+                    None
+                };
+                let (s, c) = full_adder(ra, !db, carry, cf.as_ref());
+                if s {
+                    t |= 1 << i;
+                }
+                carry = c;
+            }
+            // Decision: carry-out 1 means no borrow (R >= D).
+            let keep = carry;
+            q = (q << 1) | u64::from(keep);
+            // Restore row: R <- keep ? T : R through mux cells.
+            let mut next_r: u64 = 0;
+            for i in 0..rbits {
+                let old = (r >> i) & 1 != 0;
+                let new = (t >> i) & 1 != 0;
+                let golden = if keep { new } else { old };
+                let pos = mux_base + i as usize;
+                let value = if pos == fault_pos {
+                    let f = cell_fault.as_ref().expect("fault position matched");
+                    let row = u8::from(old) | (u8::from(new) << 1) | (u8::from(keep) << 2);
+                    f.apply(row, 0, golden)
+                } else {
+                    golden
+                };
+                if value {
+                    next_r |= 1 << i;
+                }
+            }
+            r = next_r;
+        }
+
+        // Fault-free sign correction.
+        let q_word = Word::new(n, q & Word::new(n, u64::MAX).bits());
+        let r_word = Word::new(n, r & Word::new(n, u64::MAX).bits());
+        let quotient = if a_neg ^ b_neg {
+            q_word.wrapping_neg()
+        } else {
+            q_word
+        };
+        let remainder = if a_neg { r_word.wrapping_neg() } else { r_word };
+        Some(DivOutcome {
+            quotient,
+            remainder,
+        })
+    }
+}
+
+impl FaultableUnit for RestoringDivider {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn universe(&self) -> FaultUniverse {
+        let rbits = (self.width + 1) as usize;
+        let mut sites = Vec::with_capacity(2 * rbits);
+        sites.extend(std::iter::repeat(CellKind::FullAdder).take(rbits));
+        sites.extend(std::iter::repeat(CellKind::Mux2).take(rbits));
+        FaultUniverse::new(sites)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_matches_golden_exhaustively() {
+        for w in [2u32, 3, 4, 5] {
+            let div = RestoringDivider::new(w);
+            for a in Word::all(w) {
+                for b in Word::all(w) {
+                    if b.bits() == 0 {
+                        assert!(div.div_rem(a, b, None).is_none());
+                        continue;
+                    }
+                    let (gq, gr) = a.wrapping_div_rem(b);
+                    let out = div.div_rem(a, b, None).unwrap();
+                    assert_eq!(out.quotient, gq, "w={w} {a:?}/{b:?}");
+                    assert_eq!(out.remainder, gr, "w={w} {a:?}%{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div_matches_golden_sampled_8bit() {
+        let div = RestoringDivider::new(8);
+        for a in -128i64..128 {
+            for b in [-128i64, -17, -3, -1, 1, 2, 9, 127] {
+                let aw = Word::from_i64(8, a);
+                let bw = Word::from_i64(8, b);
+                let (gq, gr) = aw.wrapping_div_rem(bw);
+                let out = div.div_rem(aw, bw, None).unwrap();
+                assert_eq!(out.quotient, gq, "{a}/{b}");
+                assert_eq!(out.remainder, gr, "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_holds_fault_free() {
+        // op1 == q*op2 + r (wrapping), for all non-zero divisors.
+        let div = RestoringDivider::new(6);
+        for a in Word::all(6) {
+            for b in Word::all(6) {
+                if b.bits() == 0 {
+                    continue;
+                }
+                let out = div.div_rem(a, b, None).unwrap();
+                let recomposed = out.quotient.wrapping_mul(b).wrapping_add(out.remainder);
+                assert_eq!(recomposed, a, "{a:?}/{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn universe_covers_subtractor_and_mux_rows() {
+        let div = RestoringDivider::new(8);
+        let u = div.universe();
+        assert_eq!(u.site_count(), 18); // 9 FA + 9 MUX
+        assert_eq!(u.fault_count(), 9 * 32 + 9 * 16);
+    }
+
+    #[test]
+    fn latent_faults_never_corrupt() {
+        let div = RestoringDivider::new(3);
+        for uf in div.universe().iter().filter(|f| f.fault().is_latent()) {
+            for a in Word::all(3) {
+                for b in Word::all(3) {
+                    if b.bits() == 0 {
+                        continue;
+                    }
+                    let golden = div.div_rem(a, b, None).unwrap();
+                    let faulty = div.div_rem(a, b, Some(uf)).unwrap();
+                    assert_eq!(golden, faulty, "{uf}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_fault_produces_consistent_wrong_pair() {
+        // The masking mechanism behind the paper's <100% division
+        // coverage: a wrong (q, r) that still satisfies op1 == q*op2 + r.
+        let div = RestoringDivider::new(4);
+        let mut found = false;
+        'outer: for uf in div.universe().iter() {
+            for a in Word::all(4) {
+                for b in Word::all(4) {
+                    if b.bits() == 0 {
+                        continue;
+                    }
+                    let golden = div.div_rem(a, b, None).unwrap();
+                    let faulty = div.div_rem(a, b, Some(uf)).unwrap();
+                    if faulty != golden {
+                        let recomposed =
+                            faulty.quotient.wrapping_mul(b).wrapping_add(faulty.remainder);
+                        if recomposed == a {
+                            found = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "expected at least one consistent-but-wrong division");
+    }
+}

@@ -1,0 +1,63 @@
+//! Bit-accurate functional-level arithmetic units with injectable cell
+//! faults.
+//!
+//! This crate is the evaluation substrate of the paper's §4 ("Fault
+//! coverage analysis"): functional units are modelled as networks of 1-bit
+//! cells (full adders, partial-product AND gates, restore multiplexers),
+//! and a fault forces one truth-table entry of one cell — exactly the
+//! paper's "the faulty functional unit is the single full-adder in the
+//! chain composing the n-bit adder", generalised to multipliers and
+//! dividers.
+//!
+//! Units offered:
+//!
+//! * [`RippleCarryAdder`] — n-bit adder; subtraction is realised on the
+//!   *same* cells through the paper's *g*-function (1's complement of the
+//!   subtrahend) and *f*-function (carry-in forced to 1), so a fault in
+//!   the adder affects both an addition and the checking subtraction.
+//! * [`ArrayMultiplier`] — row-ripple array multiplier producing the low
+//!   n bits of the product (two's-complement wrapping semantics).
+//! * [`RestoringDivider`] — sequential restoring divider whose subtractor
+//!   and restore multiplexers are *reused across iterations*, so a single
+//!   cell fault perturbs every step.
+//!
+//! All units are deterministic, heap-free in their hot paths, and report
+//! their [`FaultUniverse`] for exhaustive or sampled campaigns.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_arith::{RippleCarryAdder, Word};
+//!
+//! let adder = RippleCarryAdder::new(8);
+//! let a = Word::from_i64(8, 100);
+//! let b = Word::from_i64(8, -27);
+//! let sum = adder.add(a, b, None);
+//! assert_eq!(sum.to_i64(), 73);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adder;
+mod divider;
+mod mult;
+mod word;
+
+pub use adder::{RcaFault, RippleCarryAdder};
+pub use divider::{DivOutcome, RestoringDivider};
+pub use mult::ArrayMultiplier;
+pub use word::Word;
+
+use scdp_fault::FaultUniverse;
+
+/// Common interface of faultable functional units.
+///
+/// This trait is sealed conceptually to the units of this crate; it exists
+/// so campaign drivers (`scdp-coverage`) can reason about widths and fault
+/// universes generically.
+pub trait FaultableUnit {
+    /// Operand width in bits.
+    fn width(&self) -> u32;
+    /// The unit's complete cell-fault universe.
+    fn universe(&self) -> FaultUniverse;
+}

@@ -1,0 +1,349 @@
+//! Fixed-width two's-complement words.
+
+use std::fmt;
+
+/// A fixed-width two's-complement word (1 ..= 64 bits).
+///
+/// `Word` is the operand/result type of every functional unit in this
+/// crate. The stored bits are always masked to the width; signed reads
+/// sign-extend from the top bit.
+///
+/// # Example
+///
+/// ```
+/// use scdp_arith::Word;
+///
+/// let w = Word::from_i64(4, -3);
+/// assert_eq!(w.bits(), 0b1101);
+/// assert_eq!(w.to_i64(), -3);
+/// assert_eq!(w.to_u64(), 13);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Word {
+    width: u32,
+    bits: u64,
+}
+
+impl Word {
+    /// Creates a word of `width` bits from raw `bits` (masked to width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn new(width: u32, bits: u64) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        Self {
+            width,
+            bits: bits & Self::mask(width),
+        }
+    }
+
+    /// Creates a word from a signed value, wrapping to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn from_i64(width: u32, value: i64) -> Self {
+        Self::new(width, value as u64)
+    }
+
+    /// The all-zeros word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 64.
+    #[must_use]
+    pub fn zero(width: u32) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// Bit mask for `width` bits.
+    #[inline]
+    #[must_use]
+    fn mask(width: u32) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Operand width in bits.
+    #[inline]
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Raw bits, masked to the width.
+    #[inline]
+    #[must_use]
+    pub const fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Unsigned value of the bits.
+    #[inline]
+    #[must_use]
+    pub const fn to_u64(&self) -> u64 {
+        self.bits
+    }
+
+    /// Signed (two's-complement) value of the bits.
+    #[inline]
+    #[must_use]
+    pub fn to_i64(&self) -> i64 {
+        let shift = 64 - self.width;
+        ((self.bits << shift) as i64) >> shift
+    }
+
+    /// Bit `i` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[inline]
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit {i} out of range");
+        (self.bits >> i) & 1 != 0
+    }
+
+    /// Returns a copy with bit `i` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn with_bit(&self, i: u32, value: bool) -> Self {
+        assert!(i < self.width, "bit {i} out of range");
+        let bits = if value {
+            self.bits | (1 << i)
+        } else {
+            self.bits & !(1 << i)
+        };
+        Self::new(self.width, bits)
+    }
+
+    /// The sign bit (most significant bit).
+    #[inline]
+    #[must_use]
+    pub fn sign(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Bitwise NOT (the paper's *g*-function: 1's complement), fault-free.
+    #[inline]
+    #[must_use]
+    pub fn not(&self) -> Self {
+        Self::new(self.width, !self.bits)
+    }
+
+    /// Two's-complement negation (fault-free helper).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_neg(&self) -> Self {
+        Self::new(self.width, (!self.bits).wrapping_add(1))
+    }
+
+    /// Golden wrapping addition (fault-free reference).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_add(&self, rhs: Word) -> Self {
+        self.assert_same_width(rhs);
+        Self::new(self.width, self.bits.wrapping_add(rhs.bits))
+    }
+
+    /// Golden wrapping subtraction (fault-free reference).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_sub(&self, rhs: Word) -> Self {
+        self.assert_same_width(rhs);
+        Self::new(self.width, self.bits.wrapping_sub(rhs.bits))
+    }
+
+    /// Golden wrapping multiplication (fault-free reference, low bits).
+    #[inline]
+    #[must_use]
+    pub fn wrapping_mul(&self, rhs: Word) -> Self {
+        self.assert_same_width(rhs);
+        Self::new(self.width, self.bits.wrapping_mul(rhs.bits))
+    }
+
+    /// Golden truncating signed division (fault-free reference).
+    ///
+    /// Returns `(quotient, remainder)` with Rust/C semantics: the quotient
+    /// rounds toward zero and the remainder takes the dividend's sign.
+    /// The `MIN / -1` overflow case wraps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    pub fn wrapping_div_rem(&self, rhs: Word) -> (Self, Self) {
+        self.assert_same_width(rhs);
+        assert!(rhs.bits != 0, "division by zero");
+        let a = self.to_i64();
+        let b = rhs.to_i64();
+        let q = a.wrapping_div(b);
+        let r = a.wrapping_rem(b);
+        (
+            Self::from_i64(self.width, q),
+            Self::from_i64(self.width, r),
+        )
+    }
+
+    /// Iterates all `2^width` words of `width` bits.
+    ///
+    /// Only sensible for small widths; intended for exhaustive campaigns.
+    pub fn all(width: u32) -> impl Iterator<Item = Word> {
+        let count: u64 = if width >= 64 { 0 } else { 1u64 << width };
+        (0..count).map(move |bits| Word::new(width, bits))
+    }
+
+    #[inline]
+    fn assert_same_width(&self, rhs: Word) {
+        assert_eq!(
+            self.width, rhs.width,
+            "width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word<{}>({})", self.width, self.to_i64())
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_i64())
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:0width$b}", self.bits, width = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::Octal for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_extension_round_trips() {
+        for w in [1, 2, 3, 7, 8, 16, 31, 64] {
+            for v in [-3i64, -1, 0, 1, 5] {
+                let word = Word::from_i64(w, v);
+                let lo = if w == 64 { i64::MIN } else { -(1i64 << (w - 1)) };
+                let hi = if w == 64 { i64::MAX } else { (1i64 << (w - 1)) - 1 };
+                if v >= lo && v <= hi {
+                    assert_eq!(word.to_i64(), v, "w={w} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_matches_width() {
+        let w = Word::from_i64(4, 7).wrapping_add(Word::from_i64(4, 1));
+        assert_eq!(w.to_i64(), -8); // overflow wraps in 4 bits
+        let m = Word::from_i64(4, 5).wrapping_mul(Word::from_i64(4, 5));
+        assert_eq!(m.to_u64(), 25 & 0xF);
+    }
+
+    #[test]
+    fn neg_and_not_identities() {
+        for v in Word::all(5) {
+            let expected = (v.to_i64().wrapping_neg() as u64) & 0x1F;
+            assert_eq!(v.wrapping_neg().bits(), expected, "v={v:?}");
+            // -x == !x + 1
+            assert_eq!(
+                v.wrapping_neg(),
+                v.not().wrapping_add(Word::new(5, 1)),
+                "v={v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_rust_semantics() {
+        let w = 8;
+        for a in [-128i64, -77, -1, 0, 1, 63, 127] {
+            for b in [-128i64, -3, -1, 1, 2, 10, 127] {
+                let (q, r) = Word::from_i64(w, a).wrapping_div_rem(Word::from_i64(w, b));
+                let a8 = a as i8;
+                let b8 = b as i8;
+                assert_eq!(q.to_i64(), a8.wrapping_div(b8) as i64, "{a}/{b}");
+                assert_eq!(r.to_i64(), a8.wrapping_rem(b8) as i64, "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Word::from_i64(8, 1).wrapping_div_rem(Word::zero(8));
+    }
+
+    #[test]
+    fn bit_access() {
+        let w = Word::new(4, 0b1010);
+        assert!(!w.bit(0));
+        assert!(w.bit(1));
+        assert!(w.sign());
+        assert_eq!(w.with_bit(0, true).bits(), 0b1011);
+        assert_eq!(w.with_bit(3, false).bits(), 0b0010);
+    }
+
+    #[test]
+    fn all_enumerates_exactly() {
+        assert_eq!(Word::all(3).count(), 8);
+        let v: Vec<u64> = Word::all(2).map(|w| w.to_u64()).collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn formatting() {
+        let w = Word::new(4, 0b1010);
+        assert_eq!(format!("{w:b}"), "1010");
+        assert_eq!(format!("{w:x}"), "a");
+        assert_eq!(format!("{w}"), "-6");
+        assert_eq!(format!("{w:?}"), "Word<4>(-6)");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = Word::zero(4).wrapping_add(Word::zero(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = Word::new(0, 0);
+    }
+}

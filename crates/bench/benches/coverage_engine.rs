@@ -1,0 +1,44 @@
+//! Criterion bench for the coverage engine itself: throughput of the
+//! exhaustive Table 2 campaigns (situations classified per second) at
+//! growing widths — the cost of regenerating the paper's data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scdp_core::Allocation;
+use scdp_coverage::{CampaignBuilder, OperatorKind};
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_campaign");
+    for width in [1u32, 2, 3, 4] {
+        let situations = 32u64 * u64::from(width) * (1 << (2 * width));
+        group.throughput(Throughput::Elements(situations));
+        group.bench_with_input(BenchmarkId::new("add", width), &width, |b, &w| {
+            b.iter(|| {
+                CampaignBuilder::new(OperatorKind::Add, w)
+                    .allocation(Allocation::SingleUnit)
+                    .threads(1)
+                    .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dual_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_unit");
+    group.bench_function("add_w4_dedicated", |b| {
+        b.iter(|| {
+            CampaignBuilder::new(OperatorKind::Add, 4)
+                .allocation(Allocation::Dedicated)
+                .threads(1)
+                .run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaigns, bench_dual_unit
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Table 3's software rows: wall-clock cost of the
+//! plain, SCK-typed and embedded-check FIR implementations (the measured
+//! counterpart of the paper's 6.83 / 10.02 / 7.90 seconds).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scdp_fir::{EmbeddedFir, PlainFir, SckFir};
+use std::hint::black_box;
+
+fn coeffs(taps: usize) -> Vec<i32> {
+    (0..taps as i32).map(|i| (i * 7 % 23) - 11).collect()
+}
+
+fn samples(n: usize) -> Vec<i32> {
+    (0..n as i64).map(|i| ((i * 31) % 201 - 100) as i32).collect()
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let taps = 64;
+    let xs = samples(4096);
+    let mut group = c.benchmark_group("fir_sw");
+    group.bench_function("plain", |b| {
+        b.iter_batched(
+            || PlainFir::new(coeffs(taps)),
+            |mut f| black_box(f.process_block(&xs)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("sck", |b| {
+        b.iter_batched(
+            || SckFir::new(coeffs(taps)) as SckFir,
+            |mut f| black_box(f.process_block(&xs)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("embedded", |b| {
+        b.iter_batched(
+            || EmbeddedFir::new(coeffs(taps)),
+            |mut f| black_box(f.process_block(&xs)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fir
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates **Table 1** of the paper: the overloading techniques for
+//! `+`, `−`, `×`, `/` and their local fault coverage under the
+//! worst-case (shared-unit) allocation.
+//!
+//! The paper does not state the operand width used for its Table 1
+//! percentages; we default to 8 bits (exhaustive for `+`/`−`, sampled
+//! for `×`/`/` whose cell universes are large) and print the checking
+//! recipe next to each coverage figure, as the paper's table does.
+//!
+//! Usage:
+//!   table1 [--width N] [--samples N] [--seed S] [--exhaustive]
+
+use scdp_bench::{arg_value, has_flag, pct, timed};
+use scdp_core::{Operator, Technique};
+use scdp_coverage::{CampaignBuilder, InputSpace, OperatorKind, TechIndex};
+
+const PAPER: [(Operator, f64, f64, Option<f64>); 4] = [
+    (Operator::Add, 97.25, 98.81, Some(99.11)),
+    (Operator::Sub, 96.85, 94.01, Some(99.58)),
+    (Operator::Mul, 96.22, 96.38, Some(97.43)),
+    (Operator::Div, 94.33, 97.16, None),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let width: u32 = arg_value(&args, "--width")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let samples: u64 = arg_value(&args, "--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 14);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDA7E_2005);
+    let exhaustive = has_flag(&args, "--exhaustive");
+
+    println!("Table 1 — overloading techniques and fault coverage ({width}-bit, worst case)");
+    for (op, p1, p2, pboth) in PAPER {
+        let kind = match op {
+            Operator::Add => OperatorKind::Add,
+            Operator::Sub => OperatorKind::Sub,
+            Operator::Mul => OperatorKind::Mul,
+            Operator::Div => OperatorKind::Div,
+        };
+        // +/- have compact universes: exhaustive. x and / are sampled
+        // unless --exhaustive.
+        let space = if exhaustive || matches!(kind, OperatorKind::Add | OperatorKind::Sub) {
+            InputSpace::Exhaustive
+        } else {
+            InputSpace::Sampled {
+                per_fault: samples,
+                seed,
+            }
+        };
+        let r = timed(&format!("{op}"), || {
+            CampaignBuilder::new(kind, width).input_space(space).run()
+        });
+        println!("\n{op}  (ris = op1 {op} op2; {} faults)", r.fault_count());
+        for (tech, idx, paper) in [
+            (Technique::Tech1, TechIndex::Tech1, Some(p1)),
+            (Technique::Tech2, TechIndex::Tech2, Some(p2)),
+            (Technique::Both, TechIndex::Both, pboth),
+        ] {
+            let paper_s = paper.map_or("   -  ".to_string(), |p| format!("{p:.2}%"));
+            println!(
+                "  {:<9} {:<44} cov {:>7}  (paper {paper_s})",
+                tech.to_string(),
+                tech.describe(op),
+                pct(r.coverage(idx)),
+            );
+        }
+    }
+    println!("\n(the paper's Div row evaluates Tech1/Tech2 only)");
+}

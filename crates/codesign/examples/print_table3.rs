@@ -1,0 +1,9 @@
+fn main() {
+    let flow = scdp_codesign::CodesignFlow::default();
+    let t = flow.table3(&scdp_fir::fir_body_dfg());
+    println!("{t}");
+    for r in &t.rows {
+        println!("{:?} {:?} sw: {} cycles/iter, {} KB", r.style, r.goal,
+            r.sw.cycles_per_iteration, r.sw.code_bytes / 1024);
+    }
+}

@@ -1,0 +1,307 @@
+//! The co-design flow driver assembling Table 3.
+
+use crate::sw::{SwCostModel, SwImplementation};
+use scdp_core::Technique;
+use scdp_hls::timing::{fmax_mhz, ChainPolicy};
+use scdp_hls::{
+    area, bind, expand_sck, sched, AreaReport, BindOptions, ComponentLibrary, Dfg, ErrorHandling,
+    ResourceSet, SckStyle,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Synthesis goal, as in Table 3.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Goal {
+    /// Minimise area: one unit per class, chained checker logic.
+    MinArea,
+    /// Minimise latency: enough units to be dependence-bound, checker
+    /// logic registered (clock preserved).
+    MinLatency,
+}
+
+/// A synthesized hardware implementation of one loop body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HwImplementation {
+    /// Cycles of the steady-state loop body (the `k` of `2 + k·n`).
+    pub cycles_per_iteration: u32,
+    /// Pipeline fill / drain cycles (the paper's constant 2).
+    pub prologue_cycles: u32,
+    /// Achievable clock frequency (MHz).
+    pub fmax_mhz: f64,
+    /// Area breakdown.
+    pub area: AreaReport,
+    /// Total area in CLB slices.
+    pub area_slices: f64,
+}
+
+impl HwImplementation {
+    /// Latency in cycles for `n` loop iterations:
+    /// `prologue + cycles_per_iteration × n`.
+    #[must_use]
+    pub fn latency_cycles(&self, n: u32) -> u64 {
+        u64::from(self.prologue_cycles) + u64::from(self.cycles_per_iteration) * u64::from(n)
+    }
+
+    /// The latency formula as printed in Table 3, e.g. `2 + 7n`.
+    #[must_use]
+    pub fn latency_formula(&self) -> String {
+        format!("{} + {}n", self.prologue_cycles, self.cycles_per_iteration)
+    }
+}
+
+/// The reliable co-design flow with its calibrated models.
+#[derive(Clone, Debug)]
+pub struct CodesignFlow {
+    /// Hardware component library.
+    pub library: ComponentLibrary,
+    /// Software cost model.
+    pub sw_model: SwCostModel,
+    /// Checking technique applied by the SCK expansion.
+    pub technique: Technique,
+}
+
+impl Default for CodesignFlow {
+    fn default() -> Self {
+        Self {
+            library: ComponentLibrary::virtex16(),
+            sw_model: SwCostModel::default(),
+            technique: Technique::Tech1,
+        }
+    }
+}
+
+impl CodesignFlow {
+    /// Runs the hardware path: SCK expansion → scheduling → binding →
+    /// area and timing models.
+    #[must_use]
+    pub fn hardware(&self, body: &Dfg, style: SckStyle, goal: Goal) -> HwImplementation {
+        let expanded = expand_sck(body, self.technique, style);
+        let resources = match (style, goal) {
+            (_, Goal::MinArea) => ResourceSet::min_area(),
+            (SckStyle::Plain, Goal::MinLatency) => ResourceSet::min_latency(),
+            // The checked variants need the extra checker units to hide
+            // the hidden operations in the nominal schedule's slack.
+            (_, Goal::MinLatency) => ResourceSet {
+                alus: 6,
+                mults: 3,
+                divs: 2,
+                mem_ports: 2,
+            },
+        };
+        let schedule = sched::list_schedule(&expanded, &self.library, &resources);
+        let opts = match style {
+            SckStyle::Plain => BindOptions::default(),
+            // The class template blocks sharing across operator
+            // instances; checker ops additionally must not share with
+            // nominal ones (coverage requirement).
+            SckStyle::Full => BindOptions {
+                separate_checkers: true,
+                no_sharing: true,
+            },
+            SckStyle::Embedded => BindOptions {
+                separate_checkers: true,
+                no_sharing: false,
+            },
+        };
+        let binding = bind(&expanded, &schedule, &self.library, opts);
+        let err = match style {
+            SckStyle::Plain => ErrorHandling::None,
+            SckStyle::Full => ErrorHandling::PerValue,
+            SckStyle::Embedded => ErrorHandling::SingleFlag,
+        };
+        let area_report = area::area(&expanded, &schedule, &binding, &self.library, err);
+        let chain = match goal {
+            Goal::MinArea => ChainPolicy::ChainChecks,
+            Goal::MinLatency => ChainPolicy::RegisterChecks,
+        };
+        let mut period = 1000.0 / fmax_mhz(&expanded, &schedule, &self.library, chain);
+        // Under the min-area goal the checker comparator monitors the
+        // functional-unit output bus combinationally (no extra state, no
+        // extra register), so the slowest unit's cycle stretches by the
+        // comparator — and, for the single sticky flag of the embedded
+        // style, by the accumulation OR as well. The min-latency goal
+        // registers unit outputs first, preserving the nominal clock
+        // (Table 3: 20 MHz for every min-latency variant).
+        if goal == Goal::MinArea && style != SckStyle::Plain {
+            let slowest = expanded
+                .iter()
+                .filter(|(_, n)| !n.kind.is_virtual() && !n.kind.is_chained())
+                .map(|(_, n)| self.library.timing(&n.kind).delay_ns)
+                .fold(0.0f64, f64::max);
+            let chain_penalty = match style {
+                SckStyle::Full => self.library.cmp_delay,
+                SckStyle::Embedded => self.library.cmp_delay + self.library.or_delay,
+                SckStyle::Plain => 0.0,
+            };
+            period = period.max(slowest + chain_penalty + self.library.seq_overhead);
+        }
+        let fmax = 1000.0 / period;
+        let cycles = match goal {
+            // Shared units: the checks lengthen every iteration.
+            Goal::MinArea => schedule.length(),
+            // Dedicated checker units: checks overlap the next
+            // iteration; the nominal critical path sets the rate.
+            Goal::MinLatency => schedule.nominal_length(&expanded),
+        };
+        HwImplementation {
+            cycles_per_iteration: cycles,
+            prologue_cycles: 2,
+            fmax_mhz: fmax,
+            area_slices: area_report.total(),
+            area: area_report,
+        }
+    }
+
+    /// Runs the software path: SCK expansion → instruction cost model.
+    #[must_use]
+    pub fn software(&self, body: &Dfg, style: SckStyle) -> SwImplementation {
+        let expanded = expand_sck(body, self.technique, style);
+        self.sw_model.estimate(&expanded, style)
+    }
+
+    /// Produces the full Table 3 for a loop body (all styles × goals,
+    /// plus the software estimates).
+    #[must_use]
+    pub fn table3(&self, body: &Dfg) -> Table3Report {
+        let mut rows = Vec::new();
+        for style in [SckStyle::Plain, SckStyle::Full, SckStyle::Embedded] {
+            for goal in [Goal::MinArea, Goal::MinLatency] {
+                let hw = self.hardware(body, style, goal);
+                rows.push(Table3Row {
+                    style,
+                    goal,
+                    hw,
+                    sw: self.software(body, style),
+                });
+            }
+        }
+        Table3Report { rows }
+    }
+}
+
+/// One configuration row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// SCK style (plain / with SCK / embedded SCK).
+    pub style: SckStyle,
+    /// Synthesis goal.
+    pub goal: Goal,
+    /// Hardware implementation results.
+    pub hw: HwImplementation,
+    /// Software estimate for the same style.
+    pub sw: SwImplementation,
+}
+
+/// The assembled Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Report {
+    /// All style × goal rows.
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3Report {
+    /// Finds a row.
+    #[must_use]
+    pub fn row(&self, style: SckStyle, goal: Goal) -> Option<&Table3Row> {
+        self.rows
+            .iter()
+            .find(|r| r.style == style && r.goal == goal)
+    }
+}
+
+impl fmt::Display for Table3Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<10} {:<11} {:>10} {:>9} {:>10}",
+            "style", "goal", "latency", "fmax", "slices"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:<11} {:>10} {:>8.2}M {:>10.0}",
+                format!("{:?}", r.style),
+                format!("{:?}", r.goal),
+                r.hw.latency_formula(),
+                r.hw.fmax_mhz,
+                r.hw.area_slices
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_fir::fir_body_dfg;
+    use scdp_hls::OpKind;
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let flow = CodesignFlow::default();
+        let t = flow.table3(&fir_body_dfg());
+        let get = |s, g| t.row(s, g).expect("row").hw.clone();
+        let plain_a = get(SckStyle::Plain, Goal::MinArea);
+        let plain_l = get(SckStyle::Plain, Goal::MinLatency);
+        let full_a = get(SckStyle::Full, Goal::MinArea);
+        let full_l = get(SckStyle::Full, Goal::MinLatency);
+        let emb_a = get(SckStyle::Embedded, Goal::MinArea);
+        let emb_l = get(SckStyle::Embedded, Goal::MinLatency);
+
+        // Latency ordering (min-area): plain < embedded <= full.
+        assert!(plain_a.cycles_per_iteration < emb_a.cycles_per_iteration);
+        assert!(emb_a.cycles_per_iteration <= full_a.cycles_per_iteration);
+        // Min-latency per-iteration cycles identical across styles (the
+        // paper's 2 + 5n for all three variants).
+        assert_eq!(plain_l.cycles_per_iteration, full_l.cycles_per_iteration);
+        assert_eq!(plain_l.cycles_per_iteration, emb_l.cycles_per_iteration);
+        // Area ordering (min-area): plain < embedded < full.
+        assert!(plain_a.area_slices < emb_a.area_slices);
+        assert!(emb_a.area_slices < full_a.area_slices);
+        // Clock degradation from chained checkers (min-area only).
+        assert!(full_a.fmax_mhz < plain_a.fmax_mhz);
+        assert!(emb_a.fmax_mhz < plain_a.fmax_mhz);
+        assert!((plain_l.fmax_mhz - plain_a.fmax_mhz).abs() < 1e-9);
+        assert!(full_l.fmax_mhz > full_a.fmax_mhz);
+    }
+
+    #[test]
+    fn latency_formula_renders() {
+        let flow = CodesignFlow::default();
+        let hw = flow.hardware(&fir_body_dfg(), SckStyle::Plain, Goal::MinArea);
+        let s = hw.latency_formula();
+        assert!(s.starts_with("2 + "), "{s}");
+        assert_eq!(hw.latency_cycles(0), 2);
+        assert_eq!(
+            hw.latency_cycles(10),
+            2 + u64::from(hw.cycles_per_iteration) * 10
+        );
+    }
+
+    #[test]
+    fn software_overheads_ordered() {
+        let flow = CodesignFlow::default();
+        let body = fir_body_dfg();
+        let p = flow.software(&body, SckStyle::Plain);
+        let f = flow.software(&body, SckStyle::Full);
+        let e = flow.software(&body, SckStyle::Embedded);
+        assert!(p.cycles_per_iteration < e.cycles_per_iteration);
+        assert!(e.cycles_per_iteration < f.cycles_per_iteration);
+        assert!(p.code_bytes < f.code_bytes);
+    }
+
+    #[test]
+    fn division_body_synthesizes() {
+        let mut d = Dfg::new("divloop");
+        let a = d.input("a");
+        let b = d.input("b");
+        let q = d.op(OpKind::Div, &[a, b]);
+        d.output("q", q);
+        let flow = CodesignFlow::default();
+        let hw = flow.hardware(&d, SckStyle::Full, Goal::MinArea);
+        assert!(hw.cycles_per_iteration >= 8, "div + checks on shared units");
+        assert!(hw.area.checker_slices > 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! The reliable hw/sw co-design flow (the paper's Figure 3).
+//!
+//! Starting from a self-checking specification (a loop-body
+//! [`Dfg`](scdp_hls::Dfg) plus an [`SckStyle`](scdp_hls::SckStyle)), the flow derives:
+//!
+//! * a **hardware implementation** (the OFFIS → CoCentric path): SCK
+//!   expansion, resource-constrained scheduling, binding, area in CLB
+//!   slices, achievable clock and the `prologue + k·n` latency formula —
+//!   the quantities of Table 3's upper half;
+//! * a **software implementation** (the g++ path): an instruction-level
+//!   cycle/size model of the same loop body — Table 3's lower half
+//!   (measured wall-clock numbers come from the Criterion benches in
+//!   `scdp-bench`, which run the real `scdp-fir` binaries);
+//! * a trivial **partitioner** choosing an implementation per task under
+//!   an area budget, completing the co-design story.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_codesign::{CodesignFlow, Goal};
+//! use scdp_hls::SckStyle;
+//!
+//! let flow = CodesignFlow::default();
+//! let hw = flow.hardware(&scdp_fir_body(), SckStyle::Plain, Goal::MinArea);
+//! assert!(hw.area_slices > 0.0);
+//! assert!(hw.cycles_per_iteration >= 3); // 2-cycle multiply + add
+//! # // Local stand-in for the FIR body used in the real crate tests.
+//! # fn scdp_fir_body() -> scdp_hls::Dfg {
+//! #     let mut d = scdp_hls::Dfg::new("body");
+//! #     let a = d.input("a");
+//! #     let b = d.input("b");
+//! #     let m = d.op(scdp_hls::OpKind::Mul, &[a, b]);
+//! #     let s = d.op(scdp_hls::OpKind::Add, &[m, a]);
+//! #     d.output("y", s);
+//! #     d
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod flow;
+mod partition;
+mod sw;
+
+pub use flow::{CodesignFlow, Goal, HwImplementation, Table3Report, Table3Row};
+pub use partition::{partition, Mapping, PartitionProblem, TaskEstimate};
+pub use sw::{SwCostModel, SwImplementation};

@@ -1,0 +1,133 @@
+//! Hardware/software partitioning under an area budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Implementation estimates for one task, produced by the flow.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskEstimate {
+    /// Task name.
+    pub name: String,
+    /// Latency if implemented in hardware (e.g. microseconds or cycles —
+    /// any consistent unit).
+    pub hw_latency: f64,
+    /// Hardware area cost (CLB slices).
+    pub hw_area: f64,
+    /// Latency if implemented in software.
+    pub sw_latency: f64,
+}
+
+/// A partitioning problem: tasks plus the available hardware area.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartitionProblem {
+    /// The tasks to map.
+    pub tasks: Vec<TaskEstimate>,
+    /// Available area budget (CLB slices).
+    pub area_budget: f64,
+}
+
+/// The chosen implementation per task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mapping {
+    /// Implement in hardware.
+    Hardware,
+    /// Implement in software.
+    Software,
+}
+
+/// Exhaustively chooses the mapping minimising total latency (tasks run
+/// sequentially) subject to the area budget.
+///
+/// Exhaustive search is exact and fine for the handful of tasks an
+/// embedded specification has; it mirrors the two-level partitioning
+/// role of the framework the paper builds on (Bolchini et al., JETTA
+/// 2002).
+///
+/// Returns `(mappings, total_latency, used_area)`.
+///
+/// # Panics
+///
+/// Panics if more than 20 tasks are given (2^n search).
+#[must_use]
+pub fn partition(problem: &PartitionProblem) -> (Vec<Mapping>, f64, f64) {
+    let n = problem.tasks.len();
+    assert!(n <= 20, "exhaustive partitioner limited to 20 tasks");
+    let mut best: Option<(Vec<Mapping>, f64, f64)> = None;
+    for mask in 0u32..(1 << n) {
+        let mut latency = 0.0;
+        let mut area = 0.0;
+        let mut mapping = Vec::with_capacity(n);
+        for (i, t) in problem.tasks.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                latency += t.hw_latency;
+                area += t.hw_area;
+                mapping.push(Mapping::Hardware);
+            } else {
+                latency += t.sw_latency;
+                mapping.push(Mapping::Software);
+            }
+        }
+        if area > problem.area_budget {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((_, bl, ba)) => latency < *bl || (latency == *bl && area < *ba),
+        };
+        if better {
+            best = Some((mapping, latency, area));
+        }
+    }
+    best.expect("the all-software mapping always fits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(name: &str, hw_latency: f64, hw_area: f64, sw_latency: f64) -> TaskEstimate {
+        TaskEstimate {
+            name: name.into(),
+            hw_latency,
+            hw_area,
+            sw_latency,
+        }
+    }
+
+    #[test]
+    fn all_software_when_no_budget() {
+        let p = PartitionProblem {
+            tasks: vec![task("a", 1.0, 100.0, 5.0), task("b", 2.0, 200.0, 4.0)],
+            area_budget: 0.0,
+        };
+        let (m, lat, area) = partition(&p);
+        assert_eq!(m, vec![Mapping::Software, Mapping::Software]);
+        assert_eq!(lat, 9.0);
+        assert_eq!(area, 0.0);
+    }
+
+    #[test]
+    fn budget_spent_on_best_speedup() {
+        let p = PartitionProblem {
+            tasks: vec![
+                task("small_gain", 4.0, 100.0, 5.0),
+                task("big_gain", 1.0, 100.0, 50.0),
+            ],
+            area_budget: 100.0,
+        };
+        let (m, lat, _) = partition(&p);
+        assert_eq!(m, vec![Mapping::Software, Mapping::Hardware]);
+        assert_eq!(lat, 6.0);
+    }
+
+    #[test]
+    fn everything_in_hardware_when_it_fits() {
+        let p = PartitionProblem {
+            tasks: vec![task("a", 1.0, 10.0, 5.0), task("b", 1.0, 10.0, 5.0)],
+            area_budget: 100.0,
+        };
+        let (m, lat, area) = partition(&p);
+        assert_eq!(m, vec![Mapping::Hardware, Mapping::Hardware]);
+        assert_eq!(lat, 2.0);
+        assert_eq!(area, 20.0);
+    }
+}

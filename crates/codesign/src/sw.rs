@@ -1,0 +1,142 @@
+//! Software cost model: the g++ path of the co-design flow.
+
+use scdp_hls::{Dfg, OpKind, SckStyle};
+use serde::{Deserialize, Serialize};
+
+/// Instruction-level cost model of a scalar in-order processor.
+///
+/// The paper's software rows (execution time and executable size) are
+/// dominated by the extra arithmetic the overloading introduces; the
+/// model counts operator-level instructions per loop iteration. Wall
+/// clock on real hardware is measured separately by the Criterion
+/// benches over `scdp-fir`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwCostModel {
+    /// Cycles of an ALU instruction (add/sub/neg/compare).
+    pub alu_cycles: u64,
+    /// Cycles of a multiply.
+    pub mul_cycles: u64,
+    /// Cycles of a divide/remainder.
+    pub div_cycles: u64,
+    /// Cycles of a load or store.
+    pub mem_cycles: u64,
+    /// Per-iteration loop overhead (branch, bookkeeping).
+    pub loop_overhead: u64,
+    /// Bytes per emitted instruction (RISC-style fixed width).
+    pub bytes_per_instr: u64,
+    /// Fixed executable size (runtime, libraries) in bytes.
+    pub base_bytes: u64,
+}
+
+impl Default for SwCostModel {
+    fn default() -> Self {
+        Self {
+            alu_cycles: 1,
+            mul_cycles: 3,
+            div_cycles: 20,
+            mem_cycles: 2,
+            loop_overhead: 2,
+            bytes_per_instr: 4,
+            base_bytes: 888 * 1024,
+        }
+    }
+}
+
+/// Estimated software implementation of a loop body.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwImplementation {
+    /// Cycles per loop iteration.
+    pub cycles_per_iteration: u64,
+    /// Instructions per loop iteration.
+    pub instructions_per_iteration: u64,
+    /// Estimated executable size in bytes (body + fixed runtime).
+    pub code_bytes: u64,
+    /// The SCK style the estimate was produced for.
+    pub style_tag: &'static str,
+}
+
+impl SwCostModel {
+    /// Estimates one loop iteration of `dfg` (already SCK-expanded or
+    /// plain).
+    #[must_use]
+    pub fn estimate(&self, dfg: &Dfg, style: SckStyle) -> SwImplementation {
+        let mut cycles = self.loop_overhead;
+        let mut instrs = 0u64;
+        for (_, node) in dfg.iter() {
+            let c = match &node.kind {
+                OpKind::Add | OpKind::Sub | OpKind::Neg | OpKind::CmpNe | OpKind::OrBit => {
+                    self.alu_cycles
+                }
+                OpKind::Mul => self.mul_cycles,
+                OpKind::Div | OpKind::Rem => self.div_cycles,
+                OpKind::Load { .. } | OpKind::Store { .. } => self.mem_cycles,
+                OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_) => continue,
+            };
+            cycles += c;
+            instrs += 1;
+        }
+        SwImplementation {
+            cycles_per_iteration: cycles,
+            instructions_per_iteration: instrs,
+            code_bytes: self.base_bytes + instrs * self.bytes_per_instr,
+            style_tag: match style {
+                SckStyle::Plain => "plain",
+                SckStyle::Full => "sck",
+                SckStyle::Embedded => "embedded",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::Technique;
+    use scdp_hls::{expand_sck, OpKind};
+
+    fn body() -> Dfg {
+        let mut d = Dfg::new("body");
+        let i = d.input("i");
+        let acc = d.input("acc");
+        let one = d.constant(1);
+        let i2 = d.op(OpKind::Add, &[i, one]);
+        d.output("_i", i2);
+        let c = d.op(OpKind::Load { bank: 0 }, &[i]);
+        let x = d.op(OpKind::Load { bank: 1 }, &[i]);
+        let t = d.op(OpKind::Mul, &[c, x]);
+        let s = d.op(OpKind::Add, &[acc, t]);
+        d.output("acc", s);
+        d
+    }
+
+    #[test]
+    fn plain_estimate() {
+        let m = SwCostModel::default();
+        let e = m.estimate(&body(), SckStyle::Plain);
+        // 2 adds + 1 mul + 2 loads = 1+1+3+2+2 = 9 (+2 loop) cycles.
+        assert_eq!(e.cycles_per_iteration, 11);
+        assert_eq!(e.instructions_per_iteration, 5);
+    }
+
+    #[test]
+    fn sck_slowdown_is_moderate_and_size_delta_small() {
+        // The paper: exe time 6.83 -> 10.02 s (~1.47x), size 889 -> 893 KB.
+        let m = SwCostModel::default();
+        let plain = m.estimate(&body(), SckStyle::Plain);
+        let full = m.estimate(
+            &expand_sck(&body(), Technique::Tech1, SckStyle::Full),
+            SckStyle::Full,
+        );
+        let emb = m.estimate(
+            &expand_sck(&body(), Technique::Tech1, SckStyle::Embedded),
+            SckStyle::Embedded,
+        );
+        let slow_full = full.cycles_per_iteration as f64 / plain.cycles_per_iteration as f64;
+        let slow_emb = emb.cycles_per_iteration as f64 / plain.cycles_per_iteration as f64;
+        assert!(slow_full > slow_emb && slow_emb > 1.0);
+        assert!(slow_full < 3.5, "slowdown {slow_full}");
+        // Code size: within ~1% as in the paper.
+        let delta = full.code_bytes - plain.code_bytes;
+        assert!(delta * 100 < plain.code_bytes, "delta {delta}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Thread-local execution context for self-checking operations.
+//!
+//! The paper's SCK mechanism is *transparent*: application code performs
+//! plain arithmetic, and the data type hides the checking operations.
+//! To keep Rust call sites equally plain (`a + b`, no extra parameter),
+//! the operators of [`Sck`](crate::Sck) execute on an ambient
+//! [`DataPath`] managed here.
+//!
+//! By default every thread uses the fault-free [`NativeDataPath`].
+//! Fault-injection campaigns or counting instrumentation [`install`] a
+//! different data path for a scope:
+//!
+//! ```
+//! use scdp_core::{context, sck, CountingDataPath, NativeDataPath};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let dp = Rc::new(RefCell::new(CountingDataPath::new(NativeDataPath::new())));
+//! {
+//!     let _guard = context::install(dp.clone());
+//!     let z = sck(2i32) + sck(3i32);
+//!     assert_eq!(z.value(), 5);
+//! }
+//! // One nominal add + one checking subtraction flowed through.
+//! assert_eq!(dp.borrow().counts().adds, 1);
+//! assert_eq!(dp.borrow().counts().subs, 1);
+//! ```
+
+use crate::{DataPath, NativeDataPath};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+thread_local! {
+    static STACK: RefCell<Vec<Rc<RefCell<dyn DataPath>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`install`]; restores the previous data path when
+/// dropped. Guards must be dropped in LIFO order (enforced by assertion).
+#[derive(Debug)]
+pub struct DataPathGuard {
+    expected: *const RefCell<dyn DataPath>,
+    // Context is thread-local; the guard must not cross threads.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Installs `dp` as the current thread's data path until the returned
+/// guard is dropped.
+///
+/// Nested installs shadow outer ones. The caller keeps its own `Rc`
+/// handle, so instrumented data paths (counters, fault state) can be
+/// inspected afterwards.
+#[must_use]
+pub fn install(dp: Rc<RefCell<dyn DataPath>>) -> DataPathGuard {
+    let expected = Rc::as_ptr(&dp);
+    STACK.with(|s| s.borrow_mut().push(dp));
+    DataPathGuard {
+        expected,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for DataPathGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let popped = s.borrow_mut().pop();
+            debug_assert!(
+                popped.map(|p| std::ptr::addr_eq(Rc::as_ptr(&p), self.expected)) == Some(true),
+                "DataPathGuard dropped out of LIFO order"
+            );
+        });
+    }
+}
+
+/// Runs `f` with the current thread's data path (the innermost installed
+/// one, or a fresh [`NativeDataPath`] if none is installed).
+///
+/// # Panics
+///
+/// Panics if called re-entrantly from within another `with` on the same
+/// thread while a data path is installed (the context is mutably
+/// borrowed for the duration of `f`).
+pub fn with<R>(f: impl FnOnce(&mut dyn DataPath) -> R) -> R {
+    let top = STACK.with(|s| s.borrow().last().cloned());
+    match top {
+        Some(dp) => {
+            let mut dp = dp.borrow_mut();
+            f(&mut *dp)
+        }
+        None => f(&mut NativeDataPath::new()),
+    }
+}
+
+/// `true` if a non-default data path is installed on this thread.
+#[must_use]
+pub fn is_installed() -> bool {
+    STACK.with(|s| !s.borrow().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingDataPath, Slot};
+    use scdp_arith::Word;
+
+    #[test]
+    fn default_is_native() {
+        assert!(!is_installed());
+        let out = with(|dp| dp.add(Slot::Nominal, Word::from_i64(8, 2), Word::from_i64(8, 3)));
+        assert_eq!(out.to_i64(), 5);
+    }
+
+    #[test]
+    fn install_shadows_and_restores() {
+        let dp = Rc::new(RefCell::new(CountingDataPath::new(NativeDataPath::new())));
+        {
+            let _g = install(dp.clone());
+            assert!(is_installed());
+            let _ = with(|d| d.add(Slot::Nominal, Word::from_i64(8, 1), Word::from_i64(8, 1)));
+        }
+        assert!(!is_installed());
+        assert_eq!(dp.borrow().counts().adds, 1);
+    }
+
+    #[test]
+    fn nested_installs_shadow() {
+        let outer = Rc::new(RefCell::new(CountingDataPath::new(NativeDataPath::new())));
+        let inner = Rc::new(RefCell::new(CountingDataPath::new(NativeDataPath::new())));
+        let _g1 = install(outer.clone());
+        {
+            let _g2 = install(inner.clone());
+            let _ = with(|d| d.add(Slot::Nominal, Word::from_i64(8, 1), Word::from_i64(8, 1)));
+        }
+        let _ = with(|d| d.sub(Slot::Nominal, Word::from_i64(8, 1), Word::from_i64(8, 1)));
+        assert_eq!(inner.borrow().counts().adds, 1);
+        assert_eq!(inner.borrow().counts().subs, 0);
+        assert_eq!(outer.borrow().counts().subs, 1);
+        assert_eq!(outer.borrow().counts().adds, 0);
+    }
+}

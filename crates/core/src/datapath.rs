@@ -1,0 +1,434 @@
+//! Execution-unit models: where checked operations actually run.
+
+use scdp_arith::{ArrayMultiplier, RcaFault, RestoringDivider, RippleCarryAdder, Word};
+use scdp_fault::{FaGateFault, UnitFault};
+use std::fmt;
+
+/// Which role an operation plays inside a checked operator.
+///
+/// The distinction drives the paper's worst-case analysis: with limited
+/// resources (a monoprocessor, or a resource-shared datapath) the
+/// *checking* operation executes on the **same** functional unit as the
+/// nominal one and a fault may mask itself; with dedicated resources the
+/// checker unit is fault-free and coverage is total (§2.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The nominal (user-visible) operation.
+    Nominal,
+    /// A hidden checking operation.
+    Checker,
+}
+
+/// Resource-allocation policy for checking operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Allocation {
+    /// Nominal and checking operations share one functional unit per
+    /// class (the paper's worst case: monoprocessor software or
+    /// resource-limited hardware).
+    SingleUnit,
+    /// Checking operations run on dedicated, independent units
+    /// (fault-free under the single-functional-unit failure model —
+    /// yields 100% coverage).
+    Dedicated,
+}
+
+/// The functional units a self-checking data path executes on.
+///
+/// `scdp-core` routes every overloaded operator of [`Sck`](crate::Sck)
+/// through the ambient `DataPath` (see [`context`](crate::context)).
+/// Implementations decide operand widths dynamically from the [`Word`]s
+/// they receive.
+///
+/// Negation is *not* part of the trait: the paper's *g*-function (operand
+/// complementing) is considered fault-free conditioning logic, performed
+/// with [`Word::wrapping_neg`].
+pub trait DataPath {
+    /// Adds `a + b` (wrapping).
+    fn add(&mut self, slot: Slot, a: Word, b: Word) -> Word;
+    /// Subtracts `a - b` (wrapping).
+    fn sub(&mut self, slot: Slot, a: Word, b: Word) -> Word;
+    /// Multiplies `a × b` (wrapping, low bits).
+    fn mul(&mut self, slot: Slot, a: Word, b: Word) -> Word;
+    /// Divides `a / b` returning `(quotient, remainder)`, or `None` for a
+    /// zero divisor.
+    fn div_rem(&mut self, slot: Slot, a: Word, b: Word) -> Option<(Word, Word)>;
+}
+
+/// The fault-free reference data path (host arithmetic).
+///
+/// This is the default execution context: all checks trivially pass, and
+/// the self-checking types behave exactly like plain integers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NativeDataPath;
+
+impl NativeDataPath {
+    /// Creates a native (golden) data path.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl DataPath for NativeDataPath {
+    fn add(&mut self, _slot: Slot, a: Word, b: Word) -> Word {
+        a.wrapping_add(b)
+    }
+
+    fn sub(&mut self, _slot: Slot, a: Word, b: Word) -> Word {
+        a.wrapping_sub(b)
+    }
+
+    fn mul(&mut self, _slot: Slot, a: Word, b: Word) -> Word {
+        a.wrapping_mul(b)
+    }
+
+    fn div_rem(&mut self, _slot: Slot, a: Word, b: Word) -> Option<(Word, Word)> {
+        if b.bits() == 0 {
+            None
+        } else {
+            Some(a.wrapping_div_rem(b))
+        }
+    }
+}
+
+/// The faulty functional unit of a [`FaultyDataPath`].
+///
+/// Exactly one unit class carries the fault — the single
+/// functional-unit failure model. For the divider's checking operations
+/// (which execute on the multiplier), sweeping `Multiplier` faults while
+/// running division models the combined multiply-divide unit of a
+/// monoprocessor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Fault in the adder/subtractor (they share cells through the
+    /// *g*-function, as in the paper).
+    Adder(RcaFault),
+    /// Fault in the array multiplier.
+    Multiplier(UnitFault),
+    /// Fault in the restoring divider.
+    Divider(UnitFault),
+}
+
+impl FaultSite {
+    /// Convenience constructor: gate-level stuck-at in full adder
+    /// `position` of the adder.
+    #[must_use]
+    pub fn adder_gate(position: usize, fault: FaGateFault) -> Self {
+        FaultSite::Adder(RcaFault::Gate { position, fault })
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Adder(rf) => write!(f, "adder:{rf:?}"),
+            FaultSite::Multiplier(uf) => write!(f, "mult:{uf}"),
+            FaultSite::Divider(uf) => write!(f, "div:{uf}"),
+        }
+    }
+}
+
+/// A data path with one faulty functional unit, backed by the
+/// cell-accurate units of `scdp-arith`.
+///
+/// Operations at widths other than the configured one run fault-free
+/// (the faulty unit has a definite width). Whether a checking operation
+/// sees the fault depends on the [`Allocation`] policy.
+#[derive(Copy, Clone, Debug)]
+pub struct FaultyDataPath {
+    width: u32,
+    site: FaultSite,
+    allocation: Allocation,
+    adder: RippleCarryAdder,
+    mult: ArrayMultiplier,
+    div: RestoringDivider,
+}
+
+impl FaultyDataPath {
+    /// Creates a faulty data path for `width`-bit units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=63`.
+    #[must_use]
+    pub fn new(width: u32, site: FaultSite, allocation: Allocation) -> Self {
+        Self {
+            width,
+            site,
+            allocation,
+            adder: RippleCarryAdder::new(width),
+            mult: ArrayMultiplier::new(width),
+            div: RestoringDivider::new(width),
+        }
+    }
+
+    /// The faulty unit.
+    #[must_use]
+    pub fn site(&self) -> FaultSite {
+        self.site
+    }
+
+    /// The allocation policy.
+    #[must_use]
+    pub fn allocation(&self) -> Allocation {
+        self.allocation
+    }
+
+    #[inline]
+    fn active(&self, slot: Slot, width: u32) -> bool {
+        width == self.width
+            && (slot == Slot::Nominal || self.allocation == Allocation::SingleUnit)
+    }
+}
+
+impl DataPath for FaultyDataPath {
+    fn add(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        let fault = match self.site {
+            FaultSite::Adder(rf) if self.active(slot, a.width()) => Some(rf),
+            _ => None,
+        };
+        if a.width() == self.width {
+            self.adder.add(a, b, fault)
+        } else {
+            a.wrapping_add(b)
+        }
+    }
+
+    fn sub(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        let fault = match self.site {
+            FaultSite::Adder(rf) if self.active(slot, a.width()) => Some(rf),
+            _ => None,
+        };
+        if a.width() == self.width {
+            self.adder.sub(a, b, fault)
+        } else {
+            a.wrapping_sub(b)
+        }
+    }
+
+    fn mul(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        let fault = match self.site {
+            FaultSite::Multiplier(uf) if self.active(slot, a.width()) => Some(uf),
+            _ => None,
+        };
+        if a.width() == self.width {
+            self.mult.mul(a, b, fault)
+        } else {
+            a.wrapping_mul(b)
+        }
+    }
+
+    fn div_rem(&mut self, slot: Slot, a: Word, b: Word) -> Option<(Word, Word)> {
+        if b.bits() == 0 {
+            return None;
+        }
+        let fault = match self.site {
+            FaultSite::Divider(uf) if self.active(slot, a.width()) => Some(uf),
+            _ => None,
+        };
+        if a.width() == self.width {
+            self.div
+                .div_rem(a, b, fault)
+                .map(|o| (o.quotient, o.remainder))
+        } else {
+            Some(a.wrapping_div_rem(b))
+        }
+    }
+}
+
+/// Per-class operation counters gathered by [`CountingDataPath`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Additions executed (nominal + checker).
+    pub adds: u64,
+    /// Subtractions executed.
+    pub subs: u64,
+    /// Multiplications executed.
+    pub muls: u64,
+    /// Divisions executed.
+    pub divs: u64,
+    /// Operations executed in [`Slot::Checker`] role.
+    pub checker_ops: u64,
+}
+
+impl OpCounts {
+    /// Total operator-level operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.adds + self.subs + self.muls + self.divs
+    }
+}
+
+/// A decorator that counts operations flowing through an inner data path.
+///
+/// Used by the software cost model of `scdp-codesign` to measure the
+/// instruction-level overhead of the self-checking techniques (the
+/// paper's Table 3, software rows).
+///
+/// # Example
+///
+/// ```
+/// use scdp_core::{CountingDataPath, DataPath, NativeDataPath, Slot};
+/// use scdp_arith::Word;
+///
+/// let mut dp = CountingDataPath::new(NativeDataPath::new());
+/// let _ = dp.add(Slot::Nominal, Word::from_i64(8, 1), Word::from_i64(8, 2));
+/// let _ = dp.sub(Slot::Checker, Word::from_i64(8, 3), Word::from_i64(8, 1));
+/// assert_eq!(dp.counts().total(), 2);
+/// assert_eq!(dp.counts().checker_ops, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CountingDataPath<D> {
+    inner: D,
+    counts: OpCounts,
+}
+
+impl<D: DataPath> CountingDataPath<D> {
+    /// Wraps `inner`, starting all counters at zero.
+    #[must_use]
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counts = OpCounts::default();
+    }
+
+    /// Consumes the decorator, returning the inner data path.
+    #[must_use]
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    #[inline]
+    fn tick(&mut self, slot: Slot) {
+        if slot == Slot::Checker {
+            self.counts.checker_ops += 1;
+        }
+    }
+}
+
+impl<D: DataPath> DataPath for CountingDataPath<D> {
+    fn add(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        self.counts.adds += 1;
+        self.tick(slot);
+        self.inner.add(slot, a, b)
+    }
+
+    fn sub(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        self.counts.subs += 1;
+        self.tick(slot);
+        self.inner.sub(slot, a, b)
+    }
+
+    fn mul(&mut self, slot: Slot, a: Word, b: Word) -> Word {
+        self.counts.muls += 1;
+        self.tick(slot);
+        self.inner.mul(slot, a, b)
+    }
+
+    fn div_rem(&mut self, slot: Slot, a: Word, b: Word) -> Option<(Word, Word)> {
+        self.counts.divs += 1;
+        self.tick(slot);
+        self.inner.div_rem(slot, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_fault::FaSite;
+
+    #[test]
+    fn native_matches_word_golden() {
+        let mut dp = NativeDataPath::new();
+        let a = Word::from_i64(8, -5);
+        let b = Word::from_i64(8, 3);
+        assert_eq!(dp.add(Slot::Nominal, a, b).to_i64(), -2);
+        assert_eq!(dp.sub(Slot::Nominal, a, b).to_i64(), -8);
+        assert_eq!(dp.mul(Slot::Nominal, a, b).to_i64(), -15);
+        let (q, r) = dp.div_rem(Slot::Nominal, a, b).unwrap();
+        assert_eq!((q.to_i64(), r.to_i64()), (-1, -2));
+        assert!(dp.div_rem(Slot::Nominal, a, Word::zero(8)).is_none());
+    }
+
+    #[test]
+    fn faulty_adder_corrupts_nominal_add() {
+        let site = FaultSite::adder_gate(0, FaGateFault::new(FaSite::Sum, false));
+        let mut dp = FaultyDataPath::new(8, site, Allocation::Dedicated);
+        let a = Word::from_i64(8, 1);
+        let b = Word::from_i64(8, 0);
+        // 1 + 0 = 1 but the bit-0 sum is stuck at 0.
+        assert_eq!(dp.add(Slot::Nominal, a, b).to_i64(), 0);
+        // The checker runs on a dedicated (fault-free) unit.
+        assert_eq!(dp.sub(Slot::Checker, a, b).to_i64(), 1);
+    }
+
+    #[test]
+    fn single_unit_allocation_faults_checker_too() {
+        let site = FaultSite::adder_gate(0, FaGateFault::new(FaSite::Sum, false));
+        let mut dp = FaultyDataPath::new(8, site, Allocation::SingleUnit);
+        let a = Word::from_i64(8, 1);
+        let b = Word::from_i64(8, 0);
+        assert_eq!(dp.sub(Slot::Checker, a, b).to_i64(), 0);
+    }
+
+    #[test]
+    fn other_widths_run_fault_free() {
+        let site = FaultSite::adder_gate(0, FaGateFault::new(FaSite::Sum, false));
+        let mut dp = FaultyDataPath::new(8, site, Allocation::SingleUnit);
+        let a = Word::from_i64(16, 1);
+        let b = Word::from_i64(16, 0);
+        assert_eq!(dp.add(Slot::Nominal, a, b).to_i64(), 1);
+    }
+
+    #[test]
+    fn fault_in_multiplier_leaves_adder_clean() {
+        let mult = ArrayMultiplier::new(8);
+        let uf = mult
+            .universe()
+            .iter()
+            .find(|f| !f.fault().is_latent())
+            .unwrap();
+        let mut dp = FaultyDataPath::new(8, FaultSite::Multiplier(uf), Allocation::SingleUnit);
+        let a = Word::from_i64(8, 7);
+        let b = Word::from_i64(8, 9);
+        assert_eq!(dp.add(Slot::Nominal, a, b).to_i64(), 16);
+        assert_eq!(dp.sub(Slot::Checker, a, b).to_i64(), -2);
+    }
+
+    #[test]
+    fn counting_decorator_counts() {
+        let mut dp = CountingDataPath::new(NativeDataPath::new());
+        let a = Word::from_i64(8, 6);
+        let b = Word::from_i64(8, 3);
+        let _ = dp.add(Slot::Nominal, a, b);
+        let _ = dp.mul(Slot::Checker, a, b);
+        let _ = dp.div_rem(Slot::Checker, a, b);
+        assert_eq!(
+            dp.counts(),
+            OpCounts {
+                adds: 1,
+                subs: 0,
+                muls: 1,
+                divs: 1,
+                checker_ops: 2
+            }
+        );
+        dp.reset();
+        assert_eq!(dp.counts().total(), 0);
+        let _ = dp.into_inner();
+    }
+
+    use scdp_arith::{ArrayMultiplier, FaultableUnit};
+}

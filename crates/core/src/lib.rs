@@ -1,0 +1,80 @@
+//! Self-checking data types with inverse-operation concurrent error
+//! detection.
+//!
+//! This crate is a Rust reproduction of the central contribution of
+//! C. Bolchini, F. Salice, D. Sciuto, L. Pomante, *Reliable System
+//! Specification for Self-Checking Data-Paths* (DATE 2005): the
+//! `SCK<TYPE>` class template whose overloaded operators transparently
+//! verify every arithmetic result through one or more *hidden inverse
+//! operations*, raising and propagating an error bit on mismatch.
+//!
+//! # The mechanism
+//!
+//! For `z = x + y`, the overloaded `+` also computes `w = z - x` and
+//! checks `w == y` (the paper's Tech1). The designer writes ordinary
+//! arithmetic; the data type performs concurrent error detection (CED)
+//! against the **single functional-unit failure** fault model.
+//!
+//! * [`Sck`] is the self-checking wrapper type: `Sck<i32>` behaves like
+//!   `i32` but carries a sticky error bit (and a separately-handled
+//!   overflow bit, per the paper's "overflows are separately dealt
+//!   with").
+//! * [`Technique`] catalogues the paper's Table 1 overloading techniques
+//!   per operator; a [`CheckPolicy`] selects one per operator at the type
+//!   level.
+//! * [`DataPath`] abstracts the execution units. The default is the
+//!   fault-free [`NativeDataPath`]; fault-injection campaigns install a
+//!   [`FaultyDataPath`] (backed by the `scdp-arith` cell-level units) via
+//!   [`context::install`], so the *same application code* can be run on
+//!   healthy or faulty hardware models — the transparency property the
+//!   paper claims.
+//!
+//! # Quick start
+//!
+//! ```
+//! use scdp_core::sck;
+//!
+//! let x = sck(21i32);
+//! let y = sck(2i32);
+//! let z = x * y + sck(0);
+//! assert_eq!(z.value(), 42);
+//! assert!(!z.error()); // no fault, no alarm
+//! ```
+//!
+//! Detecting an injected fault:
+//!
+//! ```
+//! use scdp_core::{context, sck, Allocation, FaultSite, FaultyDataPath};
+//! use scdp_fault::{FaGateFault, FaSite};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! // Break the sum output of bit 0 of the 32-bit adder.
+//! let fault = FaultSite::adder_gate(0, FaGateFault::new(FaSite::Sum, false));
+//! let dp = Rc::new(RefCell::new(FaultyDataPath::new(
+//!     32,
+//!     fault,
+//!     Allocation::Dedicated,
+//! )));
+//! let _guard = context::install(dp);
+//!
+//! let z = sck(1i32) + sck(2i32);
+//! assert!(z.error(), "the checking subtraction flags the corrupted sum");
+//! ```
+
+#![warn(missing_docs)]
+
+mod checked;
+pub mod context;
+mod datapath;
+mod sck;
+mod technique;
+
+pub use checked::{checked_add, checked_div_rem, checked_mul, checked_sub, Checked};
+pub use datapath::{
+    Allocation, CountingDataPath, DataPath, FaultSite, FaultyDataPath, NativeDataPath, OpCounts,
+    Slot,
+};
+pub use sck::{sck, BothPolicy, CheckPolicy, DefaultPolicy, Sck, SckError, SckValue,
+    Tech1Policy, Tech2Policy};
+pub use technique::{Operator, Technique};

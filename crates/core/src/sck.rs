@@ -1,0 +1,631 @@
+//! The self-checking data type `Sck<T, P>` (the paper's `SCK<TYPE>`).
+
+use crate::checked::{checked_add, checked_div_rem, checked_mul, checked_sub};
+use crate::{context, Technique};
+use scdp_arith::Word;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::iter::{Product, Sum};
+use std::marker::PhantomData;
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, RemAssign, Sub, SubAssign,
+};
+
+mod private {
+    pub trait Sealed {}
+}
+
+/// Integer value types usable inside [`Sck`].
+///
+/// This trait is sealed: the synthesizable value set is fixed to the
+/// primitive integers (the paper's restriction — "the limitation to
+/// integers depends on SystemC ability to synthesize only this type").
+pub trait SckValue: private::Sealed + Copy + PartialEq + fmt::Debug + 'static {
+    /// The operand width in bits.
+    const WIDTH: u32;
+    /// Converts the value into a fixed-width word.
+    fn to_word(self) -> Word;
+    /// Converts a word back into the value (two's-complement reinterpret).
+    fn from_word(w: Word) -> Self;
+}
+
+macro_rules! impl_sck_value {
+    ($($t:ty => $w:expr),* $(,)?) => {$(
+        impl private::Sealed for $t {}
+        impl SckValue for $t {
+            const WIDTH: u32 = $w;
+            #[inline]
+            fn to_word(self) -> Word {
+                Word::from_i64($w, self as i64)
+            }
+            #[inline]
+            fn from_word(w: Word) -> Self {
+                w.to_i64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sck_value! {
+    i8 => 8, i16 => 16, i32 => 32, i64 => 64,
+    u8 => 8, u16 => 16, u32 => 32, u64 => 64,
+}
+
+/// Per-operator technique selection for [`Sck`].
+///
+/// Implementations are zero-sized marker types; the paper's "extensible
+/// reliability library" where "the designer can select different
+/// self-checking approaches depending on the trade-off" maps to choosing
+/// (or defining) a policy type.
+pub trait CheckPolicy: 'static {
+    /// Technique for `+`.
+    const ADD: Technique;
+    /// Technique for `-` (also used for unary negation).
+    const SUB: Technique;
+    /// Technique for `*`.
+    const MUL: Technique;
+    /// Technique for `/` and `%`.
+    const DIV: Technique;
+}
+
+/// Table 1's first column for every operator (lowest cost).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tech1Policy;
+
+impl CheckPolicy for Tech1Policy {
+    const ADD: Technique = Technique::Tech1;
+    const SUB: Technique = Technique::Tech1;
+    const MUL: Technique = Technique::Tech1;
+    const DIV: Technique = Technique::Tech1;
+}
+
+/// Table 1's second column for every operator.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Tech2Policy;
+
+impl CheckPolicy for Tech2Policy {
+    const ADD: Technique = Technique::Tech2;
+    const SUB: Technique = Technique::Tech2;
+    const MUL: Technique = Technique::Tech2;
+    const DIV: Technique = Technique::Tech2;
+}
+
+/// Both checks per operator (highest coverage, highest cost). Division
+/// uses Tech1 only, matching Table 1's "-" entry for Div/Both.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BothPolicy;
+
+impl CheckPolicy for BothPolicy {
+    const ADD: Technique = Technique::Both;
+    const SUB: Technique = Technique::Both;
+    const MUL: Technique = Technique::Both;
+    const DIV: Technique = Technique::Tech1;
+}
+
+/// The default policy (Tech1, as in the paper's Figure 2 class).
+pub type DefaultPolicy = Tech1Policy;
+
+/// Wraps a value in a default-policy [`Sck`].
+///
+/// Convenience constructor that pins the policy parameter so type
+/// inference works at call sites: `sck(3) + sck(4)`.
+///
+/// # Example
+///
+/// ```
+/// use scdp_core::sck;
+///
+/// let z = sck(3i32) + sck(4i32);
+/// assert_eq!(z.value(), 7);
+/// ```
+#[must_use]
+pub fn sck<T: SckValue>(value: T) -> Sck<T, DefaultPolicy> {
+    Sck::new(value)
+}
+
+/// Error reported by [`Sck::into_result`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SckError {
+    /// A hidden checking operation disagreed with the nominal result —
+    /// a hardware fault was detected.
+    FaultDetected,
+    /// The computation overflowed its width (reported separately from
+    /// fault detection, as in the paper).
+    Overflow,
+}
+
+impl fmt::Display for SckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SckError::FaultDetected => f.write_str("hardware fault detected by inverse-operation check"),
+            SckError::Overflow => f.write_str("arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for SckError {}
+
+/// A self-checking integer: the paper's `SCK<TYPE>` class template.
+///
+/// `Sck<T, P>` wraps an integer `T` together with a sticky **error bit**
+/// (`E` in the paper's Figure 1) and a sticky **overflow bit**. Every
+/// arithmetic operator is overloaded to perform the hidden inverse
+/// operations selected by the [`CheckPolicy`] `P`, raising the error bit
+/// when a check fails and propagating the bits of both operands into the
+/// result ("operators are designed to propagate also the error bit
+/// value").
+///
+/// Comparison and hashing are by value only, so `Sck<T>` is a drop-in
+/// replacement in arithmetic code; inspect [`error`](Sck::error) (the
+/// paper's `GetError`) or convert with [`into_result`](Sck::into_result)
+/// at the system boundary.
+///
+/// # Example
+///
+/// ```
+/// use scdp_core::{Sck, BothPolicy};
+///
+/// // The paper's FIR inner step: acc += c * x, self-checking.
+/// let c = Sck::<i32, BothPolicy>::new(7);
+/// let x = Sck::<i32, BothPolicy>::new(-3);
+/// let mut acc = Sck::<i32, BothPolicy>::new(100);
+/// acc += c * x;
+/// assert_eq!(acc.value(), 79);
+/// assert!(!acc.error());
+/// ```
+pub struct Sck<T, P = DefaultPolicy> {
+    value: T,
+    error: bool,
+    overflow: bool,
+    _policy: PhantomData<fn() -> P>,
+}
+
+impl<T: SckValue, P: CheckPolicy> Sck<T, P> {
+    /// Wraps a value with clear error/overflow bits.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Self {
+            value,
+            error: false,
+            overflow: false,
+            _policy: PhantomData,
+        }
+    }
+
+    /// The wrapped value (the paper's `GetID`).
+    #[must_use]
+    pub fn value(&self) -> T {
+        self.value
+    }
+
+    /// The error bit (the paper's `GetError`): `true` if any checking
+    /// operation along this value's data-flow history failed.
+    #[must_use]
+    pub fn error(&self) -> bool {
+        self.error
+    }
+
+    /// The overflow bit: `true` if any operation along this value's
+    /// history overflowed its width. Kept separate from the error bit, as
+    /// in the paper.
+    #[must_use]
+    pub fn overflow(&self) -> bool {
+        self.overflow
+    }
+
+    /// `true` if no fault was detected (overflow permitted).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        !self.error
+    }
+
+    /// Converts to a `Result`, reporting a detected fault first, then an
+    /// overflow.
+    ///
+    /// # Errors
+    ///
+    /// [`SckError::FaultDetected`] if the error bit is set;
+    /// [`SckError::Overflow`] if only the overflow bit is set.
+    pub fn into_result(self) -> Result<T, SckError> {
+        if self.error {
+            Err(SckError::FaultDetected)
+        } else if self.overflow {
+            Err(SckError::Overflow)
+        } else {
+            Ok(self.value)
+        }
+    }
+
+    /// Returns a copy with both sticky bits cleared (e.g. after an error
+    /// has been handled at a recovery point).
+    #[must_use]
+    pub fn cleared(self) -> Self {
+        Self::new(self.value)
+    }
+
+    /// Re-wraps with explicit flags; used by checked-operator plumbing.
+    #[inline]
+    fn with_flags(value: T, error: bool, overflow: bool) -> Self {
+        Self {
+            value,
+            error,
+            overflow,
+            _policy: PhantomData,
+        }
+    }
+}
+
+impl<T: SckValue, P> Copy for Sck<T, P> {}
+
+impl<T: SckValue, P> Clone for Sck<T, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: SckValue + Default, P: CheckPolicy> Default for Sck<T, P> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> From<T> for Sck<T, P> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<T: SckValue, P> fmt::Debug for Sck<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sck")
+            .field("value", &self.value)
+            .field("error", &self.error)
+            .field("overflow", &self.overflow)
+            .finish()
+    }
+}
+
+impl<T: SckValue + fmt::Display, P> fmt::Display for Sck<T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.value, f)
+    }
+}
+
+impl<T: SckValue, P> PartialEq for Sck<T, P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+
+impl<T: SckValue + Eq, P> Eq for Sck<T, P> {}
+
+impl<T: SckValue, P> PartialEq<T> for Sck<T, P> {
+    fn eq(&self, other: &T) -> bool {
+        self.value == *other
+    }
+}
+
+impl<T: SckValue + PartialOrd, P> PartialOrd for Sck<T, P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.value.partial_cmp(&other.value)
+    }
+}
+
+impl<T: SckValue + Ord, P> Ord for Sck<T, P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value.cmp(&other.value)
+    }
+}
+
+impl<T: SckValue + Hash, P> Hash for Sck<T, P> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.value.hash(state);
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident,
+     $checked:ident, $tech:ident) => {
+        impl<T: SckValue, P: CheckPolicy> $trait for Sck<T, P> {
+            type Output = Sck<T, P>;
+
+            fn $method(self, rhs: Sck<T, P>) -> Sck<T, P> {
+                let (a, b) = (self.value.to_word(), rhs.value.to_word());
+                // Fast path: with no installed data path the checks run
+                // inline on host arithmetic (the common, healthy case),
+                // keeping the overloading overhead close to the paper's
+                // compiled-C++ figures.
+                let c = if context::is_installed() {
+                    context::with(|dp| $checked(dp, P::$tech, a, b))
+                } else {
+                    $checked(&mut crate::NativeDataPath::new(), P::$tech, a, b)
+                };
+                Sck::with_flags(
+                    T::from_word(c.value),
+                    self.error | rhs.error | c.error,
+                    self.overflow | rhs.overflow | c.overflow,
+                )
+            }
+        }
+
+        impl<T: SckValue, P: CheckPolicy> $trait<T> for Sck<T, P> {
+            type Output = Sck<T, P>;
+
+            fn $method(self, rhs: T) -> Sck<T, P> {
+                self.$method(Sck::new(rhs))
+            }
+        }
+
+        impl<T: SckValue, P: CheckPolicy> $assign_trait for Sck<T, P> {
+            fn $assign_method(&mut self, rhs: Sck<T, P>) {
+                *self = (*self).$method(rhs);
+            }
+        }
+
+        impl<T: SckValue, P: CheckPolicy> $assign_trait<T> for Sck<T, P> {
+            fn $assign_method(&mut self, rhs: T) {
+                *self = (*self).$method(rhs);
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, checked_add, ADD);
+impl_binop!(Sub, sub, SubAssign, sub_assign, checked_sub, SUB);
+impl_binop!(Mul, mul, MulAssign, mul_assign, checked_mul, MUL);
+
+impl<T: SckValue, P: CheckPolicy> Div for Sck<T, P> {
+    type Output = Sck<T, P>;
+
+    /// Checked division. A zero divisor sets the error bit and yields 0.
+    fn div(self, rhs: Sck<T, P>) -> Sck<T, P> {
+        let (a, b) = (self.value.to_word(), rhs.value.to_word());
+        let (c, _r) = if context::is_installed() {
+            context::with(|dp| checked_div_rem(dp, P::DIV, a, b))
+        } else {
+            checked_div_rem(&mut crate::NativeDataPath::new(), P::DIV, a, b)
+        };
+        Sck::with_flags(
+            T::from_word(c.value),
+            self.error | rhs.error | c.error,
+            self.overflow | rhs.overflow | c.overflow,
+        )
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Div<T> for Sck<T, P> {
+    type Output = Sck<T, P>;
+
+    fn div(self, rhs: T) -> Sck<T, P> {
+        self / Sck::new(rhs)
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> DivAssign for Sck<T, P> {
+    fn div_assign(&mut self, rhs: Sck<T, P>) {
+        *self = *self / rhs;
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> DivAssign<T> for Sck<T, P> {
+    fn div_assign(&mut self, rhs: T) {
+        *self = *self / rhs;
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Rem for Sck<T, P> {
+    type Output = Sck<T, P>;
+
+    /// Checked remainder (from the same checked division unit).
+    fn rem(self, rhs: Sck<T, P>) -> Sck<T, P> {
+        let (a, b) = (self.value.to_word(), rhs.value.to_word());
+        let (c, r) = if context::is_installed() {
+            context::with(|dp| checked_div_rem(dp, P::DIV, a, b))
+        } else {
+            checked_div_rem(&mut crate::NativeDataPath::new(), P::DIV, a, b)
+        };
+        Sck::with_flags(
+            T::from_word(r),
+            self.error | rhs.error | c.error,
+            self.overflow | rhs.overflow | c.overflow,
+        )
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Rem<T> for Sck<T, P> {
+    type Output = Sck<T, P>;
+
+    fn rem(self, rhs: T) -> Sck<T, P> {
+        self % Sck::new(rhs)
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> RemAssign for Sck<T, P> {
+    fn rem_assign(&mut self, rhs: Sck<T, P>) {
+        *self = *self % rhs;
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> RemAssign<T> for Sck<T, P> {
+    fn rem_assign(&mut self, rhs: T) {
+        *self = *self % rhs;
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Neg for Sck<T, P> {
+    type Output = Sck<T, P>;
+
+    /// Checked negation, realised as `0 - self` with the SUB technique.
+    fn neg(self) -> Sck<T, P> {
+        Sck::with_flags(T::from_word(Word::zero(T::WIDTH)), self.error, self.overflow) - self
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Sum for Sck<T, P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Sck::with_flags(T::from_word(Word::zero(T::WIDTH)), false, false), Add::add)
+    }
+}
+
+impl<T: SckValue, P: CheckPolicy> Product for Sck<T, P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let one = T::from_word(Word::from_i64(T::WIDTH, 1));
+        iter.fold(Sck::new(one), Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{context, Allocation, CountingDataPath, FaultSite, FaultyDataPath, NativeDataPath};
+    use scdp_fault::{FaGateFault, FaSite};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn behaves_like_plain_integers_fault_free() {
+        let a = sck(17i32);
+        let b = sck(5i32);
+        assert_eq!((a + b).value(), 22);
+        assert_eq!((a - b).value(), 12);
+        assert_eq!((a * b).value(), 85);
+        assert_eq!((a / b).value(), 3);
+        assert_eq!((a % b).value(), 2);
+        assert_eq!((-a).value(), -17);
+        assert!(!(a + b).error());
+        assert!(!(a * b).overflow());
+    }
+
+    #[test]
+    fn mixed_operand_forms() {
+        let a = sck(10i16);
+        assert_eq!((a + 5).value(), 15);
+        assert_eq!((a * 3).value(), 30);
+        let mut acc = sck(0i16);
+        acc += 7;
+        acc -= 2;
+        acc *= 4;
+        acc /= 5;
+        acc %= 3;
+        assert_eq!(acc.value(), (((7 - 2) * 4) / 5) % 3);
+    }
+
+    #[test]
+    fn overflow_is_sticky_and_separate() {
+        let a = sck(i8::MAX);
+        let b = a + sck(1i8);
+        assert!(b.overflow());
+        assert!(!b.error(), "overflow must not raise the error bit");
+        assert_eq!(b.value(), i8::MIN); // wrapping
+        let c = b - sck(1i8);
+        assert!(c.overflow(), "overflow bit propagates");
+        assert_eq!(c.into_result(), Err(SckError::Overflow));
+    }
+
+    #[test]
+    fn error_bit_propagates_through_chains() {
+        let site = FaultSite::adder_gate(0, FaGateFault::new(FaSite::Sum, false));
+        let dp = Rc::new(RefCell::new(FaultyDataPath::new(
+            32,
+            site,
+            Allocation::Dedicated,
+        )));
+        let poisoned = {
+            let _g = context::install(dp);
+            sck(1i32) + sck(0i32) // 1+0: bit0 sum stuck at 0
+        };
+        assert!(poisoned.error());
+        assert_eq!(poisoned.value(), 0, "bit-0 sum stuck at 0 corrupts 1+0");
+        // Back on the native path, the error bit still propagates.
+        let downstream = poisoned * sck(10i32) + sck(3i32);
+        assert!(downstream.error());
+        assert_eq!(downstream.into_result(), Err(SckError::FaultDetected));
+        // Clearing drops the sticky bits but of course cannot restore the
+        // corrupted value.
+        assert_eq!(downstream.cleared().into_result(), Ok(3));
+    }
+
+    #[test]
+    fn division_by_zero_sets_error() {
+        let q = sck(5i32) / sck(0i32);
+        assert!(q.error());
+        assert_eq!(q.value(), 0);
+    }
+
+    #[test]
+    fn comparisons_are_by_value() {
+        let a = sck(4i32);
+        let b = sck(4i32);
+        let c = sck(9i32);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+        assert_eq!(a, 4i32);
+        assert_eq!(a.max(c).value(), 9);
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs = [1i32, 2, 3, 4].map(Sck::<i32>::new);
+        let s: Sck<i32> = xs.into_iter().sum();
+        assert_eq!(s.value(), 10);
+        let p: Sck<i32> = xs.into_iter().product();
+        assert_eq!(p.value(), 24);
+    }
+
+    #[test]
+    fn policies_change_hidden_op_counts() {
+        let dp = Rc::new(RefCell::new(CountingDataPath::new(NativeDataPath::new())));
+        {
+            let _g = context::install(dp.clone());
+            let _ = Sck::<i32, Tech1Policy>::new(3) + Sck::new(4);
+        }
+        let tech1 = dp.borrow().counts();
+        dp.borrow_mut().reset();
+        {
+            let _g = context::install(dp.clone());
+            let _ = Sck::<i32, BothPolicy>::new(3) + Sck::new(4);
+        }
+        let both = dp.borrow().counts();
+        assert_eq!(tech1.subs, 1, "Tech1 add: one checking subtraction");
+        assert_eq!(both.subs, 2, "Both add: two checking subtractions");
+        assert_eq!(tech1.adds, 1);
+        assert_eq!(both.adds, 1);
+    }
+
+    #[test]
+    fn unsigned_values_round_trip() {
+        let a = sck(250u8);
+        let b = a + sck(10u8); // wraps
+        assert_eq!(b.value(), 4u8);
+        assert!(!b.error());
+        let c = sck(200u16) * sck(4u16);
+        assert_eq!(c.value(), 800);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = sck(-3i32);
+        assert_eq!(a.to_string(), "-3");
+        let dbg = format!("{a:?}");
+        assert!(dbg.contains("value: -3"), "{dbg}");
+        assert!(dbg.contains("error: false"), "{dbg}");
+    }
+
+    #[test]
+    fn default_and_from() {
+        let d: Sck<i32> = Sck::default();
+        assert_eq!(d.value(), 0);
+        let f: Sck<i64> = 42i64.into();
+        assert_eq!(f.value(), 42);
+    }
+
+    #[test]
+    fn neg_of_min_overflows() {
+        let a = sck(i8::MIN);
+        let n = -a;
+        assert_eq!(n.value(), i8::MIN); // wraps
+        assert!(n.overflow());
+    }
+}

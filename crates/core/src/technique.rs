@@ -1,0 +1,180 @@
+//! The paper's Table 1: overloading techniques per operator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A checkable arithmetic operator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Operator {
+    /// Addition (`+`).
+    Add,
+    /// Subtraction (`-`).
+    Sub,
+    /// Multiplication (`*`).
+    Mul,
+    /// Division (`/`, with `%` for the remainder used by the check).
+    Div,
+}
+
+impl Operator {
+    /// All four operators, in Table 1 order.
+    pub const ALL: [Operator; 4] = [Operator::Add, Operator::Sub, Operator::Mul, Operator::Div];
+
+    /// The operator's symbol.
+    #[must_use]
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            Operator::Add => "+",
+            Operator::Sub => "-",
+            Operator::Mul => "*",
+            Operator::Div => "/",
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An overloading technique from the paper's Table 1.
+///
+/// Each operator has two inverse-operation checking strategies and their
+/// combination:
+///
+/// | Operator | Tech1 | Tech2 |
+/// |----------|-------|-------|
+/// | `+` (`ris = op1 + op2`) | `op2' = ris − op1`, check `op2 == op2'` | `op1' = ris − op2`, check `op1 == op1'` |
+/// | `−` (`ris = op1 − op2`) | `op1' = ris + op2`, check `op1 == op1'` | `ris' = op2 − op1`, check `0 == ris + ris'` |
+/// | `×` (`ris = op1 × op2`) | `ris' = (−op1) × op2`, check `0 == ris + ris'` | `ris' = op1 × (−op2)`, check `0 == ris + ris'` |
+/// | `/` (`ris = op1 / op2`) | `op1' = ris × op2 + (op1 % op2)`, check `op1 == op1'` | `op1' = −ris × op2 − (op1 % op2)`, check `−op1 == op1'` |
+///
+/// [`Technique::Both`] applies the two checks together (higher fault
+/// coverage, higher cost). The paper does not evaluate `Both` for `/`;
+/// this implementation supports it as an extension.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// The first overloading strategy of Table 1.
+    Tech1,
+    /// The second (dual) overloading strategy of Table 1.
+    Tech2,
+    /// Both strategies combined.
+    Both,
+}
+
+impl Technique {
+    /// All three techniques, in Table 1 column order.
+    pub const ALL: [Technique; 3] = [Technique::Tech1, Technique::Tech2, Technique::Both];
+
+    /// `true` if the Tech1 check is active.
+    #[must_use]
+    pub const fn uses_tech1(self) -> bool {
+        matches!(self, Technique::Tech1 | Technique::Both)
+    }
+
+    /// `true` if the Tech2 check is active.
+    #[must_use]
+    pub const fn uses_tech2(self) -> bool {
+        matches!(self, Technique::Tech2 | Technique::Both)
+    }
+
+    /// Human-readable description of the hidden operations performed for
+    /// `op`, as printed in Table 1.
+    #[must_use]
+    pub const fn describe(self, op: Operator) -> &'static str {
+        match (op, self) {
+            (Operator::Add, Technique::Tech1) => "op2' = ris - op1; op2 == op2'",
+            (Operator::Add, Technique::Tech2) => "op1' = ris - op2; op1 == op1'",
+            (Operator::Add, Technique::Both) => "both inverse subtractions",
+            (Operator::Sub, Technique::Tech1) => "op1' = ris + op2; op1 == op1'",
+            (Operator::Sub, Technique::Tech2) => "ris' = op2 - op1; 0 == ris + ris'",
+            (Operator::Sub, Technique::Both) => "inverse addition and dual subtraction",
+            (Operator::Mul, Technique::Tech1) => "ris' = (-op1) x op2; 0 == ris + ris'",
+            (Operator::Mul, Technique::Tech2) => "ris' = op1 x (-op2); 0 == ris + ris'",
+            (Operator::Mul, Technique::Both) => "both negated multiplications",
+            (Operator::Div, Technique::Tech1) => "op1' = ris x op2 + (op1 % op2); op1 == op1'",
+            (Operator::Div, Technique::Tech2) => "op1' = -ris x op2 - (op1 % op2); -op1 == op1'",
+            (Operator::Div, Technique::Both) => "both recompositions (extension)",
+        }
+    }
+
+    /// Number of *hidden* operator-level operations the technique adds to
+    /// one nominal operation (comparisons excluded — they are checker
+    /// hardware, not functional units). Used by cost models.
+    #[must_use]
+    pub const fn hidden_ops(self, op: Operator) -> u32 {
+        let single = match op {
+            Operator::Add => 1,          // one subtraction
+            Operator::Sub => 1,          // one addition (Tech1) / one sub (Tech2 core)
+            Operator::Mul => 2,          // one negated multiply + one zero-check add
+            Operator::Div => 3,          // remainder op + multiply + recomposition add
+        };
+        match self {
+            Technique::Tech1 => single,
+            Technique::Tech2 => {
+                // Sub Tech2 needs the dual subtraction *and* the zero-check
+                // addition.
+                match op {
+                    Operator::Sub => 2,
+                    _ => single,
+                }
+            }
+            Technique::Both => {
+                match op {
+                    Operator::Sub => single + 2,
+                    _ => single * 2,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::Tech1 => "Tech1",
+            Technique::Tech2 => "Tech2",
+            Technique::Both => "Tech 1&2",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags() {
+        assert!(Technique::Tech1.uses_tech1());
+        assert!(!Technique::Tech1.uses_tech2());
+        assert!(Technique::Both.uses_tech1());
+        assert!(Technique::Both.uses_tech2());
+    }
+
+    #[test]
+    fn descriptions_cover_table1() {
+        for op in Operator::ALL {
+            for t in Technique::ALL {
+                assert!(!t.describe(op).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_op_counts() {
+        assert_eq!(Technique::Tech1.hidden_ops(Operator::Add), 1);
+        assert_eq!(Technique::Both.hidden_ops(Operator::Add), 2);
+        assert_eq!(Technique::Tech2.hidden_ops(Operator::Sub), 2);
+        assert_eq!(Technique::Both.hidden_ops(Operator::Sub), 3);
+        assert_eq!(Technique::Tech1.hidden_ops(Operator::Mul), 2);
+        assert_eq!(Technique::Both.hidden_ops(Operator::Mul), 4);
+    }
+
+    #[test]
+    fn operator_symbols() {
+        assert_eq!(Operator::Add.to_string(), "+");
+        assert_eq!(Operator::Div.symbol(), "/");
+    }
+}

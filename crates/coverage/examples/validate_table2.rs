@@ -1,0 +1,41 @@
+//! Scratch validation: compare both fault models against the paper's
+//! Table 2 for n = 1, 2, 3 (exhaustive).
+use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
+
+fn main() {
+    let paper = [
+        (1u32, [95.31, 96.88, 97.66]),
+        (2, [96.88, 98.44, 98.83]),
+        (3, [97.40, 98.96, 99.22]),
+        (4, [97.66, 99.22, 99.41]),
+    ];
+    for model in [AdderFaultModel::Gate, AdderFaultModel::Cell] {
+        println!("=== model {model:?} ===");
+        for (w, expect) in paper {
+            let r = CampaignBuilder::new(OperatorKind::Add, w)
+                .adder_model(model)
+                .run();
+            println!(
+                "n={w} total={} tech1={:.2} tech2={:.2} both={:.2}  (paper {:.2} {:.2} {:.2})",
+                r.total_situations(),
+                r.coverage(TechIndex::Tech1) * 100.0,
+                r.coverage(TechIndex::Tech2) * 100.0,
+                r.coverage(TechIndex::Both) * 100.0,
+                expect[0], expect[1], expect[2],
+            );
+        }
+    }
+    // The in-text 2-bit stats: 216 observable, 352/384/428 detections.
+    let r2 = CampaignBuilder::new(OperatorKind::Add, 2).run();
+    let t = &r2.tally;
+    println!(
+        "2-bit: observable={} alarms(T1)={} alarms(T2)={} alarms(Both)={} detwhencorrect T1={} T2={} Both={}",
+        t.of(TechIndex::Tech1).observable(),
+        t.of(TechIndex::Tech1).alarms(),
+        t.of(TechIndex::Tech2).alarms(),
+        t.of(TechIndex::Both).alarms(),
+        t.of(TechIndex::Tech1).correct_detected,
+        t.of(TechIndex::Tech2).correct_detected,
+        t.of(TechIndex::Both).correct_detected,
+    );
+}

@@ -1,0 +1,48 @@
+//! Fault-coverage campaign engine for self-checking data-paths.
+//!
+//! Reproduces §4 of Bolchini et al. (DATE 2005): exhaustive (and, where
+//! the space is too large, Monte-Carlo) evaluation of the fault coverage
+//! achieved by the Table 1 overloading techniques when the *same* faulty
+//! functional unit executes both the nominal operation and its checking
+//! operations (the worst case), or when the checker runs on a dedicated
+//! unit (the 100%-coverage case).
+//!
+//! A **fault situation** is a `(fault, input combination)` pair. For each
+//! situation the engine classifies, per technique:
+//!
+//! * `CorrectSilent` — result correct, no alarm;
+//! * `CorrectDetected` — result correct but the check fired (the paper's
+//!   prized "fault detection even when the produced result is correct");
+//! * `ErrorDetected` — result wrong, alarm raised;
+//! * `ErrorUndetected` — result wrong, checks passed (situation (2b) of
+//!   §4, the coverage loss).
+//!
+//! Coverage = 1 − undetected / total, exactly the paper's definition
+//! ("the number of times the methodology guarantees that the result is
+//! either correct or an error signal is raised").
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind};
+//! use scdp_core::Allocation;
+//!
+//! // Table 2, first row: 1-bit ripple-carry adder, worst case.
+//! let result = CampaignBuilder::new(OperatorKind::Add, 1)
+//!     .adder_model(AdderFaultModel::Gate)
+//!     .allocation(Allocation::SingleUnit)
+//!     .run();
+//! assert_eq!(result.total_situations(), 128);
+//! ```
+
+#![warn(missing_docs)]
+
+mod campaign;
+mod ops;
+mod report;
+mod verdict;
+
+pub use campaign::{AdderFaultModel, CampaignBuilder, CampaignResult, InputSpace, OperatorKind};
+pub use ops::{classify_add, classify_div, classify_mul, classify_sub, DivFaultSite, TriVerdict};
+pub use report::{format_percent, table2_row, Table2Row};
+pub use verdict::{Outcome, Tally, TechIndex, TechTally};

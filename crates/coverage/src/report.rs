@@ -1,0 +1,79 @@
+//! Paper-style report formatting.
+
+use crate::campaign::CampaignResult;
+use crate::verdict::TechIndex;
+use std::fmt;
+
+/// Formats a fraction as a percentage with two decimals, the paper's
+/// table style (e.g. `97.25%`).
+#[must_use]
+pub fn format_percent(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// One row of the paper's Table 2 (experimental results for operator `+`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Row {
+    /// Operand width in bits.
+    pub bits: u32,
+    /// Number of fault situations evaluated.
+    pub situations: u64,
+    /// Coverage per technique column (Tech1, Tech2, Tech 1&2).
+    pub coverage: [f64; 3],
+    /// `true` if the row was sampled rather than exhaustive.
+    pub sampled: bool,
+}
+
+impl fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>3}  {:>14}{} {:>8} {:>8} {:>8}",
+            self.bits,
+            self.situations,
+            if self.sampled { "~" } else { " " },
+            format_percent(self.coverage[0]),
+            format_percent(self.coverage[1]),
+            format_percent(self.coverage[2]),
+        )
+    }
+}
+
+/// Condenses a campaign result into a Table 2 row.
+#[must_use]
+pub fn table2_row(result: &CampaignResult) -> Table2Row {
+    Table2Row {
+        bits: result.width,
+        situations: result.total_situations(),
+        coverage: [
+            result.coverage(TechIndex::Tech1),
+            result.coverage(TechIndex::Tech2),
+            result.coverage(TechIndex::Both),
+        ],
+        sampled: matches!(result.space, crate::InputSpace::Sampled { .. }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CampaignBuilder, OperatorKind};
+
+    #[test]
+    fn percent_formatting_matches_paper_style() {
+        assert_eq!(format_percent(0.9531), "95.31%");
+        assert_eq!(format_percent(1.0), "100.00%");
+        assert_eq!(format_percent(0.999_87), "99.99%");
+    }
+
+    #[test]
+    fn row_from_campaign() {
+        let r = CampaignBuilder::new(OperatorKind::Add, 1).run();
+        let row = table2_row(&r);
+        assert_eq!(row.bits, 1);
+        assert_eq!(row.situations, 128);
+        assert!(!row.sampled);
+        let s = row.to_string();
+        assert!(s.contains("128"), "{s}");
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-situation outcomes and campaign tallies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Index of a technique column in campaign results.
+///
+/// Campaigns evaluate Tech1, Tech2 and their combination in a single pass
+/// (the nominal computation is shared), so results carry three parallel
+/// tallies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TechIndex {
+    /// Table 1 column "Tech1".
+    Tech1 = 0,
+    /// Table 1 column "Tech2".
+    Tech2 = 1,
+    /// Table 1 column "Both" / Table 2 column "Tech 1&2".
+    Both = 2,
+}
+
+impl TechIndex {
+    /// All three columns in table order.
+    pub const ALL: [TechIndex; 3] = [TechIndex::Tech1, TechIndex::Tech2, TechIndex::Both];
+}
+
+impl fmt::Display for TechIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechIndex::Tech1 => f.write_str("Tech1"),
+            TechIndex::Tech2 => f.write_str("Tech2"),
+            TechIndex::Both => f.write_str("Tech 1&2"),
+        }
+    }
+}
+
+/// Classification of one fault situation under one technique.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Result correct, checks silent.
+    CorrectSilent,
+    /// Result correct, but a check fired — the fault is *detected before
+    /// it produces an erroneous result*.
+    CorrectDetected,
+    /// Result wrong and a check fired.
+    ErrorDetected,
+    /// Result wrong and every check passed: the uncovered case.
+    ErrorUndetected,
+}
+
+impl Outcome {
+    /// Builds an outcome from observability and detection flags.
+    #[inline]
+    #[must_use]
+    pub fn new(observable: bool, detected: bool) -> Self {
+        match (observable, detected) {
+            (false, false) => Outcome::CorrectSilent,
+            (false, true) => Outcome::CorrectDetected,
+            (true, true) => Outcome::ErrorDetected,
+            (true, false) => Outcome::ErrorUndetected,
+        }
+    }
+
+    /// `true` if the situation is covered (result correct or alarmed).
+    #[must_use]
+    pub fn is_covered(self) -> bool {
+        !matches!(self, Outcome::ErrorUndetected)
+    }
+}
+
+/// Situation counts for one technique.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TechTally {
+    /// Result correct, checks silent.
+    pub correct_silent: u64,
+    /// Result correct, check fired (early detection).
+    pub correct_detected: u64,
+    /// Result wrong, check fired.
+    pub error_detected: u64,
+    /// Result wrong, checks silent (coverage loss).
+    pub error_undetected: u64,
+}
+
+impl TechTally {
+    /// Records one outcome.
+    #[inline]
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::CorrectSilent => self.correct_silent += 1,
+            Outcome::CorrectDetected => self.correct_detected += 1,
+            Outcome::ErrorDetected => self.error_detected += 1,
+            Outcome::ErrorUndetected => self.error_undetected += 1,
+        }
+    }
+
+    /// Total situations tallied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.correct_silent + self.correct_detected + self.error_detected + self.error_undetected
+    }
+
+    /// Situations with an observable error (wrong result).
+    #[must_use]
+    pub fn observable(&self) -> u64 {
+        self.error_detected + self.error_undetected
+    }
+
+    /// Situations where any check fired.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.correct_detected + self.error_detected
+    }
+
+    /// Fault coverage: fraction of situations where the result is correct
+    /// or an alarm is raised (the paper's Table 2 metric).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.error_undetected as f64 / total as f64
+    }
+}
+
+impl Add for TechTally {
+    type Output = TechTally;
+
+    fn add(self, rhs: TechTally) -> TechTally {
+        TechTally {
+            correct_silent: self.correct_silent + rhs.correct_silent,
+            correct_detected: self.correct_detected + rhs.correct_detected,
+            error_detected: self.error_detected + rhs.error_detected,
+            error_undetected: self.error_undetected + rhs.error_undetected,
+        }
+    }
+}
+
+impl AddAssign for TechTally {
+    fn add_assign(&mut self, rhs: TechTally) {
+        *self = *self + rhs;
+    }
+}
+
+/// Aggregated tallies of a campaign: one [`TechTally`] per technique
+/// column, evaluated over the same situations.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    /// Tallies indexed by [`TechIndex`].
+    pub tech: [TechTally; 3],
+}
+
+impl Tally {
+    /// The tally for one technique column.
+    #[must_use]
+    pub fn of(&self, t: TechIndex) -> &TechTally {
+        &self.tech[t as usize]
+    }
+
+    /// Records one situation given observability and per-technique
+    /// detection flags `[tech1, tech2]` (the Both column is derived).
+    #[inline]
+    pub fn record(&mut self, observable: bool, det1: bool, det2: bool) {
+        self.tech[0].record(Outcome::new(observable, det1));
+        self.tech[1].record(Outcome::new(observable, det2));
+        self.tech[2].record(Outcome::new(observable, det1 || det2));
+    }
+}
+
+impl Add for Tally {
+    type Output = Tally;
+
+    fn add(self, rhs: Tally) -> Tally {
+        Tally {
+            tech: [
+                self.tech[0] + rhs.tech[0],
+                self.tech[1] + rhs.tech[1],
+                self.tech[2] + rhs.tech[2],
+            ],
+        }
+    }
+}
+
+impl AddAssign for Tally {
+    fn add_assign(&mut self, rhs: Tally) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert_eq!(Outcome::new(false, false), Outcome::CorrectSilent);
+        assert_eq!(Outcome::new(false, true), Outcome::CorrectDetected);
+        assert_eq!(Outcome::new(true, true), Outcome::ErrorDetected);
+        assert_eq!(Outcome::new(true, false), Outcome::ErrorUndetected);
+        assert!(Outcome::CorrectSilent.is_covered());
+        assert!(Outcome::ErrorDetected.is_covered());
+        assert!(!Outcome::ErrorUndetected.is_covered());
+    }
+
+    #[test]
+    fn tally_coverage_math() {
+        let mut t = TechTally::default();
+        for _ in 0..96 {
+            t.record(Outcome::CorrectSilent);
+        }
+        for _ in 0..2 {
+            t.record(Outcome::ErrorUndetected);
+        }
+        t.record(Outcome::ErrorDetected);
+        t.record(Outcome::CorrectDetected);
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.observable(), 3);
+        assert_eq!(t.alarms(), 2);
+        assert!((t.coverage() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_column_is_or_of_detections() {
+        let mut tally = Tally::default();
+        tally.record(true, true, false);
+        tally.record(true, false, true);
+        tally.record(true, false, false);
+        assert_eq!(tally.of(TechIndex::Tech1).error_detected, 1);
+        assert_eq!(tally.of(TechIndex::Tech2).error_detected, 1);
+        assert_eq!(tally.of(TechIndex::Both).error_detected, 2);
+        assert_eq!(tally.of(TechIndex::Both).error_undetected, 1);
+    }
+
+    #[test]
+    fn tallies_merge() {
+        let mut a = Tally::default();
+        a.record(true, true, true);
+        let mut b = Tally::default();
+        b.record(false, false, false);
+        let c = a + b;
+        assert_eq!(c.of(TechIndex::Both).total(), 2);
+        let mut d = Tally::default();
+        d += c;
+        assert_eq!(d.of(TechIndex::Tech1).total(), 2);
+    }
+
+    #[test]
+    fn empty_tally_is_full_coverage() {
+        assert!((TechTally::default().coverage() - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,69 @@
+//! Regression pins for the EXPERIMENTS.md Table 2 values: the exhaustive
+//! campaigns are deterministic, so the exact undetected counts are part
+//! of this repository's published claims and must never drift.
+
+use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
+use scdp_core::Allocation;
+
+/// `(width, total, undetected[tech1, tech2, both])` for the gate-level
+/// fault model, worst case — the numbers behind EXPERIMENTS.md's E2
+/// table.
+const PINNED: [(u32, u64, [u64; 3]); 4] = [
+    (1, 128, [14, 10, 7]),
+    (2, 1024, [76, 60, 40]),
+    (3, 6144, [384, 320, 208]),
+    (4, 32768, [1856, 1600, 1024]),
+];
+
+#[test]
+fn exhaustive_gate_model_counts_are_stable() {
+    for (width, total, undetected) in PINNED {
+        let r = CampaignBuilder::new(OperatorKind::Add, width)
+            .adder_model(AdderFaultModel::Gate)
+            .run();
+        assert_eq!(r.total_situations(), total, "width {width}");
+        for (i, t) in TechIndex::ALL.into_iter().enumerate() {
+            assert_eq!(
+                r.tally.of(t).error_undetected,
+                undetected[i],
+                "width {width} {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_model_is_fully_covered() {
+    // The alternative truth-table model: a documented finding — 100%
+    // coverage because row-local faults cannot self-mask.
+    for width in [1u32, 2, 3, 4] {
+        let r = CampaignBuilder::new(OperatorKind::Add, width)
+            .adder_model(AdderFaultModel::Cell)
+            .run();
+        for t in TechIndex::ALL {
+            assert_eq!(r.tally.of(t).error_undetected, 0, "width {width} {t}");
+        }
+    }
+}
+
+#[test]
+fn dedicated_unit_is_fully_covered_every_width() {
+    for width in [1u32, 2, 3, 4, 5, 6] {
+        let r = CampaignBuilder::new(OperatorKind::Add, width)
+            .allocation(Allocation::Dedicated)
+            .run();
+        assert_eq!(r.tally.of(TechIndex::Both).error_undetected, 0);
+        assert!(r.tally.of(TechIndex::Tech1).observable() > 0);
+    }
+}
+
+#[test]
+fn width8_summary_statistics() {
+    // The 8-bit row (16.7M situations) — run once, pin the coverage to
+    // the EXPERIMENTS.md precision.
+    let r = CampaignBuilder::new(OperatorKind::Add, 8).run();
+    let cov = |t| (r.coverage(t) * 10_000.0).round() / 100.0;
+    assert_eq!(cov(TechIndex::Tech1), 95.21);
+    assert_eq!(cov(TechIndex::Tech2), 95.61);
+    assert_eq!(cov(TechIndex::Both), 97.27);
+}

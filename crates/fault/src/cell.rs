@@ -1,0 +1,302 @@
+//! Truth-table cell faults: the paper's functional-level fault model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of 1-bit cell a fault applies to.
+///
+/// Each kind fixes the shape of the cell's truth table (number of input
+/// rows and output bits), and therefore the size of its fault universe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Full adder: inputs `(a, b, cin)`, outputs `(sum, cout)`.
+    /// 8 rows × 2 outputs × 2 polarities = 32 faults (`num_faults_1bit`
+    /// in the paper).
+    FullAdder,
+    /// Half adder: inputs `(a, b)`, outputs `(sum, cout)`. 16 faults.
+    HalfAdder,
+    /// Two-input AND (partial-product cell of an array multiplier).
+    /// Inputs `(a, b)`, output `(y)`. 8 faults.
+    And2,
+    /// Two-input XOR (used in comparators and complementers).
+    /// Inputs `(a, b)`, output `(y)`. 8 faults.
+    Xor2,
+    /// Two-input multiplexer cell: inputs `(a, b, sel)`, output `(y)`.
+    /// 16 faults. Used by the restoring divider's restore step.
+    Mux2,
+}
+
+impl CellKind {
+    /// Number of inputs of this cell kind.
+    #[must_use]
+    pub const fn inputs(self) -> u8 {
+        match self {
+            CellKind::FullAdder | CellKind::Mux2 => 3,
+            CellKind::HalfAdder | CellKind::And2 | CellKind::Xor2 => 2,
+        }
+    }
+
+    /// Number of output bits of this cell kind.
+    #[must_use]
+    pub const fn outputs(self) -> u8 {
+        match self {
+            CellKind::FullAdder | CellKind::HalfAdder => 2,
+            CellKind::And2 | CellKind::Xor2 | CellKind::Mux2 => 1,
+        }
+    }
+
+    /// Number of truth-table rows (`2^inputs`).
+    #[must_use]
+    pub const fn rows(self) -> u8 {
+        1 << self.inputs()
+    }
+
+    /// Size of the single-cell fault universe:
+    /// `rows × outputs × 2` polarities.
+    ///
+    /// For [`CellKind::FullAdder`] this is the paper's
+    /// `num_faults_1bit = 32`.
+    #[must_use]
+    pub const fn fault_count(self) -> u32 {
+        (self.rows() as u32) * (self.outputs() as u32) * 2
+    }
+
+    /// Fault-free output value of this cell for a truth-table `row` and
+    /// output index `output`.
+    ///
+    /// `row` packs the inputs little-endian: bit 0 is the first input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()` or `output >= self.outputs()`.
+    #[must_use]
+    pub fn golden(self, row: u8, output: u8) -> bool {
+        assert!(row < self.rows(), "row {row} out of range for {self:?}");
+        assert!(
+            output < self.outputs(),
+            "output {output} out of range for {self:?}"
+        );
+        let a = row & 1 != 0;
+        let b = row & 2 != 0;
+        let c = row & 4 != 0;
+        match (self, output) {
+            (CellKind::FullAdder, 0) => a ^ b ^ c,
+            (CellKind::FullAdder, 1) => (a & b) | (a & c) | (b & c),
+            (CellKind::HalfAdder, 0) => a ^ b,
+            (CellKind::HalfAdder, 1) => a & b,
+            (CellKind::And2, 0) => a & b,
+            (CellKind::Xor2, 0) => a ^ b,
+            // Mux2: sel = c, y = sel ? b : a
+            (CellKind::Mux2, 0) => {
+                if c {
+                    b
+                } else {
+                    a
+                }
+            }
+            _ => unreachable!("output index validated above"),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CellKind::FullAdder => "FA",
+            CellKind::HalfAdder => "HA",
+            CellKind::And2 => "AND2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Mux2 => "MUX2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single truth-table fault of a 1-bit cell: output `output` of row
+/// `row` is stuck at `stuck`.
+///
+/// A fault whose stuck value coincides with the fault-free value for that
+/// row is *latent*: it never corrupts an output (see
+/// [`CellFault::is_latent`]). The paper counts latent instances in the
+/// fault universe (they are trivially covered: the result is correct), and
+/// so do we — this is what makes `num_faults_1bit = 32` rather than 16.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellFault {
+    kind: CellKind,
+    row: u8,
+    output: u8,
+    stuck: bool,
+}
+
+impl CellFault {
+    /// Creates a fault on `kind`'s truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `output` are out of range for `kind`.
+    #[must_use]
+    pub fn new(kind: CellKind, row: u8, output: u8, stuck: bool) -> Self {
+        assert!(row < kind.rows(), "row {row} out of range for {kind:?}");
+        assert!(
+            output < kind.outputs(),
+            "output {output} out of range for {kind:?}"
+        );
+        Self {
+            kind,
+            row,
+            output,
+            stuck,
+        }
+    }
+
+    /// Enumerates the complete single-cell fault universe for `kind`, in a
+    /// stable order (row-major, output-minor, stuck-at-0 before stuck-at-1).
+    pub fn enumerate(kind: CellKind) -> impl Iterator<Item = CellFault> {
+        (0..kind.rows()).flat_map(move |row| {
+            (0..kind.outputs()).flat_map(move |output| {
+                [false, true]
+                    .into_iter()
+                    .map(move |stuck| CellFault::new(kind, row, output, stuck))
+            })
+        })
+    }
+
+    /// The cell kind this fault applies to.
+    #[must_use]
+    pub const fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The truth-table row (packed inputs, little-endian) the fault hits.
+    #[must_use]
+    pub const fn row(&self) -> u8 {
+        self.row
+    }
+
+    /// The output index the fault hits.
+    #[must_use]
+    pub const fn output(&self) -> u8 {
+        self.output
+    }
+
+    /// The value the faulty output is stuck at.
+    #[must_use]
+    pub const fn stuck(&self) -> bool {
+        self.stuck
+    }
+
+    /// `true` if the stuck value equals the fault-free value, i.e. the
+    /// fault can never corrupt an output.
+    #[must_use]
+    pub fn is_latent(&self) -> bool {
+        self.kind.golden(self.row, self.output) == self.stuck
+    }
+
+    /// Applies the fault to a computed output bit.
+    ///
+    /// Returns the (possibly corrupted) value of output `output` given the
+    /// active truth-table `row`.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, row: u8, output: u8, golden: bool) -> bool {
+        if row == self.row && output == self.output {
+            self.stuck
+        } else {
+            golden
+        }
+    }
+}
+
+impl fmt::Display for CellFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[row={:03b}].out{} s-a-{}",
+            self.kind,
+            self.row,
+            self.output,
+            u8::from(self.stuck)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_full_adder_table() {
+        // (a, b, cin) -> (sum, cout)
+        let expect = [
+            (0b000, false, false),
+            (0b001, true, false),
+            (0b010, true, false),
+            (0b011, false, true),
+            (0b100, true, false),
+            (0b101, false, true),
+            (0b110, false, true),
+            (0b111, true, true),
+        ];
+        for (row, sum, cout) in expect {
+            assert_eq!(CellKind::FullAdder.golden(row, 0), sum, "sum row {row}");
+            assert_eq!(CellKind::FullAdder.golden(row, 1), cout, "cout row {row}");
+        }
+    }
+
+    #[test]
+    fn exactly_half_of_faults_are_latent() {
+        for kind in [
+            CellKind::FullAdder,
+            CellKind::HalfAdder,
+            CellKind::And2,
+            CellKind::Xor2,
+            CellKind::Mux2,
+        ] {
+            let latent = CellFault::enumerate(kind).filter(CellFault::is_latent).count();
+            let total = CellFault::enumerate(kind).count();
+            assert_eq!(total, kind.fault_count() as usize);
+            // One of the two polarities always matches the golden value.
+            assert_eq!(latent * 2, total, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn apply_only_hits_matching_row_and_output() {
+        let f = CellFault::new(CellKind::FullAdder, 0b011, 0, true);
+        // Matching row + output: forced to stuck value.
+        assert!(f.apply(0b011, 0, false));
+        // Same row, other output: untouched.
+        assert!(!f.apply(0b011, 1, false));
+        // Other row: untouched.
+        assert!(!f.apply(0b010, 0, false));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = CellFault::new(CellKind::FullAdder, 5, 1, false);
+        let s = f.to_string();
+        assert!(s.contains("FA"), "{s}");
+        assert!(s.contains("s-a-0"), "{s}");
+    }
+
+    #[test]
+    fn mux_cell_selects() {
+        // row = a | b<<1 | sel<<2
+        assert!(!CellKind::Mux2.golden(0b010, 0)); // sel=0 -> a=0
+        assert!(CellKind::Mux2.golden(0b110, 0)); // sel=1 -> b=1
+        assert!(CellKind::Mux2.golden(0b001, 0)); // sel=0 -> a=1
+        assert!(!CellKind::Mux2.golden(0b101, 0)); // sel=1 -> b=0
+    }
+
+    #[test]
+    #[should_panic(expected = "row")]
+    fn new_rejects_bad_row() {
+        let _ = CellFault::new(CellKind::And2, 4, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "output")]
+    fn new_rejects_bad_output() {
+        let _ = CellFault::new(CellKind::And2, 0, 1, false);
+    }
+}

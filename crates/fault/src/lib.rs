@@ -1,0 +1,66 @@
+//! Fault models for self-checking data-path analysis.
+//!
+//! This crate defines the fault abstractions used throughout the `scdp`
+//! workspace, reproducing the fault model of Bolchini et al.,
+//! *Reliable System Specification for Self-Checking Data-Paths* (DATE 2005):
+//!
+//! * the **single functional-unit failure** model — any number of physical
+//!   faults cause exactly one functional unit (adder, multiplier, divider,
+//!   …) to compute incorrectly, manifesting as an arbitrary number of bit
+//!   errors on that unit's result;
+//! * its concrete evaluation form, the **cell truth-table fault**: the
+//!   paper evaluates coverage "at the functional level (i.e. the faulty
+//!   functional unit is the single full-adder in the chain composing the
+//!   n-bit adder)". A cell fault forces one output entry of a 1-bit cell's
+//!   truth table to a fixed value. A full adder has 8 rows × 2 outputs × 2
+//!   polarities = 32 faults, the paper's `num_faults_1bit = 32`;
+//! * the gate-level **stuck-at fault** used by the structural
+//!   (`scdp-netlist`) cross-validation.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_fault::{CellKind, CellFault, UnitFault};
+//!
+//! // Enumerate the paper's 32 single-full-adder faults.
+//! let faults: Vec<CellFault> = CellFault::enumerate(CellKind::FullAdder).collect();
+//! assert_eq!(faults.len(), 32);
+//!
+//! // Place one of them at bit position 3 of an n-bit unit.
+//! let unit_fault = UnitFault::new(3, faults[0]);
+//! assert_eq!(unit_fault.position(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cell;
+mod fa_gate;
+mod stuck;
+mod universe;
+
+pub use cell::{CellFault, CellKind};
+pub use fa_gate::{fa_golden, FaGateFault, FaSite};
+pub use stuck::StuckAt;
+pub use universe::{FaultUniverse, SituationCount, UnitFault};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_fault_count_matches_paper() {
+        assert_eq!(CellFault::enumerate(CellKind::FullAdder).count(), 32);
+    }
+
+    #[test]
+    fn half_adder_fault_count() {
+        // 4 rows x 2 outputs x 2 polarities.
+        assert_eq!(CellFault::enumerate(CellKind::HalfAdder).count(), 16);
+    }
+
+    #[test]
+    fn and_fault_count() {
+        // 4 rows x 1 output x 2 polarities.
+        assert_eq!(CellFault::enumerate(CellKind::And2).count(), 8);
+    }
+}

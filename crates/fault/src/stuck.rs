@@ -1,0 +1,81 @@
+//! Gate-level single stuck-at faults for structural netlists.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single stuck-at fault on a netlist line.
+///
+/// The line is identified by an opaque `usize` id assigned by the netlist
+/// substrate (`scdp-netlist`); this crate only carries the fault
+/// description so that campaign drivers can be written independently of
+/// the circuit representation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StuckAt {
+    line: usize,
+    value: bool,
+}
+
+impl StuckAt {
+    /// Creates a stuck-at-`value` fault on `line`.
+    #[must_use]
+    pub const fn new(line: usize, value: bool) -> Self {
+        Self { line, value }
+    }
+
+    /// Stuck-at-0 on `line`.
+    #[must_use]
+    pub const fn sa0(line: usize) -> Self {
+        Self::new(line, false)
+    }
+
+    /// Stuck-at-1 on `line`.
+    #[must_use]
+    pub const fn sa1(line: usize) -> Self {
+        Self::new(line, true)
+    }
+
+    /// The affected line id.
+    #[must_use]
+    pub const fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The stuck value.
+    #[must_use]
+    pub const fn value(&self) -> bool {
+        self.value
+    }
+
+    /// Enumerates both polarities for every line in `0..lines`.
+    pub fn enumerate(lines: usize) -> impl Iterator<Item = StuckAt> {
+        (0..lines).flat_map(|l| [StuckAt::sa0(l), StuckAt::sa1(l)])
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{} s-a-{}", self.line, u8::from(self.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_is_two_per_line() {
+        let faults: Vec<_> = StuckAt::enumerate(5).collect();
+        assert_eq!(faults.len(), 10);
+        assert_eq!(faults[0], StuckAt::sa0(0));
+        assert_eq!(faults[1], StuckAt::sa1(0));
+        assert_eq!(faults[9], StuckAt::sa1(4));
+    }
+
+    #[test]
+    fn accessors() {
+        let f = StuckAt::sa1(7);
+        assert_eq!(f.line(), 7);
+        assert!(f.value());
+        assert_eq!(f.to_string(), "net7 s-a-1");
+    }
+}

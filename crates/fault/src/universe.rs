@@ -1,0 +1,267 @@
+//! Fault universes: all cell faults of a multi-cell functional unit.
+
+use crate::{CellFault, CellKind};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell fault placed at a specific cell position of a functional unit.
+///
+/// Positions are unit-specific dense indices assigned by the unit
+/// implementation (for an n-bit ripple-carry adder, position `i` is the
+/// full adder of bit `i`; array multipliers and dividers publish their own
+/// cell maps).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UnitFault {
+    position: usize,
+    fault: CellFault,
+}
+
+impl UnitFault {
+    /// Places `fault` at cell `position`.
+    #[must_use]
+    pub const fn new(position: usize, fault: CellFault) -> Self {
+        Self { position, fault }
+    }
+
+    /// The cell position within the unit.
+    #[must_use]
+    pub const fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The truth-table fault applied at that position.
+    #[must_use]
+    pub const fn fault(&self) -> CellFault {
+        self.fault
+    }
+}
+
+impl fmt::Display for UnitFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}:{}", self.position, self.fault)
+    }
+}
+
+/// The fault universe of a functional unit: one [`CellKind`] per cell
+/// position.
+///
+/// A universe is just a site map; enumeration produces every
+/// `(position, cell fault)` pair, matching the paper's fault-situation
+/// accounting (`num_faults_1bit × n` faults for the n-bit ripple-carry
+/// adder).
+///
+/// # Example
+///
+/// ```
+/// use scdp_fault::{CellKind, FaultUniverse};
+///
+/// // A 4-bit ripple-carry adder: four full-adder sites.
+/// let u = FaultUniverse::homogeneous(CellKind::FullAdder, 4);
+/// assert_eq!(u.fault_count(), 32 * 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultUniverse {
+    sites: Vec<CellKind>,
+}
+
+impl FaultUniverse {
+    /// Builds a universe from an explicit per-position site list.
+    #[must_use]
+    pub fn new(sites: Vec<CellKind>) -> Self {
+        Self { sites }
+    }
+
+    /// Builds a universe of `count` identical sites.
+    #[must_use]
+    pub fn homogeneous(kind: CellKind, count: usize) -> Self {
+        Self {
+            sites: vec![kind; count],
+        }
+    }
+
+    /// Number of cell sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The cell kind at `position`, if in range.
+    #[must_use]
+    pub fn site(&self, position: usize) -> Option<CellKind> {
+        self.sites.get(position).copied()
+    }
+
+    /// The per-position site kinds.
+    #[must_use]
+    pub fn sites(&self) -> &[CellKind] {
+        &self.sites
+    }
+
+    /// Total number of faults in the universe.
+    #[must_use]
+    pub fn fault_count(&self) -> u64 {
+        self.sites.iter().map(|k| u64::from(k.fault_count())).sum()
+    }
+
+    /// Enumerates every fault in a stable order (position-major).
+    pub fn iter(&self) -> impl Iterator<Item = UnitFault> + '_ {
+        self.sites.iter().enumerate().flat_map(|(pos, &kind)| {
+            CellFault::enumerate(kind).map(move |f| UnitFault::new(pos, f))
+        })
+    }
+
+    /// Draws one fault uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe is empty.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> UnitFault {
+        assert!(!self.sites.is_empty(), "empty fault universe");
+        // Uniform over faults, not over sites: weight sites by their
+        // fault count (they differ between FA/HA/AND cells).
+        let total = self.fault_count();
+        let mut pick = rng.gen_range(0..total);
+        for (pos, &kind) in self.sites.iter().enumerate() {
+            let n = u64::from(kind.fault_count());
+            if pick < n {
+                let faults: Vec<CellFault> = CellFault::enumerate(kind).collect();
+                return UnitFault::new(pos, faults[pick as usize]);
+            }
+            pick -= n;
+        }
+        unreachable!("pick < total by construction")
+    }
+
+    /// Draws `count` faults without replacement (or the full universe if
+    /// `count` exceeds it), in shuffled order.
+    #[must_use]
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<UnitFault> {
+        let mut all: Vec<UnitFault> = self.iter().collect();
+        all.shuffle(rng);
+        all.truncate(count);
+        all
+    }
+}
+
+/// Fault-situation accounting, as used in the paper's Table 2.
+///
+/// A *fault situation* is a `(fault, input combination)` pair; for an
+/// n-bit two-operand unit the paper counts
+/// `num_faults_1bit × n × 2^(2n)` situations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SituationCount {
+    /// Number of faults in the universe.
+    pub faults: u64,
+    /// Number of input combinations per fault.
+    pub inputs_per_fault: u128,
+}
+
+impl SituationCount {
+    /// Situations of the paper's n-bit ripple-carry adder analysis:
+    /// `32 · n · 2^(2n)`.
+    #[must_use]
+    pub fn rca(width: u32) -> Self {
+        Self {
+            faults: 32 * u64::from(width),
+            inputs_per_fault: 1u128 << (2 * width),
+        }
+    }
+
+    /// Total number of situations.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        u128::from(self.faults) * self.inputs_per_fault
+    }
+}
+
+impl fmt::Display for SituationCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rca_situation_counts_match_paper_formula() {
+        // Table 2, rows where the paper follows its own formula.
+        assert_eq!(SituationCount::rca(1).total(), 128);
+        assert_eq!(SituationCount::rca(2).total(), 1024);
+        assert_eq!(SituationCount::rca(3).total(), 6144);
+        assert_eq!(SituationCount::rca(8).total(), 16 << 20);
+    }
+
+    #[test]
+    fn rca_situation_counts_paper_typos() {
+        // The paper prints 7808 for n=4 and 6×2^30 for n=16; the formula
+        // it states gives these values instead. We follow the formula.
+        assert_eq!(SituationCount::rca(4).total(), 32768);
+        assert_eq!(SituationCount::rca(16).total(), 1 << 41);
+    }
+
+    #[test]
+    fn homogeneous_universe_enumerates_fully() {
+        let u = FaultUniverse::homogeneous(CellKind::FullAdder, 3);
+        let all: Vec<_> = u.iter().collect();
+        assert_eq!(all.len(), 96);
+        assert_eq!(u.fault_count(), 96);
+        // Stable order: first 32 are position 0.
+        assert!(all[..32].iter().all(|f| f.position() == 0));
+        assert!(all[32..64].iter().all(|f| f.position() == 1));
+    }
+
+    #[test]
+    fn heterogeneous_universe_counts() {
+        let u = FaultUniverse::new(vec![CellKind::And2, CellKind::FullAdder, CellKind::HalfAdder]);
+        assert_eq!(u.fault_count(), 8 + 32 + 16);
+        assert_eq!(u.iter().count() as u64, u.fault_count());
+        assert_eq!(u.site(0), Some(CellKind::And2));
+        assert_eq!(u.site(3), None);
+    }
+
+    #[test]
+    fn sample_is_within_universe_and_deterministic() {
+        let u = FaultUniverse::new(vec![CellKind::And2, CellKind::FullAdder]);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let fa = u.sample(&mut rng_a);
+            let fb = u.sample(&mut rng_b);
+            assert_eq!(fa, fb);
+            assert_eq!(u.site(fa.position()).unwrap(), fa.fault().kind());
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let u = FaultUniverse::homogeneous(CellKind::FullAdder, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = u.sample_distinct(&mut rng, 40);
+        assert_eq!(picks.len(), 40);
+        let mut sorted = picks.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+        // Requesting more than the universe clamps.
+        let all = u.sample_distinct(&mut rng, 1000);
+        assert_eq!(all.len(), 64);
+    }
+
+    #[test]
+    fn sample_covers_all_sites_eventually() {
+        let u = FaultUniverse::homogeneous(CellKind::FullAdder, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[u.sample(&mut rng).position()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

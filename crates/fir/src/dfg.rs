@@ -1,0 +1,61 @@
+//! The FIR loop-body dataflow graph consumed by the HLS flow.
+
+use scdp_hls::{Dfg, OpKind};
+
+/// Builds the per-tap loop body of the FIR filter:
+///
+/// ```text
+/// i'   = i + 1                (index arithmetic — ALU)
+/// c    = coeff[i]             (memory bank 0)
+/// x    = sample[i]            (memory bank 1)
+/// t    = c * x                (multiplier)
+/// acc' = acc + t              (ALU)
+/// sample[i'] = x              (delay-line shift — memory bank 1)
+/// ```
+///
+/// The loop executes once per tap; Table 3's latency formulas are
+/// `prologue + body_cycles × n` over this body. Index arithmetic feeds
+/// only addresses, which is what distinguishes the `Full` and `Embedded`
+/// SCK expansion styles.
+#[must_use]
+pub fn fir_body_dfg() -> Dfg {
+    let mut d = Dfg::new("fir_tap");
+    let i = d.input("i");
+    let acc = d.input("acc");
+    let one = d.constant(1);
+    let i_next = d.op(OpKind::Add, &[i, one]);
+    d.output("_i", i_next);
+    let c = d.op(OpKind::Load { bank: 0 }, &[i]);
+    let x = d.op(OpKind::Load { bank: 1 }, &[i]);
+    let t = d.op(OpKind::Mul, &[c, x]);
+    let acc_next = d.op(OpKind::Add, &[acc, t]);
+    d.output("acc", acc_next);
+    let _shift = d.op(OpKind::Store { bank: 1 }, &[i_next, x]);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_hls::{sched, ComponentLibrary, ResourceSet};
+
+    #[test]
+    fn body_has_expected_shape() {
+        let d = fir_body_dfg();
+        let hist = d.op_histogram();
+        let count = |k: &str| hist.iter().find(|(n, _)| n == k).map_or(0, |(_, c)| *c);
+        assert_eq!(count("add"), 2);
+        assert_eq!(count("mul"), 1);
+        assert_eq!(count("load"), 2);
+        assert_eq!(count("store"), 1);
+    }
+
+    #[test]
+    fn min_area_schedule_is_longer_than_min_latency() {
+        let d = fir_body_dfg();
+        let lib = ComponentLibrary::virtex16();
+        let area = sched::list_schedule(&d, &lib, &ResourceSet::min_area());
+        let lat = sched::list_schedule(&d, &lib, &ResourceSet::min_latency());
+        assert!(area.length() > lat.length());
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's FIR case study (§5) and companion workloads.
+//!
+//! Three functionally equivalent FIR implementations reproduce the three
+//! rows of Table 3:
+//!
+//! * [`PlainFir`] — ordinary integer arithmetic (the reference);
+//! * [`SckFir`] — the same code with the self-checking data type
+//!   [`Sck`](scdp_core::Sck) substituted for the integers ("FIR with
+//!   SCK": transparent, every operation checked);
+//! * [`EmbeddedFir`] — hand-embedded checks: the designer writes explicit
+//!   verification of the MAC results, a single sticky error flag ("FIR
+//!   embedded SCK").
+//!
+//! [`fir_body_dfg`] builds the loop-body dataflow graph consumed by the
+//! `scdp-hls` flow to reproduce the hardware rows of Table 3.
+//!
+//! Companion workloads ([`iir`], [`dot`], [`matvec`]) exercise the same
+//! API on the "other circuits … now taken into consideration" the paper
+//! mentions.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_fir::{PlainFir, SckFir};
+//!
+//! let coeffs = vec![1i32, -2, 3];
+//! let mut plain = PlainFir::new(coeffs.clone());
+//! let mut sck: SckFir = SckFir::new(coeffs);
+//! for x in [5i32, 7, -1, 0, 3] {
+//!     assert_eq!(plain.process(x), sck.process(x).value());
+//! }
+//! assert!(!sck.error());
+//! ```
+
+#![warn(missing_docs)]
+
+mod dfg;
+mod filter;
+mod other_dfgs;
+pub mod workloads;
+
+pub use dfg::fir_body_dfg;
+pub use filter::{EmbeddedFir, PlainFir, SckFir};
+pub use other_dfgs::{dot_body_dfg, iir_biquad_dfg, matvec_row_dfg};
+pub use workloads::{dot, iir, matvec};

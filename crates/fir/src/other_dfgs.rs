@@ -1,0 +1,140 @@
+//! Loop-body DFGs for the companion circuits ("other circuits are now
+//! taken into consideration", §5).
+
+use scdp_hls::{Dfg, OpKind};
+
+/// Direct-form-I biquad IIR section, one sample per iteration:
+///
+/// ```text
+/// y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2
+/// ```
+///
+/// Five multiplies and four adds/subs per sample with loop-carried state
+/// — a much denser multiplier workload than the FIR tap, so the checked
+/// variants stress multiplier sharing harder.
+#[must_use]
+pub fn iir_biquad_dfg() -> Dfg {
+    let mut d = Dfg::new("iir_biquad");
+    let x = d.input("x");
+    let x1 = d.input("x1");
+    let x2 = d.input("x2");
+    let y1 = d.input("y1");
+    let y2 = d.input("y2");
+    let b0 = d.input("b0");
+    let b1 = d.input("b1");
+    let b2 = d.input("b2");
+    let a1 = d.input("a1");
+    let a2 = d.input("a2");
+
+    let t0 = d.op(OpKind::Mul, &[b0, x]);
+    let t1 = d.op(OpKind::Mul, &[b1, x1]);
+    let t2 = d.op(OpKind::Mul, &[b2, x2]);
+    let t3 = d.op(OpKind::Mul, &[a1, y1]);
+    let t4 = d.op(OpKind::Mul, &[a2, y2]);
+    let s1 = d.op(OpKind::Add, &[t0, t1]);
+    let s2 = d.op(OpKind::Add, &[s1, t2]);
+    let s3 = d.op(OpKind::Sub, &[s2, t3]);
+    let y = d.op(OpKind::Sub, &[s3, t4]);
+
+    d.output("y", y);
+    // State shift (loop-carried).
+    d.output("x1", x);
+    d.output("x2", x1);
+    d.output("y1", y);
+    d.output("y2", y1);
+    d
+}
+
+/// Dot-product accumulation step: `acc' = acc + a[i]·b[i]` with two
+/// streamed memory reads and index bookkeeping.
+#[must_use]
+pub fn dot_body_dfg() -> Dfg {
+    let mut d = Dfg::new("dot_step");
+    let i = d.input("i");
+    let acc = d.input("acc");
+    let one = d.constant(1);
+    let i_next = d.op(OpKind::Add, &[i, one]);
+    d.output("_i", i_next);
+    let a = d.op(OpKind::Load { bank: 0 }, &[i]);
+    let b = d.op(OpKind::Load { bank: 1 }, &[i]);
+    let t = d.op(OpKind::Mul, &[a, b]);
+    let acc_next = d.op(OpKind::Add, &[acc, t]);
+    d.output("acc", acc_next);
+    d
+}
+
+/// One row of a matrix–vector product with a running average —
+/// exercises the divider (`avg = acc / count`), the operator whose
+/// checking recipe is the most expensive in Table 1.
+#[must_use]
+pub fn matvec_row_dfg() -> Dfg {
+    let mut d = Dfg::new("matvec_row");
+    let j = d.input("j");
+    let acc = d.input("acc");
+    let count = d.input("count");
+    let one = d.constant(1);
+    let j_next = d.op(OpKind::Add, &[j, one]);
+    d.output("_j", j_next);
+    let m = d.op(OpKind::Load { bank: 0 }, &[j]);
+    let x = d.op(OpKind::Load { bank: 1 }, &[j]);
+    let t = d.op(OpKind::Mul, &[m, x]);
+    let acc_next = d.op(OpKind::Add, &[acc, t]);
+    d.output("acc", acc_next);
+    let avg = d.op(OpKind::Div, &[acc_next, count]);
+    d.output("avg", avg);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::Technique;
+    use scdp_hls::{expand_sck, sched, ComponentLibrary, ResourceSet, SckStyle};
+
+    #[test]
+    fn biquad_shape() {
+        let d = iir_biquad_dfg();
+        let hist = d.op_histogram();
+        let count = |k: &str| hist.iter().find(|(n, _)| n == k).map_or(0, |(_, c)| *c);
+        assert_eq!(count("mul"), 5);
+        assert_eq!(count("add"), 2);
+        assert_eq!(count("sub"), 2);
+    }
+
+    #[test]
+    fn all_bodies_schedule_plain_and_expanded() {
+        let lib = ComponentLibrary::virtex16();
+        for body in [iir_biquad_dfg(), dot_body_dfg(), matvec_row_dfg()] {
+            for style in [SckStyle::Plain, SckStyle::Full, SckStyle::Embedded] {
+                let g = expand_sck(&body, Technique::Tech1, style);
+                let s = sched::list_schedule(&g, &lib, &ResourceSet::min_area());
+                assert!(s.length() > 0, "{} {:?}", body.name(), style);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_grows_with_density() {
+        // The multiplier-dense biquad gains more checker nodes than the
+        // single-MAC dot product.
+        let b = expand_sck(&iir_biquad_dfg(), Technique::Tech1, SckStyle::Full);
+        let p = expand_sck(&dot_body_dfg(), Technique::Tech1, SckStyle::Full);
+        let checkers = |g: &scdp_hls::Dfg| {
+            g.iter()
+                .filter(|(_, n)| n.role == scdp_hls::Role::Checker)
+                .count()
+        };
+        assert!(checkers(&b) > 2 * checkers(&p));
+    }
+
+    #[test]
+    fn matvec_div_is_checked_in_embedded_style() {
+        // avg feeds a data output, so the embedded style must check the
+        // division too.
+        let g = expand_sck(&matvec_row_dfg(), Technique::Tech1, SckStyle::Embedded);
+        assert!(g
+            .iter()
+            .any(|(_, n)| matches!(n.kind, scdp_hls::OpKind::Rem)
+                && n.role == scdp_hls::Role::Checker));
+    }
+}

@@ -1,0 +1,114 @@
+//! Companion workloads exercising the self-checking data type.
+//!
+//! The paper closes §5 with "other circuits are now taken into
+//! consideration"; these generic kernels serve as those follow-on
+//! workloads in examples and benchmarks. Each is generic over the value
+//! type so the *same source* runs plain (`i32`) or self-checking
+//! (`Sck<i32>`) — the transparency property.
+
+use std::ops::{Add, Mul, Sub};
+
+/// Dot product `Σ a[k]·b[k]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use scdp_core::sck;
+/// use scdp_fir::dot;
+///
+/// let a = [1i32, 2, 3].map(sck);
+/// let b = [4i32, 5, 6].map(sck);
+/// let d = dot(&a, &b, sck(0));
+/// assert_eq!(d.value(), 32);
+/// assert!(!d.error());
+/// ```
+pub fn dot<T>(a: &[T], b: &[T], zero: T) -> T
+where
+    T: Copy + Add<Output = T> + Mul<Output = T>,
+{
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(zero, |acc, (&x, &y)| acc + x * y)
+}
+
+/// One direct-form-I biquad IIR step:
+/// `y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2`.
+///
+/// Returns the output sample; the caller shifts its own state.
+#[allow(clippy::too_many_arguments)]
+pub fn iir<T>(b: [T; 3], a: [T; 2], x: T, x1: T, x2: T, y1: T, y2: T) -> T
+where
+    T: Copy + Add<Output = T> + Sub<Output = T> + Mul<Output = T>,
+{
+    b[0] * x + b[1] * x1 + b[2] * x2 - a[0] * y1 - a[1] * y2
+}
+
+/// Matrix–vector product `y = M·x` for a row-major square matrix.
+///
+/// # Panics
+///
+/// Panics if `m.len() != x.len() * x.len()`.
+pub fn matvec<T>(m: &[T], x: &[T], zero: T) -> Vec<T>
+where
+    T: Copy + Add<Output = T> + Mul<Output = T>,
+{
+    let n = x.len();
+    assert_eq!(m.len(), n * n, "matrix must be n x n");
+    (0..n)
+        .map(|r| dot(&m[r * n..(r + 1) * n], x, zero))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::{sck, Sck};
+
+    #[test]
+    fn dot_plain_and_sck_agree() {
+        let a = [3i32, -4, 5, 7];
+        let b = [2i32, 8, -1, 0];
+        let plain = dot(&a, &b, 0);
+        let checked = dot(&a.map(sck), &b.map(sck), sck(0));
+        assert_eq!(plain, checked.value());
+        assert!(!checked.error());
+    }
+
+    #[test]
+    fn iir_plain_and_sck_agree() {
+        let plain = iir([1, 2, 3], [4, 5], 10, 9, 8, 7, 6);
+        let checked = iir(
+            [sck(1), sck(2), sck(3)],
+            [sck(4), sck(5)],
+            sck(10),
+            sck(9),
+            sck(8),
+            sck(7),
+            sck(6),
+        );
+        assert_eq!(plain, checked.value());
+        assert!(!checked.error());
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let m = [1, 0, 0, 0, 1, 0, 0, 0, 1];
+        let x = [7, -3, 2];
+        assert_eq!(matvec(&m, &x, 0), x.to_vec());
+        let ms: Vec<Sck<i32>> = m.iter().copied().map(sck).collect();
+        let xs: Vec<Sck<i32>> = x.iter().copied().map(sck).collect();
+        let y = matvec(&ms, &xs, sck(0));
+        assert_eq!(y.iter().map(|v| v.value()).collect::<Vec<_>>(), x.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1i32], &[1i32, 2], 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Area model: CLB-slice estimate from schedule + binding.
+
+use crate::bind::Binding;
+use crate::dfg::{Dfg, OpKind, Role};
+use crate::library::ComponentLibrary;
+use crate::sched::Schedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the error information is materialised (drives register and
+/// error-logic overhead).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorHandling {
+    /// No checking hardware (plain design).
+    None,
+    /// The `SCK<T>` class template: every value carries its own error
+    /// bit, propagated by every operator (one OR per operation, one
+    /// extra bit per register).
+    PerValue,
+    /// Hand-embedded checking: a single sticky error flag accumulates
+    /// all comparator outputs.
+    SingleFlag,
+}
+
+/// Per-category CLB-slice breakdown.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Functional units (ALUs, multipliers, dividers, memory ports).
+    pub fu_slices: f64,
+    /// Word-wide registers.
+    pub reg_slices: f64,
+    /// Multiplexers in front of shared units and registers.
+    pub mux_slices: f64,
+    /// FSM controller (proportional to schedule length).
+    pub ctrl_slices: f64,
+    /// Checker hardware: comparators, error bits, error ORs.
+    pub checker_slices: f64,
+    /// Fixed infrastructure.
+    pub base_slices: f64,
+}
+
+impl AreaReport {
+    /// Total slices.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.fu_slices
+            + self.reg_slices
+            + self.mux_slices
+            + self.ctrl_slices
+            + self.checker_slices
+            + self.base_slices
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} slices (fu {:.0}, reg {:.0}, mux {:.0}, ctrl {:.0}, chk {:.0}, base {:.0})",
+            self.total(),
+            self.fu_slices,
+            self.reg_slices,
+            self.mux_slices,
+            self.ctrl_slices,
+            self.checker_slices,
+            self.base_slices
+        )
+    }
+}
+
+/// Estimates the design's area.
+///
+/// Structural inputs: bound functional units, register count, mux legs,
+/// schedule length (controller states) and the number of checker
+/// comparators/ORs in the DFG. The per-component slice constants come
+/// from the [`ComponentLibrary`].
+#[must_use]
+pub fn area(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    binding: &Binding,
+    lib: &ComponentLibrary,
+    err: ErrorHandling,
+) -> AreaReport {
+    let fu_slices: f64 = binding
+        .fus
+        .iter()
+        .map(|f| lib.fu_slices(f.class))
+        .sum();
+    let reg_slices = binding.registers as f64 * lib.reg_slices;
+    let mux_slices = binding.mux_legs as f64 * lib.mux_slices_per_input;
+    let ctrl_slices = f64::from(schedule.length()) * lib.ctrl_slices_per_state;
+
+    let cmp_count = dfg
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, OpKind::CmpNe))
+        .count();
+    let or_count = dfg
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, OpKind::OrBit))
+        .count();
+    let checked_values = dfg
+        .iter()
+        .filter(|(_, n)| n.role == Role::Checker)
+        .count();
+    let checker_slices = match err {
+        ErrorHandling::None => 0.0,
+        ErrorHandling::PerValue => {
+            // Comparators + an error bit and propagation OR per register
+            // + per-operation propagation logic.
+            cmp_count as f64 * lib.cmp_slices
+                + binding.registers as f64 * 1.5
+                + checked_values as f64 * 1.0
+                + or_count as f64 * 0.5
+        }
+        ErrorHandling::SingleFlag => {
+            cmp_count as f64 * lib.cmp_slices + 2.0 + or_count as f64 * 0.5
+        }
+    };
+
+    AreaReport {
+        fu_slices,
+        reg_slices,
+        mux_slices,
+        ctrl_slices,
+        checker_slices,
+        base_slices: lib.base_slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::{bind, BindOptions};
+    use crate::library::ResourceSet;
+    use crate::sched::list_schedule;
+
+    fn mac() -> Dfg {
+        let mut d = Dfg::new("mac");
+        let a = d.input("a");
+        let b = d.input("b");
+        let acc = d.input("acc");
+        let m = d.op(OpKind::Mul, &[a, b]);
+        let s = d.op(OpKind::Add, &[acc, m]);
+        d.output("acc", s);
+        d
+    }
+
+    #[test]
+    fn plain_area_breakdown() {
+        let d = mac();
+        let lib = ComponentLibrary::virtex16();
+        let sch = list_schedule(&d, &lib, &ResourceSet::min_area());
+        let bnd = bind(&d, &sch, &lib, BindOptions::default());
+        let a = area(&d, &sch, &bnd, &lib, ErrorHandling::None);
+        assert!(a.fu_slices >= lib.mult_slices + lib.alu_slices);
+        assert_eq!(a.checker_slices, 0.0);
+        assert!(a.total() > a.fu_slices);
+    }
+
+    #[test]
+    fn per_value_error_handling_costs_more_than_single_flag() {
+        let mut d = mac();
+        // Attach a checking subtraction + comparator to the add.
+        let s = crate::dfg::NodeId(4);
+        let acc = crate::dfg::NodeId(2);
+        let c = d.checker_op(OpKind::Sub, &[s, acc], s);
+        let m = crate::dfg::NodeId(3);
+        let ne = d.checker_op(OpKind::CmpNe, &[c, m], s);
+        d.output("err", ne);
+        let lib = ComponentLibrary::virtex16();
+        let sch = list_schedule(&d, &lib, &ResourceSet::min_area());
+        let bnd = bind(&d, &sch, &lib, BindOptions::default());
+        let pv = area(&d, &sch, &bnd, &lib, ErrorHandling::PerValue);
+        let sf = area(&d, &sch, &bnd, &lib, ErrorHandling::SingleFlag);
+        assert!(pv.checker_slices > sf.checker_slices);
+        assert!(pv.total() > sf.total());
+    }
+
+    #[test]
+    fn longer_schedules_cost_controller_area() {
+        let d = mac();
+        let lib = ComponentLibrary::virtex16();
+        let tight = list_schedule(&d, &lib, &ResourceSet::min_area());
+        let a1 = {
+            let bnd = bind(&d, &tight, &lib, BindOptions::default());
+            area(&d, &tight, &bnd, &lib, ErrorHandling::None)
+        };
+        assert!((a1.ctrl_slices - f64::from(tight.length()) * lib.ctrl_slices_per_state).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Functional-unit and register binding.
+
+pub use crate::library::FuClass;
+
+use crate::dfg::{Dfg, NodeId, Role};
+use crate::library::ComponentLibrary;
+use crate::sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Binding options.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BindOptions {
+    /// Reliability-aware binding: checker operations never share a
+    /// functional unit with nominal operations (required for the paper's
+    /// 100%-coverage allocation, §2.1). Within each role, sharing is
+    /// still allowed.
+    pub separate_checkers: bool,
+    /// Disable sharing entirely: every operation gets its own unit.
+    /// Models the template-expanded `SCK` code in which the behavioural
+    /// synthesizer cannot share resources across class-operator
+    /// instances.
+    pub no_sharing: bool,
+}
+
+/// One bound functional unit: its class, role partition and the
+/// operations it executes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuInstance {
+    /// Resource class.
+    pub class: FuClass,
+    /// Role of the operations bound here (mixed roles only when
+    /// `separate_checkers` is off; reported as the first op's role).
+    pub role: Role,
+    /// Operations bound to this unit.
+    pub ops: Vec<NodeId>,
+}
+
+/// The result of binding: functional units, registers, multiplexer legs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Bound functional units.
+    pub fus: Vec<FuInstance>,
+    /// Number of word-wide registers after left-edge allocation.
+    pub registers: usize,
+    /// Word-wide multiplexer input legs in front of shared units and
+    /// registers.
+    pub mux_legs: usize,
+}
+
+impl Binding {
+    /// Number of units of one class.
+    #[must_use]
+    pub fn fu_count(&self, class: FuClass) -> usize {
+        self.fus.iter().filter(|f| f.class == class).count()
+    }
+}
+
+/// Binds a scheduled DFG: greedy interval packing of operations onto
+/// units, left-edge register allocation over value lifetimes, and mux
+/// accounting.
+#[must_use]
+pub fn bind(dfg: &Dfg, schedule: &Schedule, lib: &ComponentLibrary, opts: BindOptions) -> Binding {
+    let _ = lib;
+    // --- functional units ---------------------------------------------
+    let mut fus: Vec<(FuClass, Role, Vec<(u32, u32)>, Vec<NodeId>)> = Vec::new();
+    let mut seq_nodes: Vec<NodeId> = dfg
+        .iter()
+        .filter(|(_, n)| !n.kind.is_virtual() && !n.kind.is_chained())
+        .map(|(id, _)| id)
+        .collect();
+    seq_nodes.sort_by_key(|id| schedule.start(*id));
+    for id in seq_nodes {
+        let node = dfg.node(id);
+        let class = ComponentLibrary::fu_class(&node.kind).expect("sequential node");
+        let (s, e) = (schedule.start(id), schedule.avail(id));
+        let mut placed = false;
+        if !opts.no_sharing {
+            for (fclass, frole, intervals, ops) in &mut fus {
+                if *fclass != class {
+                    continue;
+                }
+                if opts.separate_checkers && *frole != node.role {
+                    continue;
+                }
+                let overlaps = intervals.iter().any(|&(is, ie)| s < ie && is < e);
+                if !overlaps {
+                    intervals.push((s, e));
+                    ops.push(id);
+                    placed = true;
+                    break;
+                }
+            }
+        }
+        if !placed {
+            fus.push((class, node.role, vec![(s, e)], vec![id]));
+        }
+    }
+
+    // --- registers (left-edge over lifetimes) --------------------------
+    // A value needs storage from its avail cycle to the start of its last
+    // sequential use (loop-carried inputs/outputs live across the whole
+    // iteration).
+    let users = dfg.users();
+    let mut lifetimes: Vec<(u32, u32)> = Vec::new();
+    for (id, node) in dfg.iter() {
+        if matches!(node.kind, crate::dfg::OpKind::Output(_)) {
+            continue;
+        }
+        let birth = schedule.avail(id);
+        let mut death = birth;
+        let mut carried = matches!(node.kind, crate::dfg::OpKind::Input(_));
+        for u in &users[id.index()] {
+            let un = dfg.node(*u);
+            if matches!(un.kind, crate::dfg::OpKind::Output(_)) {
+                carried = true;
+            }
+            death = death.max(schedule.start(*u));
+        }
+        if carried {
+            // Live across the iteration boundary.
+            lifetimes.push((0, schedule.length()));
+        } else if death > birth {
+            lifetimes.push((birth, death));
+        }
+    }
+    lifetimes.sort();
+    let mut reg_ends: Vec<u32> = Vec::new(); // last death per register
+    let mut reg_writes: Vec<usize> = Vec::new();
+    for (birth, death) in lifetimes {
+        match reg_ends
+            .iter()
+            .position(|&end| end <= birth)
+        {
+            Some(r) => {
+                reg_ends[r] = death;
+                reg_writes[r] += 1;
+            }
+            None => {
+                reg_ends.push(death);
+                reg_writes.push(1);
+            }
+        }
+    }
+
+    // --- multiplexers ---------------------------------------------------
+    // Each shared unit with k > 1 ops needs (k - 1) extra legs per
+    // operand port (2 ports); each register written k > 1 times needs
+    // (k - 1) legs.
+    let mut mux_legs = 0usize;
+    for (_, _, _, ops) in &fus {
+        if ops.len() > 1 {
+            mux_legs += 2 * (ops.len() - 1);
+        }
+    }
+    for w in &reg_writes {
+        if *w > 1 {
+            mux_legs += w - 1;
+        }
+    }
+
+    Binding {
+        fus: fus
+            .into_iter()
+            .map(|(class, role, _, ops)| FuInstance { class, role, ops })
+            .collect(),
+        registers: reg_ends.len(),
+        mux_legs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::OpKind;
+    use crate::library::ResourceSet;
+    use crate::sched::list_schedule;
+
+    fn lib() -> ComponentLibrary {
+        ComponentLibrary::virtex16()
+    }
+
+    fn sched(d: &Dfg, r: &ResourceSet) -> Schedule {
+        list_schedule(d, &lib(), r)
+    }
+
+    #[test]
+    fn disjoint_ops_share_a_unit() {
+        let mut d = Dfg::new("share");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let s2 = d.op(OpKind::Add, &[s1, b]); // later cycle, same ALU
+        d.output("o", s2);
+        let s = sched(&d, &ResourceSet::min_area());
+        let bnd = bind(&d, &s, &lib(), BindOptions::default());
+        assert_eq!(bnd.fu_count(FuClass::Alu), 1);
+        assert!(bnd.mux_legs >= 2, "shared unit needs operand muxes");
+    }
+
+    #[test]
+    fn concurrent_ops_need_two_units() {
+        let mut d = Dfg::new("par");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let s2 = d.op(OpKind::Sub, &[a, b]);
+        d.output("o1", s1);
+        d.output("o2", s2);
+        let r = ResourceSet {
+            alus: 2,
+            ..ResourceSet::min_area()
+        };
+        let s = sched(&d, &r);
+        let bnd = bind(&d, &s, &lib(), BindOptions::default());
+        assert_eq!(bnd.fu_count(FuClass::Alu), 2);
+    }
+
+    #[test]
+    fn separate_checkers_forces_extra_unit() {
+        let mut d = Dfg::new("sep");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let c1 = d.checker_op(OpKind::Sub, &[s1, a], s1);
+        let ne = d.checker_op(OpKind::CmpNe, &[c1, b], s1);
+        d.output("o", s1);
+        d.output("e", ne);
+        let s = sched(&d, &ResourceSet::min_area());
+        let shared = bind(&d, &s, &lib(), BindOptions::default());
+        let separated = bind(
+            &d,
+            &s,
+            &lib(),
+            BindOptions {
+                separate_checkers: true,
+                no_sharing: false,
+            },
+        );
+        assert_eq!(shared.fu_count(FuClass::Alu), 1);
+        assert_eq!(separated.fu_count(FuClass::Alu), 2);
+    }
+
+    #[test]
+    fn no_sharing_gives_unit_per_op() {
+        let mut d = Dfg::new("nos");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let s2 = d.op(OpKind::Add, &[s1, b]);
+        d.output("o", s2);
+        let s = sched(&d, &ResourceSet::min_area());
+        let bnd = bind(
+            &d,
+            &s,
+            &lib(),
+            BindOptions {
+                separate_checkers: false,
+                no_sharing: true,
+            },
+        );
+        assert_eq!(bnd.fu_count(FuClass::Alu), 2);
+    }
+
+    #[test]
+    fn loop_carried_values_get_registers() {
+        let mut d = Dfg::new("acc");
+        let acc = d.input("acc");
+        let x = d.input("x");
+        let s = d.op(OpKind::Add, &[acc, x]);
+        d.output("acc", s);
+        let sch = sched(&d, &ResourceSet::min_area());
+        let bnd = bind(&d, &sch, &lib(), BindOptions::default());
+        // acc and x live across the iteration; the sum feeds the output.
+        assert!(bnd.registers >= 2, "registers = {}", bnd.registers);
+    }
+}

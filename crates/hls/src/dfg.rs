@@ -1,0 +1,330 @@
+//! Dataflow-graph IR for loop bodies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a DFG node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Operation kinds of DFG nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Loop-invariant or loop-carried input value.
+    Input(String),
+    /// Integer constant.
+    Const(i64),
+    /// Named result (no hardware; marks liveness to the loop edge).
+    Output(String),
+    /// Addition (ALU).
+    Add,
+    /// Subtraction (ALU).
+    Sub,
+    /// Negation (ALU).
+    Neg,
+    /// Multiplication (multiplier, multi-cycle).
+    Mul,
+    /// Division (divider, multi-cycle).
+    Div,
+    /// Remainder (divider, multi-cycle).
+    Rem,
+    /// Memory read from bank `bank` (memory port).
+    Load {
+        /// Memory bank index.
+        bank: usize,
+    },
+    /// Memory write to bank `bank` (memory port).
+    Store {
+        /// Memory bank index.
+        bank: usize,
+    },
+    /// Disequality comparator (checker logic, chained — zero latency).
+    CmpNe,
+    /// Single-bit OR (error accumulation, chained — zero latency).
+    OrBit,
+}
+
+impl OpKind {
+    /// `true` for operator nodes that the SCK mechanism can check.
+    #[must_use]
+    pub fn is_checkable(&self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div)
+    }
+
+    /// `true` for zero-latency checker logic chained into its producer's
+    /// cycle.
+    #[must_use]
+    pub fn is_chained(&self) -> bool {
+        matches!(self, OpKind::CmpNe | OpKind::OrBit)
+    }
+
+    /// `true` for nodes that occupy no datapath resource at all.
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_))
+    }
+}
+
+/// Whether a node belongs to the nominal computation or to the hidden
+/// checking operations inserted by the SCK expansion.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// User-visible computation.
+    #[default]
+    Nominal,
+    /// Hidden checking operation.
+    Checker,
+}
+
+/// One DFG node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation.
+    pub kind: OpKind,
+    /// Data predecessors.
+    pub args: Vec<NodeId>,
+    /// Nominal or checker role.
+    pub role: Role,
+    /// For checker nodes: the nominal node being checked.
+    pub check_of: Option<NodeId>,
+}
+
+/// A dataflow graph describing one loop body (acyclic by construction:
+/// nodes may only reference already-created nodes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// Creates an empty DFG named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The graph name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates `(id, node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        for a in &node.args {
+            assert!(a.0 < self.nodes.len(), "argument {a} does not exist");
+        }
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds an input node.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(Node {
+            kind: OpKind::Input(name.into()),
+            args: Vec::new(),
+            role: Role::Nominal,
+            check_of: None,
+        })
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: i64) -> NodeId {
+        self.push(Node {
+            kind: OpKind::Const(value),
+            args: Vec::new(),
+            role: Role::Nominal,
+            check_of: None,
+        })
+    }
+
+    /// Adds an operation node with [`Role::Nominal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument does not exist.
+    pub fn op(&mut self, kind: OpKind, args: &[NodeId]) -> NodeId {
+        self.push(Node {
+            kind,
+            args: args.to_vec(),
+            role: Role::Nominal,
+            check_of: None,
+        })
+    }
+
+    /// Adds a checker node attached to nominal node `of`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument or `of` does not exist.
+    pub fn checker_op(&mut self, kind: OpKind, args: &[NodeId], of: NodeId) -> NodeId {
+        assert!(of.0 < self.nodes.len(), "checked node {of} does not exist");
+        self.push(Node {
+            kind,
+            args: args.to_vec(),
+            role: Role::Checker,
+            check_of: Some(of),
+        })
+    }
+
+    /// Marks `value` as a named output.
+    pub fn output(&mut self, name: impl Into<String>, value: NodeId) -> NodeId {
+        self.push(Node {
+            kind: OpKind::Output(name.into()),
+            args: vec![value],
+            role: Role::Nominal,
+            check_of: None,
+        })
+    }
+
+    /// Users (consumers) of each node.
+    #[must_use]
+    pub fn users(&self) -> Vec<Vec<NodeId>> {
+        let mut users = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for a in &n.args {
+                users[a.0].push(NodeId(i));
+            }
+        }
+        users
+    }
+
+    /// Counts nodes per operation kind discriminant (for reports).
+    #[must_use]
+    pub fn op_histogram(&self) -> Vec<(String, usize)> {
+        let mut hist: Vec<(String, usize)> = Vec::new();
+        for n in &self.nodes {
+            let key = match &n.kind {
+                OpKind::Input(_) => "input".to_string(),
+                OpKind::Const(_) => "const".to_string(),
+                OpKind::Output(_) => "output".to_string(),
+                OpKind::Load { .. } => "load".to_string(),
+                OpKind::Store { .. } => "store".to_string(),
+                k => format!("{k:?}").to_lowercase(),
+            };
+            match hist.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, c)) => *c += 1,
+                None => hist.push((key, 1)),
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_topologically() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.op(OpKind::Add, &[a, b]);
+        let o = d.output("s", s);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.node(s).args, vec![a, b]);
+        assert!(matches!(d.node(o).kind, OpKind::Output(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn rejects_forward_reference() {
+        let mut d = Dfg::new("t");
+        let _ = d.op(OpKind::Add, &[NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn users_are_tracked() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let s1 = d.op(OpKind::Add, &[a, a]);
+        let s2 = d.op(OpKind::Sub, &[s1, a]);
+        let users = d.users();
+        assert_eq!(users[a.index()].len(), 3); // twice in s1, once in s2
+        assert_eq!(users[s1.index()], vec![s2]);
+    }
+
+    #[test]
+    fn checker_metadata() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.op(OpKind::Add, &[a, b]);
+        let c = d.checker_op(OpKind::Sub, &[s, a], s);
+        assert_eq!(d.node(c).role, Role::Checker);
+        assert_eq!(d.node(c).check_of, Some(s));
+        assert_eq!(d.node(s).role, Role::Nominal);
+    }
+
+    #[test]
+    fn histogram() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let _ = d.op(OpKind::Add, &[a, b]);
+        let _ = d.op(OpKind::Add, &[a, b]);
+        let hist = d.op_histogram();
+        assert!(hist.contains(&("add".to_string(), 2)));
+        assert!(hist.contains(&("input".to_string(), 2)));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(OpKind::Add.is_checkable());
+        assert!(!OpKind::CmpNe.is_checkable());
+        assert!(OpKind::CmpNe.is_chained());
+        assert!(OpKind::Input("x".into()).is_virtual());
+        assert!(!OpKind::Mul.is_virtual());
+    }
+}

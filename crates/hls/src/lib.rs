@@ -1,0 +1,64 @@
+//! High-level synthesis substrate for self-checking data-paths.
+//!
+//! The paper pushes concurrent error detection into the *specification*;
+//! a hardware implementation is then obtained through a behavioural
+//! synthesis flow (OFFIS SystemC-Plus synthesizer + Synopsys CoCentric in
+//! the paper's Figure 3). This crate rebuilds the parts of that flow
+//! needed to reproduce Table 3's hardware rows:
+//!
+//! * a **dataflow-graph IR** ([`Dfg`]) for loop bodies, with nominal and
+//!   checker roles on nodes;
+//! * the **SCK expansion pass** ([`transform::expand_sck`]) that rewrites
+//!   checkable operators into operator + hidden inverse operations +
+//!   comparators, in two styles: `Full` (the `SCK<T>` class template —
+//!   every operator checked, no sharing across template instances) and
+//!   `Embedded` (hand-embedded checks — selective checking, checker
+//!   hardware shared);
+//! * **scheduling** ([`sched`]): ASAP, ALAP, mobility and
+//!   resource-constrained list scheduling with multi-cycle operations and
+//!   zero-latency chained checker logic;
+//! * **binding** ([`bind()`](bind())): functional-unit and register binding
+//!   (left-edge), with a reliability-aware mode that keeps checker
+//!   operations off their nominal unit (required for full coverage, §2.1
+//!   of the paper);
+//! * **area and timing models** ([`ComponentLibrary`], [`area`](mod@area),
+//!   [`timing`]) in CLB slices and nanoseconds. Absolute slice constants
+//!   are calibrated against the paper's plain-FIR data point; every
+//!   relative effect (extra units, registers, multiplexers, controller
+//!   states, longer clock period from chained checkers) is structural.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_hls::{Dfg, OpKind, ResourceSet, ComponentLibrary, sched};
+//!
+//! // acc' = acc + c*x
+//! let mut dfg = Dfg::new("mac");
+//! let c = dfg.input("c");
+//! let x = dfg.input("x");
+//! let acc = dfg.input("acc");
+//! let t = dfg.op(OpKind::Mul, &[c, x]);
+//! let sum = dfg.op(OpKind::Add, &[acc, t]);
+//! dfg.output("acc_next", sum);
+//!
+//! let lib = ComponentLibrary::virtex16();
+//! let schedule = sched::list_schedule(&dfg, &lib, &ResourceSet::min_area());
+//! assert!(schedule.length() >= 3); // 2-cycle multiply + 1-cycle add
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod bind;
+mod dfg;
+mod library;
+pub mod sched;
+pub mod timing;
+pub mod transform;
+
+pub use area::{AreaReport, ErrorHandling};
+pub use bind::{bind, BindOptions, Binding, FuClass};
+pub use dfg::{Dfg, NodeId, OpKind, Role};
+pub use library::{ComponentLibrary, OpTiming, ResourceSet};
+pub use sched::Schedule;
+pub use transform::{expand_sck, SckStyle};

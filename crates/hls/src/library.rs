@@ -1,0 +1,230 @@
+//! Component library: per-operation timing and area characterisation.
+
+use crate::dfg::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Timing of one operation class.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpTiming {
+    /// Latency in clock cycles (0 for chained checker logic).
+    pub latency: u32,
+    /// Combinational delay contribution in nanoseconds.
+    pub delay_ns: f64,
+}
+
+/// Resource classes a scheduled operation can occupy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Adder/subtractor (ALU).
+    Alu,
+    /// Multiplier.
+    Mult,
+    /// Divider.
+    Div,
+    /// Memory port.
+    Mem,
+}
+
+/// Resource constraints for list scheduling.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSet {
+    /// Number of ALUs.
+    pub alus: usize,
+    /// Number of multipliers.
+    pub mults: usize,
+    /// Number of dividers.
+    pub divs: usize,
+    /// Number of memory ports.
+    pub mem_ports: usize,
+}
+
+impl ResourceSet {
+    /// The paper's minimum-area resource set: one unit of each class.
+    #[must_use]
+    pub fn min_area() -> Self {
+        Self {
+            alus: 1,
+            mults: 1,
+            divs: 1,
+            mem_ports: 1,
+        }
+    }
+
+    /// A latency-oriented resource set: enough units that the schedule is
+    /// dependence-bound rather than resource-bound.
+    #[must_use]
+    pub fn min_latency() -> Self {
+        Self {
+            alus: 4,
+            mults: 2,
+            divs: 1,
+            mem_ports: 2,
+        }
+    }
+
+    /// Capacity of one class.
+    #[must_use]
+    pub fn of(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::Alu => self.alus,
+            FuClass::Mult => self.mults,
+            FuClass::Div => self.divs,
+            FuClass::Mem => self.mem_ports,
+        }
+    }
+}
+
+/// Area/timing characterisation of datapath components, in CLB slices
+/// and nanoseconds.
+///
+/// The default [`ComponentLibrary::virtex16`] is calibrated so that the
+/// paper's plain FIR (min-area goal) lands near its reported 412 CLB
+/// slices at 20 MHz; all *relative* results (extra units, registers,
+/// multiplexer and controller growth, clock degradation from chained
+/// checkers) follow structurally from scheduling and binding. See
+/// EXPERIMENTS.md for the calibration narrative.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComponentLibrary {
+    /// Data width in bits.
+    pub width: u32,
+    /// ALU slices.
+    pub alu_slices: f64,
+    /// Multiplier slices.
+    pub mult_slices: f64,
+    /// Divider slices.
+    pub div_slices: f64,
+    /// Memory-port interface slices.
+    pub mem_slices: f64,
+    /// Comparator slices (checker).
+    pub cmp_slices: f64,
+    /// Register slices per stored word.
+    pub reg_slices: f64,
+    /// Multiplexer slices per (word-wide) input leg.
+    pub mux_slices_per_input: f64,
+    /// Controller slices per FSM state.
+    pub ctrl_slices_per_state: f64,
+    /// Fixed infrastructure (I/O, status) slices.
+    pub base_slices: f64,
+    /// ALU combinational delay (ns).
+    pub alu_delay: f64,
+    /// Multiplier per-cycle delay (ns).
+    pub mult_delay: f64,
+    /// Divider per-cycle delay (ns).
+    pub div_delay: f64,
+    /// Memory access delay (ns).
+    pub mem_delay: f64,
+    /// Comparator (chained) delay (ns).
+    pub cmp_delay: f64,
+    /// Error-accumulation OR (chained) delay (ns).
+    pub or_delay: f64,
+    /// Register/control overhead per cycle (ns).
+    pub seq_overhead: f64,
+}
+
+impl ComponentLibrary {
+    /// A 16-bit library calibrated against the paper's FIR case study
+    /// (Xilinx Virtex-class CLB slices).
+    #[must_use]
+    pub fn virtex16() -> Self {
+        Self {
+            width: 16,
+            alu_slices: 18.0,
+            mult_slices: 145.0,
+            div_slices: 230.0,
+            mem_slices: 40.0,
+            cmp_slices: 10.0,
+            reg_slices: 9.0,
+            mux_slices_per_input: 8.0,
+            ctrl_slices_per_state: 6.0,
+            base_slices: 30.0,
+            alu_delay: 18.0,
+            mult_delay: 42.0,
+            div_delay: 46.0,
+            mem_delay: 25.0,
+            cmp_delay: 10.0,
+            or_delay: 5.0,
+            seq_overhead: 8.0,
+        }
+    }
+
+    /// The resource class an operation occupies, `None` for virtual or
+    /// chained nodes.
+    #[must_use]
+    pub fn fu_class(kind: &OpKind) -> Option<FuClass> {
+        match kind {
+            OpKind::Add | OpKind::Sub | OpKind::Neg => Some(FuClass::Alu),
+            OpKind::Mul => Some(FuClass::Mult),
+            OpKind::Div | OpKind::Rem => Some(FuClass::Div),
+            OpKind::Load { .. } | OpKind::Store { .. } => Some(FuClass::Mem),
+            _ => None,
+        }
+    }
+
+    /// Timing of one operation.
+    #[must_use]
+    pub fn timing(&self, kind: &OpKind) -> OpTiming {
+        match kind {
+            OpKind::Add | OpKind::Sub | OpKind::Neg => OpTiming {
+                latency: 1,
+                delay_ns: self.alu_delay,
+            },
+            OpKind::Mul => OpTiming {
+                latency: 2,
+                delay_ns: self.mult_delay,
+            },
+            OpKind::Div | OpKind::Rem => OpTiming {
+                latency: 4,
+                delay_ns: self.div_delay,
+            },
+            OpKind::Load { .. } | OpKind::Store { .. } => OpTiming {
+                latency: 1,
+                delay_ns: self.mem_delay,
+            },
+            OpKind::CmpNe => OpTiming {
+                latency: 0,
+                delay_ns: self.cmp_delay,
+            },
+            OpKind::OrBit => OpTiming {
+                latency: 0,
+                delay_ns: self.or_delay,
+            },
+            OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_) => OpTiming {
+                latency: 0,
+                delay_ns: 0.0,
+            },
+        }
+    }
+
+    /// Slices of one functional-unit class.
+    #[must_use]
+    pub fn fu_slices(&self, class: FuClass) -> f64 {
+        match class {
+            FuClass::Alu => self.alu_slices,
+            FuClass::Mult => self.mult_slices,
+            FuClass::Div => self.div_slices,
+            FuClass::Mem => self.mem_slices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_timing() {
+        let lib = ComponentLibrary::virtex16();
+        assert_eq!(ComponentLibrary::fu_class(&OpKind::Add), Some(FuClass::Alu));
+        assert_eq!(ComponentLibrary::fu_class(&OpKind::Mul), Some(FuClass::Mult));
+        assert_eq!(ComponentLibrary::fu_class(&OpKind::CmpNe), None);
+        assert_eq!(lib.timing(&OpKind::Mul).latency, 2);
+        assert_eq!(lib.timing(&OpKind::CmpNe).latency, 0);
+        assert!(lib.timing(&OpKind::Div).delay_ns > lib.timing(&OpKind::Add).delay_ns);
+    }
+
+    #[test]
+    fn resource_sets() {
+        assert_eq!(ResourceSet::min_area().of(FuClass::Mult), 1);
+        assert!(ResourceSet::min_latency().of(FuClass::Alu) > 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Scheduling: ASAP, ALAP, mobility, resource-constrained list
+//! scheduling.
+//!
+//! Conventions:
+//!
+//! * sequential operations start at a cycle and occupy their functional
+//!   unit for `latency` consecutive cycles (non-pipelined units);
+//! * *chained* operations ([`OpKind::is_chained`](crate::OpKind::is_chained)) are combinational
+//!   checker logic evaluated in the cycle their last producer finishes —
+//!   they occupy no resource and add no latency, only combinational
+//!   delay (accounted by [`timing`](crate::timing));
+//! * *virtual* nodes (inputs, constants, outputs) take no time.
+
+use crate::dfg::{Dfg, NodeId, Role};
+use crate::library::{ComponentLibrary, FuClass, ResourceSet};
+use serde::{Deserialize, Serialize};
+
+/// A schedule: per-node start cycle and availability cycle.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    start: Vec<u32>,
+    avail: Vec<u32>,
+    length: u32,
+}
+
+impl Schedule {
+    /// Start cycle of a node (for chained nodes: the cycle in which the
+    /// logic evaluates).
+    #[must_use]
+    pub fn start(&self, id: NodeId) -> u32 {
+        self.start[id.index()]
+    }
+
+    /// First cycle at which the node's value can feed a sequential
+    /// consumer.
+    #[must_use]
+    pub fn avail(&self, id: NodeId) -> u32 {
+        self.avail[id.index()]
+    }
+
+    /// Total schedule length in cycles (the makespan of all nodes).
+    #[must_use]
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// Schedule length restricted to [`Role::Nominal`] nodes — the
+    /// per-iteration latency when checker operations run on dedicated
+    /// units and may overlap the next iteration.
+    #[must_use]
+    pub fn nominal_length(&self, dfg: &Dfg) -> u32 {
+        dfg.iter()
+            .filter(|(_, n)| n.role == Role::Nominal && !n.kind.is_virtual())
+            .map(|(id, _)| self.avail[id.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn node_inputs_avail(dfg: &Dfg, avail: &[u32], id: NodeId) -> u32 {
+    dfg.node(id)
+        .args
+        .iter()
+        .map(|a| avail[a.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+fn place(
+    dfg: &Dfg,
+    lib: &ComponentLibrary,
+    start_of: impl Fn(NodeId, u32) -> u32,
+) -> (Vec<u32>, Vec<u32>, u32) {
+    let n = dfg.len();
+    let mut start = vec![0u32; n];
+    let mut avail = vec![0u32; n];
+    let mut length = 0u32;
+    for (id, node) in dfg.iter() {
+        let ready = node_inputs_avail(dfg, &avail, id);
+        let t = lib.timing(&node.kind);
+        if node.kind.is_virtual() {
+            start[id.index()] = ready;
+            avail[id.index()] = ready;
+        } else if node.kind.is_chained() {
+            // Evaluates combinationally in the cycle its last producer
+            // finishes (ready - 1), consumable from `ready`.
+            start[id.index()] = ready.saturating_sub(1);
+            avail[id.index()] = ready;
+        } else {
+            let s = start_of(id, ready);
+            start[id.index()] = s;
+            avail[id.index()] = s + t.latency;
+            length = length.max(s + t.latency);
+        }
+    }
+    (start, avail, length)
+}
+
+/// As-soon-as-possible schedule (unlimited resources).
+#[must_use]
+pub fn asap(dfg: &Dfg, lib: &ComponentLibrary) -> Schedule {
+    let (start, avail, length) = place(dfg, lib, |_, ready| ready);
+    Schedule {
+        start,
+        avail,
+        length,
+    }
+}
+
+/// As-late-as-possible start cycles against `horizon` (typically the
+/// ASAP length). Returns per-node ALAP start cycles.
+///
+/// # Panics
+///
+/// Panics if `horizon` is shorter than the critical path.
+#[must_use]
+pub fn alap_starts(dfg: &Dfg, lib: &ComponentLibrary, horizon: u32) -> Vec<u32> {
+    let n = dfg.len();
+    // deadline[i]: latest avail cycle allowed.
+    let mut deadline = vec![horizon; n];
+    for (id, node) in dfg.iter().collect::<Vec<_>>().into_iter().rev() {
+        let t = lib.timing(&node.kind);
+        let lat = if node.kind.is_virtual() || node.kind.is_chained() {
+            0
+        } else {
+            t.latency
+        };
+        let start_latest = deadline[id.index()].checked_sub(lat).unwrap_or_else(|| {
+            panic!("horizon {horizon} shorter than critical path at {id}")
+        });
+        for a in &node.args {
+            deadline[a.index()] = deadline[a.index()].min(start_latest);
+        }
+    }
+    // Convert avail deadlines to start cycles.
+    dfg.iter()
+        .map(|(id, node)| {
+            let t = lib.timing(&node.kind);
+            let lat = if node.kind.is_virtual() || node.kind.is_chained() {
+                0
+            } else {
+                t.latency
+            };
+            deadline[id.index()].saturating_sub(lat)
+        })
+        .collect()
+}
+
+/// Per-node mobility (ALAP − ASAP start); zero for critical-path nodes.
+#[must_use]
+pub fn mobility(dfg: &Dfg, lib: &ComponentLibrary) -> Vec<u32> {
+    let asap_sched = asap(dfg, lib);
+    let alap = alap_starts(dfg, lib, asap_sched.length());
+    dfg.iter()
+        .map(|(id, _)| alap[id.index()].saturating_sub(asap_sched.start(id)))
+        .collect()
+}
+
+/// Resource-constrained list scheduling with mobility priority (lower
+/// mobility first; ties broken by node order).
+///
+/// Sequential nodes contend for [`ResourceSet`] capacity; chained and
+/// virtual nodes are placed for free as soon as their inputs are ready.
+#[must_use]
+pub fn list_schedule(dfg: &Dfg, lib: &ComponentLibrary, resources: &ResourceSet) -> Schedule {
+    let n = dfg.len();
+    let prio = mobility(dfg, lib);
+    let mut start = vec![u32::MAX; n];
+    let mut avail = vec![u32::MAX; n];
+    let mut length = 0u32;
+    // busy[class] -> per-cycle usage count (grow on demand).
+    let mut busy: std::collections::HashMap<FuClass, Vec<usize>> = std::collections::HashMap::new();
+    let mut unscheduled: Vec<NodeId> = dfg.iter().map(|(id, _)| id).collect();
+
+    let mut cycle = 0u32;
+    let mut guard = 0u32;
+    while !unscheduled.is_empty() {
+        guard += 1;
+        assert!(guard < 1_000_000, "scheduler failed to converge");
+        // Place all virtual/chained nodes whose inputs are ready.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            unscheduled.retain(|&id| {
+                let node = dfg.node(id);
+                let ready = node
+                    .args
+                    .iter()
+                    .all(|a| avail[a.index()] != u32::MAX);
+                if !ready {
+                    return true;
+                }
+                let inputs_avail = node_inputs_avail_done(dfg, &avail, id);
+                if node.kind.is_virtual() {
+                    start[id.index()] = inputs_avail;
+                    avail[id.index()] = inputs_avail;
+                    progressed = true;
+                    false
+                } else if node.kind.is_chained() {
+                    start[id.index()] = inputs_avail.saturating_sub(1);
+                    avail[id.index()] = inputs_avail;
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Collect sequential candidates ready at `cycle`.
+        let mut candidates: Vec<NodeId> = unscheduled
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let node = dfg.node(id);
+                node.args.iter().all(|a| avail[a.index()] != u32::MAX)
+                    && node_inputs_avail_done(dfg, &avail, id) <= cycle
+            })
+            .collect();
+        candidates.sort_by_key(|id| (prio[id.index()], id.index()));
+        for id in candidates {
+            let node = dfg.node(id);
+            let class = ComponentLibrary::fu_class(&node.kind).expect("sequential node");
+            let lat = lib.timing(&node.kind).latency.max(1);
+            let lanes = busy.entry(class).or_default();
+            let needed = (cycle + lat) as usize;
+            if lanes.len() < needed {
+                lanes.resize(needed, 0);
+            }
+            let cap = resources.of(class);
+            let free = (cycle..cycle + lat).all(|c| lanes[c as usize] < cap);
+            if free {
+                for c in cycle..cycle + lat {
+                    lanes[c as usize] += 1;
+                }
+                start[id.index()] = cycle;
+                avail[id.index()] = cycle + lat;
+                length = length.max(cycle + lat);
+                unscheduled.retain(|&u| u != id);
+            }
+        }
+        cycle += 1;
+    }
+    Schedule {
+        start,
+        avail,
+        length,
+    }
+}
+
+fn node_inputs_avail_done(dfg: &Dfg, avail: &[u32], id: NodeId) -> u32 {
+    dfg.node(id)
+        .args
+        .iter()
+        .map(|a| avail[a.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::OpKind;
+
+    fn mac_dfg() -> Dfg {
+        let mut d = Dfg::new("mac");
+        let c = d.input("c");
+        let x = d.input("x");
+        let acc = d.input("acc");
+        let t = d.op(OpKind::Mul, &[c, x]);
+        let s = d.op(OpKind::Add, &[acc, t]);
+        d.output("acc2", s);
+        d
+    }
+
+    #[test]
+    fn asap_critical_path() {
+        let d = mac_dfg();
+        let lib = ComponentLibrary::virtex16();
+        let s = asap(&d, &lib);
+        // mult latency 2 + add 1.
+        assert_eq!(s.length(), 3);
+    }
+
+    #[test]
+    fn alap_and_mobility() {
+        let mut d = Dfg::new("two");
+        let a = d.input("a");
+        let b = d.input("b");
+        let m = d.op(OpKind::Mul, &[a, b]); // critical: 2 cycles
+        let s1 = d.op(OpKind::Add, &[a, b]); // slack: 1 cycle vs horizon 3
+        let s2 = d.op(OpKind::Add, &[m, s1]);
+        d.output("o", s2);
+        let lib = ComponentLibrary::virtex16();
+        let mob = mobility(&d, &lib);
+        assert_eq!(mob[m.index()], 0, "multiply is critical");
+        assert!(mob[s1.index()] > 0, "first add has slack");
+        assert_eq!(mob[s2.index()], 0);
+    }
+
+    #[test]
+    fn list_schedule_respects_resources() {
+        // Two independent multiplies, one multiplier: serialized.
+        let mut d = Dfg::new("two_mults");
+        let a = d.input("a");
+        let b = d.input("b");
+        let m1 = d.op(OpKind::Mul, &[a, b]);
+        let m2 = d.op(OpKind::Mul, &[b, a]);
+        d.output("o1", m1);
+        d.output("o2", m2);
+        let lib = ComponentLibrary::virtex16();
+        let one = ResourceSet {
+            alus: 1,
+            mults: 1,
+            divs: 1,
+            mem_ports: 1,
+        };
+        let s = list_schedule(&d, &lib, &one);
+        assert_eq!(s.length(), 4, "2 + 2 serialized");
+        let many = ResourceSet {
+            mults: 2,
+            ..one
+        };
+        let s2 = list_schedule(&d, &lib, &many);
+        assert_eq!(s2.length(), 2, "parallel with two multipliers");
+    }
+
+    #[test]
+    fn list_schedule_matches_asap_with_infinite_resources() {
+        let d = mac_dfg();
+        let lib = ComponentLibrary::virtex16();
+        let inf = ResourceSet {
+            alus: 99,
+            mults: 99,
+            divs: 99,
+            mem_ports: 99,
+        };
+        assert_eq!(list_schedule(&d, &lib, &inf).length(), asap(&d, &lib).length());
+    }
+
+    #[test]
+    fn chained_nodes_take_no_cycle() {
+        let mut d = Dfg::new("chk");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.op(OpKind::Add, &[a, b]);
+        let c = d.checker_op(OpKind::Sub, &[s, a], s);
+        let ne = d.checker_op(OpKind::CmpNe, &[c, b], s);
+        d.output("err", ne);
+        let lib = ComponentLibrary::virtex16();
+        let sched = asap(&d, &lib);
+        assert_eq!(sched.length(), 2, "add + checking sub; cmp chained");
+        assert_eq!(sched.start(ne), 1, "cmp evaluates in the sub's cycle");
+        assert_eq!(sched.avail(ne), 2);
+    }
+
+    #[test]
+    fn nominal_length_excludes_checker_tail() {
+        let mut d = Dfg::new("tail");
+        let a = d.input("a");
+        let b = d.input("b");
+        let m = d.op(OpKind::Mul, &[a, b]);
+        d.output("o", m);
+        // Checker multiply runs after (on another unit).
+        let n = d.checker_op(OpKind::Mul, &[a, b], m);
+        let z = d.checker_op(OpKind::Add, &[m, n], m);
+        let ne = d.checker_op(OpKind::CmpNe, &[z, a], m);
+        let _ = d.output("err", ne);
+        let lib = ComponentLibrary::virtex16();
+        let s = list_schedule(&d, &lib, &ResourceSet::min_latency());
+        assert!(s.length() > s.nominal_length(&d));
+        assert_eq!(s.nominal_length(&d), 2);
+    }
+
+    #[test]
+    fn mem_port_contention() {
+        let mut d = Dfg::new("mem");
+        let i = d.input("i");
+        let l1 = d.op(OpKind::Load { bank: 0 }, &[i]);
+        let l2 = d.op(OpKind::Load { bank: 1 }, &[i]);
+        d.output("a", l1);
+        d.output("b", l2);
+        let lib = ComponentLibrary::virtex16();
+        let s1 = list_schedule(&d, &lib, &ResourceSet::min_area());
+        assert_eq!(s1.length(), 2, "one port serializes the loads");
+        let s2 = list_schedule(&d, &lib, &ResourceSet::min_latency());
+        assert_eq!(s2.length(), 1, "two ports");
+    }
+}

@@ -1,0 +1,132 @@
+//! Clock-period / fmax estimation from a scheduled DFG.
+
+use crate::dfg::Dfg;
+use crate::library::ComponentLibrary;
+use crate::sched::Schedule;
+
+/// How checker logic is placed relative to the clock.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ChainPolicy {
+    /// Comparators and error ORs chain combinationally onto their
+    /// producer's cycle (saves states; lengthens the critical path —
+    /// the min-area flavour of Table 3's frequency degradation).
+    ChainChecks,
+    /// A register is inserted before checker logic, keeping the nominal
+    /// critical path intact (the min-latency flavour: 20 MHz preserved).
+    RegisterChecks,
+}
+
+/// Minimum clock period (ns) of the scheduled design: the worst
+/// intra-cycle combinational path plus sequential overhead.
+///
+/// Sequential operations contribute their own delay (multi-cycle units
+/// contribute their per-cycle delay). Under
+/// [`ChainPolicy::ChainChecks`], chained nodes ([`OpKind::CmpNe`](crate::OpKind::CmpNe),
+/// [`OpKind::OrBit`](crate::OpKind::OrBit)) extend the path of the producer finishing in their
+/// evaluation cycle.
+#[must_use]
+pub fn min_clock_period(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    lib: &ComponentLibrary,
+    policy: ChainPolicy,
+) -> f64 {
+    let n = dfg.len();
+    // arrival[i]: combinational arrival time of node i's output within
+    // its final execution cycle.
+    let mut arrival = vec![0.0f64; n];
+    let mut worst: f64 = 0.0;
+    for (id, node) in dfg.iter() {
+        let t = lib.timing(&node.kind);
+        let a = match &node.kind {
+            k if k.is_virtual() => 0.0,
+            k if k.is_chained() => {
+                match policy {
+                    ChainPolicy::ChainChecks => {
+                        // Chain onto producers that finish in this node's
+                        // evaluation cycle.
+                        let cycle = schedule.start(id);
+                        let base = node
+                            .args
+                            .iter()
+                            .map(|arg| {
+                                let an = dfg.node(*arg);
+                                let finishes_here = !an.kind.is_virtual()
+                                    && schedule.avail(*arg).saturating_sub(1) == cycle;
+                                if finishes_here {
+                                    arrival[arg.index()]
+                                } else {
+                                    0.0 // registered / stable operand
+                                }
+                            })
+                            .fold(0.0f64, f64::max);
+                        base + t.delay_ns
+                    }
+                    ChainPolicy::RegisterChecks => t.delay_ns,
+                }
+            }
+            _ => t.delay_ns,
+        };
+        arrival[id.index()] = a;
+        if !node.kind.is_virtual() {
+            worst = worst.max(a);
+        }
+    }
+    worst + lib.seq_overhead
+}
+
+/// Maximum clock frequency in MHz.
+#[must_use]
+pub fn fmax_mhz(dfg: &Dfg, schedule: &Schedule, lib: &ComponentLibrary, policy: ChainPolicy) -> f64 {
+    1000.0 / min_clock_period(dfg, schedule, lib, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{Dfg, OpKind};
+    use crate::library::ResourceSet;
+    use crate::sched::list_schedule;
+
+    #[test]
+    fn plain_design_is_multiplier_bound() {
+        let mut d = Dfg::new("mac");
+        let a = d.input("a");
+        let b = d.input("b");
+        let m = d.op(OpKind::Mul, &[a, b]);
+        let acc = d.input("acc");
+        let s = d.op(OpKind::Add, &[acc, m]);
+        d.output("o", s);
+        let lib = ComponentLibrary::virtex16();
+        let sch = list_schedule(&d, &lib, &ResourceSet::min_area());
+        let p = min_clock_period(&d, &sch, &lib, ChainPolicy::ChainChecks);
+        assert!((p - (lib.mult_delay + lib.seq_overhead)).abs() < 1e-9);
+        assert!((fmax_mhz(&d, &sch, &lib, ChainPolicy::ChainChecks) - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn chained_comparator_degrades_fmax() {
+        let mut d = Dfg::new("chk");
+        let a = d.input("a");
+        let b = d.input("b");
+        let m = d.op(OpKind::Mul, &[a, b]);
+        let mc = d.checker_op(OpKind::Mul, &[a, b], m);
+        let ne = d.checker_op(OpKind::CmpNe, &[m, mc], m);
+        d.output("o", m);
+        d.output("e", ne);
+        let lib = ComponentLibrary::virtex16();
+        let sch = list_schedule(
+            &d,
+            &lib,
+            &ResourceSet {
+                mults: 2,
+                ..ResourceSet::min_area()
+            },
+        );
+        let chained = min_clock_period(&d, &sch, &lib, ChainPolicy::ChainChecks);
+        let registered = min_clock_period(&d, &sch, &lib, ChainPolicy::RegisterChecks);
+        assert!(chained > registered);
+        assert!((chained - (lib.mult_delay + lib.cmp_delay + lib.seq_overhead)).abs() < 1e-9);
+        assert!((registered - (lib.mult_delay + lib.seq_overhead)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,326 @@
+//! The SCK expansion pass: rewriting checkable operators into operator +
+//! hidden inverse operations + comparators.
+//!
+//! This pass plays the role of the OFFIS SystemC-Plus synthesizer in the
+//! paper's Figure 3: it turns the *specification-level* self-checking
+//! semantics (the overloaded operators of `SCK<TYPE>`) into explicit
+//! hardware operations a behavioural synthesis flow can schedule.
+
+use crate::dfg::{Dfg, NodeId, OpKind, Role};
+use scdp_core::Technique;
+
+/// How the self-checking property is introduced in the specification.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SckStyle {
+    /// No checking (the reference design).
+    Plain,
+    /// The `SCK<T>` class template: **every** checkable operator is
+    /// expanded, and every result keeps its own error bit (registered,
+    /// per-value). This is the paper's "FIR with SCK".
+    Full,
+    /// Hand-embedded checking: only data-path operators (those whose
+    /// results reach data outputs or memory writes — not address/index
+    /// arithmetic) are expanded, and a single sticky error flag
+    /// accumulates every comparator. This is the paper's "FIR embedded
+    /// SCK".
+    Embedded,
+}
+
+/// Expands `dfg` according to `style`, inserting the Table 1 checking
+/// operations of `technique` for every targeted operator.
+///
+/// Checker operations carry [`Role::Checker`] and reference the nominal
+/// node they verify, so binding can keep them off the nominal unit
+/// (reliability-aware allocation) and scheduling can report
+/// nominal-only latency.
+#[must_use]
+pub fn expand_sck(dfg: &Dfg, technique: Technique, style: SckStyle) -> Dfg {
+    if style == SckStyle::Plain {
+        return dfg.clone();
+    }
+    let targets = match style {
+        SckStyle::Full => dfg
+            .iter()
+            .filter(|(_, n)| n.kind.is_checkable() && n.role == Role::Nominal)
+            .map(|(id, _)| id)
+            .collect::<Vec<_>>(),
+        SckStyle::Embedded => datapath_targets(dfg),
+        SckStyle::Plain => unreachable!(),
+    };
+
+    let mut out = Dfg::new(format!("{}_{:?}", dfg.name(), style).to_lowercase());
+    let mut map: Vec<NodeId> = Vec::with_capacity(dfg.len());
+    let mut alarms: Vec<NodeId> = Vec::new();
+    let mut err_index = 0usize;
+
+    for (id, node) in dfg.iter() {
+        let args: Vec<NodeId> = node.args.iter().map(|a| map[a.index()]).collect();
+        let new_id = match &node.kind {
+            OpKind::Input(name) => out.input(name.clone()),
+            OpKind::Const(v) => out.constant(*v),
+            OpKind::Output(name) => out.output(name.clone(), args[0]),
+            kind => out.op(kind.clone(), &args),
+        };
+        map.push(new_id);
+
+        if targets.contains(&id) {
+            let alarm = insert_checks(&mut out, new_id, &args, &dfg.node(id).kind, technique);
+            match style {
+                SckStyle::Full => {
+                    // Per-value error bit: registered output per check.
+                    out.output(format!("_err{err_index}"), alarm);
+                    err_index += 1;
+                }
+                SckStyle::Embedded => alarms.push(alarm),
+                SckStyle::Plain => unreachable!(),
+            }
+        }
+    }
+
+    if style == SckStyle::Embedded && !alarms.is_empty() {
+        // Single sticky flag: OR-chain all comparators.
+        let mut acc = alarms[0];
+        for &a in &alarms[1..] {
+            acc = out.checker_op(OpKind::OrBit, &[acc, a], acc);
+        }
+        out.output("error", acc);
+    }
+    out
+}
+
+/// Inserts the Table 1 checking operations for one nominal node; returns
+/// the alarm (comparator or OR of comparators) node.
+fn insert_checks(
+    out: &mut Dfg,
+    ris: NodeId,
+    args: &[NodeId],
+    kind: &OpKind,
+    technique: Technique,
+) -> NodeId {
+    let (op1, op2) = (args[0], args[1]);
+    let mut alarms: Vec<NodeId> = Vec::new();
+    match kind {
+        OpKind::Add => {
+            if technique.uses_tech1() {
+                // op2' = ris - op1 ; op2 == op2'
+                let c = out.checker_op(OpKind::Sub, &[ris, op1], ris);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[c, op2], ris));
+            }
+            if technique.uses_tech2() {
+                let c = out.checker_op(OpKind::Sub, &[ris, op2], ris);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[c, op1], ris));
+            }
+        }
+        OpKind::Sub => {
+            if technique.uses_tech1() {
+                // op1' = ris + op2 ; op1 == op1'
+                let c = out.checker_op(OpKind::Add, &[ris, op2], ris);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[c, op1], ris));
+            }
+            if technique.uses_tech2() {
+                // ris' = op2 - op1 ; 0 == ris + ris'
+                let d = out.checker_op(OpKind::Sub, &[op2, op1], ris);
+                let z = out.checker_op(OpKind::Add, &[ris, d], ris);
+                let zero = out.constant(0);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[z, zero], ris));
+            }
+        }
+        OpKind::Mul => {
+            if technique.uses_tech1() {
+                // ris' = (-op1) x op2 ; 0 == ris + ris'
+                let n = out.checker_op(OpKind::Neg, &[op1], ris);
+                let m = out.checker_op(OpKind::Mul, &[n, op2], ris);
+                let z = out.checker_op(OpKind::Add, &[ris, m], ris);
+                let zero = out.constant(0);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[z, zero], ris));
+            }
+            if technique.uses_tech2() {
+                let n = out.checker_op(OpKind::Neg, &[op2], ris);
+                let m = out.checker_op(OpKind::Mul, &[op1, n], ris);
+                let z = out.checker_op(OpKind::Add, &[ris, m], ris);
+                let zero = out.constant(0);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[z, zero], ris));
+            }
+        }
+        OpKind::Div => {
+            // op1' = ris x op2 + (op1 % op2) ; op1 == op1'  (Tech1)
+            // op1' = -ris x op2 - (op1 % op2) ; -op1 == op1' (Tech2)
+            let rem = out.checker_op(OpKind::Rem, &[op1, op2], ris);
+            if technique.uses_tech1() {
+                let m = out.checker_op(OpKind::Mul, &[ris, op2], ris);
+                let s = out.checker_op(OpKind::Add, &[m, rem], ris);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[s, op1], ris));
+            }
+            if technique.uses_tech2() {
+                let nq = out.checker_op(OpKind::Neg, &[ris], ris);
+                let m = out.checker_op(OpKind::Mul, &[nq, op2], ris);
+                let s = out.checker_op(OpKind::Sub, &[m, rem], ris);
+                let na = out.checker_op(OpKind::Neg, &[op1], ris);
+                alarms.push(out.checker_op(OpKind::CmpNe, &[s, na], ris));
+            }
+        }
+        other => unreachable!("not a checkable kind: {other:?}"),
+    }
+    if alarms.len() == 1 {
+        alarms[0]
+    } else {
+        let mut acc = alarms[0];
+        for &a in &alarms[1..] {
+            acc = out.checker_op(OpKind::OrBit, &[acc, a], ris);
+        }
+        acc
+    }
+}
+
+/// Embedded-style targets: checkable nominal nodes whose result reaches
+/// a data output (name not starting with `_`) or a memory-write value
+/// operand — i.e. real data-path results, not address or loop-index
+/// arithmetic.
+fn datapath_targets(dfg: &Dfg) -> Vec<NodeId> {
+    let mut data = vec![false; dfg.len()];
+    // Seed: values feeding data outputs and memory-write values.
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (_, node) in dfg.iter() {
+        match &node.kind {
+            OpKind::Output(name) if !name.starts_with('_') => stack.push(node.args[0]),
+            OpKind::Store { .. } => {
+                if let Some(value) = node.args.get(1) {
+                    stack.push(*value);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Walk producers, stopping at memory reads (their *address* operand
+    // is index arithmetic, not data).
+    while let Some(id) = stack.pop() {
+        if data[id.index()] {
+            continue;
+        }
+        data[id.index()] = true;
+        let node = dfg.node(id);
+        match &node.kind {
+            OpKind::Load { .. } => {}
+            OpKind::Store { .. } => {
+                if let Some(value) = node.args.get(1) {
+                    stack.push(*value);
+                }
+            }
+            _ => stack.extend(node.args.iter().copied()),
+        }
+    }
+    dfg.iter()
+        .filter(|(id, n)| n.kind.is_checkable() && n.role == Role::Nominal && data[id.index()])
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{ComponentLibrary, ResourceSet};
+    use crate::sched::list_schedule;
+
+    /// A miniature FIR-like body: address add + MAC.
+    fn body() -> Dfg {
+        let mut d = Dfg::new("body");
+        let i = d.input("i");
+        let one = d.constant(1);
+        let i2 = d.op(OpKind::Add, &[i, one]); // index arithmetic
+        d.output("_i", i2);
+        let c = d.op(OpKind::Load { bank: 0 }, &[i2]);
+        let x = d.op(OpKind::Load { bank: 1 }, &[i2]);
+        let acc = d.input("acc");
+        let t = d.op(OpKind::Mul, &[c, x]);
+        let s = d.op(OpKind::Add, &[acc, t]);
+        d.output("acc", s);
+        d
+    }
+
+    #[test]
+    fn plain_is_identity() {
+        let d = body();
+        let p = expand_sck(&d, Technique::Tech1, SckStyle::Plain);
+        assert_eq!(p.len(), d.len());
+    }
+
+    #[test]
+    fn full_checks_every_checkable_op() {
+        let d = body();
+        let f = expand_sck(&d, Technique::Tech1, SckStyle::Full);
+        // 3 checkable ops (index add, mul, acc add) each gain checkers.
+        let checkers = f
+            .iter()
+            .filter(|(_, n)| n.role == Role::Checker)
+            .count();
+        assert!(checkers >= 3 * 2, "checkers = {checkers}");
+        // Per-value error outputs.
+        let errs = f
+            .iter()
+            .filter(
+                |(_, n)| matches!(&n.kind, OpKind::Output(name) if name.starts_with("_err")),
+            )
+            .count();
+        assert_eq!(errs, 3);
+    }
+
+    #[test]
+    fn embedded_skips_index_arithmetic() {
+        let d = body();
+        let e = expand_sck(&d, Technique::Tech1, SckStyle::Embedded);
+        // Only mul and acc add are checked (2 targets).
+        let checked: Vec<_> = e
+            .iter()
+            .filter(|(_, n)| n.role == Role::Checker && matches!(n.kind, OpKind::CmpNe))
+            .collect();
+        assert_eq!(checked.len(), 2, "index add must not be checked");
+        // Single sticky error flag.
+        let errs = e
+            .iter()
+            .filter(|(_, n)| matches!(&n.kind, OpKind::Output(name) if name == "error"))
+            .count();
+        assert_eq!(errs, 1);
+    }
+
+    #[test]
+    fn both_technique_doubles_add_checkers() {
+        let d = body();
+        let t1 = expand_sck(&d, Technique::Tech1, SckStyle::Full);
+        let tb = expand_sck(&d, Technique::Both, SckStyle::Full);
+        let count = |g: &Dfg| {
+            g.iter()
+                .filter(|(_, n)| n.role == Role::Checker && matches!(n.kind, OpKind::CmpNe))
+                .count()
+        };
+        assert!(count(&tb) > count(&t1));
+    }
+
+    #[test]
+    fn expanded_graph_schedules() {
+        let d = body();
+        let lib = ComponentLibrary::virtex16();
+        let plain_len = list_schedule(&d, &lib, &ResourceSet::min_area()).length();
+        let full = expand_sck(&d, Technique::Tech1, SckStyle::Full);
+        let full_len = list_schedule(&full, &lib, &ResourceSet::min_area()).length();
+        let emb = expand_sck(&d, Technique::Tech1, SckStyle::Embedded);
+        let emb_len = list_schedule(&emb, &lib, &ResourceSet::min_area()).length();
+        assert!(full_len >= emb_len, "full {full_len} vs embedded {emb_len}");
+        assert!(emb_len > plain_len, "embedded {emb_len} vs plain {plain_len}");
+    }
+
+    #[test]
+    fn div_checks_use_divider_remainder() {
+        let mut d = Dfg::new("div");
+        let a = d.input("a");
+        let b = d.input("b");
+        let q = d.op(OpKind::Div, &[a, b]);
+        d.output("q", q);
+        let f = expand_sck(&d, Technique::Tech1, SckStyle::Full);
+        assert!(f
+            .iter()
+            .any(|(_, n)| matches!(n.kind, OpKind::Rem) && n.role == Role::Checker));
+        assert!(f
+            .iter()
+            .any(|(_, n)| matches!(n.kind, OpKind::Mul) && n.role == Role::Checker));
+    }
+}

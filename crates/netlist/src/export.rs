@@ -1,0 +1,156 @@
+//! Netlist exports: structural Verilog and Graphviz DOT.
+
+use crate::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Renders the netlist as a structural Verilog module (one continuous
+/// assignment per gate).
+///
+/// The output is synthesizable by any Verilog tool chain; it is the
+/// hand-off point from this repository's generators to a conventional
+/// implementation flow (the role Synopsys CoCentric plays in the paper's
+/// Figure 3).
+///
+/// # Example
+///
+/// ```
+/// use scdp_netlist::{export, gen};
+///
+/// let v = export::to_verilog(&gen::rca(4));
+/// assert!(v.contains("module rca4"));
+/// assert!(v.contains("assign"));
+/// ```
+#[must_use]
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let mut ports = Vec::new();
+    for (name, _) in netlist.inputs() {
+        ports.push(name.clone());
+    }
+    for (name, _) in netlist.outputs() {
+        ports.push(name.clone());
+    }
+    let _ = writeln!(out, "module {}({});", netlist.name(), ports.join(", "));
+    for (name, bus) in netlist.inputs() {
+        let _ = writeln!(out, "  input [{}:0] {};", bus.len() - 1, name);
+    }
+    for (name, bus) in netlist.outputs() {
+        let _ = writeln!(out, "  output [{}:0] {};", bus.len() - 1, name);
+    }
+
+    // Wire declarations for every non-input gate.
+    let mut next_input = Vec::new();
+    for (name, bus) in netlist.inputs() {
+        for (i, net) in bus.iter().enumerate() {
+            next_input.push((net.index(), format!("{name}[{i}]")));
+        }
+    }
+    let input_name = |idx: usize| -> Option<&str> {
+        next_input
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, n)| n.as_str())
+    };
+
+    let net_name = |idx: usize| -> String {
+        input_name(idx).map_or_else(|| format!("n{idx}"), str::to_string)
+    };
+
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        match gate.kind {
+            GateKind::Input => {}
+            GateKind::Const(v) => {
+                let _ = writeln!(out, "  wire n{i} = 1'b{};", u8::from(v));
+            }
+            GateKind::Not => {
+                let a = net_name(gate.a.expect("not input").index());
+                let _ = writeln!(out, "  wire n{i} = ~{a};");
+            }
+            GateKind::Buf => {
+                let a = net_name(gate.a.expect("buf input").index());
+                let _ = writeln!(out, "  wire n{i} = {a};");
+            }
+            kind => {
+                let a = net_name(gate.a.expect("gate input a").index());
+                let b = net_name(gate.b.expect("gate input b").index());
+                let expr = match kind {
+                    GateKind::And => format!("{a} & {b}"),
+                    GateKind::Or => format!("{a} | {b}"),
+                    GateKind::Xor => format!("{a} ^ {b}"),
+                    GateKind::Nand => format!("~({a} & {b})"),
+                    GateKind::Nor => format!("~({a} | {b})"),
+                    GateKind::Xnor => format!("~({a} ^ {b})"),
+                    _ => unreachable!("two-input kinds handled"),
+                };
+                let _ = writeln!(out, "  wire n{i} = {expr};");
+            }
+        }
+    }
+    for (name, bus) in netlist.outputs() {
+        for (i, net) in bus.iter().enumerate() {
+            let _ = writeln!(out, "  assign {name}[{i}] = {};", net_name(net.index()));
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Renders the netlist as a Graphviz DOT digraph (gates as nodes, nets as
+/// edges), handy for inspecting small generated datapaths.
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let (label, shape) = match gate.kind {
+            GateKind::Input => ("IN".to_string(), "invtriangle"),
+            GateKind::Const(v) => (format!("{}", u8::from(v)), "plaintext"),
+            k => (format!("{k:?}").to_uppercase(), "box"),
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{label}\", shape={shape}];");
+        if let Some(a) = gate.a {
+            let _ = writeln!(out, "  n{} -> n{i};", a.index());
+        }
+        if let Some(b) = gate.b {
+            let _ = writeln!(out, "  n{} -> n{i};", b.index());
+        }
+    }
+    for (name, bus) in netlist.outputs() {
+        for (i, net) in bus.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  \"{name}[{i}]\" [shape=triangle]; n{} -> \"{name}[{i}]\";",
+                net.index()
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn verilog_contains_module_structure() {
+        let v = to_verilog(&gen::rca(4));
+        assert!(v.contains("module rca4(a, b, sum, cout);"), "{v}");
+        assert!(v.contains("input [3:0] a;"));
+        assert!(v.contains("output [3:0] sum;"));
+        assert!(v.contains("endmodule"));
+        // At least one gate per FA.
+        assert!(v.matches(" ^ ").count() >= 8);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let d = to_dot(&gen::equal(2));
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("->"));
+        assert!(d.contains("eq[0]"));
+        assert!(d.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Adder generators: ripple-carry, carry-lookahead, add/sub.
+
+use crate::{NetId, Netlist, NetlistBuilder, StuckSite};
+use scdp_fault::FaSite;
+
+/// Gate offsets of one five-gate full adder within an instance.
+///
+/// Creation order (topological): `p = a⊕b`, `s = p⊕cin`, `g = a·b`,
+/// `t = p·cin`, `cout = g+t`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaCells {
+    /// Gate id of `p = a XOR b`.
+    pub x1: usize,
+    /// Gate id of `s = p XOR cin`.
+    pub x2: usize,
+    /// Gate id of `g = a AND b`.
+    pub a1: usize,
+    /// Gate id of `t = p AND cin`.
+    pub a2: usize,
+    /// Gate id of `cout = g OR t`.
+    pub o1: usize,
+}
+
+impl FaCells {
+    /// Maps a functional-level [`FaSite`] onto the equivalent set of
+    /// structural stuck-at sites of this full adder.
+    ///
+    /// Port *stems* (`a`, `b`, `cin`) become simultaneous faults on both
+    /// pins that read the port; internal nets map to output stems or
+    /// single pins. This is the bridge that lets gate-level campaigns
+    /// reproduce the functional model of `scdp-arith` exactly.
+    #[must_use]
+    pub fn sites(&self, site: FaSite) -> Vec<StuckSite> {
+        let pin = |gate: usize, pin: u8| StuckSite {
+            gate,
+            pin: Some(pin),
+        };
+        let stem = |gate: usize| StuckSite { gate, pin: None };
+        match site {
+            FaSite::AStem => vec![pin(self.x1, 0), pin(self.a1, 0)],
+            FaSite::AXor => vec![pin(self.x1, 0)],
+            FaSite::AAnd => vec![pin(self.a1, 0)],
+            FaSite::BStem => vec![pin(self.x1, 1), pin(self.a1, 1)],
+            FaSite::BXor => vec![pin(self.x1, 1)],
+            FaSite::BAnd => vec![pin(self.a1, 1)],
+            FaSite::CinStem => vec![pin(self.x2, 1), pin(self.a2, 1)],
+            FaSite::CinXor => vec![pin(self.x2, 1)],
+            FaSite::CinAnd => vec![pin(self.a2, 1)],
+            FaSite::PStem => vec![stem(self.x1)],
+            FaSite::PXor => vec![pin(self.x2, 0)],
+            FaSite::PAnd => vec![pin(self.a2, 0)],
+            FaSite::G => vec![stem(self.a1)],
+            FaSite::T => vec![stem(self.a2)],
+            FaSite::Sum => vec![stem(self.x2)],
+            FaSite::Cout => vec![stem(self.o1)],
+        }
+    }
+}
+
+/// An instantiated ripple-carry adder: per-bit full-adder cell map.
+#[derive(Clone, Debug)]
+pub struct RcaInstance {
+    /// One cell map per bit position, LSB first.
+    pub fas: Vec<FaCells>,
+    /// Sum output nets.
+    pub sum: Vec<NetId>,
+    /// Carry-out net.
+    pub cout: NetId,
+}
+
+/// Appends one five-gate full adder; returns `(sum, cout, cells)`.
+fn fa_into(b: &mut NetlistBuilder, a: NetId, bb: NetId, cin: NetId) -> (NetId, NetId, FaCells) {
+    let x1 = b.xor(a, bb);
+    let x2 = b.xor(x1, cin);
+    let a1 = b.and(a, bb);
+    let a2 = b.and(x1, cin);
+    let o1 = b.or(a1, a2);
+    (
+        x2,
+        o1,
+        FaCells {
+            x1: x1.index(),
+            x2: x2.index(),
+            a1: a1.index(),
+            a2: a2.index(),
+            o1: o1.index(),
+        },
+    )
+}
+
+/// Appends an n-bit ripple-carry adder computing `a + b + cin`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn rca_into(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId], cin: NetId) -> RcaInstance {
+    assert_eq!(a.len(), bb.len(), "operand width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    let mut fas = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c, cells) = fa_into(b, a[i], bb[i], carry);
+        sum.push(s);
+        carry = c;
+        fas.push(cells);
+    }
+    RcaInstance {
+        fas,
+        sum,
+        cout: carry,
+    }
+}
+
+/// Appends a subtractor `a - b` on a fresh ripple-carry adder through the
+/// paper's *g*/*f* functions: `a + !b` with carry-in 1. The inverters are
+/// created outside the returned instance (they are fault-free operand
+/// conditioning).
+pub fn subtract_into(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId]) -> RcaInstance {
+    let nb: Vec<NetId> = bb.iter().map(|&n| b.not(n)).collect();
+    let one = b.constant(true);
+    rca_into(b, a, &nb, one)
+}
+
+/// A complete n-bit ripple-carry adder netlist: inputs `a`, `b`; outputs
+/// `sum` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn rca(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("rca{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let zero = b.constant(false);
+    let inst = rca_into(&mut b, &a, &bb, zero);
+    b.output("sum", &inst.sum);
+    b.output("cout", &[inst.cout]);
+    b.finish()
+}
+
+/// Appends a 4-bit-group carry-lookahead adder computing `a + b + cin`.
+///
+/// Per bit: `p = a⊕b`, `g = a·b`; within each 4-bit group every carry is
+/// produced by genuine two-level AND-OR lookahead logic
+/// (`c2 = g1 + p1·g0 + p1·p0·c0`, …) rather than rippling, so the gate
+/// structure — and therefore the stuck-at fault population — differs
+/// substantially from the ripple-carry realisation. Groups are rippled.
+/// Returns the sum nets and carry-out.
+pub fn cla_into(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), bb.len(), "operand width mismatch");
+    let n = a.len();
+    let p: Vec<NetId> = (0..n).map(|i| b.xor(a[i], bb[i])).collect();
+    let g: Vec<NetId> = (0..n).map(|i| b.and(a[i], bb[i])).collect();
+    let mut carries = Vec::with_capacity(n);
+    let mut carry_in = cin; // carry into the current group
+    for group in (0..n).step_by(4) {
+        let hi = (group + 4).min(n);
+        // Lookahead within the group: carry into bit i (relative k) is
+        //   c_k = g_{k-1} + p_{k-1} g_{k-2} + … + p_{k-1}…p_0 c0
+        // built as a flat AND-OR network over the group's p/g signals.
+        for i in group..hi {
+            carries.push(carry_in_net(b, &p[group..i], &g[group..i], carry_in));
+        }
+        carry_in = carry_in_net(b, &p[group..hi], &g[group..hi], carry_in);
+    }
+    let sum: Vec<NetId> = (0..n).map(|i| b.xor(p[i], carries[i])).collect();
+    (sum, carry_in)
+}
+
+/// Two-level lookahead carry out of a bit span: given the span's
+/// propagate/generate nets (LSB first) and the carry into the span,
+/// builds `g_last + p_last·g_prev + … + p_last·…·p_0·c_in`.
+fn carry_in_net(b: &mut NetlistBuilder, p: &[NetId], g: &[NetId], cin: NetId) -> NetId {
+    let k = p.len();
+    if k == 0 {
+        return cin;
+    }
+    let mut terms: Vec<NetId> = Vec::with_capacity(k + 1);
+    terms.push(g[k - 1]);
+    // Suffix products of p, built incrementally: p_{k-1}, p_{k-1}p_{k-2}, …
+    let mut prefix = p[k - 1];
+    for j in (0..k - 1).rev() {
+        terms.push(b.and(prefix, g[j]));
+        prefix = b.and(prefix, p[j]);
+    }
+    terms.push(b.and(prefix, cin));
+    b.or_tree(&terms)
+}
+
+/// A complete n-bit carry-lookahead adder netlist (4-bit groups):
+/// inputs `a`, `b`; outputs `sum` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn cla(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("cla{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let zero = b.constant(false);
+    let (sum, cout) = cla_into(&mut b, &a, &bb, zero);
+    b.output("sum", &sum);
+    b.output("cout", &[cout]);
+    b.finish()
+}
+
+/// An add/sub unit: inputs `a`, `b`, 1-bit `sub`; output `result`
+/// (`a + b` when `sub = 0`, `a - b` when `sub = 1`). The subtrahend is
+/// conditioned by XOR gates (the *g*-function) and `sub` drives the
+/// carry-in (the *f*-function) — the same cells serve both operations,
+/// the structural root of the paper's worst-case analysis.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn addsub(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("addsub{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let sub = b.input_bus("sub", 1);
+    let conditioned: Vec<NetId> = bb.iter().map(|&n| b.xor(n, sub[0])).collect();
+    let inst = rca_into(&mut b, &a, &conditioned, sub[0]);
+    b.output("result", &inst.sum);
+    b.output("cout", &[inst.cout]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_arith::Word;
+
+    #[test]
+    fn rca_matches_golden_exhaustive() {
+        for w in [1u32, 2, 4, 5] {
+            let nl = rca(w);
+            for a in Word::all(w) {
+                for b in Word::all(w) {
+                    let out = nl.eval_words(&[a, b], &[]);
+                    assert_eq!(out[0], a.wrapping_add(b), "w={w} {a:?}+{b:?}");
+                    let full = a.to_u64() + b.to_u64();
+                    assert_eq!(out[1].bits() != 0, full >> w != 0, "carry w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_matches_rca_exhaustive() {
+        for w in [1u32, 3, 4, 6, 8] {
+            let r = rca(w);
+            let c = cla(w);
+            for a in Word::all(w.min(6)) {
+                for b in Word::all(w.min(6)) {
+                    let aw = Word::new(w, a.bits());
+                    let bw = Word::new(w, b.bits());
+                    assert_eq!(
+                        r.eval_words(&[aw, bw], &[]),
+                        c.eval_words(&[aw, bw], &[]),
+                        "w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addsub_both_modes() {
+        let nl = addsub(6);
+        for a in Word::all(6).step_by(5) {
+            for b in Word::all(6).step_by(3) {
+                let add = nl.eval_words(&[a, b, Word::new(1, 0)], &[]);
+                assert_eq!(add[0], a.wrapping_add(b));
+                let sub = nl.eval_words(&[a, b, Word::new(1, 1)], &[]);
+                assert_eq!(sub[0], a.wrapping_sub(b));
+            }
+        }
+    }
+
+    #[test]
+    fn fa_site_mapping_reproduces_functional_faults() {
+        // A gate-level stuck-at injected through FaCells::sites must
+        // change the FA outputs exactly as FaGateFault::eval does.
+        use scdp_fault::FaGateFault;
+        let mut b = NetlistBuilder::new("fa");
+        let x = b.input_bus("x", 3);
+        let (s, c, cells) = super::fa_into(&mut b, x[0], x[1], x[2]);
+        b.output("o", &[s, c]);
+        let nl = b.finish();
+        for site in FaSite::ALL {
+            for stuck in [false, true] {
+                let f = FaGateFault::new(site, stuck);
+                let injections: Vec<_> = cells
+                    .sites(site)
+                    .into_iter()
+                    .map(|s| crate::StuckAtLine::new(s, stuck))
+                    .collect();
+                for row in 0u8..8 {
+                    let bits = [row & 1 != 0, row & 2 != 0, row & 4 != 0];
+                    let nets = nl.eval_nets(&bits, &injections);
+                    let expect = f.eval(bits[0], bits[1], bits[2]);
+                    let got = (nets[s.index()], nets[c.index()]);
+                    assert_eq!(got, expect, "{site:?} sa{} row {row:03b}", u8::from(stuck));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_counts_scale() {
+        assert_eq!(rca(8).logic_gate_count(), 8 * 5);
+        assert!(cla(8).logic_gate_count() > 8 * 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Comparators, zero detectors, and two-rail checkers.
+
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// Appends a disequality detector: output is 1 iff the buses differ
+/// (per-bit XOR into an OR tree). This is the fault-free checker hardware
+/// of the paper's comparisons (`op2 == op2'` etc.).
+///
+/// # Panics
+///
+/// Panics if the buses have different lengths.
+pub fn neq_into(b: &mut NetlistBuilder, x: &[NetId], y: &[NetId]) -> NetId {
+    assert_eq!(x.len(), y.len(), "bus width mismatch");
+    let diffs: Vec<NetId> = x.iter().zip(y).map(|(&xi, &yi)| b.xor(xi, yi)).collect();
+    b.or_tree(&diffs)
+}
+
+/// Appends a zero detector: output is 1 iff every bit of `x` is 0.
+pub fn is_zero_into(b: &mut NetlistBuilder, x: &[NetId]) -> NetId {
+    let any = b.or_tree(x);
+    b.not(any)
+}
+
+/// A complete equality comparator netlist: inputs `a`, `b`; output `eq`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn equal(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("eq{width}"));
+    let x = b.input_bus("a", width);
+    let y = b.input_bus("b", width);
+    let ne = neq_into(&mut b, &x, &y);
+    let eq = b.not(ne);
+    b.output("eq", &[eq]);
+    b.finish()
+}
+
+/// A tree of two-rail checker cells, the classic totally self-checking
+/// comparator used in self-checking design (the "standard technology"
+/// the paper's checkers would be realised with).
+///
+/// Inputs are `pairs` two-rail-encoded signals `a` (rail0) and `b`
+/// (rail1), each pair valid iff rails differ. Outputs `z` is a two-rail
+/// pair that is valid (rails differ) iff **every** input pair is valid.
+///
+/// Each cell combines two pairs `(x0,x1),(y0,y1)` into
+/// `z0 = x0·y0 + x1·y1`, `z1 = x0·y1 + x1·y0`.
+///
+/// # Panics
+///
+/// Panics if `pairs` is zero.
+#[must_use]
+pub fn two_rail_checker(pairs: u32) -> Netlist {
+    assert!(pairs > 0, "need at least one pair");
+    let mut b = NetlistBuilder::new(format!("trc{pairs}"));
+    let rail0 = b.input_bus("a", pairs);
+    let rail1 = b.input_bus("b", pairs);
+    let mut level: Vec<(NetId, NetId)> = rail0.into_iter().zip(rail1).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if let [(x0, x1), (y0, y1)] = *pair {
+                let p00 = b.and(x0, y0);
+                let p11 = b.and(x1, y1);
+                let z0 = b.or(p00, p11);
+                let p01 = b.and(x0, y1);
+                let p10 = b.and(x1, y0);
+                let z1 = b.or(p01, p10);
+                next.push((z0, z1));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let (z0, z1) = level[0];
+    b.output("z", &[z0, z1]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_arith::Word;
+
+    #[test]
+    fn equal_is_equality() {
+        let nl = equal(4);
+        for a in Word::all(4) {
+            for b in Word::all(4) {
+                let out = nl.eval_words(&[a, b], &[]);
+                assert_eq!(out[0].bits() != 0, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn two_rail_checker_validity() {
+        for pairs in [1u32, 2, 3, 5, 8] {
+            let nl = two_rail_checker(pairs);
+            // All-valid inputs (rails complementary) => valid output.
+            for pattern in 0..(1u64 << pairs) {
+                let rail0 = Word::new(pairs, pattern);
+                let rail1 = Word::new(pairs, !pattern);
+                let out = nl.eval_words(&[rail0, rail1], &[]);
+                let z = out[0];
+                assert_ne!(z.bit(0), z.bit(1), "valid in, valid out p={pairs}");
+            }
+            // Any single invalid pair (equal rails) => invalid output.
+            if pairs >= 1 {
+                for bad in 0..pairs {
+                    let rail0 = Word::new(pairs, 0);
+                    // rail1 complementary except at `bad`.
+                    let rail1 = Word::new(pairs, !0u64 & ((1 << pairs) - 1)).with_bit(bad, false);
+                    let out = nl.eval_words(&[rail0, rail1], &[]);
+                    let z = out[0];
+                    assert_eq!(z.bit(0), z.bit(1), "invalid pair {bad} must propagate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_detector() {
+        let mut b = NetlistBuilder::new("z");
+        let x = b.input_bus("x", 3);
+        let z = is_zero_into(&mut b, &x);
+        b.output("z", &[z]);
+        let nl = b.finish();
+        for v in Word::all(3) {
+            let out = nl.eval_words(&[v], &[]);
+            assert_eq!(out[0].bits() != 0, v.bits() == 0);
+        }
+    }
+}

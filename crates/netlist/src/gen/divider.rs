@@ -1,0 +1,106 @@
+//! Unrolled restoring divider generator (unsigned).
+
+use super::adder::rca_into;
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// A complete n-bit **unsigned** restoring divider netlist: inputs `a`
+/// (dividend), `b` (divisor); outputs `q` (quotient) and `r` (remainder).
+///
+/// The sequential divider of `scdp-arith` is unrolled into `n`
+/// combinational stages, each holding an `(n+1)`-bit subtractor and a
+/// restore multiplexer row. For `b == 0` the outputs follow the
+/// hardware's natural (all-ones quotient) behaviour; callers performing
+/// checked division must guard the divisor, as the paper's `/` operator
+/// does at the specification level.
+///
+/// Sign handling is operand conditioning (the paper's fault-free
+/// *g*-function) and therefore lives outside the gate-level unit; the
+/// signed wrapper exists only in the functional model.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 32.
+#[must_use]
+pub fn restoring_divider(width: u32) -> Netlist {
+    assert!((1..=32).contains(&width), "width {width} out of range");
+    let mut b = NetlistBuilder::new(format!("divider{width}"));
+    let a = b.input_bus("a", width);
+    let d = b.input_bus("b", width);
+    let zero = b.constant(false);
+    let rbits = (width + 1) as usize;
+    // Divisor zero-extended to n+1 bits, inverted once (shared by every
+    // stage's subtractor).
+    let mut d_ext: Vec<NetId> = d.clone();
+    d_ext.push(zero);
+    let nd: Vec<NetId> = d_ext.iter().map(|&n| b.not(n)).collect();
+    let one = b.constant(true);
+
+    // Partial remainder, LSB first, n+1 bits.
+    let mut r: Vec<NetId> = (0..rbits).map(|_| zero).collect();
+    let mut q_bits: Vec<NetId> = Vec::with_capacity(width as usize);
+    for step in (0..width).rev() {
+        // Shift left by one, bring in dividend bit `step`.
+        let mut shifted = Vec::with_capacity(rbits);
+        shifted.push(a[step as usize]);
+        shifted.extend_from_slice(&r[..rbits - 1]);
+        // Trial subtraction T = shifted - d (via +!d+1); carry-out = no
+        // borrow = keep.
+        let inst = rca_into(&mut b, &shifted, &nd, one);
+        let keep = inst.cout;
+        // Restore row: r = keep ? T : shifted.
+        r = (0..rbits)
+            .map(|i| b.mux(shifted[i], inst.sum[i], keep))
+            .collect();
+        q_bits.push(keep); // collected MSB-first
+    }
+    q_bits.reverse(); // back to LSB-first
+    b.output("q", &q_bits);
+    b.output("r", &r[..width as usize]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_arith::Word;
+
+    #[test]
+    fn divider_matches_golden_unsigned_exhaustive() {
+        for w in [1u32, 2, 3, 4, 5] {
+            let nl = restoring_divider(w);
+            for a in Word::all(w) {
+                for b in Word::all(w) {
+                    if b.bits() == 0 {
+                        continue;
+                    }
+                    let out = nl.eval_words(&[a, b], &[]);
+                    assert_eq!(out[0].bits(), a.bits() / b.bits(), "w={w} {a:?}/{b:?}");
+                    assert_eq!(out[1].bits(), a.bits() % b.bits(), "w={w} {a:?}%{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn divider_8bit_sampled() {
+        let nl = restoring_divider(8);
+        for a in (0u64..256).step_by(13) {
+            for b in [1u64, 2, 3, 7, 10, 100, 255] {
+                let out = nl.eval_words(&[Word::new(8, a), Word::new(8, b)], &[]);
+                assert_eq!(out[0].bits(), a / b);
+                assert_eq!(out[1].bits(), a % b);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_q_b_plus_r() {
+        let nl = restoring_divider(4);
+        for a in Word::all(4) {
+            for b in Word::all(4).filter(|b| b.bits() != 0) {
+                let out = nl.eval_words(&[a, b], &[]);
+                assert_eq!(out[0].bits() * b.bits() + out[1].bits(), a.bits());
+            }
+        }
+    }
+}

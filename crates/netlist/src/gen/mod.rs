@@ -1,0 +1,19 @@
+//! Datapath component generators.
+//!
+//! Each generator exists in two forms: a `*_into` function that appends
+//! the component to an existing [`NetlistBuilder`](crate::NetlistBuilder)
+//! and returns its output nets (for composition), and a top-level
+//! function that wraps it into a complete [`Netlist`](crate::Netlist)
+//! with named IO buses.
+
+mod adder;
+mod checker;
+mod compare;
+mod divider;
+mod mult;
+
+pub use adder::{addsub, cla, cla_into, rca, rca_into, subtract_into, FaCells, RcaInstance};
+pub use checker::{self_checking, SelfCheckingDatapath, SelfCheckingSpec, UnitInstance};
+pub use compare::{equal, is_zero_into, neq_into, two_rail_checker};
+pub use divider::restoring_divider;
+pub use mult::{array_mult, array_mult_into};

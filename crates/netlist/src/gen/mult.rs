@@ -1,0 +1,114 @@
+//! Array multiplier generator (low-n-bit product, wrapping semantics).
+
+use super::adder::FaCells;
+use crate::{NetId, Netlist, NetlistBuilder};
+
+/// Appends an n-bit row-ripple array multiplier producing the low n bits
+/// of `a × b` — the structural twin of `scdp_arith::ArrayMultiplier`
+/// (same cell topology: AND partial products, full-adder ripple rows).
+///
+/// Returns `(product, fa_cells)` where `fa_cells` lists the full-adder
+/// cell maps in the same order as the functional unit's fault universe
+/// (rows `j = 1..n`, each `n − j` adders).
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+pub fn array_mult_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    bb: &[NetId],
+) -> (Vec<NetId>, Vec<FaCells>) {
+    assert_eq!(a.len(), bb.len(), "operand width mismatch");
+    let n = a.len();
+    // Partial products, row-major (i + j < n).
+    let mut pp: Vec<Vec<NetId>> = Vec::with_capacity(n);
+    for j in 0..n {
+        let row: Vec<NetId> = (0..n - j).map(|i| b.and(a[i], bb[j])).collect();
+        pp.push(row);
+    }
+    // Accumulator starts as row 0.
+    let mut acc: Vec<NetId> = pp[0].clone();
+    let mut fas = Vec::new();
+    for j in 1..n {
+        let mut carry = b.constant(false);
+        for k in 0..(n - j) {
+            let x1 = b.xor(acc[j + k], pp[j][k]);
+            let x2 = b.xor(x1, carry);
+            let a1 = b.and(acc[j + k], pp[j][k]);
+            let a2 = b.and(x1, carry);
+            let o1 = b.or(a1, a2);
+            fas.push(FaCells {
+                x1: x1.index(),
+                x2: x2.index(),
+                a1: a1.index(),
+                a2: a2.index(),
+                o1: o1.index(),
+            });
+            acc[j + k] = x2;
+            carry = o1;
+        }
+    }
+    (acc, fas)
+}
+
+/// A complete n-bit array multiplier netlist: inputs `a`, `b`; output
+/// `product` (low n bits).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn array_mult(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("mult{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let (product, _) = array_mult_into(&mut b, &a, &bb);
+    b.output("product", &product);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_arith::Word;
+
+    #[test]
+    fn mult_matches_golden_exhaustive() {
+        for w in [1u32, 2, 3, 4, 5] {
+            let nl = array_mult(w);
+            for a in Word::all(w) {
+                for b in Word::all(w) {
+                    let out = nl.eval_words(&[a, b], &[]);
+                    assert_eq!(out[0], a.wrapping_mul(b), "w={w} {a:?}*{b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mult_matches_functional_unit_sampled() {
+        use scdp_arith::ArrayMultiplier;
+        let w = 8;
+        let nl = array_mult(w);
+        let unit = ArrayMultiplier::new(w);
+        for a in (-128i64..128).step_by(11) {
+            for b in (-128i64..128).step_by(7) {
+                let aw = Word::from_i64(w, a);
+                let bw = Word::from_i64(w, b);
+                assert_eq!(nl.eval_words(&[aw, bw], &[])[0], unit.mul(aw, bw, None));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_functional_model() {
+        use scdp_arith::ArrayMultiplier;
+        let mut b = NetlistBuilder::new("m");
+        let a = b.input_bus("a", 8);
+        let bb = b.input_bus("b", 8);
+        let (_, fas) = array_mult_into(&mut b, &a, &bb);
+        assert_eq!(fas.len(), ArrayMultiplier::new(8).fa_cells());
+    }
+}

@@ -1,0 +1,570 @@
+//! Structural netlist IR: gates, buses, evaluation, fault injection.
+
+use scdp_arith::Word;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a net (the output of the gate with the same index).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Primitive gate kinds (at most two inputs; wider functions are built as
+/// trees by [`NetlistBuilder`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input bit.
+    Input,
+    /// Constant driver.
+    Const(bool),
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XNOR.
+    Xnor,
+    /// Inverter.
+    Not,
+    /// Buffer (used to materialise fanout stems where useful).
+    Buf,
+}
+
+impl GateKind {
+    /// Number of input pins.
+    #[must_use]
+    pub fn pins(self) -> u8 {
+        match self {
+            GateKind::Input | GateKind::Const(_) => 0,
+            GateKind::Not | GateKind::Buf => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// One gate instance; drives the net with its own index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The gate's function.
+    pub kind: GateKind,
+    /// First input, if any.
+    pub a: Option<NetId>,
+    /// Second input, if any.
+    pub b: Option<NetId>,
+}
+
+/// A stuck-at fault site: a gate output (stem) or one of its input pins
+/// (fanout branch).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckSite {
+    /// The gate the fault is attached to.
+    pub gate: usize,
+    /// `None` = output stem; `Some(0)`/`Some(1)` = input pin.
+    pub pin: Option<u8>,
+}
+
+/// A stuck-at fault: `site` stuck at `value`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckAtLine {
+    /// Where the fault sits.
+    pub site: StuckSite,
+    /// The forced logic value.
+    pub value: bool,
+}
+
+impl StuckAtLine {
+    /// Creates a stuck-at fault.
+    #[must_use]
+    pub fn new(site: StuckSite, value: bool) -> Self {
+        Self { site, value }
+    }
+}
+
+/// A combinational gate-level netlist with named input/output buses.
+///
+/// Gates are stored in topological order (the builder only references
+/// already-created nets), so evaluation is a single forward pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<(String, Vec<NetId>)>,
+    outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl Netlist {
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates (including input/constant drivers).
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of logic gates (excluding inputs and constants).
+    #[must_use]
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Const(_)))
+            .count()
+    }
+
+    /// Named input buses, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Named output buses, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Total primary input bit count.
+    #[must_use]
+    pub fn input_bits(&self) -> usize {
+        self.inputs.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// Enumerates every stuck-at fault site: one stem per logic gate plus
+    /// one per input pin.
+    #[must_use]
+    pub fn fault_sites(&self) -> Vec<StuckSite> {
+        let mut sites = Vec::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            if matches!(g.kind, GateKind::Input | GateKind::Const(_)) {
+                // Primary-input stems are still valid sites.
+                sites.push(StuckSite { gate: i, pin: None });
+                continue;
+            }
+            sites.push(StuckSite { gate: i, pin: None });
+            for pin in 0..g.kind.pins() {
+                sites.push(StuckSite {
+                    gate: i,
+                    pin: Some(pin),
+                });
+            }
+        }
+        sites
+    }
+
+    /// Evaluates the netlist for flattened input bits (concatenation of
+    /// all input buses in declaration order, LSB first within each bus),
+    /// under zero or more stuck-at faults. Returns all net values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not match the total input width.
+    #[must_use]
+    pub fn eval_nets(&self, bits: &[bool], faults: &[StuckAtLine]) -> Vec<bool> {
+        assert_eq!(bits.len(), self.input_bits(), "input bit count mismatch");
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0usize;
+        for (i, gate) in self.gates.iter().enumerate() {
+            let read = |pin: u8, net: NetId, values: &[bool]| -> bool {
+                let mut v = values[net.0];
+                for f in faults {
+                    if f.site.gate == i && f.site.pin == Some(pin) {
+                        v = f.value;
+                    }
+                }
+                v
+            };
+            let mut out = match gate.kind {
+                GateKind::Input => {
+                    let v = bits[next_input];
+                    next_input += 1;
+                    v
+                }
+                GateKind::Const(c) => c,
+                GateKind::Not => !read(0, gate.a.expect("not input"), &values),
+                GateKind::Buf => read(0, gate.a.expect("buf input"), &values),
+                kind => {
+                    let a = read(0, gate.a.expect("gate input a"), &values);
+                    let b = read(1, gate.b.expect("gate input b"), &values);
+                    match kind {
+                        GateKind::And => a & b,
+                        GateKind::Or => a | b,
+                        GateKind::Xor => a ^ b,
+                        GateKind::Nand => !(a & b),
+                        GateKind::Nor => !(a | b),
+                        GateKind::Xnor => !(a ^ b),
+                        _ => unreachable!("two-input kinds handled"),
+                    }
+                }
+            };
+            for f in faults {
+                if f.site.gate == i && f.site.pin.is_none() {
+                    out = f.value;
+                }
+            }
+            values[i] = out;
+        }
+        values
+    }
+
+    /// Evaluates with [`Word`] operands (one per input bus, widths must
+    /// match) and returns one `Word` per output bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or widths of `words` do not match the input
+    /// buses, or if an output bus is wider than 64 bits.
+    #[must_use]
+    pub fn eval_words(&self, words: &[Word], faults: &[StuckAtLine]) -> Vec<Word> {
+        assert_eq!(words.len(), self.inputs.len(), "input bus count mismatch");
+        let mut bits = Vec::with_capacity(self.input_bits());
+        for (w, (name, bus)) in words.iter().zip(&self.inputs) {
+            assert_eq!(
+                w.width() as usize,
+                bus.len(),
+                "width mismatch on input bus {name}"
+            );
+            for i in 0..w.width() {
+                bits.push(w.bit(i));
+            }
+        }
+        let nets = self.eval_nets(&bits, faults);
+        self.outputs
+            .iter()
+            .map(|(_, bus)| {
+                let mut v = 0u64;
+                for (i, net) in bus.iter().enumerate() {
+                    if nets[net.0] {
+                        v |= 1 << i;
+                    }
+                }
+                Word::new(bus.len() as u32, v)
+            })
+            .collect()
+    }
+}
+
+/// Incremental netlist constructor.
+///
+/// All gate-creating methods return the [`NetId`] of the new net; inputs
+/// must already exist, which guarantees topological order.
+///
+/// # Example
+///
+/// ```
+/// use scdp_netlist::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new("maj3");
+/// let x = b.input_bus("x", 3);
+/// let ab = b.and(x[0], x[1]);
+/// let ac = b.and(x[0], x[2]);
+/// let bc = b.and(x[1], x[2]);
+/// let o1 = b.or(ab, ac);
+/// let maj = b.or(o1, bc);
+/// b.output("maj", &[maj]);
+/// let nl = b.finish();
+/// assert_eq!(nl.outputs().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<(String, Vec<NetId>)>,
+    outputs: Vec<(String, Vec<NetId>)>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: GateKind, a: Option<NetId>, b: Option<NetId>) -> NetId {
+        if let Some(a) = a {
+            assert!(a.0 < self.gates.len(), "input net {a} does not exist");
+        }
+        if let Some(b) = b {
+            assert!(b.0 < self.gates.len(), "input net {b} does not exist");
+        }
+        self.gates.push(Gate { kind, a, b });
+        NetId(self.gates.len() - 1)
+    }
+
+    /// Declares a named input bus of `width` bits (LSB first).
+    pub fn input_bus(&mut self, name: impl Into<String>, width: u32) -> Vec<NetId> {
+        let bus: Vec<NetId> = (0..width)
+            .map(|_| self.push(GateKind::Input, None, None))
+            .collect();
+        self.inputs.push((name.into(), bus.clone()));
+        bus
+    }
+
+    /// Declares a named output bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net does not exist yet.
+    pub fn output(&mut self, name: impl Into<String>, bus: &[NetId]) {
+        for n in bus {
+            assert!(n.0 < self.gates.len(), "output net {n} does not exist");
+        }
+        self.outputs.push((name.into(), bus.to_vec()));
+    }
+
+    /// A constant-driver net.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.push(GateKind::Const(value), None, None)
+    }
+
+    /// 2-input AND gate.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::And, Some(a), Some(b))
+    }
+
+    /// 2-input OR gate.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Or, Some(a), Some(b))
+    }
+
+    /// 2-input XOR gate.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xor, Some(a), Some(b))
+    }
+
+    /// 2-input NAND gate.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nand, Some(a), Some(b))
+    }
+
+    /// 2-input NOR gate.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Nor, Some(a), Some(b))
+    }
+
+    /// 2-input XNOR gate.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(GateKind::Xnor, Some(a), Some(b))
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Not, Some(a), None)
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(GateKind::Buf, Some(a), None)
+    }
+
+    /// 2-to-1 multiplexer: `sel ? b : a` (three gates).
+    pub fn mux(&mut self, a: NetId, b: NetId, sel: NetId) -> NetId {
+        let ns = self.not(sel);
+        let pa = self.and(a, ns);
+        let pb = self.and(b, sel);
+        self.or(pa, pb)
+    }
+
+    /// Balanced OR tree over `nets` (false constant when empty).
+    pub fn or_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.tree(nets, |b, x, y| b.or(x, y), false)
+    }
+
+    /// Balanced AND tree over `nets` (true constant when empty).
+    pub fn and_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.tree(nets, |b, x, y| b.and(x, y), true)
+    }
+
+    fn tree(
+        &mut self,
+        nets: &[NetId],
+        mut op: impl FnMut(&mut Self, NetId, NetId) -> NetId,
+        empty: bool,
+    ) -> NetId {
+        match nets.len() {
+            0 => self.constant(empty),
+            1 => nets[0],
+            _ => {
+                let mut level: Vec<NetId> = nets.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for pair in level.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(op(self, pair[0], pair[1]));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// The number of gates created so far (used to record instance
+    /// ranges for correlated fault injection).
+    #[must_use]
+    pub fn mark(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Finalises the netlist.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        Netlist {
+            name: self.name,
+            gates: self.gates,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let x = b.input_bus("x", 2);
+        let y = b.xor(x[0], x[1]);
+        b.output("y", &[y]);
+        b.finish()
+    }
+
+    #[test]
+    fn eval_simple_gates() {
+        let nl = xor_netlist();
+        for (a, b, expect) in [(false, false, false), (true, false, true), (true, true, false)] {
+            let nets = nl.eval_nets(&[a, b], &[]);
+            assert_eq!(nets[2], expect);
+        }
+    }
+
+    #[test]
+    fn stuck_at_output_stem() {
+        let nl = xor_netlist();
+        let fault = StuckAtLine::new(StuckSite { gate: 2, pin: None }, true);
+        let nets = nl.eval_nets(&[false, false], &[fault]);
+        assert!(nets[2]);
+    }
+
+    #[test]
+    fn stuck_at_input_pin_is_local() {
+        let mut b = NetlistBuilder::new("fanout");
+        let x = b.input_bus("x", 1);
+        let n1 = b.not(x[0]); // gate 1
+        let n2 = b.not(x[0]); // gate 2
+        b.output("y", &[n1, n2]);
+        let nl = b.finish();
+        // Pin fault on gate 1 only: gate 2 unaffected.
+        let fault = StuckAtLine::new(
+            StuckSite {
+                gate: 1,
+                pin: Some(0),
+            },
+            true,
+        );
+        let nets = nl.eval_nets(&[false], &[fault]);
+        assert!(!nets[1], "gate1 sees forced 1, outputs 0");
+        assert!(nets[2], "gate2 unaffected");
+    }
+
+    #[test]
+    fn stem_fault_affects_all_fanout() {
+        let mut b = NetlistBuilder::new("stem");
+        let x = b.input_bus("x", 1);
+        let n1 = b.not(x[0]);
+        let n2 = b.not(x[0]);
+        b.output("y", &[n1, n2]);
+        let nl = b.finish();
+        // Stem fault on the input driver (gate 0).
+        let fault = StuckAtLine::new(StuckSite { gate: 0, pin: None }, true);
+        let nets = nl.eval_nets(&[false], &[fault]);
+        assert!(!nets[1]);
+        assert!(!nets[2]);
+    }
+
+    #[test]
+    fn fault_sites_enumeration() {
+        let nl = xor_netlist();
+        let sites = nl.fault_sites();
+        // 2 input stems + xor stem + 2 xor pins.
+        assert_eq!(sites.len(), 5);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut b = NetlistBuilder::new("pass");
+        let x = b.input_bus("x", 4);
+        b.output("y", &x);
+        let nl = b.finish();
+        let out = nl.eval_words(&[Word::from_i64(4, -3)], &[]);
+        assert_eq!(out[0].to_i64(), -3);
+    }
+
+    #[test]
+    fn mux_and_trees() {
+        let mut b = NetlistBuilder::new("m");
+        let x = b.input_bus("x", 3);
+        let m = b.mux(x[0], x[1], x[2]);
+        let ot = b.or_tree(&[x[0], x[1], x[2]]);
+        let at = b.and_tree(&[x[0], x[1], x[2]]);
+        b.output("o", &[m, ot, at]);
+        let nl = b.finish();
+        let nets = nl.eval_nets(&[true, false, false], &[]);
+        let (m, ot, at) = (m.index(), ot.index(), at.index());
+        assert!(nets[m], "sel=0 -> a=1");
+        assert!(nets[ot]);
+        assert!(!nets[at]);
+        let nets = nl.eval_nets(&[true, false, true], &[]);
+        assert!(!nets[m], "sel=1 -> b=0");
+    }
+
+    #[test]
+    #[should_panic(expected = "input bit count mismatch")]
+    fn wrong_input_width_panics() {
+        let nl = xor_netlist();
+        let _ = nl.eval_nets(&[true], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_reference_panics() {
+        let mut b = NetlistBuilder::new("bad");
+        let _ = b.input_bus("x", 1);
+        b.output("y", &[NetId(99)]);
+    }
+}

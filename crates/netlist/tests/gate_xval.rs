@@ -1,0 +1,145 @@
+//! Cross-validation: gate-level stuck-at campaigns on generated
+//! self-checking datapaths must reproduce the functional-level coverage
+//! model of `scdp-arith` exactly (same five-gate full adder, same fault
+//! universe, correlated across the time-multiplexed unit instances).
+
+use scdp_arith::Word;
+use scdp_core::{Operator, Technique};
+use scdp_fault::FaSite;
+use scdp_netlist::gen::{self_checking, FaCells, SelfCheckingSpec};
+use scdp_netlist::StuckAtLine;
+
+/// Local (instance-relative) cell map of full adder `i` in an RCA
+/// instance: `rca_into` creates five gates per bit in a fixed order.
+fn local_fa(i: usize) -> FaCells {
+    FaCells {
+        x1: 5 * i,
+        x2: 5 * i + 1,
+        a1: 5 * i + 2,
+        a2: 5 * i + 3,
+        o1: 5 * i + 4,
+    }
+}
+
+/// Runs the shared-unit (worst-case) campaign on a generated add
+/// datapath and returns `(total, undetected)` situations.
+fn run_add_campaign(width: u32, technique: Technique) -> (u64, u64) {
+    let dp = self_checking(SelfCheckingSpec {
+        op: Operator::Add,
+        technique,
+        width,
+    });
+    let mut total = 0u64;
+    let mut undetected = 0u64;
+    for pos in 0..width as usize {
+        let cells = local_fa(pos);
+        for site in FaSite::ALL {
+            for stuck in [false, true] {
+                // Correlate the fault across nominal + checker instances:
+                // the same physical unit executes every operation.
+                let mut faults: Vec<StuckAtLine> = Vec::new();
+                for local in cells.sites(site) {
+                    faults.push(StuckAtLine::new(dp.nominal.globalize(local), stuck));
+                    for c in &dp.checkers {
+                        faults.push(StuckAtLine::new(c.globalize(local), stuck));
+                    }
+                }
+                for a in Word::all(width) {
+                    for b in Word::all(width) {
+                        total += 1;
+                        let out = dp.netlist.eval_words(&[a, b], &faults);
+                        let observable = out[0] != a.wrapping_add(b);
+                        let alarm = out[1].bits() != 0;
+                        if observable && !alarm {
+                            undetected += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (total, undetected)
+}
+
+/// The functional gate model's exhaustive numbers (see
+/// `scdp-coverage`): situations 32·n·2^(2n); undetected per technique.
+#[test]
+fn gate_level_add_matches_functional_model_width1() {
+    let (total, u1) = run_add_campaign(1, Technique::Tech1);
+    assert_eq!(total, 128);
+    assert_eq!(u1, 14);
+    let (_, u2) = run_add_campaign(1, Technique::Tech2);
+    assert_eq!(u2, 10);
+    let (_, ub) = run_add_campaign(1, Technique::Both);
+    assert_eq!(ub, 7);
+}
+
+#[test]
+fn gate_level_add_matches_functional_model_width2() {
+    let (total, u1) = run_add_campaign(2, Technique::Tech1);
+    assert_eq!(total, 1024);
+    assert_eq!(u1, 76);
+    let (_, u2) = run_add_campaign(2, Technique::Tech2);
+    assert_eq!(u2, 60);
+    let (_, ub) = run_add_campaign(2, Technique::Both);
+    assert_eq!(ub, 40);
+}
+
+/// With the checker on a *dedicated* unit (fault only in the nominal
+/// instance), coverage is total — the paper's §2.1 claim, at gate level.
+#[test]
+fn gate_level_dedicated_add_has_full_coverage() {
+    let width = 2;
+    let dp = self_checking(SelfCheckingSpec {
+        op: Operator::Add,
+        technique: Technique::Tech1,
+        width,
+    });
+    for pos in 0..width as usize {
+        let cells = local_fa(pos);
+        for site in FaSite::ALL {
+            for stuck in [false, true] {
+                let faults: Vec<StuckAtLine> = cells
+                    .sites(site)
+                    .into_iter()
+                    .map(|local| StuckAtLine::new(dp.nominal.globalize(local), stuck))
+                    .collect();
+                for a in Word::all(width) {
+                    for b in Word::all(width) {
+                        let out = dp.netlist.eval_words(&[a, b], &faults);
+                        if out[0] != a.wrapping_add(b) {
+                            assert_eq!(out[1].bits(), 1, "{site:?} sa{stuck} {a:?}+{b:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The multiplier datapath detects dedicated-unit faults on observable
+/// errors too (sampled).
+#[test]
+fn gate_level_mul_dedicated_detects_observable() {
+    let width = 4;
+    let dp = self_checking(SelfCheckingSpec {
+        op: Operator::Mul,
+        technique: Technique::Tech1,
+        width,
+    });
+    // Sample sites across the nominal instance.
+    let sites = dp.local_sites();
+    for site in sites.iter().step_by(7) {
+        for stuck in [false, true] {
+            let faults = dp.nominal_fault(*site, stuck);
+            for a in Word::all(width).step_by(3) {
+                for b in Word::all(width).step_by(5) {
+                    let out = dp.netlist.eval_words(&[a, b], &faults);
+                    if out[0] != a.wrapping_mul(b) {
+                        assert_eq!(out[1].bits(), 1, "{site:?} sa{stuck} {a:?}*{b:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! A miniature fault-coverage campaign (the paper's §4 analysis) from
+//! the public API: exhaustively classify every (fault, input) situation
+//! of a 4-bit self-checking adder under both allocations and print a
+//! Table 2-style row.
+//!
+//! Run with: `cargo run --release --example fault_campaign`
+
+use scdp::core::Allocation;
+use scdp::coverage::{CampaignBuilder, OperatorKind, TechIndex};
+
+fn main() {
+    println!("4-bit self-checking adder, exhaustive campaign\n");
+    for alloc in [Allocation::SingleUnit, Allocation::Dedicated] {
+        let result = CampaignBuilder::new(OperatorKind::Add, 4)
+            .allocation(alloc)
+            .run();
+        println!("allocation: {alloc:?}");
+        println!("  situations: {}", result.total_situations());
+        for tech in TechIndex::ALL {
+            let t = result.tally.of(tech);
+            println!(
+                "  {tech:<9} coverage {:>7.2}%  (observable {}, undetected {}, early-detected {})",
+                result.coverage(tech) * 100.0,
+                t.observable(),
+                t.error_undetected,
+                t.correct_detected,
+            );
+        }
+        println!();
+    }
+    println!("Dedicated checker units detect every observable error (§2.1);");
+    println!("the shared unit exposes the worst-case masking of Table 2.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: the self-checking data type in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use scdp::core::{context, Allocation, FaultSite, FaultyDataPath};
+use scdp::fault::{FaGateFault, FaSite};
+use scdp::{sck, SckError};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // 1. Sck<T> behaves exactly like the wrapped integer — the paper's
+    //    transparency property. Only the declaration changes.
+    let a = sck(100i32);
+    let b = sck(-27i32);
+    let sum = a + b;
+    let prod = a * b;
+    println!("sum  = {sum}   (error bit: {})", sum.error());
+    println!("prod = {prod} (error bit: {})", prod.error());
+
+    // 2. Every operator secretly verified itself: z = x + y was checked
+    //    by recomputing x from z - y (Table 1, Tech1). On healthy
+    //    hardware nothing fires.
+    assert_eq!(sum.into_result(), Ok(73));
+
+    // 3. Now execute the *same code* on a faulty functional-unit model:
+    //    bit 3 of the 32-bit adder has its sum line stuck at 1.
+    let fault = FaultSite::adder_gate(3, FaGateFault::new(FaSite::Sum, true));
+    let dp = Rc::new(RefCell::new(FaultyDataPath::new(
+        32,
+        fault,
+        Allocation::Dedicated, // checker runs on an independent unit
+    )));
+    let _guard = context::install(dp);
+
+    let z = sck(1i32) + sck(2i32); // 1 + 2 = 11 on this broken adder
+    println!("\nfaulty adder says 1 + 2 = {} — error bit: {}", z, z.error());
+    assert_eq!(z.into_result(), Err(SckError::FaultDetected));
+
+    // 4. The error bit is sticky and propagates through any further
+    //    arithmetic, so one check at the system boundary suffices.
+    let downstream = z * sck(1000i32) - sck(5i32);
+    assert!(downstream.error());
+    println!("downstream result {downstream} still carries the alarm");
+}

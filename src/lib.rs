@@ -1,0 +1,49 @@
+//! # scdp — Self-Checking Data-Paths
+//!
+//! A Rust reproduction of C. Bolchini, F. Salice, D. Sciuto, L. Pomante,
+//! *Reliable System Specification for Self-Checking Data-Paths*
+//! (DATE 2005): concurrent error detection introduced at the
+//! specification level through a self-checking data type whose operators
+//! transparently verify their own results with hidden inverse
+//! operations.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`core`] — the `Sck<T>` self-checking type, technique
+//!   catalogue (Table 1), checked operators, execution contexts;
+//! * [`fault`] — cell/gate fault models
+//!   (`num_faults_1bit = 32`);
+//! * [`arith`] — cell-accurate adder/multiplier/divider with
+//!   fault injection;
+//! * [`coverage`] — exhaustive & Monte-Carlo coverage
+//!   campaigns (Table 2, §4.1);
+//! * [`netlist`] — gate-level generators, stuck-at
+//!   simulation, self-checking datapath synthesis, Verilog/DOT export;
+//! * [`hls`] — scheduling/binding/area/timing models and the
+//!   SCK expansion pass (Table 3 hardware);
+//! * [`codesign`] — the Figure 3 co-design flow and
+//!   software cost model;
+//! * [`fir`] — the FIR case study and companion workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use scdp::sck;
+//!
+//! let y = sck(6i32) * sck(7i32);
+//! assert_eq!(y.value(), 42);
+//! assert!(!y.error());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use scdp_arith as arith;
+pub use scdp_codesign as codesign;
+pub use scdp_core as core;
+pub use scdp_coverage as coverage;
+pub use scdp_fault as fault;
+pub use scdp_fir as fir;
+pub use scdp_hls as hls;
+pub use scdp_netlist as netlist;
+
+pub use scdp_core::{sck, BothPolicy, Sck, SckError, Technique};

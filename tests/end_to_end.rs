@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the specification-level type, the
+//! functional fault model, the coverage engine and the gate-level
+//! substrate must tell one consistent story.
+
+use scdp::arith::{ArrayMultiplier, FaultableUnit, RippleCarryAdder, Word};
+use scdp::core::{
+    checked_add, context, Allocation, DataPath, FaultSite, FaultyDataPath, Operator, Slot,
+};
+use scdp::coverage::{classify_add, CampaignBuilder, OperatorKind, TechIndex};
+use scdp::netlist::gen::{self_checking, SelfCheckingSpec};
+use scdp::{sck, Technique};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The three evaluation layers agree on a concrete masking scenario:
+/// pick an undetected (fault, input) situation from the campaign engine
+/// and confirm both the `Sck` type and the gate-level netlist also miss
+/// it — and that the dedicated allocation catches it everywhere.
+#[test]
+fn masking_scenario_consistent_across_layers() {
+    let width = 4u32;
+    let adder = RippleCarryAdder::new(width);
+    // Find one undetected Tech1 situation with the functional model.
+    let mut witness = None;
+    'search: for fault in adder.gate_faults() {
+        for a in Word::all(width) {
+            for b in Word::all(width) {
+                let v = classify_add(&adder, fault, Allocation::SingleUnit, a, b);
+                if v.observable && !v.det1 {
+                    witness = Some((fault, a, b));
+                    break 'search;
+                }
+            }
+        }
+    }
+    let (fault, a, b) = witness.expect("Table 2 guarantees masking exists");
+
+    // Layer 1: the checked-operator library.
+    let mut dp = FaultyDataPath::new(width, FaultSite::Adder(fault), Allocation::SingleUnit);
+    let c = checked_add(&mut dp, Technique::Tech1, a, b);
+    assert_ne!(c.value, a.wrapping_add(b), "observable");
+    assert!(!c.error, "masked at the checked-operator level too");
+
+    // Layer 2: dedicated allocation detects it.
+    let mut dp = FaultyDataPath::new(width, FaultSite::Adder(fault), Allocation::Dedicated);
+    let c = checked_add(&mut dp, Technique::Tech1, a, b);
+    assert!(c.error, "dedicated checker must catch it (§2.1)");
+
+    // Layer 3: the gate-level datapath agrees (correlated = shared).
+    let gate = self_checking(SelfCheckingSpec {
+        op: Operator::Add,
+        technique: Technique::Tech1,
+        width,
+    });
+    if let scdp::arith::RcaFault::Gate { position, fault: gf } = fault {
+        let cells = local_fa(position);
+        let mut faults = Vec::new();
+        for local in cells.sites(gf.site()) {
+            faults.push(scdp::netlist::StuckAtLine::new(
+                gate.nominal.globalize(local),
+                gf.stuck(),
+            ));
+            for chk in &gate.checkers {
+                faults.push(scdp::netlist::StuckAtLine::new(
+                    chk.globalize(local),
+                    gf.stuck(),
+                ));
+            }
+        }
+        let out = gate.netlist.eval_words(&[a, b], &faults);
+        assert_ne!(out[0], a.wrapping_add(b), "gate level: observable");
+        assert_eq!(out[1].bits(), 0, "gate level: masked");
+    } else {
+        panic!("expected a gate fault");
+    }
+}
+
+fn local_fa(i: usize) -> scdp::netlist::gen::FaCells {
+    scdp::netlist::gen::FaCells {
+        x1: 5 * i,
+        x2: 5 * i + 1,
+        a1: 5 * i + 2,
+        a2: 5 * i + 3,
+        o1: 5 * i + 4,
+    }
+}
+
+/// The Sck type on a faulty context reports exactly what the campaign
+/// engine predicts for the same fault, over the full 3-bit input space.
+#[test]
+fn sck_type_matches_campaign_classification() {
+    let width = 8u32;
+    let adder = RippleCarryAdder::new(width);
+    for fault in adder.gate_faults().step_by(17) {
+        for (a, b) in [(1i8, 2), (-128, 127), (85, -86), (0, 0), (-1, -1)] {
+            let aw = Word::from_i64(width, i64::from(a));
+            let bw = Word::from_i64(width, i64::from(b));
+            let v = classify_add(&adder, fault, Allocation::SingleUnit, aw, bw);
+            let dp = Rc::new(RefCell::new(FaultyDataPath::new(
+                width,
+                FaultSite::Adder(fault),
+                Allocation::SingleUnit,
+            )));
+            let _g = context::install(dp);
+            let z = sck(a) + sck(b);
+            assert_eq!(z.error(), v.det1, "{fault:?} {a}+{b}");
+            assert_eq!(
+                Word::from_i64(width, i64::from(z.value())) != aw.wrapping_add(bw),
+                v.observable
+            );
+        }
+    }
+}
+
+/// Campaign coverage is monotone: Both >= max(Tech1, Tech2), and the
+/// dedicated allocation dominates the shared one, for every operator.
+#[test]
+fn coverage_orderings_hold_for_all_operators() {
+    for kind in [
+        OperatorKind::Add,
+        OperatorKind::Sub,
+        OperatorKind::Mul,
+        OperatorKind::Div,
+    ] {
+        let shared = CampaignBuilder::new(kind, 3).run();
+        let dedicated = CampaignBuilder::new(kind, 3)
+            .allocation(Allocation::Dedicated)
+            .run();
+        let c1 = shared.coverage(TechIndex::Tech1);
+        let c2 = shared.coverage(TechIndex::Tech2);
+        let cb = shared.coverage(TechIndex::Both);
+        assert!(cb >= c1.max(c2) - 1e-12, "{kind:?}");
+        for t in TechIndex::ALL {
+            assert!(
+                dedicated.coverage(t) >= shared.coverage(t) - 1e-12,
+                "{kind:?} {t}"
+            );
+        }
+        // Dedicated checking of add/sub/mul is exhaustive (100%).
+        if !matches!(kind, OperatorKind::Div) {
+            assert!(
+                (dedicated.coverage(TechIndex::Both) - 1.0).abs() < 1e-12,
+                "{kind:?}"
+            );
+        }
+    }
+}
+
+/// A multiplier fault never perturbs adder traffic: the single
+/// functional-unit failure model isolates unit classes.
+#[test]
+fn single_unit_failure_isolation() {
+    let mult = ArrayMultiplier::new(8);
+    let uf = mult
+        .universe()
+        .iter()
+        .find(|f| !f.fault().is_latent())
+        .unwrap();
+    let mut dp = FaultyDataPath::new(8, FaultSite::Multiplier(uf), Allocation::SingleUnit);
+    for (a, b) in [(1i64, 2), (100, -27), (-128, 127)] {
+        let aw = Word::from_i64(8, a);
+        let bw = Word::from_i64(8, b);
+        assert_eq!(dp.add(Slot::Nominal, aw, bw), aw.wrapping_add(bw));
+        assert_eq!(dp.sub(Slot::Checker, aw, bw), aw.wrapping_sub(bw));
+    }
+}
+
+/// End-to-end Figure 3: specification -> expansion -> hardware and
+/// software estimates, with the paper's qualitative outcomes.
+#[test]
+fn codesign_flow_end_to_end() {
+    use scdp::codesign::{CodesignFlow, Goal};
+    use scdp::hls::SckStyle;
+    let flow = CodesignFlow::default();
+    let body = scdp::fir::fir_body_dfg();
+    let plain = flow.hardware(&body, SckStyle::Plain, Goal::MinArea);
+    let full = flow.hardware(&body, SckStyle::Full, Goal::MinArea);
+    assert!(full.area_slices > 1.5 * plain.area_slices);
+    assert!(full.fmax_mhz < plain.fmax_mhz);
+    let sw_plain = flow.software(&body, SckStyle::Plain);
+    let sw_full = flow.software(&body, SckStyle::Full);
+    let slowdown =
+        sw_full.cycles_per_iteration as f64 / sw_plain.cycles_per_iteration as f64;
+    assert!(slowdown > 1.2 && slowdown < 4.0, "slowdown {slowdown}");
+}

@@ -1,0 +1,133 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! reproduction.
+
+use proptest::prelude::*;
+use scdp::arith::{ArrayMultiplier, RestoringDivider, RippleCarryAdder, Word};
+use scdp::core::{checked_add, checked_mul, checked_sub, NativeDataPath};
+use scdp::netlist::gen as netgen;
+use scdp::{sck, Technique};
+
+fn word(width: u32) -> impl Strategy<Value = Word> {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    (0..=mask).prop_map(move |bits| Word::new(width, bits))
+}
+
+proptest! {
+    /// Functional units match golden wrapping arithmetic at any width.
+    #[test]
+    fn units_match_golden(width in 1u32..=16, a_bits in any::<u64>(), b_bits in any::<u64>()) {
+        let a = Word::new(width, a_bits);
+        let b = Word::new(width, b_bits);
+        let adder = RippleCarryAdder::new(width);
+        prop_assert_eq!(adder.add(a, b, None), a.wrapping_add(b));
+        prop_assert_eq!(adder.sub(a, b, None), a.wrapping_sub(b));
+        let mult = ArrayMultiplier::new(width);
+        prop_assert_eq!(mult.mul(a, b, None), a.wrapping_mul(b));
+        if b.bits() != 0 {
+            let div = RestoringDivider::new(width);
+            let out = div.div_rem(a, b, None).unwrap();
+            let (q, r) = a.wrapping_div_rem(b);
+            prop_assert_eq!(out.quotient, q);
+            prop_assert_eq!(out.remainder, r);
+        }
+    }
+
+    /// Inverse-operation identities hold exactly under wrapping
+    /// arithmetic — the foundation that makes the checks alarm-free on
+    /// healthy hardware, even across overflow.
+    #[test]
+    fn no_false_alarms(width in 1u32..=16, a_bits in any::<u64>(), b_bits in any::<u64>()) {
+        let a = Word::new(width, a_bits);
+        let b = Word::new(width, b_bits);
+        let mut dp = NativeDataPath::new();
+        for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+            prop_assert!(!checked_add(&mut dp, tech, a, b).error);
+            prop_assert!(!checked_sub(&mut dp, tech, a, b).error);
+            prop_assert!(!checked_mul(&mut dp, tech, a, b).error);
+        }
+    }
+
+    /// The Sck type is value-transparent over whole expression trees.
+    #[test]
+    fn sck_transparent(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        let plain = a.wrapping_mul(b).wrapping_add(c).wrapping_sub(b);
+        let checked = (sck(a) * sck(b) + sck(c)) - sck(b);
+        prop_assert_eq!(checked.value(), plain);
+        prop_assert!(!checked.error());
+    }
+
+    /// Sck division matches Rust semantics for non-zero divisors and
+    /// flags zero divisors instead of panicking.
+    #[test]
+    fn sck_division(a in any::<i32>(), b in any::<i32>()) {
+        let q = sck(a) / sck(b);
+        let r = sck(a) % sck(b);
+        if b == 0 {
+            prop_assert!(q.error());
+            prop_assert!(r.error());
+        } else {
+            prop_assert_eq!(q.value(), a.wrapping_div(b));
+            prop_assert_eq!(r.value(), a.wrapping_rem(b));
+            prop_assert!(!q.error());
+        }
+    }
+
+    /// Generated netlists are equivalent to the functional units on
+    /// random vectors (RCA, CLA, multiplier, divider).
+    #[test]
+    fn netlists_match_golden(a in word(8), b in word(8)) {
+        let rca = netgen::rca(8);
+        prop_assert_eq!(rca.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
+        let cla = netgen::cla(8);
+        prop_assert_eq!(cla.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
+        let mult = netgen::array_mult(8);
+        prop_assert_eq!(mult.eval_words(&[a, b], &[])[0], a.wrapping_mul(b));
+        if b.bits() != 0 {
+            let div = netgen::restoring_divider(8);
+            let out = div.eval_words(&[a, b], &[]);
+            prop_assert_eq!(out[0].bits(), a.bits() / b.bits());
+            prop_assert_eq!(out[1].bits(), a.bits() % b.bits());
+        }
+    }
+
+    /// Any single injected adder fault either leaves the result correct
+    /// or (with a dedicated checker) raises the error — exhaustive
+    /// detection, randomly probed.
+    #[test]
+    fn dedicated_checker_never_misses(
+        pos in 0usize..8,
+        site_idx in 0usize..16,
+        stuck in any::<bool>(),
+        a in word(8),
+        b in word(8),
+    ) {
+        use scdp::core::{Allocation, FaultSite, FaultyDataPath};
+        use scdp::fault::{FaGateFault, FaSite};
+        let fault = FaultSite::adder_gate(pos, FaGateFault::new(FaSite::ALL[site_idx], stuck));
+        let mut dp = FaultyDataPath::new(8, fault, Allocation::Dedicated);
+        let c = checked_add(&mut dp, Technique::Tech1, a, b);
+        if c.value != a.wrapping_add(b) {
+            prop_assert!(c.error);
+        }
+    }
+
+    /// The error bit is sticky: once set, any chain of operations keeps
+    /// it set.
+    #[test]
+    fn error_bit_is_sticky(ops in proptest::collection::vec(any::<(u8, i32)>(), 1..20)) {
+        use scdp::core::Sck;
+        // Manufacture a poisoned value via division by zero.
+        let mut v: Sck<i32> = sck(7) / sck(0);
+        prop_assert!(v.error());
+        for (op, operand) in ops {
+            let rhs = sck(operand | 1); // avoid 0 divisors
+            v = match op % 4 {
+                0 => v + rhs,
+                1 => v - rhs,
+                2 => v * rhs,
+                _ => v / rhs,
+            };
+        }
+        prop_assert!(v.error(), "stickiness violated");
+    }
+}
