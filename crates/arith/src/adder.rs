@@ -141,7 +141,10 @@ impl RippleCarryAdder {
         let fault_pos = fault.map_or(usize::MAX, |f| f.position());
         for i in 0..self.width {
             let (s, c) = if i as usize == fault_pos {
-                fault.as_ref().expect("position matched").eval(a.bit(i), b.bit(i), carry)
+                fault
+                    .as_ref()
+                    .expect("position matched")
+                    .eval(a.bit(i), b.bit(i), carry)
             } else {
                 full_adder(a.bit(i), b.bit(i), carry, None)
             };
@@ -178,14 +181,22 @@ impl RippleCarryAdder {
     /// (16 sites × 2 polarities per full adder). This is the universe of
     /// the paper's Table 2.
     pub fn gate_faults(&self) -> impl Iterator<Item = RcaFault> + '_ {
-        (0..self.width as usize)
-            .flat_map(|pos| FaGateFault::enumerate().map(move |f| RcaFault::Gate { position: pos, fault: f }))
+        (0..self.width as usize).flat_map(|pos| {
+            FaGateFault::enumerate().map(move |f| RcaFault::Gate {
+                position: pos,
+                fault: f,
+            })
+        })
     }
 
     /// Enumerates the truth-table fault universe (also `32 · n` faults,
     /// half of them latent).
     pub fn cell_faults(&self) -> impl Iterator<Item = RcaFault> + '_ {
-        self.universe().iter().map(RcaFault::Cell).collect::<Vec<_>>().into_iter()
+        self.universe()
+            .iter()
+            .map(RcaFault::Cell)
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 }
 

@@ -171,8 +171,8 @@ impl FaultableUnit for RestoringDivider {
     fn universe(&self) -> FaultUniverse {
         let rbits = (self.width + 1) as usize;
         let mut sites = Vec::with_capacity(2 * rbits);
-        sites.extend(std::iter::repeat(CellKind::FullAdder).take(rbits));
-        sites.extend(std::iter::repeat(CellKind::Mux2).take(rbits));
+        sites.extend(std::iter::repeat_n(CellKind::FullAdder, rbits));
+        sites.extend(std::iter::repeat_n(CellKind::Mux2, rbits));
         FaultUniverse::new(sites)
     }
 }
@@ -271,8 +271,10 @@ mod tests {
                     let golden = div.div_rem(a, b, None).unwrap();
                     let faulty = div.div_rem(a, b, Some(uf)).unwrap();
                     if faulty != golden {
-                        let recomposed =
-                            faulty.quotient.wrapping_mul(b).wrapping_add(faulty.remainder);
+                        let recomposed = faulty
+                            .quotient
+                            .wrapping_mul(b)
+                            .wrapping_add(faulty.remainder);
                         if recomposed == a {
                             found = true;
                             break 'outer;

@@ -118,11 +118,7 @@ impl ArrayMultiplier {
                 let bit_index = j + k;
                 let acc_bit = (acc >> bit_index) & 1 != 0;
                 let pp_bit = (pp_rows[j as usize] >> k) & 1 != 0;
-                let cf = if cell == fault_pos {
-                    cell_fault
-                } else {
-                    None
-                };
+                let cf = if cell == fault_pos { cell_fault } else { None };
                 let (s, c) = full_adder(acc_bit, pp_bit, carry, cf.as_ref());
                 if s {
                     acc |= 1 << bit_index;
@@ -146,8 +142,8 @@ impl FaultableUnit for ArrayMultiplier {
 
     fn universe(&self) -> FaultUniverse {
         let mut sites = Vec::with_capacity(self.and_cells() + self.fa_cells());
-        sites.extend(std::iter::repeat(CellKind::And2).take(self.and_cells()));
-        sites.extend(std::iter::repeat(CellKind::FullAdder).take(self.fa_cells()));
+        sites.extend(std::iter::repeat_n(CellKind::And2, self.and_cells()));
+        sites.extend(std::iter::repeat_n(CellKind::FullAdder, self.fa_cells()));
         FaultUniverse::new(sites)
     }
 }
@@ -162,11 +158,7 @@ mod tests {
             let mult = ArrayMultiplier::new(w);
             for a in Word::all(w) {
                 for b in Word::all(w) {
-                    assert_eq!(
-                        mult.mul(a, b, None),
-                        a.wrapping_mul(b),
-                        "w={w} {a:?}*{b:?}"
-                    );
+                    assert_eq!(mult.mul(a, b, None), a.wrapping_mul(b), "w={w} {a:?}*{b:?}");
                 }
             }
         }

@@ -189,10 +189,7 @@ impl Word {
         let b = rhs.to_i64();
         let q = a.wrapping_div(b);
         let r = a.wrapping_rem(b);
-        (
-            Self::from_i64(self.width, q),
-            Self::from_i64(self.width, r),
-        )
+        (Self::from_i64(self.width, q), Self::from_i64(self.width, r))
     }
 
     /// Iterates all `2^width` words of `width` bits.
@@ -258,8 +255,16 @@ mod tests {
         for w in [1, 2, 3, 7, 8, 16, 31, 64] {
             for v in [-3i64, -1, 0, 1, 5] {
                 let word = Word::from_i64(w, v);
-                let lo = if w == 64 { i64::MIN } else { -(1i64 << (w - 1)) };
-                let hi = if w == 64 { i64::MAX } else { (1i64 << (w - 1)) - 1 };
+                let lo = if w == 64 {
+                    i64::MIN
+                } else {
+                    -(1i64 << (w - 1))
+                };
+                let hi = if w == 64 {
+                    i64::MAX
+                } else {
+                    (1i64 << (w - 1)) - 1
+                };
                 if v >= lo && v <= hi {
                     assert_eq!(word.to_i64(), v, "w={w} v={v}");
                 }

@@ -1,44 +1,53 @@
-//! Criterion bench for the coverage engine itself: throughput of the
-//! exhaustive Table 2 campaigns (situations classified per second) at
-//! growing widths — the cost of regenerating the paper's data.
+//! Bench for the campaign engines: throughput of the exhaustive Table 2
+//! functional campaigns (situations classified per second) at growing
+//! widths, plus the gate-level bit-parallel campaign on the same
+//! datapath — the cost of regenerating the paper's data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use scdp_core::Allocation;
+use scdp_bench::Bench;
+use scdp_core::{Allocation, Operator, Technique};
 use scdp_coverage::{CampaignBuilder, OperatorKind};
+use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
+use scdp_sim::{correlated_coverage, InputPlan};
+use std::hint::black_box;
 
-fn bench_campaigns(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_campaign");
+fn main() {
+    let mut bench = Bench::new("coverage_engine");
     for width in [1u32, 2, 3, 4] {
         let situations = 32u64 * u64::from(width) * (1 << (2 * width));
-        group.throughput(Throughput::Elements(situations));
-        group.bench_with_input(BenchmarkId::new("add", width), &width, |b, &w| {
-            b.iter(|| {
-                CampaignBuilder::new(OperatorKind::Add, w)
-                    .allocation(Allocation::SingleUnit)
-                    .threads(1)
-                    .run()
-            });
-        });
+        bench.sample_elements(
+            &format!("functional_add_w{width}"),
+            10,
+            situations,
+            &mut || {
+                black_box(
+                    CampaignBuilder::new(OperatorKind::Add, width)
+                        .allocation(Allocation::SingleUnit)
+                        .threads(1)
+                        .run()
+                        .tally,
+                )
+            },
+        );
     }
-    group.finish();
-}
-
-fn bench_dual_unit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dual_unit");
-    group.bench_function("add_w4_dedicated", |b| {
-        b.iter(|| {
+    bench.sample("functional_add_w4_dedicated", 10, || {
+        black_box(
             CampaignBuilder::new(OperatorKind::Add, 4)
                 .allocation(Allocation::Dedicated)
                 .threads(1)
                 .run()
-        });
+                .tally,
+        )
     });
-    group.finish();
+    for width in [4u32, 6, 8] {
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Add,
+            technique: Technique::Both,
+            width,
+        });
+        let situations = dp.local_sites().len() as u64 * 2 * (1u64 << (2 * width));
+        bench.sample_elements(&format!("gate_add_w{width}"), 5, situations, &mut || {
+            black_box(correlated_coverage(&dp, InputPlan::Exhaustive, 1).tally)
+        });
+    }
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_campaigns, bench_dual_unit
-}
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench for Table 3's software rows: wall-clock cost of the
-//! plain, SCK-typed and embedded-check FIR implementations (the measured
+//! Bench for Table 3's software rows: wall-clock cost of the plain,
+//! SCK-typed and embedded-check FIR implementations (the measured
 //! counterpart of the paper's 6.83 / 10.02 / 7.90 seconds).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scdp_bench::Bench;
 use scdp_fir::{EmbeddedFir, PlainFir, SckFir};
 use std::hint::black_box;
 
@@ -11,40 +11,27 @@ fn coeffs(taps: usize) -> Vec<i32> {
 }
 
 fn samples(n: usize) -> Vec<i32> {
-    (0..n as i64).map(|i| ((i * 31) % 201 - 100) as i32).collect()
+    (0..n as i64)
+        .map(|i| ((i * 31) % 201 - 100) as i32)
+        .collect()
 }
 
-fn bench_fir(c: &mut Criterion) {
+fn main() {
     let taps = 64;
     let xs = samples(4096);
-    let mut group = c.benchmark_group("fir_sw");
-    group.bench_function("plain", |b| {
-        b.iter_batched(
-            || PlainFir::new(coeffs(taps)),
-            |mut f| black_box(f.process_block(&xs)),
-            BatchSize::SmallInput,
-        );
+    let mut bench = Bench::new("fir_sw");
+    let n = xs.len() as u64;
+    bench.sample_elements("plain", 20, n, &mut || {
+        let mut f = PlainFir::new(coeffs(taps));
+        black_box(f.process_block(&xs))
     });
-    group.bench_function("sck", |b| {
-        b.iter_batched(
-            || SckFir::new(coeffs(taps)) as SckFir,
-            |mut f| black_box(f.process_block(&xs)),
-            BatchSize::SmallInput,
-        );
+    bench.sample_elements("sck", 20, n, &mut || {
+        let mut f: SckFir = SckFir::new(coeffs(taps));
+        black_box(f.process_block(&xs))
     });
-    group.bench_function("embedded", |b| {
-        b.iter_batched(
-            || EmbeddedFir::new(coeffs(taps)),
-            |mut f| black_box(f.process_block(&xs)),
-            BatchSize::SmallInput,
-        );
+    bench.sample_elements("embedded", 20, n, &mut || {
+        let mut f = EmbeddedFir::new(coeffs(taps));
+        black_box(f.process_block(&xs))
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fir
-}
-criterion_main!(benches);

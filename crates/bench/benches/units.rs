@@ -1,51 +1,62 @@
-//! Criterion bench for the cell-level functional units and the checked
-//! operators: the per-operation cost of the simulation substrate
-//! (relevant for sizing larger campaigns).
+//! Bench for the cell-level functional units, the checked operators and
+//! the packed gate evaluator: the per-operation cost of the simulation
+//! substrate (relevant for sizing larger campaigns).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use scdp_arith::{ArrayMultiplier, RestoringDivider, RippleCarryAdder, Word};
+use scdp_bench::Bench;
 use scdp_core::{checked_add, checked_mul, NativeDataPath, Technique};
+use scdp_netlist::gen::self_checking;
+use scdp_sim::{Engine, InputPlan};
 use std::hint::black_box;
 
-fn bench_units(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_units");
+fn main() {
+    let mut bench = Bench::new("units");
+
     let adder = RippleCarryAdder::new(16);
     let mult = ArrayMultiplier::new(16);
     let div = RestoringDivider::new(16);
     let a = Word::from_i64(16, 12345);
     let b = Word::from_i64(16, -678);
-    group.bench_function("rca16_add", |bch| {
-        bch.iter(|| black_box(adder.add(black_box(a), black_box(b), None)));
+    bench.sample("rca16_add", 2000, || {
+        black_box(adder.add(black_box(a), black_box(b), None))
     });
-    group.bench_function("mult16", |bch| {
-        bch.iter(|| black_box(mult.mul(black_box(a), black_box(b), None)));
+    bench.sample("mult16", 200, || {
+        black_box(mult.mul(black_box(a), black_box(b), None))
     });
-    group.bench_function("div16", |bch| {
-        bch.iter(|| black_box(div.div_rem(black_box(a), black_box(b), None)));
+    bench.sample("div16", 200, || {
+        black_box(div.div_rem(black_box(a), black_box(b), None))
     });
-    group.finish();
-}
 
-fn bench_checked_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checked_ops");
-    let a = Word::from_i64(32, 987_654);
-    let b = Word::from_i64(32, -321);
+    let aw = Word::from_i64(32, 987_654);
+    let bw = Word::from_i64(32, -321);
     for tech in [Technique::Tech1, Technique::Both] {
-        group.bench_function(format!("native_add_{tech}"), |bch| {
-            let mut dp = NativeDataPath::new();
-            bch.iter(|| black_box(checked_add(&mut dp, tech, black_box(a), black_box(b))));
+        let mut dp = NativeDataPath::new();
+        bench.sample(&format!("native_add_{tech}"), 2000, || {
+            black_box(checked_add(&mut dp, tech, black_box(aw), black_box(bw)))
         });
-        group.bench_function(format!("native_mul_{tech}"), |bch| {
-            let mut dp = NativeDataPath::new();
-            bch.iter(|| black_box(checked_mul(&mut dp, tech, black_box(a), black_box(b))));
+        let mut dp = NativeDataPath::new();
+        bench.sample(&format!("native_mul_{tech}"), 2000, || {
+            black_box(checked_mul(&mut dp, tech, black_box(aw), black_box(bw)))
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_units, bench_checked_ops
+    // One packed batch through the width-8 self-checking adder: 64
+    // situations per eval.
+    let dp = self_checking(scdp_netlist::gen::SelfCheckingSpec {
+        op: scdp_core::Operator::Add,
+        technique: Technique::Both,
+        width: 8,
+    });
+    let engine = Engine::new(&dp.netlist);
+    let batch = InputPlan::Exhaustive
+        .stream(engine.input_bits())
+        .next()
+        .expect("one batch");
+    let mut values = Vec::new();
+    bench.sample_elements("engine_batch_w8", 2000, 64, &mut || {
+        engine.eval_batch_into(black_box(&batch), &[], &mut values);
+        black_box(values.len())
+    });
+
+    bench.finish();
 }
-criterion_main!(benches);

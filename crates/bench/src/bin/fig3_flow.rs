@@ -12,7 +12,11 @@ use scdp_hls::{expand_sck, SckStyle};
 fn main() {
     let flow = CodesignFlow::default();
     let body = fir_body_dfg();
-    println!("[1] self-checking specification: {} ({} nodes)", body.name(), body.len());
+    println!(
+        "[1] self-checking specification: {} ({} nodes)",
+        body.name(),
+        body.len()
+    );
 
     let expanded = expand_sck(&body, Technique::Tech1, SckStyle::Full);
     println!(

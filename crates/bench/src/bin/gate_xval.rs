@@ -2,217 +2,118 @@
 //! analysis is "independent of the actual implementation … with a carry
 //! look-ahead implementation of an adder, as well as with a ripple
 //! carry". This binary runs structural stuck-at campaigns on generated
-//! self-checking add datapaths built from the **ripple-carry** adder and
-//! from the **carry-lookahead** adder and compares their coverage.
+//! self-checking add datapaths built from **ripple-carry**,
+//! **carry-lookahead** and **carry-save** adder realisations in one
+//! campaign and compares their coverage, plus the array-multiplier
+//! worst case.
 //!
 //! Faults are injected per instance-local site and *correlated* across
 //! the nominal and checking instances (same physical unit reused), the
-//! worst case of §4.
+//! worst case of §4. All campaigns run on the bit-parallel engine of
+//! `scdp-sim` (64 packed vectors per evaluation, good machine shared
+//! per batch, fault universe spread across threads); the scalar
+//! `Netlist::eval_nets` path survives as the differential-testing
+//! oracle (`--oracle` re-checks one technique against it).
 //!
 //! Usage:
-//!   gate_xval [--width N]
+//!   gate_xval [--width N] [--samples N] [--seed S] [--threads N] [--oracle]
+//!
+//! Widths whose input space exceeds 2^20 vectors (width > 10) switch to
+//! seeded Monte-Carlo sampling automatically — `--width 16`, infeasible
+//! on the scalar path, completes in seconds this way.
 
-use scdp_arith::Word;
-use scdp_bench::{arg_value, pct, timed};
+use scdp_bench::{arg_value, has_flag, pct, scalar_add_oracle, timed};
 use scdp_core::{Operator, Technique};
-use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
-use scdp_netlist::{NetlistBuilder, StuckAtLine, StuckSite};
+use scdp_netlist::gen::{
+    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
+};
+use scdp_sim::{correlated_coverage, par, InputPlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let width: u32 = arg_value(&args, "--width")
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
+    let samples: u64 = arg_value(&args, "--samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 16);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xDA7E_2005);
+    let threads: usize = arg_value(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(par::default_threads);
 
-    println!("Gate-level cross-validation, width {width} (correlated shared-unit faults)\n");
-    for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-        let rca = timed(&format!("rca {tech}"), || rca_coverage(width, tech));
-        let cla = timed(&format!("cla {tech}"), || cla_coverage(width, tech));
-        println!(
-            "{tech:<9}  RCA coverage {}  ({} sites)   CLA coverage {}  ({} sites)",
-            pct(rca.0),
-            rca.1,
-            pct(cla.0),
-            cla.1
-        );
+    let plan = plan_for(width, samples, seed);
+    match plan {
+        InputPlan::Exhaustive => println!(
+            "Gate-level cross-validation, width {width} (correlated shared-unit faults, \
+             exhaustive inputs, {threads} threads)\n"
+        ),
+        InputPlan::Sampled { vectors, seed } => println!(
+            "Gate-level cross-validation, width {width} (correlated shared-unit faults, \
+             {vectors} sampled inputs, seed {seed:#x}, {threads} threads)\n"
+        ),
     }
-    println!("\nBoth realisations sit in the same coverage band — the functional-level");
+
+    for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+        let mut row = format!("{tech:<9}");
+        for real in AdderRealisation::ALL {
+            let dp = self_checking_add_with(width, tech, real);
+            let r = timed(&format!("{} {tech}", real.label()), || {
+                correlated_coverage(&dp, plan, threads)
+            });
+            row.push_str(&format!(
+                "  {} coverage {}  ({} sites)",
+                real.label(),
+                pct(r.coverage()),
+                r.sites
+            ));
+        }
+        println!("{row}");
+    }
+    println!("\nAll three realisations sit in the same coverage band — the functional-level");
     println!("analysis of Table 2 transfers across adder implementations.");
 
     println!("\nGate-level multiplier worst case (correlated shared-unit stuck-ats):");
     for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-        let (cov, sites) = timed(&format!("mul {tech}"), || mul_coverage(width, tech));
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Mul,
+            technique: tech,
+            width,
+        });
+        let r = timed(&format!("mul {tech}"), || {
+            correlated_coverage(&dp, plan, threads)
+        });
         println!(
             "{tech:<9}  x coverage {}  ({} sites)   (paper Table 1, 8-bit: 96.22 / 96.38 / 97.43%)",
-            pct(cov),
-            sites
+            pct(r.coverage()),
+            r.sites
         );
     }
     println!("Gate-level multiplier faults mask substantially more than truth-table");
     println!("cell faults (cf. table1), closing most of the Table 1 x-row gap.");
-}
 
-/// Coverage of the generated multiplier self-checking datapath under
-/// correlated (shared-unit) faults: the checking multiplication executes
-/// on the same faulty array as the nominal one.
-fn mul_coverage(width: u32, tech: Technique) -> (f64, usize) {
-    let dp = self_checking(SelfCheckingSpec {
-        op: Operator::Mul,
-        technique: tech,
-        width,
-    });
-    let sites = dp.local_sites();
-    let mut total = 0u64;
-    let mut undetected = 0u64;
-    for site in &sites {
-        for value in [false, true] {
-            let faults = dp.correlated_fault(*site, value);
-            for a in Word::all(width) {
-                for b in Word::all(width) {
-                    total += 1;
-                    let out = dp.netlist.eval_words(&[a, b], &faults);
-                    let observable = out[0] != a.wrapping_mul(b);
-                    let alarm = out[1].bits() != 0;
-                    if observable && !alarm {
-                        undetected += 1;
-                    }
-                }
+    if has_flag(&args, "--oracle") {
+        let dp =
+            self_checking_add_with(width.min(4), Technique::Both, AdderRealisation::RippleCarry);
+        let engine_cov = correlated_coverage(&dp, InputPlan::Exhaustive, threads);
+        let scalar_cov = timed("scalar oracle", || scalar_add_oracle(&dp, width.min(4)));
+        println!(
+            "\nOracle check (width {}, Both): engine {} vs scalar {} — {}",
+            width.min(4),
+            pct(engine_cov.coverage()),
+            pct(scalar_cov),
+            if (engine_cov.coverage() - scalar_cov).abs() < 1e-12 {
+                "MATCH"
+            } else {
+                "MISMATCH"
             }
-        }
+        );
     }
-    (1.0 - undetected as f64 / total as f64, sites.len())
 }
 
-/// Coverage of the generated RCA-based self-checking add datapath.
-fn rca_coverage(width: u32, tech: Technique) -> (f64, usize) {
-    let dp = self_checking(SelfCheckingSpec {
-        op: Operator::Add,
-        technique: tech,
-        width,
-    });
-    let sites = dp.local_sites();
-    let mut total = 0u64;
-    let mut undetected = 0u64;
-    for site in &sites {
-        for value in [false, true] {
-            let faults = dp.correlated_fault(*site, value);
-            classify(&dp.netlist, width, &faults, &mut total, &mut undetected);
-        }
-    }
-    (1.0 - undetected as f64 / total as f64, sites.len())
-}
-
-/// Coverage of a CLA-based self-checking add datapath, built here from
-/// the generator primitives (nominal CLA + two checking CLA subtractors
-/// + comparators).
-fn cla_coverage(width: u32, tech: Technique) -> (f64, usize) {
-    use scdp_netlist::gen::{cla, rca};
-    let _ = (cla(width), rca(width)); // ensure generators stay linked
-    let (netlist, instances) = build_cla_checked(width, tech);
-    // Per-instance-local sites of the first (nominal) instance.
-    let inst = &instances[0];
-    let gates = netlist.gates();
-    let mut sites = Vec::new();
-    for offset in 0..(inst.1 - inst.0) {
-        let g = gates[inst.0 + offset];
-        sites.push(StuckSite {
-            gate: offset,
-            pin: None,
-        });
-        for pin in 0..g.kind.pins() {
-            sites.push(StuckSite {
-                gate: offset,
-                pin: Some(pin),
-            });
-        }
-    }
-    let mut total = 0u64;
-    let mut undetected = 0u64;
-    for site in &sites {
-        for value in [false, true] {
-            let faults: Vec<StuckAtLine> = instances
-                .iter()
-                .map(|(start, _)| {
-                    StuckAtLine::new(
-                        StuckSite {
-                            gate: start + site.gate,
-                            pin: site.pin,
-                        },
-                        value,
-                    )
-                })
-                .collect();
-            classify(&netlist, width, &faults, &mut total, &mut undetected);
-        }
-    }
-    (1.0 - undetected as f64 / total as f64, sites.len())
-}
-
-/// Builds `ris = op1 + op2` checked through CLA instances.
-fn build_cla_checked(
-    width: u32,
-    tech: Technique,
-) -> (scdp_netlist::Netlist, Vec<(usize, usize)>) {
-    use scdp_netlist::gen::neq_into;
-    let mut b = NetlistBuilder::new(format!("cla_sck_{width}"));
-    let op1 = b.input_bus("op1", width);
-    let op2 = b.input_bus("op2", width);
-    let mut instances = Vec::new();
-
-    let zero = b.constant(false);
-    let start = b.mark();
-    let (ris, _) = cla_into_local(&mut b, &op1, &op2, zero);
-    instances.push((start, b.mark()));
-
-    let mut alarms = Vec::new();
-    if tech.uses_tech1() {
-        let n1: Vec<_> = op1.iter().map(|&n| b.not(n)).collect();
-        let one = b.constant(true);
-        let start = b.mark();
-        let (chk, _) = cla_into_local(&mut b, &ris, &n1, one);
-        instances.push((start, b.mark()));
-        alarms.push(neq_into(&mut b, &chk, &op2));
-    }
-    if tech.uses_tech2() {
-        let n2: Vec<_> = op2.iter().map(|&n| b.not(n)).collect();
-        let one = b.constant(true);
-        let start = b.mark();
-        let (chk, _) = cla_into_local(&mut b, &ris, &n2, one);
-        instances.push((start, b.mark()));
-        alarms.push(neq_into(&mut b, &chk, &op1));
-    }
-    let error = b.or_tree(&alarms);
-    b.output("ris", &ris);
-    b.output("error", &[error]);
-    (b.finish(), instances)
-}
-
-/// Delegates to the genuine two-level group-lookahead generator.
-fn cla_into_local(
-    b: &mut NetlistBuilder,
-    x: &[scdp_netlist::NetId],
-    y: &[scdp_netlist::NetId],
-    cin: scdp_netlist::NetId,
-) -> (Vec<scdp_netlist::NetId>, scdp_netlist::NetId) {
-    scdp_netlist::gen::cla_into(b, x, y, cin)
-}
-
-fn classify(
-    netlist: &scdp_netlist::Netlist,
-    width: u32,
-    faults: &[StuckAtLine],
-    total: &mut u64,
-    undetected: &mut u64,
-) {
-    for a in Word::all(width) {
-        for b in Word::all(width) {
-            *total += 1;
-            let out = netlist.eval_words(&[a, b], faults);
-            let observable = out[0] != a.wrapping_add(b);
-            let alarm = out[1].bits() != 0;
-            if observable && !alarm {
-                *undetected += 1;
-            }
-        }
-    }
+/// Exhaustive inputs while the space is small; Monte-Carlo beyond.
+fn plan_for(width: u32, samples: u64, seed: u64) -> InputPlan {
+    InputPlan::auto(2 * width as usize, samples, seed)
 }

@@ -71,4 +71,34 @@ fn main() {
         }
     }
     println!("\n(the paper's Div row evaluates Tech1/Tech2 only)");
+
+    if has_flag(&args, "--gate") {
+        gate_section(width.min(8), samples, seed);
+    }
+}
+
+/// Gate-level companion rows on the bit-parallel engine of `scdp-sim`:
+/// the same worst-case (correlated shared-unit) analysis run on
+/// generated structural datapaths instead of the functional cell model.
+fn gate_section(width: u32, samples: u64, seed: u64) {
+    use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
+    use scdp_sim::{correlated_coverage, par, InputPlan};
+    let plan = InputPlan::auto(2 * width as usize, samples, seed);
+    let threads = par::default_threads();
+    println!("\nGate-level structural campaigns ({width}-bit, bit-parallel engine):");
+    for op in [Operator::Add, Operator::Sub, Operator::Mul] {
+        let mut cells = Vec::new();
+        for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+            let dp = self_checking(SelfCheckingSpec {
+                op,
+                technique: tech,
+                width,
+            });
+            let r = timed(&format!("gate {op} {tech}"), || {
+                correlated_coverage(&dp, plan, threads)
+            });
+            cells.push(format!("{tech} {}", pct(r.coverage())));
+        }
+        println!("  {op}  {}", cells.join("   "));
+    }
 }

@@ -11,11 +11,14 @@
 //! Usage:
 //!   table3 [--taps N] [--sw-samples N]
 
-use scdp_bench::{arg_value, timed};
+use scdp_bench::{arg_value, timed, Bench};
 use scdp_codesign::{CodesignFlow, Goal};
 use scdp_fir::{fir_body_dfg, EmbeddedFir, PlainFir, SckFir};
 use scdp_hls::SckStyle;
-use std::time::Instant;
+
+fn ns_to_s(ns: f64) -> f64 {
+    ns / 1e9
+}
 
 const PAPER_HW: [(&str, &str, &str, f64, u32); 6] = [
     ("FIR", "min area", "2 + 7n", 20.0, 412),
@@ -89,42 +92,50 @@ fn main() {
         .map(|i| ((i * 31) % 201 - 100) as i32)
         .collect();
 
-    // Plain (the compiler auto-vectorizes this MAC loop).
-    let t0 = Instant::now();
-    let mut plain = PlainFir::new(coeffs.clone());
-    let mut sink = 0i64;
-    for &x in &xs {
-        sink = sink.wrapping_add(i64::from(plain.process(x)));
-    }
-    let plain_t = t0.elapsed().as_secs_f64();
-
+    // Measured through the shared mini-bench harness (median of
+    // several passes; writes BENCH_table3_sw.json for the trajectory).
+    let mut bench = Bench::new("table3_sw");
+    let n = xs.len() as u64;
+    let plain_t = ns_to_s(bench.sample_elements("plain_autovec", 5, n, &mut || {
+        // The compiler auto-vectorizes this MAC loop.
+        let mut plain = PlainFir::new(coeffs.clone());
+        let mut sink = 0i64;
+        for &x in &xs {
+            sink = sink.wrapping_add(i64::from(plain.process(x)));
+        }
+        sink
+    }));
     // Scalar plain baseline: black_box per sample suppresses the
     // vectorization a 2004-era compiler would not have performed,
     // giving the ratio comparable to the paper's 6.83 s baseline.
-    let t0 = Instant::now();
-    let mut scalar = PlainFir::new(coeffs.clone());
-    for &x in &xs {
-        sink = sink.wrapping_add(i64::from(std::hint::black_box(scalar.process(std::hint::black_box(x)))));
-    }
-    let scalar_t = t0.elapsed().as_secs_f64();
-
-    // SCK.
-    let t0 = Instant::now();
-    let mut sck: SckFir = SckFir::new(coeffs.clone());
-    for &x in &xs {
-        sink = sink.wrapping_add(i64::from(sck.process(x).value()));
-    }
-    let sck_t = t0.elapsed().as_secs_f64();
-
-    // Embedded.
-    let t0 = Instant::now();
-    let mut emb = EmbeddedFir::new(coeffs);
-    for &x in &xs {
-        sink = sink.wrapping_add(i64::from(emb.process(x)));
-    }
-    let emb_t = t0.elapsed().as_secs_f64();
-    assert!(!emb.error());
-    std::hint::black_box(sink);
+    let scalar_t = ns_to_s(bench.sample_elements("plain_scalar", 5, n, &mut || {
+        let mut scalar = PlainFir::new(coeffs.clone());
+        let mut sink = 0i64;
+        for &x in &xs {
+            sink = sink.wrapping_add(i64::from(std::hint::black_box(
+                scalar.process(std::hint::black_box(x)),
+            )));
+        }
+        sink
+    }));
+    let sck_t = ns_to_s(bench.sample_elements("sck", 5, n, &mut || {
+        let mut sck: SckFir = SckFir::new(coeffs.clone());
+        let mut sink = 0i64;
+        for &x in &xs {
+            sink = sink.wrapping_add(i64::from(sck.process(x).value()));
+        }
+        sink
+    }));
+    let emb_t = ns_to_s(bench.sample_elements("embedded", 5, n, &mut || {
+        let mut emb = EmbeddedFir::new(coeffs.clone());
+        let mut sink = 0i64;
+        for &x in &xs {
+            sink = sink.wrapping_add(i64::from(emb.process(x)));
+        }
+        assert!(!emb.error());
+        sink
+    }));
+    bench.finish();
 
     for ((style, label), measured) in styles.iter().zip([plain_t, sck_t, emb_t]) {
         let sw = report.row(*style, Goal::MinArea).expect("row").sw;

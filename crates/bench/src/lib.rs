@@ -13,7 +13,42 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
+pub use harness::{Bench, Record};
+
+use scdp_arith::Word;
+use scdp_netlist::gen::SelfCheckingDatapath;
 use std::time::Instant;
+
+/// The pre-engine scalar `+` campaign: every instance-local site, both
+/// polarities, correlated across instances, classified one situation at
+/// a time through `Netlist::eval_nets`. Kept as the differential-
+/// testing oracle for the bit-parallel engine (`gate_xval --oracle`)
+/// and as the baseline of the `sim_engine` speedup bench. Returns the
+/// coverage (fraction of situations that are not undetected errors).
+#[must_use]
+pub fn scalar_add_oracle(dp: &SelfCheckingDatapath, width: u32) -> f64 {
+    let mut total = 0u64;
+    let mut undetected = 0u64;
+    for site in dp.local_sites() {
+        for value in [false, true] {
+            let faults = dp.correlated_fault(site, value);
+            for a in Word::all(width) {
+                for b in Word::all(width) {
+                    total += 1;
+                    let out = dp.netlist.eval_words(&[a, b], &faults);
+                    let observable = out[0] != a.wrapping_add(b);
+                    let alarm = out[1].bits() != 0;
+                    if observable && !alarm {
+                        undetected += 1;
+                    }
+                }
+            }
+        }
+    }
+    1.0 - undetected as f64 / total as f64
+}
 
 /// Runs `f`, printing the elapsed wall time afterwards.
 pub fn timed<R>(label: &str, f: impl FnOnce() -> R) -> R {

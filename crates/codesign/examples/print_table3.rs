@@ -3,7 +3,12 @@ fn main() {
     let t = flow.table3(&scdp_fir::fir_body_dfg());
     println!("{t}");
     for r in &t.rows {
-        println!("{:?} {:?} sw: {} cycles/iter, {} KB", r.style, r.goal,
-            r.sw.cycles_per_iteration, r.sw.code_bytes / 1024);
+        println!(
+            "{:?} {:?} sw: {} cycles/iter, {} KB",
+            r.style,
+            r.goal,
+            r.sw.cycles_per_iteration,
+            r.sw.code_bytes / 1024
+        );
     }
 }

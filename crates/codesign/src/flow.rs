@@ -7,11 +7,10 @@ use scdp_hls::{
     area, bind, expand_sck, sched, AreaReport, BindOptions, ComponentLibrary, Dfg, ErrorHandling,
     ResourceSet, SckStyle,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Synthesis goal, as in Table 3.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Goal {
     /// Minimise area: one unit per class, chained checker logic.
     MinArea,

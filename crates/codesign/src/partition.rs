@@ -1,9 +1,7 @@
 //! Hardware/software partitioning under an area budget.
 
-use serde::{Deserialize, Serialize};
-
 /// Implementation estimates for one task, produced by the flow.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskEstimate {
     /// Task name.
     pub name: String,
@@ -17,7 +15,7 @@ pub struct TaskEstimate {
 }
 
 /// A partitioning problem: tasks plus the available hardware area.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PartitionProblem {
     /// The tasks to map.
     pub tasks: Vec<TaskEstimate>,
@@ -26,7 +24,7 @@ pub struct PartitionProblem {
 }
 
 /// The chosen implementation per task.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Mapping {
     /// Implement in hardware.
     Hardware,

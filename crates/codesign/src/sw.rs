@@ -1,7 +1,6 @@
 //! Software cost model: the g++ path of the co-design flow.
 
 use scdp_hls::{Dfg, OpKind, SckStyle};
-use serde::{Deserialize, Serialize};
 
 /// Instruction-level cost model of a scalar in-order processor.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// model counts operator-level instructions per loop iteration. Wall
 /// clock on real hardware is measured separately by the Criterion
 /// benches over `scdp-fir`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SwCostModel {
     /// Cycles of an ALU instruction (add/sub/neg/compare).
     pub alu_cycles: u64,
@@ -43,7 +42,7 @@ impl Default for SwCostModel {
 }
 
 /// Estimated software implementation of a loop body.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SwImplementation {
     /// Cycles per loop iteration.
     pub cycles_per_iteration: u64,

@@ -304,14 +304,22 @@ mod tests {
                 }
             }
         }
-        assert!(found, "worst-case masking must exist (paper Table 2 < 100%)");
+        assert!(
+            found,
+            "worst-case masking must exist (paper Table 2 < 100%)"
+        );
     }
 
     #[test]
     fn faulty_multiplier_detected_by_mul_checks() {
         let mult = ArrayMultiplier::new(8);
         let mut detected_any = false;
-        for uf in mult.universe().iter().filter(|f| !f.fault().is_latent()).take(64) {
+        for uf in mult
+            .universe()
+            .iter()
+            .filter(|f| !f.fault().is_latent())
+            .take(64)
+        {
             let mut dp = FaultyDataPath::new(8, FaultSite::Multiplier(uf), Allocation::SingleUnit);
             for (a, b) in [(3i64, 5), (-7, 11), (127, 127), (-128, 2)] {
                 let golden = w8(a).wrapping_mul(w8(b));

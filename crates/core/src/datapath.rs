@@ -176,8 +176,7 @@ impl FaultyDataPath {
 
     #[inline]
     fn active(&self, slot: Slot, width: u32) -> bool {
-        width == self.width
-            && (slot == Slot::Nominal || self.allocation == Allocation::SingleUnit)
+        width == self.width && (slot == Slot::Nominal || self.allocation == Allocation::SingleUnit)
     }
 }
 

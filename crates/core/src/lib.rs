@@ -75,6 +75,7 @@ pub use datapath::{
     Allocation, CountingDataPath, DataPath, FaultSite, FaultyDataPath, NativeDataPath, OpCounts,
     Slot,
 };
-pub use sck::{sck, BothPolicy, CheckPolicy, DefaultPolicy, Sck, SckError, SckValue,
-    Tech1Policy, Tech2Policy};
+pub use sck::{
+    sck, BothPolicy, CheckPolicy, DefaultPolicy, Sck, SckError, SckValue, Tech1Policy, Tech2Policy,
+};
 pub use technique::{Operator, Technique};

@@ -138,7 +138,9 @@ pub enum SckError {
 impl fmt::Display for SckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SckError::FaultDetected => f.write_str("hardware fault detected by inverse-operation check"),
+            SckError::FaultDetected => {
+                f.write_str("hardware fault detected by inverse-operation check")
+            }
             SckError::Overflow => f.write_str("arithmetic overflow"),
         }
     }
@@ -458,13 +460,20 @@ impl<T: SckValue, P: CheckPolicy> Neg for Sck<T, P> {
 
     /// Checked negation, realised as `0 - self` with the SUB technique.
     fn neg(self) -> Sck<T, P> {
-        Sck::with_flags(T::from_word(Word::zero(T::WIDTH)), self.error, self.overflow) - self
+        Sck::with_flags(
+            T::from_word(Word::zero(T::WIDTH)),
+            self.error,
+            self.overflow,
+        ) - self
     }
 }
 
 impl<T: SckValue, P: CheckPolicy> Sum for Sck<T, P> {
     fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
-        iter.fold(Sck::with_flags(T::from_word(Word::zero(T::WIDTH)), false, false), Add::add)
+        iter.fold(
+            Sck::with_flags(T::from_word(Word::zero(T::WIDTH)), false, false),
+            Add::add,
+        )
     }
 }
 

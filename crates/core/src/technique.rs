@@ -1,10 +1,9 @@
 //! The paper's Table 1: overloading techniques per operator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A checkable arithmetic operator.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operator {
     /// Addition (`+`).
     Add,
@@ -53,7 +52,7 @@ impl fmt::Display for Operator {
 /// [`Technique::Both`] applies the two checks together (higher fault
 /// coverage, higher cost). The paper does not evaluate `Both` for `/`;
 /// this implementation supports it as an extension.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Technique {
     /// The first overloading strategy of Table 1.
     Tech1,
@@ -105,10 +104,10 @@ impl Technique {
     #[must_use]
     pub const fn hidden_ops(self, op: Operator) -> u32 {
         let single = match op {
-            Operator::Add => 1,          // one subtraction
-            Operator::Sub => 1,          // one addition (Tech1) / one sub (Tech2 core)
-            Operator::Mul => 2,          // one negated multiply + one zero-check add
-            Operator::Div => 3,          // remainder op + multiply + recomposition add
+            Operator::Add => 1, // one subtraction
+            Operator::Sub => 1, // one addition (Tech1) / one sub (Tech2 core)
+            Operator::Mul => 2, // one negated multiply + one zero-check add
+            Operator::Div => 3, // remainder op + multiply + recomposition add
         };
         match self {
             Technique::Tech1 => single,
@@ -120,12 +119,10 @@ impl Technique {
                     _ => single,
                 }
             }
-            Technique::Both => {
-                match op {
-                    Operator::Sub => single + 2,
-                    _ => single * 2,
-                }
-            }
+            Technique::Both => match op {
+                Operator::Sub => single + 2,
+                _ => single * 2,
+            },
         }
     }
 }

@@ -21,7 +21,9 @@ fn main() {
                 r.coverage(TechIndex::Tech1) * 100.0,
                 r.coverage(TechIndex::Tech2) * 100.0,
                 r.coverage(TechIndex::Both) * 100.0,
-                expect[0], expect[1], expect[2],
+                expect[0],
+                expect[1],
+                expect[2],
             );
         }
     }

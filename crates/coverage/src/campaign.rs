@@ -1,11 +1,11 @@
 //! Campaign construction and (multithreaded) execution.
 
 use crate::ops::{classify_add, classify_div, classify_mul, classify_sub, DivFaultSite};
+use crate::space::InputSpace;
 use crate::verdict::{Tally, TechIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use scdp_arith::{ArrayMultiplier, FaultableUnit, RcaFault, RestoringDivider, RippleCarryAdder,
-    Word};
+use scdp_arith::{
+    ArrayMultiplier, FaultableUnit, RcaFault, RestoringDivider, RippleCarryAdder, Word,
+};
 use scdp_core::Allocation;
 use std::thread;
 
@@ -31,20 +31,6 @@ pub enum AdderFaultModel {
     Gate,
     /// Truth-table cell faults (row-local alternative model).
     Cell,
-}
-
-/// Input-space strategy.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum InputSpace {
-    /// Every `(op1, op2)` combination (`2^(2n)`; divisor ≠ 0 for `/`).
-    Exhaustive,
-    /// `per_fault` random combinations per fault, seeded reproducibly.
-    Sampled {
-        /// Input pairs drawn per fault.
-        per_fault: u64,
-        /// Base RNG seed (each fault derives its own stream).
-        seed: u64,
-    },
 }
 
 /// Configures and runs a fault-coverage campaign.
@@ -143,7 +129,10 @@ impl CampaignBuilder {
                     s.spawn(move || slice.iter().map(|f| cfg.run_fault(f)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         for v in results {
             per_fault.extend(v);
@@ -169,12 +158,8 @@ impl CampaignBuilder {
             OperatorKind::Add | OperatorKind::Sub => {
                 let adder = RippleCarryAdder::new(self.width);
                 match self.adder_model {
-                    AdderFaultModel::Gate => {
-                        adder.gate_faults().map(FaultCase::Adder).collect()
-                    }
-                    AdderFaultModel::Cell => {
-                        adder.cell_faults().map(FaultCase::Adder).collect()
-                    }
+                    AdderFaultModel::Gate => adder.gate_faults().map(FaultCase::Adder).collect(),
+                    AdderFaultModel::Cell => adder.cell_faults().map(FaultCase::Adder).collect(),
                 }
             }
             OperatorKind::Mul => ArrayMultiplier::new(self.width)
@@ -223,29 +208,11 @@ impl CampaignBuilder {
             tally.record(v.observable, v.det1, v.det2);
         };
         let skip_zero_divisor = self.op == OperatorKind::Div;
-        match self.space {
-            InputSpace::Exhaustive => {
-                for a in Word::all(width) {
-                    for b in Word::all(width) {
-                        if skip_zero_divisor && b.bits() == 0 {
-                            continue;
-                        }
-                        classify(a, b, &mut tally);
-                    }
-                }
-            }
-            InputSpace::Sampled { per_fault, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ fault.stream_id());
-                let mask = Word::new(width, u64::MAX).bits();
-                for _ in 0..per_fault {
-                    let a = Word::new(width, rng.gen::<u64>() & mask);
-                    let mut b = Word::new(width, rng.gen::<u64>() & mask);
-                    while skip_zero_divisor && b.bits() == 0 {
-                        b = Word::new(width, rng.gen::<u64>() & mask);
-                    }
-                    classify(a, b, &mut tally);
-                }
-            }
+        for (a, b) in self
+            .space
+            .pairs(width, fault.stream_id(), skip_zero_divisor)
+        {
+            classify(a, b, &mut tally);
         }
         tally
     }
@@ -269,7 +236,9 @@ impl FaultCase {
             FaultCase::Adder(RcaFault::Gate { position, fault }) => {
                 0x2000_0000 + (*position as u64) * 64 + fault_ordinal_gate(fault)
             }
-            FaultCase::Mul(uf) => 0x3000_0000 + (uf.position() as u64) * 64 + fault_ordinal_cell(uf),
+            FaultCase::Mul(uf) => {
+                0x3000_0000 + (uf.position() as u64) * 64 + fault_ordinal_cell(uf)
+            }
             FaultCase::Div(DivFaultSite::Divider(uf)) => {
                 0x4000_0000 + (uf.position() as u64) * 64 + fault_ordinal_cell(uf)
             }

@@ -40,9 +40,11 @@
 mod campaign;
 mod ops;
 mod report;
+mod space;
 mod verdict;
 
-pub use campaign::{AdderFaultModel, CampaignBuilder, CampaignResult, InputSpace, OperatorKind};
+pub use campaign::{AdderFaultModel, CampaignBuilder, CampaignResult, OperatorKind};
 pub use ops::{classify_add, classify_div, classify_mul, classify_sub, DivFaultSite, TriVerdict};
 pub use report::{format_percent, table2_row, Table2Row};
+pub use space::{InputSpace, PairStream};
 pub use verdict::{Outcome, Tally, TechIndex, TechTally};

@@ -1,0 +1,149 @@
+//! Input-space strategies shared by the functional campaigns here and
+//! the bit-parallel gate-level campaigns in `scdp-sim`.
+
+use scdp_arith::Word;
+use scdp_rng::{Rng, Xoshiro256StarStar};
+
+/// Input-space strategy of a coverage campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum InputSpace {
+    /// Every `(op1, op2)` combination (`2^(2n)`; divisor ≠ 0 for `/`).
+    Exhaustive,
+    /// `per_fault` random combinations per fault, seeded reproducibly.
+    Sampled {
+        /// Input pairs drawn per fault.
+        per_fault: u64,
+        /// Base RNG seed (each fault derives its own stream).
+        seed: u64,
+    },
+}
+
+impl InputSpace {
+    /// A deterministic stream of operand pairs for one fault.
+    ///
+    /// `stream_id` decorrelates faults in sampled mode (ignored for
+    /// exhaustive enumeration); `skip_zero_b` excludes zero second
+    /// operands, as division campaigns require.
+    ///
+    /// # Panics
+    ///
+    /// Panics on exhaustive enumeration of 64-bit operands (the
+    /// `2^128`-pair space overflows the counter; sample instead).
+    #[must_use]
+    pub fn pairs(&self, width: u32, stream_id: u64, skip_zero_b: bool) -> PairStream {
+        match *self {
+            InputSpace::Exhaustive => {
+                assert!(
+                    width < 64,
+                    "exhaustive pair space too large; sample instead"
+                );
+                PairStream {
+                    width,
+                    skip_zero_b,
+                    kind: PairKind::Exhaustive {
+                        next: 0,
+                        total: 1u128 << (2 * width),
+                    },
+                }
+            }
+            InputSpace::Sampled { per_fault, seed } => PairStream {
+                width,
+                skip_zero_b,
+                kind: PairKind::Sampled {
+                    rng: Xoshiro256StarStar::from_seed(seed ^ stream_id),
+                    remaining: per_fault,
+                },
+            },
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum PairKind {
+    Exhaustive {
+        next: u128,
+        total: u128,
+    },
+    Sampled {
+        rng: Xoshiro256StarStar,
+        remaining: u64,
+    },
+}
+
+/// Iterator over `(op1, op2)` operand pairs for one fault's situations.
+#[derive(Clone, Debug)]
+pub struct PairStream {
+    width: u32,
+    skip_zero_b: bool,
+    kind: PairKind,
+}
+
+impl Iterator for PairStream {
+    type Item = (Word, Word);
+
+    fn next(&mut self) -> Option<(Word, Word)> {
+        let width = self.width;
+        let mask = Word::new(width, u64::MAX).bits();
+        match &mut self.kind {
+            PairKind::Exhaustive { next, total } => loop {
+                if *next >= *total {
+                    return None;
+                }
+                let idx = *next;
+                *next += 1;
+                let b_bits = (idx as u64) & mask;
+                if self.skip_zero_b && b_bits == 0 {
+                    continue;
+                }
+                let a = Word::new(width, (idx >> width) as u64);
+                return Some((a, Word::new(width, b_bits)));
+            },
+            PairKind::Sampled { rng, remaining } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let a = Word::new(width, rng.next_u64() & mask);
+                let mut b = Word::new(width, rng.next_u64() & mask);
+                while self.skip_zero_b && b.bits() == 0 {
+                    b = Word::new(width, rng.next_u64() & mask);
+                }
+                Some((a, b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_pairs_cover_the_square() {
+        let pairs: Vec<_> = InputSpace::Exhaustive.pairs(2, 0, false).collect();
+        assert_eq!(pairs.len(), 16);
+        assert_eq!(pairs[0], (Word::new(2, 0), Word::new(2, 0)));
+        assert_eq!(pairs[15], (Word::new(2, 3), Word::new(2, 3)));
+    }
+
+    #[test]
+    fn zero_divisors_are_skipped() {
+        let pairs: Vec<_> = InputSpace::Exhaustive.pairs(2, 0, true).collect();
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.iter().all(|(_, b)| b.bits() != 0));
+    }
+
+    #[test]
+    fn sampled_streams_are_per_fault_deterministic() {
+        let space = InputSpace::Sampled {
+            per_fault: 50,
+            seed: 11,
+        };
+        let a: Vec<_> = space.pairs(8, 3, false).collect();
+        let b: Vec<_> = space.pairs(8, 3, false).collect();
+        let c: Vec<_> = space.pairs(8, 4, false).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct stream ids decorrelate faults");
+        assert_eq!(a.len(), 50);
+    }
+}

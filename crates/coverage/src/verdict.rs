@@ -1,6 +1,5 @@
 //! Per-situation outcomes and campaign tallies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
@@ -9,7 +8,7 @@ use std::ops::{Add, AddAssign};
 /// Campaigns evaluate Tech1, Tech2 and their combination in a single pass
 /// (the nominal computation is shared), so results carry three parallel
 /// tallies.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TechIndex {
     /// Table 1 column "Tech1".
     Tech1 = 0,
@@ -35,7 +34,7 @@ impl fmt::Display for TechIndex {
 }
 
 /// Classification of one fault situation under one technique.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Result correct, checks silent.
     CorrectSilent,
@@ -69,7 +68,7 @@ impl Outcome {
 }
 
 /// Situation counts for one technique.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct TechTally {
     /// Result correct, checks silent.
     pub correct_silent: u64,
@@ -144,7 +143,7 @@ impl AddAssign for TechTally {
 
 /// Aggregated tallies of a campaign: one [`TechTally`] per technique
 /// column, evaluated over the same situations.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Tally {
     /// Tallies indexed by [`TechIndex`].
     pub tech: [TechTally; 3],

@@ -2,8 +2,8 @@
 //! campaigns are deterministic, so the exact undetected counts are part
 //! of this repository's published claims and must never drift.
 
-use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
 use scdp_core::Allocation;
+use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
 
 /// `(width, total, undetected[tech1, tech2, both])` for the gate-level
 /// fault model, worst case — the numbers behind EXPERIMENTS.md's E2

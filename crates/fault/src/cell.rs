@@ -1,13 +1,12 @@
 //! Truth-table cell faults: the paper's functional-level fault model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of 1-bit cell a fault applies to.
 ///
 /// Each kind fixes the shape of the cell's truth table (number of input
 /// rows and output bits), and therefore the size of its fault universe.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CellKind {
     /// Full adder: inputs `(a, b, cin)`, outputs `(sum, cout)`.
     /// 8 rows × 2 outputs × 2 polarities = 32 faults (`num_faults_1bit`
@@ -120,7 +119,7 @@ impl fmt::Display for CellKind {
 /// [`CellFault::is_latent`]). The paper counts latent instances in the
 /// fault universe (they are trivially covered: the result is correct), and
 /// so do we — this is what makes `num_faults_1bit = 32` rather than 16.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellFault {
     kind: CellKind,
     row: u8,
@@ -252,7 +251,9 @@ mod tests {
             CellKind::Xor2,
             CellKind::Mux2,
         ] {
-            let latent = CellFault::enumerate(kind).filter(CellFault::is_latent).count();
+            let latent = CellFault::enumerate(kind)
+                .filter(CellFault::is_latent)
+                .count();
             let total = CellFault::enumerate(kind).count();
             assert_eq!(total, kind.fault_count() as usize);
             // One of the two polarities always matches the golden value.

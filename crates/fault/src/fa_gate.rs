@@ -21,11 +21,10 @@
 //! and the subtraction that checks it — the error-masking mechanism the
 //! paper's worst-case analysis quantifies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A stuck-at fault site in the five-gate full adder.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaSite {
     /// Input `a`, stem (affects both fanout branches).
     AStem,
@@ -108,7 +107,7 @@ impl fmt::Display for FaSite {
 }
 
 /// A single stuck-at fault inside one full adder: `site` stuck at `stuck`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FaGateFault {
     site: FaSite,
     stuck: bool,

@@ -1,6 +1,5 @@
 //! Gate-level single stuck-at faults for structural netlists.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single stuck-at fault on a netlist line.
@@ -9,7 +8,7 @@ use std::fmt;
 /// substrate (`scdp-netlist`); this crate only carries the fault
 /// description so that campaign drivers can be written independently of
 /// the circuit representation.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StuckAt {
     line: usize,
     value: bool,

@@ -1,9 +1,7 @@
 //! Fault universes: all cell faults of a multi-cell functional unit.
 
 use crate::{CellFault, CellKind};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use scdp_rng::Rng;
 use std::fmt;
 
 /// A cell fault placed at a specific cell position of a functional unit.
@@ -12,7 +10,7 @@ use std::fmt;
 /// implementation (for an n-bit ripple-carry adder, position `i` is the
 /// full adder of bit `i`; array multipliers and dividers publish their own
 /// cell maps).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UnitFault {
     position: usize,
     fault: CellFault,
@@ -61,7 +59,7 @@ impl fmt::Display for UnitFault {
 /// let u = FaultUniverse::homogeneous(CellKind::FullAdder, 4);
 /// assert_eq!(u.fault_count(), 32 * 4);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FaultUniverse {
     sites: Vec<CellKind>,
 }
@@ -123,7 +121,7 @@ impl FaultUniverse {
         // Uniform over faults, not over sites: weight sites by their
         // fault count (they differ between FA/HA/AND cells).
         let total = self.fault_count();
-        let mut pick = rng.gen_range(0..total);
+        let mut pick = rng.gen_range(total);
         for (pos, &kind) in self.sites.iter().enumerate() {
             let n = u64::from(kind.fault_count());
             if pick < n {
@@ -140,7 +138,7 @@ impl FaultUniverse {
     #[must_use]
     pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<UnitFault> {
         let mut all: Vec<UnitFault> = self.iter().collect();
-        all.shuffle(rng);
+        rng.shuffle(&mut all);
         all.truncate(count);
         all
     }
@@ -151,7 +149,7 @@ impl FaultUniverse {
 /// A *fault situation* is a `(fault, input combination)` pair; for an
 /// n-bit two-operand unit the paper counts
 /// `num_faults_1bit × n × 2^(2n)` situations.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct SituationCount {
     /// Number of faults in the universe.
     pub faults: u64,
@@ -186,8 +184,7 @@ impl fmt::Display for SituationCount {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use scdp_rng::Xoshiro256StarStar;
 
     #[test]
     fn rca_situation_counts_match_paper_formula() {
@@ -219,7 +216,11 @@ mod tests {
 
     #[test]
     fn heterogeneous_universe_counts() {
-        let u = FaultUniverse::new(vec![CellKind::And2, CellKind::FullAdder, CellKind::HalfAdder]);
+        let u = FaultUniverse::new(vec![
+            CellKind::And2,
+            CellKind::FullAdder,
+            CellKind::HalfAdder,
+        ]);
         assert_eq!(u.fault_count(), 8 + 32 + 16);
         assert_eq!(u.iter().count() as u64, u.fault_count());
         assert_eq!(u.site(0), Some(CellKind::And2));
@@ -229,8 +230,8 @@ mod tests {
     #[test]
     fn sample_is_within_universe_and_deterministic() {
         let u = FaultUniverse::new(vec![CellKind::And2, CellKind::FullAdder]);
-        let mut rng_a = StdRng::seed_from_u64(42);
-        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut rng_a = Xoshiro256StarStar::from_seed(42);
+        let mut rng_b = Xoshiro256StarStar::from_seed(42);
         for _ in 0..100 {
             let fa = u.sample(&mut rng_a);
             let fb = u.sample(&mut rng_b);
@@ -242,7 +243,7 @@ mod tests {
     #[test]
     fn sample_distinct_has_no_duplicates() {
         let u = FaultUniverse::homogeneous(CellKind::FullAdder, 2);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256StarStar::from_seed(7);
         let picks = u.sample_distinct(&mut rng, 40);
         assert_eq!(picks.len(), 40);
         let mut sorted = picks.clone();
@@ -257,7 +258,7 @@ mod tests {
     #[test]
     fn sample_covers_all_sites_eventually() {
         let u = FaultUniverse::homogeneous(CellKind::FullAdder, 4);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256StarStar::from_seed(1);
         let mut seen = [false; 4];
         for _ in 0..500 {
             seen[u.sample(&mut rng).position()] = true;

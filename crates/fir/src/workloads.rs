@@ -31,9 +31,7 @@ where
     T: Copy + Add<Output = T> + Mul<Output = T>,
 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter()
-        .zip(b)
-        .fold(zero, |acc, (&x, &y)| acc + x * y)
+    a.iter().zip(b).fold(zero, |acc, (&x, &y)| acc + x * y)
 }
 
 /// One direct-form-I biquad IIR step:

@@ -4,12 +4,11 @@ use crate::bind::Binding;
 use crate::dfg::{Dfg, OpKind, Role};
 use crate::library::ComponentLibrary;
 use crate::sched::Schedule;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the error information is materialised (drives register and
 /// error-logic overhead).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ErrorHandling {
     /// No checking hardware (plain design).
     None,
@@ -23,7 +22,7 @@ pub enum ErrorHandling {
 }
 
 /// Per-category CLB-slice breakdown.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct AreaReport {
     /// Functional units (ALUs, multipliers, dividers, memory ports).
     pub fu_slices: f64,
@@ -82,11 +81,7 @@ pub fn area(
     lib: &ComponentLibrary,
     err: ErrorHandling,
 ) -> AreaReport {
-    let fu_slices: f64 = binding
-        .fus
-        .iter()
-        .map(|f| lib.fu_slices(f.class))
-        .sum();
+    let fu_slices: f64 = binding.fus.iter().map(|f| lib.fu_slices(f.class)).sum();
     let reg_slices = binding.registers as f64 * lib.reg_slices;
     let mux_slices = binding.mux_legs as f64 * lib.mux_slices_per_input;
     let ctrl_slices = f64::from(schedule.length()) * lib.ctrl_slices_per_state;
@@ -99,10 +94,7 @@ pub fn area(
         .iter()
         .filter(|(_, n)| matches!(n.kind, OpKind::OrBit))
         .count();
-    let checked_values = dfg
-        .iter()
-        .filter(|(_, n)| n.role == Role::Checker)
-        .count();
+    let checked_values = dfg.iter().filter(|(_, n)| n.role == Role::Checker).count();
     let checker_slices = match err {
         ErrorHandling::None => 0.0,
         ErrorHandling::PerValue => {
@@ -186,6 +178,8 @@ mod tests {
             let bnd = bind(&d, &tight, &lib, BindOptions::default());
             area(&d, &tight, &bnd, &lib, ErrorHandling::None)
         };
-        assert!((a1.ctrl_slices - f64::from(tight.length()) * lib.ctrl_slices_per_state).abs() < 1e-9);
+        assert!(
+            (a1.ctrl_slices - f64::from(tight.length()) * lib.ctrl_slices_per_state).abs() < 1e-9
+        );
     }
 }

@@ -5,10 +5,9 @@ pub use crate::library::FuClass;
 use crate::dfg::{Dfg, NodeId, Role};
 use crate::library::ComponentLibrary;
 use crate::sched::Schedule;
-use serde::{Deserialize, Serialize};
 
 /// Binding options.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct BindOptions {
     /// Reliability-aware binding: checker operations never share a
     /// functional unit with nominal operations (required for the paper's
@@ -24,7 +23,7 @@ pub struct BindOptions {
 
 /// One bound functional unit: its class, role partition and the
 /// operations it executes.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuInstance {
     /// Resource class.
     pub class: FuClass,
@@ -36,7 +35,7 @@ pub struct FuInstance {
 }
 
 /// The result of binding: functional units, registers, multiplexer legs.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Binding {
     /// Bound functional units.
     pub fus: Vec<FuInstance>,
@@ -62,7 +61,9 @@ impl Binding {
 pub fn bind(dfg: &Dfg, schedule: &Schedule, lib: &ComponentLibrary, opts: BindOptions) -> Binding {
     let _ = lib;
     // --- functional units ---------------------------------------------
-    let mut fus: Vec<(FuClass, Role, Vec<(u32, u32)>, Vec<NodeId>)> = Vec::new();
+    // (class, role, busy intervals, bound nodes) per physical unit.
+    type FuSlot = (FuClass, Role, Vec<(u32, u32)>, Vec<NodeId>);
+    let mut fus: Vec<FuSlot> = Vec::new();
     let mut seq_nodes: Vec<NodeId> = dfg
         .iter()
         .filter(|(_, n)| !n.kind.is_virtual() && !n.kind.is_chained())
@@ -127,10 +128,7 @@ pub fn bind(dfg: &Dfg, schedule: &Schedule, lib: &ComponentLibrary, opts: BindOp
     let mut reg_ends: Vec<u32> = Vec::new(); // last death per register
     let mut reg_writes: Vec<usize> = Vec::new();
     for (birth, death) in lifetimes {
-        match reg_ends
-            .iter()
-            .position(|&end| end <= birth)
-        {
+        match reg_ends.iter().position(|&end| end <= birth) {
             Some(r) => {
                 reg_ends[r] = death;
                 reg_writes[r] += 1;

@@ -1,10 +1,9 @@
 //! Dataflow-graph IR for loop bodies.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a DFG node.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -22,7 +21,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Operation kinds of DFG nodes.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Loop-invariant or loop-carried input value.
     Input(String),
@@ -75,13 +74,16 @@ impl OpKind {
     /// `true` for nodes that occupy no datapath resource at all.
     #[must_use]
     pub fn is_virtual(&self) -> bool {
-        matches!(self, OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_))
+        matches!(
+            self,
+            OpKind::Input(_) | OpKind::Const(_) | OpKind::Output(_)
+        )
     }
 }
 
 /// Whether a node belongs to the nominal computation or to the hidden
 /// checking operations inserted by the SCK expansion.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Role {
     /// User-visible computation.
     #[default]
@@ -91,7 +93,7 @@ pub enum Role {
 }
 
 /// One DFG node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Node {
     /// The operation.
     pub kind: OpKind,
@@ -105,7 +107,7 @@ pub struct Node {
 
 /// A dataflow graph describing one loop body (acyclic by construction:
 /// nodes may only reference already-created nodes).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,

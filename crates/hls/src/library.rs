@@ -1,10 +1,9 @@
 //! Component library: per-operation timing and area characterisation.
 
 use crate::dfg::OpKind;
-use serde::{Deserialize, Serialize};
 
 /// Timing of one operation class.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct OpTiming {
     /// Latency in clock cycles (0 for chained checker logic).
     pub latency: u32,
@@ -13,7 +12,7 @@ pub struct OpTiming {
 }
 
 /// Resource classes a scheduled operation can occupy.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FuClass {
     /// Adder/subtractor (ALU).
     Alu,
@@ -26,7 +25,7 @@ pub enum FuClass {
 }
 
 /// Resource constraints for list scheduling.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ResourceSet {
     /// Number of ALUs.
     pub alus: usize,
@@ -83,7 +82,7 @@ impl ResourceSet {
 /// multiplexer and controller growth, clock degradation from chained
 /// checkers) follow structurally from scheduling and binding. See
 /// EXPERIMENTS.md for the calibration narrative.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ComponentLibrary {
     /// Data width in bits.
     pub width: u32,
@@ -215,7 +214,10 @@ mod tests {
     fn classes_and_timing() {
         let lib = ComponentLibrary::virtex16();
         assert_eq!(ComponentLibrary::fu_class(&OpKind::Add), Some(FuClass::Alu));
-        assert_eq!(ComponentLibrary::fu_class(&OpKind::Mul), Some(FuClass::Mult));
+        assert_eq!(
+            ComponentLibrary::fu_class(&OpKind::Mul),
+            Some(FuClass::Mult)
+        );
         assert_eq!(ComponentLibrary::fu_class(&OpKind::CmpNe), None);
         assert_eq!(lib.timing(&OpKind::Mul).latency, 2);
         assert_eq!(lib.timing(&OpKind::CmpNe).latency, 0);

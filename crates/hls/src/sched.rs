@@ -13,10 +13,9 @@
 
 use crate::dfg::{Dfg, NodeId, Role};
 use crate::library::{ComponentLibrary, FuClass, ResourceSet};
-use serde::{Deserialize, Serialize};
 
 /// A schedule: per-node start cycle and availability cycle.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     start: Vec<u32>,
     avail: Vec<u32>,
@@ -125,9 +124,9 @@ pub fn alap_starts(dfg: &Dfg, lib: &ComponentLibrary, horizon: u32) -> Vec<u32> 
         } else {
             t.latency
         };
-        let start_latest = deadline[id.index()].checked_sub(lat).unwrap_or_else(|| {
-            panic!("horizon {horizon} shorter than critical path at {id}")
-        });
+        let start_latest = deadline[id.index()]
+            .checked_sub(lat)
+            .unwrap_or_else(|| panic!("horizon {horizon} shorter than critical path at {id}"));
         for a in &node.args {
             deadline[a.index()] = deadline[a.index()].min(start_latest);
         }
@@ -183,10 +182,7 @@ pub fn list_schedule(dfg: &Dfg, lib: &ComponentLibrary, resources: &ResourceSet)
             progressed = false;
             unscheduled.retain(|&id| {
                 let node = dfg.node(id);
-                let ready = node
-                    .args
-                    .iter()
-                    .all(|a| avail[a.index()] != u32::MAX);
+                let ready = node.args.iter().all(|a| avail[a.index()] != u32::MAX);
                 if !ready {
                     return true;
                 }
@@ -316,10 +312,7 @@ mod tests {
         };
         let s = list_schedule(&d, &lib, &one);
         assert_eq!(s.length(), 4, "2 + 2 serialized");
-        let many = ResourceSet {
-            mults: 2,
-            ..one
-        };
+        let many = ResourceSet { mults: 2, ..one };
         let s2 = list_schedule(&d, &lib, &many);
         assert_eq!(s2.length(), 2, "parallel with two multipliers");
     }
@@ -334,7 +327,10 @@ mod tests {
             divs: 99,
             mem_ports: 99,
         };
-        assert_eq!(list_schedule(&d, &lib, &inf).length(), asap(&d, &lib).length());
+        assert_eq!(
+            list_schedule(&d, &lib, &inf).length(),
+            asap(&d, &lib).length()
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ pub fn min_clock_period(
 
 /// Maximum clock frequency in MHz.
 #[must_use]
-pub fn fmax_mhz(dfg: &Dfg, schedule: &Schedule, lib: &ComponentLibrary, policy: ChainPolicy) -> f64 {
+pub fn fmax_mhz(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    lib: &ComponentLibrary,
+    policy: ChainPolicy,
+) -> f64 {
     1000.0 / min_clock_period(dfg, schedule, lib, policy)
 }
 

@@ -249,17 +249,12 @@ mod tests {
         let d = body();
         let f = expand_sck(&d, Technique::Tech1, SckStyle::Full);
         // 3 checkable ops (index add, mul, acc add) each gain checkers.
-        let checkers = f
-            .iter()
-            .filter(|(_, n)| n.role == Role::Checker)
-            .count();
+        let checkers = f.iter().filter(|(_, n)| n.role == Role::Checker).count();
         assert!(checkers >= 3 * 2, "checkers = {checkers}");
         // Per-value error outputs.
         let errs = f
             .iter()
-            .filter(
-                |(_, n)| matches!(&n.kind, OpKind::Output(name) if name.starts_with("_err")),
-            )
+            .filter(|(_, n)| matches!(&n.kind, OpKind::Output(name) if name.starts_with("_err")))
             .count();
         assert_eq!(errs, 3);
     }
@@ -305,7 +300,10 @@ mod tests {
         let emb = expand_sck(&d, Technique::Tech1, SckStyle::Embedded);
         let emb_len = list_schedule(&emb, &lib, &ResourceSet::min_area()).length();
         assert!(full_len >= emb_len, "full {full_len} vs embedded {emb_len}");
-        assert!(emb_len > plain_len, "embedded {emb_len} vs plain {plain_len}");
+        assert!(
+            emb_len > plain_len,
+            "embedded {emb_len} vs plain {plain_len}"
+        );
     }
 
     #[test]

@@ -148,7 +148,12 @@ pub fn rca(width: u32) -> Netlist {
 /// structure — and therefore the stuck-at fault population — differs
 /// substantially from the ripple-carry realisation. Groups are rippled.
 /// Returns the sum nets and carry-out.
-pub fn cla_into(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+pub fn cla_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    bb: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
     assert_eq!(a.len(), bb.len(), "operand width mismatch");
     let n = a.len();
     let p: Vec<NetId> = (0..n).map(|i| b.xor(a[i], bb[i])).collect();
@@ -203,6 +208,63 @@ pub fn cla(width: u32) -> Netlist {
     let bb = b.input_bus("b", width);
     let zero = b.constant(false);
     let (sum, cout) = cla_into(&mut b, &a, &bb, zero);
+    b.output("sum", &sum);
+    b.output("cout", &[cout]);
+    b.finish()
+}
+
+/// Appends a carry-save-structured adder computing `a + b + cin`.
+///
+/// Stage 1 is a row of 3:2 compressors in half-adder form (`s_i =
+/// a_i ⊕ b_i`, `c_i = a_i · b_i`); stage 2 merges the sum and shifted
+/// carry vectors on a ripple chain whose low bit folds in `cin` via a
+/// half adder. The two-stage structure (and its different stuck-at
+/// population) is the third adder realisation used by the
+/// implementation-independence cross-validation, next to ripple-carry
+/// and carry-lookahead.
+pub fn csa_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    bb: &[NetId],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), bb.len(), "operand width mismatch");
+    let n = a.len();
+    // Stage 1: 3:2 compress (third operand is zero, so HA per bit).
+    let s: Vec<NetId> = (0..n).map(|i| b.xor(a[i], bb[i])).collect();
+    let c: Vec<NetId> = (0..n).map(|i| b.and(a[i], bb[i])).collect();
+    // Stage 2: merge s with (c << 1), carry-in on bit 0.
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = cin;
+    for i in 0..n {
+        if i == 0 {
+            // s0 + cin: half adder.
+            sum.push(b.xor(s[0], carry));
+            carry = b.and(s[0], carry);
+        } else {
+            let (sm, co, _) = fa_into(b, s[i], c[i - 1], carry);
+            sum.push(sm);
+            carry = co;
+        }
+    }
+    let cout = if n > 0 { b.or(carry, c[n - 1]) } else { carry };
+    (sum, cout)
+}
+
+/// A complete n-bit carry-save-structured adder netlist: inputs `a`,
+/// `b`; outputs `sum` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn csa(width: u32) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("csa{width}"));
+    let a = b.input_bus("a", width);
+    let bb = b.input_bus("b", width);
+    let zero = b.constant(false);
+    let (sum, cout) = csa_into(&mut b, &a, &bb, zero);
     b.output("sum", &sum);
     b.output("cout", &[cout]);
     b.finish()

@@ -1,11 +1,69 @@
 //! Self-checking datapath generator: the structural realisation of the
 //! paper's overloaded operators.
 
-use super::adder::{rca_into, RcaInstance};
+use super::adder::{cla_into, csa_into, rca_into, RcaInstance};
 use super::compare::neq_into;
 use super::mult::array_mult_into;
 use crate::{NetId, Netlist, NetlistBuilder, StuckAtLine, StuckSite};
 use scdp_core::{Operator, Technique};
+use std::fmt;
+
+/// Structural realisation of the adder instances inside a generated
+/// self-checking `+` datapath.
+///
+/// The paper claims its coverage analysis is "independent of the actual
+/// implementation"; [`self_checking_add_with`] turns that claim into a
+/// testable axis by generating the same nominal/checking architecture
+/// over structurally different adders.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AdderRealisation {
+    /// Chain of five-gate full adders.
+    RippleCarry,
+    /// 4-bit-group two-level lookahead.
+    CarryLookahead,
+    /// 3:2 compress stage plus ripple merge.
+    CarrySave,
+}
+
+impl AdderRealisation {
+    /// All realisations, in cross-validation order.
+    pub const ALL: [AdderRealisation; 3] = [
+        AdderRealisation::RippleCarry,
+        AdderRealisation::CarryLookahead,
+        AdderRealisation::CarrySave,
+    ];
+
+    /// Short table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdderRealisation::RippleCarry => "RCA",
+            AdderRealisation::CarryLookahead => "CLA",
+            AdderRealisation::CarrySave => "CSA",
+        }
+    }
+
+    /// Appends one adder instance of this realisation.
+    fn build_into(
+        self,
+        b: &mut NetlistBuilder,
+        x: &[NetId],
+        y: &[NetId],
+        cin: NetId,
+    ) -> Vec<NetId> {
+        match self {
+            AdderRealisation::RippleCarry => rca_into(b, x, y, cin).sum,
+            AdderRealisation::CarryLookahead => cla_into(b, x, y, cin).0,
+            AdderRealisation::CarrySave => csa_into(b, x, y, cin).0,
+        }
+    }
+}
+
+impl fmt::Display for AdderRealisation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Specification of a self-checking datapath to generate.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -181,6 +239,73 @@ pub fn self_checking(spec: SelfCheckingSpec) -> SelfCheckingDatapath {
     SelfCheckingDatapath {
         netlist: b.finish(),
         spec,
+        nominal,
+        checkers,
+    }
+}
+
+/// Generates a self-checking `+` datapath whose nominal and checking
+/// adder instances all use the given structural `realisation` —
+/// `ris = op1 + op2`, Tech1 re-deriving `op2' = ris − op1`, Tech2
+/// `op1' = ris − op2` (subtraction through fault-free inverters and
+/// carry-in 1 on the same realisation), comparators outside every
+/// instance.
+///
+/// [`self_checking`] with [`Operator::Add`] is the
+/// [`AdderRealisation::RippleCarry`] special case (kept separate
+/// because it also exposes the full-adder cell map).
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+#[must_use]
+pub fn self_checking_add_with(
+    width: u32,
+    technique: Technique,
+    realisation: AdderRealisation,
+) -> SelfCheckingDatapath {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!(
+        "sck_add_{}_{technique:?}_{width}",
+        realisation.label()
+    ));
+    let op1 = b.input_bus("op1", width);
+    let op2 = b.input_bus("op2", width);
+
+    let zero = b.constant(false);
+    let start = b.mark();
+    let ris = realisation.build_into(&mut b, &op1, &op2, zero);
+    let nominal = instance("nominal", start, b.mark());
+
+    let mut checkers = Vec::new();
+    let mut alarms = Vec::new();
+    let check = |b: &mut NetlistBuilder, name: &str, minuend: &[NetId], sub: &[NetId]| {
+        let ns: Vec<NetId> = sub.iter().map(|&n| b.not(n)).collect();
+        let one = b.constant(true);
+        let start = b.mark();
+        let chk = realisation.build_into(b, minuend, &ns, one);
+        (instance(name, start, b.mark()), chk)
+    };
+    if technique.uses_tech1() {
+        let (inst, chk) = check(&mut b, "check1", &ris, &op1);
+        alarms.push(neq_into(&mut b, &chk, &op2));
+        checkers.push(inst);
+    }
+    if technique.uses_tech2() {
+        let (inst, chk) = check(&mut b, "check2", &ris, &op2);
+        alarms.push(neq_into(&mut b, &chk, &op1));
+        checkers.push(inst);
+    }
+    let error = b.or_tree(&alarms);
+    b.output("ris", &ris);
+    b.output("error", &[error]);
+    SelfCheckingDatapath {
+        netlist: b.finish(),
+        spec: SelfCheckingSpec {
+            op: Operator::Add,
+            technique,
+            width,
+        },
         nominal,
         checkers,
     }

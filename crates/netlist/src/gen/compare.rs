@@ -114,7 +114,7 @@ mod tests {
                 for bad in 0..pairs {
                     let rail0 = Word::new(pairs, 0);
                     // rail1 complementary except at `bad`.
-                    let rail1 = Word::new(pairs, !0u64 & ((1 << pairs) - 1)).with_bit(bad, false);
+                    let rail1 = Word::new(pairs, (1 << pairs) - 1).with_bit(bad, false);
                     let out = nl.eval_words(&[rail0, rail1], &[]);
                     let z = out[0];
                     assert_eq!(z.bit(0), z.bit(1), "invalid pair {bad} must propagate");

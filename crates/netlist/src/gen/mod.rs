@@ -12,8 +12,13 @@ mod compare;
 mod divider;
 mod mult;
 
-pub use adder::{addsub, cla, cla_into, rca, rca_into, subtract_into, FaCells, RcaInstance};
-pub use checker::{self_checking, SelfCheckingDatapath, SelfCheckingSpec, UnitInstance};
+pub use adder::{
+    addsub, cla, cla_into, csa, csa_into, rca, rca_into, subtract_into, FaCells, RcaInstance,
+};
+pub use checker::{
+    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingDatapath,
+    SelfCheckingSpec, UnitInstance,
+};
 pub use compare::{equal, is_zero_into, neq_into, two_rail_checker};
 pub use divider::restoring_divider;
 pub use mult::{array_mult, array_mult_into};

@@ -23,8 +23,8 @@ pub fn array_mult_into(
     let n = a.len();
     // Partial products, row-major (i + j < n).
     let mut pp: Vec<Vec<NetId>> = Vec::with_capacity(n);
-    for j in 0..n {
-        let row: Vec<NetId> = (0..n - j).map(|i| b.and(a[i], bb[j])).collect();
+    for (j, &bj) in bb.iter().enumerate() {
+        let row: Vec<NetId> = (0..n - j).map(|i| b.and(a[i], bj)).collect();
         pp.push(row);
     }
     // Accumulator starts as row 0.

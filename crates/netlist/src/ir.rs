@@ -1,11 +1,10 @@
 //! Structural netlist IR: gates, buses, evaluation, fault injection.
 
 use scdp_arith::Word;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a net (the output of the gate with the same index).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub(crate) usize);
 
 impl NetId {
@@ -24,7 +23,7 @@ impl fmt::Display for NetId {
 
 /// Primitive gate kinds (at most two inputs; wider functions are built as
 /// trees by [`NetlistBuilder`]).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum GateKind {
     /// Primary input bit.
     Input,
@@ -61,7 +60,7 @@ impl GateKind {
 }
 
 /// One gate instance; drives the net with its own index.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Gate {
     /// The gate's function.
     pub kind: GateKind,
@@ -73,7 +72,7 @@ pub struct Gate {
 
 /// A stuck-at fault site: a gate output (stem) or one of its input pins
 /// (fanout branch).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StuckSite {
     /// The gate the fault is attached to.
     pub gate: usize,
@@ -82,7 +81,7 @@ pub struct StuckSite {
 }
 
 /// A stuck-at fault: `site` stuck at `value`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StuckAtLine {
     /// Where the fault sits.
     pub site: StuckSite,
@@ -102,7 +101,7 @@ impl StuckAtLine {
 ///
 /// Gates are stored in topological order (the builder only references
 /// already-created nets), so evaluation is a single forward pass.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Netlist {
     name: String,
     gates: Vec<Gate>,
@@ -467,7 +466,11 @@ mod tests {
     #[test]
     fn eval_simple_gates() {
         let nl = xor_netlist();
-        for (a, b, expect) in [(false, false, false), (true, false, true), (true, true, false)] {
+        for (a, b, expect) in [
+            (false, false, false),
+            (true, false, true),
+            (true, true, false),
+        ] {
             let nets = nl.eval_nets(&[a, b], &[]);
             assert_eq!(nets[2], expect);
         }

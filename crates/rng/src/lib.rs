@@ -1,0 +1,188 @@
+//! Small, dependency-free deterministic PRNGs for the workspace.
+//!
+//! The build environment is fully offline, so the usual `rand` crate is
+//! not available; campaigns instead use this vendored generator. Two
+//! requirements drive the design:
+//!
+//! * **Reproducibility** — every Monte-Carlo campaign must produce the
+//!   same tallies for the same seed, regardless of thread count. Each
+//!   fault derives its own independent stream (`Xoshiro256StarStar::
+//!   from_seed(seed ^ stream_id)`), so partitioning the fault universe
+//!   across workers cannot change any per-fault sequence.
+//! * **Speed** — the bit-parallel engine consumes one `u64` of fresh
+//!   randomness per primary-input bit per 64-vector batch, so the
+//!   generator sits on a hot path. xoshiro256** is a few ALU ops per
+//!   word.
+//!
+//! [`SplitMix64`] is used to expand a 64-bit seed into the 256-bit
+//! xoshiro state (the construction recommended by the xoshiro authors)
+//! and as a cheap stream-id mixer.
+
+#![warn(missing_docs)]
+
+/// Uniform random source: the subset of the `rand::Rng` surface the
+/// workspace actually uses.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw from `0..bound` (rejection sampling, no modulo
+    /// bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform random boolean.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 != 0
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64: a tiny, statistically solid 64-bit generator used for
+/// seed expansion and stream derivation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workhorse generator for campaigns and property
+/// tests.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator whose 256-bit state is expanded from `seed`
+    /// with [`SplitMix64`].
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567 from the reference C code.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256StarStar::from_seed(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256StarStar::from_seed(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xoshiro256StarStar::from_seed(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut r = Xoshiro256StarStar::from_seed(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_range(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256StarStar::from_seed(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SplitMix64::new(0);
+        let _ = r.gen_range(0);
+    }
+}

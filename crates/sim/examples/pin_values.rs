@@ -1,0 +1,53 @@
+//! Prints the exact width-4 campaign tallies used by the
+//! `xval_regression` test pins. Re-run after an intentional generator
+//! change to refresh the expected values:
+//!
+//! ```text
+//! cargo run --release -p scdp-sim --example pin_values
+//! ```
+
+use scdp_core::{Operator, Technique};
+use scdp_netlist::gen::{
+    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
+};
+use scdp_sim::{correlated_coverage, InputPlan};
+
+fn main() {
+    for real in AdderRealisation::ALL {
+        for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+            let dp = self_checking_add_with(4, tech, real);
+            let r = correlated_coverage(&dp, InputPlan::Exhaustive, 1);
+            let t = r.tally;
+            println!(
+                "{} {:?}: sites={} cs={} cd={} ed={} eu={} total={}",
+                real.label(),
+                tech,
+                r.sites,
+                t.correct_silent,
+                t.correct_detected,
+                t.error_detected,
+                t.error_undetected,
+                t.total()
+            );
+        }
+    }
+    for tech in [Technique::Tech1, Technique::Both] {
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Mul,
+            technique: tech,
+            width: 4,
+        });
+        let r = correlated_coverage(&dp, InputPlan::Exhaustive, 1);
+        let t = r.tally;
+        println!(
+            "MUL {:?}: sites={} cs={} cd={} ed={} eu={} total={}",
+            tech,
+            r.sites,
+            t.correct_silent,
+            t.correct_detected,
+            t.error_detected,
+            t.error_undetected,
+            t.total()
+        );
+    }
+}

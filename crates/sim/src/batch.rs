@@ -1,0 +1,244 @@
+//! Packed input batches and deterministic batch streams.
+
+use scdp_rng::{Rng, Xoshiro256StarStar};
+
+/// Number of input vectors packed into one machine word.
+pub const LANES: usize = 64;
+
+/// Bit `j` of `EXHAUSTIVE_PATTERN[i]` equals bit `i` of `j` — the packed
+/// values of low input bit `i` across 64 consecutive assignments.
+const EXHAUSTIVE_PATTERN: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Up to [`LANES`] input vectors, bit-sliced: `bits[i]` holds the value
+/// of primary input bit `i` in every lane (lane = vector index within
+/// the batch).
+#[derive(Clone, Debug, Default)]
+pub struct InputBatch {
+    /// One packed word per primary input bit.
+    pub bits: Vec<u64>,
+    /// Number of valid lanes (1..=64); higher lanes are don't-care.
+    pub len: usize,
+}
+
+impl InputBatch {
+    /// Mask selecting the valid lanes.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.len == LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// The scalar assignment of lane `lane` (little-endian bit order),
+    /// for differential testing against scalar evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.len`.
+    #[must_use]
+    pub fn lane_bits(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < self.len, "lane out of range");
+        self.bits.iter().map(|w| (w >> lane) & 1 != 0).collect()
+    }
+}
+
+/// Input-space strategy for a batched gate-level campaign.
+///
+/// This is the batched twin of [`scdp_coverage::InputSpace`]: the same
+/// two strategies (exhaustive enumeration, seeded Monte-Carlo), but
+/// producing bit-sliced 64-lane batches instead of scalar operand
+/// pairs. [`InputPlan::from_space`] converts between the two so
+/// campaign front-ends can share one configuration value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InputPlan {
+    /// Every assignment of the primary inputs, in numeric order.
+    Exhaustive,
+    /// `vectors` random assignments from a xoshiro stream seeded with
+    /// `seed` (identical regardless of batch boundaries or threads).
+    Sampled {
+        /// Total number of random input vectors.
+        vectors: u64,
+        /// Stream seed.
+        seed: u64,
+    },
+}
+
+impl InputPlan {
+    /// Converts the functional-level campaign configuration into a
+    /// batched plan. Exhaustive maps to exhaustive; `Sampled` draws
+    /// `per_fault` vectors (PPSFP shares one input stream across the
+    /// whole universe, so `per_fault` becomes the per-campaign count).
+    #[must_use]
+    pub fn from_space(space: scdp_coverage::InputSpace) -> Self {
+        match space {
+            scdp_coverage::InputSpace::Exhaustive => InputPlan::Exhaustive,
+            scdp_coverage::InputSpace::Sampled { per_fault, seed } => InputPlan::Sampled {
+                vectors: per_fault,
+                seed,
+            },
+        }
+    }
+
+    /// The standard campaign policy: exhaustive while the input space
+    /// fits in 2^20 vectors, seeded Monte-Carlo sampling beyond. One
+    /// place to change the threshold for every campaign front-end.
+    #[must_use]
+    pub fn auto(input_bits: usize, vectors: u64, seed: u64) -> Self {
+        if input_bits <= 20 {
+            InputPlan::Exhaustive
+        } else {
+            InputPlan::Sampled { vectors, seed }
+        }
+    }
+
+    /// Total number of vectors for `input_bits` primary input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exhaustive plan is requested for more than 63 input
+    /// bits (use sampling there).
+    #[must_use]
+    pub fn vector_count(&self, input_bits: usize) -> u64 {
+        match *self {
+            InputPlan::Exhaustive => {
+                assert!(
+                    input_bits < 64,
+                    "exhaustive space too large; sample instead"
+                );
+                1u64 << input_bits
+            }
+            InputPlan::Sampled { vectors, .. } => vectors,
+        }
+    }
+
+    /// A fresh deterministic stream of batches for a netlist with
+    /// `input_bits` primary input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exhaustive plan is requested for more than 63 input
+    /// bits.
+    #[must_use]
+    pub fn stream(&self, input_bits: usize) -> BatchStream {
+        let remaining = self.vector_count(input_bits);
+        BatchStream {
+            input_bits,
+            remaining,
+            base: 0,
+            rng: match *self {
+                InputPlan::Exhaustive => None,
+                InputPlan::Sampled { seed, .. } => Some(Xoshiro256StarStar::from_seed(seed)),
+            },
+        }
+    }
+}
+
+/// Iterator over the [`InputBatch`]es of an [`InputPlan`].
+///
+/// The stream is a pure function of the plan, so independent workers can
+/// each run their own copy and see identical batches — the basis of the
+/// thread-count-independent campaign results.
+#[derive(Clone, Debug)]
+pub struct BatchStream {
+    input_bits: usize,
+    remaining: u64,
+    base: u64,
+    rng: Option<Xoshiro256StarStar>,
+}
+
+impl Iterator for BatchStream {
+    type Item = InputBatch;
+
+    fn next(&mut self) -> Option<InputBatch> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let len = self.remaining.min(LANES as u64) as usize;
+        self.remaining -= len as u64;
+        let bits = match &mut self.rng {
+            Some(rng) => (0..self.input_bits).map(|_| rng.next_u64()).collect(),
+            None => {
+                // Exhaustive: lane j encodes assignment `base + j`, so
+                // bits 0..6 follow fixed alternation patterns and bits
+                // >= 6 are constant within one 64-aligned batch.
+                let base = self.base;
+                let words = (0..self.input_bits)
+                    .map(|i| {
+                        if i < EXHAUSTIVE_PATTERN.len() {
+                            EXHAUSTIVE_PATTERN[i]
+                        } else if (base >> i) & 1 != 0 {
+                            u64::MAX
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                self.base += len as u64;
+                words
+            }
+        };
+        Some(InputBatch { bits, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_covers_every_assignment_once() {
+        let plan = InputPlan::Exhaustive;
+        let mut seen = [false; 1 << 7];
+        for batch in plan.stream(7) {
+            for lane in 0..batch.len {
+                let bits = batch.lane_bits(lane);
+                let idx = bits
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (i, &b)| acc | (usize::from(b) << i));
+                assert!(!seen[idx], "assignment {idx} repeated");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn small_exhaustive_space_fits_one_partial_batch() {
+        let batches: Vec<_> = InputPlan::Exhaustive.stream(3).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len, 8);
+        assert_eq!(batches[0].mask(), 0xFF);
+    }
+
+    #[test]
+    fn sampled_stream_is_deterministic() {
+        let plan = InputPlan::Sampled {
+            vectors: 130,
+            seed: 99,
+        };
+        let a: Vec<_> = plan.stream(5).map(|b| b.bits).collect();
+        let b: Vec<_> = plan.stream(5).map(|b| b.bits).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "130 vectors = 64 + 64 + 2 lanes");
+    }
+
+    #[test]
+    fn vector_counts() {
+        assert_eq!(InputPlan::Exhaustive.vector_count(10), 1024);
+        let s = InputPlan::Sampled {
+            vectors: 7,
+            seed: 0,
+        };
+        assert_eq!(s.vector_count(60), 7);
+    }
+}

@@ -1,0 +1,353 @@
+//! Parallel gate-level campaign driver with fault dropping.
+
+use crate::batch::InputPlan;
+use crate::engine::Engine;
+use crate::par;
+use scdp_coverage::TechTally;
+use scdp_netlist::gen::SelfCheckingDatapath;
+use scdp_netlist::StuckAtLine;
+
+/// When a fault leaves the simulated universe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Keep every fault live through the whole input space, producing
+    /// exact situation tallies — what coverage classification needs.
+    Never,
+    /// Drop a fault after the first batch in which a check fires
+    /// (classic detectability fault grading). Tallies are partial.
+    OnDetect,
+    /// Drop a fault after the first batch containing an undetected
+    /// erroneous lane — the fault is proven *unsafe* and further
+    /// simulation cannot change that verdict. Tallies are partial.
+    OnEscape,
+}
+
+/// Per-fault result of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FaultOutcome {
+    /// Situation tallies (exact for [`DropPolicy::Never`], partial up
+    /// to the dropping batch otherwise).
+    pub tally: TechTally,
+    /// A check fired in at least one simulated situation.
+    pub detected: bool,
+    /// At least one simulated situation was an undetected error.
+    pub escaped: bool,
+    /// Situations simulated before the fault was dropped (`None` when
+    /// it stayed live to the end).
+    pub dropped_after: Option<u64>,
+}
+
+/// Aggregate result of a gate-level campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignSummary {
+    /// One outcome per fault group, in universe order.
+    pub per_fault: Vec<FaultOutcome>,
+    /// Sum of all per-fault tallies.
+    pub tally: TechTally,
+    /// Situations actually simulated (drops make this smaller than
+    /// `faults × vectors`).
+    pub simulated: u64,
+}
+
+impl CampaignSummary {
+    /// Fraction of faults with at least one alarmed situation.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 1.0;
+        }
+        self.per_fault.iter().filter(|f| f.detected).count() as f64 / self.per_fault.len() as f64
+    }
+
+    /// Fraction of faults that never produced an undetected error.
+    #[must_use]
+    pub fn safe_rate(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 1.0;
+        }
+        self.per_fault.iter().filter(|f| !f.escaped).count() as f64 / self.per_fault.len() as f64
+    }
+}
+
+/// A configured bit-parallel campaign: a compiled engine, a universe of
+/// fault groups (each group is one multiple-stuck-at fault — e.g. the
+/// correlated copies of one local site across unit instances), an input
+/// plan and a drop policy.
+///
+/// The driver partitions the universe into contiguous chunks, one per
+/// worker; every worker re-generates the same deterministic batch
+/// stream, simulates the good machine once per batch, then replays each
+/// of its live faults against the batch. Results are therefore
+/// independent of the worker count.
+#[derive(Clone, Debug)]
+pub struct EngineCampaign<'a> {
+    engine: &'a Engine,
+    groups: Vec<Vec<StuckAtLine>>,
+    plan: InputPlan,
+    drop: DropPolicy,
+    threads: usize,
+}
+
+impl<'a> EngineCampaign<'a> {
+    /// Starts a campaign over `groups` with exhaustive inputs, no
+    /// dropping and all available cores.
+    #[must_use]
+    pub fn new(engine: &'a Engine, groups: Vec<Vec<StuckAtLine>>) -> Self {
+        let mut groups = groups;
+        for g in &mut groups {
+            g.sort_by_key(|f| (f.site.gate, f.site.pin));
+        }
+        Self {
+            engine,
+            groups,
+            plan: InputPlan::Exhaustive,
+            drop: DropPolicy::Never,
+            threads: par::default_threads(),
+        }
+    }
+
+    /// Selects the input plan.
+    #[must_use]
+    pub fn plan(mut self, plan: InputPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Selects the drop policy.
+    #[must_use]
+    pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Caps the worker thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the campaign.
+    #[must_use]
+    pub fn run(&self) -> CampaignSummary {
+        let per_fault = par::map_chunks(&self.groups, self.threads, |chunk| self.run_chunk(chunk));
+        let mut tally = TechTally::default();
+        let mut simulated = 0u64;
+        for f in &per_fault {
+            tally += f.tally;
+            simulated += f.tally.total();
+        }
+        CampaignSummary {
+            per_fault,
+            tally,
+            simulated,
+        }
+    }
+
+    /// Simulates one contiguous chunk of the fault universe on the
+    /// calling thread (PPSFP inner loop).
+    fn run_chunk(&self, chunk: &[Vec<StuckAtLine>]) -> Vec<FaultOutcome> {
+        let engine = self.engine;
+        let mut outcomes: Vec<FaultOutcome> = vec![FaultOutcome::default(); chunk.len()];
+        let mut live: Vec<usize> = (0..chunk.len()).collect();
+        let mut good = Vec::new();
+        let mut faulty = Vec::new();
+        for batch in self.plan.stream(engine.input_bits()) {
+            if live.is_empty() {
+                break;
+            }
+            engine.eval_batch_into(&batch, &[], &mut good);
+            debug_assert_eq!(
+                engine.compare(&good, &good, batch.mask()).alarm,
+                0,
+                "good machine must be alarm-free"
+            );
+            let drop = self.drop;
+            live.retain(|&k| {
+                engine.eval_batch_into(&batch, &chunk[k], &mut faulty);
+                let v = engine.compare(&good, &faulty, batch.mask());
+                let (cs, cd, ed, eu) = v.counts();
+                let o = &mut outcomes[k];
+                o.tally.correct_silent += cs;
+                o.tally.correct_detected += cd;
+                o.tally.error_detected += ed;
+                o.tally.error_undetected += eu;
+                o.detected |= cd + ed > 0;
+                o.escaped |= eu > 0;
+                let decided = match drop {
+                    DropPolicy::Never => false,
+                    DropPolicy::OnDetect => o.detected,
+                    DropPolicy::OnEscape => o.escaped,
+                };
+                if decided {
+                    o.dropped_after = Some(o.tally.total());
+                }
+                !decided
+            });
+        }
+        outcomes
+    }
+}
+
+/// Summary of one gate-level cross-validation campaign.
+#[derive(Clone, Debug)]
+pub struct XvalReport {
+    /// Number of per-instance-local stuck-at sites (each simulated
+    /// stuck-at-0 and stuck-at-1).
+    pub sites: usize,
+    /// Aggregate situation tallies across the whole universe.
+    pub tally: TechTally,
+}
+
+impl XvalReport {
+    /// The paper's coverage metric: fraction of situations that are not
+    /// undetected errors.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        self.tally.coverage()
+    }
+}
+
+fn datapath_coverage(
+    dp: &SelfCheckingDatapath,
+    plan: InputPlan,
+    threads: usize,
+    correlated: bool,
+) -> XvalReport {
+    let engine = Engine::new(&dp.netlist);
+    let sites = dp.local_sites();
+    let mut groups = Vec::with_capacity(sites.len() * 2);
+    for site in &sites {
+        for value in [false, true] {
+            groups.push(if correlated {
+                dp.correlated_fault(*site, value)
+            } else {
+                dp.nominal_fault(*site, value)
+            });
+        }
+    }
+    let summary = EngineCampaign::new(&engine, groups)
+        .plan(plan)
+        .threads(threads)
+        .run();
+    XvalReport {
+        sites: sites.len(),
+        tally: summary.tally,
+    }
+}
+
+/// Full-tally coverage of a self-checking datapath under **correlated**
+/// (shared physical unit) faults — the paper's worst case and the
+/// workload of `gate_xval`.
+#[must_use]
+pub fn correlated_coverage(
+    dp: &SelfCheckingDatapath,
+    plan: InputPlan,
+    threads: usize,
+) -> XvalReport {
+    datapath_coverage(dp, plan, threads, true)
+}
+
+/// Full-tally coverage with the fault confined to the nominal unit —
+/// the dedicated-checker allocation (§2.1).
+#[must_use]
+pub fn dedicated_coverage(
+    dp: &SelfCheckingDatapath,
+    plan: InputPlan,
+    threads: usize,
+) -> XvalReport {
+    datapath_coverage(dp, plan, threads, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::{Operator, Technique};
+    use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
+
+    fn add_dp(width: u32, tech: Technique) -> SelfCheckingDatapath {
+        self_checking(SelfCheckingSpec {
+            op: Operator::Add,
+            technique: tech,
+            width,
+        })
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let dp = add_dp(3, Technique::Both);
+        let a = correlated_coverage(&dp, InputPlan::Exhaustive, 1);
+        let b = correlated_coverage(&dp, InputPlan::Exhaustive, 4);
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(a.sites, b.sites);
+    }
+
+    #[test]
+    fn dedicated_allocation_catches_every_observable_error() {
+        let dp = add_dp(3, Technique::Tech1);
+        let r = dedicated_coverage(&dp, InputPlan::Exhaustive, 2);
+        assert_eq!(r.tally.error_undetected, 0);
+        assert!(r.tally.error_detected > 0);
+    }
+
+    #[test]
+    fn correlated_faults_escape_sometimes() {
+        let dp = add_dp(3, Technique::Tech1);
+        let r = correlated_coverage(&dp, InputPlan::Exhaustive, 2);
+        assert!(
+            r.tally.error_undetected > 0,
+            "shared-unit masking must exist"
+        );
+        assert!(r.coverage() < 1.0);
+    }
+
+    #[test]
+    fn dropping_preserves_verdicts_and_saves_work() {
+        let dp = add_dp(6, Technique::Both);
+        let engine = Engine::new(&dp.netlist);
+        let mut groups = Vec::new();
+        for site in dp.local_sites() {
+            for value in [false, true] {
+                groups.push(dp.correlated_fault(site, value));
+            }
+        }
+        let full = EngineCampaign::new(&engine, groups.clone())
+            .drop_policy(DropPolicy::Never)
+            .threads(2)
+            .run();
+        let dropped = EngineCampaign::new(&engine, groups)
+            .drop_policy(DropPolicy::OnDetect)
+            .threads(2)
+            .run();
+        for (f, d) in full.per_fault.iter().zip(&dropped.per_fault) {
+            assert_eq!(
+                f.detected, d.detected,
+                "dropping must not change the verdict"
+            );
+        }
+        assert!(
+            dropped.simulated * 4 < full.simulated,
+            "dropping should cut simulated situations substantially \
+             ({} vs {})",
+            dropped.simulated,
+            full.simulated
+        );
+    }
+
+    #[test]
+    fn sampled_campaign_is_reproducible_across_threads() {
+        let dp = add_dp(6, Technique::Both);
+        let plan = InputPlan::Sampled {
+            vectors: 512,
+            seed: 0xDA7E,
+        };
+        let a = correlated_coverage(&dp, plan, 1);
+        let b = correlated_coverage(&dp, plan, 3);
+        assert_eq!(a.tally, b.tally);
+    }
+}

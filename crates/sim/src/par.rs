@@ -1,0 +1,73 @@
+//! Minimal fork-join helper over `std::thread`.
+//!
+//! The campaign driver needs exactly one parallel shape: *partition a
+//! slice into contiguous chunks, map each chunk on its own worker,
+//! splice the results back in order*. `rayon`'s `par_chunks` would
+//! express this directly, but the build environment is offline, so this
+//! module provides the same semantics on scoped threads. Chunking is
+//! deterministic (`ceil(len / threads)` contiguous pieces), which keeps
+//! campaign output independent of scheduling.
+
+/// A sensible default worker count: the machine's available
+/// parallelism, 1 if it cannot be queried.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over contiguous chunks of `items` on up to `threads`
+/// workers and concatenates the per-chunk outputs in input order.
+///
+/// `f` runs on the calling thread when a single chunk suffices, so
+/// small workloads pay no spawn cost.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| s.spawn(|| f(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let doubled = map_chunks(&items, threads, |chunk| {
+                chunk.iter().map(|x| x * 2).collect()
+            });
+            assert_eq!(doubled.len(), 1000);
+            assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = map_chunks(&[] as &[u8], 4, |c| c.to_vec());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Regression pins for the `gate_xval --width 4` campaign numbers.
+//!
+//! These tallies were produced by the scalar `Netlist::eval_nets`
+//! campaign path (the pre-engine `gate_xval` implementation) and
+//! re-verified bit-for-bit against it via the equivalence property in
+//! `equivalence.rs`; the bit-parallel engine must keep reproducing them
+//! exactly. Any drift here means either the generators or the engine
+//! changed semantics.
+
+use scdp_core::{Operator, Technique};
+use scdp_netlist::gen::{
+    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
+};
+use scdp_sim::{correlated_coverage, InputPlan};
+
+/// (realisation, technique, sites, correct_silent, correct_detected,
+/// error_detected, error_undetected)
+const ADD_PINS: [(AdderRealisation, Technique, usize, u64, u64, u64, u64); 9] = [
+    (
+        AdderRealisation::RippleCarry,
+        Technique::Tech1,
+        60,
+        12352,
+        7736,
+        9032,
+        1600,
+    ),
+    (
+        AdderRealisation::RippleCarry,
+        Technique::Tech2,
+        60,
+        11840,
+        8248,
+        9160,
+        1472,
+    ),
+    (
+        AdderRealisation::RippleCarry,
+        Technique::Both,
+        60,
+        9776,
+        10312,
+        9736,
+        896,
+    ),
+    (
+        AdderRealisation::CarryLookahead,
+        Technique::Tech1,
+        114,
+        34704,
+        10576,
+        11488,
+        1600,
+    ),
+    (
+        AdderRealisation::CarryLookahead,
+        Technique::Tech2,
+        114,
+        34192,
+        11088,
+        11616,
+        1472,
+    ),
+    (
+        AdderRealisation::CarryLookahead,
+        Technique::Both,
+        114,
+        31140,
+        14140,
+        12192,
+        896,
+    ),
+    (
+        AdderRealisation::CarrySave,
+        Technique::Tech1,
+        78,
+        19072,
+        7440,
+        10384,
+        3040,
+    ),
+    (
+        AdderRealisation::CarrySave,
+        Technique::Tech2,
+        78,
+        18368,
+        8144,
+        10576,
+        2848,
+    ),
+    (
+        AdderRealisation::CarrySave,
+        Technique::Both,
+        78,
+        15284,
+        11228,
+        11856,
+        1568,
+    ),
+];
+
+#[test]
+fn width4_adder_tallies_are_pinned() {
+    for (real, tech, sites, cs, cd, ed, eu) in ADD_PINS {
+        let dp = self_checking_add_with(4, tech, real);
+        let r = correlated_coverage(&dp, InputPlan::Exhaustive, 2);
+        assert_eq!(r.sites, sites, "{real} {tech:?} site count");
+        let t = r.tally;
+        assert_eq!(
+            (
+                t.correct_silent,
+                t.correct_detected,
+                t.error_detected,
+                t.error_undetected
+            ),
+            (cs, cd, ed, eu),
+            "{real} {tech:?} tally drifted"
+        );
+        assert_eq!(
+            t.total(),
+            sites as u64 * 2 * 256,
+            "{real} {tech:?} situations"
+        );
+    }
+}
+
+#[test]
+fn width4_multiplier_tallies_are_pinned() {
+    let cases = [
+        (Technique::Tech1, 37680u64, 5760u64, 12624u64, 6912u64),
+        (Technique::Both, 35200, 8240, 14176, 5360),
+    ];
+    for (tech, cs, cd, ed, eu) in cases {
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Mul,
+            technique: tech,
+            width: 4,
+        });
+        let r = correlated_coverage(&dp, InputPlan::Exhaustive, 2);
+        assert_eq!(r.sites, 123, "{tech:?} mul site count");
+        let t = r.tally;
+        assert_eq!(
+            (
+                t.correct_silent,
+                t.correct_detected,
+                t.error_detected,
+                t.error_undetected
+            ),
+            (cs, cd, ed, eu),
+            "{tech:?} mul tally drifted"
+        );
+    }
+}
+
+/// The realisations disagree on site counts but agree on the paper's
+/// point: every realisation lands in the same coverage band and the
+/// Both column dominates each single technique.
+#[test]
+fn realisations_share_the_coverage_band() {
+    for real in AdderRealisation::ALL {
+        let both = correlated_coverage(
+            &self_checking_add_with(4, Technique::Both, real),
+            InputPlan::Exhaustive,
+            2,
+        )
+        .coverage();
+        let t1 = correlated_coverage(
+            &self_checking_add_with(4, Technique::Tech1, real),
+            InputPlan::Exhaustive,
+            2,
+        )
+        .coverage();
+        assert!(both >= t1 - 1e-12, "{real}");
+        assert!((0.90..1.0).contains(&both), "{real}: {both}");
+    }
+}

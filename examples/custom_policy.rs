@@ -34,10 +34,7 @@ fn main() {
         ("BothPolicy", count::<scdp::BothPolicy>()),
         ("BudgetPolicy (custom)", count::<BudgetPolicy>()),
     ] {
-        println!(
-            "{name:<22} value {}  hidden checker ops {}",
-            run.0, run.1
-        );
+        println!("{name:<22} value {}  hidden checker ops {}", run.0, run.1);
     }
     println!("\nAll policies compute the same value; they trade checking cost");
     println!("against the Table 1 coverage of each operator.");

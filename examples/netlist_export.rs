@@ -17,7 +17,11 @@ fn main() -> std::io::Result<()> {
         width: 8,
     });
     println!("design: {}", dp.netlist.name());
-    println!("gates:  {} ({} logic)", dp.netlist.gate_count(), dp.netlist.logic_gate_count());
+    println!(
+        "gates:  {} ({} logic)",
+        dp.netlist.gate_count(),
+        dp.netlist.logic_gate_count()
+    );
     println!(
         "units:  nominal [{}..{}] + {} checker instance(s)",
         dp.nominal.start,

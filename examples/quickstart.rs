@@ -34,7 +34,11 @@ fn main() {
     let _guard = context::install(dp);
 
     let z = sck(1i32) + sck(2i32); // 1 + 2 = 11 on this broken adder
-    println!("\nfaulty adder says 1 + 2 = {} — error bit: {}", z, z.error());
+    println!(
+        "\nfaulty adder says 1 + 2 = {} — error bit: {}",
+        z,
+        z.error()
+    );
     assert_eq!(z.into_result(), Err(SckError::FaultDetected));
 
     // 4. The error bit is sticky and propagates through any further

@@ -19,6 +19,13 @@
 //!   campaigns (Table 2, §4.1);
 //! * [`netlist`] — gate-level generators, stuck-at
 //!   simulation, self-checking datapath synthesis, Verilog/DOT export;
+//! * [`sim`] — the bit-parallel (PPSFP) stuck-at
+//!   fault-simulation engine: 64 packed vectors per word, good-machine
+//!   sharing, fault dropping and a thread-parallel campaign driver —
+//!   the substrate of every gate-level campaign (`gate_xval`,
+//!   `table1 --gate`, `table2 --gate`, the `sim_engine` bench);
+//! * [`rng`] — deterministic dependency-free PRNGs
+//!   (SplitMix64, xoshiro256**) seeding every Monte-Carlo campaign;
 //! * [`hls`] — scheduling/binding/area/timing models and the
 //!   SCK expansion pass (Table 3 hardware);
 //! * [`codesign`] — the Figure 3 co-design flow and
@@ -45,5 +52,7 @@ pub use scdp_fault as fault;
 pub use scdp_fir as fir;
 pub use scdp_hls as hls;
 pub use scdp_netlist as netlist;
+pub use scdp_rng as rng;
+pub use scdp_sim as sim;
 
 pub use scdp_core::{sck, BothPolicy, Sck, SckError, Technique};

@@ -52,7 +52,11 @@ fn masking_scenario_consistent_across_layers() {
         technique: Technique::Tech1,
         width,
     });
-    if let scdp::arith::RcaFault::Gate { position, fault: gf } = fault {
+    if let scdp::arith::RcaFault::Gate {
+        position,
+        fault: gf,
+    } = fault
+    {
         let cells = local_fa(position);
         let mut faults = Vec::new();
         for local in cells.sites(gf.site()) {
@@ -179,7 +183,6 @@ fn codesign_flow_end_to_end() {
     assert!(full.fmax_mhz < plain.fmax_mhz);
     let sw_plain = flow.software(&body, SckStyle::Plain);
     let sw_full = flow.software(&body, SckStyle::Full);
-    let slowdown =
-        sw_full.cycles_per_iteration as f64 / sw_plain.cycles_per_iteration as f64;
+    let slowdown = sw_full.cycles_per_iteration as f64 / sw_plain.cycles_per_iteration as f64;
     assert!(slowdown > 1.2 && slowdown < 4.0, "slowdown {slowdown}");
 }

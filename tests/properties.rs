@@ -1,133 +1,236 @@
-//! Property-based tests (proptest) over the core invariants of the
+//! Randomized property tests over the core invariants of the
 //! reproduction.
+//!
+//! The offline build environment has no `proptest`, so properties are
+//! exercised with deterministic seeded sweeps from `scdp-rng`: each
+//! test draws a few hundred random cases from a fixed xoshiro stream,
+//! which keeps failures reproducible (the failing case prints its
+//! inputs via the assertion message).
 
-use proptest::prelude::*;
 use scdp::arith::{ArrayMultiplier, RestoringDivider, RippleCarryAdder, Word};
 use scdp::core::{checked_add, checked_mul, checked_sub, NativeDataPath};
 use scdp::netlist::gen as netgen;
+use scdp::rng::{Rng, Xoshiro256StarStar};
 use scdp::{sck, Technique};
 
-fn word(width: u32) -> impl Strategy<Value = Word> {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-    (0..=mask).prop_map(move |bits| Word::new(width, bits))
+fn rng(tag: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::from_seed(0x5CD9_0000 ^ tag)
 }
 
-proptest! {
-    /// Functional units match golden wrapping arithmetic at any width.
-    #[test]
-    fn units_match_golden(width in 1u32..=16, a_bits in any::<u64>(), b_bits in any::<u64>()) {
-        let a = Word::new(width, a_bits);
-        let b = Word::new(width, b_bits);
+fn word(rng: &mut impl Rng, width: u32) -> Word {
+    Word::new(width, rng.next_u64())
+}
+
+/// Functional units match golden wrapping arithmetic at any width.
+#[test]
+fn units_match_golden() {
+    let mut rng = rng(1);
+    for _ in 0..300 {
+        let width = 1 + rng.gen_range(16) as u32;
+        let a = word(&mut rng, width);
+        let b = word(&mut rng, width);
         let adder = RippleCarryAdder::new(width);
-        prop_assert_eq!(adder.add(a, b, None), a.wrapping_add(b));
-        prop_assert_eq!(adder.sub(a, b, None), a.wrapping_sub(b));
+        assert_eq!(
+            adder.add(a, b, None),
+            a.wrapping_add(b),
+            "{width} {a:?}+{b:?}"
+        );
+        assert_eq!(
+            adder.sub(a, b, None),
+            a.wrapping_sub(b),
+            "{width} {a:?}-{b:?}"
+        );
         let mult = ArrayMultiplier::new(width);
-        prop_assert_eq!(mult.mul(a, b, None), a.wrapping_mul(b));
+        assert_eq!(
+            mult.mul(a, b, None),
+            a.wrapping_mul(b),
+            "{width} {a:?}*{b:?}"
+        );
         if b.bits() != 0 {
             let div = RestoringDivider::new(width);
             let out = div.div_rem(a, b, None).unwrap();
             let (q, r) = a.wrapping_div_rem(b);
-            prop_assert_eq!(out.quotient, q);
-            prop_assert_eq!(out.remainder, r);
+            assert_eq!(out.quotient, q, "{width} {a:?}/{b:?}");
+            assert_eq!(out.remainder, r, "{width} {a:?}%{b:?}");
         }
     }
+}
 
-    /// Inverse-operation identities hold exactly under wrapping
-    /// arithmetic — the foundation that makes the checks alarm-free on
-    /// healthy hardware, even across overflow.
-    #[test]
-    fn no_false_alarms(width in 1u32..=16, a_bits in any::<u64>(), b_bits in any::<u64>()) {
-        let a = Word::new(width, a_bits);
-        let b = Word::new(width, b_bits);
+/// Inverse-operation identities hold exactly under wrapping arithmetic —
+/// the foundation that makes the checks alarm-free on healthy hardware,
+/// even across overflow.
+#[test]
+fn no_false_alarms() {
+    let mut rng = rng(2);
+    for _ in 0..300 {
+        let width = 1 + rng.gen_range(16) as u32;
+        let a = word(&mut rng, width);
+        let b = word(&mut rng, width);
         let mut dp = NativeDataPath::new();
         for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-            prop_assert!(!checked_add(&mut dp, tech, a, b).error);
-            prop_assert!(!checked_sub(&mut dp, tech, a, b).error);
-            prop_assert!(!checked_mul(&mut dp, tech, a, b).error);
+            assert!(
+                !checked_add(&mut dp, tech, a, b).error,
+                "{tech} {a:?}+{b:?}"
+            );
+            assert!(
+                !checked_sub(&mut dp, tech, a, b).error,
+                "{tech} {a:?}-{b:?}"
+            );
+            assert!(
+                !checked_mul(&mut dp, tech, a, b).error,
+                "{tech} {a:?}*{b:?}"
+            );
         }
     }
+}
 
-    /// The Sck type is value-transparent over whole expression trees.
-    #[test]
-    fn sck_transparent(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+/// The Sck type is value-transparent over whole expression trees.
+#[test]
+fn sck_transparent() {
+    let mut rng = rng(3);
+    for _ in 0..300 {
+        let (a, b, c) = (
+            rng.next_u64() as i32,
+            rng.next_u64() as i32,
+            rng.next_u64() as i32,
+        );
         let plain = a.wrapping_mul(b).wrapping_add(c).wrapping_sub(b);
         let checked = (sck(a) * sck(b) + sck(c)) - sck(b);
-        prop_assert_eq!(checked.value(), plain);
-        prop_assert!(!checked.error());
+        assert_eq!(checked.value(), plain, "{a} {b} {c}");
+        assert!(!checked.error(), "{a} {b} {c}");
     }
+}
 
-    /// Sck division matches Rust semantics for non-zero divisors and
-    /// flags zero divisors instead of panicking.
-    #[test]
-    fn sck_division(a in any::<i32>(), b in any::<i32>()) {
+/// Sck division matches Rust semantics for non-zero divisors and flags
+/// zero divisors instead of panicking.
+#[test]
+fn sck_division() {
+    let mut rng = rng(4);
+    for case in 0..300 {
+        let a = rng.next_u64() as i32;
+        let b = if case % 10 == 0 {
+            0
+        } else {
+            rng.next_u64() as i32
+        };
         let q = sck(a) / sck(b);
         let r = sck(a) % sck(b);
         if b == 0 {
-            prop_assert!(q.error());
-            prop_assert!(r.error());
+            assert!(q.error());
+            assert!(r.error());
         } else {
-            prop_assert_eq!(q.value(), a.wrapping_div(b));
-            prop_assert_eq!(r.value(), a.wrapping_rem(b));
-            prop_assert!(!q.error());
+            assert_eq!(q.value(), a.wrapping_div(b), "{a}/{b}");
+            assert_eq!(r.value(), a.wrapping_rem(b), "{a}%{b}");
+            assert!(!q.error());
         }
     }
+}
 
-    /// Generated netlists are equivalent to the functional units on
-    /// random vectors (RCA, CLA, multiplier, divider).
-    #[test]
-    fn netlists_match_golden(a in word(8), b in word(8)) {
-        let rca = netgen::rca(8);
-        prop_assert_eq!(rca.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
-        let cla = netgen::cla(8);
-        prop_assert_eq!(cla.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
-        let mult = netgen::array_mult(8);
-        prop_assert_eq!(mult.eval_words(&[a, b], &[])[0], a.wrapping_mul(b));
+/// Generated netlists are equivalent to the functional units on random
+/// vectors (RCA, CLA, carry-save, multiplier, divider).
+#[test]
+fn netlists_match_golden() {
+    let mut rng = rng(5);
+    let rca = netgen::rca(8);
+    let cla = netgen::cla(8);
+    let csa = netgen::csa(8);
+    let mult = netgen::array_mult(8);
+    let div = netgen::restoring_divider(8);
+    for _ in 0..200 {
+        let a = word(&mut rng, 8);
+        let b = word(&mut rng, 8);
+        assert_eq!(rca.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
+        assert_eq!(cla.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
+        assert_eq!(csa.eval_words(&[a, b], &[])[0], a.wrapping_add(b));
+        assert_eq!(mult.eval_words(&[a, b], &[])[0], a.wrapping_mul(b));
         if b.bits() != 0 {
-            let div = netgen::restoring_divider(8);
             let out = div.eval_words(&[a, b], &[]);
-            prop_assert_eq!(out[0].bits(), a.bits() / b.bits());
-            prop_assert_eq!(out[1].bits(), a.bits() % b.bits());
+            assert_eq!(out[0].bits(), a.bits() / b.bits());
+            assert_eq!(out[1].bits(), a.bits() % b.bits());
         }
     }
+}
 
-    /// Any single injected adder fault either leaves the result correct
-    /// or (with a dedicated checker) raises the error — exhaustive
-    /// detection, randomly probed.
-    #[test]
-    fn dedicated_checker_never_misses(
-        pos in 0usize..8,
-        site_idx in 0usize..16,
-        stuck in any::<bool>(),
-        a in word(8),
-        b in word(8),
-    ) {
-        use scdp::core::{Allocation, FaultSite, FaultyDataPath};
-        use scdp::fault::{FaGateFault, FaSite};
-        let fault = FaultSite::adder_gate(pos, FaGateFault::new(FaSite::ALL[site_idx], stuck));
+/// Any single injected adder fault either leaves the result correct or
+/// (with a dedicated checker) raises the error — exhaustive detection,
+/// randomly probed.
+#[test]
+fn dedicated_checker_never_misses() {
+    use scdp::core::{Allocation, FaultSite, FaultyDataPath};
+    use scdp::fault::{FaGateFault, FaSite};
+    let mut rng = rng(6);
+    for _ in 0..300 {
+        let pos = rng.gen_range(8) as usize;
+        let site = FaSite::ALL[rng.gen_range(FaSite::ALL.len() as u64) as usize];
+        let stuck = rng.gen_bool();
+        let a = word(&mut rng, 8);
+        let b = word(&mut rng, 8);
+        let fault = FaultSite::adder_gate(pos, FaGateFault::new(site, stuck));
         let mut dp = FaultyDataPath::new(8, fault, Allocation::Dedicated);
         let c = checked_add(&mut dp, Technique::Tech1, a, b);
         if c.value != a.wrapping_add(b) {
-            prop_assert!(c.error);
+            assert!(c.error, "{pos} {site:?} sa{} {a:?}+{b:?}", u8::from(stuck));
         }
     }
+}
 
-    /// The error bit is sticky: once set, any chain of operations keeps
-    /// it set.
-    #[test]
-    fn error_bit_is_sticky(ops in proptest::collection::vec(any::<(u8, i32)>(), 1..20)) {
-        use scdp::core::Sck;
+/// The error bit is sticky: once set, any chain of operations keeps it
+/// set.
+#[test]
+fn error_bit_is_sticky() {
+    use scdp::core::Sck;
+    let mut rng = rng(7);
+    for _ in 0..100 {
         // Manufacture a poisoned value via division by zero.
         let mut v: Sck<i32> = sck(7) / sck(0);
-        prop_assert!(v.error());
-        for (op, operand) in ops {
-            let rhs = sck(operand | 1); // avoid 0 divisors
-            v = match op % 4 {
+        assert!(v.error());
+        let chain = 1 + rng.gen_range(20);
+        for _ in 0..chain {
+            let rhs = sck((rng.next_u64() as i32) | 1); // avoid 0 divisors
+            v = match rng.gen_range(4) {
                 0 => v + rhs,
                 1 => v - rhs,
                 2 => v * rhs,
                 _ => v / rhs,
             };
         }
-        prop_assert!(v.error(), "stickiness violated");
+        assert!(v.error(), "stickiness violated");
+    }
+}
+
+/// The bit-parallel engine agrees with scalar evaluation on the
+/// generated self-checking datapaths (umbrella-level smoke; the full
+/// random-netlist equivalence property lives in `scdp-sim`).
+#[test]
+fn engine_matches_scalar_on_datapaths() {
+    use scdp::core::Operator;
+    use scdp::netlist::gen::{self_checking, SelfCheckingSpec};
+    use scdp::sim::{Engine, InputPlan};
+    let mut rng = rng(8);
+    for op in [Operator::Add, Operator::Sub, Operator::Mul] {
+        let dp = self_checking(SelfCheckingSpec {
+            op,
+            technique: Technique::Both,
+            width: 3,
+        });
+        let engine = Engine::new(&dp.netlist);
+        let sites = dp.local_sites();
+        for _ in 0..12 {
+            let site = sites[rng.gen_range(sites.len() as u64) as usize];
+            let faults = dp.correlated_fault(site, rng.gen_bool());
+            for batch in InputPlan::Exhaustive.stream(engine.input_bits()) {
+                let packed = engine.eval_batch(&batch, &faults);
+                for lane in (0..batch.len).step_by(7) {
+                    let scalar = dp.netlist.eval_nets(&batch.lane_bits(lane), &faults);
+                    for (net, word) in packed.iter().enumerate() {
+                        assert_eq!(
+                            (word >> lane) & 1 != 0,
+                            scalar[net],
+                            "{op:?} {site:?} net {net} lane {lane}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
