@@ -2,6 +2,11 @@
 //! functional campaigns (situations classified per second) at growing
 //! widths, plus the gate-level bit-parallel campaign on the same
 //! datapath — the cost of regenerating the paper's data.
+//!
+//! Benchmarks measure the engine layers directly, below the unified
+//! `scdp-campaign` surface, so the deprecated shim constructors are
+//! intentional here.
+#![allow(deprecated)]
 
 use scdp_bench::Bench;
 use scdp_core::{Allocation, Operator, Technique};

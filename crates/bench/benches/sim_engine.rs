@@ -5,6 +5,11 @@
 //!
 //! Writes `BENCH_sim_engine.json`; the measured speedup ratios land in
 //! its `metrics` array.
+//!
+//! Benchmarks measure the engine layers directly, below the unified
+//! `scdp-campaign` surface, so the deprecated shim constructor is
+//! intentional here.
+#![allow(deprecated)]
 
 use scdp_bench::{scalar_add_oracle, Bench};
 use scdp_core::{Operator, Technique};

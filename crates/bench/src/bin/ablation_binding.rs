@@ -11,38 +11,44 @@
 //!  * coverage with a dedicated checker unit (always 100%);
 //!  * the FIR datapath area with shared-allowed vs reliability-aware
 //!    binding.
+//!
+//! Both campaign layers run through the unified `scdp-campaign` API:
+//! one functional scenario per allocation yields all technique columns;
+//! the gate-level cross-check re-runs the same allocations on the
+//! structural datapath.
 
-use scdp_bench::pct;
-use scdp_codesign::CodesignFlow;
+use scdp_bench::{pct, CliArgs};
+use scdp_campaign::{Backend, Scenario, TechIndex};
 use scdp_core::{Allocation, Operator, Technique};
-use scdp_coverage::{CampaignBuilder, OperatorKind, TechIndex};
 use scdp_fir::fir_body_dfg;
 use scdp_hls::{area, bind, expand_sck, sched, BindOptions, ErrorHandling, ResourceSet, SckStyle};
-use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
-use scdp_sim::{correlated_coverage, dedicated_coverage, par, InputPlan};
 
 fn main() {
+    let args = CliArgs::parse();
     println!("Reliability-aware binding ablation (8-bit adder campaigns, FIR datapath)\n");
     println!(
         "{:<10} {:>16} {:>16}",
         "technique", "shared-unit cov", "dedicated cov"
     );
+    let functional = |alloc: Allocation| {
+        Scenario::new(Operator::Add, 8)
+            .allocation(alloc)
+            .campaign()
+            .run()
+            .expect("valid functional scenario")
+    };
+    let shared = functional(Allocation::SingleUnit);
+    let dedicated = functional(Allocation::Dedicated);
     for (tech, idx) in [
         (Technique::Tech1, TechIndex::Tech1),
         (Technique::Tech2, TechIndex::Tech2),
         (Technique::Both, TechIndex::Both),
     ] {
-        let shared = CampaignBuilder::new(OperatorKind::Add, 8)
-            .allocation(Allocation::SingleUnit)
-            .run();
-        let dedicated = CampaignBuilder::new(OperatorKind::Add, 8)
-            .allocation(Allocation::Dedicated)
-            .run();
         println!(
             "{:<10} {:>16} {:>16}",
             tech.to_string(),
-            pct(shared.coverage(idx)),
-            pct(dedicated.coverage(idx))
+            pct(shared.coverage_of(idx).expect("filled")),
+            pct(dedicated.coverage_of(idx).expect("filled"))
         );
     }
 
@@ -55,17 +61,22 @@ fn main() {
         "{:<10} {:>16} {:>16}",
         "technique", "correlated cov", "dedicated cov"
     );
-    for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-        let dp = self_checking(SelfCheckingSpec {
-            op: Operator::Add,
-            technique: tech,
-            width: 4,
-        });
-        let threads = par::default_threads();
-        let shared = correlated_coverage(&dp, InputPlan::Exhaustive, threads);
-        let dedicated = dedicated_coverage(&dp, InputPlan::Exhaustive, threads);
+    for tech in Technique::ALL {
+        let gate = |alloc: Allocation| {
+            Scenario::new(Operator::Add, 4)
+                .technique(tech)
+                .allocation(alloc)
+                .campaign()
+                .backend(Backend::GateLevel)
+                .threads(args.threads())
+                .run()
+                .expect("valid gate scenario")
+        };
+        let shared = gate(Allocation::SingleUnit);
+        let dedicated = gate(Allocation::Dedicated);
         assert_eq!(
-            dedicated.tally.error_undetected, 0,
+            dedicated.four_way().error_undetected,
+            0,
             "dedicated checkers must catch every observable error"
         );
         println!(
@@ -77,7 +88,7 @@ fn main() {
     }
 
     println!("\nFIR embedded-SCK datapath, min-area resources:");
-    let flow = CodesignFlow::default();
+    let flow = scdp_codesign::CodesignFlow::default();
     let expanded = expand_sck(&fir_body_dfg(), Technique::Tech1, SckStyle::Embedded);
     let schedule = sched::list_schedule(&expanded, &flow.library, &ResourceSet::min_area());
     for (label, opts) in [

@@ -2,14 +2,21 @@
 //! specification: self-checking specification → SCK expansion
 //! ("OFFIS synthesizer") → hardware path (scheduling/binding/area — the
 //! "Synopsys CoCentric" role) and software path (cost model — the "g++"
-//! role) → partitioning.
+//! role) → partitioning → reliability validation (the §4 campaign, run
+//! through the unified `scdp-campaign` API on both engines).
+//!
+//! Usage:
+//!   fig3_flow [--width N] [--threads N]
 
+use scdp_bench::CliArgs;
+use scdp_campaign::{Backend, FaultModel, Scenario};
 use scdp_codesign::{partition, CodesignFlow, Goal, Mapping, PartitionProblem, TaskEstimate};
-use scdp_core::Technique;
+use scdp_core::{Operator, Technique};
 use scdp_fir::fir_body_dfg;
 use scdp_hls::{expand_sck, SckStyle};
 
 fn main() {
+    let args = CliArgs::parse();
     let flow = CodesignFlow::default();
     let body = fir_body_dfg();
     println!(
@@ -77,4 +84,32 @@ fn main() {
         );
     }
     println!("      total latency {latency:.1} us, area used {area:.0} slices");
+
+    // The flow's last box: validate the reliability the specification
+    // promises. One scenario, both engines, bit-identical tallies.
+    // Exhaustive inputs are what make the cross-backend equality exact,
+    // so the validation width is clamped to keep the 2^(2w) pair space
+    // bounded (use gate_xval for wide sampled campaigns).
+    let width = args.width(4).clamp(1, 8);
+    let scenario = Scenario::new(Operator::Add, width).technique(Technique::Tech1);
+    let spec = scenario
+        .campaign()
+        .fault_model(FaultModel::FaGate)
+        .threads(args.threads());
+    let functional = spec.clone().run().expect("functional campaign");
+    let gate = spec
+        .backend(Backend::GateLevel)
+        .run()
+        .expect("gate-level campaign");
+    println!(
+        "[6] reliability validation (+, {width}-bit, Tech1): functional {:.2}% vs \
+         gate-level {:.2}% — {}",
+        functional.coverage() * 100.0,
+        gate.coverage() * 100.0,
+        if functional.same_results(&gate) {
+            "bit-identical four-way tallies"
+        } else {
+            "MISMATCH"
+        }
+    );
 }

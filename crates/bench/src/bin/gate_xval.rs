@@ -9,66 +9,74 @@
 //!
 //! Faults are injected per instance-local site and *correlated* across
 //! the nominal and checking instances (same physical unit reused), the
-//! worst case of §4. All campaigns run on the bit-parallel engine of
-//! `scdp-sim` (64 packed vectors per evaluation, good machine shared
-//! per batch, fault universe spread across threads); the scalar
-//! `Netlist::eval_nets` path survives as the differential-testing
-//! oracle (`--oracle` re-checks one technique against it).
+//! worst case of §4. All campaigns run through the gate-level backend
+//! of the unified `scdp-campaign` API (bit-parallel engine: 64 packed
+//! vectors per evaluation, good machine shared per batch, fault
+//! universe spread across threads); the scalar `Netlist::eval_nets`
+//! path survives as the differential-testing oracle (`--oracle`
+//! re-checks one technique against it). `--report FILE` writes the
+//! RCA/Both report as `scdp.campaign.report/v1` JSON.
 //!
 //! Usage:
-//!   gate_xval [--width N] [--samples N] [--seed S] [--threads N] [--oracle]
+//!   gate_xval [--width N] [--samples N] [--seed S] [--threads N]
+//!             [--oracle] [--report FILE]
 //!
 //! Widths whose input space exceeds 2^20 vectors (width > 10) switch to
 //! seeded Monte-Carlo sampling automatically — `--width 16`, infeasible
 //! on the scalar path, completes in seconds this way.
 
-use scdp_bench::{arg_value, has_flag, pct, scalar_add_oracle, timed};
+use scdp_bench::{pct, scalar_add_oracle, timed, CliArgs};
+use scdp_campaign::{Backend, CampaignReport, InputSpace, Scenario};
 use scdp_core::{Operator, Technique};
-use scdp_netlist::gen::{
-    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
-};
-use scdp_sim::{correlated_coverage, par, InputPlan};
+use scdp_netlist::gen::AdderRealisation;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let width: u32 = arg_value(&args, "--width")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
-    let samples: u64 = arg_value(&args, "--samples")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1 << 16);
-    let seed: u64 = arg_value(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDA7E_2005);
-    let threads: usize = arg_value(&args, "--threads")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(par::default_threads);
+    let args = CliArgs::parse();
+    let width = args.width(4);
+    let threads = args.threads();
+    let space = args.space(width, 1 << 16);
 
-    let plan = plan_for(width, samples, seed);
-    match plan {
-        InputPlan::Exhaustive => println!(
+    match space {
+        InputSpace::Exhaustive => println!(
             "Gate-level cross-validation, width {width} (correlated shared-unit faults, \
              exhaustive inputs, {threads} threads)\n"
         ),
-        InputPlan::Sampled { vectors, seed } => println!(
+        InputSpace::Sampled { per_fault, seed } => println!(
             "Gate-level cross-validation, width {width} (correlated shared-unit faults, \
-             {vectors} sampled inputs, seed {seed:#x}, {threads} threads)\n"
+             {per_fault} sampled inputs, seed {seed:#x}, {threads} threads)\n"
         ),
     }
 
-    for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+    let run = |op: Operator, tech: Technique, real: AdderRealisation| -> CampaignReport {
+        Scenario::new(op, width)
+            .technique(tech)
+            .realisation(real)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .input_space(space)
+            .threads(threads)
+            .run()
+            .expect("valid cross-validation scenario")
+    };
+
+    for tech in Technique::ALL {
         let mut row = format!("{tech:<9}");
         for real in AdderRealisation::ALL {
-            let dp = self_checking_add_with(width, tech, real);
             let r = timed(&format!("{} {tech}", real.label()), || {
-                correlated_coverage(&dp, plan, threads)
+                run(Operator::Add, tech, real)
             });
             row.push_str(&format!(
                 "  {} coverage {}  ({} sites)",
                 real.label(),
                 pct(r.coverage()),
-                r.sites
+                r.fault_count() / 2,
             ));
+            if tech == Technique::Both && real == AdderRealisation::RippleCarry {
+                if let Some(path) = args.value::<String>("--report") {
+                    std::fs::write(&path, r.to_json()).expect("write report JSON");
+                    eprintln!("[wrote {path}]");
+                }
+            }
         }
         println!("{row}");
     }
@@ -76,44 +84,43 @@ fn main() {
     println!("analysis of Table 2 transfers across adder implementations.");
 
     println!("\nGate-level multiplier worst case (correlated shared-unit stuck-ats):");
-    for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-        let dp = self_checking(SelfCheckingSpec {
-            op: Operator::Mul,
-            technique: tech,
-            width,
-        });
+    for tech in Technique::ALL {
         let r = timed(&format!("mul {tech}"), || {
-            correlated_coverage(&dp, plan, threads)
+            run(Operator::Mul, tech, AdderRealisation::RippleCarry)
         });
         println!(
             "{tech:<9}  x coverage {}  ({} sites)   (paper Table 1, 8-bit: 96.22 / 96.38 / 97.43%)",
             pct(r.coverage()),
-            r.sites
+            r.fault_count() / 2,
         );
     }
     println!("Gate-level multiplier faults mask substantially more than truth-table");
     println!("cell faults (cf. table1), closing most of the Table 1 x-row gap.");
 
-    if has_flag(&args, "--oracle") {
-        let dp =
-            self_checking_add_with(width.min(4), Technique::Both, AdderRealisation::RippleCarry);
-        let engine_cov = correlated_coverage(&dp, InputPlan::Exhaustive, threads);
-        let scalar_cov = timed("scalar oracle", || scalar_add_oracle(&dp, width.min(4)));
+    if args.flag("--oracle") {
+        let w = width.min(4);
+        let report = Scenario::new(Operator::Add, w)
+            .technique(Technique::Both)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .threads(threads)
+            .run()
+            .expect("valid oracle scenario");
+        let dp = scdp_netlist::gen::self_checking_add_with(
+            w,
+            Technique::Both,
+            AdderRealisation::RippleCarry,
+        );
+        let scalar_cov = timed("scalar oracle", || scalar_add_oracle(&dp, w));
         println!(
-            "\nOracle check (width {}, Both): engine {} vs scalar {} — {}",
-            width.min(4),
-            pct(engine_cov.coverage()),
+            "\nOracle check (width {w}, Both): engine {} vs scalar {} — {}",
+            pct(report.coverage()),
             pct(scalar_cov),
-            if (engine_cov.coverage() - scalar_cov).abs() < 1e-12 {
+            if (report.coverage() - scalar_cov).abs() < 1e-12 {
                 "MATCH"
             } else {
                 "MISMATCH"
             }
         );
     }
-}
-
-/// Exhaustive inputs while the space is small; Monte-Carlo beyond.
-fn plan_for(width: u32, samples: u64, seed: u64) -> InputPlan {
-    InputPlan::auto(2 * width as usize, samples, seed)
 }

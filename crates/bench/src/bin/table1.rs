@@ -7,12 +7,17 @@
 //! for `×`/`/` whose cell universes are large) and print the checking
 //! recipe next to each coverage figure, as the paper's table does.
 //!
+//! All campaigns go through the unified `scdp-campaign` API: one
+//! functional [`Scenario`] per operator yields every technique column in
+//! a single pass, and `--gate` re-runs the same scenarios on the
+//! bit-parallel gate-level backend.
+//!
 //! Usage:
-//!   table1 [--width N] [--samples N] [--seed S] [--exhaustive]
+//!   table1 [--width N] [--samples N] [--seed S] [--exhaustive] [--gate]
 
-use scdp_bench::{arg_value, has_flag, pct, timed};
+use scdp_bench::{pct, timed, CliArgs};
+use scdp_campaign::{Backend, InputSpace, Scenario, TechIndex};
 use scdp_core::{Operator, Technique};
-use scdp_coverage::{CampaignBuilder, InputSpace, OperatorKind, TechIndex};
 
 const PAPER: [(Operator, f64, f64, Option<f64>); 4] = [
     (Operator::Add, 97.25, 98.81, Some(99.11)),
@@ -22,29 +27,17 @@ const PAPER: [(Operator, f64, f64, Option<f64>); 4] = [
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let width: u32 = arg_value(&args, "--width")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    let samples: u64 = arg_value(&args, "--samples")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1 << 14);
-    let seed: u64 = arg_value(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDA7E_2005);
-    let exhaustive = has_flag(&args, "--exhaustive");
+    let args = CliArgs::parse();
+    let width = args.width(8);
+    let samples = args.samples(1 << 14);
+    let seed = args.seed();
+    let exhaustive = args.flag("--exhaustive");
 
     println!("Table 1 — overloading techniques and fault coverage ({width}-bit, worst case)");
     for (op, p1, p2, pboth) in PAPER {
-        let kind = match op {
-            Operator::Add => OperatorKind::Add,
-            Operator::Sub => OperatorKind::Sub,
-            Operator::Mul => OperatorKind::Mul,
-            Operator::Div => OperatorKind::Div,
-        };
         // +/- have compact universes: exhaustive. x and / are sampled
         // unless --exhaustive.
-        let space = if exhaustive || matches!(kind, OperatorKind::Add | OperatorKind::Sub) {
+        let space = if exhaustive || matches!(op, Operator::Add | Operator::Sub) {
             InputSpace::Exhaustive
         } else {
             InputSpace::Sampled {
@@ -53,7 +46,11 @@ fn main() {
             }
         };
         let r = timed(&format!("{op}"), || {
-            CampaignBuilder::new(kind, width).input_space(space).run()
+            Scenario::new(op, width)
+                .campaign()
+                .input_space(space)
+                .run()
+                .expect("valid Table 1 scenario")
         });
         println!("\n{op}  (ris = op1 {op} op2; {} faults)", r.fault_count());
         for (tech, idx, paper) in [
@@ -66,36 +63,36 @@ fn main() {
                 "  {:<9} {:<44} cov {:>7}  (paper {paper_s})",
                 tech.to_string(),
                 tech.describe(op),
-                pct(r.coverage(idx)),
+                pct(r.coverage_of(idx).expect("functional fills all columns")),
             );
         }
     }
     println!("\n(the paper's Div row evaluates Tech1/Tech2 only)");
 
-    if has_flag(&args, "--gate") {
-        gate_section(width.min(8), samples, seed);
+    if args.flag("--gate") {
+        gate_section(&args, width.min(8));
     }
 }
 
-/// Gate-level companion rows on the bit-parallel engine of `scdp-sim`:
-/// the same worst-case (correlated shared-unit) analysis run on
-/// generated structural datapaths instead of the functional cell model.
-fn gate_section(width: u32, samples: u64, seed: u64) {
-    use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
-    use scdp_sim::{correlated_coverage, par, InputPlan};
-    let plan = InputPlan::auto(2 * width as usize, samples, seed);
-    let threads = par::default_threads();
+/// Gate-level companion rows: the same worst-case (correlated
+/// shared-unit) analysis run on generated structural datapaths through
+/// the gate-level backend of the unified API.
+fn gate_section(args: &CliArgs, width: u32) {
+    let space = args.space(width, 1 << 14);
+    let threads = args.threads();
     println!("\nGate-level structural campaigns ({width}-bit, bit-parallel engine):");
     for op in [Operator::Add, Operator::Sub, Operator::Mul] {
         let mut cells = Vec::new();
-        for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-            let dp = self_checking(SelfCheckingSpec {
-                op,
-                technique: tech,
-                width,
-            });
+        for tech in Technique::ALL {
             let r = timed(&format!("gate {op} {tech}"), || {
-                correlated_coverage(&dp, plan, threads)
+                Scenario::new(op, width)
+                    .technique(tech)
+                    .campaign()
+                    .backend(Backend::GateLevel)
+                    .input_space(space)
+                    .threads(threads)
+                    .run()
+                    .expect("valid gate scenario")
             });
             cells.push(format!("{tech} {}", pct(r.coverage())));
         }

@@ -8,14 +8,17 @@
 //! range) with `--detail`, and the §2.1 dedicated-unit result (100%
 //! coverage) with `--dual-unit`.
 //!
+//! All campaigns go through the unified `scdp-campaign` API; `--report
+//! FILE` additionally writes the width-4 row's `CampaignReport` as
+//! `scdp.campaign.report/v1` JSON.
+//!
 //! Usage:
-//!   table2 [--detail] [--dual-unit] [--model gate|cell] [--samples N] [--seed S]
+//!   table2 [--detail] [--dual-unit] [--model gate|cell] [--samples N]
+//!          [--seed S] [--gate] [--report FILE]
 
-use scdp_bench::{arg_value, has_flag, pct, timed};
-use scdp_core::Allocation;
-use scdp_coverage::{
-    table2_row, AdderFaultModel, CampaignBuilder, InputSpace, OperatorKind, TechIndex,
-};
+use scdp_bench::{pct, timed, CliArgs};
+use scdp_campaign::{Backend, CampaignReport, FaultModel, InputSpace, Scenario, TechIndex};
+use scdp_core::{Allocation, Operator, Technique};
 use scdp_fault::SituationCount;
 
 /// Paper values for reference printing: (bits, situations-as-printed,
@@ -29,32 +32,31 @@ const PAPER: [(u32, &str, f64, f64, f64); 6] = [
     (16, "6x2^30*", 98.18, 99.74, 99.80),
 ];
 
+fn model_from(args: &CliArgs) -> FaultModel {
+    match args.value::<String>("--model").as_deref() {
+        Some("cell") => FaultModel::Cell,
+        _ => FaultModel::FaGate,
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let model = match arg_value(&args, "--model").as_deref() {
-        Some("cell") => AdderFaultModel::Cell,
-        _ => AdderFaultModel::Gate,
-    };
-    let samples: u64 = arg_value(&args, "--samples")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1 << 17);
-    let seed: u64 = arg_value(&args, "--seed")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xDA7E_2005);
-    let alloc = if has_flag(&args, "--dual-unit") {
+    let args = CliArgs::parse();
+    let model = model_from(&args);
+    let samples = args.samples(1 << 17);
+    let seed = args.seed();
+    let alloc = if args.flag("--dual-unit") {
         Allocation::Dedicated
     } else {
         Allocation::SingleUnit
     };
 
-    println!("Table 2 — experimental results for operator + ({model:?} fault model, {alloc:?})");
+    println!("Table 2 — experimental results for operator + ({model} fault model, {alloc:?})");
     println!(
         "{:>4} {:>16} {:>9} {:>9} {:>9}   paper: {:>7} {:>7} {:>7}",
         "bits", "situations", "Tech1", "Tech2", "Tech 1&2", "Tech1", "Tech2", "1&2"
     );
     for (bits, paper_situations, p1, p2, pb) in PAPER {
-        let exhaustive = bits <= 8;
-        let space = if exhaustive {
+        let space = if bits <= 8 {
             InputSpace::Exhaustive
         } else {
             InputSpace::Sampled {
@@ -62,22 +64,24 @@ fn main() {
                 seed,
             }
         };
-        let result = timed(&format!("n={bits}"), || {
-            CampaignBuilder::new(OperatorKind::Add, bits)
-                .adder_model(model)
+        let report = timed(&format!("n={bits}"), || {
+            Scenario::new(Operator::Add, bits)
                 .allocation(alloc)
+                .campaign()
+                .fault_model(model)
                 .input_space(space)
                 .run()
+                .expect("valid Table 2 scenario")
         });
-        let row = table2_row(&result);
+        let cov = |t: TechIndex| pct(report.coverage_of(t).expect("functional fills all columns"));
         println!(
             "{:>4} {:>15}{} {:>9} {:>9} {:>9}   paper: {:>7} {:>7} {:>7}",
-            row.bits,
-            row.situations,
-            if row.sampled { "~" } else { " " },
-            pct(row.coverage[0]),
-            pct(row.coverage[1]),
-            pct(row.coverage[2]),
+            bits,
+            report.total_situations(),
+            if report.sampled() { "~" } else { " " },
+            cov(TechIndex::Tech1),
+            cov(TechIndex::Tech2),
+            cov(TechIndex::Both),
             p1,
             p2,
             pb,
@@ -85,51 +89,57 @@ fn main() {
         // The paper's printed counts for n=4 and n=16 (marked *) violate
         // its own 32·n·2^(2n) formula; we print the formula value.
         let formula = SituationCount::rca(bits).total();
-        if !row.sampled {
-            assert_eq!(u128::from(row.situations), formula);
+        if !report.sampled() {
+            assert_eq!(u128::from(report.total_situations()), formula);
         }
         let _ = paper_situations;
+        if bits == 4 {
+            if let Some(path) = args.value::<String>("--report") {
+                std::fs::write(&path, report.to_json()).expect("write report JSON");
+                eprintln!("[wrote {path}]");
+            }
+        }
     }
     println!("(* = the paper's printed count differs from its own formula; see EXPERIMENTS.md)");
 
-    if has_flag(&args, "--detail") {
+    if args.flag("--detail") {
         detail(model);
     }
-    if has_flag(&args, "--gate") {
-        gate_section(samples, seed);
+    if args.flag("--gate") {
+        gate_section(&args);
     }
 }
 
 /// Gate-level Table 2 companion on the bit-parallel engine: worst-case
 /// coverage of the generated structural self-checking adder (correlated
 /// shared-unit stuck-ats on every gate of one instance) versus width.
-fn gate_section(samples: u64, seed: u64) {
-    use scdp_core::{Operator, Technique};
-    use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
-    use scdp_sim::{correlated_coverage, par, InputPlan};
-    let threads = par::default_threads();
+fn gate_section(args: &CliArgs) {
+    let threads = args.threads();
     println!("\nGate-level structural adder (bit-parallel engine, correlated faults):");
     println!(
         "{:>4} {:>9} {:>9} {:>9}",
         "bits", "Tech1", "Tech2", "Tech 1&2"
     );
     for bits in [1u32, 2, 3, 4, 8, 16] {
-        let plan = InputPlan::auto(2 * bits as usize, samples, seed);
+        let space = args.space(bits, 1 << 17);
         let mut cov = Vec::new();
-        for tech in [Technique::Tech1, Technique::Tech2, Technique::Both] {
-            let dp = self_checking(SelfCheckingSpec {
-                op: Operator::Add,
-                technique: tech,
-                width: bits,
-            });
-            cov.push(correlated_coverage(&dp, plan, threads).coverage());
+        for tech in Technique::ALL {
+            let report = Scenario::new(Operator::Add, bits)
+                .technique(tech)
+                .campaign()
+                .backend(Backend::GateLevel)
+                .input_space(space)
+                .threads(threads)
+                .run()
+                .expect("valid gate scenario");
+            cov.push(report.coverage());
         }
         println!(
             "{bits:>4} {:>9} {:>9} {:>9}{}",
             pct(cov[0]),
             pct(cov[1]),
             pct(cov[2]),
-            if matches!(plan, InputPlan::Sampled { .. }) {
+            if matches!(space, InputSpace::Sampled { .. }) {
                 "  (sampled)"
             } else {
                 ""
@@ -139,27 +149,42 @@ fn gate_section(samples: u64, seed: u64) {
 }
 
 /// The §4.1 in-text statistics for the 2-bit adder.
-fn detail(model: AdderFaultModel) {
-    let r = CampaignBuilder::new(OperatorKind::Add, 2)
-        .adder_model(model)
-        .run();
-    let t = &r.tally;
+fn detail(model: FaultModel) {
+    let run = |tech: Technique| -> CampaignReport {
+        Scenario::new(Operator::Add, 2)
+            .technique(tech)
+            .campaign()
+            .fault_model(model)
+            .run()
+            .expect("valid detail scenario")
+    };
+    let both = run(Technique::Both);
     println!();
     println!("§4.1 statistics, 2-bit adder (paper values in parentheses):");
     println!(
         "  observable errors:        {:>5}   (216)",
-        t.of(TechIndex::Tech1).observable()
+        both.column(TechIndex::Tech1)
+            .expect("functional fills all columns")
+            .observable()
     );
     println!(
         "  detected though correct:  Tech1 {:>4} (352)  Tech2 {:>4} (384)  Both {:>4} (428)",
-        t.of(TechIndex::Tech1).correct_detected,
-        t.of(TechIndex::Tech2).correct_detected,
-        t.of(TechIndex::Both).correct_detected,
+        both.column(TechIndex::Tech1)
+            .expect("filled")
+            .correct_detected,
+        both.column(TechIndex::Tech2)
+            .expect("filled")
+            .correct_detected,
+        both.column(TechIndex::Both)
+            .expect("filled")
+            .correct_detected,
     );
-    for tech in TechIndex::ALL {
-        let (lo, hi) = r.per_fault_coverage_range(tech);
+    for tech in Technique::ALL {
+        let r = run(tech);
+        let (lo, hi) = r.per_fault_coverage_range();
         println!(
-            "  per-fault coverage range {tech}: [{}, {}]   (paper overall: [81.90%, 99.87%])",
+            "  per-fault coverage range {}: [{}, {}]   (paper overall: [81.90%, 99.87%])",
+            r.scenario.tech_index(),
             pct(lo),
             pct(hi)
         );

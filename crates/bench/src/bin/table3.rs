@@ -11,7 +11,7 @@
 //! Usage:
 //!   table3 [--taps N] [--sw-samples N]
 
-use scdp_bench::{arg_value, timed, Bench};
+use scdp_bench::{timed, Bench, CliArgs};
 use scdp_codesign::{CodesignFlow, Goal};
 use scdp_fir::{fir_body_dfg, EmbeddedFir, PlainFir, SckFir};
 use scdp_hls::SckStyle;
@@ -36,13 +36,9 @@ const PAPER_SW: [(&str, f64, u32); 3] = [
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let taps: usize = arg_value(&args, "--taps")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
-    let sw_samples: usize = arg_value(&args, "--sw-samples")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let args = CliArgs::parse();
+    let taps: usize = args.value_or("--taps", 64);
+    let sw_samples: usize = args.value_or("--sw-samples", 200_000);
 
     let flow = CodesignFlow::default();
     let body = fir_body_dfg();

@@ -1,0 +1,137 @@
+//! Shared command-line parsing for the table-regeneration binaries.
+//!
+//! Every binary used to hand-roll the same `--width/--samples/--seed/
+//! --threads` parsing with slightly different defaults; this module is
+//! the one place those knobs live, returning values the unified
+//! `scdp-campaign` API consumes directly.
+
+use scdp_campaign::InputSpace;
+use scdp_sim::par;
+use std::str::FromStr;
+
+/// The workspace-wide default RNG seed for sampled campaigns.
+pub const DEFAULT_SEED: u64 = 0xDA7E_2005;
+
+/// Parsed command-line arguments (flag/value pairs and bare flags).
+#[derive(Clone, Debug, Default)]
+pub struct CliArgs {
+    raw: Vec<String>,
+}
+
+impl CliArgs {
+    /// Captures the process arguments (program name excluded).
+    #[must_use]
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds from an explicit vector (tests).
+    #[must_use]
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// The value following `flag`, parsed; `None` when absent or
+    /// unparseable.
+    #[must_use]
+    pub fn value<T: FromStr>(&self, flag: &str) -> Option<T> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|s| s.parse().ok())
+    }
+
+    /// The value following `flag`, or `default`.
+    #[must_use]
+    pub fn value_or<T: FromStr>(&self, flag: &str, default: T) -> T {
+        self.value(flag).unwrap_or(default)
+    }
+
+    /// `true` if the bare flag is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// `--width N` (campaign operand width).
+    #[must_use]
+    pub fn width(&self, default: u32) -> u32 {
+        self.value_or("--width", default)
+    }
+
+    /// `--samples N` (Monte-Carlo vectors per fault / per campaign).
+    #[must_use]
+    pub fn samples(&self, default: u64) -> u64 {
+        self.value_or("--samples", default)
+    }
+
+    /// `--seed S` (defaults to [`DEFAULT_SEED`]).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.value_or("--seed", DEFAULT_SEED)
+    }
+
+    /// `--threads N` (defaults to all available cores).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.value_or("--threads", par::default_threads())
+    }
+
+    /// The standard input-space policy for `width`: exhaustive while
+    /// small, `--samples`-sized seeded Monte-Carlo beyond (and always
+    /// sampled under `--monte-carlo`).
+    #[must_use]
+    pub fn space(&self, width: u32, default_samples: u64) -> InputSpace {
+        let per_fault = self.samples(default_samples);
+        let seed = self.seed();
+        if self.flag("--monte-carlo") {
+            return InputSpace::Sampled { per_fault, seed };
+        }
+        InputSpace::auto(width, per_fault, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CliArgs {
+        CliArgs::from_vec(list.iter().map(ToString::to_string).collect())
+    }
+
+    #[test]
+    fn values_flags_and_defaults() {
+        let a = args(&["--width", "8", "--fast", "--seed", "7"]);
+        assert_eq!(a.width(4), 8);
+        assert_eq!(a.samples(1 << 14), 1 << 14);
+        assert_eq!(a.seed(), 7);
+        assert!(a.flag("--fast"));
+        assert!(!a.flag("--slow"));
+        assert_eq!(a.value::<u32>("--missing"), None);
+        assert_eq!(args(&[]).seed(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn unparseable_values_fall_back() {
+        let a = args(&["--width", "tall"]);
+        assert_eq!(a.width(4), 4);
+    }
+
+    #[test]
+    fn space_switches_on_width_and_flag() {
+        let a = args(&["--samples", "64"]);
+        assert_eq!(a.space(4, 128), InputSpace::Exhaustive);
+        assert_eq!(
+            a.space(16, 128),
+            InputSpace::Sampled {
+                per_fault: 64,
+                seed: DEFAULT_SEED
+            }
+        );
+        let mc = args(&["--monte-carlo"]);
+        assert!(matches!(mc.space(2, 128), InputSpace::Sampled { .. }));
+    }
+}

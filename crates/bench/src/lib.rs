@@ -7,14 +7,21 @@
 //! | `table1` | Table 1 — overloading techniques & fault coverage per operator |
 //! | `table2` | Table 2 — `+` coverage vs operand width (+ §4.1 statistics) |
 //! | `table3` | Table 3 — FIR hardware/software cost & performance |
-//! | `fig3_flow` | Figure 3 — the co-design flow, end to end |
-//! | `gate_xval` | §4.1 "implementation independent" claim (RCA vs CLA at gate level) |
+//! | `fig3_flow` | Figure 3 — the co-design flow, end to end (+ §4 validation) |
+//! | `gate_xval` | §4.1 "implementation independent" claim (RCA/CLA/CSA at gate level) |
 //! | `ablation_binding` | reliability-aware binding ablation (future-work trade-off) |
+//! | `other_circuits` | §5 companion workloads + companion-generator campaigns |
+//!
+//! Every binary constructs its campaigns through the unified
+//! `scdp_campaign::{Scenario, CampaignSpec}` surface and parses its
+//! command line with the shared [`cli::CliArgs`] module.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 
+pub use cli::{CliArgs, DEFAULT_SEED};
 pub use harness::{Bench, Record};
 
 use scdp_arith::Word;
@@ -64,32 +71,9 @@ pub fn pct(fraction: f64) -> String {
     format!("{:.2}%", fraction * 100.0)
 }
 
-/// Parses `--flag value`-style options very simply.
-#[must_use]
-pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// `true` if a bare flag is present.
-#[must_use]
-pub fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["--width", "8", "--fast"].map(String::from).to_vec();
-        assert_eq!(arg_value(&args, "--width").as_deref(), Some("8"));
-        assert_eq!(arg_value(&args, "--seed"), None);
-        assert!(has_flag(&args, "--fast"));
-        assert!(!has_flag(&args, "--slow"));
-    }
 
     #[test]
     fn pct_format() {

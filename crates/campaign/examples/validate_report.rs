@@ -1,0 +1,67 @@
+//! CI smoke for the unified campaign surface: run one scenario through
+//! *both* backends, check the tallies are bit-identical, write the
+//! report as `scdp.campaign.report/v1` JSON, re-parse it and validate
+//! the schema round-trips. Exits non-zero (panics) on any violation.
+//!
+//! Run with: `cargo run --release -p scdp-campaign --example validate_report`
+
+use scdp_campaign::{Backend, CampaignReport, FaultModel, Scenario, REPORT_SCHEMA};
+use scdp_core::{Operator, Technique};
+
+fn main() {
+    let spec = Scenario::new(Operator::Add, 4)
+        .technique(Technique::Tech1)
+        .campaign()
+        .fault_model(FaultModel::FaGate);
+    let functional = spec.clone().run().expect("functional campaign");
+    let gate = spec
+        .clone()
+        .backend(Backend::GateLevel)
+        .run()
+        .expect("gate-level campaign");
+
+    assert!(
+        functional.same_results(&gate),
+        "backends diverged: functional {:?} vs gate {:?}",
+        functional.four_way(),
+        gate.four_way()
+    );
+
+    let json = functional.to_json();
+    assert!(json.contains(REPORT_SCHEMA), "schema tag missing");
+    for field in [
+        "\"scenario\"",
+        "\"backend\"",
+        "\"fault_model\"",
+        "\"input_space\"",
+        "\"drop_policy\"",
+        "\"fault_count\"",
+        "\"simulated\"",
+        "\"tally\"",
+        "\"coverage\"",
+        "\"detection_rate\"",
+        "\"safe_rate\"",
+        "\"elapsed_ms\"",
+        "\"per_fault\"",
+    ] {
+        assert!(
+            json.contains(field),
+            "field {field} missing from report JSON"
+        );
+    }
+    let parsed = CampaignReport::from_json(&json).expect("report JSON parses");
+    assert!(parsed.same_results(&functional), "round trip lost results");
+    assert_eq!(parsed.to_json(), json, "serialisation is not a fixpoint");
+
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &json).expect("write report");
+        eprintln!("wrote {path}");
+    }
+    println!(
+        "validate_report OK: {} faults, {} situations, coverage {:.4}%, \
+         backends bit-identical, JSON schema round-trips",
+        functional.fault_count(),
+        functional.total_situations(),
+        functional.coverage() * 100.0
+    );
+}

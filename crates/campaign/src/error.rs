@@ -1,0 +1,151 @@
+//! Typed campaign errors.
+//!
+//! The deprecated constructors (`scdp_coverage::CampaignBuilder::new`,
+//! `scdp_sim::EngineCampaign::new`) validate with `assert!`; the unified
+//! [`CampaignSpec::run`](crate::CampaignSpec::run) performs the same
+//! checks *before* dispatching and reports failures as values instead of
+//! panics.
+
+use crate::scenario::{Backend, FaultModel};
+use scdp_core::Operator;
+use scdp_netlist::gen::AdderRealisation;
+use std::error::Error;
+use std::fmt;
+
+/// Why a campaign could not be configured, run or deserialised.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignError {
+    /// The operand width lies outside the supported `1..=max` range.
+    WidthOutOfRange {
+        /// The rejected width.
+        width: u32,
+        /// The inclusive upper bound.
+        max: u32,
+    },
+    /// A worker-thread count of zero was requested.
+    ZeroThreads,
+    /// The operator is not available on the selected backend (division
+    /// checking has no gate-level realisation).
+    UnsupportedOperator {
+        /// The rejected operator.
+        op: Operator,
+        /// The backend that cannot analyse it.
+        backend: Backend,
+    },
+    /// The fault model is not available on the selected backend or
+    /// circuit realisation.
+    UnsupportedFaultModel {
+        /// The rejected model.
+        model: FaultModel,
+        /// The backend it was requested on.
+        backend: Backend,
+        /// Human-readable explanation.
+        detail: &'static str,
+    },
+    /// Fault dropping is only meaningful on the gate-level engine; the
+    /// functional classifier needs every situation tallied.
+    UnsupportedDropPolicy {
+        /// The backend that cannot drop faults.
+        backend: Backend,
+    },
+    /// The structural realisation only applies to `+` datapaths.
+    UnsupportedRealisation {
+        /// The rejected realisation.
+        realisation: AdderRealisation,
+        /// The operator it was requested for.
+        op: Operator,
+    },
+    /// Exhaustive enumeration of the input space would overflow the
+    /// vector counter; use a sampled space instead.
+    ExhaustiveSpaceTooLarge {
+        /// The rejected operand width.
+        width: u32,
+    },
+    /// A report could not be parsed as JSON.
+    Parse {
+        /// Byte offset of the first offending character.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The JSON parsed but does not match the report schema.
+    Schema {
+        /// The offending field (dotted path).
+        field: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::WidthOutOfRange { width, max } => {
+                write!(f, "operand width {width} out of range 1..={max}")
+            }
+            CampaignError::ZeroThreads => f.write_str("worker thread count must be positive"),
+            CampaignError::UnsupportedOperator { op, backend } => {
+                write!(
+                    f,
+                    "operator `{op}` is not supported on the {backend} backend"
+                )
+            }
+            CampaignError::UnsupportedFaultModel {
+                model,
+                backend,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "fault model {model} is not supported on the {backend} backend: {detail}"
+                )
+            }
+            CampaignError::UnsupportedDropPolicy { backend } => {
+                write!(
+                    f,
+                    "fault dropping is not supported on the {backend} backend \
+                     (coverage classification needs every situation tallied)"
+                )
+            }
+            CampaignError::UnsupportedRealisation { realisation, op } => {
+                write!(
+                    f,
+                    "adder realisation {realisation} only applies to `+` datapaths, not `{op}`"
+                )
+            }
+            CampaignError::ExhaustiveSpaceTooLarge { width } => {
+                write!(
+                    f,
+                    "exhaustive input space at width {width} overflows the vector counter; \
+                     use a sampled space"
+                )
+            }
+            CampaignError::Parse { offset, message } => {
+                write!(f, "report JSON parse error at byte {offset}: {message}")
+            }
+            CampaignError::Schema { field, message } => {
+                write!(f, "report JSON schema error at `{field}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let e = CampaignError::WidthOutOfRange { width: 99, max: 32 };
+        assert!(e.to_string().contains("99"));
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.to_string().contains("out of range"));
+        assert!(CampaignError::ZeroThreads.to_string().contains("positive"));
+        let e = CampaignError::UnsupportedDropPolicy {
+            backend: Backend::Functional,
+        };
+        assert!(e.to_string().contains("functional"));
+    }
+}

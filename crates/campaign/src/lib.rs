@@ -1,0 +1,76 @@
+//! `scdp-campaign` — the one scenario/campaign surface over both
+//! reliability-analysis engines of the reproduction.
+//!
+//! The paper's central claim is that a single specification-level
+//! description (the `Sck<T>` data type plus a technique selection)
+//! should drive *every* downstream analysis. Before this crate the repo
+//! had two rival campaign APIs: `scdp_coverage::CampaignBuilder`
+//! (functional cell-level classification, Table 2) and
+//! `scdp_sim::EngineCampaign` (bit-parallel gate-level PPSFP
+//! simulation, §4's validation). This crate unifies them:
+//!
+//! * [`Scenario`] — *what* is analysed: operator, width, check policy
+//!   (Table 1 technique), checker allocation, structural realisation.
+//! * [`CampaignSpec`] — *how*: backend selection, fault model, input
+//!   space (exhaustive / seeded Monte-Carlo), drop policy, thread
+//!   count, progress observer.
+//! * [`CampaignReport`] — one result type for both engines: four-way
+//!   situation tallies, per-fault outcomes, detection/safe rates,
+//!   simulated-situation counts, wall-clock, and a stable hand-written
+//!   JSON serialisation (`scdp.campaign.report/v1`) with a full parser
+//!   for round-tripping.
+//! * [`CampaignError`] — typed validation errors replacing the
+//!   deprecated constructors' `assert!`s.
+//!
+//! # Bit-comparable backends
+//!
+//! With [`FaultModel::FaGate`] the gate-level backend replays the
+//! functional model's `32·n` full-adder stuck-at universe as equivalent
+//! multiple-stuck-at groups on the generated ripple-carry netlist
+//! (via `SelfCheckingDatapath::fa_gate_fault_groups`), in the same
+//! enumeration order. The same [`Scenario`] run through both backends
+//! over the same exhaustive input space then yields **bit-identical**
+//! four-way tallies — the paper's §4 "functional campaign, then
+//! gate-level validation" flow becomes a machine-checked equality:
+//!
+//! ```
+//! use scdp_campaign::{Backend, FaultModel, Scenario};
+//! use scdp_core::{Operator, Technique};
+//!
+//! let scenario = Scenario::new(Operator::Add, 3).technique(Technique::Tech1);
+//! let spec = scenario.campaign().fault_model(FaultModel::FaGate);
+//! let functional = spec.clone().run().expect("functional");
+//! let gate = spec.backend(Backend::GateLevel).run().expect("gate level");
+//! assert_eq!(functional.four_way(), gate.four_way());
+//! assert!(functional.same_results(&gate));
+//! ```
+//!
+//! # Migration
+//!
+//! The old constructors survive as deprecated shims for one release;
+//! `docs/CAMPAIGN_API.md` has the old-call → new-call table for every
+//! rewired bench binary.
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod json;
+mod report;
+mod scenario;
+mod spec;
+
+pub use error::CampaignError;
+pub use report::{drop_from_label, drop_label, CampaignReport, FaultRecord, REPORT_SCHEMA};
+pub use scenario::{
+    allocation_from_label, allocation_label, op_from_label, realisation_from_label,
+    realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
+};
+pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
+
+// The shared input-space configuration and its batched twin are part of
+// the unified surface: campaign front-ends configure an `InputSpace`;
+// the gate-level backend converts it with `InputPlan::from_space` (also
+// available as `InputPlan::from`). Re-exported so downstream code no
+// longer reaches into engine crates for them.
+pub use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
+pub use scdp_sim::{DropPolicy, InputPlan};

@@ -1,0 +1,566 @@
+//! The unified campaign result and its stable JSON serialisation.
+
+use crate::error::CampaignError;
+use crate::json::{self, Json};
+use crate::scenario::{
+    allocation_from_label, allocation_label, op_from_label, realisation_from_label,
+    realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
+};
+use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
+use scdp_sim::DropPolicy;
+use std::fmt::Write as _;
+
+/// Schema identifier embedded in every serialised report.
+pub const REPORT_SCHEMA: &str = "scdp.campaign.report/v1";
+
+/// Per-fault outcome of a campaign, for the scenario's check policy.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Four-way situation tallies (exact under
+    /// [`DropPolicy::Never`], partial up to the dropping batch
+    /// otherwise).
+    pub tally: TechTally,
+    /// A check fired in at least one simulated situation.
+    pub detected: bool,
+    /// At least one simulated situation was an undetected error.
+    pub escaped: bool,
+    /// Situations simulated before the fault was dropped (`None` when it
+    /// stayed live to the end of the input space).
+    pub dropped_after: Option<u64>,
+}
+
+/// The result of one unified campaign run.
+///
+/// The *canonical* four-way tally ([`CampaignReport::four_way`]) is the
+/// column of the scenario's check policy; it is what the JSON
+/// serialisation carries and what cross-backend comparisons use. The
+/// functional backend additionally fills the other technique columns
+/// (it classifies all three in one pass), exposed via
+/// [`CampaignReport::column`].
+///
+/// # Example
+///
+/// ```
+/// use scdp_campaign::Scenario;
+/// use scdp_core::{Operator, Technique};
+///
+/// let report = Scenario::new(Operator::Add, 2)
+///     .technique(Technique::Tech1)
+///     .campaign()
+///     .run()
+///     .expect("valid scenario");
+/// // §4.1: at width 2 some observable errors escape Tech1.
+/// assert_eq!(report.four_way().error_undetected, 76);
+/// let json = report.to_json();
+/// let parsed = scdp_campaign::CampaignReport::from_json(&json).unwrap();
+/// assert!(parsed.same_results(&report));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The analysed scenario.
+    pub scenario: Scenario,
+    /// The engine that produced the result.
+    pub backend: Backend,
+    /// The injected fault model (already resolved, never
+    /// [`FaultModel::Auto`]).
+    pub fault_model: FaultModel,
+    /// The input-space strategy used.
+    pub space: InputSpace,
+    /// The drop policy used.
+    pub drop: DropPolicy,
+    /// Technique-column tallies; only the columns in
+    /// [`CampaignReport::filled`] are meaningful.
+    pub tally: Tally,
+    /// Which technique columns were evaluated.
+    pub filled: Vec<TechIndex>,
+    /// One record per fault, universe order, for the scenario's check
+    /// policy.
+    pub per_fault: Vec<FaultRecord>,
+    /// Situations actually simulated for the canonical column (smaller
+    /// than `faults × inputs` when faults were dropped).
+    pub simulated: u64,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl CampaignReport {
+    /// The canonical four-way tally: the scenario's check-policy column.
+    #[must_use]
+    pub fn four_way(&self) -> &TechTally {
+        self.tally.of(self.scenario.tech_index())
+    }
+
+    /// A technique column, if the run evaluated it.
+    #[must_use]
+    pub fn column(&self, t: TechIndex) -> Option<&TechTally> {
+        self.filled.contains(&t).then(|| self.tally.of(t))
+    }
+
+    /// Coverage of the canonical column (the paper's Table 2 metric).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        self.four_way().coverage()
+    }
+
+    /// Coverage of one technique column, if evaluated.
+    #[must_use]
+    pub fn coverage_of(&self, t: TechIndex) -> Option<f64> {
+        self.column(t).map(TechTally::coverage)
+    }
+
+    /// Number of faults in the campaign universe.
+    #[must_use]
+    pub fn fault_count(&self) -> u64 {
+        self.per_fault.len() as u64
+    }
+
+    /// Situations evaluated in the canonical column.
+    #[must_use]
+    pub fn total_situations(&self) -> u64 {
+        self.four_way().total()
+    }
+
+    /// `true` if the input space was sampled rather than exhaustive.
+    #[must_use]
+    pub fn sampled(&self) -> bool {
+        matches!(self.space, InputSpace::Sampled { .. })
+    }
+
+    /// Fraction of faults with at least one alarmed situation.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 1.0;
+        }
+        self.per_fault.iter().filter(|f| f.detected).count() as f64 / self.per_fault.len() as f64
+    }
+
+    /// Fraction of faults that never produced an undetected error.
+    #[must_use]
+    pub fn safe_rate(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 1.0;
+        }
+        self.per_fault.iter().filter(|f| !f.escaped).count() as f64 / self.per_fault.len() as f64
+    }
+
+    /// Range `(min, max)` of per-fault coverage for the canonical column
+    /// — the paper's §4.1 "[81.90%, 99.87%]" style bound. Faults that
+    /// were never excited contribute 100%; an empty universe degenerates
+    /// to `(1.0, 1.0)`.
+    #[must_use]
+    pub fn per_fault_coverage_range(&self) -> (f64, f64) {
+        let mut min = 1.0f64;
+        let mut max = 1.0f64;
+        for (i, f) in self.per_fault.iter().enumerate() {
+            let c = f.tally.coverage();
+            min = min.min(c);
+            max = if i == 0 { c } else { max.max(c) };
+        }
+        (min, max)
+    }
+
+    /// `true` if `other` carries the same results: everything except the
+    /// producing backend and wall-clock time, which legitimately differ
+    /// between equivalent runs.
+    #[must_use]
+    pub fn same_results(&self, other: &CampaignReport) -> bool {
+        self.scenario == other.scenario
+            && self.fault_model == other.fault_model
+            && self.space == other.space
+            && self.drop == other.drop
+            && *self.four_way() == *other.four_way()
+            && self.per_fault == other.per_fault
+            && self.simulated == other.simulated
+    }
+
+    /// Serialises the report to the stable `scdp.campaign.report/v1`
+    /// JSON schema (see `docs/CAMPAIGN_API.md`). Only the canonical
+    /// column is serialised; member order and number formatting are
+    /// deterministic.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024 + self.per_fault.len() * 32);
+        let t = self.four_way();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"schema\": \"{REPORT_SCHEMA}\",");
+        let _ = writeln!(
+            o,
+            "  \"scenario\": {{\"op\": \"{}\", \"width\": {}, \"technique\": \"{}\", \
+             \"allocation\": \"{}\", \"realisation\": \"{}\"}},",
+            self.scenario.op_label(),
+            self.scenario.width,
+            technique_label(self.scenario.technique),
+            allocation_label(self.scenario.allocation),
+            realisation_label(self.scenario.realisation),
+        );
+        let _ = writeln!(o, "  \"backend\": \"{}\",", self.backend.label());
+        let _ = writeln!(o, "  \"fault_model\": \"{}\",", self.fault_model.label());
+        match self.space {
+            InputSpace::Exhaustive => {
+                o.push_str("  \"input_space\": {\"kind\": \"exhaustive\"},\n");
+            }
+            InputSpace::Sampled { per_fault, seed } => {
+                let _ = writeln!(
+                    o,
+                    "  \"input_space\": {{\"kind\": \"sampled\", \"per_fault\": {per_fault}, \
+                     \"seed\": {seed}}},"
+                );
+            }
+        }
+        let _ = writeln!(o, "  \"drop_policy\": \"{}\",", drop_label(self.drop));
+        let _ = writeln!(o, "  \"fault_count\": {},", self.per_fault.len());
+        let _ = writeln!(o, "  \"simulated\": {},", self.simulated);
+        let _ = writeln!(
+            o,
+            "  \"tally\": {{\"correct_silent\": {}, \"correct_detected\": {}, \
+             \"error_detected\": {}, \"error_undetected\": {}}},",
+            t.correct_silent, t.correct_detected, t.error_detected, t.error_undetected
+        );
+        for (name, v) in [
+            ("coverage", t.coverage()),
+            ("detection_rate", self.detection_rate()),
+            ("safe_rate", self.safe_rate()),
+        ] {
+            let _ = write!(o, "  \"{name}\": ");
+            json::write_f64(&mut o, v);
+            o.push_str(",\n");
+        }
+        let _ = writeln!(o, "  \"elapsed_ms\": {},", self.elapsed_ms);
+        o.push_str("  \"per_fault\": [\n");
+        for (i, f) in self.per_fault.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    [{}, {}, {}, {}, {}, {}, {}]",
+                f.tally.correct_silent,
+                f.tally.correct_detected,
+                f.tally.error_detected,
+                f.tally.error_undetected,
+                u8::from(f.detected),
+                u8::from(f.escaped),
+                f.dropped_after.map_or(-1i64, |d| d as i64),
+            );
+            o.push_str(if i + 1 < self.per_fault.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        o.push_str("  ]\n}\n");
+        o
+    }
+
+    /// Parses a report serialised by [`CampaignReport::to_json`].
+    ///
+    /// The parsed report carries only the canonical column (the JSON
+    /// schema does not serialise the functional backend's bonus
+    /// columns), so `parsed.same_results(&original)` holds rather than
+    /// full structural equality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Parse`] for malformed JSON and
+    /// [`CampaignError::Schema`] for well-formed JSON that is not a
+    /// `scdp.campaign.report/v1` document.
+    pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
+        let v = json::parse(text)?;
+        let schema = require_str(&v, "schema")?;
+        if schema != REPORT_SCHEMA {
+            return Err(schema_err("schema", format!("unknown schema `{schema}`")));
+        }
+
+        let s = v
+            .get("scenario")
+            .ok_or_else(|| schema_err("scenario", "missing".into()))?;
+        let op = op_from_label(require_str(s, "op")?)
+            .ok_or_else(|| schema_err("scenario.op", "unknown operator".into()))?;
+        let width_raw = require_u64(s, "width")?;
+        let max = u64::from(crate::spec::MAX_WIDTH);
+        if width_raw == 0 || width_raw > max {
+            return Err(schema_err(
+                "scenario.width",
+                format!("width {width_raw} out of range 1..={max}"),
+            ));
+        }
+        let width = width_raw as u32;
+        let technique = technique_from_label(require_str(s, "technique")?)
+            .ok_or_else(|| schema_err("scenario.technique", "unknown technique".into()))?;
+        let allocation = allocation_from_label(require_str(s, "allocation")?)
+            .ok_or_else(|| schema_err("scenario.allocation", "unknown allocation".into()))?;
+        let realisation = realisation_from_label(require_str(s, "realisation")?)
+            .ok_or_else(|| schema_err("scenario.realisation", "unknown realisation".into()))?;
+        let scenario = Scenario::new(op, width)
+            .technique(technique)
+            .allocation(allocation)
+            .realisation(realisation);
+
+        let backend = Backend::from_label(require_str(&v, "backend")?)
+            .ok_or_else(|| schema_err("backend", "unknown backend".into()))?;
+        let fault_model = FaultModel::from_label(require_str(&v, "fault_model")?)
+            .ok_or_else(|| schema_err("fault_model", "unknown fault model".into()))?;
+
+        let sp = v
+            .get("input_space")
+            .ok_or_else(|| schema_err("input_space", "missing".into()))?;
+        let space = match require_str(sp, "kind")? {
+            "exhaustive" => InputSpace::Exhaustive,
+            "sampled" => InputSpace::Sampled {
+                per_fault: require_u64(sp, "per_fault")?,
+                seed: require_u64(sp, "seed")?,
+            },
+            other => {
+                return Err(schema_err(
+                    "input_space.kind",
+                    format!("unknown kind `{other}`"),
+                ))
+            }
+        };
+        let drop = drop_from_label(require_str(&v, "drop_policy")?)
+            .ok_or_else(|| schema_err("drop_policy", "unknown policy".into()))?;
+
+        let selected = scenario.tech_index();
+        let mut tally = Tally::default();
+        let tj = v
+            .get("tally")
+            .ok_or_else(|| schema_err("tally", "missing".into()))?;
+        tally.tech[selected as usize] = parse_tech_tally(tj, "tally")?;
+
+        let simulated = require_u64(&v, "simulated")?;
+        let elapsed_ms = require_u64(&v, "elapsed_ms")?;
+
+        let pf = v
+            .get("per_fault")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err("per_fault", "missing or not an array".into()))?;
+        let mut per_fault = Vec::with_capacity(pf.len());
+        for row in pf {
+            let cells = row
+                .as_arr()
+                .filter(|c| c.len() == 7)
+                .ok_or_else(|| schema_err("per_fault", "each entry must be a 7-array".into()))?;
+            let num = |i: usize| {
+                cells[i]
+                    .as_u64()
+                    .ok_or_else(|| schema_err("per_fault", format!("cell {i} not a count")))
+            };
+            let dropped = match &cells[6] {
+                Json::Int(-1) => None,
+                other => Some(other.as_u64().ok_or_else(|| {
+                    schema_err("per_fault", "dropped_after must be -1 or a count".into())
+                })?),
+            };
+            per_fault.push(FaultRecord {
+                tally: TechTally {
+                    correct_silent: num(0)?,
+                    correct_detected: num(1)?,
+                    error_detected: num(2)?,
+                    error_undetected: num(3)?,
+                },
+                detected: num(4)? != 0,
+                escaped: num(5)? != 0,
+                dropped_after: dropped,
+            });
+        }
+        let declared = require_u64(&v, "fault_count")?;
+        if declared != per_fault.len() as u64 {
+            return Err(schema_err(
+                "fault_count",
+                format!("declares {declared} but per_fault has {}", per_fault.len()),
+            ));
+        }
+
+        Ok(CampaignReport {
+            scenario,
+            backend,
+            fault_model,
+            space,
+            drop,
+            tally,
+            filled: vec![selected],
+            per_fault,
+            simulated,
+            elapsed_ms,
+        })
+    }
+}
+
+fn schema_err(field: &'static str, message: String) -> CampaignError {
+    CampaignError::Schema { field, message }
+}
+
+fn require_str<'a>(v: &'a Json, key: &'static str) -> Result<&'a str, CampaignError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema_err(key, "missing or not a string".into()))
+}
+
+fn require_u64(v: &Json, key: &'static str) -> Result<u64, CampaignError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| schema_err(key, "missing or not a non-negative integer".into()))
+}
+
+fn parse_tech_tally(v: &Json, field: &'static str) -> Result<TechTally, CampaignError> {
+    let _ = field;
+    Ok(TechTally {
+        correct_silent: require_u64(v, "correct_silent")?,
+        correct_detected: require_u64(v, "correct_detected")?,
+        error_detected: require_u64(v, "error_detected")?,
+        error_undetected: require_u64(v, "error_undetected")?,
+    })
+}
+
+/// Stable serialisation label of a drop policy.
+#[must_use]
+pub fn drop_label(d: DropPolicy) -> &'static str {
+    match d {
+        DropPolicy::Never => "never",
+        DropPolicy::OnDetect => "on-detect",
+        DropPolicy::OnEscape => "on-escape",
+    }
+}
+
+/// Parses a drop-policy serialisation label.
+#[must_use]
+pub fn drop_from_label(s: &str) -> Option<DropPolicy> {
+    match s {
+        "never" => Some(DropPolicy::Never),
+        "on-detect" => Some(DropPolicy::OnDetect),
+        "on-escape" => Some(DropPolicy::OnEscape),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::Operator;
+
+    fn tiny_report() -> CampaignReport {
+        let scenario = Scenario::new(Operator::Add, 1);
+        let selected = scenario.tech_index();
+        let mut tally = Tally::default();
+        tally.tech[selected as usize] = TechTally {
+            correct_silent: 10,
+            correct_detected: 3,
+            error_detected: 2,
+            error_undetected: 1,
+        };
+        CampaignReport {
+            scenario,
+            backend: Backend::GateLevel,
+            fault_model: FaultModel::Structural,
+            space: InputSpace::Sampled {
+                per_fault: 16,
+                seed: 42,
+            },
+            drop: DropPolicy::OnDetect,
+            tally,
+            filled: vec![selected],
+            per_fault: vec![
+                FaultRecord {
+                    tally: TechTally {
+                        correct_silent: 10,
+                        correct_detected: 3,
+                        error_detected: 2,
+                        error_undetected: 1,
+                    },
+                    detected: true,
+                    escaped: true,
+                    dropped_after: Some(16),
+                },
+                FaultRecord::default(),
+            ],
+            simulated: 16,
+            elapsed_ms: 7,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let r = tiny_report();
+        let text = r.to_json();
+        let parsed = CampaignReport::from_json(&text).expect("round trip");
+        assert!(parsed.same_results(&r));
+        assert_eq!(parsed.backend, r.backend);
+        assert_eq!(parsed.elapsed_ms, r.elapsed_ms);
+        assert_eq!(parsed.to_json(), text, "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn rates_and_ranges() {
+        let r = tiny_report();
+        assert_eq!(r.fault_count(), 2);
+        assert_eq!(r.total_situations(), 16);
+        assert!(r.sampled());
+        assert!((r.detection_rate() - 0.5).abs() < 1e-12);
+        assert!((r.safe_rate() - 0.5).abs() < 1e-12);
+        let (lo, hi) = r.per_fault_coverage_range();
+        assert!(lo <= hi && hi <= 1.0);
+        assert_eq!(r.coverage_of(TechIndex::Tech1), None, "not filled");
+        assert!(r.coverage_of(TechIndex::Both).is_some());
+    }
+
+    #[test]
+    fn schema_violations_are_typed() {
+        assert!(matches!(
+            CampaignReport::from_json("{"),
+            Err(CampaignError::Parse { .. })
+        ));
+        assert!(matches!(
+            CampaignReport::from_json("{\"schema\": \"other/v9\"}"),
+            Err(CampaignError::Schema {
+                field: "schema",
+                ..
+            })
+        ));
+        let mut text = tiny_report().to_json();
+        text = text.replace("\"fault_count\": 2", "\"fault_count\": 5");
+        assert!(matches!(
+            CampaignReport::from_json(&text),
+            Err(CampaignError::Schema {
+                field: "fault_count",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_widths_are_schema_errors() {
+        let base = tiny_report().to_json();
+        for bad in ["0", "99", "4294967300"] {
+            let text = base.replace("\"width\": 1", &format!("\"width\": {bad}"));
+            assert!(
+                matches!(
+                    CampaignReport::from_json(&text),
+                    Err(CampaignError::Schema {
+                        field: "scenario.width",
+                        ..
+                    })
+                ),
+                "width {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_universe_coverage_range_is_degenerate() {
+        let mut r = tiny_report();
+        r.per_fault.clear();
+        assert_eq!(r.per_fault_coverage_range(), (1.0, 1.0));
+        let (lo, hi) = tiny_report().per_fault_coverage_range();
+        assert!(lo <= hi, "range must be ordered for non-empty universes");
+    }
+
+    #[test]
+    fn drop_labels_round_trip() {
+        for d in [
+            DropPolicy::Never,
+            DropPolicy::OnDetect,
+            DropPolicy::OnEscape,
+        ] {
+            assert_eq!(drop_from_label(drop_label(d)), Some(d));
+        }
+        assert_eq!(drop_from_label("nope"), None);
+    }
+}

@@ -1,0 +1,561 @@
+//! Campaign configuration and the unified `run()` entry point.
+
+use crate::error::CampaignError;
+use crate::report::{CampaignReport, FaultRecord};
+use crate::scenario::{Backend, FaultModel, Scenario};
+use scdp_core::{Allocation, Operator};
+use scdp_coverage::{AdderFaultModel, InputSpace, OperatorKind, Tally, TechIndex};
+use scdp_netlist::gen::{
+    self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
+};
+use scdp_sim::{DropPolicy, Engine, InputPlan};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum supported operand width (the functional cell models cap at
+/// 32 bits).
+pub const MAX_WIDTH: u32 = 32;
+
+/// Progress events emitted through [`CampaignSpec::observer`].
+#[derive(Clone, Debug)]
+pub enum Progress {
+    /// Validation passed; the campaign is being dispatched.
+    Started {
+        /// The executing backend.
+        backend: Backend,
+        /// The resolved fault model.
+        fault_model: FaultModel,
+    },
+    /// The gate-level backend compiled its netlist and fault universe.
+    NetlistCompiled {
+        /// The generated design name.
+        name: String,
+        /// Gate count of the compiled netlist.
+        gates: usize,
+        /// Number of fault groups in the universe.
+        faults: usize,
+    },
+    /// The campaign finished.
+    Finished {
+        /// Situations simulated for the canonical column.
+        simulated: u64,
+        /// Wall-clock duration in milliseconds.
+        elapsed_ms: u64,
+    },
+}
+
+/// A progress-observer callback; invoked on the driver thread.
+pub type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
+
+/// Configures *how* a [`Scenario`] is analysed and runs it.
+///
+/// # Example
+///
+/// ```
+/// use scdp_campaign::{Backend, Scenario};
+/// use scdp_core::{Operator, Technique};
+///
+/// let scenario = Scenario::new(Operator::Add, 3).technique(Technique::Both);
+/// // The same scenario drives both engines.
+/// let functional = scenario.campaign().run().expect("functional");
+/// let gate = scenario
+///     .campaign()
+///     .backend(Backend::GateLevel)
+///     .threads(2)
+///     .run()
+///     .expect("gate level");
+/// assert!(functional.coverage() > 0.9);
+/// assert!(gate.coverage() > 0.9);
+/// ```
+///
+/// Invalid configurations are reported as typed errors, not panics:
+///
+/// ```
+/// use scdp_campaign::{CampaignError, Scenario};
+/// use scdp_core::Operator;
+///
+/// let err = Scenario::new(Operator::Add, 99).campaign().run().unwrap_err();
+/// assert!(matches!(err, CampaignError::WidthOutOfRange { width: 99, .. }));
+/// ```
+#[derive(Clone)]
+pub struct CampaignSpec {
+    /// The scenario under analysis.
+    pub scenario: Scenario,
+    /// The executing engine.
+    pub backend: Backend,
+    /// The fault universe to inject.
+    pub fault_model: FaultModel,
+    /// The input-space strategy.
+    pub space: InputSpace,
+    /// When faults leave the simulated universe (gate level only).
+    pub drop: DropPolicy,
+    /// Worker-thread cap (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Optional progress observer.
+    pub observer: Option<ProgressHook>,
+}
+
+impl fmt::Debug for CampaignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignSpec")
+            .field("scenario", &self.scenario)
+            .field("backend", &self.backend)
+            .field("fault_model", &self.fault_model)
+            .field("space", &self.space)
+            .field("drop", &self.drop)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl CampaignSpec {
+    /// Starts a campaign specification with the paper's defaults:
+    /// functional backend, canonical fault model, exhaustive inputs, no
+    /// dropping, all available cores.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            backend: Backend::Functional,
+            fault_model: FaultModel::Auto,
+            space: InputSpace::Exhaustive,
+            drop: DropPolicy::Never,
+            threads: None,
+            observer: None,
+        }
+    }
+
+    /// Selects the executing backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the fault model.
+    #[must_use]
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Selects the input space.
+    #[must_use]
+    pub fn input_space(mut self, space: InputSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Selects the drop policy (gate-level backend only).
+    #[must_use]
+    pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Caps the worker thread count (validated by [`CampaignSpec::run`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs a progress observer, called on the driver thread.
+    #[must_use]
+    pub fn observer(mut self, hook: ProgressHook) -> Self {
+        self.observer = Some(hook);
+        self
+    }
+
+    fn emit(&self, event: &Progress) {
+        if let Some(hook) = &self.observer {
+            hook(event);
+        }
+    }
+
+    /// Runs the campaign on the selected backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CampaignError`] instead of panicking for every
+    /// invalid configuration: width out of range, zero threads,
+    /// unsupported operator/fault-model/drop-policy combinations, and
+    /// exhaustive spaces too large to enumerate.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let model = self.validate()?;
+        let start = Instant::now();
+        self.emit(&Progress::Started {
+            backend: self.backend,
+            fault_model: model,
+        });
+        let mut report = match self.backend {
+            Backend::Functional => self.run_functional(model),
+            Backend::GateLevel => self.run_gate(model),
+        }?;
+        report.elapsed_ms = start.elapsed().as_millis() as u64;
+        self.emit(&Progress::Finished {
+            simulated: report.simulated,
+            elapsed_ms: report.elapsed_ms,
+        });
+        Ok(report)
+    }
+
+    /// Validates the configuration and resolves the fault model.
+    fn validate(&self) -> Result<FaultModel, CampaignError> {
+        let s = &self.scenario;
+        if s.width == 0 || s.width > MAX_WIDTH {
+            return Err(CampaignError::WidthOutOfRange {
+                width: s.width,
+                max: MAX_WIDTH,
+            });
+        }
+        if self.threads == Some(0) {
+            return Err(CampaignError::ZeroThreads);
+        }
+        let model = self.fault_model.resolve(self.backend);
+        match self.backend {
+            Backend::Functional => {
+                if self.drop != DropPolicy::Never {
+                    return Err(CampaignError::UnsupportedDropPolicy {
+                        backend: self.backend,
+                    });
+                }
+                if model == FaultModel::Structural {
+                    return Err(CampaignError::UnsupportedFaultModel {
+                        model,
+                        backend: self.backend,
+                        detail: "structural stuck-ats exist only on generated netlists",
+                    });
+                }
+            }
+            Backend::GateLevel => {
+                if s.op == Operator::Div {
+                    return Err(CampaignError::UnsupportedOperator {
+                        op: s.op,
+                        backend: self.backend,
+                    });
+                }
+                if s.realisation != AdderRealisation::RippleCarry && s.op != Operator::Add {
+                    return Err(CampaignError::UnsupportedRealisation {
+                        realisation: s.realisation,
+                        op: s.op,
+                    });
+                }
+                if model == FaultModel::Cell {
+                    return Err(CampaignError::UnsupportedFaultModel {
+                        model,
+                        backend: self.backend,
+                        detail: "truth-table cell faults exist only in the functional models",
+                    });
+                }
+                if model == FaultModel::FaGate
+                    && (s.op == Operator::Mul || s.realisation != AdderRealisation::RippleCarry)
+                {
+                    return Err(CampaignError::UnsupportedFaultModel {
+                        model,
+                        backend: self.backend,
+                        detail: "the functional-twin universe needs a ripple-carry \
+                                 full-adder chain",
+                    });
+                }
+                if self.space == InputSpace::Exhaustive && 2 * s.width >= 64 {
+                    return Err(CampaignError::ExhaustiveSpaceTooLarge { width: s.width });
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    /// Dispatches to the functional classifier of `scdp-coverage`.
+    fn run_functional(&self, model: FaultModel) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
+        let kind = match s.op {
+            Operator::Add => OperatorKind::Add,
+            Operator::Sub => OperatorKind::Sub,
+            Operator::Mul => OperatorKind::Mul,
+            Operator::Div => OperatorKind::Div,
+        };
+        let adder_model = match model {
+            FaultModel::Cell => AdderFaultModel::Cell,
+            _ => AdderFaultModel::Gate,
+        };
+        // The deprecated constructor is the shim this crate replaces; its
+        // `assert!`s cannot fire because `validate()` ran first.
+        #[allow(deprecated)]
+        let mut builder = scdp_coverage::CampaignBuilder::new(kind, s.width)
+            .adder_model(adder_model)
+            .allocation(s.allocation)
+            .input_space(self.space);
+        if let Some(t) = self.threads {
+            builder = builder.threads(t);
+        }
+        let result = builder.run();
+        let selected = s.tech_index();
+        let per_fault: Vec<FaultRecord> = result
+            .per_fault
+            .iter()
+            .map(|tally| {
+                let t = *tally.of(selected);
+                FaultRecord {
+                    tally: t,
+                    detected: t.alarms() > 0,
+                    escaped: t.error_undetected > 0,
+                    dropped_after: None,
+                }
+            })
+            .collect();
+        Ok(CampaignReport {
+            scenario: *s,
+            backend: Backend::Functional,
+            fault_model: model,
+            space: self.space,
+            drop: self.drop,
+            simulated: result.tally.of(selected).total(),
+            tally: result.tally,
+            filled: TechIndex::ALL.to_vec(),
+            per_fault,
+            elapsed_ms: 0,
+        })
+    }
+
+    /// Compiles the scenario's netlist and dispatches to the
+    /// bit-parallel engine of `scdp-sim`.
+    fn run_gate(&self, model: FaultModel) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
+        let dp = match s.op {
+            Operator::Add => self_checking_add_with(s.width, s.technique, s.realisation),
+            Operator::Sub | Operator::Mul => self_checking(SelfCheckingSpec {
+                op: s.op,
+                technique: s.technique,
+                width: s.width,
+            }),
+            Operator::Div => unreachable!("rejected by validate()"),
+        };
+        let correlated = s.allocation == Allocation::SingleUnit;
+        let groups = match model {
+            FaultModel::Structural => {
+                let mut groups = Vec::new();
+                for site in dp.local_sites() {
+                    for value in [false, true] {
+                        groups.push(if correlated {
+                            dp.correlated_fault(site, value)
+                        } else {
+                            dp.nominal_fault(site, value)
+                        });
+                    }
+                }
+                groups
+            }
+            FaultModel::FaGate => {
+                dp.fa_gate_fault_groups(correlated)
+                    .ok_or(CampaignError::UnsupportedFaultModel {
+                        model,
+                        backend: self.backend,
+                        detail: "this datapath retains no full-adder cell maps",
+                    })?
+            }
+            _ => unreachable!("rejected by validate()"),
+        };
+        self.emit(&Progress::NetlistCompiled {
+            name: dp.netlist.name().to_string(),
+            gates: dp.netlist.gate_count(),
+            faults: groups.len(),
+        });
+        let engine = Engine::new(&dp.netlist);
+        // Shim constructor; see `run_functional`.
+        #[allow(deprecated)]
+        let mut campaign = scdp_sim::EngineCampaign::new(&engine, groups)
+            .plan(InputPlan::from_space(self.space))
+            .drop_policy(self.drop);
+        if let Some(t) = self.threads {
+            campaign = campaign.threads(t);
+        }
+        let summary = campaign.run();
+        let selected = s.tech_index();
+        let mut tally = Tally::default();
+        tally.tech[selected as usize] = summary.tally;
+        let per_fault: Vec<FaultRecord> = summary
+            .per_fault
+            .iter()
+            .map(|f| FaultRecord {
+                tally: f.tally,
+                detected: f.detected,
+                escaped: f.escaped,
+                dropped_after: f.dropped_after,
+            })
+            .collect();
+        Ok(CampaignReport {
+            scenario: *s,
+            backend: Backend::GateLevel,
+            fault_model: model,
+            space: self.space,
+            drop: self.drop,
+            tally,
+            filled: vec![selected],
+            per_fault,
+            simulated: summary.simulated,
+            elapsed_ms: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::Technique;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let err = Scenario::new(Operator::Add, 0)
+            .campaign()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::WidthOutOfRange { .. }));
+
+        let err = Scenario::new(Operator::Add, 4)
+            .campaign()
+            .threads(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::ZeroThreads);
+
+        let err = Scenario::new(Operator::Add, 4)
+            .campaign()
+            .drop_policy(DropPolicy::OnDetect)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnsupportedDropPolicy { .. }));
+
+        let err = Scenario::new(Operator::Div, 4)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnsupportedOperator { .. }));
+
+        let err = Scenario::new(Operator::Add, 4)
+            .campaign()
+            .fault_model(FaultModel::Structural)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnsupportedFaultModel { .. }));
+
+        let err = Scenario::new(Operator::Mul, 4)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .fault_model(FaultModel::FaGate)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnsupportedFaultModel { .. }));
+
+        let err = Scenario::new(Operator::Sub, 4)
+            .realisation(AdderRealisation::CarrySave)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::UnsupportedRealisation { .. }));
+
+        let err = Scenario::new(Operator::Add, 32)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::ExhaustiveSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn functional_report_fills_all_columns() {
+        let r = Scenario::new(Operator::Add, 2)
+            .technique(Technique::Tech1)
+            .campaign()
+            .run()
+            .unwrap();
+        assert_eq!(r.filled.len(), 3);
+        assert_eq!(r.four_way().total(), 64 * 16, "64 faults x 16 input pairs");
+        assert!(r.column(TechIndex::Both).is_some());
+        assert_eq!(r.fault_count(), 64);
+    }
+
+    #[test]
+    fn gate_report_fills_the_selected_column() {
+        let r = Scenario::new(Operator::Add, 2)
+            .technique(Technique::Tech1)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(r.filled, vec![TechIndex::Tech1]);
+        assert!(r.column(TechIndex::Both).is_none());
+        assert!(r.coverage() > 0.8);
+    }
+
+    #[test]
+    fn observer_sees_start_netlist_and_finish() {
+        let events = Arc::new(AtomicUsize::new(0));
+        let seen = events.clone();
+        let hook: ProgressHook = Arc::new(move |e: &Progress| {
+            match e {
+                Progress::Started { .. } => seen.fetch_add(1, Ordering::SeqCst),
+                Progress::NetlistCompiled { gates, faults, .. } => {
+                    assert!(*gates > 0 && *faults > 0);
+                    seen.fetch_add(10, Ordering::SeqCst)
+                }
+                Progress::Finished { simulated, .. } => {
+                    assert!(*simulated > 0);
+                    seen.fetch_add(100, Ordering::SeqCst)
+                }
+            };
+        });
+        let r = Scenario::new(Operator::Add, 2)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .observer(hook)
+            .run()
+            .unwrap();
+        assert!(r.total_situations() > 0);
+        assert_eq!(events.load(Ordering::SeqCst), 111);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_gate_results() {
+        let scenario = Scenario::new(Operator::Mul, 2);
+        let a = scenario
+            .campaign()
+            .backend(Backend::GateLevel)
+            .threads(1)
+            .run()
+            .unwrap();
+        let b = scenario
+            .campaign()
+            .backend(Backend::GateLevel)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert!(a.same_results(&b));
+    }
+
+    #[test]
+    fn dropping_works_through_the_unified_api() {
+        let scenario = Scenario::new(Operator::Add, 4);
+        let full = scenario
+            .campaign()
+            .backend(Backend::GateLevel)
+            .run()
+            .unwrap();
+        let dropped = scenario
+            .campaign()
+            .backend(Backend::GateLevel)
+            .drop_policy(DropPolicy::OnDetect)
+            .run()
+            .unwrap();
+        assert!(dropped.simulated < full.simulated);
+        for (f, d) in full.per_fault.iter().zip(&dropped.per_fault) {
+            assert_eq!(f.detected, d.detected, "dropping must not change verdicts");
+        }
+    }
+}

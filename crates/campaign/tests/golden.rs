@@ -1,0 +1,203 @@
+//! Golden-file and cross-backend pins for the unified campaign API.
+//!
+//! * The width-4 Add/Tech1 report is pinned byte-for-byte against
+//!   `tests/golden/add_tech1_w4.json` (regenerate with
+//!   `REGEN_GOLDEN=1 cargo test -p scdp-campaign --test golden`).
+//! * The same scenario run through the gate-level backend must produce
+//!   the *same* report up to the backend label — the functional fault
+//!   universe replayed structurally, bit for bit.
+//! * The deprecated shims must keep producing the tallies the unified
+//!   API reports.
+
+use scdp_campaign::{
+    Backend, CampaignReport, CampaignSpec, FaultModel, InputSpace, Scenario, TechIndex,
+};
+use scdp_core::{Allocation, Operator, Technique};
+use scdp_netlist::gen::AdderRealisation;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/add_tech1_w4.json")
+}
+
+/// The pinned scenario: width-4 `+`, Tech1, worst case, the paper's
+/// `32·n` fault universe, exhaustive inputs.
+fn pinned_spec() -> CampaignSpec {
+    Scenario::new(Operator::Add, 4)
+        .technique(Technique::Tech1)
+        .campaign()
+        .fault_model(FaultModel::FaGate)
+        .threads(2)
+}
+
+fn canonical_json(mut report: CampaignReport) -> String {
+    report.elapsed_ms = 0;
+    report.to_json()
+}
+
+#[test]
+fn width4_add_tech1_matches_the_golden_file() {
+    let json = canonical_json(pinned_spec().run().expect("functional run"));
+    let path = golden_path();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden file present");
+    assert_eq!(
+        json, golden,
+        "the pinned width-4 Add/Tech1 report drifted; \
+         REGEN_GOLDEN=1 only if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_through_the_parser() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let parsed = CampaignReport::from_json(&golden).expect("golden parses");
+    assert_eq!(parsed.to_json(), golden, "parse→serialise is the identity");
+    assert_eq!(parsed.scenario.width, 4);
+    assert_eq!(parsed.scenario.technique, Technique::Tech1);
+    assert_eq!(parsed.fault_count(), 128);
+    assert_eq!(parsed.total_situations(), 128 * 256);
+}
+
+#[test]
+fn both_backends_produce_the_pinned_report() {
+    let functional = pinned_spec().run().expect("functional run");
+    let gate = pinned_spec()
+        .backend(Backend::GateLevel)
+        .run()
+        .expect("gate-level run");
+    // Bit-identical four-way tallies, per-fault records included.
+    assert_eq!(functional.four_way(), gate.four_way());
+    assert_eq!(functional.per_fault, gate.per_fault);
+    assert!(functional.same_results(&gate));
+    // Byte-identical JSON up to the backend label.
+    let g =
+        canonical_json(gate).replace("\"backend\": \"gate-level\"", "\"backend\": \"functional\"");
+    assert_eq!(canonical_json(functional), g);
+}
+
+/// The cross-backend equality is not a Tech1 accident: every technique
+/// column and the subtraction datapath agree bit for bit too.
+#[test]
+fn cross_backend_tallies_agree_for_all_techniques_and_sub() {
+    for op in [Operator::Add, Operator::Sub] {
+        for technique in Technique::ALL {
+            let spec = Scenario::new(op, 3)
+                .technique(technique)
+                .campaign()
+                .fault_model(FaultModel::FaGate);
+            let functional = spec.clone().run().expect("functional");
+            let gate = spec.backend(Backend::GateLevel).run().expect("gate");
+            assert!(
+                functional.same_results(&gate),
+                "{op:?} {technique:?} diverged: functional {:?} vs gate {:?}",
+                functional.four_way(),
+                gate.four_way()
+            );
+        }
+    }
+}
+
+#[test]
+fn dedicated_allocation_agrees_across_backends_and_is_fully_covered() {
+    let spec = Scenario::new(Operator::Add, 3)
+        .allocation(Allocation::Dedicated)
+        .campaign()
+        .fault_model(FaultModel::FaGate);
+    let functional = spec.clone().run().expect("functional");
+    let gate = spec.backend(Backend::GateLevel).run().expect("gate");
+    assert!(functional.same_results(&gate));
+    assert_eq!(functional.four_way().error_undetected, 0);
+    assert!(functional.four_way().error_detected > 0);
+}
+
+/// The deprecated shim constructors must report exactly what the
+/// unified API reports, until they are removed.
+#[test]
+#[allow(deprecated)]
+fn functional_shim_produces_identical_tallies() {
+    use scdp_coverage::{CampaignBuilder, OperatorKind};
+    let unified = Scenario::new(Operator::Add, 3)
+        .campaign()
+        .run()
+        .expect("run");
+    let shim = CampaignBuilder::new(OperatorKind::Add, 3).run();
+    for t in TechIndex::ALL {
+        assert_eq!(
+            unified.column(t).expect("functional fills all columns"),
+            shim.tally.of(t),
+            "{t}"
+        );
+    }
+    assert_eq!(unified.fault_count(), shim.fault_count());
+}
+
+#[test]
+#[allow(deprecated)]
+fn gate_shim_produces_identical_tallies() {
+    use scdp_sim::{Engine, EngineCampaign, InputPlan};
+    let scenario = Scenario::new(Operator::Add, 3).technique(Technique::Both);
+    let unified = scenario
+        .campaign()
+        .backend(Backend::GateLevel)
+        .threads(2)
+        .run()
+        .expect("run");
+    // The shim path: hand-built structural universe, direct engine
+    // campaign — what gate_xval did before the unified API.
+    let dp = scdp_netlist::gen::self_checking_add_with(
+        3,
+        Technique::Both,
+        AdderRealisation::RippleCarry,
+    );
+    let engine = Engine::new(&dp.netlist);
+    let mut groups = Vec::new();
+    for site in dp.local_sites() {
+        for value in [false, true] {
+            groups.push(dp.correlated_fault(site, value));
+        }
+    }
+    let summary = EngineCampaign::new(&engine, groups)
+        .plan(InputPlan::Exhaustive)
+        .threads(2)
+        .run();
+    assert_eq!(*unified.four_way(), summary.tally);
+    assert_eq!(unified.simulated, summary.simulated);
+    assert_eq!(unified.fault_count(), summary.per_fault.len() as u64);
+    for (u, s) in unified.per_fault.iter().zip(&summary.per_fault) {
+        assert_eq!(u.tally, s.tally);
+        assert_eq!(u.detected, s.detected);
+        assert_eq!(u.escaped, s.escaped);
+    }
+}
+
+/// Sampled (Monte-Carlo) spaces flow through the unified surface and
+/// serialise faithfully.
+#[test]
+fn sampled_campaign_report_round_trips() {
+    let report = Scenario::new(Operator::Add, 6)
+        .campaign()
+        .backend(Backend::GateLevel)
+        .input_space(InputSpace::Sampled {
+            per_fault: 512,
+            seed: 0xDA7E,
+        })
+        .threads(2)
+        .run()
+        .expect("sampled run");
+    assert!(report.sampled());
+    assert_eq!(report.total_situations(), report.fault_count() * 512);
+    let parsed = CampaignReport::from_json(&report.to_json()).expect("parse");
+    assert!(parsed.same_results(&report));
+    assert_eq!(
+        parsed.space,
+        InputSpace::Sampled {
+            per_fault: 512,
+            seed: 0xDA7E
+        }
+    );
+}

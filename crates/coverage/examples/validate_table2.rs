@@ -1,5 +1,10 @@
 //! Scratch validation: compare both fault models against the paper's
 //! Table 2 for n = 1, 2, 3 (exhaustive).
+//!
+//! Drives the functional backend directly through its (deprecated)
+//! shim on purpose — this example lives below the unified
+//! `scdp-campaign` surface.
+#![allow(deprecated)]
 use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
 
 fn main() {

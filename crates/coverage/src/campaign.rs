@@ -33,11 +33,18 @@ pub enum AdderFaultModel {
     Cell,
 }
 
-/// Configures and runs a fault-coverage campaign.
+/// Configures and runs a functional fault-coverage campaign.
+///
+/// This is now the *backend* behind the unified campaign surface:
+/// construct campaigns through `scdp_campaign::{Scenario, CampaignSpec}`
+/// instead, which validates with typed errors and serves both this
+/// engine and the gate-level one. [`CampaignBuilder::new`] remains as a
+/// deprecated shim for one release.
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use scdp_coverage::{CampaignBuilder, OperatorKind, TechIndex};
 /// use scdp_core::Allocation;
 ///
@@ -65,7 +72,13 @@ impl CampaignBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is outside `1..=32`.
+    /// Panics if `width` is outside `1..=32`. The unified entry point
+    /// (`scdp_campaign::CampaignSpec::run`) performs this validation
+    /// up front and returns a typed `CampaignError` instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct campaigns via scdp_campaign::{Scenario, CampaignSpec}"
+    )]
     #[must_use]
     pub fn new(op: OperatorKind, width: u32) -> Self {
         assert!((1..=32).contains(&width), "width {width} out of range");
@@ -319,6 +332,8 @@ impl CampaignResult {
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated shim directly on purpose.
+    #![allow(deprecated)]
     use super::*;
 
     #[test]

@@ -21,9 +21,17 @@
 //! ("the number of times the methodology guarantees that the result is
 //! either correct or an error signal is raised").
 //!
+//! This crate is the *functional backend* of the unified campaign
+//! surface: new code should construct campaigns through
+//! `scdp_campaign::{Scenario, CampaignSpec}`, which adds typed
+//! validation errors and gate-level cross-validation on the same
+//! scenario. [`CampaignBuilder::new`] remains as a deprecated shim for
+//! one release.
+//!
 //! # Example
 //!
 //! ```
+//! # #![allow(deprecated)]
 //! use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind};
 //! use scdp_core::Allocation;
 //!

@@ -56,6 +56,7 @@ pub fn table2_row(result: &CampaignResult) -> Table2Row {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use crate::{CampaignBuilder, OperatorKind};
 

@@ -19,6 +19,21 @@ pub enum InputSpace {
 }
 
 impl InputSpace {
+    /// The standard campaign policy shared by every front-end:
+    /// exhaustive while the pair space fits in `2^20` combinations
+    /// (width ≤ 10), seeded Monte-Carlo sampling beyond. The batched
+    /// twin is `InputPlan::auto` in `scdp-sim`; both use the same
+    /// threshold so functional and gate-level campaigns switch at the
+    /// same width.
+    #[must_use]
+    pub fn auto(width: u32, per_fault: u64, seed: u64) -> InputSpace {
+        if 2 * width <= 20 {
+            InputSpace::Exhaustive
+        } else {
+            InputSpace::Sampled { per_fault, seed }
+        }
+    }
+
     /// A deterministic stream of operand pairs for one fault.
     ///
     /// `stream_id` decorrelates faults in sampled mode (ignored for
@@ -131,6 +146,18 @@ mod tests {
         let pairs: Vec<_> = InputSpace::Exhaustive.pairs(2, 0, true).collect();
         assert_eq!(pairs.len(), 12);
         assert!(pairs.iter().all(|(_, b)| b.bits() != 0));
+    }
+
+    #[test]
+    fn auto_switches_to_sampling_beyond_width_10() {
+        assert_eq!(InputSpace::auto(10, 99, 1), InputSpace::Exhaustive);
+        assert_eq!(
+            InputSpace::auto(11, 99, 1),
+            InputSpace::Sampled {
+                per_fault: 99,
+                seed: 1
+            }
+        );
     }
 
     #[test]

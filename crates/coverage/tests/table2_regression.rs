@@ -1,6 +1,10 @@
 //! Regression pins for the EXPERIMENTS.md Table 2 values: the exhaustive
 //! campaigns are deterministic, so the exact undetected counts are part
 //! of this repository's published claims and must never drift.
+//!
+//! Pins the deprecated shim path on purpose; the unified API's golden
+//! tests live in `scdp-campaign`.
+#![allow(deprecated)]
 
 use scdp_core::Allocation;
 use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};

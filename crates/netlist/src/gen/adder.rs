@@ -22,6 +22,29 @@ pub struct FaCells {
 }
 
 impl FaCells {
+    /// Rebases absolute gate ids onto instance-local offsets (subtracts
+    /// the instance `start`), so the map can be replayed onto any
+    /// structurally identical instance via
+    /// [`UnitInstance::globalize`](super::UnitInstance::globalize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell gate precedes `start`.
+    #[must_use]
+    pub fn rebased(self, start: usize) -> FaCells {
+        let local = |gate: usize| {
+            assert!(gate >= start, "cell gate precedes instance start");
+            gate - start
+        };
+        FaCells {
+            x1: local(self.x1),
+            x2: local(self.x2),
+            a1: local(self.a1),
+            a2: local(self.a2),
+            o1: local(self.o1),
+        }
+    }
+
     /// Maps a functional-level [`FaSite`] onto the equivalent set of
     /// structural stuck-at sites of this full adder.
     ///

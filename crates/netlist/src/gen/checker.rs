@@ -1,11 +1,12 @@
 //! Self-checking datapath generator: the structural realisation of the
 //! paper's overloaded operators.
 
-use super::adder::{cla_into, csa_into, rca_into, RcaInstance};
+use super::adder::{cla_into, csa_into, rca_into, FaCells, RcaInstance};
 use super::compare::neq_into;
 use super::mult::array_mult_into;
 use crate::{NetId, Netlist, NetlistBuilder, StuckAtLine, StuckSite};
 use scdp_core::{Operator, Technique};
+use scdp_fault::FaSite;
 use std::fmt;
 
 /// Structural realisation of the adder instances inside a generated
@@ -134,6 +135,13 @@ pub struct SelfCheckingDatapath {
     pub nominal: UnitInstance,
     /// The checking unit instances (same structure as `nominal`).
     pub checkers: Vec<UnitInstance>,
+    /// Per-bit full-adder cell maps of the nominal instance, with
+    /// instance-local gate offsets. Present only when the nominal unit is
+    /// a ripple-carry chain of five-gate full adders (`+`/`−` datapaths
+    /// on the [`AdderRealisation::RippleCarry`] realisation) — the
+    /// realisations that admit the functional fault model of
+    /// `scdp-arith` (see [`SelfCheckingDatapath::fa_gate_fault_groups`]).
+    pub fa_cells: Option<Vec<FaCells>>,
 }
 
 impl SelfCheckingDatapath {
@@ -162,6 +170,43 @@ impl SelfCheckingDatapath {
     #[must_use]
     pub fn nominal_fault(&self, local: StuckSite, value: bool) -> Vec<StuckAtLine> {
         vec![StuckAtLine::new(self.nominal.globalize(local), value)]
+    }
+
+    /// The paper's functional fault universe (`32·n`: 16 [`FaSite`]s × 2
+    /// polarities per full adder, position-major, stuck-at-0 before
+    /// stuck-at-1) expressed as netlist fault groups, in exactly the
+    /// enumeration order of `scdp_arith::RippleCarryAdder::gate_faults`.
+    ///
+    /// Each group is one multiple-stuck-at fault: the structural sites
+    /// equivalent to the functional [`FaSite`] ([`FaCells::sites`]),
+    /// replicated across the nominal and every checking instance when
+    /// `correlated` (the shared-physical-unit worst case) or confined to
+    /// the nominal instance otherwise (dedicated checkers).
+    ///
+    /// Returns `None` when the datapath does not retain full-adder cell
+    /// maps (multiplier datapaths, CLA/CSA realisations) — those only
+    /// support the structural [`local_sites`](Self::local_sites) model.
+    #[must_use]
+    pub fn fa_gate_fault_groups(&self, correlated: bool) -> Option<Vec<Vec<StuckAtLine>>> {
+        let cells = self.fa_cells.as_ref()?;
+        let mut groups = Vec::with_capacity(cells.len() * 32);
+        for fa in cells {
+            for site in FaSite::ALL {
+                for value in [false, true] {
+                    let mut group = Vec::new();
+                    for local in fa.sites(site) {
+                        group.push(StuckAtLine::new(self.nominal.globalize(local), value));
+                        if correlated {
+                            for c in &self.checkers {
+                                group.push(StuckAtLine::new(c.globalize(local), value));
+                            }
+                        }
+                    }
+                    groups.push(group);
+                }
+            }
+        }
+        Some(groups)
     }
 
     /// Enumerates every stuck-at site local to one unit instance.
@@ -227,7 +272,7 @@ pub fn self_checking(spec: SelfCheckingSpec) -> SelfCheckingDatapath {
     let op1 = b.input_bus("op1", w);
     let op2 = b.input_bus("op2", w);
 
-    let (ris, nominal, checkers, error) = match spec.op {
+    let (ris, nominal, checkers, error, fa_cells) = match spec.op {
         Operator::Add => build_add(&mut b, spec, &op1, &op2),
         Operator::Sub => build_sub(&mut b, spec, &op1, &op2),
         Operator::Mul => build_mul(&mut b, spec, &op1, &op2),
@@ -241,6 +286,7 @@ pub fn self_checking(spec: SelfCheckingSpec) -> SelfCheckingDatapath {
         spec,
         nominal,
         checkers,
+        fa_cells,
     }
 }
 
@@ -274,7 +320,14 @@ pub fn self_checking_add_with(
 
     let zero = b.constant(false);
     let start = b.mark();
-    let ris = realisation.build_into(&mut b, &op1, &op2, zero);
+    let (ris, fa_cells) = match realisation {
+        AdderRealisation::RippleCarry => {
+            let inst = rca_into(&mut b, &op1, &op2, zero);
+            let cells = inst.fas.iter().map(|c| c.rebased(start)).collect();
+            (inst.sum, Some(cells))
+        }
+        _ => (realisation.build_into(&mut b, &op1, &op2, zero), None),
+    };
     let nominal = instance("nominal", start, b.mark());
 
     let mut checkers = Vec::new();
@@ -308,6 +361,7 @@ pub fn self_checking_add_with(
         },
         nominal,
         checkers,
+        fa_cells,
     }
 }
 
@@ -338,14 +392,26 @@ fn sub_instance(
     adder_instance(b, name, x, &ny, one)
 }
 
+/// What every `build_*` generator hands back: result bus, nominal
+/// instance, checker instances, error net and (for ripple-carry nominal
+/// units) the full-adder cell maps in instance-local offsets.
+type BuiltDatapath = (
+    Vec<NetId>,
+    UnitInstance,
+    Vec<UnitInstance>,
+    NetId,
+    Option<Vec<FaCells>>,
+);
+
 fn build_add(
     b: &mut NetlistBuilder,
     spec: SelfCheckingSpec,
     op1: &[NetId],
     op2: &[NetId],
-) -> (Vec<NetId>, UnitInstance, Vec<UnitInstance>, NetId) {
+) -> BuiltDatapath {
     let zero = b.constant(false);
     let (nom, nom_inst) = adder_instance(b, "nominal", op1, op2, zero);
+    let fa_cells = nom.fas.iter().map(|c| c.rebased(nom_inst.start)).collect();
     let ris = nom.sum.clone();
     let mut checkers = Vec::new();
     let mut alarms = Vec::new();
@@ -360,7 +426,7 @@ fn build_add(
         checkers.push(inst);
     }
     let error = b.or_tree(&alarms);
-    (ris, nom_inst, checkers, error)
+    (ris, nom_inst, checkers, error, Some(fa_cells))
 }
 
 fn build_sub(
@@ -368,8 +434,9 @@ fn build_sub(
     spec: SelfCheckingSpec,
     op1: &[NetId],
     op2: &[NetId],
-) -> (Vec<NetId>, UnitInstance, Vec<UnitInstance>, NetId) {
+) -> BuiltDatapath {
     let (nom, nom_inst) = sub_instance(b, "nominal", op1, op2);
+    let fa_cells = nom.fas.iter().map(|c| c.rebased(nom_inst.start)).collect();
     let ris = nom.sum.clone();
     let mut checkers = Vec::new();
     let mut alarms = Vec::new();
@@ -389,7 +456,7 @@ fn build_sub(
         checkers.push(zsum_inst);
     }
     let error = b.or_tree(&alarms);
-    (ris, nom_inst, checkers, error)
+    (ris, nom_inst, checkers, error, Some(fa_cells))
 }
 
 fn build_mul(
@@ -397,7 +464,7 @@ fn build_mul(
     spec: SelfCheckingSpec,
     op1: &[NetId],
     op2: &[NetId],
-) -> (Vec<NetId>, UnitInstance, Vec<UnitInstance>, NetId) {
+) -> BuiltDatapath {
     let start = b.mark();
     let (ris, _) = array_mult_into(b, op1, op2);
     let nom_inst = instance("nominal", start, b.mark());
@@ -418,7 +485,7 @@ fn build_mul(
         alarms.push(zero_sum_alarm(b, &ris, &risp));
     }
     let error = b.or_tree(&alarms);
-    (ris, nom_inst, checkers, error)
+    (ris, nom_inst, checkers, error, None)
 }
 
 /// Fault-free negation: `!x + 1` via inverters and an adder outside any
@@ -543,6 +610,58 @@ mod tests {
             }
         }
         assert!(escaped, "shared-unit masking must exist at gate level");
+    }
+
+    #[test]
+    fn fa_gate_groups_follow_functional_universe_shape() {
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Add,
+            technique: Technique::Both,
+            width: 3,
+        });
+        let groups = dp
+            .fa_gate_fault_groups(true)
+            .expect("RCA add has cell maps");
+        assert_eq!(groups.len(), 32 * 3, "16 sites x 2 polarities x n bits");
+        // The a-stem site is two branch pins, correlated across the
+        // nominal and both checker instances.
+        assert_eq!(groups[0].len(), 2 * 3);
+        // Dedicated injection confines the group to the nominal unit.
+        let nominal_only = dp.fa_gate_fault_groups(false).expect("cell maps");
+        assert_eq!(nominal_only[0].len(), 2);
+        // Multiplier datapaths have no full-adder cell map.
+        let mul = self_checking(SelfCheckingSpec {
+            op: Operator::Mul,
+            technique: Technique::Tech1,
+            width: 2,
+        });
+        assert!(mul.fa_gate_fault_groups(true).is_none());
+    }
+
+    /// The twin groups must corrupt the generated nominal adder exactly
+    /// as `RippleCarryAdder::gate_faults` corrupts the functional one —
+    /// fault-for-fault, in the same enumeration order.
+    #[test]
+    fn fa_gate_groups_reproduce_functional_adder_faults() {
+        use scdp_arith::RippleCarryAdder;
+        let width = 2;
+        let dp = self_checking(SelfCheckingSpec {
+            op: Operator::Add,
+            technique: Technique::Tech1,
+            width,
+        });
+        let adder = RippleCarryAdder::new(width);
+        let groups = dp.fa_gate_fault_groups(false).expect("cell maps");
+        let faults: Vec<_> = adder.gate_faults().collect();
+        assert_eq!(groups.len(), faults.len());
+        for (rf, group) in faults.iter().zip(&groups) {
+            for a in Word::all(width) {
+                for b in Word::all(width) {
+                    let out = dp.netlist.eval_words(&[a, b], group);
+                    assert_eq!(out[0], adder.add(a, b, Some(*rf)), "{rf:?} {a:?}+{b:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl InputPlan {
 
     /// The standard campaign policy: exhaustive while the input space
     /// fits in 2^20 vectors, seeded Monte-Carlo sampling beyond. One
-    /// place to change the threshold for every campaign front-end.
+    /// place to change the threshold for every campaign front-end
+    /// (`scdp_coverage::InputSpace::auto` is the scalar twin with the
+    /// same cut-over width).
     #[must_use]
     pub fn auto(input_bits: usize, vectors: u64, seed: u64) -> Self {
         if input_bits <= 20 {
@@ -139,6 +141,12 @@ impl InputPlan {
                 InputPlan::Sampled { seed, .. } => Some(Xoshiro256StarStar::from_seed(seed)),
             },
         }
+    }
+}
+
+impl From<scdp_coverage::InputSpace> for InputPlan {
+    fn from(space: scdp_coverage::InputSpace) -> InputPlan {
+        InputPlan::from_space(space)
     }
 }
 

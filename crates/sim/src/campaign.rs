@@ -91,6 +91,15 @@ pub struct EngineCampaign<'a> {
 impl<'a> EngineCampaign<'a> {
     /// Starts a campaign over `groups` with exhaustive inputs, no
     /// dropping and all available cores.
+    ///
+    /// The unified entry point (`scdp_campaign::CampaignSpec::run`)
+    /// compiles the scenario's netlist, builds the fault universe and
+    /// validates the configuration with typed errors before reaching
+    /// this driver.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct campaigns via scdp_campaign::{Scenario, CampaignSpec}"
+    )]
     #[must_use]
     pub fn new(engine: &'a Engine, groups: Vec<Vec<StuckAtLine>>) -> Self {
         let mut groups = groups;
@@ -231,6 +240,8 @@ fn datapath_coverage(
             });
         }
     }
+    // Internal use of the shim constructor this module still hosts.
+    #[allow(deprecated)]
     let summary = EngineCampaign::new(&engine, groups)
         .plan(plan)
         .threads(threads)
@@ -266,6 +277,8 @@ pub fn dedicated_coverage(
 
 #[cfg(test)]
 mod tests {
+    // These tests exercise the deprecated shim directly on purpose.
+    #![allow(deprecated)]
     use super::*;
     use scdp_core::{Operator, Technique};
     use scdp_netlist::gen::{self_checking, SelfCheckingSpec};

@@ -1,26 +1,29 @@
 //! A miniature fault-coverage campaign (the paper's §4 analysis) from
 //! the public API: exhaustively classify every (fault, input) situation
-//! of a 4-bit self-checking adder under both allocations and print a
-//! Table 2-style row.
+//! of a 4-bit self-checking adder under both allocations through the
+//! unified `scdp::campaign` surface, then validate the functional
+//! result at gate level on the same scenario.
 //!
 //! Run with: `cargo run --release --example fault_campaign`
 
-use scdp::core::Allocation;
-use scdp::coverage::{CampaignBuilder, OperatorKind, TechIndex};
+use scdp::campaign::{Backend, FaultModel, Scenario, TechIndex};
+use scdp::core::{Allocation, Operator};
 
 fn main() {
     println!("4-bit self-checking adder, exhaustive campaign\n");
     for alloc in [Allocation::SingleUnit, Allocation::Dedicated] {
-        let result = CampaignBuilder::new(OperatorKind::Add, 4)
+        let report = Scenario::new(Operator::Add, 4)
             .allocation(alloc)
-            .run();
+            .campaign()
+            .run()
+            .expect("valid scenario");
         println!("allocation: {alloc:?}");
-        println!("  situations: {}", result.total_situations());
+        println!("  situations: {}", report.total_situations());
         for tech in TechIndex::ALL {
-            let t = result.tally.of(tech);
+            let t = report.column(tech).expect("functional fills all columns");
             println!(
                 "  {tech:<9} coverage {:>7.2}%  (observable {}, undetected {}, early-detected {})",
-                result.coverage(tech) * 100.0,
+                t.coverage() * 100.0,
                 t.observable(),
                 t.error_undetected,
                 t.correct_detected,
@@ -28,6 +31,23 @@ fn main() {
         }
         println!();
     }
-    println!("Dedicated checker units detect every observable error (§2.1);");
+
+    // The same scenario, same fault model, gate-level engine: the §4
+    // "functional campaign, then gate-level validation" flow.
+    let scenario = Scenario::new(Operator::Add, 4);
+    let spec = scenario.campaign().fault_model(FaultModel::FaGate);
+    let functional = spec.clone().run().expect("functional");
+    let gate = spec.backend(Backend::GateLevel).run().expect("gate level");
+    println!(
+        "gate-level validation: functional {:.4}% vs gate {:.4}% — {}",
+        functional.coverage() * 100.0,
+        gate.coverage() * 100.0,
+        if functional.same_results(&gate) {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    println!("\nDedicated checker units detect every observable error (§2.1);");
     println!("the shared unit exposes the worst-case masking of Table 2.");
 }

@@ -15,8 +15,12 @@
 //!   (`num_faults_1bit = 32`);
 //! * [`arith`] — cell-accurate adder/multiplier/divider with
 //!   fault injection;
+//! * [`campaign`] — **the** campaign surface: one
+//!   `Scenario`/`CampaignSpec`/`CampaignReport` API over the functional
+//!   and gate-level engines, with typed errors and a stable JSON report
+//!   schema;
 //! * [`coverage`] — exhaustive & Monte-Carlo coverage
-//!   campaigns (Table 2, §4.1);
+//!   campaigns (Table 2, §4.1) — the functional backend;
 //! * [`netlist`] — gate-level generators, stuck-at
 //!   simulation, self-checking datapath synthesis, Verilog/DOT export;
 //! * [`sim`] — the bit-parallel (PPSFP) stuck-at
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use scdp_arith as arith;
+pub use scdp_campaign as campaign;
 pub use scdp_codesign as codesign;
 pub use scdp_core as core;
 pub use scdp_coverage as coverage;

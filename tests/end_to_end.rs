@@ -3,10 +3,11 @@
 //! substrate must tell one consistent story.
 
 use scdp::arith::{ArrayMultiplier, FaultableUnit, RippleCarryAdder, Word};
+use scdp::campaign::Scenario;
 use scdp::core::{
     checked_add, context, Allocation, DataPath, FaultSite, FaultyDataPath, Operator, Slot,
 };
-use scdp::coverage::{classify_add, CampaignBuilder, OperatorKind, TechIndex};
+use scdp::coverage::{classify_add, TechIndex};
 use scdp::netlist::gen::{self_checking, SelfCheckingSpec};
 use scdp::{sck, Technique};
 use std::cell::RefCell;
@@ -120,31 +121,28 @@ fn sck_type_matches_campaign_classification() {
 /// dedicated allocation dominates the shared one, for every operator.
 #[test]
 fn coverage_orderings_hold_for_all_operators() {
-    for kind in [
-        OperatorKind::Add,
-        OperatorKind::Sub,
-        OperatorKind::Mul,
-        OperatorKind::Div,
-    ] {
-        let shared = CampaignBuilder::new(kind, 3).run();
-        let dedicated = CampaignBuilder::new(kind, 3)
+    for op in Operator::ALL {
+        let shared = Scenario::new(op, 3).campaign().run().expect("valid");
+        let dedicated = Scenario::new(op, 3)
             .allocation(Allocation::Dedicated)
-            .run();
-        let c1 = shared.coverage(TechIndex::Tech1);
-        let c2 = shared.coverage(TechIndex::Tech2);
-        let cb = shared.coverage(TechIndex::Both);
-        assert!(cb >= c1.max(c2) - 1e-12, "{kind:?}");
+            .campaign()
+            .run()
+            .expect("valid");
+        let cov = |r: &scdp::campaign::CampaignReport, t| {
+            r.coverage_of(t).expect("functional fills all columns")
+        };
+        let c1 = cov(&shared, TechIndex::Tech1);
+        let c2 = cov(&shared, TechIndex::Tech2);
+        let cb = cov(&shared, TechIndex::Both);
+        assert!(cb >= c1.max(c2) - 1e-12, "{op:?}");
         for t in TechIndex::ALL {
-            assert!(
-                dedicated.coverage(t) >= shared.coverage(t) - 1e-12,
-                "{kind:?} {t}"
-            );
+            assert!(cov(&dedicated, t) >= cov(&shared, t) - 1e-12, "{op:?} {t}");
         }
         // Dedicated checking of add/sub/mul is exhaustive (100%).
-        if !matches!(kind, OperatorKind::Div) {
+        if !matches!(op, Operator::Div) {
             assert!(
-                (dedicated.coverage(TechIndex::Both) - 1.0).abs() < 1e-12,
-                "{kind:?}"
+                (cov(&dedicated, TechIndex::Both) - 1.0).abs() < 1e-12,
+                "{op:?}"
             );
         }
     }
