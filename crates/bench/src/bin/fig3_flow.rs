@@ -2,14 +2,26 @@
 //! specification: self-checking specification → SCK expansion
 //! ("OFFIS synthesizer") → hardware path (scheduling/binding/area — the
 //! "Synopsys CoCentric" role) and software path (cost model — the "g++"
-//! role) → partitioning → reliability validation (the §4 campaign, run
-//! through the unified `scdp-campaign` API on both engines).
+//! role) → partitioning → reliability validation.
+//!
+//! Validation happens twice, closing the loop at two abstraction
+//! levels:
+//!
+//! * step `[6]` — the §4 *operator* campaign through the unified
+//!   `scdp-campaign` API on both engines (bit-identical tallies);
+//! * step `[7]` — the *system-level* campaign: the scheduled, bound FIR
+//!   datapath elaborated to one flat netlist and fault-graded per
+//!   functional unit (`scdp.campaign.report/v2`).
 //!
 //! Usage:
-//!   fig3_flow [--width N] [--threads N]
+//!   fig3_flow [--width N] [--threads N] [--samples N] [--seed S]
+//!             [--quick] [--report FILE]
+//!
+//! `--quick` shrinks the campaigns for CI smoke; `--report FILE` writes
+//! the step-`[7]` datapath report as `scdp.campaign.report/v2` JSON.
 
 use scdp_bench::CliArgs;
-use scdp_campaign::{Backend, FaultModel, Scenario};
+use scdp_campaign::{Backend, DatapathScenario, DfgSource, FaultModel, InputSpace, Scenario};
 use scdp_codesign::{partition, CodesignFlow, Goal, Mapping, PartitionProblem, TaskEstimate};
 use scdp_core::{Operator, Technique};
 use scdp_fir::fir_body_dfg;
@@ -17,6 +29,7 @@ use scdp_hls::{expand_sck, SckStyle};
 
 fn main() {
     let args = CliArgs::parse();
+    let quick = args.flag("--quick");
     let flow = CodesignFlow::default();
     let body = fir_body_dfg();
     println!(
@@ -85,13 +98,13 @@ fn main() {
     }
     println!("      total latency {latency:.1} us, area used {area:.0} slices");
 
-    // The flow's last box: validate the reliability the specification
-    // promises. One scenario, both engines, bit-identical tallies.
-    // Exhaustive inputs are what make the cross-backend equality exact,
-    // so the validation width is clamped to keep the 2^(2w) pair space
-    // bounded (use gate_xval for wide sampled campaigns).
+    // Operator-level validation: one scenario, both engines,
+    // bit-identical tallies. Exhaustive inputs are what make the
+    // cross-backend equality exact, so the validation width is clamped
+    // to keep the 2^(2w) pair space bounded.
     let width = args.width(4).clamp(1, 8);
-    let scenario = Scenario::new(Operator::Add, width).technique(Technique::Tech1);
+    let op_width = if quick { width.min(2) } else { width };
+    let scenario = Scenario::new(Operator::Add, op_width).technique(Technique::Tech1);
     let spec = scenario
         .campaign()
         .fault_model(FaultModel::FaGate)
@@ -102,7 +115,7 @@ fn main() {
         .run()
         .expect("gate-level campaign");
     println!(
-        "[6] reliability validation (+, {width}-bit, Tech1): functional {:.2}% vs \
+        "[6] operator validation (+, {op_width}-bit, Tech1): functional {:.2}% vs \
          gate-level {:.2}% — {}",
         functional.coverage() * 100.0,
         gate.coverage() * 100.0,
@@ -112,4 +125,59 @@ fn main() {
             "MISMATCH"
         }
     );
+
+    // System-level validation: the scheduled, bound FIR datapath as one
+    // circuit, fault-graded per physical functional unit.
+    let dp_width = if quick { width.min(2) } else { width.min(4) };
+    let samples = args.samples(if quick { 256 } else { 2048 });
+    let report = DatapathScenario::new(DfgSource::Fir, dp_width)
+        .technique(Technique::Tech1)
+        .campaign()
+        .input_space(InputSpace::Sampled {
+            per_fault: samples,
+            seed: args.seed(),
+        })
+        .threads(args.threads())
+        .run()
+        .expect("datapath campaign");
+    let details = report.datapath.as_ref().expect("datapath section");
+    println!(
+        "[7] datapath validation (FIR, {dp_width}-bit, Tech1, {} vectors): \
+         {} gates over {} cycles, {} faults, coverage {:.2}%, detection {:.2}%",
+        samples,
+        details.gates,
+        details.schedule_length,
+        report.fault_count(),
+        report.coverage() * 100.0,
+        report.detection_rate() * 100.0,
+    );
+    for fu in &details.per_fu {
+        if fu.faults == 0 {
+            println!(
+                "      {:<6} {:<7} {} ops (no gates: memory port)",
+                fu.name, fu.role, fu.ops
+            );
+            continue;
+        }
+        println!(
+            "      {:<6} {:<7} {} ops x {} gates, {} faults: \
+             [{} cs, {} cd, {} ed, {} eu] detected {}/{}",
+            fu.name,
+            fu.role,
+            fu.ops,
+            fu.instance_gates,
+            fu.faults,
+            fu.tally.correct_silent,
+            fu.tally.correct_detected,
+            fu.tally.error_detected,
+            fu.tally.error_undetected,
+            fu.detected,
+            fu.faults,
+        );
+    }
+
+    if let Some(path) = args.value::<String>("--report") {
+        std::fs::write(&path, report.to_json()).expect("write report");
+        println!("      wrote {path} ({})", scdp_campaign::REPORT_SCHEMA_V2);
+    }
 }

@@ -11,6 +11,8 @@
 //! | `gate_xval` | §4.1 "implementation independent" claim (RCA/CLA/CSA at gate level) |
 //! | `ablation_binding` | reliability-aware binding ablation (future-work trade-off) |
 //! | `other_circuits` | §5 companion workloads + companion-generator campaigns |
+//! | `table_datapath` | system-level campaigns: every workload × technique, elaborated datapaths with per-FU tallies |
+//! | `bench_check` | the bench-regression gate: fresh `BENCH_*.json` vs committed baselines ([`regression`]) |
 //!
 //! Every binary constructs its campaigns through the unified
 //! `scdp_campaign::{Scenario, CampaignSpec}` surface and parses its
@@ -20,9 +22,11 @@
 
 pub mod cli;
 pub mod harness;
+pub mod regression;
 
 pub use cli::{CliArgs, DEFAULT_SEED};
 pub use harness::{Bench, Record};
+pub use regression::{BenchFile, CheckConfig};
 
 use scdp_arith::Word;
 use scdp_netlist::gen::SelfCheckingDatapath;

@@ -1,0 +1,623 @@
+//! Whole-datapath campaigns: the specification-level description of a
+//! scheduled, bound dataflow graph analysed as one circuit.
+//!
+//! [`Scenario`](crate::Scenario) drives campaigns over a single checked
+//! operator; this module scales the same machinery to the paper's
+//! actual subject — a *system-level* self-checking datapath. A
+//! [`DatapathScenario`] names a source DFG (the FIR loop body or one of
+//! the §5 companion workloads), the SCK expansion that introduces the
+//! checking operations, and the synthesis knobs (resources, checker
+//! allocation). Its campaign elaborates the scheduled, bound graph to
+//! one flat netlist (`scdp_netlist::gen::elaborate_datapath`), injects
+//! every functional unit's structural stuck-at universe — each fault
+//! correlated across all operations time-multiplexed onto the unit —
+//! and reports four-way tallies both in aggregate and **per functional
+//! unit** ([`DatapathDetails`](crate::DatapathDetails), serialised as
+//! `scdp.campaign.report/v2`).
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_campaign::{DatapathScenario, DfgSource, InputSpace};
+//! use scdp_core::Technique;
+//!
+//! let report = DatapathScenario::new(DfgSource::Fir, 3)
+//!     .technique(Technique::Tech1)
+//!     .campaign()
+//!     .input_space(InputSpace::Sampled { per_fault: 256, seed: 7 })
+//!     .threads(2)
+//!     .run()
+//!     .expect("valid scenario");
+//! let dp = report.datapath.as_ref().expect("datapath section");
+//! assert_eq!(dp.source, "fir");
+//! assert!(dp.per_fu.iter().any(|fu| fu.class == "alu"));
+//! ```
+
+use crate::error::CampaignError;
+use crate::report::{CampaignReport, DatapathDetails, FaultRecord, FuTally};
+use crate::scenario::{Backend, FaultModel, Scenario};
+use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
+use scdp_coverage::{InputSpace, Tally};
+use scdp_fir::{dot_body_dfg, fir_body_dfg, iir_biquad_dfg, matvec_row_dfg};
+use scdp_hls::{
+    bind, expand_sck, sched, BindOptions, ComponentLibrary, Dfg, ResourceSet, Role, SckStyle,
+};
+use scdp_netlist::gen::{class_label, elaborate_datapath, ElaboratedDatapath};
+use scdp_sim::{DropPolicy, Engine, InputPlan};
+use std::fmt;
+use std::time::Instant;
+
+/// Exhaustive datapath campaigns are rejected above this many primary
+/// input bits (the engine could enumerate up to 63, but the run time
+/// would be astronomical — sample instead).
+pub const MAX_EXHAUSTIVE_INPUT_BITS: usize = 24;
+
+/// Which loop-body dataflow graph a datapath campaign analyses.
+#[derive(Clone, Debug)]
+pub enum DfgSource {
+    /// The paper's FIR tap (`scdp_fir::fir_body_dfg`).
+    Fir,
+    /// Direct-form-I biquad IIR section (`scdp_fir::iir_biquad_dfg`).
+    Iir,
+    /// Dot-product accumulation step (`scdp_fir::dot_body_dfg`).
+    Dot,
+    /// Matrix–vector row with running average, divider included
+    /// (`scdp_fir::matvec_row_dfg`).
+    Matvec,
+    /// A caller-supplied loop body.
+    Custom(Dfg),
+}
+
+impl DfgSource {
+    /// The built-in workloads, sweep order.
+    pub const BUILTIN: [DfgSource; 4] = [
+        DfgSource::Fir,
+        DfgSource::Iir,
+        DfgSource::Dot,
+        DfgSource::Matvec,
+    ];
+
+    /// Stable serialisation label (`custom:<name>` for custom graphs).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DfgSource::Fir => "fir".to_string(),
+            DfgSource::Iir => "iir".to_string(),
+            DfgSource::Dot => "dot".to_string(),
+            DfgSource::Matvec => "matvec".to_string(),
+            DfgSource::Custom(d) => format!("custom:{}", d.name()),
+        }
+    }
+
+    /// Parses a built-in workload label.
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<DfgSource> {
+        match s {
+            "fir" => Some(DfgSource::Fir),
+            "iir" => Some(DfgSource::Iir),
+            "dot" => Some(DfgSource::Dot),
+            "matvec" => Some(DfgSource::Matvec),
+            _ => None,
+        }
+    }
+
+    /// Builds the (unexpanded) loop-body DFG.
+    #[must_use]
+    pub fn build(&self) -> Dfg {
+        match self {
+            DfgSource::Fir => fir_body_dfg(),
+            DfgSource::Iir => iir_biquad_dfg(),
+            DfgSource::Dot => dot_body_dfg(),
+            DfgSource::Matvec => matvec_row_dfg(),
+            DfgSource::Custom(d) => d.clone(),
+        }
+    }
+}
+
+impl fmt::Display for DfgSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Stable serialisation label of an SCK expansion style.
+#[must_use]
+pub fn style_label(style: SckStyle) -> &'static str {
+    match style {
+        SckStyle::Plain => "plain",
+        SckStyle::Full => "full",
+        SckStyle::Embedded => "embedded",
+    }
+}
+
+/// Parses an SCK expansion-style serialisation label.
+#[must_use]
+pub fn style_from_label(s: &str) -> Option<SckStyle> {
+    match s {
+        "plain" => Some(SckStyle::Plain),
+        "full" => Some(SckStyle::Full),
+        "embedded" => Some(SckStyle::Embedded),
+        _ => None,
+    }
+}
+
+/// One whole-datapath reliability scenario: *what* is analysed — the
+/// source graph, its checking expansion and the synthesis knobs —
+/// independent of *how* (input space, drop policy, threads: those live
+/// in [`DatapathCampaignSpec`]).
+#[derive(Clone, Debug)]
+pub struct DatapathScenario {
+    /// The loop-body dataflow graph.
+    pub source: DfgSource,
+    /// Operand width in bits.
+    pub width: u32,
+    /// The check policy of the SCK expansion (Table 1 column).
+    pub technique: scdp_core::Technique,
+    /// How checking is introduced in the specification.
+    pub style: SckStyle,
+    /// Checker allocation: [`scdp_core::Allocation::SingleUnit`] lets
+    /// binding share functional units between nominal and checking
+    /// operations (the paper's worst case);
+    /// [`scdp_core::Allocation::Dedicated`] keeps checker operations on
+    /// their own units (§2.1's 100%-coverage allocation).
+    pub allocation: scdp_core::Allocation,
+    /// Resource constraints for list scheduling.
+    pub resources: ResourceSet,
+}
+
+impl DatapathScenario {
+    /// A scenario with the paper's defaults: the full `SCK<T>`
+    /// expansion, combined techniques, shared (worst-case) allocation,
+    /// minimum-area resources.
+    #[must_use]
+    pub fn new(source: DfgSource, width: u32) -> Self {
+        Self {
+            source,
+            width,
+            technique: scdp_core::Technique::Both,
+            style: SckStyle::Full,
+            allocation: scdp_core::Allocation::SingleUnit,
+            resources: ResourceSet::min_area(),
+        }
+    }
+
+    /// Selects the check policy.
+    #[must_use]
+    pub fn technique(mut self, technique: scdp_core::Technique) -> Self {
+        self.technique = technique;
+        self
+    }
+
+    /// Selects the SCK expansion style.
+    #[must_use]
+    pub fn style(mut self, style: SckStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Selects the checker allocation.
+    #[must_use]
+    pub fn allocation(mut self, allocation: scdp_core::Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Selects the scheduling resource constraints.
+    #[must_use]
+    pub fn resources(mut self, resources: ResourceSet) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// The expanded DFG (source graph after SCK expansion).
+    #[must_use]
+    pub fn expanded(&self) -> Dfg {
+        expand_sck(&self.source.build(), self.technique, self.style)
+    }
+
+    /// Runs the synthesis front half — expansion, list scheduling,
+    /// binding — and elaborates the result to one flat netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=32`; use
+    /// [`DatapathCampaignSpec::run`] for validated, typed-error entry.
+    #[must_use]
+    pub fn elaborate(&self) -> ElaboratedDatapath {
+        let dfg = self.expanded();
+        let lib = ComponentLibrary::virtex16();
+        let schedule = sched::list_schedule(&dfg, &lib, &self.resources);
+        let opts = BindOptions {
+            separate_checkers: self.allocation == scdp_core::Allocation::Dedicated,
+            no_sharing: false,
+        };
+        let binding = bind(&dfg, &schedule, &lib, opts);
+        elaborate_datapath(&dfg, &schedule, &binding, self.width)
+    }
+
+    /// Starts a [`DatapathCampaignSpec`] for this scenario.
+    #[must_use]
+    pub fn campaign(self) -> DatapathCampaignSpec {
+        DatapathCampaignSpec::new(self)
+    }
+
+    /// The technique column this scenario's report is canonical for.
+    #[must_use]
+    pub fn tech_index(&self) -> scdp_coverage::TechIndex {
+        match self.technique {
+            scdp_core::Technique::Tech1 => scdp_coverage::TechIndex::Tech1,
+            scdp_core::Technique::Tech2 => scdp_coverage::TechIndex::Tech2,
+            scdp_core::Technique::Both => scdp_coverage::TechIndex::Both,
+        }
+    }
+
+    /// The operator-scenario twin recorded in the report's `scenario`
+    /// field (width, technique and allocation are meaningful; the
+    /// operator slot is a placeholder — whole datapaths have no single
+    /// operator).
+    #[must_use]
+    fn placeholder_scenario(&self) -> Scenario {
+        Scenario::new(scdp_core::Operator::Add, self.width)
+            .technique(self.technique)
+            .allocation(self.allocation)
+    }
+}
+
+/// Configures *how* a [`DatapathScenario`] is analysed and runs it on
+/// the bit-parallel gate-level engine.
+#[derive(Clone)]
+pub struct DatapathCampaignSpec {
+    /// The scenario under analysis.
+    pub scenario: DatapathScenario,
+    /// The input-space strategy.
+    pub space: InputSpace,
+    /// When faults leave the simulated universe.
+    pub drop: DropPolicy,
+    /// Worker-thread cap (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Optional progress observer.
+    pub observer: Option<ProgressHook>,
+}
+
+impl fmt::Debug for DatapathCampaignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DatapathCampaignSpec")
+            .field("scenario", &self.scenario)
+            .field("space", &self.space)
+            .field("drop", &self.drop)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl DatapathCampaignSpec {
+    /// Starts a campaign with exhaustive inputs, no dropping and all
+    /// available cores.
+    #[must_use]
+    pub fn new(scenario: DatapathScenario) -> Self {
+        Self {
+            scenario,
+            space: InputSpace::Exhaustive,
+            drop: DropPolicy::Never,
+            threads: None,
+            observer: None,
+        }
+    }
+
+    /// Selects the input space.
+    #[must_use]
+    pub fn input_space(mut self, space: InputSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Selects the drop policy.
+    #[must_use]
+    pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Caps the worker thread count (validated by
+    /// [`DatapathCampaignSpec::run`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs a progress observer, called on the driver thread.
+    #[must_use]
+    pub fn observer(mut self, hook: ProgressHook) -> Self {
+        self.observer = Some(hook);
+        self
+    }
+
+    fn emit(&self, event: &Progress) {
+        if let Some(hook) = &self.observer {
+            hook(event);
+        }
+    }
+
+    /// Runs the campaign: expand → schedule → bind → elaborate →
+    /// bit-parallel structural stuck-at simulation, with per-FU
+    /// tallies in the report's `datapath` section.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CampaignError`] for invalid configurations:
+    /// width out of range, zero threads, or an exhaustive input space
+    /// over more than [`MAX_EXHAUSTIVE_INPUT_BITS`] primary input bits.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
+        if s.width == 0 || s.width > MAX_WIDTH {
+            return Err(CampaignError::WidthOutOfRange {
+                width: s.width,
+                max: MAX_WIDTH,
+            });
+        }
+        if self.threads == Some(0) {
+            return Err(CampaignError::ZeroThreads);
+        }
+        let start = Instant::now();
+        self.emit(&Progress::Started {
+            backend: Backend::GateLevel,
+            fault_model: FaultModel::Structural,
+        });
+
+        let dp = s.elaborate();
+        let input_bits = dp.netlist.input_bits();
+        if self.space == InputSpace::Exhaustive && input_bits > MAX_EXHAUSTIVE_INPUT_BITS {
+            return Err(CampaignError::ExhaustiveDatapathTooLarge { input_bits });
+        }
+        let (groups, ranges) = dp.fault_universe();
+        self.emit(&Progress::NetlistCompiled {
+            name: dp.netlist.name().to_string(),
+            gates: dp.netlist.gate_count(),
+            faults: groups.len(),
+        });
+
+        let engine = Engine::new(&dp.netlist);
+        // The deprecated constructor is the engine-room entry the
+        // unified surfaces share; validation already happened above.
+        #[allow(deprecated)]
+        let mut campaign = scdp_sim::EngineCampaign::new(&engine, groups)
+            .plan(InputPlan::from_space(self.space))
+            .drop_policy(self.drop);
+        if let Some(t) = self.threads {
+            campaign = campaign.threads(t);
+        }
+        let summary = campaign.run();
+
+        let per_fault: Vec<FaultRecord> = summary
+            .per_fault
+            .iter()
+            .map(|f| FaultRecord {
+                tally: f.tally,
+                detected: f.detected,
+                escaped: f.escaped,
+                dropped_after: f.dropped_after,
+            })
+            .collect();
+
+        let per_fu: Vec<FuTally> = ranges
+            .iter()
+            .map(|r| {
+                let span = &dp.fus[r.fu];
+                let mut tally = scdp_coverage::TechTally::default();
+                let mut detected = 0u64;
+                let mut escaped = 0u64;
+                for f in &per_fault[r.start..r.end] {
+                    tally += f.tally;
+                    detected += u64::from(f.detected);
+                    escaped += u64::from(f.escaped);
+                }
+                FuTally {
+                    name: span.name.clone(),
+                    class: class_label(span.class).to_string(),
+                    role: role_label(span.role).to_string(),
+                    ops: span.ops.len() as u64,
+                    instances: span.instances.len() as u64,
+                    instance_gates: span.instance_gates() as u64,
+                    faults: (r.end - r.start) as u64,
+                    tally,
+                    detected,
+                    escaped,
+                }
+            })
+            .collect();
+
+        let selected = s.tech_index();
+        let mut tally = Tally::default();
+        tally.tech[selected as usize] = summary.tally;
+        let details = DatapathDetails {
+            source: s.source.label(),
+            style: style_label(s.style).to_string(),
+            nodes: dp.nodes as u64,
+            schedule_length: u64::from(dp.schedule_length),
+            registers: dp.registers as u64,
+            mux_legs: dp.mux_legs as u64,
+            gates: dp.netlist.gate_count() as u64,
+            per_fu,
+        };
+        let mut report = CampaignReport {
+            scenario: s.placeholder_scenario(),
+            backend: Backend::GateLevel,
+            fault_model: FaultModel::Structural,
+            space: self.space,
+            drop: self.drop,
+            tally,
+            filled: vec![selected],
+            per_fault,
+            simulated: summary.simulated,
+            elapsed_ms: 0,
+            datapath: Some(details),
+        };
+        report.elapsed_ms = start.elapsed().as_millis() as u64;
+        self.emit(&Progress::Finished {
+            simulated: report.simulated,
+            elapsed_ms: report.elapsed_ms,
+        });
+        Ok(report)
+    }
+}
+
+/// Stable serialisation label of a binding role.
+#[must_use]
+pub fn role_label(role: Role) -> &'static str {
+    match role {
+        Role::Nominal => "nominal",
+        Role::Checker => "checker",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_core::{Allocation, Technique};
+
+    fn quick(source: DfgSource) -> CampaignReport {
+        DatapathScenario::new(source, 2)
+            .technique(Technique::Tech1)
+            .campaign()
+            .input_space(InputSpace::Sampled {
+                per_fault: 128,
+                seed: 0xDA7E,
+            })
+            .threads(2)
+            .run()
+            .expect("campaign runs")
+    }
+
+    #[test]
+    fn per_fu_tallies_sum_to_the_aggregate() {
+        let r = quick(DfgSource::Fir);
+        let dp = r.datapath.as_ref().expect("datapath section");
+        let mut sum = scdp_coverage::TechTally::default();
+        let mut faults = 0u64;
+        for fu in &dp.per_fu {
+            sum += fu.tally;
+            faults += fu.faults;
+        }
+        assert_eq!(sum, *r.four_way());
+        assert_eq!(faults, r.fault_count());
+        assert!(dp.gates > 0 && dp.nodes > 0 && dp.schedule_length > 0);
+    }
+
+    #[test]
+    fn all_builtin_sources_run() {
+        for source in DfgSource::BUILTIN {
+            let label = source.label();
+            let r = quick(source);
+            let dp = r.datapath.as_ref().expect("datapath section");
+            assert_eq!(dp.source, label);
+            assert!(r.fault_count() > 0, "{label}");
+            assert!(r.detection_rate() > 0.0, "{label}");
+        }
+    }
+
+    #[test]
+    fn validation_is_typed() {
+        let err = DatapathScenario::new(DfgSource::Fir, 0)
+            .campaign()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::WidthOutOfRange { .. }));
+
+        let err = DatapathScenario::new(DfgSource::Fir, 4)
+            .campaign()
+            .threads(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::ZeroThreads);
+
+        // 10 input buses x 8 bits = 80 input bits: exhaustive rejected.
+        let err = DatapathScenario::new(DfgSource::Iir, 8)
+            .campaign()
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::ExhaustiveDatapathTooLarge { input_bits } if input_bits > 24
+        ));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenario = DatapathScenario::new(DfgSource::Dot, 2).technique(Technique::Both);
+        let space = InputSpace::Sampled {
+            per_fault: 256,
+            seed: 1,
+        };
+        let a = scenario
+            .clone()
+            .campaign()
+            .input_space(space)
+            .threads(1)
+            .run()
+            .unwrap();
+        let b = scenario
+            .campaign()
+            .input_space(space)
+            .threads(3)
+            .run()
+            .unwrap();
+        assert!(a.same_results(&b));
+    }
+
+    #[test]
+    fn dedicated_allocation_separates_checker_units() {
+        let shared = DatapathScenario::new(DfgSource::Fir, 2).elaborate();
+        let dedicated = DatapathScenario::new(DfgSource::Fir, 2)
+            .allocation(Allocation::Dedicated)
+            .elaborate();
+        assert!(
+            dedicated.fus.len() > shared.fus.len(),
+            "dedicated checkers need extra units ({} vs {})",
+            dedicated.fus.len(),
+            shared.fus.len()
+        );
+        let checker_units = dedicated
+            .fus
+            .iter()
+            .filter(|f| f.role == Role::Checker)
+            .count();
+        assert!(checker_units > 0, "checker ops must land on own units");
+    }
+
+    #[test]
+    fn plain_style_has_no_alarms_and_everything_escapes_detection() {
+        let r = DatapathScenario::new(DfgSource::Dot, 2)
+            .style(SckStyle::Plain)
+            .campaign()
+            .input_space(InputSpace::Sampled {
+                per_fault: 64,
+                seed: 3,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(
+            r.four_way().correct_detected + r.four_way().error_detected,
+            0,
+            "no checkers, no alarms"
+        );
+        assert!((r.detection_rate() - 0.0).abs() < 1e-12);
+        assert_eq!(r.datapath.as_ref().unwrap().style, "plain");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for style in [SckStyle::Plain, SckStyle::Full, SckStyle::Embedded] {
+            assert_eq!(style_from_label(style_label(style)), Some(style));
+        }
+        assert_eq!(style_from_label("nope"), None);
+        for source in DfgSource::BUILTIN {
+            let parsed = DfgSource::from_label(&source.label()).expect("builtin label");
+            assert_eq!(parsed.label(), source.label());
+        }
+        assert!(DfgSource::from_label("custom:x").is_none());
+        let custom = DfgSource::Custom(Dfg::new("mine"));
+        assert_eq!(custom.label(), "custom:mine");
+    }
+}

@@ -61,6 +61,12 @@ pub enum CampaignError {
         /// The rejected operand width.
         width: u32,
     },
+    /// Exhaustive enumeration over an elaborated datapath's primary
+    /// inputs would be intractable; use a sampled input space.
+    ExhaustiveDatapathTooLarge {
+        /// Primary input bits of the elaborated netlist.
+        input_bits: usize,
+    },
     /// A report could not be parsed as JSON.
     Parse {
         /// Byte offset of the first offending character.
@@ -118,6 +124,13 @@ impl fmt::Display for CampaignError {
                     f,
                     "exhaustive input space at width {width} overflows the vector counter; \
                      use a sampled space"
+                )
+            }
+            CampaignError::ExhaustiveDatapathTooLarge { input_bits } => {
+                write!(
+                    f,
+                    "exhaustive enumeration over {input_bits} datapath input bits is \
+                     intractable; use a sampled input space"
                 )
             }
             CampaignError::Parse { offset, message } => {

@@ -53,14 +53,22 @@
 
 #![warn(missing_docs)]
 
+mod datapath;
 mod error;
 pub mod json;
 mod report;
 mod scenario;
 mod spec;
 
+pub use datapath::{
+    role_label, style_from_label, style_label, DatapathCampaignSpec, DatapathScenario, DfgSource,
+    MAX_EXHAUSTIVE_INPUT_BITS,
+};
 pub use error::CampaignError;
-pub use report::{drop_from_label, drop_label, CampaignReport, FaultRecord, REPORT_SCHEMA};
+pub use report::{
+    drop_from_label, drop_label, CampaignReport, DatapathDetails, FaultRecord, FuTally,
+    REPORT_SCHEMA, REPORT_SCHEMA_V2,
+};
 pub use scenario::{
     allocation_from_label, allocation_label, op_from_label, realisation_from_label,
     realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,

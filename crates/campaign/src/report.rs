@@ -10,8 +10,64 @@ use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
 use scdp_sim::DropPolicy;
 use std::fmt::Write as _;
 
-/// Schema identifier embedded in every serialised report.
+/// Schema identifier of operator-scenario reports (no datapath
+/// section).
 pub const REPORT_SCHEMA: &str = "scdp.campaign.report/v1";
+
+/// Schema identifier of datapath-campaign reports — a superset of v1
+/// that adds the `datapath` section with per-FU four-way tallies.
+/// Parsers accept both; the writer emits v2 exactly when a report
+/// carries a [`DatapathDetails`] section.
+pub const REPORT_SCHEMA_V2: &str = "scdp.campaign.report/v2";
+
+/// Per-functional-unit outcome of a datapath campaign.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuTally {
+    /// Unit name (`alu0`, `mult1`, …).
+    pub name: String,
+    /// Resource-class label (`alu`, `mult`, `div`, `mem`).
+    pub class: String,
+    /// Role label of the bound operations (`nominal` / `checker`).
+    pub role: String,
+    /// Number of operations time-multiplexed onto the unit.
+    pub ops: u64,
+    /// Structural instances in the unrolled netlist (= `ops` for
+    /// arithmetic units, 0 for memory ports).
+    pub instances: u64,
+    /// Gates per instance.
+    pub instance_gates: u64,
+    /// Fault groups injected into this unit.
+    pub faults: u64,
+    /// Aggregate four-way situation tallies over the unit's faults.
+    pub tally: TechTally,
+    /// Faults with at least one alarmed situation.
+    pub detected: u64,
+    /// Faults with at least one undetected erroneous situation.
+    pub escaped: u64,
+}
+
+/// The datapath section of a `scdp.campaign.report/v2` document: what
+/// was elaborated and how each physical functional unit fared.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DatapathDetails {
+    /// Source-DFG label (`fir`, `iir`, `dot`, `matvec`,
+    /// `custom:<name>`).
+    pub source: String,
+    /// SCK expansion style label (`plain`, `full`, `embedded`).
+    pub style: String,
+    /// Node count of the expanded DFG.
+    pub nodes: u64,
+    /// Schedule length in cycles.
+    pub schedule_length: u64,
+    /// Word-wide registers of the binding.
+    pub registers: u64,
+    /// Word-wide multiplexer input legs of the binding.
+    pub mux_legs: u64,
+    /// Gate count of the elaborated netlist.
+    pub gates: u64,
+    /// One entry per bound functional unit, binding order.
+    pub per_fu: Vec<FuTally>,
+}
 
 /// Per-fault outcome of a campaign, for the scenario's check policy.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -81,6 +137,12 @@ pub struct CampaignReport {
     pub simulated: u64,
     /// Wall-clock duration of the run in milliseconds.
     pub elapsed_ms: u64,
+    /// Datapath-campaign section: present exactly when the report came
+    /// from a [`DatapathScenario`](crate::DatapathScenario) run (the
+    /// `scenario` field then records the campaign-wide knobs — width,
+    /// technique, allocation — with a placeholder operator; the
+    /// authoritative description lives here).
+    pub datapath: Option<DatapathDetails>,
 }
 
 impl CampaignReport {
@@ -172,6 +234,7 @@ impl CampaignReport {
             && *self.four_way() == *other.four_way()
             && self.per_fault == other.per_fault
             && self.simulated == other.simulated
+            && self.datapath == other.datapath
     }
 
     /// Serialises the report to the stable `scdp.campaign.report/v1`
@@ -183,12 +246,23 @@ impl CampaignReport {
         let mut o = String::with_capacity(1024 + self.per_fault.len() * 32);
         let t = self.four_way();
         o.push_str("{\n");
-        let _ = writeln!(o, "  \"schema\": \"{REPORT_SCHEMA}\",");
+        let schema = if self.datapath.is_some() {
+            REPORT_SCHEMA_V2
+        } else {
+            REPORT_SCHEMA
+        };
+        let _ = writeln!(o, "  \"schema\": \"{schema}\",");
+        let op = if self.datapath.is_some() {
+            // The operator slot is not meaningful for whole-datapath
+            // campaigns; the `datapath` section is authoritative.
+            "datapath"
+        } else {
+            self.scenario.op_label()
+        };
         let _ = writeln!(
             o,
-            "  \"scenario\": {{\"op\": \"{}\", \"width\": {}, \"technique\": \"{}\", \
+            "  \"scenario\": {{\"op\": \"{op}\", \"width\": {}, \"technique\": \"{}\", \
              \"allocation\": \"{}\", \"realisation\": \"{}\"}},",
-            self.scenario.op_label(),
             self.scenario.width,
             technique_label(self.scenario.technique),
             allocation_label(self.scenario.allocation),
@@ -227,6 +301,47 @@ impl CampaignReport {
             o.push_str(",\n");
         }
         let _ = writeln!(o, "  \"elapsed_ms\": {},", self.elapsed_ms);
+        if let Some(dp) = &self.datapath {
+            // String members pass through write_escaped: the source
+            // label embeds a user-controlled custom-DFG name.
+            o.push_str("  \"datapath\": {\"source\": ");
+            json::write_escaped(&mut o, &dp.source);
+            o.push_str(", \"style\": ");
+            json::write_escaped(&mut o, &dp.style);
+            let _ = writeln!(
+                o,
+                ", \"nodes\": {}, \"schedule_length\": {}, \"registers\": {}, \
+                 \"mux_legs\": {}, \"gates\": {}, \"per_fu\": [",
+                dp.nodes, dp.schedule_length, dp.registers, dp.mux_legs, dp.gates
+            );
+            for (i, fu) in dp.per_fu.iter().enumerate() {
+                o.push_str("    {\"name\": ");
+                json::write_escaped(&mut o, &fu.name);
+                o.push_str(", \"class\": ");
+                json::write_escaped(&mut o, &fu.class);
+                o.push_str(", \"role\": ");
+                json::write_escaped(&mut o, &fu.role);
+                let _ = write!(
+                    o,
+                    ", \"ops\": {}, \"instances\": {}, \"instance_gates\": {}, \"faults\": {}, \
+                     \"tally\": {{\"correct_silent\": {}, \"correct_detected\": {}, \
+                     \"error_detected\": {}, \"error_undetected\": {}}}, \
+                     \"detected\": {}, \"escaped\": {}}}",
+                    fu.ops,
+                    fu.instances,
+                    fu.instance_gates,
+                    fu.faults,
+                    fu.tally.correct_silent,
+                    fu.tally.correct_detected,
+                    fu.tally.error_detected,
+                    fu.tally.error_undetected,
+                    fu.detected,
+                    fu.escaped,
+                );
+                o.push_str(if i + 1 < dp.per_fu.len() { ",\n" } else { "\n" });
+            }
+            o.push_str("  ]},\n");
+        }
         o.push_str("  \"per_fault\": [\n");
         for (i, f) in self.per_fault.iter().enumerate() {
             let _ = write!(
@@ -265,15 +380,26 @@ impl CampaignReport {
     pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
         let v = json::parse(text)?;
         let schema = require_str(&v, "schema")?;
-        if schema != REPORT_SCHEMA {
-            return Err(schema_err("schema", format!("unknown schema `{schema}`")));
-        }
+        let v2 = match schema {
+            s if s == REPORT_SCHEMA => false,
+            s if s == REPORT_SCHEMA_V2 => true,
+            other => {
+                return Err(schema_err("schema", format!("unknown schema `{other}`")));
+            }
+        };
 
         let s = v
             .get("scenario")
             .ok_or_else(|| schema_err("scenario", "missing".into()))?;
-        let op = op_from_label(require_str(s, "op")?)
-            .ok_or_else(|| schema_err("scenario.op", "unknown operator".into()))?;
+        let op_label = require_str(s, "op")?;
+        let op = if v2 && op_label == "datapath" {
+            // Whole-datapath reports carry no single operator; the
+            // placeholder keeps the in-memory scenario well-formed.
+            scdp_core::Operator::Add
+        } else {
+            op_from_label(op_label)
+                .ok_or_else(|| schema_err("scenario.op", "unknown operator".into()))?
+        };
         let width_raw = require_u64(s, "width")?;
         let max = u64::from(crate::spec::MAX_WIDTH);
         if width_raw == 0 || width_raw > max {
@@ -369,6 +495,23 @@ impl CampaignReport {
             ));
         }
 
+        let datapath = match (v2, v.get("datapath")) {
+            (false, None) => None,
+            (false, Some(_)) => {
+                return Err(schema_err(
+                    "datapath",
+                    "v1 documents must not carry a datapath section".into(),
+                ));
+            }
+            (true, None) => {
+                return Err(schema_err(
+                    "datapath",
+                    "v2 documents require the datapath section".into(),
+                ));
+            }
+            (true, Some(dp)) => Some(parse_datapath(dp)?),
+        };
+
         Ok(CampaignReport {
             scenario,
             backend,
@@ -380,8 +523,68 @@ impl CampaignReport {
             per_fault,
             simulated,
             elapsed_ms,
+            datapath,
         })
     }
+}
+
+fn parse_datapath(dp: &Json) -> Result<DatapathDetails, CampaignError> {
+    let per_fu_json = dp
+        .get("per_fu")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("datapath.per_fu", "missing or not an array".into()))?;
+    let mut per_fu = Vec::with_capacity(per_fu_json.len());
+    for fu in per_fu_json {
+        let tally = fu
+            .get("tally")
+            .ok_or_else(|| schema_err("datapath.per_fu.tally", "missing".into()))?;
+        per_fu.push(FuTally {
+            name: require_str(fu, "name")
+                .map_err(|_| schema_err("datapath.per_fu.name", "missing or not a string".into()))?
+                .to_string(),
+            class: require_str(fu, "class")
+                .map_err(|_| schema_err("datapath.per_fu.class", "missing or not a string".into()))?
+                .to_string(),
+            role: require_str(fu, "role")
+                .map_err(|_| schema_err("datapath.per_fu.role", "missing or not a string".into()))?
+                .to_string(),
+            ops: require_u64(fu, "ops")
+                .map_err(|_| schema_err("datapath.per_fu.ops", "missing or not a count".into()))?,
+            instances: require_u64(fu, "instances")
+                .map_err(|_| schema_err("datapath.per_fu.instances", "not a count".into()))?,
+            instance_gates: require_u64(fu, "instance_gates")
+                .map_err(|_| schema_err("datapath.per_fu.instance_gates", "not a count".into()))?,
+            faults: require_u64(fu, "faults").map_err(|_| {
+                schema_err("datapath.per_fu.faults", "missing or not a count".into())
+            })?,
+            tally: parse_tech_tally(tally, "datapath.per_fu.tally").map_err(|_| {
+                schema_err("datapath.per_fu.tally", "malformed four-way tally".into())
+            })?,
+            detected: require_u64(fu, "detected")
+                .map_err(|_| schema_err("datapath.per_fu.detected", "not a count".into()))?,
+            escaped: require_u64(fu, "escaped")
+                .map_err(|_| schema_err("datapath.per_fu.escaped", "not a count".into()))?,
+        });
+    }
+    Ok(DatapathDetails {
+        source: require_str(dp, "source")
+            .map_err(|_| schema_err("datapath.source", "missing or not a string".into()))?
+            .to_string(),
+        style: require_str(dp, "style")
+            .map_err(|_| schema_err("datapath.style", "missing or not a string".into()))?
+            .to_string(),
+        nodes: require_u64(dp, "nodes")
+            .map_err(|_| schema_err("datapath.nodes", "missing or not a count".into()))?,
+        schedule_length: require_u64(dp, "schedule_length")
+            .map_err(|_| schema_err("datapath.schedule_length", "not a count".into()))?,
+        registers: require_u64(dp, "registers")
+            .map_err(|_| schema_err("datapath.registers", "not a count".into()))?,
+        mux_legs: require_u64(dp, "mux_legs")
+            .map_err(|_| schema_err("datapath.mux_legs", "not a count".into()))?,
+        gates: require_u64(dp, "gates")
+            .map_err(|_| schema_err("datapath.gates", "not a count".into()))?,
+        per_fu,
+    })
 }
 
 fn schema_err(field: &'static str, message: String) -> CampaignError {
@@ -473,6 +676,7 @@ mod tests {
             ],
             simulated: 16,
             elapsed_ms: 7,
+            datapath: None,
         }
     }
 

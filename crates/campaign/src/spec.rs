@@ -317,6 +317,7 @@ impl CampaignSpec {
             filled: TechIndex::ALL.to_vec(),
             per_fault,
             elapsed_ms: 0,
+            datapath: None,
         })
     }
 
@@ -397,6 +398,7 @@ impl CampaignSpec {
             per_fault,
             simulated: summary.simulated,
             elapsed_ms: 0,
+            datapath: None,
         })
     }
 }

@@ -1,0 +1,167 @@
+//! Datapath-campaign regression pins and `scdp.campaign.report/v1` →
+//! `v2` schema compatibility.
+//!
+//! * The width-4 FIR/Tech1 aggregate four-way tally is pinned (seeded
+//!   Monte-Carlo, thread-count independent by construction).
+//! * v1 documents still parse; v2 documents round-trip byte for byte;
+//!   a malformed per-FU section is a typed [`CampaignError`], never a
+//!   panic.
+
+use scdp_campaign::{
+    CampaignError, CampaignReport, DatapathScenario, DfgSource, InputSpace, REPORT_SCHEMA,
+    REPORT_SCHEMA_V2,
+};
+use scdp_core::Technique;
+
+/// The pinned scenario: width-4 FIR, Tech1, full SCK expansion, shared
+/// (worst-case) allocation, 2048 seeded Monte-Carlo vectors.
+fn pinned_report() -> CampaignReport {
+    DatapathScenario::new(DfgSource::Fir, 4)
+        .technique(Technique::Tech1)
+        .campaign()
+        .input_space(InputSpace::Sampled {
+            per_fault: 2048,
+            seed: 0xDA7E_2005,
+        })
+        .threads(2)
+        .run()
+        .expect("datapath campaign runs")
+}
+
+#[test]
+fn width4_fir_tech1_aggregate_tally_is_pinned() {
+    let r = pinned_report();
+    let t = r.four_way();
+    assert_eq!(
+        (
+            t.correct_silent,
+            t.correct_detected,
+            t.error_detected,
+            t.error_undetected,
+        ),
+        (1_376_223, 479_489, 962_591, 93_953),
+        "the width-4 FIR/Tech1 datapath tally drifted — elaboration, \
+         scheduling, binding or the engine changed behaviour"
+    );
+    assert_eq!(r.fault_count(), 1422);
+    assert_eq!(r.simulated, 2_912_256);
+    let dp = r.datapath.as_ref().expect("datapath section");
+    assert_eq!(dp.gates, 1330);
+    assert_eq!(dp.schedule_length, 7);
+    // One shared ALU (6 ops), one shared multiplier (2 ops), one
+    // memory port (no gates).
+    let alu = dp.per_fu.iter().find(|f| f.name == "alu0").expect("alu0");
+    assert_eq!((alu.ops, alu.faults), (6, 1000));
+    let mult = dp.per_fu.iter().find(|f| f.name == "mult0").expect("mult0");
+    assert_eq!((mult.ops, mult.faults), (2, 422));
+    let mem = dp.per_fu.iter().find(|f| f.class == "mem").expect("mem0");
+    assert_eq!(mem.faults, 0);
+}
+
+#[test]
+fn v2_report_round_trips_byte_for_byte() {
+    let mut r = pinned_report();
+    r.elapsed_ms = 0;
+    let json = r.to_json();
+    assert!(json.contains(REPORT_SCHEMA_V2), "v2 schema tag missing");
+    assert!(json.contains("\"datapath\""), "datapath section missing");
+    assert!(json.contains("\"op\": \"datapath\""));
+    let parsed = CampaignReport::from_json(&json).expect("v2 parses");
+    assert!(parsed.same_results(&r));
+    assert_eq!(parsed.datapath, r.datapath);
+    assert_eq!(parsed.to_json(), json, "serialisation is a fixpoint");
+}
+
+#[test]
+fn v1_documents_still_parse() {
+    // A live operator-scenario report is still v1.
+    let r = scdp_campaign::Scenario::new(scdp_core::Operator::Add, 2)
+        .campaign()
+        .run()
+        .expect("operator campaign");
+    let json = r.to_json();
+    assert!(json.contains(REPORT_SCHEMA));
+    assert!(!json.contains("\"datapath\""));
+    let parsed = CampaignReport::from_json(&json).expect("v1 parses");
+    assert!(parsed.same_results(&r));
+    assert!(parsed.datapath.is_none());
+    // The committed golden file is a v1 document too.
+    let golden = std::fs::read_to_string(
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/add_tech1_w4.json"),
+    )
+    .expect("golden file present");
+    let parsed = CampaignReport::from_json(&golden).expect("golden v1 parses");
+    assert!(parsed.datapath.is_none());
+}
+
+#[test]
+fn schema_and_section_must_agree() {
+    let mut r = pinned_report();
+    r.elapsed_ms = 0;
+    let v2 = r.to_json();
+    // v1-labelled document with a datapath section: typed error.
+    let bad = v2.replace(REPORT_SCHEMA_V2, REPORT_SCHEMA);
+    match CampaignReport::from_json(&bad) {
+        Err(CampaignError::Schema { field, .. }) => {
+            assert!(
+                field == "datapath" || field == "scenario.op",
+                "unexpected field {field}"
+            );
+        }
+        other => panic!("expected schema error, got {other:?}"),
+    }
+    // v2-labelled document without the section: typed error.
+    let v1 = scdp_campaign::Scenario::new(scdp_core::Operator::Add, 1)
+        .campaign()
+        .run()
+        .expect("run")
+        .to_json();
+    let bad = v1.replace(REPORT_SCHEMA, REPORT_SCHEMA_V2);
+    assert!(matches!(
+        CampaignReport::from_json(&bad),
+        Err(CampaignError::Schema {
+            field: "datapath",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn malformed_per_fu_sections_are_typed_errors() {
+    let mut r = pinned_report();
+    r.elapsed_ms = 0;
+    let good = r.to_json();
+    for (needle, replacement, expect_field) in [
+        // per_fu not an array.
+        (
+            "\"per_fu\": [",
+            "\"per_fu\": 7, \"x\": [",
+            "datapath.per_fu",
+        ),
+        // A per-FU tally cell that is not a count.
+        ("\"name\": \"alu0\"", "\"name\": 13", "datapath.per_fu.name"),
+        // Missing faults member on the first unit.
+        ("\"faults\": 1000,", "", "datapath.per_fu.faults"),
+        // Malformed nested tally (member renamed away; the needle is
+        // anchored on the faults count so the aggregate tally object is
+        // untouched).
+        (
+            "1000, \"tally\": {\"correct_silent\"",
+            "1000, \"tally\": {\"zz\"",
+            "datapath.per_fu.tally",
+        ),
+    ] {
+        let bad = good.replacen(needle, replacement, 1);
+        assert_ne!(bad, good, "replacement `{needle}` did not apply");
+        match CampaignReport::from_json(&bad) {
+            Err(CampaignError::Schema { field, .. }) => {
+                assert_eq!(field, expect_field, "for `{needle}`");
+            }
+            other => panic!("`{needle}` must be a typed schema error, got {other:?}"),
+        }
+    }
+    // Structurally broken JSON inside the section parses as a Parse
+    // error, still typed.
+    let bad = good.replacen("\"per_fu\": [", "\"per_fu\": [[", 1);
+    assert!(CampaignReport::from_json(&bad).is_err());
+}

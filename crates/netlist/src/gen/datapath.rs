@@ -1,0 +1,721 @@
+//! Datapath elaboration: lowering a scheduled, bound dataflow graph
+//! onto one flat structural netlist.
+//!
+//! The paper's flow ends where `scdp-hls` stops: a scheduled `Dfg` with
+//! a functional-unit [`Binding`]. This module closes the remaining gap
+//! to the gate level — it *elaborates* that triple into a single
+//! combinational [`Netlist`] on which the bit-parallel stuck-at engine
+//! of `scdp-sim` can run whole-datapath fault campaigns (the paper's
+//! system-level reliability validation, not just lone operators).
+//!
+//! # The unrolled-time model
+//!
+//! The netlist IR is combinational, so the schedule is unrolled in
+//! time: every operation bound to a physical functional unit becomes
+//! one structural **instance** of that unit's template (operand mux
+//! chains + arithmetic core). All instances of one FU are gate-for-gate
+//! identical, which is exactly what makes time-multiplexing matter for
+//! reliability: a stuck-at fault in the physical unit corrupts *every*
+//! operation executed on it, modelled here by injecting the same
+//! instance-local site into every instance of the FU
+//! ([`ElaboratedDatapath::fu_fault_groups`]). Registers degrade to
+//! wires under unrolling (their faults are out of scope); the
+//! multiplexer trees in front of shared units are real gates with real
+//! fault sites, steered by per-instance constant selects (the decoded
+//! controller state of the cycle the operation executes in). Inactive
+//! mux legs are tied to zero — the unrolled model's don't-care.
+//!
+//! # Operation lowering
+//!
+//! | DFG node | Hardware |
+//! |----------|----------|
+//! | `Add`/`Sub`/`Neg` | shared ripple-carry core; operand conditioning (inverters, carry-in) outside the instance, as in the paper's fault-free *g*/*f* functions |
+//! | `Mul` | array-multiplier core |
+//! | `Div`/`Rem` | unrolled restoring-divider core (quotient / remainder tap) |
+//! | `Load` | a fresh primary input bus (memory contents are unknowable combinationally); its address is exported as a result bus so address corruption is observable |
+//! | `Store` | address and value exported as result buses |
+//! | `CmpNe`/`OrBit` | fault-free chained checker logic (disequality comparator / alarm OR), outside every instance |
+//! | `Output` | a result bus — except `error`/`_err*` outputs, which are collected into the single 1-bit `error` alarm bus |
+
+use super::adder::rca_into;
+use super::compare::neq_into;
+use super::divider::restoring_divider_into;
+use super::mult::array_mult_into;
+use super::UnitInstance;
+use crate::{NetId, Netlist, NetlistBuilder, StuckAtLine, StuckSite};
+use scdp_hls::{Binding, Dfg, FuClass, NodeId, OpKind, Role, Schedule};
+
+/// One elaborated physical functional unit: its binding metadata plus
+/// the structurally identical netlist instances created for each
+/// operation it executes (empty for memory ports, which elaborate to
+/// primary inputs/outputs rather than gates).
+#[derive(Clone, Debug)]
+pub struct FuSpan {
+    /// Instance name, `<class><index>` (e.g. `alu0`, `mult1`).
+    pub name: String,
+    /// The unit's resource class.
+    pub class: FuClass,
+    /// Role partition of the operations bound here (first op's role
+    /// when the binding mixes roles on one unit).
+    pub role: Role,
+    /// The operations executed on this unit with their start cycles,
+    /// in schedule order — the mux-leg order of the operand chains.
+    pub ops: Vec<(NodeId, u32)>,
+    /// One gate span per operation, in the same order as `ops`.
+    pub instances: Vec<UnitInstance>,
+}
+
+impl FuSpan {
+    /// Gate count of one instance (0 for memory ports).
+    #[must_use]
+    pub fn instance_gates(&self) -> usize {
+        self.instances.first().map_or(0, UnitInstance::len)
+    }
+}
+
+/// Group-index range of one FU inside the universe returned by
+/// [`ElaboratedDatapath::fault_universe`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuFaultRange {
+    /// Index of the FU in [`ElaboratedDatapath::fus`].
+    pub fu: usize,
+    /// First group index of this FU's faults.
+    pub start: usize,
+    /// One past the last group index.
+    pub end: usize,
+}
+
+/// The result of elaborating a `(Dfg, Schedule, Binding)` triple: one
+/// flat netlist plus the per-FU gate spans that define the datapath's
+/// fault universe.
+#[derive(Clone, Debug)]
+pub struct ElaboratedDatapath {
+    /// The elaborated netlist (`error` output = alarm bus).
+    pub netlist: Netlist,
+    /// One span per bound functional unit, binding order.
+    pub fus: Vec<FuSpan>,
+    /// Operand width in bits.
+    pub width: u32,
+    /// Node count of the elaborated DFG (for reports).
+    pub nodes: usize,
+    /// Schedule length in cycles (for reports).
+    pub schedule_length: u32,
+    /// Word-wide registers of the binding (transparent wires under
+    /// unrolling; recorded for reports).
+    pub registers: usize,
+    /// Word-wide mux input legs of the binding.
+    pub mux_legs: usize,
+}
+
+impl ElaboratedDatapath {
+    /// Enumerates every stuck-at site local to one instance of FU
+    /// `fu` (empty for memory ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fu` is out of range.
+    #[must_use]
+    pub fn fu_local_sites(&self, fu: usize) -> Vec<StuckSite> {
+        let span = &self.fus[fu];
+        let Some(first) = span.instances.first() else {
+            return Vec::new();
+        };
+        let gates = self.netlist.gates();
+        let mut sites = Vec::new();
+        for offset in 0..first.len() {
+            let g = gates[first.start + offset];
+            sites.push(StuckSite {
+                gate: offset,
+                pin: None,
+            });
+            for pin in 0..g.kind.pins() {
+                sites.push(StuckSite {
+                    gate: offset,
+                    pin: Some(pin),
+                });
+            }
+        }
+        sites
+    }
+
+    /// The fault groups of one FU: every instance-local site, both
+    /// polarities, each correlated across **all** instances of the unit
+    /// (a physical fault corrupts every operation time-multiplexed onto
+    /// the unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fu` is out of range.
+    #[must_use]
+    pub fn fu_fault_groups(&self, fu: usize) -> Vec<Vec<StuckAtLine>> {
+        let span = &self.fus[fu];
+        let mut groups = Vec::new();
+        for site in self.fu_local_sites(fu) {
+            for value in [false, true] {
+                groups.push(
+                    span.instances
+                        .iter()
+                        .map(|inst| StuckAtLine::new(inst.globalize(site), value))
+                        .collect(),
+                );
+            }
+        }
+        groups
+    }
+
+    /// The whole datapath's fault universe: the concatenation of every
+    /// FU's groups in binding order, plus the group-index range of each
+    /// FU (the basis of per-FU campaign tallies).
+    #[must_use]
+    pub fn fault_universe(&self) -> (Vec<Vec<StuckAtLine>>, Vec<FuFaultRange>) {
+        let mut groups = Vec::new();
+        let mut ranges = Vec::with_capacity(self.fus.len());
+        for fu in 0..self.fus.len() {
+            let start = groups.len();
+            groups.extend(self.fu_fault_groups(fu));
+            ranges.push(FuFaultRange {
+                fu,
+                start,
+                end: groups.len(),
+            });
+        }
+        (groups, ranges)
+    }
+}
+
+/// The netlist value of one DFG node during elaboration.
+#[derive(Clone, Debug, Default)]
+enum Value {
+    /// Virtual nodes with no bus (outputs, stores).
+    #[default]
+    None,
+    /// A bus of nets (operation results, inputs, constants: `width`
+    /// bits; comparators and alarm bits: 1 bit).
+    Bus(Vec<NetId>),
+}
+
+impl Value {
+    fn bus(&self) -> &[NetId] {
+        match self {
+            Value::Bus(b) => b,
+            Value::None => panic!("node has no bus value"),
+        }
+    }
+}
+
+/// Elaborates a scheduled, bound DFG into one flat structural netlist.
+///
+/// `binding` must come from [`scdp_hls::bind()`] over the same `dfg` and
+/// `schedule`; every non-virtual, non-chained node must be bound to
+/// exactly one functional unit.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or above 32, or if the binding does not cover
+/// the DFG.
+#[must_use]
+pub fn elaborate_datapath(
+    dfg: &Dfg,
+    schedule: &Schedule,
+    binding: &Binding,
+    width: u32,
+) -> ElaboratedDatapath {
+    assert!((1..=32).contains(&width), "width {width} out of range");
+    let mut b = NetlistBuilder::new(format!("dp_{}_{width}", dfg.name()));
+
+    // Per-node FU assignment: node index -> (fu index, leg position).
+    let mut assignment: Vec<Option<(usize, usize)>> = vec![None; dfg.len()];
+    let mut fus: Vec<FuSpan> = Vec::new();
+    let mut class_counts: std::collections::HashMap<&'static str, usize> =
+        std::collections::HashMap::new();
+    for fu in &binding.fus {
+        let label = class_label(fu.class);
+        let index = class_counts.entry(label).or_insert(0);
+        let name = format!("{label}{index}");
+        *index += 1;
+        let mut ops: Vec<(NodeId, u32)> =
+            fu.ops.iter().map(|&id| (id, schedule.start(id))).collect();
+        ops.sort_by_key(|&(id, start)| (start, id.index()));
+        for (leg, &(id, _)) in ops.iter().enumerate() {
+            assignment[id.index()] = Some((fus.len(), leg));
+        }
+        fus.push(FuSpan {
+            name,
+            class: fu.class,
+            role: fu.role,
+            ops,
+            instances: Vec::new(),
+        });
+    }
+
+    let zero = b.constant(false);
+    let zeros: Vec<NetId> = vec![zero; width as usize];
+    let mut values: Vec<Value> = Vec::with_capacity(dfg.len());
+    let mut results: Vec<(String, Vec<NetId>)> = Vec::new();
+    let mut alarms: Vec<NetId> = Vec::new();
+    let mut load_count = 0usize;
+    let mut store_count = 0usize;
+
+    for (id, node) in dfg.iter() {
+        let value = match &node.kind {
+            OpKind::Input(name) => Value::Bus(b.input_bus(name.clone(), width)),
+            OpKind::Const(v) => Value::Bus(const_bus(&mut b, *v, width)),
+            OpKind::Output(name) => {
+                let bus = values[node.args[0].index()].bus().to_vec();
+                if name == "error" || name.starts_with("_err") {
+                    alarms.push(bus[0]);
+                } else {
+                    results.push((name.clone(), bus));
+                }
+                Value::None
+            }
+            OpKind::Load { bank } => {
+                let addr = values[node.args[0].index()].bus().to_vec();
+                results.push((format!("load{load_count}_addr"), addr));
+                let data = b.input_bus(format!("load{load_count}_b{bank}"), width);
+                load_count += 1;
+                Value::Bus(data)
+            }
+            OpKind::Store { .. } => {
+                let addr = values[node.args[0].index()].bus().to_vec();
+                results.push((format!("store{store_count}_addr"), addr));
+                if let Some(value) = node.args.get(1) {
+                    let val = values[value.index()].bus().to_vec();
+                    results.push((format!("store{store_count}_val"), val));
+                }
+                store_count += 1;
+                Value::None
+            }
+            OpKind::CmpNe => {
+                let x = values[node.args[0].index()].bus().to_vec();
+                let y = values[node.args[1].index()].bus().to_vec();
+                Value::Bus(vec![neq_into(&mut b, &x, &y)])
+            }
+            OpKind::OrBit => {
+                let x = values[node.args[0].index()].bus()[0];
+                let y = values[node.args[1].index()].bus()[0];
+                Value::Bus(vec![b.or(x, y)])
+            }
+            kind @ (OpKind::Add
+            | OpKind::Sub
+            | OpKind::Neg
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Rem) => {
+                let (fu, leg) = assignment[id.index()].expect("sequential node is bound");
+                // Operand conditioning outside the instance (the
+                // paper's fault-free g/f functions).
+                let (port0, port1, cin) = match kind {
+                    OpKind::Add => (
+                        values[node.args[0].index()].bus().to_vec(),
+                        values[node.args[1].index()].bus().to_vec(),
+                        false,
+                    ),
+                    OpKind::Sub => {
+                        let y = values[node.args[1].index()].bus().to_vec();
+                        let ny: Vec<NetId> = y.iter().map(|&n| b.not(n)).collect();
+                        (values[node.args[0].index()].bus().to_vec(), ny, true)
+                    }
+                    OpKind::Neg => {
+                        let x = values[node.args[0].index()].bus().to_vec();
+                        let nx: Vec<NetId> = x.iter().map(|&n| b.not(n)).collect();
+                        (nx, zeros.clone(), true)
+                    }
+                    _ => (
+                        values[node.args[0].index()].bus().to_vec(),
+                        values[node.args[1].index()].bus().to_vec(),
+                        false,
+                    ),
+                };
+                let legs = fus[fu].ops.len();
+                // Per-instance constant selects and carry-in, created
+                // outside the span so every instance keeps identical
+                // gate kinds at identical offsets.
+                let selects: Vec<NetId> = (1..legs).map(|m| b.constant(m == leg)).collect();
+                let cin_net = b.constant(cin);
+                let start = b.mark();
+                let a_port = mux_chain(&mut b, &port0, &zeros, leg, &selects);
+                let b_port = mux_chain(&mut b, &port1, &zeros, leg, &selects);
+                let out = match fus[fu].class {
+                    FuClass::Alu => rca_into(&mut b, &a_port, &b_port, cin_net).sum,
+                    FuClass::Mult => array_mult_into(&mut b, &a_port, &b_port).0,
+                    FuClass::Div => {
+                        let (q, r) = restoring_divider_into(&mut b, &a_port, &b_port);
+                        if matches!(kind, OpKind::Rem) {
+                            r
+                        } else {
+                            q
+                        }
+                    }
+                    FuClass::Mem => unreachable!("memory ops elaborate to IO"),
+                };
+                let inst_name = format!("{}@{}", fus[fu].name, fus[fu].ops[leg].1);
+                fus[fu].instances.push(UnitInstance {
+                    name: inst_name,
+                    start,
+                    end: b.mark(),
+                });
+                Value::Bus(out)
+            }
+        };
+        values.push(value);
+    }
+
+    for (name, bus) in results {
+        b.output(name, &bus);
+    }
+    let error = b.or_tree(&alarms);
+    b.output("error", &[error]);
+
+    ElaboratedDatapath {
+        netlist: b.finish(),
+        fus,
+        width,
+        nodes: dfg.len(),
+        schedule_length: schedule.length(),
+        registers: binding.registers,
+        mux_legs: binding.mux_legs,
+    }
+}
+
+/// The short serialisation label of a resource class.
+#[must_use]
+pub fn class_label(class: FuClass) -> &'static str {
+    match class {
+        FuClass::Alu => "alu",
+        FuClass::Mult => "mult",
+        FuClass::Div => "div",
+        FuClass::Mem => "mem",
+    }
+}
+
+/// A constant bus holding the low `width` bits of `v` (two's
+/// complement).
+fn const_bus(b: &mut NetlistBuilder, v: i64, width: u32) -> Vec<NetId> {
+    (0..width).map(|i| b.constant((v >> i) & 1 != 0)).collect()
+}
+
+/// The operand mux chain of one FU port: `legs.len() + 1` legs where
+/// leg `own` carries `bus` and every other leg is tied to `dead`
+/// (zeros). `selects[m - 1]` steers leg `m`; exactly one is the true
+/// constant (or none when `own == 0`). Creates `4 × selects.len()`
+/// gates regardless of `own`, keeping instances structurally identical.
+fn mux_chain(
+    b: &mut NetlistBuilder,
+    bus: &[NetId],
+    dead: &[NetId],
+    own: usize,
+    selects: &[NetId],
+) -> Vec<NetId> {
+    if selects.is_empty() {
+        return bus.to_vec();
+    }
+    let mut acc: Vec<NetId> = if own == 0 {
+        bus.to_vec()
+    } else {
+        dead.to_vec()
+    };
+    for (m, &sel) in selects.iter().enumerate() {
+        let leg: &[NetId] = if m + 1 == own { bus } else { dead };
+        acc = acc
+            .iter()
+            .zip(leg)
+            .map(|(&a, &l)| b.mux(a, l, sel))
+            .collect();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_arith::Word;
+    use scdp_core::Technique;
+    use scdp_hls::{bind, sched, BindOptions, ComponentLibrary, ResourceSet, SckStyle};
+
+    fn mac_dfg() -> Dfg {
+        let mut d = Dfg::new("mac");
+        let c = d.input("c");
+        let x = d.input("x");
+        let acc = d.input("acc");
+        let t = d.op(OpKind::Mul, &[c, x]);
+        let s = d.op(OpKind::Add, &[acc, t]);
+        d.output("acc_next", s);
+        d
+    }
+
+    fn elaborate(dfg: &Dfg, width: u32, opts: BindOptions) -> ElaboratedDatapath {
+        let lib = ComponentLibrary::virtex16();
+        let schedule = sched::list_schedule(dfg, &lib, &ResourceSet::min_area());
+        let binding = bind(dfg, &schedule, &lib, opts);
+        elaborate_datapath(dfg, &schedule, &binding, width)
+    }
+
+    /// Interprets a DFG over `Word` values: inputs and load data are
+    /// drawn from `inputs` in node order; returns result buses in the
+    /// elaborated netlist's output order plus the alarm bit.
+    fn interpret(dfg: &Dfg, width: u32, inputs: &[Word]) -> (Vec<Word>, bool) {
+        let mut next_input = 0usize;
+        let mut take = || {
+            let w = inputs[next_input];
+            next_input += 1;
+            w
+        };
+        let mut values: Vec<Word> = Vec::with_capacity(dfg.len());
+        let mut results: Vec<Word> = Vec::new();
+        let mut alarm = false;
+        for (_, node) in dfg.iter() {
+            let arg = |i: usize, values: &[Word]| values[node.args[i].index()];
+            let v = match &node.kind {
+                OpKind::Input(_) => take(),
+                OpKind::Const(c) => Word::from_i64(width, *c),
+                OpKind::Output(name) => {
+                    let val = arg(0, &values);
+                    if name == "error" || name.starts_with("_err") {
+                        alarm |= val.bits() != 0;
+                    } else {
+                        results.push(val);
+                    }
+                    Word::new(width, 0)
+                }
+                OpKind::Load { .. } => {
+                    results.push(arg(0, &values)); // address bus
+                    take()
+                }
+                OpKind::Store { .. } => {
+                    results.push(arg(0, &values));
+                    if node.args.len() > 1 {
+                        results.push(arg(1, &values));
+                    }
+                    Word::new(width, 0)
+                }
+                OpKind::Add => arg(0, &values).wrapping_add(arg(1, &values)),
+                OpKind::Sub => arg(0, &values).wrapping_sub(arg(1, &values)),
+                OpKind::Neg => Word::new(width, 0).wrapping_sub(arg(0, &values)),
+                OpKind::Mul => arg(0, &values).wrapping_mul(arg(1, &values)),
+                OpKind::Div => {
+                    let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
+                    // d == 0: the restoring divider naturally yields an
+                    // all-ones quotient.
+                    Word::new(width, a.checked_div(d).unwrap_or((1u64 << width) - 1))
+                }
+                OpKind::Rem => {
+                    let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
+                    // d == 0: the partial remainder ends as the dividend.
+                    Word::new(width, a.checked_rem(d).unwrap_or(a))
+                }
+                OpKind::CmpNe => Word::new(1, u64::from(arg(0, &values) != arg(1, &values))),
+                OpKind::OrBit => Word::new(1, arg(0, &values).bits() | arg(1, &values).bits()),
+            };
+            values.push(v);
+        }
+        (results, alarm)
+    }
+
+    /// Fault-free cross-check of an elaborated netlist against the
+    /// interpreter, over a deterministic input sweep.
+    fn check_fault_free(dfg: &Dfg, width: u32, opts: BindOptions) {
+        let dp = elaborate(dfg, width, opts);
+        let buses = dp.netlist.inputs().len();
+        let mut seed = 0x5EED_1234_u64;
+        for _ in 0..24 {
+            let inputs: Vec<Word> = (0..buses)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Word::new(width, (seed >> 24) & ((1 << width) - 1))
+                })
+                .collect();
+            let out = dp.netlist.eval_words(&inputs, &[]);
+            let (expect, alarm) = interpret(dfg, width, &inputs);
+            assert!(!alarm, "interpreter must be alarm-free fault-free");
+            let n = out.len();
+            assert_eq!(out[n - 1].bits(), 0, "fault-free alarm fired");
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(out[i], *e, "{} result bus {i}", dfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mac_elaborates_and_matches_interpreter() {
+        check_fault_free(&mac_dfg(), 4, BindOptions::default());
+    }
+
+    #[test]
+    fn expanded_fir_matches_interpreter_all_styles() {
+        let body = scdp_test_fir();
+        for style in [SckStyle::Plain, SckStyle::Full, SckStyle::Embedded] {
+            for tech in [Technique::Tech1, Technique::Both] {
+                let g = scdp_hls::expand_sck(&body, tech, style);
+                check_fault_free(&g, 4, BindOptions::default());
+                check_fault_free(
+                    &g,
+                    3,
+                    BindOptions {
+                        separate_checkers: true,
+                        no_sharing: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A FIR-like body (local copy; `scdp-fir` depends on this crate's
+    /// dependents, not the reverse).
+    fn scdp_test_fir() -> Dfg {
+        let mut d = Dfg::new("fir_tap");
+        let i = d.input("i");
+        let acc = d.input("acc");
+        let one = d.constant(1);
+        let i_next = d.op(OpKind::Add, &[i, one]);
+        d.output("_i", i_next);
+        let c = d.op(OpKind::Load { bank: 0 }, &[i]);
+        let x = d.op(OpKind::Load { bank: 1 }, &[i]);
+        let t = d.op(OpKind::Mul, &[c, x]);
+        let acc_next = d.op(OpKind::Add, &[acc, t]);
+        d.output("acc", acc_next);
+        let _shift = d.op(OpKind::Store { bank: 1 }, &[i_next, x]);
+        d
+    }
+
+    #[test]
+    fn divider_ops_elaborate() {
+        let mut d = Dfg::new("divrem");
+        let a = d.input("a");
+        let b = d.input("b");
+        let q = d.op(OpKind::Div, &[a, b]);
+        let r = d.op(OpKind::Rem, &[a, b]);
+        d.output("q", q);
+        d.output("r", r);
+        check_fault_free(&d, 4, BindOptions::default());
+    }
+
+    #[test]
+    fn fu_instances_are_structurally_identical() {
+        let g = scdp_hls::expand_sck(&scdp_test_fir(), Technique::Tech1, SckStyle::Full);
+        let dp = elaborate(&g, 4, BindOptions::default());
+        let gates = dp.netlist.gates();
+        let mut shared_fu_seen = false;
+        for span in &dp.fus {
+            let Some(first) = span.instances.first() else {
+                assert_eq!(span.class, FuClass::Mem);
+                continue;
+            };
+            if span.instances.len() > 1 {
+                shared_fu_seen = true;
+            }
+            for inst in &span.instances {
+                assert_eq!(inst.len(), first.len(), "{}", span.name);
+                for k in 0..inst.len() {
+                    assert_eq!(
+                        gates[first.start + k].kind,
+                        gates[inst.start + k].kind,
+                        "gate kind mismatch at offset {k} in {}",
+                        span.name
+                    );
+                }
+            }
+        }
+        assert!(shared_fu_seen, "min-area FIR must share at least one FU");
+    }
+
+    #[test]
+    fn fault_universe_partitions_by_fu() {
+        let g = scdp_hls::expand_sck(&scdp_test_fir(), Technique::Tech1, SckStyle::Full);
+        let dp = elaborate(&g, 3, BindOptions::default());
+        let (groups, ranges) = dp.fault_universe();
+        assert_eq!(ranges.len(), dp.fus.len());
+        let mut cursor = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, cursor, "ranges must tile the universe");
+            cursor = r.end;
+            let span = &dp.fus[r.fu];
+            if span.class == FuClass::Mem {
+                assert_eq!(r.start, r.end, "memory ports carry no faults");
+            } else {
+                assert!(r.end > r.start, "{} has no faults", span.name);
+                // Each group correlates the site across every instance.
+                for g in &groups[r.start..r.end] {
+                    assert_eq!(g.len(), span.instances.len());
+                }
+            }
+        }
+        assert_eq!(cursor, groups.len());
+    }
+
+    #[test]
+    fn correlated_fault_corrupts_every_use_of_the_unit() {
+        // One ALU executing two adds: a stem fault forced onto the
+        // ALU's sum bit must corrupt both results at once.
+        let mut d = Dfg::new("two_adds");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let s2 = d.op(OpKind::Add, &[s1, b]);
+        d.output("o1", s1);
+        d.output("o2", s2);
+        let dp = elaborate(&d, 3, BindOptions::default());
+        let alu = dp
+            .fus
+            .iter()
+            .position(|f| f.class == FuClass::Alu)
+            .expect("alu");
+        assert_eq!(dp.fus[alu].instances.len(), 2, "both adds share the ALU");
+        // Stuck the low sum bit of the core at 1 across both instances:
+        // with a = b = 0 both results must read 1 — and differ from the
+        // dedicated case where only the first instance is faulted.
+        let sites = dp.fu_local_sites(alu);
+        let mut corrupted_both = false;
+        for site in sites {
+            for value in [false, true] {
+                let group: Vec<StuckAtLine> = dp.fus[alu]
+                    .instances
+                    .iter()
+                    .map(|i| StuckAtLine::new(i.globalize(site), value))
+                    .collect();
+                let zero = Word::new(3, 0);
+                let out = dp.netlist.eval_words(&[zero, zero], &group);
+                if out[0].bits() != 0 && out[1].bits() != 0 {
+                    corrupted_both = true;
+                }
+            }
+        }
+        assert!(corrupted_both, "some physical fault must hit both uses");
+    }
+
+    #[test]
+    fn mux_width_matches_binding_sharing() {
+        // A shared FU with k ops must elaborate k instances whose gate
+        // count includes the mux chains: (k-1) legs x 4 gates x 2 ports
+        // on top of the bare core.
+        let mut d = Dfg::new("three_adds");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s1 = d.op(OpKind::Add, &[a, b]);
+        let s2 = d.op(OpKind::Add, &[s1, b]);
+        let s3 = d.op(OpKind::Add, &[s2, a]);
+        d.output("o", s3);
+        let w = 4u32;
+        let dp = elaborate(&d, w, BindOptions::default());
+        let alu = dp
+            .fus
+            .iter()
+            .position(|f| f.class == FuClass::Alu)
+            .expect("alu");
+        let k = dp.fus[alu].instances.len();
+        assert_eq!(k, 3);
+        let core = 5 * w as usize;
+        let muxes = 2 * (k - 1) * 4 * w as usize;
+        assert_eq!(dp.fus[alu].instance_gates(), core + muxes);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_is_rejected() {
+        let d = mac_dfg();
+        let lib = ComponentLibrary::virtex16();
+        let s = sched::list_schedule(&d, &lib, &ResourceSet::min_area());
+        let bnd = bind(&d, &s, &lib, BindOptions::default());
+        let _ = elaborate_datapath(&d, &s, &bnd, 0);
+    }
+}

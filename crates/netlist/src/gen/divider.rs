@@ -26,26 +26,50 @@ pub fn restoring_divider(width: u32) -> Netlist {
     let mut b = NetlistBuilder::new(format!("divider{width}"));
     let a = b.input_bus("a", width);
     let d = b.input_bus("b", width);
+    let (q, r) = restoring_divider_into(&mut b, &a, &d);
+    b.output("q", &q);
+    b.output("r", &r);
+    b.finish()
+}
+
+/// Appends the unrolled restoring-divider core computing the unsigned
+/// quotient and remainder of `a / d`; returns `(q, r)` bus nets (same
+/// width as the operands). All internal constants are created inside
+/// the call, so two instantiations at the same width are structurally
+/// identical gate for gate — the property datapath elaboration relies
+/// on for correlated fault injection across time-multiplexed uses.
+///
+/// # Panics
+///
+/// Panics if the operand buses have different lengths or are empty.
+pub fn restoring_divider_into(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    d: &[NetId],
+) -> (Vec<NetId>, Vec<NetId>) {
+    assert_eq!(a.len(), d.len(), "operand width mismatch");
+    let width = a.len();
+    assert!(width > 0, "width must be positive");
     let zero = b.constant(false);
-    let rbits = (width + 1) as usize;
+    let rbits = width + 1;
     // Divisor zero-extended to n+1 bits, inverted once (shared by every
     // stage's subtractor).
-    let mut d_ext: Vec<NetId> = d.clone();
+    let mut d_ext: Vec<NetId> = d.to_vec();
     d_ext.push(zero);
     let nd: Vec<NetId> = d_ext.iter().map(|&n| b.not(n)).collect();
     let one = b.constant(true);
 
     // Partial remainder, LSB first, n+1 bits.
     let mut r: Vec<NetId> = (0..rbits).map(|_| zero).collect();
-    let mut q_bits: Vec<NetId> = Vec::with_capacity(width as usize);
+    let mut q_bits: Vec<NetId> = Vec::with_capacity(width);
     for step in (0..width).rev() {
         // Shift left by one, bring in dividend bit `step`.
         let mut shifted = Vec::with_capacity(rbits);
-        shifted.push(a[step as usize]);
+        shifted.push(a[step]);
         shifted.extend_from_slice(&r[..rbits - 1]);
         // Trial subtraction T = shifted - d (via +!d+1); carry-out = no
         // borrow = keep.
-        let inst = rca_into(&mut b, &shifted, &nd, one);
+        let inst = rca_into(b, &shifted, &nd, one);
         let keep = inst.cout;
         // Restore row: r = keep ? T : shifted.
         r = (0..rbits)
@@ -54,9 +78,7 @@ pub fn restoring_divider(width: u32) -> Netlist {
         q_bits.push(keep); // collected MSB-first
     }
     q_bits.reverse(); // back to LSB-first
-    b.output("q", &q_bits);
-    b.output("r", &r[..width as usize]);
-    b.finish()
+    (q_bits, r[..width].to_vec())
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 mod adder;
 mod checker;
 mod compare;
+mod datapath;
 mod divider;
 mod mult;
 
@@ -20,5 +21,6 @@ pub use checker::{
     SelfCheckingSpec, UnitInstance,
 };
 pub use compare::{equal, is_zero_into, neq_into, two_rail_checker};
-pub use divider::restoring_divider;
+pub use datapath::{class_label, elaborate_datapath, ElaboratedDatapath, FuFaultRange, FuSpan};
+pub use divider::{restoring_divider, restoring_divider_into};
 pub use mult::{array_mult, array_mult_into};
