@@ -1,0 +1,122 @@
+//! The sequential-engine benchmark: the cycle-accurate shared-FU FIR
+//! machine on the packed multi-cycle engine vs the scalar
+//! `Netlist::eval_seq_nets` path, single-threaded and parallel.
+//!
+//! Writes `BENCH_seq_engine.json`. Two kinds of metrics land in its
+//! `metrics` array:
+//!
+//! * `seq_speedup_1thread_vs_scalar` — machine-relative ratio, gated by
+//!   `bench_check`'s hard floor;
+//! * `seq_mcycles_per_sec` — absolute throughput (million gate-netlist
+//!   cycles simulated per second), informational across machines
+//!   (`*_per_sec` metrics demote to warnings in `--cross-machine`
+//!   mode).
+
+use scdp_bench::Bench;
+use scdp_campaign::{DatapathScenario, DfgSource};
+use scdp_core::Technique;
+use scdp_netlist::{FaultDuration, SeqStuckAt};
+use scdp_sim::{par, InputPlan, SeqCampaign, SeqEngine, SeqFaultGroup};
+use std::hint::black_box;
+
+fn main() {
+    let width = 4u32;
+    let scenario = DatapathScenario::new(DfgSource::Fir, width).technique(Technique::Tech1);
+    let dp = scenario.elaborate_seq();
+    let (groups, _) = dp.fault_universe();
+    let cycles = dp.total_cycles;
+    let vectors = 512u64;
+    let plan = InputPlan::Sampled {
+        vectors,
+        seed: 0xBEEF,
+    };
+    let situations = groups.len() as u64 * vectors;
+    // Netlist-cycles simulated per campaign: every situation runs the
+    // whole machine for `cycles` clock cycles.
+    let netlist_cycles = situations * u64::from(cycles);
+
+    let seq_groups: Vec<SeqFaultGroup> = groups
+        .iter()
+        .map(|lines| SeqFaultGroup::new(lines.clone(), FaultDuration::Permanent))
+        .collect();
+    let engine = SeqEngine::new(&dp.netlist);
+
+    let mut bench = Bench::new("seq_engine");
+
+    // Scalar reference on a slice of the universe (the full universe
+    // would blow the bench budget), normalised per situation below.
+    let scalar_faults = 8usize.min(groups.len());
+    let scalar_vectors = 32u64;
+    let input_bits = dp.netlist.input_bits();
+    let scalar_work = scalar_faults as u64 * scalar_vectors * u64::from(cycles);
+    let scalar_ns = bench.sample_elements("scalar_eval_seq_w4", 3, scalar_work, &mut || {
+        let mut acc = 0usize;
+        for lines in groups.iter().take(scalar_faults) {
+            let faults: Vec<SeqStuckAt> = lines
+                .iter()
+                .map(|&line| SeqStuckAt::permanent(line))
+                .collect();
+            let mut seed = 0x5EED_u64;
+            for _ in 0..scalar_vectors {
+                let bits: Vec<bool> = (0..input_bits)
+                    .map(|_| {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        seed >> 63 != 0
+                    })
+                    .collect();
+                let trace = dp.netlist.eval_seq_nets(&bits, cycles, &faults);
+                acc += usize::from(trace.last().unwrap()[0]);
+            }
+        }
+        black_box(acc)
+    });
+
+    let packed_ns = bench.sample_elements("seq_1thread_w4", 5, situations, &mut || {
+        black_box(
+            SeqCampaign::new(&engine, seq_groups.clone(), cycles)
+                .plan(plan)
+                .threads(1)
+                .run()
+                .tally,
+        )
+    });
+    let threads = par::default_threads();
+    bench.sample_elements("seq_parallel_w4", 5, situations, &mut || {
+        black_box(
+            SeqCampaign::new(&engine, seq_groups.clone(), cycles)
+                .plan(plan)
+                .threads(threads)
+                .run()
+                .tally,
+        )
+    });
+    bench.sample_elements("seq_dropping_w4", 5, situations, &mut || {
+        black_box(
+            SeqCampaign::new(&engine, seq_groups.clone(), cycles)
+                .plan(plan)
+                .drop_policy(scdp_sim::DropPolicy::OnDetect)
+                .threads(1)
+                .run()
+                .simulated,
+        )
+    });
+
+    // Per-situation-cycle rates: scalar measured on its slice, packed
+    // on the full campaign.
+    let scalar_ns_per_cycle = scalar_ns / scalar_work as f64;
+    let packed_ns_per_cycle = packed_ns / netlist_cycles as f64;
+    let speedup = scalar_ns_per_cycle / packed_ns_per_cycle;
+    let mcycles_per_sec = 1e3 / packed_ns_per_cycle; // 1e9 ns/s ÷ ns/cycle ÷ 1e6
+    eprintln!(
+        "sequential engine: {speedup:.1}x over scalar, {mcycles_per_sec:.2} Mcycles/s \
+         single-thread"
+    );
+    bench.metric("seq_speedup_1thread_vs_scalar", speedup);
+    bench.metric("seq_mcycles_per_sec", mcycles_per_sec);
+    bench.finish();
+    assert!(
+        speedup >= 8.0,
+        "acceptance: sequential packed engine must be >=8x over scalar \
+         (measured {speedup:.1}x)"
+    );
+}

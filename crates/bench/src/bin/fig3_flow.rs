@@ -11,17 +11,24 @@
 //!   `scdp-campaign` API on both engines (bit-identical tallies);
 //! * step `[7]` — the *system-level* campaign: the scheduled, bound FIR
 //!   datapath elaborated to one flat netlist and fault-graded per
-//!   functional unit (`scdp.campaign.report/v2`).
+//!   functional unit (`scdp.campaign.report/v2`);
+//! * step `[8]` — the *cycle-accurate* campaign: the same datapath as
+//!   one shared-FU sequential machine, graded under permanent and
+//!   single-cycle transient faults with per-cycle detection latencies
+//!   (`scdp.campaign.report/v3`).
 //!
 //! Usage:
 //!   fig3_flow [--width N] [--threads N] [--samples N] [--seed S]
-//!             [--quick] [--report FILE]
+//!             [--quick] [--report FILE] [--seq-report FILE]
 //!
 //! `--quick` shrinks the campaigns for CI smoke; `--report FILE` writes
-//! the step-`[7]` datapath report as `scdp.campaign.report/v2` JSON.
+//! the step-`[7]` datapath report as `scdp.campaign.report/v2` JSON and
+//! `--seq-report FILE` the step-`[8]` sequential report as v3.
 
 use scdp_bench::CliArgs;
-use scdp_campaign::{Backend, DatapathScenario, DfgSource, FaultModel, InputSpace, Scenario};
+use scdp_campaign::{
+    Backend, DatapathScenario, DfgSource, FaultDuration, FaultModel, InputSpace, Scenario,
+};
 use scdp_codesign::{partition, CodesignFlow, Goal, Mapping, PartitionProblem, TaskEstimate};
 use scdp_core::{Operator, Technique};
 use scdp_fir::fir_body_dfg;
@@ -179,5 +186,62 @@ fn main() {
     if let Some(path) = args.value::<String>("--report") {
         std::fs::write(&path, report.to_json()).expect("write report");
         println!("      wrote {path} ({})", scdp_campaign::REPORT_SCHEMA_V2);
+    }
+
+    // Cycle-accurate validation: the same datapath as one shared-FU
+    // sequential machine — permanent faults for the coverage story,
+    // one mid-schedule transient for the upset story, both with
+    // per-cycle first-detection latencies.
+    let seq_scenario = DatapathScenario::new(DfgSource::Fir, dp_width).technique(Technique::Tech1);
+    let machine = seq_scenario.elaborate_seq();
+    let total_cycles = machine.total_cycles;
+    let seq_space = InputSpace::Sampled {
+        per_fault: samples,
+        seed: args.seed(),
+    };
+    let mut seq_reports = Vec::new();
+    for duration in [
+        FaultDuration::Permanent,
+        FaultDuration::Transient {
+            cycle: total_cycles / 2,
+        },
+    ] {
+        let r = seq_scenario
+            .clone()
+            .seq_campaign()
+            .duration(duration)
+            .input_space(seq_space)
+            .threads(args.threads())
+            .run_on(&machine)
+            .expect("sequential campaign");
+        seq_reports.push((duration, r));
+    }
+    println!(
+        "[8] sequential validation (FIR, {dp_width}-bit, Tech1, {} cycles/vector):",
+        total_cycles
+    );
+    for (duration, r) in &seq_reports {
+        let seq = r.sequential.as_ref().expect("sequential section");
+        let latency = seq
+            .mean_detection_latency()
+            .map_or("-".to_string(), |l| format!("{l:.2} cycles"));
+        println!(
+            "      {:<12} coverage {:>6.2}%  detection {:>6.2}%  mean first-detect {latency}",
+            scdp_campaign::duration_label(*duration),
+            r.coverage() * 100.0,
+            r.detection_rate() * 100.0,
+        );
+        print!("      latency hist:");
+        for (c, n) in seq.first_detect_hist.iter().enumerate() {
+            if *n > 0 {
+                print!(" c{c}:{n}");
+            }
+        }
+        println!();
+    }
+    if let Some(path) = args.value::<String>("--seq-report") {
+        let (_, permanent) = &seq_reports[0];
+        std::fs::write(&path, permanent.to_json()).expect("write seq report");
+        println!("      wrote {path} ({})", scdp_campaign::REPORT_SCHEMA_V3);
     }
 }

@@ -172,14 +172,26 @@ pub struct CheckConfig {
 }
 
 impl Default for CheckConfig {
-    /// The committed gate: ±30% tolerance, engine speedup ≥ 100×.
+    /// The committed gate: ±30% tolerance, combinational engine speedup
+    /// ≥ 100×, sequential engine speedup ≥ 8×.
     fn default() -> Self {
         Self {
             tolerance: 0.30,
             medians_fail: true,
-            metric_floors: vec![("speedup_1thread_vs_scalar".to_string(), 100.0)],
+            metric_floors: vec![
+                ("speedup_1thread_vs_scalar".to_string(), 100.0),
+                ("seq_speedup_1thread_vs_scalar".to_string(), 8.0),
+            ],
         }
     }
+}
+
+/// `true` for metrics carrying machine-absolute throughput (e.g.
+/// `seq_mcycles_per_sec`): like raw medians, they do not transfer
+/// between machines, so their decay findings follow the `medians_fail`
+/// rule instead of always failing. Speedup *ratios* stay strict.
+fn absolute_metric(id: &str) -> bool {
+    id.ends_with("_per_sec")
 }
 
 /// Compares one fresh bench file against its committed baseline.
@@ -238,14 +250,19 @@ pub fn check(baseline: &BenchFile, fresh: &BenchFile, cfg: &CheckConfig) -> Vec<
             Some(fresh_v) if m.value > 0.0 => {
                 let ratio = fresh_v / m.value;
                 if ratio < 1.0 - cfg.tolerance {
-                    findings.push(Finding::fail(format!(
+                    let message = format!(
                         "{group}/{}: metric decayed {:.2} -> {:.2} \
                          (tolerance -{:.0}%)",
                         m.id,
                         m.value,
                         fresh_v,
                         cfg.tolerance * 100.0
-                    )));
+                    );
+                    findings.push(if cfg.medians_fail || !absolute_metric(&m.id) {
+                        Finding::fail(message)
+                    } else {
+                        Finding::warn(message)
+                    });
                 } else if ratio > 1.0 + cfg.tolerance {
                     findings.push(Finding::warn(format!(
                         "{group}/{}: metric improved {:.2} -> {:.2} — regenerate \
@@ -414,6 +431,51 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.severity == Severity::Warn && f.message.contains("new")));
+    }
+
+    #[test]
+    fn absolute_throughput_metrics_follow_the_median_rule() {
+        // A slower CI machine halves the absolute Mcycles/s metric: a
+        // warning in cross-machine mode, a failure in same-machine
+        // mode. The machine-relative seq speedup ratio stays strict in
+        // both, as does its hard floor.
+        let base = file(
+            &[],
+            &[
+                ("seq_mcycles_per_sec", 30.0),
+                ("seq_speedup_1thread_vs_scalar", 100.0),
+            ],
+        );
+        let slow_machine = file(
+            &[],
+            &[
+                ("seq_mcycles_per_sec", 15.0),
+                ("seq_speedup_1thread_vs_scalar", 98.0),
+            ],
+        );
+        let cross = CheckConfig {
+            medians_fail: false,
+            ..CheckConfig::default()
+        };
+        let findings = check(&base, &slow_machine, &cross);
+        assert_eq!(fails(&findings), 0, "{findings:?}");
+        assert_eq!(findings.len(), 1, "throughput decay still warned");
+        assert_eq!(
+            fails(&check(&base, &slow_machine, &CheckConfig::default())),
+            1
+        );
+        // A real engine regression: the ratio decays below tolerance
+        // and breaches the 8x floor even cross-machine.
+        let regressed = file(
+            &[],
+            &[
+                ("seq_mcycles_per_sec", 15.0),
+                ("seq_speedup_1thread_vs_scalar", 6.0),
+            ],
+        );
+        let findings = check(&base, &regressed, &cross);
+        assert!(fails(&findings) >= 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("hard floor")));
     }
 
     #[test]

@@ -52,6 +52,27 @@ use std::time::Instant;
 /// would be astronomical — sample instead).
 pub const MAX_EXHAUSTIVE_INPUT_BITS: usize = 24;
 
+/// Validates a datapath campaign's input space against the elaborated
+/// netlist's primary-input width and converts it to the gate-level
+/// engine's batched plan — the one construction shared by the unrolled
+/// ([`DatapathCampaignSpec`]) and sequential
+/// ([`crate::SeqDatapathCampaignSpec`]) campaign paths.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::ExhaustiveDatapathTooLarge`] when an
+/// exhaustive space is requested over more than
+/// [`MAX_EXHAUSTIVE_INPUT_BITS`] primary input bits.
+pub fn datapath_input_plan(
+    space: InputSpace,
+    input_bits: usize,
+) -> Result<InputPlan, CampaignError> {
+    if space == InputSpace::Exhaustive && input_bits > MAX_EXHAUSTIVE_INPUT_BITS {
+        return Err(CampaignError::ExhaustiveDatapathTooLarge { input_bits });
+    }
+    Ok(InputPlan::from_space(space))
+}
+
 /// Which loop-body dataflow graph a datapath campaign analyses.
 #[derive(Clone, Debug)]
 pub enum DfgSource {
@@ -256,7 +277,7 @@ impl DatapathScenario {
     /// operator slot is a placeholder — whole datapaths have no single
     /// operator).
     #[must_use]
-    fn placeholder_scenario(&self) -> Scenario {
+    pub(crate) fn placeholder_scenario(&self) -> Scenario {
         Scenario::new(scdp_core::Operator::Add, self.width)
             .technique(self.technique)
             .allocation(self.allocation)
@@ -367,10 +388,7 @@ impl DatapathCampaignSpec {
         });
 
         let dp = s.elaborate();
-        let input_bits = dp.netlist.input_bits();
-        if self.space == InputSpace::Exhaustive && input_bits > MAX_EXHAUSTIVE_INPUT_BITS {
-            return Err(CampaignError::ExhaustiveDatapathTooLarge { input_bits });
-        }
+        let plan = datapath_input_plan(self.space, dp.netlist.input_bits())?;
         let (groups, ranges) = dp.fault_universe();
         self.emit(&Progress::NetlistCompiled {
             name: dp.netlist.name().to_string(),
@@ -383,7 +401,7 @@ impl DatapathCampaignSpec {
         // unified surfaces share; validation already happened above.
         #[allow(deprecated)]
         let mut campaign = scdp_sim::EngineCampaign::new(&engine, groups)
-            .plan(InputPlan::from_space(self.space))
+            .plan(plan)
             .drop_policy(self.drop);
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
@@ -453,6 +471,7 @@ impl DatapathCampaignSpec {
             simulated: summary.simulated,
             elapsed_ms: 0,
             datapath: Some(details),
+            sequential: None,
         };
         report.elapsed_ms = start.elapsed().as_millis() as u64;
         self.emit(&Progress::Finished {

@@ -67,6 +67,15 @@ pub enum CampaignError {
         /// Primary input bits of the elaborated netlist.
         input_bits: usize,
     },
+    /// A transient fault was requested for a cycle the sequential
+    /// datapath never executes.
+    TransientCycleOutOfRange {
+        /// The rejected injection cycle.
+        cycle: u32,
+        /// Cycles the elaborated datapath runs (valid cycles are
+        /// `0..total_cycles`).
+        total_cycles: u32,
+    },
     /// A report could not be parsed as JSON.
     Parse {
         /// Byte offset of the first offending character.
@@ -131,6 +140,16 @@ impl fmt::Display for CampaignError {
                     f,
                     "exhaustive enumeration over {input_bits} datapath input bits is \
                      intractable; use a sampled input space"
+                )
+            }
+            CampaignError::TransientCycleOutOfRange {
+                cycle,
+                total_cycles,
+            } => {
+                write!(
+                    f,
+                    "transient fault cycle {cycle} out of range: the sequential datapath \
+                     runs {total_cycles} cycles (0..{total_cycles})"
                 )
             }
             CampaignError::Parse { offset, message } => {

@@ -58,21 +58,24 @@ mod error;
 pub mod json;
 mod report;
 mod scenario;
+mod seq;
 mod spec;
 
 pub use datapath::{
-    role_label, style_from_label, style_label, DatapathCampaignSpec, DatapathScenario, DfgSource,
-    MAX_EXHAUSTIVE_INPUT_BITS,
+    datapath_input_plan, role_label, style_from_label, style_label, DatapathCampaignSpec,
+    DatapathScenario, DfgSource, MAX_EXHAUSTIVE_INPUT_BITS,
 };
 pub use error::CampaignError;
 pub use report::{
-    drop_from_label, drop_label, CampaignReport, DatapathDetails, FaultRecord, FuTally,
-    REPORT_SCHEMA, REPORT_SCHEMA_V2,
+    drop_from_label, drop_label, duration_from_label, duration_label, CampaignReport,
+    DatapathDetails, FaultRecord, FuTally, SequentialDetails, REPORT_SCHEMA, REPORT_SCHEMA_V2,
+    REPORT_SCHEMA_V3,
 };
 pub use scenario::{
     allocation_from_label, allocation_label, op_from_label, realisation_from_label,
     realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
 };
+pub use seq::SeqDatapathCampaignSpec;
 pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
 
 // The shared input-space configuration and its batched twin are part of
@@ -81,4 +84,5 @@ pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
 // available as `InputPlan::from`). Re-exported so downstream code no
 // longer reaches into engine crates for them.
 pub use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
+pub use scdp_netlist::FaultDuration;
 pub use scdp_sim::{DropPolicy, InputPlan};

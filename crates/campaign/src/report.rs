@@ -7,6 +7,7 @@ use crate::scenario::{
     realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
 };
 use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
+use scdp_netlist::FaultDuration;
 use scdp_sim::DropPolicy;
 use std::fmt::Write as _;
 
@@ -19,6 +20,38 @@ pub const REPORT_SCHEMA: &str = "scdp.campaign.report/v1";
 /// Parsers accept both; the writer emits v2 exactly when a report
 /// carries a [`DatapathDetails`] section.
 pub const REPORT_SCHEMA_V2: &str = "scdp.campaign.report/v2";
+
+/// Schema identifier of *sequential* datapath-campaign reports — a
+/// superset of v2 that adds the `sequential` section (fault duration,
+/// cycle count, first-detection latency histogram). Parsers accept all
+/// three schemas; the writer emits v3 exactly when a report carries a
+/// [`SequentialDetails`] section.
+pub const REPORT_SCHEMA_V3: &str = "scdp.campaign.report/v3";
+
+/// The sequential section of a `scdp.campaign.report/v3` document:
+/// how the cycle-accurate campaign was run and when faults were first
+/// detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequentialDetails {
+    /// The injected fault duration.
+    pub duration: FaultDuration,
+    /// Clock cycles each situation ran (`schedule_length + 1`).
+    pub total_cycles: u64,
+    /// `first_detect_hist[c]` — situations whose alarm first fired in
+    /// cycle `c`; exactly `total_cycles` entries. Sums to the number of
+    /// detected situations (partial under fault dropping, like the
+    /// tallies).
+    pub first_detect_hist: Vec<u64>,
+}
+
+impl SequentialDetails {
+    /// Mean first-detection latency in cycles over all detected
+    /// situations (`None` when nothing was detected).
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        scdp_sim::mean_detection_latency(&self.first_detect_hist)
+    }
+}
 
 /// Per-functional-unit outcome of a datapath campaign.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -143,6 +176,11 @@ pub struct CampaignReport {
     /// technique, allocation — with a placeholder operator; the
     /// authoritative description lives here).
     pub datapath: Option<DatapathDetails>,
+    /// Sequential-campaign section: present exactly when the report
+    /// came from a cycle-accurate
+    /// [`SeqDatapathCampaignSpec`](crate::SeqDatapathCampaignSpec) run
+    /// (always together with the `datapath` section).
+    pub sequential: Option<SequentialDetails>,
 }
 
 impl CampaignReport {
@@ -235,6 +273,7 @@ impl CampaignReport {
             && self.per_fault == other.per_fault
             && self.simulated == other.simulated
             && self.datapath == other.datapath
+            && self.sequential == other.sequential
     }
 
     /// Serialises the report to the stable `scdp.campaign.report/v1`
@@ -246,7 +285,13 @@ impl CampaignReport {
         let mut o = String::with_capacity(1024 + self.per_fault.len() * 32);
         let t = self.four_way();
         o.push_str("{\n");
-        let schema = if self.datapath.is_some() {
+        let schema = if self.sequential.is_some() {
+            debug_assert!(
+                self.datapath.is_some(),
+                "sequential reports carry the datapath section too"
+            );
+            REPORT_SCHEMA_V3
+        } else if self.datapath.is_some() {
             REPORT_SCHEMA_V2
         } else {
             REPORT_SCHEMA
@@ -342,6 +387,27 @@ impl CampaignReport {
             }
             o.push_str("  ]},\n");
         }
+        if let Some(seq) = &self.sequential {
+            o.push_str("  \"sequential\": {\"duration\": ");
+            match seq.duration {
+                FaultDuration::Permanent => o.push_str("{\"kind\": \"permanent\"}"),
+                FaultDuration::Transient { cycle } => {
+                    let _ = write!(o, "{{\"kind\": \"transient\", \"cycle\": {cycle}}}");
+                }
+            }
+            let _ = write!(
+                o,
+                ", \"total_cycles\": {}, \"first_detect_hist\": [",
+                seq.total_cycles
+            );
+            for (i, n) in seq.first_detect_hist.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                let _ = write!(o, "{n}");
+            }
+            o.push_str("]},\n");
+        }
         o.push_str("  \"per_fault\": [\n");
         for (i, f) in self.per_fault.iter().enumerate() {
             let _ = write!(
@@ -380,9 +446,10 @@ impl CampaignReport {
     pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
         let v = json::parse(text)?;
         let schema = require_str(&v, "schema")?;
-        let v2 = match schema {
-            s if s == REPORT_SCHEMA => false,
-            s if s == REPORT_SCHEMA_V2 => true,
+        let version = match schema {
+            s if s == REPORT_SCHEMA => 1u8,
+            s if s == REPORT_SCHEMA_V2 => 2,
+            s if s == REPORT_SCHEMA_V3 => 3,
             other => {
                 return Err(schema_err("schema", format!("unknown schema `{other}`")));
             }
@@ -392,7 +459,7 @@ impl CampaignReport {
             .get("scenario")
             .ok_or_else(|| schema_err("scenario", "missing".into()))?;
         let op_label = require_str(s, "op")?;
-        let op = if v2 && op_label == "datapath" {
+        let op = if version >= 2 && op_label == "datapath" {
             // Whole-datapath reports carry no single operator; the
             // placeholder keeps the in-memory scenario well-formed.
             scdp_core::Operator::Add
@@ -495,7 +562,7 @@ impl CampaignReport {
             ));
         }
 
-        let datapath = match (v2, v.get("datapath")) {
+        let datapath = match (version >= 2, v.get("datapath")) {
             (false, None) => None,
             (false, Some(_)) => {
                 return Err(schema_err(
@@ -506,10 +573,26 @@ impl CampaignReport {
             (true, None) => {
                 return Err(schema_err(
                     "datapath",
-                    "v2 documents require the datapath section".into(),
+                    format!("v{version} documents require the datapath section"),
                 ));
             }
             (true, Some(dp)) => Some(parse_datapath(dp)?),
+        };
+        let sequential = match (version >= 3, v.get("sequential")) {
+            (false, None) => None,
+            (false, Some(_)) => {
+                return Err(schema_err(
+                    "sequential",
+                    format!("v{version} documents must not carry a sequential section"),
+                ));
+            }
+            (true, None) => {
+                return Err(schema_err(
+                    "sequential",
+                    "v3 documents require the sequential section".into(),
+                ));
+            }
+            (true, Some(seq)) => Some(parse_sequential(seq)?),
         };
 
         Ok(CampaignReport {
@@ -524,8 +607,68 @@ impl CampaignReport {
             simulated,
             elapsed_ms,
             datapath,
+            sequential,
         })
     }
+}
+
+fn parse_sequential(seq: &Json) -> Result<SequentialDetails, CampaignError> {
+    let d = seq
+        .get("duration")
+        .ok_or_else(|| schema_err("sequential.duration", "missing".into()))?;
+    let duration = match require_str(d, "kind")
+        .map_err(|_| schema_err("sequential.duration", "missing or malformed kind".into()))?
+    {
+        "permanent" => FaultDuration::Permanent,
+        "transient" => {
+            let cycle = require_u64(d, "cycle")
+                .map_err(|_| schema_err("sequential.duration", "transient without cycle".into()))?;
+            let cycle = u32::try_from(cycle).map_err(|_| {
+                schema_err("sequential.duration", "transient cycle out of range".into())
+            })?;
+            FaultDuration::Transient { cycle }
+        }
+        other => {
+            return Err(schema_err(
+                "sequential.duration",
+                format!("unknown kind `{other}`"),
+            ))
+        }
+    };
+    let total_cycles = require_u64(seq, "total_cycles")
+        .map_err(|_| schema_err("sequential.total_cycles", "missing or not a count".into()))?;
+    let hist_json = seq
+        .get("first_detect_hist")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            schema_err(
+                "sequential.first_detect_hist",
+                "missing or not an array".into(),
+            )
+        })?;
+    let mut first_detect_hist = Vec::with_capacity(hist_json.len());
+    for cell in hist_json {
+        first_detect_hist.push(cell.as_u64().ok_or_else(|| {
+            schema_err(
+                "sequential.first_detect_hist",
+                "histogram cell is not a count".into(),
+            )
+        })?);
+    }
+    if first_detect_hist.len() as u64 != total_cycles {
+        return Err(schema_err(
+            "sequential.first_detect_hist",
+            format!(
+                "histogram has {} entries but total_cycles is {total_cycles}",
+                first_detect_hist.len()
+            ),
+        ));
+    }
+    Ok(SequentialDetails {
+        duration,
+        total_cycles,
+        first_detect_hist,
+    })
 }
 
 fn parse_datapath(dp: &Json) -> Result<DatapathDetails, CampaignError> {
@@ -634,6 +777,23 @@ pub fn drop_from_label(s: &str) -> Option<DropPolicy> {
     }
 }
 
+/// Stable serialisation label of a fault duration (`permanent`,
+/// `transient@<cycle>`).
+#[must_use]
+pub fn duration_label(d: FaultDuration) -> String {
+    d.to_string()
+}
+
+/// Parses a fault-duration serialisation label.
+#[must_use]
+pub fn duration_from_label(s: &str) -> Option<FaultDuration> {
+    if s == "permanent" {
+        return Some(FaultDuration::Permanent);
+    }
+    let cycle = s.strip_prefix("transient@")?.parse().ok()?;
+    Some(FaultDuration::Transient { cycle })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +837,7 @@ mod tests {
             simulated: 16,
             elapsed_ms: 7,
             datapath: None,
+            sequential: None,
         }
     }
 

@@ -1,0 +1,456 @@
+//! Cycle-accurate datapath campaigns: the sequential companion of
+//! [`DatapathCampaignSpec`](crate::DatapathCampaignSpec).
+//!
+//! The unrolled campaign approximates time-multiplexing with correlated
+//! injection; this module runs the *real machine* — the shared-FU
+//! sequential netlist of [`scdp_netlist::gen::elaborate_seq_datapath`]
+//! — on the multi-cycle bit-parallel engine ([`scdp_sim::SeqEngine`]).
+//! Two things only the sequential model can express appear here:
+//!
+//! * **fault durations** — permanent structural defects vs single-cycle
+//!   transients ([`FaultDuration`]), selected per campaign;
+//! * **detection latency** — every alarm records the cycle it first
+//!   fired in, aggregated into a per-cycle histogram serialised in the
+//!   report's `sequential` section (`scdp.campaign.report/v3`).
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_campaign::{DatapathScenario, DfgSource, FaultDuration, InputSpace};
+//! use scdp_core::Technique;
+//!
+//! let report = DatapathScenario::new(DfgSource::Dot, 2)
+//!     .technique(Technique::Tech1)
+//!     .seq_campaign()
+//!     .duration(FaultDuration::Permanent)
+//!     .input_space(InputSpace::Sampled { per_fault: 128, seed: 7 })
+//!     .threads(2)
+//!     .run()
+//!     .expect("valid scenario");
+//! let seq = report.sequential.as_ref().expect("sequential section");
+//! assert_eq!(seq.first_detect_hist.len() as u64, seq.total_cycles);
+//! ```
+
+use crate::datapath::{datapath_input_plan, style_label, DatapathScenario};
+use crate::error::CampaignError;
+use crate::report::{CampaignReport, DatapathDetails, FaultRecord, FuTally, SequentialDetails};
+use crate::scenario::{Backend, FaultModel};
+use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
+use scdp_coverage::Tally;
+use scdp_hls::{bind, sched, BindOptions, ComponentLibrary};
+use scdp_netlist::gen::{class_label, elaborate_seq_datapath, SeqDatapath};
+use scdp_netlist::FaultDuration;
+use scdp_sim::{DropPolicy, SeqCampaign, SeqEngine, SeqFaultGroup};
+use std::fmt;
+use std::time::Instant;
+
+impl DatapathScenario {
+    /// Runs the synthesis front half — expansion, list scheduling,
+    /// binding — and elaborates the result to one cycle-accurate
+    /// shared-FU netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=32`; use
+    /// [`SeqDatapathCampaignSpec::run`] for validated, typed-error
+    /// entry.
+    #[must_use]
+    pub fn elaborate_seq(&self) -> SeqDatapath {
+        let dfg = self.expanded();
+        let lib = ComponentLibrary::virtex16();
+        let schedule = sched::list_schedule(&dfg, &lib, &self.resources);
+        let opts = BindOptions {
+            separate_checkers: self.allocation == scdp_core::Allocation::Dedicated,
+            no_sharing: false,
+        };
+        let binding = bind(&dfg, &schedule, &lib, opts);
+        elaborate_seq_datapath(&dfg, &schedule, &binding, self.width)
+    }
+
+    /// Starts a cycle-accurate [`SeqDatapathCampaignSpec`] for this
+    /// scenario.
+    #[must_use]
+    pub fn seq_campaign(self) -> SeqDatapathCampaignSpec {
+        SeqDatapathCampaignSpec::new(self)
+    }
+}
+
+/// Configures *how* a [`DatapathScenario`] is analysed cycle-accurately
+/// and runs it on the sequential bit-parallel engine.
+#[derive(Clone)]
+pub struct SeqDatapathCampaignSpec {
+    /// The scenario under analysis.
+    pub scenario: DatapathScenario,
+    /// How long injected faults stay active.
+    pub duration: FaultDuration,
+    /// The input-space strategy.
+    pub space: scdp_coverage::InputSpace,
+    /// When faults leave the simulated universe.
+    pub drop: DropPolicy,
+    /// Worker-thread cap (`None` = all available cores).
+    pub threads: Option<usize>,
+    /// Optional progress observer.
+    pub observer: Option<ProgressHook>,
+}
+
+impl fmt::Debug for SeqDatapathCampaignSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SeqDatapathCampaignSpec")
+            .field("scenario", &self.scenario)
+            .field("duration", &self.duration)
+            .field("space", &self.space)
+            .field("drop", &self.drop)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl SeqDatapathCampaignSpec {
+    /// Starts a campaign with permanent faults, exhaustive inputs, no
+    /// dropping and all available cores.
+    #[must_use]
+    pub fn new(scenario: DatapathScenario) -> Self {
+        Self {
+            scenario,
+            duration: FaultDuration::Permanent,
+            space: scdp_coverage::InputSpace::Exhaustive,
+            drop: DropPolicy::Never,
+            threads: None,
+            observer: None,
+        }
+    }
+
+    /// Selects the fault duration (validated against the elaborated
+    /// cycle count by [`SeqDatapathCampaignSpec::run`]).
+    #[must_use]
+    pub fn duration(mut self, duration: FaultDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Selects the input space.
+    #[must_use]
+    pub fn input_space(mut self, space: scdp_coverage::InputSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Selects the drop policy.
+    #[must_use]
+    pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Caps the worker thread count (validated by
+    /// [`SeqDatapathCampaignSpec::run`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Installs a progress observer, called on the driver thread.
+    #[must_use]
+    pub fn observer(mut self, hook: ProgressHook) -> Self {
+        self.observer = Some(hook);
+        self
+    }
+
+    fn emit(&self, event: &Progress) {
+        if let Some(hook) = &self.observer {
+            hook(event);
+        }
+    }
+
+    /// Runs the campaign: expand → schedule → bind → sequential
+    /// elaboration → cycle-accurate bit-parallel simulation, with
+    /// per-FU tallies in the report's `datapath` section and the
+    /// detection-latency histogram in its `sequential` section
+    /// (`scdp.campaign.report/v3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CampaignError`] for invalid configurations:
+    /// width out of range, zero threads, an exhaustive input space over
+    /// more than [`crate::MAX_EXHAUSTIVE_INPUT_BITS`] primary input
+    /// bits, or a transient cycle beyond the elaborated cycle count.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
+        if s.width == 0 || s.width > MAX_WIDTH {
+            return Err(CampaignError::WidthOutOfRange {
+                width: s.width,
+                max: MAX_WIDTH,
+            });
+        }
+        self.run_on(&s.elaborate_seq())
+    }
+
+    /// Runs the campaign on a machine elaborated earlier with
+    /// [`DatapathScenario::elaborate_seq`], skipping the synthesis
+    /// front half — for sweeps that run several durations or input
+    /// spaces over the same scenario (the elaboration must come from
+    /// this spec's scenario).
+    ///
+    /// # Errors
+    ///
+    /// As [`SeqDatapathCampaignSpec::run`], minus the width check the
+    /// elaboration already enforced.
+    pub fn run_on(&self, dp: &SeqDatapath) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
+        if self.threads == Some(0) {
+            return Err(CampaignError::ZeroThreads);
+        }
+        let start = Instant::now();
+        self.emit(&Progress::Started {
+            backend: Backend::GateLevel,
+            fault_model: FaultModel::Structural,
+        });
+
+        let plan = datapath_input_plan(self.space, dp.netlist.input_bits())?;
+        if let FaultDuration::Transient { cycle } = self.duration {
+            if cycle >= dp.total_cycles {
+                return Err(CampaignError::TransientCycleOutOfRange {
+                    cycle,
+                    total_cycles: dp.total_cycles,
+                });
+            }
+        }
+        let (groups, ranges) = dp.fault_universe();
+        self.emit(&Progress::NetlistCompiled {
+            name: dp.netlist.name().to_string(),
+            gates: dp.netlist.gate_count(),
+            faults: groups.len(),
+        });
+
+        let engine = SeqEngine::new(&dp.netlist);
+        let groups: Vec<SeqFaultGroup> = groups
+            .into_iter()
+            .map(|lines| SeqFaultGroup::new(lines, self.duration))
+            .collect();
+        let mut campaign = SeqCampaign::new(&engine, groups, dp.total_cycles)
+            .plan(plan)
+            .drop_policy(self.drop);
+        if let Some(t) = self.threads {
+            campaign = campaign.threads(t);
+        }
+        let summary = campaign.run();
+
+        let per_fault: Vec<FaultRecord> = summary
+            .per_fault
+            .iter()
+            .map(|f| FaultRecord {
+                tally: f.outcome.tally,
+                detected: f.outcome.detected,
+                escaped: f.outcome.escaped,
+                dropped_after: f.outcome.dropped_after,
+            })
+            .collect();
+
+        let per_fu: Vec<FuTally> = ranges
+            .iter()
+            .map(|r| {
+                let span = &dp.fus[r.fu];
+                let mut tally = scdp_coverage::TechTally::default();
+                let mut detected = 0u64;
+                let mut escaped = 0u64;
+                for f in &per_fault[r.start..r.end] {
+                    tally += f.tally;
+                    detected += u64::from(f.detected);
+                    escaped += u64::from(f.escaped);
+                }
+                FuTally {
+                    name: span.name.clone(),
+                    class: class_label(span.class).to_string(),
+                    role: crate::datapath::role_label(span.role).to_string(),
+                    ops: span.ops.len() as u64,
+                    instances: u64::from(span.instance.is_some()),
+                    instance_gates: span.instance_gates() as u64,
+                    faults: (r.end - r.start) as u64,
+                    tally,
+                    detected,
+                    escaped,
+                }
+            })
+            .collect();
+
+        let selected = s.tech_index();
+        let mut tally = Tally::default();
+        tally.tech[selected as usize] = summary.tally;
+        let details = DatapathDetails {
+            source: s.source.label(),
+            style: style_label(s.style).to_string(),
+            nodes: dp.nodes as u64,
+            schedule_length: u64::from(dp.schedule_length),
+            registers: dp.registers as u64,
+            mux_legs: dp.mux_legs as u64,
+            gates: dp.netlist.gate_count() as u64,
+            per_fu,
+        };
+        let sequential = SequentialDetails {
+            duration: self.duration,
+            total_cycles: u64::from(dp.total_cycles),
+            first_detect_hist: summary.first_detect.clone(),
+        };
+        let mut report = CampaignReport {
+            scenario: s.placeholder_scenario(),
+            backend: Backend::GateLevel,
+            fault_model: FaultModel::Structural,
+            space: self.space,
+            drop: self.drop,
+            tally,
+            filled: vec![selected],
+            per_fault,
+            simulated: summary.simulated,
+            elapsed_ms: 0,
+            datapath: Some(details),
+            sequential: Some(sequential),
+        };
+        report.elapsed_ms = start.elapsed().as_millis() as u64;
+        self.emit(&Progress::Finished {
+            simulated: report.simulated,
+            elapsed_ms: report.elapsed_ms,
+        });
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::DfgSource;
+    use scdp_core::Technique;
+    use scdp_coverage::InputSpace;
+
+    fn quick(source: DfgSource, duration: FaultDuration) -> CampaignReport {
+        DatapathScenario::new(source, 2)
+            .technique(Technique::Tech1)
+            .seq_campaign()
+            .duration(duration)
+            .input_space(InputSpace::Sampled {
+                per_fault: 128,
+                seed: 0x5E9,
+            })
+            .threads(2)
+            .run()
+            .expect("campaign runs")
+    }
+
+    #[test]
+    fn sequential_section_is_consistent() {
+        let r = quick(DfgSource::Fir, FaultDuration::Permanent);
+        let seq = r.sequential.as_ref().expect("sequential section");
+        assert_eq!(seq.first_detect_hist.len() as u64, seq.total_cycles);
+        let detected: u64 = seq.first_detect_hist.iter().sum();
+        let t = r.four_way();
+        assert_eq!(
+            detected,
+            t.correct_detected + t.error_detected,
+            "histogram sums to the detected situations"
+        );
+        assert!(seq.mean_detection_latency().is_some());
+        let dp = r.datapath.as_ref().expect("datapath section");
+        assert!(dp.per_fu.iter().all(|fu| fu.instances <= 1));
+    }
+
+    #[test]
+    fn per_fu_tallies_sum_to_the_aggregate() {
+        let r = quick(DfgSource::Dot, FaultDuration::Permanent);
+        let dp = r.datapath.as_ref().expect("datapath section");
+        let mut sum = scdp_coverage::TechTally::default();
+        let mut faults = 0u64;
+        for fu in &dp.per_fu {
+            sum += fu.tally;
+            faults += fu.faults;
+        }
+        assert_eq!(sum, *r.four_way());
+        assert_eq!(faults, r.fault_count());
+    }
+
+    #[test]
+    fn transients_are_milder_than_permanents() {
+        let perm = quick(DfgSource::Dot, FaultDuration::Permanent);
+        let wrong = |r: &CampaignReport| {
+            let t = r.four_way();
+            t.error_detected + t.error_undetected
+        };
+        let cycles = perm.sequential.as_ref().unwrap().total_cycles as u32;
+        let mut any_corruption = false;
+        for cycle in 0..cycles {
+            let tran = quick(DfgSource::Dot, FaultDuration::Transient { cycle });
+            assert!(
+                wrong(&tran) < wrong(&perm),
+                "a single-cycle upset at cycle {cycle} must corrupt fewer situations \
+                 ({} vs {})",
+                wrong(&tran),
+                wrong(&perm)
+            );
+            any_corruption |= wrong(&tran) > 0;
+        }
+        assert!(any_corruption, "some transient cycle must corrupt results");
+    }
+
+    #[test]
+    fn validation_is_typed() {
+        let err = DatapathScenario::new(DfgSource::Fir, 0)
+            .seq_campaign()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::WidthOutOfRange { .. }));
+
+        let err = DatapathScenario::new(DfgSource::Fir, 4)
+            .seq_campaign()
+            .threads(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, CampaignError::ZeroThreads);
+
+        let err = DatapathScenario::new(DfgSource::Iir, 8)
+            .seq_campaign()
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::ExhaustiveDatapathTooLarge { input_bits } if input_bits > 24
+        ));
+
+        let err = DatapathScenario::new(DfgSource::Fir, 2)
+            .seq_campaign()
+            .duration(FaultDuration::Transient { cycle: 999 })
+            .input_space(InputSpace::Sampled {
+                per_fault: 16,
+                seed: 1,
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::TransientCycleOutOfRange { cycle: 999, .. }
+        ));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenario = DatapathScenario::new(DfgSource::Dot, 2).technique(Technique::Both);
+        let space = InputSpace::Sampled {
+            per_fault: 128,
+            seed: 11,
+        };
+        let a = scenario
+            .clone()
+            .seq_campaign()
+            .input_space(space)
+            .threads(1)
+            .run()
+            .unwrap();
+        let b = scenario
+            .seq_campaign()
+            .input_space(space)
+            .threads(3)
+            .run()
+            .unwrap();
+        assert!(a.same_results(&b));
+        assert_eq!(a.sequential, b.sequential);
+    }
+}

@@ -318,6 +318,7 @@ impl CampaignSpec {
             per_fault,
             elapsed_ms: 0,
             datapath: None,
+            sequential: None,
         })
     }
 
@@ -399,6 +400,7 @@ impl CampaignSpec {
             simulated: summary.simulated,
             elapsed_ms: 0,
             datapath: None,
+            sequential: None,
         })
     }
 }

@@ -53,6 +53,7 @@ pub mod bind;
 mod dfg;
 mod library;
 pub mod sched;
+pub mod testgen;
 pub mod timing;
 pub mod transform;
 

@@ -1,0 +1,203 @@
+//! Seeded random-DFG generation — the test support behind the
+//! property-based differential harnesses.
+//!
+//! The four built-in workloads exercise a handful of hand-written graph
+//! shapes; the differential tests (`tests/seq_vs_interp.rs` at the
+//! workspace root) additionally sweep hundreds of *random* loop bodies
+//! through the full synthesis pipeline — schedule, bind, elaborate,
+//! simulate — and compare every elaboration against the word-level
+//! interpreter. This module generates those graphs: bounded in size,
+//! valid by construction (arguments always reference earlier nodes),
+//! and fully determined by the seed, so a failing case reproduces from
+//! its seed alone.
+
+use crate::dfg::{Dfg, NodeId, OpKind};
+use crate::library::ResourceSet;
+use scdp_rng::{Rng, Xoshiro256StarStar};
+
+/// Bounds on the generated graphs.
+#[derive(Copy, Clone, Debug)]
+pub struct DfgGenConfig {
+    /// Maximum arithmetic operations (at least 1 is always generated).
+    pub max_ops: usize,
+    /// Allow `Div`/`Rem` nodes (divider cores are by far the largest,
+    /// so width-heavy sweeps may want them off).
+    pub allow_div: bool,
+    /// Allow `Load` nodes (each adds a primary input bus) and a
+    /// trailing `Store`.
+    pub allow_mem: bool,
+}
+
+impl Default for DfgGenConfig {
+    /// Up to 8 operations, everything allowed.
+    fn default() -> Self {
+        Self {
+            max_ops: 8,
+            allow_div: true,
+            allow_mem: true,
+        }
+    }
+}
+
+/// Generates a random, valid loop-body DFG from `seed`.
+///
+/// The graph has 1–3 inputs, 0–2 constants, 1–`max_ops` arithmetic
+/// operations drawn from the checkable and unary kinds (plus loads and
+/// one store when `allow_mem`), and 1–2 named outputs — always
+/// including the last operation, so no generated graph is trivially
+/// empty after dead-code elimination.
+#[must_use]
+pub fn random_dfg(seed: u64, cfg: &DfgGenConfig) -> Dfg {
+    let mut rng = Xoshiro256StarStar::from_seed(seed ^ 0xD1F6_0000);
+    let mut d = Dfg::new(format!("rand{seed:x}"));
+    let mut pool: Vec<NodeId> = Vec::new();
+    let inputs = 1 + rng.gen_range(3) as usize;
+    for i in 0..inputs {
+        pool.push(d.input(format!("x{i}")));
+    }
+    for _ in 0..rng.gen_range(3) {
+        // Small signed constants; zero stays legal (division follows
+        // the restoring-divider convention).
+        let v = rng.gen_range(9) as i64 - 4;
+        pool.push(d.constant(v));
+    }
+    let ops = 1 + rng.gen_range(cfg.max_ops as u64) as usize;
+    let pick = |rng: &mut Xoshiro256StarStar, pool: &[NodeId]| {
+        pool[rng.gen_range(pool.len() as u64) as usize]
+    };
+    for _ in 0..ops {
+        let roll = rng.gen_range(100);
+        let node = if cfg.allow_mem && roll < 12 {
+            let addr = pick(&mut rng, &pool);
+            d.op(
+                OpKind::Load {
+                    bank: rng.gen_range(2) as usize,
+                },
+                &[addr],
+            )
+        } else {
+            let kind = match roll % 20 {
+                0..=5 => OpKind::Add,
+                6..=10 => OpKind::Sub,
+                11..=14 => OpKind::Mul,
+                15..=16 => OpKind::Neg,
+                17 if cfg.allow_div => OpKind::Div,
+                18 if cfg.allow_div => OpKind::Rem,
+                _ => OpKind::Add,
+            };
+            let a = pick(&mut rng, &pool);
+            if kind == OpKind::Neg {
+                d.op(kind, &[a])
+            } else {
+                let b = pick(&mut rng, &pool);
+                d.op(kind, &[a, b])
+            }
+        };
+        pool.push(node);
+    }
+    let last = *pool.last().expect("at least one op");
+    d.output("y0", last);
+    if rng.gen_range(2) == 1 {
+        let extra = pick(&mut rng, &pool);
+        d.output("y1", extra);
+    }
+    if cfg.allow_mem && rng.gen_range(4) == 0 {
+        let addr = pick(&mut rng, &pool);
+        let val = pick(&mut rng, &pool);
+        let _ = d.op(OpKind::Store { bank: 0 }, &[addr, val]);
+    }
+    d
+}
+
+/// A random resource set from `seed`: min-area, min-latency or an
+/// in-between point, so sweeps exercise both heavily shared and
+/// parallel bindings.
+#[must_use]
+pub fn random_resources(seed: u64) -> ResourceSet {
+    let mut rng = Xoshiro256StarStar::from_seed(seed ^ 0x9E50_0000);
+    match rng.gen_range(3) {
+        0 => ResourceSet::min_area(),
+        1 => ResourceSet::min_latency(),
+        _ => ResourceSet {
+            alus: 2,
+            mults: 1,
+            divs: 1,
+            mem_ports: 1,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::ComponentLibrary;
+    use crate::sched::list_schedule;
+    use crate::{bind, BindOptions};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DfgGenConfig::default();
+        let a = random_dfg(42, &cfg);
+        let b = random_dfg(42, &cfg);
+        assert_eq!(a.len(), b.len());
+        for ((_, x), (_, y)) in a.iter().zip(b.iter()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.args, y.args);
+        }
+        let c = random_dfg(43, &cfg);
+        assert!(
+            a.len() != c.len()
+                || a.iter()
+                    .zip(c.iter())
+                    .any(|((_, x), (_, y))| x.kind != y.kind || x.args != y.args),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn generated_graphs_survive_the_synthesis_pipeline() {
+        let lib = ComponentLibrary::virtex16();
+        for seed in 0..50 {
+            let cfg = DfgGenConfig {
+                max_ops: 6,
+                allow_div: seed % 3 == 0,
+                allow_mem: seed % 2 == 0,
+            };
+            let d = random_dfg(seed, &cfg);
+            assert!(d.iter().any(|(_, n)| !n.kind.is_virtual()), "seed {seed}");
+            let resources = random_resources(seed);
+            let schedule = list_schedule(&d, &lib, &resources);
+            let binding = bind(&d, &schedule, &lib, BindOptions::default());
+            assert!(!binding.fus.is_empty(), "seed {seed}");
+            for (id, n) in d.iter() {
+                if !n.kind.is_virtual() && !n.kind.is_chained() {
+                    assert!(
+                        schedule.avail(id) > schedule.start(id),
+                        "seed {seed}: node {id} takes no time"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_gates_are_respected() {
+        let no_div = DfgGenConfig {
+            max_ops: 12,
+            allow_div: false,
+            allow_mem: false,
+        };
+        for seed in 0..40 {
+            let d = random_dfg(seed, &no_div);
+            for (_, n) in d.iter() {
+                assert!(
+                    !matches!(
+                        n.kind,
+                        OpKind::Div | OpKind::Rem | OpKind::Load { .. } | OpKind::Store { .. }
+                    ),
+                    "seed {seed} violated config"
+                );
+            }
+        }
+    }
+}

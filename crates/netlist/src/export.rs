@@ -24,6 +24,9 @@ use std::fmt::Write as _;
 pub fn to_verilog(netlist: &Netlist) -> String {
     let mut out = String::new();
     let mut ports = Vec::new();
+    if netlist.is_sequential() {
+        ports.push("clk".to_string());
+    }
     for (name, _) in netlist.inputs() {
         ports.push(name.clone());
     }
@@ -31,6 +34,9 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         ports.push(name.clone());
     }
     let _ = writeln!(out, "module {}({});", netlist.name(), ports.join(", "));
+    if netlist.is_sequential() {
+        let _ = writeln!(out, "  input clk;");
+    }
     for (name, bus) in netlist.inputs() {
         let _ = writeln!(out, "  input [{}:0] {};", bus.len() - 1, name);
     }
@@ -70,6 +76,11 @@ pub fn to_verilog(netlist: &Netlist) -> String {
                 let a = net_name(gate.a.expect("buf input").index());
                 let _ = writeln!(out, "  wire n{i} = {a};");
             }
+            GateKind::Dff => {
+                // Declared here; the clocked process is emitted after
+                // the wires so the D net's declaration precedes its use.
+                let _ = writeln!(out, "  reg n{i} = 1'b0;");
+            }
             kind => {
                 let a = net_name(gate.a.expect("gate input a").index());
                 let b = net_name(gate.b.expect("gate input b").index());
@@ -85,6 +96,16 @@ pub fn to_verilog(netlist: &Netlist) -> String {
                 let _ = writeln!(out, "  wire n{i} = {expr};");
             }
         }
+    }
+    if netlist.is_sequential() {
+        let _ = writeln!(out, "  always @(posedge clk) begin");
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            if gate.kind == GateKind::Dff {
+                let d = net_name(gate.a.expect("dff D input").index());
+                let _ = writeln!(out, "    n{i} <= {d};");
+            }
+        }
+        let _ = writeln!(out, "  end");
     }
     for (name, bus) in netlist.outputs() {
         for (i, net) in bus.iter().enumerate() {
@@ -143,6 +164,21 @@ mod tests {
         assert!(v.contains("endmodule"));
         // At least one gate per FA.
         assert!(v.matches(" ^ ").count() >= 8);
+    }
+
+    #[test]
+    fn sequential_verilog_has_clock_and_registers() {
+        let mut b = crate::NetlistBuilder::new("tick");
+        let q = b.dff();
+        let nq = b.not(q);
+        b.connect_dff(q, nq);
+        b.output("q", &[q]);
+        let v = to_verilog(&b.finish());
+        assert!(v.contains("module tick(clk, q);"), "{v}");
+        assert!(v.contains("input clk;"));
+        assert!(v.contains("reg n0 = 1'b0;"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("n0 <= n1;"));
     }
 
     #[test]

@@ -451,69 +451,8 @@ mod tests {
         elaborate_datapath(dfg, &schedule, &binding, width)
     }
 
-    /// Interprets a DFG over `Word` values: inputs and load data are
-    /// drawn from `inputs` in node order; returns result buses in the
-    /// elaborated netlist's output order plus the alarm bit.
-    fn interpret(dfg: &Dfg, width: u32, inputs: &[Word]) -> (Vec<Word>, bool) {
-        let mut next_input = 0usize;
-        let mut take = || {
-            let w = inputs[next_input];
-            next_input += 1;
-            w
-        };
-        let mut values: Vec<Word> = Vec::with_capacity(dfg.len());
-        let mut results: Vec<Word> = Vec::new();
-        let mut alarm = false;
-        for (_, node) in dfg.iter() {
-            let arg = |i: usize, values: &[Word]| values[node.args[i].index()];
-            let v = match &node.kind {
-                OpKind::Input(_) => take(),
-                OpKind::Const(c) => Word::from_i64(width, *c),
-                OpKind::Output(name) => {
-                    let val = arg(0, &values);
-                    if name == "error" || name.starts_with("_err") {
-                        alarm |= val.bits() != 0;
-                    } else {
-                        results.push(val);
-                    }
-                    Word::new(width, 0)
-                }
-                OpKind::Load { .. } => {
-                    results.push(arg(0, &values)); // address bus
-                    take()
-                }
-                OpKind::Store { .. } => {
-                    results.push(arg(0, &values));
-                    if node.args.len() > 1 {
-                        results.push(arg(1, &values));
-                    }
-                    Word::new(width, 0)
-                }
-                OpKind::Add => arg(0, &values).wrapping_add(arg(1, &values)),
-                OpKind::Sub => arg(0, &values).wrapping_sub(arg(1, &values)),
-                OpKind::Neg => Word::new(width, 0).wrapping_sub(arg(0, &values)),
-                OpKind::Mul => arg(0, &values).wrapping_mul(arg(1, &values)),
-                OpKind::Div => {
-                    let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
-                    // d == 0: the restoring divider naturally yields an
-                    // all-ones quotient.
-                    Word::new(width, a.checked_div(d).unwrap_or((1u64 << width) - 1))
-                }
-                OpKind::Rem => {
-                    let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
-                    // d == 0: the partial remainder ends as the dividend.
-                    Word::new(width, a.checked_rem(d).unwrap_or(a))
-                }
-                OpKind::CmpNe => Word::new(1, u64::from(arg(0, &values) != arg(1, &values))),
-                OpKind::OrBit => Word::new(1, arg(0, &values).bits() | arg(1, &values).bits()),
-            };
-            values.push(v);
-        }
-        (results, alarm)
-    }
-
     /// Fault-free cross-check of an elaborated netlist against the
-    /// interpreter, over a deterministic input sweep.
+    /// shared interpreter, over a deterministic input sweep.
     fn check_fault_free(dfg: &Dfg, width: u32, opts: BindOptions) {
         let dp = elaborate(dfg, width, opts);
         let buses = dp.netlist.inputs().len();
@@ -526,11 +465,11 @@ mod tests {
                 })
                 .collect();
             let out = dp.netlist.eval_words(&inputs, &[]);
-            let (expect, alarm) = interpret(dfg, width, &inputs);
-            assert!(!alarm, "interpreter must be alarm-free fault-free");
+            let ev = super::super::interp::interpret_dfg(dfg, width, &inputs);
+            assert!(!ev.alarm, "interpreter must be alarm-free fault-free");
             let n = out.len();
             assert_eq!(out[n - 1].bits(), 0, "fault-free alarm fired");
-            for (i, e) in expect.iter().enumerate() {
+            for (i, e) in ev.results.iter().enumerate() {
                 assert_eq!(out[i], *e, "{} result bus {i}", dfg.name());
             }
         }

@@ -1,0 +1,139 @@
+//! Word-level reference interpreter for scheduled dataflow graphs.
+//!
+//! Both elaboration paths — the unrolled combinational lowering
+//! ([`super::elaborate_datapath`]) and the cycle-accurate shared-FU
+//! lowering ([`super::elaborate_seq_datapath`]) — must compute exactly
+//! the functions this interpreter computes. It is the fault-free oracle
+//! of every differential test: whatever the structural lowering does
+//! with muxes, controllers and registers, the final result buses must
+//! be bit-identical to this straight-line evaluation.
+
+use crate::Word;
+use scdp_hls::{Dfg, OpKind};
+
+/// The interpreter's verdict over one input assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfgEval {
+    /// Result-bus values in the elaborated netlist's output order
+    /// (load addresses, store addresses/values and named outputs in
+    /// node order; `error`/`_err*` outputs excluded).
+    pub results: Vec<Word>,
+    /// `true` if any error output carried a non-zero value.
+    pub alarm: bool,
+}
+
+/// Interprets a DFG over [`Word`] values: inputs and load data are
+/// drawn from `inputs` in node order (exactly the elaborated netlists'
+/// input-bus order); returns result buses in the elaborated netlists'
+/// output order plus the alarm bit.
+///
+/// Division follows the restoring-divider hardware convention for a
+/// zero divisor: the quotient is all-ones and the remainder is the
+/// dividend.
+///
+/// # Panics
+///
+/// Panics if `inputs` is shorter than the number of input and load
+/// nodes.
+#[must_use]
+pub fn interpret_dfg(dfg: &Dfg, width: u32, inputs: &[Word]) -> DfgEval {
+    let mut next_input = 0usize;
+    let mut take = || {
+        let w = inputs[next_input];
+        next_input += 1;
+        w
+    };
+    let mut values: Vec<Word> = Vec::with_capacity(dfg.len());
+    let mut results: Vec<Word> = Vec::new();
+    let mut alarm = false;
+    for (_, node) in dfg.iter() {
+        let arg = |i: usize, values: &[Word]| values[node.args[i].index()];
+        let v = match &node.kind {
+            OpKind::Input(_) => take(),
+            OpKind::Const(c) => Word::from_i64(width, *c),
+            OpKind::Output(name) => {
+                let val = arg(0, &values);
+                if name == "error" || name.starts_with("_err") {
+                    alarm |= val.bits() != 0;
+                } else {
+                    results.push(val);
+                }
+                Word::new(width, 0)
+            }
+            OpKind::Load { .. } => {
+                results.push(arg(0, &values)); // address bus
+                take()
+            }
+            OpKind::Store { .. } => {
+                results.push(arg(0, &values));
+                if node.args.len() > 1 {
+                    results.push(arg(1, &values));
+                }
+                Word::new(width, 0)
+            }
+            OpKind::Add => arg(0, &values).wrapping_add(arg(1, &values)),
+            OpKind::Sub => arg(0, &values).wrapping_sub(arg(1, &values)),
+            OpKind::Neg => Word::new(width, 0).wrapping_sub(arg(0, &values)),
+            OpKind::Mul => arg(0, &values).wrapping_mul(arg(1, &values)),
+            OpKind::Div => {
+                let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
+                // d == 0: the restoring divider naturally yields an
+                // all-ones quotient.
+                Word::new(width, a.checked_div(d).unwrap_or((1u64 << width) - 1))
+            }
+            OpKind::Rem => {
+                let (a, d) = (arg(0, &values).bits(), arg(1, &values).bits());
+                // d == 0: the partial remainder ends as the dividend.
+                Word::new(width, a.checked_rem(d).unwrap_or(a))
+            }
+            OpKind::CmpNe => Word::new(1, u64::from(arg(0, &values) != arg(1, &values))),
+            OpKind::OrBit => Word::new(1, arg(0, &values).bits() | arg(1, &values).bits()),
+        };
+        values.push(v);
+    }
+    DfgEval { results, alarm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let s = d.op(OpKind::Add, &[a, b]);
+        let m = d.op(OpKind::Mul, &[s, b]);
+        d.output("m", m);
+        let ev = interpret_dfg(&d, 4, &[Word::new(4, 3), Word::new(4, 5)]);
+        assert_eq!(ev.results, vec![Word::new(4, ((3 + 5) * 5) & 0xF)]);
+        assert!(!ev.alarm);
+    }
+
+    #[test]
+    fn error_outputs_raise_the_alarm() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let b = d.input("b");
+        let ne = d.op(OpKind::CmpNe, &[a, b]);
+        d.output("error", ne);
+        let eq = interpret_dfg(&d, 3, &[Word::new(3, 2), Word::new(3, 2)]);
+        assert!(!eq.alarm);
+        let diff = interpret_dfg(&d, 3, &[Word::new(3, 2), Word::new(3, 4)]);
+        assert!(diff.alarm);
+    }
+
+    #[test]
+    fn division_by_zero_follows_the_hardware() {
+        let mut d = Dfg::new("t");
+        let a = d.input("a");
+        let z = d.constant(0);
+        let q = d.op(OpKind::Div, &[a, z]);
+        let r = d.op(OpKind::Rem, &[a, z]);
+        d.output("q", q);
+        d.output("r", r);
+        let ev = interpret_dfg(&d, 3, &[Word::new(3, 5)]);
+        assert_eq!(ev.results, vec![Word::new(3, 7), Word::new(3, 5)]);
+    }
+}

@@ -11,7 +11,9 @@ mod checker;
 mod compare;
 mod datapath;
 mod divider;
+mod interp;
 mod mult;
+mod seq_datapath;
 
 pub use adder::{
     addsub, cla, cla_into, csa, csa_into, rca, rca_into, subtract_into, FaCells, RcaInstance,
@@ -23,4 +25,6 @@ pub use checker::{
 pub use compare::{equal, is_zero_into, neq_into, two_rail_checker};
 pub use datapath::{class_label, elaborate_datapath, ElaboratedDatapath, FuFaultRange, FuSpan};
 pub use divider::{restoring_divider, restoring_divider_into};
+pub use interp::{interpret_dfg, DfgEval};
 pub use mult::{array_mult, array_mult_into};
+pub use seq_datapath::{elaborate_seq_datapath, SeqDatapath, SeqFuSpan};

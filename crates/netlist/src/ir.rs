@@ -45,6 +45,13 @@ pub enum GateKind {
     Not,
     /// Buffer (used to materialise fanout stems where useful).
     Buf,
+    /// D flip-flop (register bit). Its output is the *state* captured at
+    /// the end of the previous cycle; the single input pin is the D line
+    /// sampled at the end of the current cycle. State resets to 0. The
+    /// D input may be connected *after* creation
+    /// ([`NetlistBuilder::connect_dff`]) — registers are exactly where
+    /// combinational feedback is legal.
+    Dff,
 }
 
 impl GateKind {
@@ -53,7 +60,7 @@ impl GateKind {
     pub fn pins(self) -> u8 {
         match self {
             GateKind::Input | GateKind::Const(_) => 0,
-            GateKind::Not | GateKind::Buf => 1,
+            GateKind::Not | GateKind::Buf | GateKind::Dff => 1,
             _ => 2,
         }
     }
@@ -97,10 +104,81 @@ impl StuckAtLine {
     }
 }
 
-/// A combinational gate-level netlist with named input/output buses.
+/// How long a fault is active during a sequential (multi-cycle)
+/// evaluation.
 ///
-/// Gates are stored in topological order (the builder only references
-/// already-created nets), so evaluation is a single forward pass.
+/// Combinational campaigns only know permanent faults; the cycle axis of
+/// sequential simulation adds single-cycle transients (an SEU-style
+/// upset that corrupts the datapath for exactly one control step).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultDuration {
+    /// Active in every cycle (a structural defect).
+    Permanent,
+    /// Active only during `cycle` (0-based).
+    Transient {
+        /// The single cycle the fault is active in.
+        cycle: u32,
+    },
+}
+
+impl FaultDuration {
+    /// `true` if the fault is active during `cycle`.
+    #[must_use]
+    pub fn active_at(self, cycle: u32) -> bool {
+        match self {
+            FaultDuration::Permanent => true,
+            FaultDuration::Transient { cycle: c } => c == cycle,
+        }
+    }
+}
+
+impl fmt::Display for FaultDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultDuration::Permanent => f.write_str("permanent"),
+            FaultDuration::Transient { cycle } => write!(f, "transient@{cycle}"),
+        }
+    }
+}
+
+/// A stuck-at fault with a duration, for sequential evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SeqStuckAt {
+    /// The stuck line.
+    pub line: StuckAtLine,
+    /// When the line is forced.
+    pub duration: FaultDuration,
+}
+
+impl SeqStuckAt {
+    /// A permanently stuck line.
+    #[must_use]
+    pub fn permanent(line: StuckAtLine) -> Self {
+        Self {
+            line,
+            duration: FaultDuration::Permanent,
+        }
+    }
+
+    /// A line stuck only during `cycle`.
+    #[must_use]
+    pub fn transient(line: StuckAtLine, cycle: u32) -> Self {
+        Self {
+            line,
+            duration: FaultDuration::Transient { cycle },
+        }
+    }
+}
+
+/// A gate-level netlist with named input/output buses.
+///
+/// Combinational gates are stored in topological order (the builder only
+/// references already-created nets), so evaluation is a single forward
+/// pass. [`GateKind::Dff`] cells are the one exception: their D input
+/// may reference a later net (sequential feedback), which is harmless
+/// because a register's *output* during a cycle never depends on its
+/// input during that cycle — the forward pass reads state, and state
+/// updates happen after the pass ([`Netlist::eval_seq_nets`]).
 #[derive(Clone, Debug)]
 pub struct Netlist {
     name: String,
@@ -135,6 +213,22 @@ impl Netlist {
             .iter()
             .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Const(_)))
             .count()
+    }
+
+    /// Number of [`GateKind::Dff`] state cells.
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| g.kind == GateKind::Dff)
+            .count()
+    }
+
+    /// `true` if the netlist holds state (at least one Dff cell) and
+    /// therefore needs cycle-accurate evaluation.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.gates.iter().any(|g| g.kind == GateKind::Dff)
     }
 
     /// Named input buses, in declaration order.
@@ -183,7 +277,8 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if `bits` does not match the total input width.
+    /// Panics if `bits` does not match the total input width, or if the
+    /// netlist is sequential (use [`Netlist::eval_seq_nets`]).
     #[must_use]
     pub fn eval_nets(&self, bits: &[bool], faults: &[StuckAtLine]) -> Vec<bool> {
         assert_eq!(bits.len(), self.input_bits(), "input bit count mismatch");
@@ -206,6 +301,9 @@ impl Netlist {
                     v
                 }
                 GateKind::Const(c) => c,
+                GateKind::Dff => {
+                    panic!("combinational evaluation of a sequential netlist; use eval_seq_nets")
+                }
                 GateKind::Not => !read(0, gate.a.expect("not input"), &values),
                 GateKind::Buf => read(0, gate.a.expect("buf input"), &values),
                 kind => {
@@ -260,6 +358,139 @@ impl Netlist {
                 let mut v = 0u64;
                 for (i, net) in bus.iter().enumerate() {
                     if nets[net.0] {
+                        v |= 1 << i;
+                    }
+                }
+                Word::new(bus.len() as u32, v)
+            })
+            .collect()
+    }
+
+    /// Cycle-accurate scalar evaluation: runs the netlist for `cycles`
+    /// clock cycles with primary inputs held constant, under zero or
+    /// more duration-qualified stuck-at faults. Dff cells start at 0,
+    /// output their state during the pass and capture their D net at the
+    /// end of each cycle. Returns the net values of **every** cycle
+    /// (`cycles` vectors), the reference for the packed sequential
+    /// engine.
+    ///
+    /// Fault semantics per cycle: a fault is applied only in cycles its
+    /// [`FaultDuration`] is active in. A stem fault on a Dff forces its
+    /// output (Q); a pin-0 fault on a Dff forces the value *captured*
+    /// at the end of an active cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not match the total input width.
+    #[must_use]
+    pub fn eval_seq_nets(
+        &self,
+        bits: &[bool],
+        cycles: u32,
+        faults: &[SeqStuckAt],
+    ) -> Vec<Vec<bool>> {
+        assert_eq!(bits.len(), self.input_bits(), "input bit count mismatch");
+        let mut state = vec![false; self.gates.len()];
+        let mut trace = Vec::with_capacity(cycles as usize);
+        for cycle in 0..cycles {
+            let active: Vec<StuckAtLine> = faults
+                .iter()
+                .filter(|f| f.duration.active_at(cycle))
+                .map(|f| f.line)
+                .collect();
+            let mut values = vec![false; self.gates.len()];
+            let mut next_input = 0usize;
+            for (i, gate) in self.gates.iter().enumerate() {
+                let read = |pin: u8, net: NetId, values: &[bool]| -> bool {
+                    let mut v = values[net.0];
+                    for f in &active {
+                        if f.site.gate == i && f.site.pin == Some(pin) {
+                            v = f.value;
+                        }
+                    }
+                    v
+                };
+                let mut out = match gate.kind {
+                    GateKind::Input => {
+                        let v = bits[next_input];
+                        next_input += 1;
+                        v
+                    }
+                    GateKind::Const(c) => c,
+                    GateKind::Dff => state[i],
+                    GateKind::Not => !read(0, gate.a.expect("not input"), &values),
+                    GateKind::Buf => read(0, gate.a.expect("buf input"), &values),
+                    kind => {
+                        let a = read(0, gate.a.expect("gate input a"), &values);
+                        let b = read(1, gate.b.expect("gate input b"), &values);
+                        match kind {
+                            GateKind::And => a & b,
+                            GateKind::Or => a | b,
+                            GateKind::Xor => a ^ b,
+                            GateKind::Nand => !(a & b),
+                            GateKind::Nor => !(a | b),
+                            GateKind::Xnor => !(a ^ b),
+                            _ => unreachable!("two-input kinds handled"),
+                        }
+                    }
+                };
+                for f in &active {
+                    if f.site.gate == i && f.site.pin.is_none() {
+                        out = f.value;
+                    }
+                }
+                values[i] = out;
+            }
+            // Capture: state <- D, with pin-0 overrides on active faults.
+            for (i, gate) in self.gates.iter().enumerate() {
+                if gate.kind != GateKind::Dff {
+                    continue;
+                }
+                let d = gate.a.expect("dff D input connected");
+                let mut v = values[d.0];
+                for f in &active {
+                    if f.site.gate == i && f.site.pin == Some(0) {
+                        v = f.value;
+                    }
+                }
+                state[i] = v;
+            }
+            trace.push(values);
+        }
+        trace
+    }
+
+    /// Cycle-accurate evaluation with [`Word`] operands: runs `cycles`
+    /// clock cycles and returns one `Word` per output bus read at the
+    /// **final** cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is 0, or on the same conditions as
+    /// [`Netlist::eval_words`].
+    #[must_use]
+    pub fn eval_seq_words(&self, words: &[Word], cycles: u32, faults: &[SeqStuckAt]) -> Vec<Word> {
+        assert!(cycles > 0, "at least one cycle required");
+        assert_eq!(words.len(), self.inputs.len(), "input bus count mismatch");
+        let mut bits = Vec::with_capacity(self.input_bits());
+        for (w, (name, bus)) in words.iter().zip(&self.inputs) {
+            assert_eq!(
+                w.width() as usize,
+                bus.len(),
+                "width mismatch on input bus {name}"
+            );
+            for i in 0..w.width() {
+                bits.push(w.bit(i));
+            }
+        }
+        let trace = self.eval_seq_nets(&bits, cycles, faults);
+        let last = trace.last().expect("cycles > 0");
+        self.outputs
+            .iter()
+            .map(|(_, bus)| {
+                let mut v = 0u64;
+                for (i, net) in bus.iter().enumerate() {
+                    if last[net.0] {
                         v |= 1 << i;
                     }
                 }
@@ -387,6 +618,28 @@ impl NetlistBuilder {
         self.push(GateKind::Buf, Some(a), None)
     }
 
+    /// A D flip-flop with its D input left unconnected, so registers can
+    /// be created *before* the logic computing their next-state value
+    /// (the only legal feedback in the IR). Connect it with
+    /// [`NetlistBuilder::connect_dff`] before [`NetlistBuilder::finish`].
+    pub fn dff(&mut self) -> NetId {
+        self.push(GateKind::Dff, None, None)
+    }
+
+    /// Connects the D input of the flip-flop driving net `q` to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a Dff, is already connected, or `d` does
+    /// not exist.
+    pub fn connect_dff(&mut self, q: NetId, d: NetId) {
+        assert!(d.0 < self.gates.len(), "D input net {d} does not exist");
+        let gate = &mut self.gates[q.0];
+        assert_eq!(gate.kind, GateKind::Dff, "net {q} is not a Dff");
+        assert!(gate.a.is_none(), "Dff {q} already connected");
+        gate.a = Some(d);
+    }
+
     /// 2-to-1 multiplexer: `sel ? b : a` (three gates).
     pub fn mux(&mut self, a: NetId, b: NetId, sel: NetId) -> NetId {
         let ns = self.not(sel);
@@ -440,8 +693,18 @@ impl NetlistBuilder {
     }
 
     /// Finalises the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any Dff was left with its D input unconnected.
     #[must_use]
     pub fn finish(self) -> Netlist {
+        for (i, g) in self.gates.iter().enumerate() {
+            assert!(
+                g.kind != GateKind::Dff || g.a.is_some(),
+                "Dff n{i} has no D input; call connect_dff before finish"
+            );
+        }
         Netlist {
             name: self.name,
             gates: self.gates,
@@ -569,5 +832,139 @@ mod tests {
         let mut b = NetlistBuilder::new("bad");
         let _ = b.input_bus("x", 1);
         b.output("y", &[NetId(99)]);
+    }
+
+    /// A 1-bit toggle: q' = !q.
+    fn toggle_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("toggle");
+        let q = b.dff();
+        let nq = b.not(q);
+        b.connect_dff(q, nq);
+        b.output("q", &[q]);
+        b.finish()
+    }
+
+    #[test]
+    fn dff_toggles_across_cycles() {
+        let nl = toggle_netlist();
+        assert!(nl.is_sequential());
+        assert_eq!(nl.dff_count(), 1);
+        let trace = nl.eval_seq_nets(&[], 4, &[]);
+        // Q starts 0 and flips each cycle.
+        let q: Vec<bool> = trace.iter().map(|c| c[0]).collect();
+        assert_eq!(q, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn sticky_accumulator_holds_captured_value() {
+        // q' = q | x: once x pulses (here: constant 1), q stays set.
+        let mut b = NetlistBuilder::new("sticky");
+        let x = b.input_bus("x", 1);
+        let q = b.dff();
+        let d = b.or(q, x[0]);
+        b.connect_dff(q, d);
+        b.output("q", &[q]);
+        let nl = b.finish();
+        let trace = nl.eval_seq_nets(&[true], 3, &[]);
+        assert!(!trace[0][q.index()], "state visible one cycle later");
+        assert!(trace[1][q.index()]);
+        assert!(trace[2][q.index()]);
+    }
+
+    #[test]
+    fn transient_fault_is_active_for_one_cycle() {
+        // Sticky accumulator with x = 0; a transient stuck-at-1 on the
+        // OR output during cycle 1 latches into the register forever.
+        let mut b = NetlistBuilder::new("seu");
+        let x = b.input_bus("x", 1);
+        let q = b.dff();
+        let d = b.or(q, x[0]);
+        b.connect_dff(q, d);
+        b.output("q", &[q]);
+        let nl = b.finish();
+        let or_gate = d.index();
+        let upset = SeqStuckAt::transient(
+            StuckAtLine::new(
+                StuckSite {
+                    gate: or_gate,
+                    pin: None,
+                },
+                true,
+            ),
+            1,
+        );
+        let trace = nl.eval_seq_nets(&[false], 4, &[upset]);
+        let q_trace: Vec<bool> = trace.iter().map(|c| c[q.index()]).collect();
+        assert_eq!(q_trace, vec![false, false, true, true], "latched upset");
+        // Fault-free: never sets.
+        let clean = nl.eval_seq_nets(&[false], 4, &[]);
+        assert!(clean.iter().all(|c| !c[q.index()]));
+    }
+
+    #[test]
+    fn dff_pin_fault_forces_the_captured_value() {
+        let nl = toggle_netlist();
+        let pin = SeqStuckAt::permanent(StuckAtLine::new(
+            StuckSite {
+                gate: 0,
+                pin: Some(0),
+            },
+            false,
+        ));
+        let trace = nl.eval_seq_nets(&[], 4, &[pin]);
+        assert!(trace.iter().all(|c| !c[0]), "D forced 0 keeps Q at 0");
+    }
+
+    #[test]
+    fn duration_predicates() {
+        assert!(FaultDuration::Permanent.active_at(0));
+        assert!(FaultDuration::Permanent.active_at(7));
+        let t = FaultDuration::Transient { cycle: 2 };
+        assert!(t.active_at(2));
+        assert!(!t.active_at(1) && !t.active_at(3));
+        assert_eq!(t.to_string(), "transient@2");
+        assert_eq!(FaultDuration::Permanent.to_string(), "permanent");
+    }
+
+    #[test]
+    fn seq_words_read_the_final_cycle() {
+        // 2-bit shift register: out = in delayed by two cycles.
+        let mut b = NetlistBuilder::new("shift2");
+        let x = b.input_bus("x", 1);
+        let s0 = b.dff();
+        let s1 = b.dff();
+        b.connect_dff(s0, x[0]);
+        b.connect_dff(s1, s0);
+        b.output("y", &[s1]);
+        let nl = b.finish();
+        let one = Word::new(1, 1);
+        assert_eq!(nl.eval_seq_words(&[one], 1, &[])[0].bits(), 0);
+        assert_eq!(nl.eval_seq_words(&[one], 2, &[])[0].bits(), 0);
+        assert_eq!(nl.eval_seq_words(&[one], 3, &[])[0].bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "use eval_seq_nets")]
+    fn combinational_eval_rejects_sequential_netlists() {
+        let nl = toggle_netlist();
+        let _ = nl.eval_nets(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no D input")]
+    fn unconnected_dff_is_rejected_at_finish() {
+        let mut b = NetlistBuilder::new("bad");
+        let _ = b.dff();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connect_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let c = b.constant(true);
+        let q = b.dff();
+        b.connect_dff(q, c);
+        b.connect_dff(q, c);
     }
 }

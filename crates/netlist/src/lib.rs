@@ -41,5 +41,8 @@ pub mod export;
 pub mod gen;
 mod ir;
 
-pub use ir::{Gate, GateKind, NetId, Netlist, NetlistBuilder, StuckAtLine, StuckSite};
+pub use ir::{
+    FaultDuration, Gate, GateKind, NetId, Netlist, NetlistBuilder, SeqStuckAt, StuckAtLine,
+    StuckSite,
+};
 pub use scdp_arith::Word;

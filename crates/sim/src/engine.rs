@@ -67,8 +67,17 @@ impl BatchOutcome {
 
 impl Engine {
     /// Compiles `netlist` for packed evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist holds state (Dff cells) — use
+    /// [`crate::SeqEngine`] for cycle-accurate evaluation.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
+        assert!(
+            !netlist.is_sequential(),
+            "combinational engine cannot evaluate a sequential netlist; use SeqEngine"
+        );
         let gates = netlist.gates();
         let mut kinds = Vec::with_capacity(gates.len());
         let mut a = Vec::with_capacity(gates.len());

@@ -31,6 +31,14 @@
 //!   situation tallied, so [`DropPolicy::Never`] keeps all faults live
 //!   and returns exact per-fault [`scdp_coverage::TechTally`] counts.
 //!
+//! A third remedy extends both to the time axis: the **sequential
+//! engine** ([`SeqEngine`], [`SeqCampaign`]) evaluates netlists with
+//! [`scdp_netlist::GateKind::Dff`] state cells cycle by cycle, carrying
+//! a packed per-cycle state vector. Faults gain a [`FaultDuration`]
+//! (permanent structural defects vs single-cycle transients) and every
+//! detection records the cycle it first fired in — the per-cycle
+//! detection-latency axis of the sequential datapath campaigns.
+//!
 //! On top sits a **parallel campaign driver** ([`EngineCampaign`]): the
 //! fault universe is partitioned across worker threads, every worker
 //! regenerates the same deterministic batch stream (so results are
@@ -75,6 +83,7 @@ mod batch;
 mod campaign;
 mod engine;
 pub mod par;
+mod seq;
 
 pub use batch::{BatchStream, InputBatch, InputPlan, LANES};
 pub use campaign::{
@@ -82,3 +91,8 @@ pub use campaign::{
     FaultOutcome, XvalReport,
 };
 pub use engine::{BatchOutcome, Engine};
+pub use scdp_netlist::FaultDuration;
+pub use seq::{
+    mean_detection_latency, SeqBatchOutcome, SeqCampaign, SeqCampaignSummary, SeqEngine,
+    SeqFaultGroup, SeqFaultOutcome,
+};

@@ -1,0 +1,819 @@
+//! Cycle-accurate bit-parallel fault simulation for sequential
+//! netlists.
+//!
+//! [`crate::Engine`] evaluates a combinational netlist once per batch;
+//! [`SeqEngine`] evaluates a *sequential* netlist (one containing
+//! [`GateKind::Dff`] cells) for a fixed number of clock cycles per
+//! batch, carrying a packed per-cycle state vector (one `u64` per Dff,
+//! 64 input vectors in flight). The good machine is still simulated
+//! once per batch and shared across every fault in a worker's chunk;
+//! each fault replays all cycles with its stuck lines forced only in
+//! the cycles its [`FaultDuration`] is active in — permanent structural
+//! defects and single-cycle transients run through one code path.
+//!
+//! Classification follows the paper's situation taxonomy, extended with
+//! the cycle axis:
+//!
+//! * **wrong** — any result-bus bit differs from the good machine at
+//!   the *final* cycle (result registers are valid there);
+//! * **alarm** — the `error` bus asserted in *any* cycle (checker
+//!   alarms are sticky by construction);
+//! * **detection latency** — the first cycle the alarm fired in,
+//!   recorded per lane into a per-cycle histogram
+//!   ([`SeqBatchOutcome::first_detect`], aggregated by
+//!   [`SeqCampaign`]).
+
+use crate::batch::{InputBatch, InputPlan};
+use crate::campaign::FaultOutcome;
+use crate::engine::BatchOutcome;
+use crate::par;
+use scdp_coverage::TechTally;
+use scdp_netlist::{FaultDuration, GateKind, Netlist, StuckAtLine};
+
+/// Splats a logic value across all 64 lanes.
+#[inline]
+fn splat(value: bool) -> u64 {
+    if value {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// One multiple-stuck-at fault with a duration: the unit of injection
+/// of a sequential campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqFaultGroup {
+    /// The stuck lines (forced together while active), sorted by gate.
+    pub lines: Vec<StuckAtLine>,
+    /// When the lines are forced.
+    pub duration: FaultDuration,
+}
+
+impl SeqFaultGroup {
+    /// A fault group with `duration`, sorting the lines by gate as the
+    /// evaluator requires.
+    #[must_use]
+    pub fn new(mut lines: Vec<StuckAtLine>, duration: FaultDuration) -> Self {
+        lines.sort_by_key(|f| (f.site.gate, f.site.pin));
+        Self { lines, duration }
+    }
+}
+
+/// Packed verdict of one faulty multi-cycle batch against the good
+/// machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SeqBatchOutcome {
+    /// Lanes whose final-cycle result-bus values differ from the good
+    /// machine.
+    pub wrong: u64,
+    /// Lanes where the alarm bus asserted in at least one cycle.
+    pub alarm: u64,
+    /// Mask of lanes that carry real vectors.
+    pub mask: u64,
+    /// `first_detect[c]` — lanes whose alarm fired *first* in cycle
+    /// `c`. The set bits across all cycles equal `alarm & mask`.
+    pub first_detect: Vec<u64>,
+}
+
+impl SeqBatchOutcome {
+    /// The four-way situation counts, identical taxonomy to the
+    /// combinational engine.
+    #[must_use]
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        BatchOutcome {
+            wrong: self.wrong,
+            alarm: self.alarm,
+            mask: self.mask,
+        }
+        .counts()
+    }
+}
+
+/// A sequential netlist compiled for packed cycle-accurate evaluation.
+///
+/// Construction mirrors [`crate::Engine`] (structure-of-arrays gate
+/// table, `error` buses split off as alarms) and additionally resolves
+/// every Dff's D net. Per-bus output metadata is kept so differential
+/// tests can read back whole words.
+#[derive(Clone, Debug)]
+pub struct SeqEngine {
+    kinds: Vec<GateKind>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    input_bits: usize,
+    result_nets: Vec<u32>,
+    alarm_nets: Vec<u32>,
+    /// `(gate index, D net)` of every Dff, gate order.
+    dffs: Vec<(u32, u32)>,
+    /// Dense gate → Dff index (unused slots are `u32::MAX`).
+    dff_index: Vec<u32>,
+    outputs: Vec<(String, Vec<u32>)>,
+    name: String,
+}
+
+impl SeqEngine {
+    /// Compiles `netlist` for packed sequential evaluation. Works for
+    /// purely combinational netlists too (they simply have no state).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let gates = netlist.gates();
+        let mut kinds = Vec::with_capacity(gates.len());
+        let mut a = Vec::with_capacity(gates.len());
+        let mut b = Vec::with_capacity(gates.len());
+        let mut dffs = Vec::new();
+        let mut dff_index = vec![u32::MAX; gates.len()];
+        for (i, g) in gates.iter().enumerate() {
+            kinds.push(g.kind);
+            a.push(g.a.map_or(0, |n| n.index() as u32));
+            b.push(g.b.map_or(0, |n| n.index() as u32));
+            if g.kind == GateKind::Dff {
+                dff_index[i] = dffs.len() as u32;
+                dffs.push((i as u32, g.a.expect("Dff connected").index() as u32));
+            }
+        }
+        let mut result_nets = Vec::new();
+        let mut alarm_nets = Vec::new();
+        let mut outputs = Vec::new();
+        for (name, bus) in netlist.outputs() {
+            let nets: Vec<u32> = bus.iter().map(|n| n.index() as u32).collect();
+            if name == "error" {
+                alarm_nets.extend(&nets);
+            } else {
+                result_nets.extend(&nets);
+            }
+            outputs.push((name.clone(), nets));
+        }
+        Self {
+            kinds,
+            a,
+            b,
+            input_bits: netlist.input_bits(),
+            result_nets,
+            alarm_nets,
+            dffs,
+            dff_index,
+            outputs,
+            name: netlist.name().to_string(),
+        }
+    }
+
+    /// The compiled design's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets (= gates) in the compiled netlist.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of state bits.
+    #[must_use]
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Number of primary input bits expected per batch.
+    #[must_use]
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Named output buses (net indices), declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Vec<u32>)] {
+        &self.outputs
+    }
+
+    /// Evaluates one forward pass (one cycle) into `values`: Dff cells
+    /// output `state`, faults in `faults` are forced (pass an empty
+    /// slice for inactive cycles), inputs come from `batch`.
+    fn eval_cycle(
+        &self,
+        batch: &InputBatch,
+        faults: &[StuckAtLine],
+        state: &[u64],
+        values: &mut [u64],
+    ) {
+        let n = self.kinds.len();
+        let mut next_input = 0usize;
+        let mut fi = 0usize;
+        let mut fault_gate = faults.first().map_or(usize::MAX, |f| f.site.gate);
+        for i in 0..n {
+            let out = if i == fault_gate {
+                // Slow path: apply every fault attached to this gate.
+                let mut pin0 = None;
+                let mut pin1 = None;
+                let mut stem = None;
+                while fi < faults.len() && faults[fi].site.gate == i {
+                    match faults[fi].site.pin {
+                        Some(0) => pin0 = Some(faults[fi].value),
+                        Some(1) => pin1 = Some(faults[fi].value),
+                        Some(p) => panic!("pin {p} out of range"),
+                        None => stem = Some(faults[fi].value),
+                    }
+                    fi += 1;
+                }
+                fault_gate = faults.get(fi).map_or(usize::MAX, |f| f.site.gate);
+                let read = |pin: Option<bool>, net: u32, values: &[u64]| -> u64 {
+                    pin.map_or(values[net as usize], splat)
+                };
+                let out = match self.kinds[i] {
+                    GateKind::Input => {
+                        let v = batch.bits[next_input];
+                        next_input += 1;
+                        v
+                    }
+                    GateKind::Const(c) => splat(c),
+                    // A Dff outputs its state; a pin-0 fault affects
+                    // the value *captured* (handled in `step`).
+                    GateKind::Dff => state[self.dff_index[i] as usize],
+                    GateKind::Not => !read(pin0, self.a[i], values),
+                    GateKind::Buf => read(pin0, self.a[i], values),
+                    kind => {
+                        let va = read(pin0, self.a[i], values);
+                        let vb = read(pin1, self.b[i], values);
+                        apply2(kind, va, vb)
+                    }
+                };
+                stem.map_or(out, splat)
+            } else {
+                match self.kinds[i] {
+                    GateKind::Input => {
+                        let v = batch.bits[next_input];
+                        next_input += 1;
+                        v
+                    }
+                    GateKind::Const(c) => splat(c),
+                    GateKind::Dff => state[self.dff_index[i] as usize],
+                    GateKind::Not => !values[self.a[i] as usize],
+                    GateKind::Buf => values[self.a[i] as usize],
+                    kind => apply2(kind, values[self.a[i] as usize], values[self.b[i] as usize]),
+                }
+            };
+            values[i] = out;
+        }
+    }
+
+    /// Captures the next state from the D nets, honouring pin-0 faults
+    /// on Dff cells.
+    fn step(&self, faults: &[StuckAtLine], values: &[u64], state: &mut [u64]) {
+        for (k, &(_, d)) in self.dffs.iter().enumerate() {
+            state[k] = values[d as usize];
+        }
+        for f in faults {
+            if f.site.pin == Some(0) {
+                let k = self.dff_index[f.site.gate];
+                if k != u32::MAX {
+                    state[k as usize] = splat(f.value);
+                }
+            }
+        }
+    }
+
+    /// Runs one batch for `cycles` clock cycles under `fault` (pass
+    /// `None` for the good machine), leaving the **final cycle's** net
+    /// values in `values`. `state` and `values` are scratch buffers
+    /// reused across calls.
+    ///
+    /// Returns the per-cycle packed alarm masks folded into a
+    /// [`SeqBatchOutcome`] — except `wrong`, which the caller fills by
+    /// comparing against the good machine's final values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch width does not match the netlist or
+    /// `cycles` is 0.
+    pub fn run_batch_into(
+        &self,
+        batch: &InputBatch,
+        fault: Option<&SeqFaultGroup>,
+        cycles: u32,
+        values: &mut Vec<u64>,
+        state: &mut Vec<u64>,
+    ) -> SeqBatchOutcome {
+        assert_eq!(
+            batch.bits.len(),
+            self.input_bits,
+            "input bit count mismatch"
+        );
+        assert!(cycles > 0, "at least one cycle required");
+        debug_assert!(
+            fault.is_none_or(|f| f.lines.windows(2).all(|w| w[0].site.gate <= w[1].site.gate)),
+            "fault lines must be sorted by gate"
+        );
+        values.clear();
+        values.resize(self.kinds.len(), 0);
+        state.clear();
+        state.resize(self.dffs.len(), 0);
+        let mask = batch.mask();
+        let mut alarm_seen = 0u64;
+        let mut first_detect = vec![0u64; cycles as usize];
+        for cycle in 0..cycles {
+            let active: &[StuckAtLine] = match fault {
+                Some(f) if f.duration.active_at(cycle) => &f.lines,
+                _ => &[],
+            };
+            self.eval_cycle(batch, active, state, values);
+            let mut alarm = 0u64;
+            for &net in &self.alarm_nets {
+                alarm |= values[net as usize];
+            }
+            alarm &= mask;
+            let fired = alarm & !alarm_seen;
+            if fired != 0 {
+                first_detect[cycle as usize] = fired;
+                alarm_seen |= fired;
+            }
+            if cycle + 1 < cycles {
+                self.step(active, values, state);
+            }
+        }
+        SeqBatchOutcome {
+            wrong: 0,
+            alarm: alarm_seen,
+            mask,
+            first_detect,
+        }
+    }
+
+    /// XOR-compares the result nets of two final-cycle value vectors.
+    #[must_use]
+    pub fn result_diff(&self, good: &[u64], faulty: &[u64], mask: u64) -> u64 {
+        let mut wrong = 0u64;
+        for &net in &self.result_nets {
+            wrong |= good[net as usize] ^ faulty[net as usize];
+        }
+        wrong & mask
+    }
+}
+
+#[inline]
+fn apply2(kind: GateKind, a: u64, b: u64) -> u64 {
+    match kind {
+        GateKind::And => a & b,
+        GateKind::Or => a | b,
+        GateKind::Xor => a ^ b,
+        GateKind::Nand => !(a & b),
+        GateKind::Nor => !(a | b),
+        GateKind::Xnor => !(a ^ b),
+        _ => unreachable!("two-input kinds only"),
+    }
+}
+
+/// Per-fault result of a sequential campaign: the combinational
+/// [`FaultOutcome`] fields plus the detection-latency histogram.
+#[derive(Clone, Debug, Default)]
+pub struct SeqFaultOutcome {
+    /// Four-way tallies / verdicts / drop point, as combinational.
+    pub outcome: FaultOutcome,
+    /// `first_detect[c]` — situations of this fault whose alarm fired
+    /// first in cycle `c`. Sums to the number of detected situations
+    /// (partial under dropping, like the tallies).
+    pub first_detect: Vec<u64>,
+}
+
+/// Aggregate result of a sequential campaign.
+#[derive(Clone, Debug)]
+pub struct SeqCampaignSummary {
+    /// One outcome per fault group, universe order.
+    pub per_fault: Vec<SeqFaultOutcome>,
+    /// Sum of all per-fault tallies.
+    pub tally: TechTally,
+    /// Situations actually simulated.
+    pub simulated: u64,
+    /// Aggregate first-detection histogram over all faults, one entry
+    /// per cycle.
+    pub first_detect: Vec<u64>,
+    /// Cycles each situation ran.
+    pub cycles: u32,
+}
+
+impl SeqCampaignSummary {
+    /// Fraction of faults with at least one alarmed situation.
+    #[must_use]
+    pub fn detection_rate(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 1.0;
+        }
+        self.per_fault.iter().filter(|f| f.outcome.detected).count() as f64
+            / self.per_fault.len() as f64
+    }
+
+    /// Mean first-detection latency in cycles over all detected
+    /// situations (`None` when nothing was detected).
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        mean_detection_latency(&self.first_detect)
+    }
+}
+
+/// Mean of a per-cycle first-detection histogram, in cycles (`None`
+/// when no situation was detected). The one latency computation shared
+/// by the campaign summary and the serialised report section.
+#[must_use]
+pub fn mean_detection_latency(hist: &[u64]) -> Option<f64> {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let weighted: u64 = hist.iter().enumerate().map(|(c, &n)| c as u64 * n).sum();
+    Some(weighted as f64 / total as f64)
+}
+
+/// A configured sequential campaign: a compiled [`SeqEngine`], a
+/// universe of duration-qualified fault groups, a cycle count, an input
+/// plan and a drop policy. The driver shape matches
+/// [`crate::EngineCampaign`]: contiguous chunks of the universe per
+/// worker, every worker re-generating the same deterministic batch
+/// stream and sharing one good-machine evaluation per batch, so results
+/// are independent of the worker count.
+#[derive(Clone, Debug)]
+pub struct SeqCampaign<'a> {
+    engine: &'a SeqEngine,
+    groups: Vec<SeqFaultGroup>,
+    cycles: u32,
+    plan: InputPlan,
+    drop: crate::DropPolicy,
+    threads: usize,
+}
+
+impl<'a> SeqCampaign<'a> {
+    /// Starts a campaign over `groups`, each run for `cycles` clock
+    /// cycles per input vector, with exhaustive inputs, no dropping and
+    /// all available cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is 0.
+    #[must_use]
+    pub fn new(engine: &'a SeqEngine, groups: Vec<SeqFaultGroup>, cycles: u32) -> Self {
+        assert!(cycles > 0, "at least one cycle required");
+        Self {
+            engine,
+            groups,
+            cycles,
+            plan: InputPlan::Exhaustive,
+            drop: crate::DropPolicy::Never,
+            threads: par::default_threads(),
+        }
+    }
+
+    /// Selects the input plan.
+    #[must_use]
+    pub fn plan(mut self, plan: InputPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Selects the drop policy.
+    #[must_use]
+    pub fn drop_policy(mut self, drop: crate::DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Caps the worker thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the campaign.
+    #[must_use]
+    pub fn run(&self) -> SeqCampaignSummary {
+        let per_fault = par::map_chunks(&self.groups, self.threads, |chunk| self.run_chunk(chunk));
+        let mut tally = TechTally::default();
+        let mut simulated = 0u64;
+        let mut first_detect = vec![0u64; self.cycles as usize];
+        for f in &per_fault {
+            tally += f.outcome.tally;
+            simulated += f.outcome.tally.total();
+            for (c, n) in f.first_detect.iter().enumerate() {
+                first_detect[c] += n;
+            }
+        }
+        SeqCampaignSummary {
+            per_fault,
+            tally,
+            simulated,
+            first_detect,
+            cycles: self.cycles,
+        }
+    }
+
+    /// Simulates one contiguous chunk of the fault universe on the
+    /// calling thread.
+    fn run_chunk(&self, chunk: &[SeqFaultGroup]) -> Vec<SeqFaultOutcome> {
+        let engine = self.engine;
+        let cycles = self.cycles;
+        let mut outcomes: Vec<SeqFaultOutcome> = chunk
+            .iter()
+            .map(|_| SeqFaultOutcome {
+                outcome: FaultOutcome::default(),
+                first_detect: vec![0u64; cycles as usize],
+            })
+            .collect();
+        let mut live: Vec<usize> = (0..chunk.len()).collect();
+        let mut good = Vec::new();
+        let mut faulty = Vec::new();
+        let mut state = Vec::new();
+        for batch in self.plan.stream(engine.input_bits()) {
+            if live.is_empty() {
+                break;
+            }
+            // The good machine runs once per batch, shared across every
+            // fault (and every cycle) of this chunk.
+            let g = engine.run_batch_into(&batch, None, cycles, &mut good, &mut state);
+            debug_assert_eq!(g.alarm, 0, "good machine must be alarm-free");
+            let drop = self.drop;
+            live.retain(|&k| {
+                let mut v =
+                    engine.run_batch_into(&batch, Some(&chunk[k]), cycles, &mut faulty, &mut state);
+                v.wrong = engine.result_diff(&good, &faulty, batch.mask());
+                let (cs, cd, ed, eu) = v.counts();
+                let so = &mut outcomes[k];
+                let o = &mut so.outcome;
+                o.tally.correct_silent += cs;
+                o.tally.correct_detected += cd;
+                o.tally.error_detected += ed;
+                o.tally.error_undetected += eu;
+                o.detected |= cd + ed > 0;
+                o.escaped |= eu > 0;
+                for (c, m) in v.first_detect.iter().enumerate() {
+                    so.first_detect[c] += m.count_ones() as u64;
+                }
+                let decided = match drop {
+                    crate::DropPolicy::Never => false,
+                    crate::DropPolicy::OnDetect => o.detected,
+                    crate::DropPolicy::OnEscape => o.escaped,
+                };
+                if decided {
+                    o.dropped_after = Some(o.tally.total());
+                }
+                !decided
+            });
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_netlist::{NetlistBuilder, SeqStuckAt, StuckSite, Word};
+
+    /// A 2-deep shift register with a parity alarm: error = s0 ^ s1
+    /// forced low in the fault-free run by feeding x into both.
+    fn shift_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("shift");
+        let x = b.input_bus("x", 1);
+        let s0 = b.dff();
+        let s1 = b.dff();
+        b.connect_dff(s0, x[0]);
+        b.connect_dff(s1, s0);
+        b.output("y", &[s1]);
+        b.finish()
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_sequential_netlists() {
+        let nl = shift_netlist();
+        let engine = SeqEngine::new(&nl);
+        assert_eq!(engine.dff_count(), 2);
+        let cycles = 4u32;
+        let faults = [
+            None,
+            Some(SeqFaultGroup::new(
+                vec![StuckAtLine::new(StuckSite { gate: 1, pin: None }, true)],
+                FaultDuration::Permanent,
+            )),
+            Some(SeqFaultGroup::new(
+                vec![StuckAtLine::new(
+                    StuckSite {
+                        gate: 2,
+                        pin: Some(0),
+                    },
+                    true,
+                )],
+                FaultDuration::Transient { cycle: 1 },
+            )),
+        ];
+        for fault in &faults {
+            for batch in InputPlan::Exhaustive.stream(1) {
+                let mut values = Vec::new();
+                let mut state = Vec::new();
+                let _ =
+                    engine.run_batch_into(&batch, fault.as_ref(), cycles, &mut values, &mut state);
+                for lane in 0..batch.len {
+                    let scalar_faults: Vec<SeqStuckAt> = fault
+                        .iter()
+                        .flat_map(|f| {
+                            f.lines.iter().map(|&line| SeqStuckAt {
+                                line,
+                                duration: f.duration,
+                            })
+                        })
+                        .collect();
+                    let trace = nl.eval_seq_nets(&batch.lane_bits(lane), cycles, &scalar_faults);
+                    let last = trace.last().unwrap();
+                    for (net, word) in values.iter().enumerate() {
+                        assert_eq!(
+                            (word >> lane) & 1 != 0,
+                            last[net],
+                            "{fault:?} net {net} lane {lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// An alarm that fires in cycle 2 when x is set: x delayed twice,
+    /// error = s1.
+    fn delayed_alarm_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("delayed");
+        let x = b.input_bus("x", 1);
+        let s0 = b.dff();
+        let s1 = b.dff();
+        b.connect_dff(s0, x[0]);
+        b.connect_dff(s1, s0);
+        let zero = b.constant(false);
+        b.output("y", &[zero]);
+        b.output("error", &[s1]);
+        b.finish()
+    }
+
+    #[test]
+    fn first_detection_cycle_is_recorded() {
+        let nl = delayed_alarm_netlist();
+        let engine = SeqEngine::new(&nl);
+        let batch = InputPlan::Exhaustive.stream(1).next().unwrap();
+        // Lane 1 has x = 1: alarm rises at cycle 2 and stays.
+        let mut values = Vec::new();
+        let mut state = Vec::new();
+        let out = engine.run_batch_into(&batch, None, 4, &mut values, &mut state);
+        assert_eq!(out.mask, 0b11);
+        assert_eq!(out.alarm, 0b10);
+        assert_eq!(out.first_detect, vec![0, 0, 0b10, 0]);
+    }
+
+    #[test]
+    fn campaign_counts_latencies_and_tallies() {
+        // Good machine: x = 0 lane keeps everything quiet; x = 1 lane
+        // raises the alarm. The "good machine" itself must be
+        // alarm-free, so use a fault to create the alarm instead: stuck
+        // s0 D at 1 (gate 1 pin 0) -> alarm at cycle 2 in every lane.
+        let mut b = NetlistBuilder::new("c");
+        let s0 = b.dff();
+        let s1 = b.dff();
+        let zero = b.constant(false);
+        b.connect_dff(s0, zero);
+        b.connect_dff(s1, s0);
+        let x = b.input_bus("x", 1);
+        let y = b.and(x[0], s1); // wrong result once s1 sets and x = 1
+        b.output("y", &[y]);
+        b.output("error", &[s1]);
+        let nl = b.finish();
+        let engine = SeqEngine::new(&nl);
+        let stuck = SeqFaultGroup::new(
+            vec![StuckAtLine::new(
+                StuckSite {
+                    gate: 0,
+                    pin: Some(0),
+                },
+                true,
+            )],
+            FaultDuration::Permanent,
+        );
+        let summary = SeqCampaign::new(&engine, vec![stuck], 4).threads(1).run();
+        assert_eq!(summary.simulated, 2);
+        // Both lanes detected at cycle 2; the x = 1 lane is also wrong.
+        assert_eq!(summary.first_detect, vec![0, 0, 2, 0]);
+        assert_eq!(summary.tally.error_detected, 1);
+        assert_eq!(summary.tally.correct_detected, 1);
+        assert_eq!(summary.mean_detection_latency(), Some(2.0));
+        assert!((summary.detection_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let nl = shift_netlist();
+        let engine = SeqEngine::new(&nl);
+        let mut groups = Vec::new();
+        for gate in 0..nl.gate_count() {
+            for value in [false, true] {
+                groups.push(SeqFaultGroup::new(
+                    vec![StuckAtLine::new(StuckSite { gate, pin: None }, value)],
+                    FaultDuration::Permanent,
+                ));
+                groups.push(SeqFaultGroup::new(
+                    vec![StuckAtLine::new(StuckSite { gate, pin: None }, value)],
+                    FaultDuration::Transient { cycle: 1 },
+                ));
+            }
+        }
+        let a = SeqCampaign::new(&engine, groups.clone(), 5)
+            .threads(1)
+            .run();
+        let b = SeqCampaign::new(&engine, groups, 5).threads(3).run();
+        assert_eq!(a.tally, b.tally);
+        assert_eq!(a.first_detect, b.first_detect);
+        for (x, y) in a.per_fault.iter().zip(&b.per_fault) {
+            assert_eq!(x.outcome.tally, y.outcome.tally);
+            assert_eq!(x.first_detect, y.first_detect);
+        }
+    }
+
+    #[test]
+    fn transient_outside_the_window_is_harmless() {
+        let nl = shift_netlist();
+        let engine = SeqEngine::new(&nl);
+        // Transient at a cycle >= cycles: never active.
+        let harmless = SeqFaultGroup::new(
+            vec![StuckAtLine::new(StuckSite { gate: 1, pin: None }, true)],
+            FaultDuration::Transient { cycle: 9 },
+        );
+        let summary = SeqCampaign::new(&engine, vec![harmless], 3)
+            .threads(1)
+            .run();
+        assert_eq!(summary.tally.error_detected, 0);
+        assert_eq!(summary.tally.error_undetected, 0);
+        assert_eq!(summary.tally.correct_silent, summary.simulated);
+    }
+
+    /// Alarm path quiet in the good machine (s0 fed by constant 0);
+    /// only faults can set the sticky chain.
+    fn quiet_alarm_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("quiet");
+        let s0 = b.dff();
+        let s1 = b.dff();
+        let zero = b.constant(false);
+        b.connect_dff(s0, zero);
+        b.connect_dff(s1, s0);
+        let x = b.input_bus("x", 2);
+        let y = b.xor(x[0], x[1]);
+        b.output("y", &[y]);
+        b.output("error", &[s1]);
+        b.finish()
+    }
+
+    #[test]
+    fn dropping_preserves_verdicts() {
+        let nl = quiet_alarm_netlist();
+        let engine = SeqEngine::new(&nl);
+        let groups: Vec<SeqFaultGroup> = (0..nl.gate_count())
+            .map(|gate| {
+                SeqFaultGroup::new(
+                    vec![StuckAtLine::new(StuckSite { gate, pin: None }, true)],
+                    FaultDuration::Permanent,
+                )
+            })
+            .collect();
+        let full = SeqCampaign::new(&engine, groups.clone(), 4)
+            .plan(InputPlan::Sampled {
+                vectors: 256,
+                seed: 7,
+            })
+            .threads(2)
+            .run();
+        let dropped = SeqCampaign::new(&engine, groups, 4)
+            .plan(InputPlan::Sampled {
+                vectors: 256,
+                seed: 7,
+            })
+            .drop_policy(crate::DropPolicy::OnDetect)
+            .threads(2)
+            .run();
+        for (f, d) in full.per_fault.iter().zip(&dropped.per_fault) {
+            assert_eq!(f.outcome.detected, d.outcome.detected);
+        }
+        assert!(dropped.simulated <= full.simulated);
+    }
+
+    #[test]
+    fn seq_engine_word_extraction_matches_scalar() {
+        let nl = shift_netlist();
+        let engine = SeqEngine::new(&nl);
+        assert_eq!(engine.outputs().len(), 1);
+        let batch = InputPlan::Exhaustive.stream(1).next().unwrap();
+        let mut values = Vec::new();
+        let mut state = Vec::new();
+        let _ = engine.run_batch_into(&batch, None, 3, &mut values, &mut state);
+        // Lane 1 (x = 1): y = 1 after 3 cycles.
+        let (_, nets) = &engine.outputs()[0];
+        let y = (values[nets[0] as usize] >> 1) & 1;
+        assert_eq!(y, 1);
+        let scalar = nl.eval_seq_words(&[Word::new(1, 1)], 3, &[]);
+        assert_eq!(scalar[0].bits(), 1);
+    }
+}
