@@ -4,9 +4,7 @@
 //! datapath — the cost of regenerating the paper's data.
 //!
 //! Benchmarks measure the engine layers directly, below the unified
-//! `scdp-campaign` surface, so the deprecated shim constructors are
-//! intentional here.
-#![allow(deprecated)]
+//! `scdp-campaign` surface, through the engine-room constructors.
 
 use scdp_bench::Bench;
 use scdp_core::{Allocation, Operator, Technique};
@@ -25,7 +23,7 @@ fn main() {
             situations,
             &mut || {
                 black_box(
-                    CampaignBuilder::new(OperatorKind::Add, width)
+                    CampaignBuilder::over(OperatorKind::Add, width)
                         .allocation(Allocation::SingleUnit)
                         .threads(1)
                         .run()
@@ -36,7 +34,7 @@ fn main() {
     }
     bench.sample("functional_add_w4_dedicated", 10, || {
         black_box(
-            CampaignBuilder::new(OperatorKind::Add, 4)
+            CampaignBuilder::over(OperatorKind::Add, 4)
                 .allocation(Allocation::Dedicated)
                 .threads(1)
                 .run()

@@ -7,9 +7,7 @@
 //! its `metrics` array.
 //!
 //! Benchmarks measure the engine layers directly, below the unified
-//! `scdp-campaign` surface, so the deprecated shim constructor is
-//! intentional here.
-#![allow(deprecated)]
+//! `scdp-campaign` surface, through the engine-room constructors.
 
 use scdp_bench::{scalar_add_oracle, Bench};
 use scdp_core::{Operator, Technique};
@@ -50,7 +48,7 @@ fn main() {
         .collect();
     bench.sample_elements("bitparallel_dropping_w4", 10, situations, &mut || {
         black_box(
-            EngineCampaign::new(&engine, groups.clone())
+            EngineCampaign::over(&engine, groups.clone())
                 .drop_policy(scdp_sim::DropPolicy::OnDetect)
                 .threads(1)
                 .run()

@@ -1,0 +1,8 @@
+//! The unified `scdp` CLI: `scdp run|merge|validate|table|sweep`.
+//!
+//! All logic lives in [`scdp_bench::scdp_cli`] so the wrapper binaries
+//! (`table_datapath`, `table_seq`) and tests can drive it directly.
+
+fn main() {
+    std::process::exit(scdp_bench::scdp_cli::main_from_env());
+}

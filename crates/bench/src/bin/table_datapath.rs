@@ -1,104 +1,11 @@
-//! Datapath-level fault-campaign sweep: every `scdp-fir` workload ×
-//! every Table 1 technique, each scheduled, bound, elaborated to one
-//! flat netlist and fault-graded per physical functional unit on the
-//! bit-parallel engine — the system-level companion of `table1`/
-//! `table2` (which grade lone operators).
+//! Thin wrapper: `table_datapath [ARGS]` ≡ `scdp sweep [ARGS]`.
 //!
-//! Usage:
-//!   table_datapath [--width N] [--samples N] [--seed S] [--threads N]
-//!                  [--style plain|full|embedded] [--dedicated]
-//!                  [--report-dir DIR]
-//!
-//! `--report-dir DIR` writes one `scdp.campaign.report/v2` JSON per
-//! scenario as `DIR/dp_<workload>_<technique>.json`.
-
-use scdp_bench::{pct, CliArgs};
-use scdp_campaign::{style_from_label, style_label, DatapathScenario, DfgSource, InputSpace};
-use scdp_core::{Allocation, Technique};
-use scdp_hls::SckStyle;
+//! The datapath-level workload × technique sweep lives in the unified
+//! `scdp` CLI now (`scdp_bench::scdp_cli`); this binary survives so
+//! existing scripts and CI invocations keep working unchanged.
 
 fn main() {
-    let args = CliArgs::parse();
-    let width = args.width(3).clamp(1, 16);
-    let samples = args.samples(1024);
-    let seed = args.seed();
-    let threads = args.threads();
-    let style = args
-        .value::<String>("--style")
-        .and_then(|s| style_from_label(&s))
-        .unwrap_or(SckStyle::Full);
-    let allocation = if args.flag("--dedicated") {
-        Allocation::Dedicated
-    } else {
-        Allocation::SingleUnit
-    };
-    let report_dir = args.value::<String>("--report-dir");
-    if let Some(dir) = &report_dir {
-        std::fs::create_dir_all(dir).expect("create report dir");
-    }
-
-    println!(
-        "Datapath campaigns: width {width}, style {}, {} allocation, \
-         {samples} vectors/fault (seed {seed:#x})",
-        style_label(style),
-        if allocation == Allocation::Dedicated {
-            "dedicated-checker"
-        } else {
-            "shared (worst-case)"
-        },
-    );
-    println!(
-        "{:<8} {:<6} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
-        "workload", "tech", "gates", "cycles", "faults", "coverage", "detection", "safe"
-    );
-
-    for source in DfgSource::BUILTIN {
-        for technique in Technique::ALL {
-            let label = source.label();
-            let report = DatapathScenario::new(source.clone(), width)
-                .technique(technique)
-                .style(style)
-                .allocation(allocation)
-                .campaign()
-                .input_space(InputSpace::Sampled {
-                    per_fault: samples,
-                    seed,
-                })
-                .threads(threads)
-                .run()
-                .expect("datapath campaign");
-            let details = report.datapath.as_ref().expect("datapath section");
-            println!(
-                "{:<8} {:<6} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
-                label,
-                format!("{technique:?}").to_lowercase(),
-                details.gates,
-                details.schedule_length,
-                report.fault_count(),
-                pct(report.coverage()),
-                pct(report.detection_rate()),
-                pct(report.safe_rate()),
-            );
-            for fu in details.per_fu.iter().filter(|f| f.faults > 0) {
-                println!(
-                    "    {:<6} {:<7} {:>2} ops {:>5} faults  cov {:>8}  det {:>4}/{:<4}",
-                    fu.name,
-                    fu.role,
-                    fu.ops,
-                    fu.faults,
-                    pct(fu.tally.coverage()),
-                    fu.detected,
-                    fu.faults,
-                );
-            }
-            if let Some(dir) = &report_dir {
-                let path = format!(
-                    "{dir}/dp_{label}_{}.json",
-                    format!("{technique:?}").to_lowercase()
-                );
-                std::fs::write(&path, report.to_json()).expect("write report");
-                eprintln!("    wrote {path}");
-            }
-        }
-    }
+    let mut args = vec!["sweep".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(scdp_bench::scdp_cli::run(args));
 }

@@ -1,115 +1,12 @@
-//! Cycle-accurate datapath fault-campaign sweep: every `scdp-fir`
-//! workload × every Table 1 technique × fault durations (permanent plus
-//! early/mid-schedule transients), each run on the shared-FU sequential
-//! machine with per-cycle first-detection latencies — the time axis the
-//! unrolled `table_datapath` sweep cannot express.
+//! Thin wrapper: `table_seq [ARGS]` ≡ `scdp sweep --seq [ARGS]`.
 //!
-//! Usage:
-//!   table_seq [--width N] [--samples N] [--seed S] [--threads N]
-//!             [--style plain|full|embedded] [--dedicated]
-//!             [--report-dir DIR]
-//!
-//! `--report-dir DIR` writes one `scdp.campaign.report/v3` JSON per
-//! scenario as `DIR/seq_<workload>_<technique>_<duration>.json`.
-
-use scdp_bench::{pct, CliArgs};
-use scdp_campaign::{
-    duration_label, style_from_label, style_label, DatapathScenario, DfgSource, FaultDuration,
-    InputSpace,
-};
-use scdp_core::{Allocation, Technique};
-use scdp_hls::SckStyle;
+//! The cycle-accurate workload × technique × duration sweep lives in
+//! the unified `scdp` CLI now (`scdp_bench::scdp_cli`); this binary
+//! survives so existing scripts and CI invocations keep working
+//! unchanged.
 
 fn main() {
-    let args = CliArgs::parse();
-    let width = args.width(3).clamp(1, 16);
-    let samples = args.samples(1024);
-    let seed = args.seed();
-    let threads = args.threads();
-    let style = args
-        .value::<String>("--style")
-        .and_then(|s| style_from_label(&s))
-        .unwrap_or(SckStyle::Full);
-    let allocation = if args.flag("--dedicated") {
-        Allocation::Dedicated
-    } else {
-        Allocation::SingleUnit
-    };
-    let report_dir = args.value::<String>("--report-dir");
-    if let Some(dir) = &report_dir {
-        std::fs::create_dir_all(dir).expect("create report dir");
-    }
-
-    println!(
-        "Sequential datapath campaigns: width {width}, style {}, {} allocation, \
-         {samples} vectors/fault (seed {seed:#x})",
-        style_label(style),
-        if allocation == Allocation::Dedicated {
-            "dedicated-checker"
-        } else {
-            "shared (worst-case)"
-        },
-    );
-    println!(
-        "{:<8} {:<6} {:<12} {:>7} {:>7} {:>10} {:>10} {:>10}",
-        "workload", "tech", "duration", "cycles", "faults", "coverage", "detection", "latency"
-    );
-
-    for source in DfgSource::BUILTIN {
-        for technique in Technique::ALL {
-            let label = source.label();
-            let scenario = DatapathScenario::new(source.clone(), width)
-                .technique(technique)
-                .style(style)
-                .allocation(allocation);
-            // One elaboration per scenario, shared by all durations.
-            let machine = scenario.elaborate_seq();
-            // Permanent defects plus two single-cycle upsets: one early
-            // (first capture window) and one mid-schedule.
-            let durations = [
-                FaultDuration::Permanent,
-                FaultDuration::Transient { cycle: 1 },
-                FaultDuration::Transient {
-                    cycle: machine.total_cycles / 2,
-                },
-            ];
-            for duration in durations {
-                let report = scenario
-                    .clone()
-                    .seq_campaign()
-                    .duration(duration)
-                    .input_space(InputSpace::Sampled {
-                        per_fault: samples,
-                        seed,
-                    })
-                    .threads(threads)
-                    .run_on(&machine)
-                    .expect("sequential campaign");
-                let seq = report.sequential.as_ref().expect("sequential section");
-                let latency = seq
-                    .mean_detection_latency()
-                    .map_or("-".to_string(), |l| format!("{l:.2}c"));
-                println!(
-                    "{:<8} {:<6} {:<12} {:>7} {:>7} {:>10} {:>10} {:>10}",
-                    label,
-                    format!("{technique:?}").to_lowercase(),
-                    duration_label(duration),
-                    seq.total_cycles,
-                    report.fault_count(),
-                    pct(report.coverage()),
-                    pct(report.detection_rate()),
-                    latency,
-                );
-                if let Some(dir) = &report_dir {
-                    let path = format!(
-                        "{dir}/seq_{label}_{}_{}.json",
-                        format!("{technique:?}").to_lowercase(),
-                        duration_label(duration).replace('@', "_"),
-                    );
-                    std::fs::write(&path, report.to_json()).expect("write report");
-                    eprintln!("    wrote {path}");
-                }
-            }
-        }
-    }
+    let mut args = vec!["sweep".to_string(), "--seq".to_string()];
+    args.extend(std::env::args().skip(1));
+    std::process::exit(scdp_bench::scdp_cli::run(args));
 }

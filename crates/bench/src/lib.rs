@@ -11,7 +11,9 @@
 //! | `gate_xval` | §4.1 "implementation independent" claim (RCA/CLA/CSA at gate level) |
 //! | `ablation_binding` | reliability-aware binding ablation (future-work trade-off) |
 //! | `other_circuits` | §5 companion workloads + companion-generator campaigns |
-//! | `table_datapath` | system-level campaigns: every workload × technique, elaborated datapaths with per-FU tallies |
+//! | `table_datapath` | system-level campaigns: every workload × technique, elaborated datapaths with per-FU tallies (wrapper over `scdp sweep`) |
+//! | `table_seq` | cycle-accurate campaigns with fault durations and detection latencies (wrapper over `scdp sweep --seq`) |
+//! | `scdp` | the unified CLI ([`scdp_cli`]): `run` (sharded/resumable campaigns), `merge`, `validate`, `table`, `sweep` |
 //! | `bench_check` | the bench-regression gate: fresh `BENCH_*.json` vs committed baselines ([`regression`]) |
 //!
 //! Every binary constructs its campaigns through the unified
@@ -23,6 +25,7 @@
 pub mod cli;
 pub mod harness;
 pub mod regression;
+pub mod scdp_cli;
 
 pub use cli::{CliArgs, DEFAULT_SEED};
 pub use harness::{Bench, Record};

@@ -1,0 +1,786 @@
+//! The unified `scdp` command-line interface.
+//!
+//! One binary replaces the per-table binaries' duplicated argument and
+//! report plumbing with four verbs over the unified campaign surface:
+//!
+//! * `scdp run` — one campaign (operator, datapath or sequential
+//!   datapath), optionally sharded (`--shards N`) and checkpointed to
+//!   a directory (`--dir D`). An interrupted sharded sweep resumes
+//!   from its checkpoints on the next invocation; a completed one is
+//!   merged into a report bit-identical to the unsharded run.
+//! * `scdp merge` — recombine the `shard-NNN.json` checkpoints of one
+//!   sweep into the full report.
+//! * `scdp validate` — parse and schema-check report files (v1–v4).
+//! * `scdp table` — render saved reports as a summary table.
+//! * `scdp sweep` — the workload × technique sweeps formerly known as
+//!   `table_datapath` (and, with `--seq`, `table_seq`); those binaries
+//!   are now thin wrappers over this verb.
+//!
+//! The module lives in the library (rather than the binary) so the
+//! wrapper binaries can delegate and tests can drive it directly.
+
+use crate::cli::CliArgs;
+use crate::pct;
+use scdp_campaign::{
+    drop_from_label, duration_from_label, duration_label, op_from_label, realisation_from_label,
+    style_from_label, style_label, technique_from_label, Backend, CampaignJob, CampaignReport,
+    CampaignRunner, DatapathScenario, DfgSource, FaultDuration, InputSpace, Scenario, ShardState,
+};
+use scdp_core::{Allocation, Technique};
+use scdp_hls::SckStyle;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Bare flags (no value argument) of every subcommand — everything
+/// else starting with `--` consumes the following argument.
+const BARE_FLAGS: &[&str] = &[
+    "--seq",
+    "--dedicated",
+    "--monte-carlo",
+    "--exhaustive",
+    "--quiet",
+    "--per-fu",
+];
+
+const USAGE: &str = "\
+scdp — self-checking data-path campaigns
+
+USAGE:
+  scdp run [SCENARIO] [EXECUTION] [SHARDING] [--report FILE]
+  scdp merge (--dir DIR | FILE...) [--out FILE]
+  scdp validate FILE...
+  scdp table (--dir DIR | FILE...)
+  scdp sweep [--seq] [SCENARIO] [EXECUTION] [--report-dir DIR]
+
+SCENARIO (pick an operator or a workload):
+  --op add|sub|mul|div          checked operator scenario (default: add)
+  --realisation rca|cla|csa     adder realisation (operator scenarios)
+  --backend functional|gate-level  engine for operator scenarios
+  --workload fir|iir|dot|matvec whole-datapath scenario
+  --seq                         cycle-accurate sequential campaign
+  --duration permanent|transient@C  fault duration (sequential)
+  --width N  --technique tech1|tech2|both  --style plain|full|embedded
+  --dedicated                   dedicated-checker allocation
+
+EXECUTION:
+  --samples N  --seed S  --monte-carlo  --exhaustive
+  --threads N  --drop never|on-detect|on-escape
+
+SHARDING (scdp run):
+  --shards N        partition the fault universe into N shards
+  --dir DIR         checkpoint each shard to DIR/shard-NNN.json; an
+                    interrupted sweep resumes from DIR next invocation
+  --max-shards K    stop after K fresh shards (deterministic interrupt)
+";
+
+/// Entry point used by the `scdp` binary: parses the process
+/// arguments and returns the exit code.
+#[must_use]
+pub fn main_from_env() -> i32 {
+    run(std::env::args().skip(1).collect())
+}
+
+/// Runs one `scdp` invocation over an explicit argument vector
+/// (exposed for the wrapper binaries and tests). Returns the process
+/// exit code: 0 on success, 1 on campaign/report errors, 2 on usage
+/// errors.
+#[must_use]
+pub fn run(raw: Vec<String>) -> i32 {
+    let Some(verb) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let rest: Vec<String> = raw[1..].to_vec();
+    let files = positionals(&rest);
+    let args = CliArgs::from_vec(rest);
+    let outcome = match verb.as_str() {
+        "run" => cmd_run(&args),
+        "merge" => cmd_merge(&args, &files),
+        "validate" => cmd_validate(&files),
+        "table" => cmd_table(&args, &files),
+        "sweep" => cmd_sweep(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return 0;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("scdp {verb}: {message}");
+            1
+        }
+    }
+}
+
+/// The non-flag arguments (report file paths), skipping every flag's
+/// value argument.
+fn positionals(raw: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for arg in raw {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg.starts_with("--") {
+            skip = !BARE_FLAGS.contains(&arg.as_str());
+            continue;
+        }
+        out.push(arg.clone());
+    }
+    out
+}
+
+/// Builds the campaign job a `run` invocation describes.
+fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
+    let width = args.width(4);
+    let samples = args.samples(1024);
+    let seed = args.seed();
+    let threads = args.threads();
+    let technique = match args.value::<String>("--technique") {
+        None => Technique::Both,
+        Some(s) => technique_from_label(&s).ok_or(format!("unknown technique `{s}`"))?,
+    };
+    let drop = match args.value::<String>("--drop") {
+        None => scdp_campaign::DropPolicy::Never,
+        Some(s) => drop_from_label(&s).ok_or(format!("unknown drop policy `{s}`"))?,
+    };
+    let allocation = if args.flag("--dedicated") {
+        Allocation::Dedicated
+    } else {
+        Allocation::SingleUnit
+    };
+
+    if let Some(workload) = args.value::<String>("--workload") {
+        let source =
+            DfgSource::from_label(&workload).ok_or(format!("unknown workload `{workload}`"))?;
+        let style = match args.value::<String>("--style") {
+            None => SckStyle::Full,
+            Some(s) => style_from_label(&s).ok_or(format!("unknown style `{s}`"))?,
+        };
+        let space = if args.flag("--exhaustive") {
+            InputSpace::Exhaustive
+        } else {
+            InputSpace::Sampled {
+                per_fault: samples,
+                seed,
+            }
+        };
+        let scenario = DatapathScenario::new(source, width)
+            .technique(technique)
+            .style(style)
+            .allocation(allocation);
+        if args.flag("--seq") || args.value::<String>("--duration").is_some() {
+            let duration = match args.value::<String>("--duration") {
+                None => FaultDuration::Permanent,
+                Some(s) => duration_from_label(&s).ok_or(format!("unknown duration `{s}`"))?,
+            };
+            Ok(CampaignJob::Sequential(
+                scenario
+                    .seq_campaign()
+                    .duration(duration)
+                    .input_space(space)
+                    .drop_policy(drop)
+                    .threads(threads),
+            ))
+        } else {
+            Ok(CampaignJob::Datapath(
+                scenario
+                    .campaign()
+                    .input_space(space)
+                    .drop_policy(drop)
+                    .threads(threads),
+            ))
+        }
+    } else {
+        let op_label = args
+            .value::<String>("--op")
+            .unwrap_or_else(|| "add".to_string());
+        let op = op_from_label(&op_label).ok_or(format!("unknown operator `{op_label}`"))?;
+        let backend = match args.value::<String>("--backend") {
+            None => Backend::Functional,
+            Some(s) => Backend::from_label(&s).ok_or(format!("unknown backend `{s}`"))?,
+        };
+        let mut scenario = Scenario::new(op, width)
+            .technique(technique)
+            .allocation(allocation);
+        if let Some(r) = args.value::<String>("--realisation") {
+            scenario = scenario.realisation(
+                realisation_from_label(&r).ok_or(format!("unknown realisation `{r}`"))?,
+            );
+        }
+        let space = if args.flag("--exhaustive") {
+            InputSpace::Exhaustive
+        } else {
+            args.space(width, samples)
+        };
+        Ok(CampaignJob::Operator(
+            scenario
+                .campaign()
+                .backend(backend)
+                .input_space(space)
+                .drop_policy(drop)
+                .threads(threads),
+        ))
+    }
+}
+
+fn cmd_run(args: &CliArgs) -> Result<i32, String> {
+    let job = job_from_args(args)?;
+    let shards = args.value_or("--shards", 1u32);
+    let dir = args.value::<String>("--dir");
+    let quiet = args.flag("--quiet");
+    // Any explicit shard count (including the invalid 0, which the
+    // runner rejects with a typed error) or a checkpoint directory
+    // routes through the runner; only the plain single-shot case runs
+    // directly.
+    let report = if shards != 1 || dir.is_some() {
+        let mut runner = CampaignRunner::new(job, shards);
+        if !quiet {
+            runner = runner.on_shard(Arc::new(|index, count, state| {
+                let what = match state {
+                    ShardState::Resumed => "resumed from checkpoint",
+                    ShardState::Ran => "ran",
+                    ShardState::Pending => "pending (fresh-shard budget reached)",
+                };
+                eprintln!("[shard {}/{count}] {what}", index + 1);
+            }));
+        }
+        if let Some(d) = &dir {
+            runner = runner.checkpoint_dir(d);
+        }
+        if let Some(max) = args.value::<u32>("--max-shards") {
+            runner = runner.max_shards(max);
+        }
+        let outcome = runner.run().map_err(|e| e.to_string())?;
+        let (resumed, ran, pending) = outcome.counts();
+        match outcome.report {
+            Some(report) => {
+                if !quiet {
+                    eprintln!("sweep complete: {ran} shard(s) ran, {resumed} resumed; merged");
+                }
+                report
+            }
+            None => {
+                println!(
+                    "interrupted: {}/{shards} shards checkpointed ({pending} pending); \
+                     re-run with the same --dir to resume",
+                    resumed + ran
+                );
+                return Ok(0);
+            }
+        }
+    } else {
+        job.run().map_err(|e| e.to_string())?
+    };
+    print_summary(&report, args.flag("--per-fu"));
+    if let Some(path) = args.value::<String>("--report") {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(0)
+}
+
+/// The `shard-NNN.json` checkpoints under `dir`, shard order.
+fn shard_files(dir: &str) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {dir}: {e}"))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no shard-*.json checkpoints in {dir}"));
+    }
+    Ok(files)
+}
+
+fn load_report(path: &Path) -> Result<CampaignReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    CampaignReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_merge(args: &CliArgs, files: &[String]) -> Result<i32, String> {
+    let paths: Vec<PathBuf> = match args.value::<String>("--dir") {
+        Some(dir) => shard_files(&dir)?,
+        None if files.is_empty() => return Err("pass shard report files or --dir DIR".to_string()),
+        None => files.iter().map(PathBuf::from).collect(),
+    };
+    let reports: Vec<CampaignReport> = paths
+        .iter()
+        .map(|p| load_report(p))
+        .collect::<Result<_, _>>()?;
+    let merged = CampaignReport::merge(&reports).map_err(|e| e.to_string())?;
+    eprintln!("merged {} shard report(s)", reports.len());
+    print_summary(&merged, args.flag("--per-fu"));
+    if let Some(path) = args.value::<String>("--out") {
+        std::fs::write(&path, merged.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(0)
+}
+
+fn cmd_validate(files: &[String]) -> Result<i32, String> {
+    if files.is_empty() {
+        return Err("pass report files to validate".to_string());
+    }
+    let mut failures = 0usize;
+    for file in files {
+        match load_report(Path::new(file)) {
+            Ok(report) => {
+                let schema = schema_of(&report);
+                println!(
+                    "OK   {file}: {schema}, {} faults, coverage {}",
+                    report.fault_count(),
+                    pct(report.coverage()),
+                );
+            }
+            Err(message) => {
+                println!("FAIL {file}: {message}");
+                failures += 1;
+            }
+        }
+    }
+    Ok(i32::from(failures > 0))
+}
+
+fn schema_of(report: &CampaignReport) -> &'static str {
+    if report.shard.is_some() {
+        scdp_campaign::REPORT_SCHEMA_V4
+    } else if report.sequential.is_some() {
+        scdp_campaign::REPORT_SCHEMA_V3
+    } else if report.datapath.is_some() {
+        scdp_campaign::REPORT_SCHEMA_V2
+    } else {
+        scdp_campaign::REPORT_SCHEMA
+    }
+}
+
+fn cmd_table(args: &CliArgs, files: &[String]) -> Result<i32, String> {
+    let paths: Vec<PathBuf> = match args.value::<String>("--dir") {
+        Some(dir) => {
+            let entries = std::fs::read_dir(&dir).map_err(|e| format!("read {dir}: {e}"))?;
+            let mut v: Vec<PathBuf> = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            v.sort();
+            v
+        }
+        None => files.iter().map(PathBuf::from).collect(),
+    };
+    if paths.is_empty() {
+        return Err("pass report files or --dir DIR".to_string());
+    }
+    println!("{}", table_header());
+    for path in &paths {
+        let report = load_report(path)?;
+        println!("{}", table_row(&report));
+    }
+    Ok(0)
+}
+
+fn table_header() -> String {
+    format!(
+        "{:<10} {:<6} {:>5} {:<12} {:>7} {:>7} {:>9} {:>10} {:>10} {:>8}",
+        "scenario",
+        "tech",
+        "width",
+        "duration",
+        "shard",
+        "faults",
+        "coverage",
+        "detection",
+        "safe",
+        "latency"
+    )
+}
+
+fn table_row(report: &CampaignReport) -> String {
+    let scenario = report.datapath.as_ref().map_or_else(
+        || report.scenario.op_label().to_string(),
+        |d| d.source.clone(),
+    );
+    let duration = report
+        .sequential
+        .as_ref()
+        .map_or_else(|| "-".to_string(), |s| duration_label(s.duration));
+    let shard = report
+        .shard
+        .map_or_else(|| "-".to_string(), |s| format!("{}/{}", s.index, s.count));
+    let latency = report
+        .sequential
+        .as_ref()
+        .and_then(SequentialLatency::new)
+        .map_or_else(|| "-".to_string(), |l| l.0);
+    format!(
+        "{:<10} {:<6} {:>5} {:<12} {:>7} {:>7} {:>9} {:>10} {:>10} {:>8}",
+        scenario,
+        scdp_campaign::technique_label(report.scenario.technique),
+        report.scenario.width,
+        duration,
+        shard,
+        report.fault_count(),
+        pct(report.coverage()),
+        pct(report.detection_rate()),
+        pct(report.safe_rate()),
+        latency,
+    )
+}
+
+/// Formats the mean detection latency of a sequential section.
+struct SequentialLatency(String);
+
+impl SequentialLatency {
+    fn new(seq: &scdp_campaign::SequentialDetails) -> Option<SequentialLatency> {
+        seq.mean_detection_latency()
+            .map(|l| SequentialLatency(format!("{l:.2}c")))
+    }
+}
+
+fn print_summary(report: &CampaignReport, per_fu: bool) {
+    let scenario = report.datapath.as_ref().map_or_else(
+        || report.scenario.op_label().to_string(),
+        |d| d.source.clone(),
+    );
+    println!(
+        "{} `{}` width {} technique {} — {} faults, {} situations",
+        schema_of(report),
+        scenario,
+        report.scenario.width,
+        scdp_campaign::technique_label(report.scenario.technique),
+        report.fault_count(),
+        report.simulated,
+    );
+    if let Some(sh) = report.shard {
+        println!(
+            "  shard {}/{} covering faults {}..{} of {}",
+            sh.index, sh.count, sh.fault_start, sh.fault_end, sh.total_faults
+        );
+    }
+    println!(
+        "  coverage {}  detection {}  safe {}  ({} ms)",
+        pct(report.coverage()),
+        pct(report.detection_rate()),
+        pct(report.safe_rate()),
+        report.elapsed_ms,
+    );
+    if let Some(seq) = &report.sequential {
+        let latency = seq
+            .mean_detection_latency()
+            .map_or_else(|| "-".to_string(), |l| format!("{l:.2}"));
+        println!(
+            "  sequential: {} over {} cycles, mean detection latency {latency} cycles",
+            duration_label(seq.duration),
+            seq.total_cycles,
+        );
+    }
+    if per_fu {
+        if let Some(dp) = &report.datapath {
+            print_per_fu(dp);
+        }
+    }
+}
+
+/// The indented per-functional-unit breakdown shared by `run --per-fu`,
+/// `merge --per-fu` and the unrolled `sweep` table.
+fn print_per_fu(dp: &scdp_campaign::DatapathDetails) {
+    for fu in dp.per_fu.iter().filter(|f| f.faults > 0) {
+        println!(
+            "    {:<6} {:<7} {:>2} ops {:>5} faults  cov {:>8}  det {:>4}/{:<4}",
+            fu.name,
+            fu.role,
+            fu.ops,
+            fu.faults,
+            pct(fu.tally.coverage()),
+            fu.detected,
+            fu.faults,
+        );
+    }
+}
+
+/// The workload × technique sweep: the former `table_datapath`
+/// (unrolled) and, with `--seq`, `table_seq` (cycle-accurate with a
+/// duration axis) binaries.
+fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
+    let seq = args.flag("--seq");
+    let width = args.width(3).clamp(1, 16);
+    let samples = args.samples(1024);
+    let seed = args.seed();
+    let threads = args.threads();
+    let style = match args.value::<String>("--style") {
+        None => SckStyle::Full,
+        Some(s) => style_from_label(&s).ok_or(format!("unknown style `{s}`"))?,
+    };
+    let allocation = if args.flag("--dedicated") {
+        Allocation::Dedicated
+    } else {
+        Allocation::SingleUnit
+    };
+    let report_dir = args.value::<String>("--report-dir");
+    if let Some(dir) = &report_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    }
+
+    println!(
+        "{} campaigns: width {width}, style {}, {} allocation, \
+         {samples} vectors/fault (seed {seed:#x})",
+        if seq {
+            "Sequential datapath"
+        } else {
+            "Datapath"
+        },
+        style_label(style),
+        if allocation == Allocation::Dedicated {
+            "dedicated-checker"
+        } else {
+            "shared (worst-case)"
+        },
+    );
+    if seq {
+        println!(
+            "{:<8} {:<6} {:<12} {:>7} {:>7} {:>10} {:>10} {:>10}",
+            "workload", "tech", "duration", "cycles", "faults", "coverage", "detection", "latency"
+        );
+    } else {
+        println!(
+            "{:<8} {:<6} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
+            "workload", "tech", "gates", "cycles", "faults", "coverage", "detection", "safe"
+        );
+    }
+
+    for source in DfgSource::BUILTIN {
+        for technique in Technique::ALL {
+            let label = source.label();
+            let scenario = DatapathScenario::new(source.clone(), width)
+                .technique(technique)
+                .style(style)
+                .allocation(allocation);
+            let space = InputSpace::Sampled {
+                per_fault: samples,
+                seed,
+            };
+            let tech = format!("{technique:?}").to_lowercase();
+            if seq {
+                // One elaboration per scenario, shared by all
+                // durations: permanent defects plus two single-cycle
+                // upsets (early and mid-schedule).
+                let machine = scenario.elaborate_seq();
+                let durations = [
+                    FaultDuration::Permanent,
+                    FaultDuration::Transient { cycle: 1 },
+                    FaultDuration::Transient {
+                        cycle: machine.total_cycles / 2,
+                    },
+                ];
+                for duration in durations {
+                    let report = scenario
+                        .clone()
+                        .seq_campaign()
+                        .duration(duration)
+                        .input_space(space)
+                        .threads(threads)
+                        .run_on(&machine)
+                        .map_err(|e| e.to_string())?;
+                    let details = report.sequential.as_ref().expect("sequential section");
+                    let latency = details
+                        .mean_detection_latency()
+                        .map_or("-".to_string(), |l| format!("{l:.2}c"));
+                    println!(
+                        "{:<8} {:<6} {:<12} {:>7} {:>7} {:>10} {:>10} {:>10}",
+                        label,
+                        tech,
+                        duration_label(duration),
+                        details.total_cycles,
+                        report.fault_count(),
+                        pct(report.coverage()),
+                        pct(report.detection_rate()),
+                        latency,
+                    );
+                    if let Some(dir) = &report_dir {
+                        let path = format!(
+                            "{dir}/seq_{label}_{tech}_{}.json",
+                            duration_label(duration).replace('@', "_"),
+                        );
+                        std::fs::write(&path, report.to_json())
+                            .map_err(|e| format!("write {path}: {e}"))?;
+                        eprintln!("    wrote {path}");
+                    }
+                }
+            } else {
+                let report = scenario
+                    .campaign()
+                    .input_space(space)
+                    .threads(threads)
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                let details = report.datapath.as_ref().expect("datapath section");
+                println!(
+                    "{:<8} {:<6} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
+                    label,
+                    tech,
+                    details.gates,
+                    details.schedule_length,
+                    report.fault_count(),
+                    pct(report.coverage()),
+                    pct(report.detection_rate()),
+                    pct(report.safe_rate()),
+                );
+                print_per_fu(details);
+                if let Some(dir) = &report_dir {
+                    let path = format!("{dir}/dp_{label}_{tech}.json");
+                    std::fs::write(&path, report.to_json())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                    eprintln!("    wrote {path}");
+                }
+            }
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn positionals_skip_flag_values_but_keep_files() {
+        let raw = strings(&[
+            "--dir",
+            "ckpt",
+            "a.json",
+            "--seq",
+            "b.json",
+            "--samples",
+            "64",
+        ]);
+        assert_eq!(positionals(&raw), strings(&["a.json", "b.json"]));
+    }
+
+    #[test]
+    fn unknown_verbs_and_empty_invocations_are_usage_errors() {
+        assert_eq!(run(strings(&["frobnicate"])), 2);
+        assert_eq!(run(Vec::new()), 2);
+        assert_eq!(run(strings(&["help"])), 0);
+    }
+
+    #[test]
+    fn bad_scenario_flags_are_reported_not_panicked() {
+        assert_eq!(run(strings(&["run", "--workload", "nope"])), 1);
+        assert_eq!(run(strings(&["run", "--op", "nope"])), 1);
+        assert_eq!(run(strings(&["run", "--technique", "nope"])), 1);
+        assert_eq!(run(strings(&["validate"])), 1);
+        assert_eq!(run(strings(&["merge"])), 1);
+    }
+
+    #[test]
+    fn job_construction_covers_all_three_shapes() {
+        let op = job_from_args(&CliArgs::from_vec(strings(&[
+            "--op", "add", "--width", "3",
+        ])));
+        assert!(matches!(op, Ok(CampaignJob::Operator(_))));
+        let dp = job_from_args(&CliArgs::from_vec(strings(&["--workload", "dot"])));
+        assert!(matches!(dp, Ok(CampaignJob::Datapath(_))));
+        let seq = job_from_args(&CliArgs::from_vec(strings(&[
+            "--workload",
+            "fir",
+            "--seq",
+            "--duration",
+            "transient@2",
+        ])));
+        match seq {
+            Ok(CampaignJob::Sequential(spec)) => {
+                assert_eq!(spec.duration, FaultDuration::Transient { cycle: 2 });
+            }
+            other => panic!("expected sequential job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_merge_validate_table_round_trip_through_a_checkpoint_dir() {
+        let dir = std::env::temp_dir().join(format!("scdp_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+        let merged = dir.join("merged.json");
+        let merged_s = merged.display().to_string();
+        // Sharded, checkpointed, interrupted after 2 shards...
+        assert_eq!(
+            run(strings(&[
+                "run",
+                "--workload",
+                "dot",
+                "--seq",
+                "--width",
+                "2",
+                "--samples",
+                "64",
+                "--threads",
+                "2",
+                "--shards",
+                "4",
+                "--dir",
+                &dir_s,
+                "--max-shards",
+                "2",
+                "--quiet",
+            ])),
+            0
+        );
+        assert!(dir.join("shard-001.json").is_file());
+        assert!(!dir.join("shard-002.json").exists());
+        // ...resumed to completion with a merged report...
+        assert_eq!(
+            run(strings(&[
+                "run",
+                "--workload",
+                "dot",
+                "--seq",
+                "--width",
+                "2",
+                "--samples",
+                "64",
+                "--threads",
+                "2",
+                "--shards",
+                "4",
+                "--dir",
+                &dir_s,
+                "--report",
+                &merged_s,
+                "--quiet",
+            ])),
+            0
+        );
+        assert!(merged.is_file());
+        let text = std::fs::read_to_string(&merged).expect("merged report");
+        assert!(text.contains("scdp.campaign.report/v3"), "merged is full");
+        let shard0 = std::fs::read_to_string(dir.join("shard-000.json")).expect("checkpoint");
+        assert!(
+            shard0.contains("scdp.campaign.report/v4"),
+            "checkpoints are v4"
+        );
+        // ...merge/validate/table accept what run wrote.
+        assert_eq!(run(strings(&["merge", "--dir", &dir_s])), 0);
+        assert_eq!(run(strings(&["validate", &merged_s])), 0);
+        assert_eq!(run(strings(&["table", &merged_s])), 0);
+        assert_eq!(run(strings(&["validate", "/nonexistent.json"])), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

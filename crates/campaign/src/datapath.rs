@@ -34,8 +34,9 @@
 //! ```
 
 use crate::error::CampaignError;
-use crate::report::{CampaignReport, DatapathDetails, FaultRecord, FuTally};
-use crate::scenario::{Backend, FaultModel, Scenario};
+use crate::report::{drop_label, CampaignReport, DatapathDetails, FaultRecord, FuTally};
+use crate::scenario::{allocation_label, technique_label, Backend, FaultModel, Scenario};
+use crate::shard::{self, ShardInfo, ShardPlan};
 use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
 use scdp_coverage::{InputSpace, Tally};
 use scdp_fir::{dot_body_dfg, fir_body_dfg, iir_biquad_dfg, matvec_row_dfg};
@@ -296,6 +297,9 @@ pub struct DatapathCampaignSpec {
     pub drop: DropPolicy,
     /// Worker-thread cap (`None` = all available cores).
     pub threads: Option<usize>,
+    /// Restricts the run to one shard of the fault universe:
+    /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
+    pub shard: Option<(u32, u32)>,
     /// Optional progress observer.
     pub observer: Option<ProgressHook>,
 }
@@ -307,6 +311,7 @@ impl fmt::Debug for DatapathCampaignSpec {
             .field("space", &self.space)
             .field("drop", &self.drop)
             .field("threads", &self.threads)
+            .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .finish()
     }
@@ -322,6 +327,7 @@ impl DatapathCampaignSpec {
             space: InputSpace::Exhaustive,
             drop: DropPolicy::Never,
             threads: None,
+            shard: None,
             observer: None,
         }
     }
@@ -346,6 +352,25 @@ impl DatapathCampaignSpec {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
+    }
+
+    /// Restricts the run to shard `index` of a `count`-way
+    /// [`ShardPlan`] over the fault universe (validated by
+    /// [`DatapathCampaignSpec::run`]). The report then carries a
+    /// `shard` section (`scdp.campaign.report/v4`); merging all
+    /// `count` shards reproduces the unsharded report bit for bit.
+    #[must_use]
+    pub fn shard(mut self, index: u32, count: u32) -> Self {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Fingerprint of this campaign's configuration — stamped into
+    /// [`ShardInfo::plan_hash`] by sharded runs so checkpoints from
+    /// different campaigns can never be resumed or merged together.
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        datapath_fingerprint("datapath", &self.scenario, self.space, self.drop, None)
     }
 
     /// Installs a progress observer, called on the driver thread.
@@ -378,8 +403,31 @@ impl DatapathCampaignSpec {
                 max: MAX_WIDTH,
             });
         }
+        self.run_on(&s.elaborate())
+    }
+
+    /// Runs the campaign on a datapath elaborated earlier with
+    /// [`DatapathScenario::elaborate`], skipping the synthesis front
+    /// half — for sweeps or sharded runs that grade several
+    /// configurations (or shards) of the same machine (the elaboration
+    /// must come from this spec's scenario).
+    ///
+    /// # Errors
+    ///
+    /// As [`DatapathCampaignSpec::run`], minus the width check the
+    /// elaboration already enforced.
+    pub fn run_on(&self, dp: &ElaboratedDatapath) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
         if self.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
+        }
+        if let Some((index, count)) = self.shard {
+            if count == 0 {
+                return Err(CampaignError::ZeroShards);
+            }
+            if index >= count {
+                return Err(CampaignError::ShardIndexOutOfRange { index, count });
+            }
         }
         let start = Instant::now();
         self.emit(&Progress::Started {
@@ -387,7 +435,6 @@ impl DatapathCampaignSpec {
             fault_model: FaultModel::Structural,
         });
 
-        let dp = s.elaborate();
         let plan = datapath_input_plan(self.space, dp.netlist.input_bits())?;
         let (groups, ranges) = dp.fault_universe();
         self.emit(&Progress::NetlistCompiled {
@@ -397,15 +444,33 @@ impl DatapathCampaignSpec {
         });
 
         let engine = Engine::new(&dp.netlist);
-        // The deprecated constructor is the engine-room entry the
-        // unified surfaces share; validation already happened above.
-        #[allow(deprecated)]
-        let mut campaign = scdp_sim::EngineCampaign::new(&engine, groups)
+        let universe = groups.len() as u64;
+        let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
             .plan(plan)
             .drop_policy(self.drop);
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
+        let shard = match self.shard {
+            None => None,
+            Some((index, count)) => {
+                let sp = ShardPlan::new(universe, count)?;
+                sp.check_index(index)?;
+                let range = sp.range(index);
+                campaign = campaign.fault_range(range.start as usize..range.end as usize);
+                Some(ShardInfo {
+                    index,
+                    count,
+                    fault_start: range.start,
+                    fault_end: range.end,
+                    total_faults: sp.total_faults(),
+                    plan_hash: self.config_fingerprint(),
+                })
+            }
+        };
+        campaign.check().map_err(|e| CampaignError::FaultSpec {
+            message: e.to_string(),
+        })?;
         let summary = campaign.run();
 
         let per_fault: Vec<FaultRecord> = summary
@@ -419,6 +484,7 @@ impl DatapathCampaignSpec {
             })
             .collect();
 
+        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
         let per_fu: Vec<FuTally> = ranges
             .iter()
             .map(|r| {
@@ -426,7 +492,12 @@ impl DatapathCampaignSpec {
                 let mut tally = scdp_coverage::TechTally::default();
                 let mut detected = 0u64;
                 let mut escaped = 0u64;
-                for f in &per_fault[r.start..r.end] {
+                // Intersect the unit's universe range with the covered
+                // (shard) range; `per_fault` is indexed shard-locally.
+                let lo = (r.start as u64).max(covered.start);
+                let hi = (r.end as u64).min(covered.end);
+                for i in lo..hi {
+                    let f = &per_fault[(i - covered.start) as usize];
                     tally += f.tally;
                     detected += u64::from(f.detected);
                     escaped += u64::from(f.escaped);
@@ -438,7 +509,7 @@ impl DatapathCampaignSpec {
                     ops: span.ops.len() as u64,
                     instances: span.instances.len() as u64,
                     instance_gates: span.instance_gates() as u64,
-                    faults: (r.end - r.start) as u64,
+                    faults: hi.saturating_sub(lo),
                     tally,
                     detected,
                     escaped,
@@ -472,6 +543,7 @@ impl DatapathCampaignSpec {
             elapsed_ms: 0,
             datapath: Some(details),
             sequential: None,
+            shard,
         };
         report.elapsed_ms = start.elapsed().as_millis() as u64;
         self.emit(&Progress::Finished {
@@ -480,6 +552,38 @@ impl DatapathCampaignSpec {
         });
         Ok(report)
     }
+}
+
+/// The shared configuration-fingerprint construction of the unrolled
+/// and sequential datapath campaigns (`kind` separates the two;
+/// `duration` is the sequential campaigns' fault-duration label).
+pub(crate) fn datapath_fingerprint(
+    kind: &str,
+    s: &DatapathScenario,
+    space: InputSpace,
+    drop: scdp_sim::DropPolicy,
+    duration: Option<String>,
+) -> u64 {
+    let source = s.source.label();
+    let width = s.width.to_string();
+    let resources = format!(
+        "alu{}:mult{}:div{}:mem{}",
+        s.resources.alus, s.resources.mults, s.resources.divs, s.resources.mem_ports
+    );
+    let space = shard::space_part(space);
+    let duration = duration.unwrap_or_default();
+    shard::config_fingerprint([
+        kind,
+        &source,
+        &width,
+        technique_label(s.technique),
+        allocation_label(s.allocation),
+        style_label(s.style),
+        &resources,
+        &space,
+        drop_label(drop),
+        &duration,
+    ])
 }
 
 /// Stable serialisation label of a binding role.

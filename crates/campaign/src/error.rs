@@ -1,10 +1,12 @@
 //! Typed campaign errors.
 //!
-//! The deprecated constructors (`scdp_coverage::CampaignBuilder::new`,
-//! `scdp_sim::EngineCampaign::new`) validate with `assert!`; the unified
-//! [`CampaignSpec::run`](crate::CampaignSpec::run) performs the same
-//! checks *before* dispatching and reports failures as values instead of
-//! panics.
+//! The engine-room constructors (`scdp_coverage::CampaignBuilder::over`,
+//! `scdp_sim::EngineCampaign::over`) validate with `assert!`; the
+//! unified [`CampaignSpec::run`](crate::CampaignSpec::run) performs the
+//! same checks *before* dispatching and reports failures as values
+//! instead of panics. Sharded campaigns add their own failure surface —
+//! invalid shard plans, inconsistent partial reports, unreadable
+//! checkpoint files — all typed here too.
 
 use crate::scenario::{Backend, FaultModel};
 use scdp_core::Operator;
@@ -75,6 +77,36 @@ pub enum CampaignError {
         /// Cycles the elaborated datapath runs (valid cycles are
         /// `0..total_cycles`).
         total_cycles: u32,
+    },
+    /// A fault spec was rejected by the simulation engines' validation
+    /// (e.g. a pin the gate does not have) — surfaced as a value so one
+    /// malformed group cannot abort a sharded sweep mid-campaign.
+    FaultSpec {
+        /// The engine's [`scdp_sim::SimError`] rendering.
+        message: String,
+    },
+    /// A shard plan must partition the universe into at least one
+    /// shard.
+    ZeroShards,
+    /// A shard index at or beyond the plan's shard count.
+    ShardIndexOutOfRange {
+        /// The rejected shard index.
+        index: u32,
+        /// The plan's shard count (valid indices are `0..count`).
+        count: u32,
+    },
+    /// Partial shard reports could not be merged back into one
+    /// campaign report.
+    ShardMerge {
+        /// What is inconsistent.
+        message: String,
+    },
+    /// A checkpoint file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The OS error rendering.
+        message: String,
     },
     /// A report could not be parsed as JSON.
     Parse {
@@ -151,6 +183,19 @@ impl fmt::Display for CampaignError {
                     "transient fault cycle {cycle} out of range: the sequential datapath \
                      runs {total_cycles} cycles (0..{total_cycles})"
                 )
+            }
+            CampaignError::FaultSpec { message } => {
+                write!(f, "malformed fault spec: {message}")
+            }
+            CampaignError::ZeroShards => f.write_str("shard plans need at least one shard"),
+            CampaignError::ShardIndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range 0..{count}")
+            }
+            CampaignError::ShardMerge { message } => {
+                write!(f, "cannot merge shard reports: {message}")
+            }
+            CampaignError::Io { path, message } => {
+                write!(f, "checkpoint I/O error at `{path}`: {message}")
             }
             CampaignError::Parse { offset, message } => {
                 write!(f, "report JSON parse error at byte {offset}: {message}")

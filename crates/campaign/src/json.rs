@@ -147,16 +147,24 @@ pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting depth the parser accepts. The parser is
+/// recursive-descent, so unbounded nesting in an untrusted checkpoint
+/// file would overflow the stack; well-formed campaign reports nest
+/// four levels deep, leaving enormous headroom.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
 ///
 /// # Errors
 ///
 /// Returns [`CampaignError::Parse`] with the byte offset of the first
-/// offending character.
+/// offending character, or [`CampaignError::Schema`] (field `json`)
+/// when containers nest deeper than [`MAX_DEPTH`].
 pub fn parse(text: &str) -> Result<Json, CampaignError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -170,6 +178,7 @@ pub fn parse(text: &str) -> Result<Json, CampaignError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -178,6 +187,19 @@ impl Parser<'_> {
             offset: self.pos,
             message: message.to_string(),
         }
+    }
+
+    /// Bumps the container nesting depth, rejecting documents that
+    /// would exhaust the recursion stack.
+    fn descend(&mut self) -> Result<(), CampaignError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(CampaignError::Schema {
+                field: "json",
+                message: format!("containers nest deeper than {MAX_DEPTH} levels"),
+            });
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -223,10 +245,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, CampaignError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -237,6 +261,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected `,` or `]`")),
@@ -246,10 +271,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, CampaignError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -264,6 +291,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.error("expected `,` or `}`")),
@@ -397,6 +425,39 @@ mod tests {
     fn whitespace_is_tolerated() {
         let v = parse(" { \"k\" : [ 1 , 2 ] } ").unwrap();
         assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // A 10k-deep array must come back as a typed error; before the
+        // depth guard this overflowed the recursion stack and aborted
+        // the process — fatal for a resumable campaign reading an
+        // untrusted checkpoint file.
+        let deep = format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000));
+        match parse(&deep) {
+            Err(CampaignError::Schema {
+                field: "json",
+                message,
+            }) => {
+                assert!(message.contains("128"), "{message}");
+            }
+            other => panic!("expected depth error, got {other:?}"),
+        }
+        // Same guard for objects.
+        let deep_obj = format!("{}1{}", "{\"k\":".repeat(10_000), "}".repeat(10_000));
+        assert!(matches!(
+            parse(&deep_obj),
+            Err(CampaignError::Schema { field: "json", .. })
+        ));
+        // The limit is generous: a report-shaped document passes.
+        let nested = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&nested).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //! * [`CampaignReport`] — one result type for both engines: four-way
 //!   situation tallies, per-fault outcomes, detection/safe rates,
 //!   simulated-situation counts, wall-clock, and a stable hand-written
-//!   JSON serialisation (`scdp.campaign.report/v1`) with a full parser
-//!   for round-tripping.
+//!   JSON serialisation (`scdp.campaign.report/v1`…`v4`) with a full
+//!   parser for round-tripping.
 //! * [`CampaignError`] — typed validation errors replacing the
-//!   deprecated constructors' `assert!`s.
+//!   engine-room constructors' `assert!`s.
+//! * [`ShardPlan`] / [`CampaignRunner`] — deterministic fault-universe
+//!   partitioning with per-shard v4 checkpoints, interrupt/resume, and
+//!   a [`CampaignReport::merge`] that reproduces the unsharded report
+//!   bit for bit.
 //!
 //! # Bit-comparable backends
 //!
@@ -47,7 +51,9 @@
 //!
 //! # Migration
 //!
-//! The old constructors survive as deprecated shims for one release;
+//! The deprecated shim constructors (`CampaignBuilder::new`,
+//! `EngineCampaign::new`) are removed; the engine-room entries below
+//! this surface are `CampaignBuilder::over` and `EngineCampaign::over`.
 //! `docs/CAMPAIGN_API.md` has the old-call → new-call table for every
 //! rewired bench binary.
 
@@ -57,8 +63,10 @@ mod datapath;
 mod error;
 pub mod json;
 mod report;
+mod runner;
 mod scenario;
 mod seq;
+mod shard;
 mod spec;
 
 pub use datapath::{
@@ -69,13 +77,15 @@ pub use error::CampaignError;
 pub use report::{
     drop_from_label, drop_label, duration_from_label, duration_label, CampaignReport,
     DatapathDetails, FaultRecord, FuTally, SequentialDetails, REPORT_SCHEMA, REPORT_SCHEMA_V2,
-    REPORT_SCHEMA_V3,
+    REPORT_SCHEMA_V3, REPORT_SCHEMA_V4,
 };
+pub use runner::{CampaignJob, CampaignRunner, RunnerOutcome, ShardState};
 pub use scenario::{
     allocation_from_label, allocation_label, op_from_label, realisation_from_label,
     realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
 };
 pub use seq::SeqDatapathCampaignSpec;
+pub use shard::{config_fingerprint, ShardInfo, ShardPlan};
 pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
 
 // The shared input-space configuration and its batched twin are part of

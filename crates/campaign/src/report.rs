@@ -6,6 +6,7 @@ use crate::scenario::{
     allocation_from_label, allocation_label, op_from_label, realisation_from_label,
     realisation_label, technique_from_label, technique_label, Backend, FaultModel, Scenario,
 };
+use crate::shard::ShardInfo;
 use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
 use scdp_netlist::FaultDuration;
 use scdp_sim::DropPolicy;
@@ -27,6 +28,17 @@ pub const REPORT_SCHEMA_V2: &str = "scdp.campaign.report/v2";
 /// three schemas; the writer emits v3 exactly when a report carries a
 /// [`SequentialDetails`] section.
 pub const REPORT_SCHEMA_V3: &str = "scdp.campaign.report/v3";
+
+/// Schema identifier of *partial* (sharded) campaign reports — the
+/// per-shard checkpoint documents of a partitioned sweep. A v4
+/// document carries a `shard` section ([`ShardInfo`]: shard
+/// index/count, covered fault range, plan fingerprint) on top of any
+/// of the v1–v3 shapes; its tallies, per-fault rows and histograms
+/// cover only the shard's fault range. Merging all shards of one plan
+/// ([`CampaignReport::merge`]) yields a v1–v3 report bit-identical to
+/// the unsharded run. The writer emits v4 exactly when a report
+/// carries a [`ShardInfo`] section.
+pub const REPORT_SCHEMA_V4: &str = "scdp.campaign.report/v4";
 
 /// The sequential section of a `scdp.campaign.report/v3` document:
 /// how the cycle-accurate campaign was run and when faults were first
@@ -181,6 +193,11 @@ pub struct CampaignReport {
     /// [`SeqDatapathCampaignSpec`](crate::SeqDatapathCampaignSpec) run
     /// (always together with the `datapath` section).
     pub sequential: Option<SequentialDetails>,
+    /// Shard section: present exactly when the report is a *partial*
+    /// result covering one shard of a partitioned universe; its
+    /// tallies, `per_fault` rows and histograms then cover only
+    /// `shard.fault_start..shard.fault_end`.
+    pub shard: Option<ShardInfo>,
 }
 
 impl CampaignReport {
@@ -274,6 +291,7 @@ impl CampaignReport {
             && self.simulated == other.simulated
             && self.datapath == other.datapath
             && self.sequential == other.sequential
+            && self.shard == other.shard
     }
 
     /// Serialises the report to the stable `scdp.campaign.report/v1`
@@ -285,7 +303,9 @@ impl CampaignReport {
         let mut o = String::with_capacity(1024 + self.per_fault.len() * 32);
         let t = self.four_way();
         o.push_str("{\n");
-        let schema = if self.sequential.is_some() {
+        let schema = if self.shard.is_some() {
+            REPORT_SCHEMA_V4
+        } else if self.sequential.is_some() {
             debug_assert!(
                 self.datapath.is_some(),
                 "sequential reports carry the datapath section too"
@@ -328,6 +348,14 @@ impl CampaignReport {
             }
         }
         let _ = writeln!(o, "  \"drop_policy\": \"{}\",", drop_label(self.drop));
+        if let Some(sh) = &self.shard {
+            let _ = writeln!(
+                o,
+                "  \"shard\": {{\"index\": {}, \"count\": {}, \"fault_start\": {}, \
+                 \"fault_end\": {}, \"total_faults\": {}, \"plan_hash\": {}}},",
+                sh.index, sh.count, sh.fault_start, sh.fault_end, sh.total_faults, sh.plan_hash
+            );
+        }
         let _ = writeln!(o, "  \"fault_count\": {},", self.per_fault.len());
         let _ = writeln!(o, "  \"simulated\": {},", self.simulated);
         let _ = writeln!(
@@ -450,6 +478,7 @@ impl CampaignReport {
             s if s == REPORT_SCHEMA => 1u8,
             s if s == REPORT_SCHEMA_V2 => 2,
             s if s == REPORT_SCHEMA_V3 => 3,
+            s if s == REPORT_SCHEMA_V4 => 4,
             other => {
                 return Err(schema_err("schema", format!("unknown schema `{other}`")));
             }
@@ -562,38 +591,79 @@ impl CampaignReport {
             ));
         }
 
-        let datapath = match (version >= 2, v.get("datapath")) {
-            (false, None) => None,
-            (false, Some(_)) => {
+        // Section rules: v2/v3 *require* the datapath section and v3
+        // the sequential one; v4 (a sharded checkpoint of any campaign
+        // shape) carries them presence-driven, but a sequential section
+        // still implies a datapath section.
+        let requires_dp = version == 2 || version == 3;
+        let datapath = match (version, v.get("datapath")) {
+            (1, Some(_)) => {
                 return Err(schema_err(
                     "datapath",
                     "v1 documents must not carry a datapath section".into(),
                 ));
             }
-            (true, None) => {
+            (_, None) if requires_dp => {
                 return Err(schema_err(
                     "datapath",
                     format!("v{version} documents require the datapath section"),
                 ));
             }
-            (true, Some(dp)) => Some(parse_datapath(dp)?),
+            (_, Some(dp)) => Some(parse_datapath(dp)?),
+            (_, None) => None,
         };
-        let sequential = match (version >= 3, v.get("sequential")) {
-            (false, None) => None,
-            (false, Some(_)) => {
+        let sequential = match (version, v.get("sequential")) {
+            (1 | 2, Some(_)) => {
                 return Err(schema_err(
                     "sequential",
                     format!("v{version} documents must not carry a sequential section"),
                 ));
             }
-            (true, None) => {
+            (3, None) => {
                 return Err(schema_err(
                     "sequential",
                     "v3 documents require the sequential section".into(),
                 ));
             }
-            (true, Some(seq)) => Some(parse_sequential(seq)?),
+            (_, Some(seq)) => {
+                if datapath.is_none() {
+                    return Err(schema_err(
+                        "sequential",
+                        "a sequential section requires a datapath section".into(),
+                    ));
+                }
+                Some(parse_sequential(seq)?)
+            }
+            (_, None) => None,
         };
+        let shard = match (version, v.get("shard")) {
+            (4, Some(sh)) => Some(parse_shard(sh)?),
+            (4, None) => {
+                return Err(schema_err(
+                    "shard",
+                    "v4 documents require the shard section".into(),
+                ));
+            }
+            (_, Some(_)) => {
+                return Err(schema_err(
+                    "shard",
+                    format!("v{version} documents must not carry a shard section"),
+                ));
+            }
+            (_, None) => None,
+        };
+        if let Some(sh) = &shard {
+            let covered = sh.fault_end - sh.fault_start;
+            if covered != per_fault.len() as u64 {
+                return Err(schema_err(
+                    "shard",
+                    format!(
+                        "shard covers {covered} faults but per_fault has {}",
+                        per_fault.len()
+                    ),
+                ));
+            }
+        }
 
         Ok(CampaignReport {
             scenario,
@@ -608,8 +678,284 @@ impl CampaignReport {
             elapsed_ms,
             datapath,
             sequential,
+            shard,
         })
     }
+
+    /// Recombines the partial reports of one shard plan into the report
+    /// the unsharded campaign would have produced — **bit-identical**
+    /// in everything the schema serialises except `elapsed_ms` (summed
+    /// over shards) and the producing `backend`'s wall-clock: tallies,
+    /// per-fault outcomes, per-FU tallies and detection-latency
+    /// histograms are exact concatenations/sums because every fault's
+    /// outcome is independent of its neighbours.
+    ///
+    /// Shards may be passed in any order; each index of the plan must
+    /// appear exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::ShardMerge`] when the reports do not
+    /// form one complete, consistent plan: missing/duplicate shard
+    /// indices, differing plan fingerprints or configurations, or
+    /// ranges that do not tile the universe.
+    pub fn merge(shards: &[CampaignReport]) -> Result<CampaignReport, CampaignError> {
+        let merge_err = |message: String| CampaignError::ShardMerge { message };
+        let Some(first) = shards.first() else {
+            return Err(merge_err("no shard reports given".into()));
+        };
+        let Some(head) = first.shard else {
+            return Err(merge_err("report 0 has no shard section".into()));
+        };
+        if shards.len() != head.count as usize {
+            return Err(merge_err(format!(
+                "plan has {} shards but {} reports were given",
+                head.count,
+                shards.len()
+            )));
+        }
+        let mut by_index: Vec<Option<&CampaignReport>> = vec![None; head.count as usize];
+        for (k, r) in shards.iter().enumerate() {
+            let Some(sh) = r.shard else {
+                return Err(merge_err(format!("report {k} has no shard section")));
+            };
+            if sh.count != head.count || sh.total_faults != head.total_faults {
+                return Err(merge_err(format!(
+                    "report {k} belongs to a different plan \
+                     ({}/{} faults vs {}/{})",
+                    sh.count, sh.total_faults, head.count, head.total_faults
+                )));
+            }
+            if sh.plan_hash != head.plan_hash {
+                return Err(merge_err(format!(
+                    "report {k} has a different configuration fingerprint \
+                     ({:#018x} vs {:#018x})",
+                    sh.plan_hash, head.plan_hash
+                )));
+            }
+            if r.scenario != first.scenario
+                || r.backend != first.backend
+                || r.fault_model != first.fault_model
+                || r.space != first.space
+                || r.drop != first.drop
+                || r.filled != first.filled
+            {
+                return Err(merge_err(format!(
+                    "report {k} was produced by a different campaign configuration"
+                )));
+            }
+            let slot = &mut by_index[sh.index as usize];
+            if slot.is_some() {
+                return Err(merge_err(format!("shard {} appears twice", sh.index)));
+            }
+            *slot = Some(r);
+        }
+        let ordered: Vec<&CampaignReport> = by_index
+            .into_iter()
+            .map(|s| s.expect("count slots, count unique indices"))
+            .collect();
+
+        let mut per_fault = Vec::with_capacity(head.total_faults as usize);
+        let mut cursor = 0u64;
+        let mut tally = Tally::default();
+        let mut simulated = 0u64;
+        let mut elapsed_ms = 0u64;
+        for r in &ordered {
+            let sh = r.shard.expect("checked above");
+            if sh.fault_start != cursor {
+                return Err(merge_err(format!(
+                    "shard {} covers {}..{} but the previous shards end at {cursor}",
+                    sh.index, sh.fault_start, sh.fault_end
+                )));
+            }
+            if (sh.fault_end - sh.fault_start) != r.per_fault.len() as u64 {
+                return Err(merge_err(format!(
+                    "shard {} declares {} faults but carries {}",
+                    sh.index,
+                    sh.fault_end - sh.fault_start,
+                    r.per_fault.len()
+                )));
+            }
+            cursor = sh.fault_end;
+            per_fault.extend_from_slice(&r.per_fault);
+            for &t in &r.filled {
+                tally.tech[t as usize] += *r.tally.of(t);
+            }
+            simulated += r.simulated;
+            elapsed_ms += r.elapsed_ms;
+        }
+        if cursor != head.total_faults {
+            return Err(merge_err(format!(
+                "shards cover {cursor} of {} universe faults",
+                head.total_faults
+            )));
+        }
+
+        let datapath = merge_datapath(&ordered)?;
+        let sequential = merge_sequential(&ordered)?;
+        Ok(CampaignReport {
+            scenario: first.scenario,
+            backend: first.backend,
+            fault_model: first.fault_model,
+            space: first.space,
+            drop: first.drop,
+            tally,
+            filled: first.filled.clone(),
+            per_fault,
+            simulated,
+            elapsed_ms,
+            datapath,
+            sequential,
+            shard: None,
+        })
+    }
+}
+
+/// Merges the per-shard datapath sections (all-or-none; metadata must
+/// agree, per-FU counters sum).
+fn merge_datapath(ordered: &[&CampaignReport]) -> Result<Option<DatapathDetails>, CampaignError> {
+    let merge_err = |message: String| CampaignError::ShardMerge { message };
+    let Some(head) = &ordered[0].datapath else {
+        if let Some(k) = ordered.iter().position(|r| r.datapath.is_some()) {
+            return Err(merge_err(format!(
+                "shard {k} carries a datapath section but shard 0 does not"
+            )));
+        }
+        return Ok(None);
+    };
+    let mut merged = DatapathDetails {
+        per_fu: head
+            .per_fu
+            .iter()
+            .map(|fu| FuTally {
+                faults: 0,
+                tally: TechTally::default(),
+                detected: 0,
+                escaped: 0,
+                ..fu.clone()
+            })
+            .collect(),
+        ..head.clone()
+    };
+    for (k, r) in ordered.iter().enumerate() {
+        let Some(dp) = &r.datapath else {
+            return Err(merge_err(format!(
+                "shard {k} is missing the datapath section"
+            )));
+        };
+        let same_shape = dp.source == head.source
+            && dp.style == head.style
+            && dp.nodes == head.nodes
+            && dp.schedule_length == head.schedule_length
+            && dp.registers == head.registers
+            && dp.mux_legs == head.mux_legs
+            && dp.gates == head.gates
+            && dp.per_fu.len() == head.per_fu.len();
+        if !same_shape {
+            return Err(merge_err(format!(
+                "shard {k} describes a different elaborated datapath"
+            )));
+        }
+        for (m, fu) in merged.per_fu.iter_mut().zip(&dp.per_fu) {
+            let same_fu = fu.name == m.name
+                && fu.class == m.class
+                && fu.role == m.role
+                && fu.ops == m.ops
+                && fu.instances == m.instances
+                && fu.instance_gates == m.instance_gates;
+            if !same_fu {
+                return Err(merge_err(format!(
+                    "shard {k} describes functional unit `{}` differently",
+                    m.name
+                )));
+            }
+            m.faults += fu.faults;
+            m.tally += fu.tally;
+            m.detected += fu.detected;
+            m.escaped += fu.escaped;
+        }
+    }
+    Ok(Some(merged))
+}
+
+/// Merges the per-shard sequential sections (all-or-none; duration and
+/// cycle count must agree, histograms sum element-wise).
+fn merge_sequential(
+    ordered: &[&CampaignReport],
+) -> Result<Option<SequentialDetails>, CampaignError> {
+    let merge_err = |message: String| CampaignError::ShardMerge { message };
+    let Some(head) = &ordered[0].sequential else {
+        if let Some(k) = ordered.iter().position(|r| r.sequential.is_some()) {
+            return Err(merge_err(format!(
+                "shard {k} carries a sequential section but shard 0 does not"
+            )));
+        }
+        return Ok(None);
+    };
+    let mut merged = SequentialDetails {
+        first_detect_hist: vec![0; head.first_detect_hist.len()],
+        ..head.clone()
+    };
+    for (k, r) in ordered.iter().enumerate() {
+        let Some(seq) = &r.sequential else {
+            return Err(merge_err(format!(
+                "shard {k} is missing the sequential section"
+            )));
+        };
+        if seq.duration != head.duration
+            || seq.total_cycles != head.total_cycles
+            || seq.first_detect_hist.len() != head.first_detect_hist.len()
+        {
+            return Err(merge_err(format!(
+                "shard {k} ran a different sequential configuration"
+            )));
+        }
+        for (m, n) in merged
+            .first_detect_hist
+            .iter_mut()
+            .zip(&seq.first_detect_hist)
+        {
+            *m += n;
+        }
+    }
+    Ok(Some(merged))
+}
+
+/// Parses the `shard` section of a v4 document.
+fn parse_shard(sh: &Json) -> Result<ShardInfo, CampaignError> {
+    let num = |key: &str| {
+        sh.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema_err("shard", format!("missing or malformed `{key}` member")))
+    };
+    let index = u32::try_from(num("index")?)
+        .map_err(|_| schema_err("shard", "index out of range".into()))?;
+    let count = u32::try_from(num("count")?)
+        .map_err(|_| schema_err("shard", "count out of range".into()))?;
+    let info = ShardInfo {
+        index,
+        count,
+        fault_start: num("fault_start")?,
+        fault_end: num("fault_end")?,
+        total_faults: num("total_faults")?,
+        plan_hash: num("plan_hash")?,
+    };
+    if info.count == 0 || info.index >= info.count {
+        return Err(schema_err(
+            "shard",
+            format!("index {} out of range 0..{}", info.index, info.count),
+        ));
+    }
+    if info.fault_start > info.fault_end || info.fault_end > info.total_faults {
+        return Err(schema_err(
+            "shard",
+            format!(
+                "range {}..{} does not fit a {}-fault universe",
+                info.fault_start, info.fault_end, info.total_faults
+            ),
+        ));
+    }
+    Ok(info)
 }
 
 fn parse_sequential(seq: &Json) -> Result<SequentialDetails, CampaignError> {
@@ -838,6 +1184,7 @@ mod tests {
             elapsed_ms: 7,
             datapath: None,
             sequential: None,
+            shard: None,
         }
     }
 

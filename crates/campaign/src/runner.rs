@@ -1,0 +1,436 @@
+//! Incremental, resumable execution of sharded campaigns.
+//!
+//! [`CampaignRunner`] turns the all-or-nothing Fig. 3 sweep into a
+//! checkpointed pipeline: the fault universe is partitioned by a
+//! [`ShardPlan`], every shard runs as an ordinary campaign restricted
+//! to its range, and each finished shard is written to the checkpoint
+//! directory as a `scdp.campaign.report/v4` document
+//! (`shard-NNN.json`). A later invocation over the same directory
+//! *resumes*: checkpoints whose shard section matches the job's
+//! configuration fingerprint are reused verbatim, only the missing (or
+//! stale) shards execute, and once all shards exist they are merged
+//! into a report bit-identical to the unsharded run.
+//!
+//! Datapath and sequential jobs elaborate their machine **once per
+//! invocation** and grade every fresh shard on it (`run_on`); a
+//! resume that reuses every checkpoint never pays for elaboration at
+//! all. If the final merge rejects resumed checkpoints as
+//! inconsistent (e.g. the universe changed under an unchanged
+//! configuration), the runner discards them, re-runs those shards
+//! fresh and merges again — stale checkpoints are re-run, never
+//! trusted, and a sweep always converges.
+//!
+//! # Example
+//!
+//! ```
+//! use scdp_campaign::{CampaignJob, CampaignRunner, Scenario};
+//! use scdp_core::Operator;
+//!
+//! let job = CampaignJob::Operator(Scenario::new(Operator::Add, 3).campaign());
+//! // In-memory sharded run (no checkpoint directory): run + merge.
+//! let outcome = CampaignRunner::new(job.clone(), 4).run().expect("runs");
+//! let merged = outcome.report.expect("all shards ran");
+//! let full = job.run().expect("unsharded run");
+//! assert!(merged.same_results(&full));
+//! ```
+
+use crate::datapath::DatapathCampaignSpec;
+use crate::error::CampaignError;
+use crate::report::CampaignReport;
+use crate::seq::SeqDatapathCampaignSpec;
+use crate::shard::ShardPlan;
+use crate::spec::{CampaignSpec, MAX_WIDTH};
+use scdp_netlist::gen::{ElaboratedDatapath, SeqDatapath};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One campaign of any backend shape, ready for sharded execution.
+#[derive(Clone, Debug)]
+pub enum CampaignJob {
+    /// An operator scenario (functional or gate-level backend).
+    Operator(CampaignSpec),
+    /// An unrolled whole-datapath campaign.
+    Datapath(DatapathCampaignSpec),
+    /// A cycle-accurate sequential datapath campaign.
+    Sequential(SeqDatapathCampaignSpec),
+}
+
+/// The per-invocation elaboration cache: datapath machines are
+/// identical across shards, so the runner lowers them once.
+enum Machine {
+    Datapath(ElaboratedDatapath),
+    Sequential(SeqDatapath),
+}
+
+impl CampaignJob {
+    /// The job's configuration fingerprint — what its shard
+    /// checkpoints carry as `plan_hash`, and what resume uses to
+    /// decide whether an existing checkpoint belongs to this sweep.
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        match self {
+            CampaignJob::Operator(spec) => spec.config_fingerprint(),
+            CampaignJob::Datapath(spec) => spec.config_fingerprint(),
+            CampaignJob::Sequential(spec) => spec.config_fingerprint(),
+        }
+    }
+
+    /// Runs shard `index` of a `count`-way partition of this job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying spec's [`CampaignError`]s.
+    pub fn run_shard(&self, index: u32, count: u32) -> Result<CampaignReport, CampaignError> {
+        self.run_shard_on(index, count, &mut None)
+    }
+
+    /// As [`CampaignJob::run_shard`], reusing (or filling) the
+    /// caller's elaboration cache so consecutive shards of one
+    /// invocation share a single synthesis/elaboration pass.
+    fn run_shard_on(
+        &self,
+        index: u32,
+        count: u32,
+        machine: &mut Option<Machine>,
+    ) -> Result<CampaignReport, CampaignError> {
+        match self {
+            CampaignJob::Operator(spec) => spec.clone().shard(index, count).run(),
+            CampaignJob::Datapath(spec) => {
+                check_width(spec.scenario.width)?;
+                if machine.is_none() {
+                    *machine = Some(Machine::Datapath(spec.scenario.elaborate()));
+                }
+                let Some(Machine::Datapath(dp)) = machine.as_ref() else {
+                    unreachable!("cache filled with this job's machine kind");
+                };
+                spec.clone().shard(index, count).run_on(dp)
+            }
+            CampaignJob::Sequential(spec) => {
+                check_width(spec.scenario.width)?;
+                if machine.is_none() {
+                    *machine = Some(Machine::Sequential(spec.scenario.elaborate_seq()));
+                }
+                let Some(Machine::Sequential(dp)) = machine.as_ref() else {
+                    unreachable!("cache filled with this job's machine kind");
+                };
+                spec.clone().shard(index, count).run_on(dp)
+            }
+        }
+    }
+
+    /// Runs the whole job unsharded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying spec's [`CampaignError`]s.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        match self {
+            CampaignJob::Operator(spec) => spec.run(),
+            CampaignJob::Datapath(spec) => spec.run(),
+            CampaignJob::Sequential(spec) => spec.run(),
+        }
+    }
+}
+
+/// The datapath specs validate width before elaborating; the runner
+/// must too, because it calls `elaborate*` (which `assert!`s) itself.
+fn check_width(width: u32) -> Result<(), CampaignError> {
+    if width == 0 || width > MAX_WIDTH {
+        return Err(CampaignError::WidthOutOfRange {
+            width,
+            max: MAX_WIDTH,
+        });
+    }
+    Ok(())
+}
+
+/// What the runner did about one shard.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// A matching checkpoint existed; its report was reused verbatim.
+    Resumed,
+    /// The shard was executed (and checkpointed) in this invocation.
+    Ran,
+    /// Skipped: the invocation's fresh-shard budget
+    /// ([`CampaignRunner::max_shards`]) was exhausted first.
+    Pending,
+}
+
+/// The result of one [`CampaignRunner::run`] invocation.
+#[derive(Clone, Debug)]
+pub struct RunnerOutcome {
+    /// Per-shard states, plan order.
+    pub shards: Vec<ShardState>,
+    /// The merged report — present exactly when every shard completed
+    /// (none left [`ShardState::Pending`]).
+    pub report: Option<CampaignReport>,
+}
+
+impl RunnerOutcome {
+    /// `true` when every shard completed and the merge ran.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.report.is_some()
+    }
+
+    /// Number of shards in each state: `(resumed, ran, pending)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let count = |s: ShardState| self.shards.iter().filter(|&&x| x == s).count();
+        (
+            count(ShardState::Resumed),
+            count(ShardState::Ran),
+            count(ShardState::Pending),
+        )
+    }
+}
+
+/// A per-shard progress callback: `(index, count, state)`, called on
+/// the driver thread as each shard resolves.
+pub type ShardHook = Arc<dyn Fn(u32, u32, ShardState) + Send + Sync>;
+
+/// Executes a [`CampaignJob`] shard by shard with optional checkpoint
+/// persistence and resume.
+#[derive(Clone)]
+pub struct CampaignRunner {
+    job: CampaignJob,
+    shards: u32,
+    dir: Option<PathBuf>,
+    max_shards: Option<u32>,
+    on_shard: Option<ShardHook>,
+}
+
+impl CampaignRunner {
+    /// A runner partitioning `job`'s fault universe into `shards`
+    /// pieces. Without a checkpoint directory the run is in-memory
+    /// (still sharded and merged — useful for bounding peak state and
+    /// for testing partition determinism).
+    #[must_use]
+    pub fn new(job: CampaignJob, shards: u32) -> Self {
+        Self {
+            job,
+            shards,
+            dir: None,
+            max_shards: None,
+            on_shard: None,
+        }
+    }
+
+    /// Persists every finished shard to `dir/shard-NNN.json` and
+    /// resumes from matching checkpoints already there. Checkpoints
+    /// that do not parse, cover a different shard geometry, or carry a
+    /// different configuration fingerprint are re-run and overwritten.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Caps how many *fresh* shards this invocation executes, leaving
+    /// the rest [`ShardState::Pending`] — a deterministic interrupt
+    /// for tests and CI; a later invocation resumes the remainder.
+    #[must_use]
+    pub fn max_shards(mut self, max_shards: u32) -> Self {
+        self.max_shards = Some(max_shards);
+        self
+    }
+
+    /// Installs a per-shard progress callback.
+    #[must_use]
+    pub fn on_shard(mut self, hook: ShardHook) -> Self {
+        self.on_shard = Some(hook);
+        self
+    }
+
+    /// The checkpoint path of shard `index` under `dir`.
+    #[must_use]
+    pub fn shard_path(dir: &Path, index: u32) -> PathBuf {
+        dir.join(format!("shard-{index:03}.json"))
+    }
+
+    /// Runs (or resumes) the sharded campaign: reuse matching
+    /// checkpoints, execute missing shards up to the fresh-shard
+    /// budget, then merge if complete. A merge that rejects resumed
+    /// checkpoints triggers one self-heal pass: those shards re-run
+    /// fresh and the merge retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::ZeroShards`] for an empty plan, the
+    /// underlying spec's validation errors, [`CampaignError::Io`] when
+    /// a checkpoint cannot be written, and
+    /// [`CampaignError::ShardMerge`] if even freshly-run shards cannot
+    /// be merged.
+    pub fn run(&self) -> Result<RunnerOutcome, CampaignError> {
+        if self.shards == 0 {
+            return Err(CampaignError::ZeroShards);
+        }
+        let fingerprint = self.job.config_fingerprint();
+        let mut machine: Option<Machine> = None;
+        let mut states = Vec::with_capacity(self.shards as usize);
+        let mut reports: Vec<Option<CampaignReport>> = vec![None; self.shards as usize];
+        let mut fresh = 0u32;
+        for index in 0..self.shards {
+            if let Some(report) = self.load_checkpoint(index, fingerprint) {
+                reports[index as usize] = Some(report);
+                self.notify(index, ShardState::Resumed);
+                states.push(ShardState::Resumed);
+                continue;
+            }
+            if self.max_shards.is_some_and(|max| fresh >= max) {
+                self.notify(index, ShardState::Pending);
+                states.push(ShardState::Pending);
+                continue;
+            }
+            reports[index as usize] = Some(self.run_fresh(index, &mut machine)?);
+            fresh += 1;
+            self.notify(index, ShardState::Ran);
+            states.push(ShardState::Ran);
+        }
+        if reports.iter().any(Option::is_none) {
+            return Ok(RunnerOutcome {
+                shards: states,
+                report: None,
+            });
+        }
+        let complete: Vec<CampaignReport> = reports.iter().flatten().cloned().collect();
+        let report = match CampaignReport::merge(&complete) {
+            Ok(report) => report,
+            Err(err) if states.contains(&ShardState::Resumed) => {
+                // Self-heal: a resumed checkpoint passed the
+                // fingerprint gate but is inconsistent with the fresh
+                // shards (e.g. the universe drifted under an unchanged
+                // configuration). Never trust it — re-run every
+                // resumed shard and merge again.
+                let _ = err;
+                for index in 0..self.shards {
+                    if states[index as usize] == ShardState::Resumed {
+                        reports[index as usize] = Some(self.run_fresh(index, &mut machine)?);
+                        states[index as usize] = ShardState::Ran;
+                        self.notify(index, ShardState::Ran);
+                    }
+                }
+                let complete: Vec<CampaignReport> = reports.into_iter().flatten().collect();
+                CampaignReport::merge(&complete)?
+            }
+            Err(err) => return Err(err),
+        };
+        Ok(RunnerOutcome {
+            shards: states,
+            report: Some(report),
+        })
+    }
+
+    /// Executes shard `index` fresh and checkpoints it.
+    fn run_fresh(
+        &self,
+        index: u32,
+        machine: &mut Option<Machine>,
+    ) -> Result<CampaignReport, CampaignError> {
+        let report = self.job.run_shard_on(index, self.shards, machine)?;
+        if let Some(dir) = &self.dir {
+            let io_err = |e: std::io::Error, path: &Path| CampaignError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            };
+            std::fs::create_dir_all(dir).map_err(|e| io_err(e, dir))?;
+            let path = Self::shard_path(dir, index);
+            std::fs::write(&path, report.to_json()).map_err(|e| io_err(e, &path))?;
+        }
+        Ok(report)
+    }
+
+    /// Loads shard `index`'s checkpoint if it exists and belongs to
+    /// this job's sweep; anything else (unreadable, unparseable, wrong
+    /// geometry, a range that is not what the plan assigns, wrong
+    /// fingerprint) means "not resumable".
+    fn load_checkpoint(&self, index: u32, fingerprint: u64) -> Option<CampaignReport> {
+        let dir = self.dir.as_ref()?;
+        let text = std::fs::read_to_string(Self::shard_path(dir, index)).ok()?;
+        let report = CampaignReport::from_json(&text).ok()?;
+        let shard = report.shard?;
+        let expected = ShardPlan::new(shard.total_faults, self.shards)
+            .ok()?
+            .range(index);
+        let matches = shard.index == index
+            && shard.count == self.shards
+            && shard.fault_start == expected.start
+            && shard.fault_end == expected.end
+            && shard.plan_hash == fingerprint;
+        matches.then_some(report)
+    }
+
+    fn notify(&self, index: u32, state: ShardState) {
+        if let Some(hook) = &self.on_shard {
+            hook(index, self.shards, state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use scdp_core::Operator;
+
+    fn job() -> CampaignJob {
+        CampaignJob::Operator(Scenario::new(Operator::Add, 2).campaign().threads(2))
+    }
+
+    #[test]
+    fn in_memory_sharded_run_matches_unsharded() {
+        let outcome = CampaignRunner::new(job(), 3).run().expect("runs");
+        assert!(outcome.completed());
+        assert_eq!(outcome.counts(), (0, 3, 0));
+        let merged = outcome.report.expect("complete");
+        let full = job().run().expect("unsharded");
+        assert!(merged.same_results(&full));
+        assert!(merged.shard.is_none(), "merged reports are not partial");
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        assert!(matches!(
+            CampaignRunner::new(job(), 0).run(),
+            Err(CampaignError::ZeroShards)
+        ));
+    }
+
+    #[test]
+    fn max_shards_interrupts_and_reports_pending() {
+        let outcome = CampaignRunner::new(job(), 4)
+            .max_shards(2)
+            .run()
+            .expect("runs");
+        assert!(!outcome.completed());
+        assert_eq!(outcome.counts(), (0, 2, 2));
+        assert_eq!(
+            outcome.shards,
+            vec![
+                ShardState::Ran,
+                ShardState::Ran,
+                ShardState::Pending,
+                ShardState::Pending
+            ]
+        );
+    }
+
+    #[test]
+    fn job_fingerprint_matches_the_shard_reports() {
+        let report = job().run_shard(1, 3).expect("shard runs");
+        let shard = report.shard.expect("shard section");
+        assert_eq!(shard.plan_hash, job().config_fingerprint());
+        assert_eq!((shard.index, shard.count), (1, 3));
+    }
+
+    #[test]
+    fn datapath_jobs_validate_width_before_elaborating() {
+        let job = CampaignJob::Datapath(
+            crate::datapath::DatapathScenario::new(crate::datapath::DfgSource::Dot, 0).campaign(),
+        );
+        assert!(matches!(
+            CampaignRunner::new(job, 2).run(),
+            Err(CampaignError::WidthOutOfRange { width: 0, .. })
+        ));
+    }
+}

@@ -31,10 +31,13 @@
 //! assert_eq!(seq.first_detect_hist.len() as u64, seq.total_cycles);
 //! ```
 
-use crate::datapath::{datapath_input_plan, style_label, DatapathScenario};
+use crate::datapath::{datapath_fingerprint, datapath_input_plan, style_label, DatapathScenario};
 use crate::error::CampaignError;
-use crate::report::{CampaignReport, DatapathDetails, FaultRecord, FuTally, SequentialDetails};
+use crate::report::{
+    duration_label, CampaignReport, DatapathDetails, FaultRecord, FuTally, SequentialDetails,
+};
 use crate::scenario::{Backend, FaultModel};
+use crate::shard::{ShardInfo, ShardPlan};
 use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
 use scdp_coverage::Tally;
 use scdp_hls::{bind, sched, BindOptions, ComponentLibrary};
@@ -89,6 +92,9 @@ pub struct SeqDatapathCampaignSpec {
     pub drop: DropPolicy,
     /// Worker-thread cap (`None` = all available cores).
     pub threads: Option<usize>,
+    /// Restricts the run to one shard of the fault universe:
+    /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
+    pub shard: Option<(u32, u32)>,
     /// Optional progress observer.
     pub observer: Option<ProgressHook>,
 }
@@ -101,6 +107,7 @@ impl fmt::Debug for SeqDatapathCampaignSpec {
             .field("space", &self.space)
             .field("drop", &self.drop)
             .field("threads", &self.threads)
+            .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .finish()
     }
@@ -117,6 +124,7 @@ impl SeqDatapathCampaignSpec {
             space: scdp_coverage::InputSpace::Exhaustive,
             drop: DropPolicy::Never,
             threads: None,
+            shard: None,
             observer: None,
         }
     }
@@ -149,6 +157,32 @@ impl SeqDatapathCampaignSpec {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
+    }
+
+    /// Restricts the run to shard `index` of a `count`-way
+    /// [`ShardPlan`] over the fault universe (validated by
+    /// [`SeqDatapathCampaignSpec::run`]). The report then carries a
+    /// `shard` section (`scdp.campaign.report/v4`); merging all
+    /// `count` shards reproduces the unsharded report — tallies,
+    /// per-fault outcomes *and* the latency histogram — bit for bit.
+    #[must_use]
+    pub fn shard(mut self, index: u32, count: u32) -> Self {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Fingerprint of this campaign's configuration — stamped into
+    /// [`ShardInfo::plan_hash`] by sharded runs so checkpoints from
+    /// different campaigns can never be resumed or merged together.
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        datapath_fingerprint(
+            "seq-datapath",
+            &self.scenario,
+            self.space,
+            self.drop,
+            Some(duration_label(self.duration)),
+        )
     }
 
     /// Installs a progress observer, called on the driver thread.
@@ -202,6 +236,14 @@ impl SeqDatapathCampaignSpec {
         if self.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
         }
+        if let Some((index, count)) = self.shard {
+            if count == 0 {
+                return Err(CampaignError::ZeroShards);
+            }
+            if index >= count {
+                return Err(CampaignError::ShardIndexOutOfRange { index, count });
+            }
+        }
         let start = Instant::now();
         self.emit(&Progress::Started {
             backend: Backend::GateLevel,
@@ -224,17 +266,40 @@ impl SeqDatapathCampaignSpec {
             faults: groups.len(),
         });
 
-        let engine = SeqEngine::new(&dp.netlist);
+        let engine = SeqEngine::try_new(&dp.netlist).map_err(|e| CampaignError::FaultSpec {
+            message: e.to_string(),
+        })?;
         let groups: Vec<SeqFaultGroup> = groups
             .into_iter()
             .map(|lines| SeqFaultGroup::new(lines, self.duration))
             .collect();
+        let universe = groups.len() as u64;
         let mut campaign = SeqCampaign::new(&engine, groups, dp.total_cycles)
             .plan(plan)
             .drop_policy(self.drop);
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
+        let shard = match self.shard {
+            None => None,
+            Some((index, count)) => {
+                let sp = ShardPlan::new(universe, count)?;
+                sp.check_index(index)?;
+                let range = sp.range(index);
+                campaign = campaign.fault_range(range.start as usize..range.end as usize);
+                Some(ShardInfo {
+                    index,
+                    count,
+                    fault_start: range.start,
+                    fault_end: range.end,
+                    total_faults: sp.total_faults(),
+                    plan_hash: self.config_fingerprint(),
+                })
+            }
+        };
+        campaign.check().map_err(|e| CampaignError::FaultSpec {
+            message: e.to_string(),
+        })?;
         let summary = campaign.run();
 
         let per_fault: Vec<FaultRecord> = summary
@@ -248,6 +313,7 @@ impl SeqDatapathCampaignSpec {
             })
             .collect();
 
+        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
         let per_fu: Vec<FuTally> = ranges
             .iter()
             .map(|r| {
@@ -255,7 +321,12 @@ impl SeqDatapathCampaignSpec {
                 let mut tally = scdp_coverage::TechTally::default();
                 let mut detected = 0u64;
                 let mut escaped = 0u64;
-                for f in &per_fault[r.start..r.end] {
+                // Intersect the unit's universe range with the covered
+                // (shard) range; `per_fault` is indexed shard-locally.
+                let lo = (r.start as u64).max(covered.start);
+                let hi = (r.end as u64).min(covered.end);
+                for i in lo..hi {
+                    let f = &per_fault[(i - covered.start) as usize];
                     tally += f.tally;
                     detected += u64::from(f.detected);
                     escaped += u64::from(f.escaped);
@@ -267,7 +338,7 @@ impl SeqDatapathCampaignSpec {
                     ops: span.ops.len() as u64,
                     instances: u64::from(span.instance.is_some()),
                     instance_gates: span.instance_gates() as u64,
-                    faults: (r.end - r.start) as u64,
+                    faults: hi.saturating_sub(lo),
                     tally,
                     detected,
                     escaped,
@@ -306,6 +377,7 @@ impl SeqDatapathCampaignSpec {
             elapsed_ms: 0,
             datapath: Some(details),
             sequential: Some(sequential),
+            shard,
         };
         report.elapsed_ms = start.elapsed().as_millis() as u64;
         self.emit(&Progress::Finished {

@@ -1,8 +1,11 @@
 //! Campaign configuration and the unified `run()` entry point.
 
 use crate::error::CampaignError;
-use crate::report::{CampaignReport, FaultRecord};
-use crate::scenario::{Backend, FaultModel, Scenario};
+use crate::report::{drop_label, CampaignReport, FaultRecord};
+use crate::scenario::{
+    allocation_label, realisation_label, technique_label, Backend, FaultModel, Scenario,
+};
+use crate::shard::{self, ShardInfo, ShardPlan};
 use scdp_core::{Allocation, Operator};
 use scdp_coverage::{AdderFaultModel, InputSpace, OperatorKind, Tally, TechIndex};
 use scdp_netlist::gen::{
@@ -92,6 +95,10 @@ pub struct CampaignSpec {
     pub drop: DropPolicy,
     /// Worker-thread cap (`None` = all available cores).
     pub threads: Option<usize>,
+    /// Restricts the run to one shard of a partitioned universe:
+    /// `(index, count)` of a [`ShardPlan`] over the fault universe.
+    /// `None` runs the whole universe.
+    pub shard: Option<(u32, u32)>,
     /// Optional progress observer.
     pub observer: Option<ProgressHook>,
 }
@@ -105,6 +112,7 @@ impl fmt::Debug for CampaignSpec {
             .field("space", &self.space)
             .field("drop", &self.drop)
             .field("threads", &self.threads)
+            .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .finish()
     }
@@ -123,6 +131,7 @@ impl CampaignSpec {
             space: InputSpace::Exhaustive,
             drop: DropPolicy::Never,
             threads: None,
+            shard: None,
             observer: None,
         }
     }
@@ -160,6 +169,40 @@ impl CampaignSpec {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
         self
+    }
+
+    /// Restricts the run to shard `index` of a `count`-way
+    /// [`ShardPlan`] over the fault universe (validated by
+    /// [`CampaignSpec::run`]). The report then carries a `shard`
+    /// section and serialises as `scdp.campaign.report/v4`; merging all
+    /// `count` shards reproduces the unsharded report bit for bit.
+    #[must_use]
+    pub fn shard(mut self, index: u32, count: u32) -> Self {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Fingerprint of this campaign's configuration — the value sharded
+    /// runs stamp into [`ShardInfo::plan_hash`] so checkpoints from
+    /// different campaigns can never be resumed or merged into one
+    /// sweep. Stable across processes (label-based, not hash-seeded).
+    #[must_use]
+    pub fn config_fingerprint(&self) -> u64 {
+        let s = &self.scenario;
+        let width = s.width.to_string();
+        let space = shard::space_part(self.space);
+        shard::config_fingerprint([
+            "operator",
+            s.op_label(),
+            &width,
+            technique_label(s.technique),
+            allocation_label(s.allocation),
+            realisation_label(s.realisation),
+            self.backend.label(),
+            self.fault_model.resolve(self.backend).label(),
+            &space,
+            drop_label(self.drop),
+        ])
     }
 
     /// Installs a progress observer, called on the driver thread.
@@ -213,6 +256,14 @@ impl CampaignSpec {
         }
         if self.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
+        }
+        if let Some((index, count)) = self.shard {
+            if count == 0 {
+                return Err(CampaignError::ZeroShards);
+            }
+            if index >= count {
+                return Err(CampaignError::ShardIndexOutOfRange { index, count });
+            }
         }
         let model = self.fault_model.resolve(self.backend);
         match self.backend {
@@ -281,16 +332,32 @@ impl CampaignSpec {
             FaultModel::Cell => AdderFaultModel::Cell,
             _ => AdderFaultModel::Gate,
         };
-        // The deprecated constructor is the shim this crate replaces; its
-        // `assert!`s cannot fire because `validate()` ran first.
-        #[allow(deprecated)]
-        let mut builder = scdp_coverage::CampaignBuilder::new(kind, s.width)
+        // The engine-room constructor's `assert!`s cannot fire because
+        // `validate()` ran first.
+        let mut builder = scdp_coverage::CampaignBuilder::over(kind, s.width)
             .adder_model(adder_model)
             .allocation(s.allocation)
             .input_space(self.space);
         if let Some(t) = self.threads {
             builder = builder.threads(t);
         }
+        let shard = match self.shard {
+            None => None,
+            Some((index, count)) => {
+                let plan = ShardPlan::new(builder.universe_size() as u64, count)?;
+                plan.check_index(index)?;
+                let range = plan.range(index);
+                builder = builder.fault_range(range.start as usize..range.end as usize);
+                Some(ShardInfo {
+                    index,
+                    count,
+                    fault_start: range.start,
+                    fault_end: range.end,
+                    total_faults: plan.total_faults(),
+                    plan_hash: self.config_fingerprint(),
+                })
+            }
+        };
         let result = builder.run();
         let selected = s.tech_index();
         let per_fault: Vec<FaultRecord> = result
@@ -319,6 +386,7 @@ impl CampaignSpec {
             elapsed_ms: 0,
             datapath: None,
             sequential: None,
+            shard,
         })
     }
 
@@ -366,14 +434,33 @@ impl CampaignSpec {
             faults: groups.len(),
         });
         let engine = Engine::new(&dp.netlist);
-        // Shim constructor; see `run_functional`.
-        #[allow(deprecated)]
-        let mut campaign = scdp_sim::EngineCampaign::new(&engine, groups)
+        let universe = groups.len() as u64;
+        let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
             .plan(InputPlan::from_space(self.space))
             .drop_policy(self.drop);
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
+        let shard = match self.shard {
+            None => None,
+            Some((index, count)) => {
+                let plan = ShardPlan::new(universe, count)?;
+                plan.check_index(index)?;
+                let range = plan.range(index);
+                campaign = campaign.fault_range(range.start as usize..range.end as usize);
+                Some(ShardInfo {
+                    index,
+                    count,
+                    fault_start: range.start,
+                    fault_end: range.end,
+                    total_faults: plan.total_faults(),
+                    plan_hash: self.config_fingerprint(),
+                })
+            }
+        };
+        campaign.check().map_err(|e| CampaignError::FaultSpec {
+            message: e.to_string(),
+        })?;
         let summary = campaign.run();
         let selected = s.tech_index();
         let mut tally = Tally::default();
@@ -401,6 +488,7 @@ impl CampaignSpec {
             elapsed_ms: 0,
             datapath: None,
             sequential: None,
+            shard,
         })
     }
 }

@@ -6,14 +6,9 @@
 //! * The same scenario run through the gate-level backend must produce
 //!   the *same* report up to the backend label — the functional fault
 //!   universe replayed structurally, bit for bit.
-//! * The deprecated shims must keep producing the tallies the unified
-//!   API reports.
 
-use scdp_campaign::{
-    Backend, CampaignReport, CampaignSpec, FaultModel, InputSpace, Scenario, TechIndex,
-};
+use scdp_campaign::{Backend, CampaignReport, CampaignSpec, FaultModel, InputSpace, Scenario};
 use scdp_core::{Allocation, Operator, Technique};
-use scdp_netlist::gen::AdderRealisation;
 use std::path::PathBuf;
 
 fn golden_path() -> PathBuf {
@@ -113,66 +108,6 @@ fn dedicated_allocation_agrees_across_backends_and_is_fully_covered() {
     assert!(functional.same_results(&gate));
     assert_eq!(functional.four_way().error_undetected, 0);
     assert!(functional.four_way().error_detected > 0);
-}
-
-/// The deprecated shim constructors must report exactly what the
-/// unified API reports, until they are removed.
-#[test]
-#[allow(deprecated)]
-fn functional_shim_produces_identical_tallies() {
-    use scdp_coverage::{CampaignBuilder, OperatorKind};
-    let unified = Scenario::new(Operator::Add, 3)
-        .campaign()
-        .run()
-        .expect("run");
-    let shim = CampaignBuilder::new(OperatorKind::Add, 3).run();
-    for t in TechIndex::ALL {
-        assert_eq!(
-            unified.column(t).expect("functional fills all columns"),
-            shim.tally.of(t),
-            "{t}"
-        );
-    }
-    assert_eq!(unified.fault_count(), shim.fault_count());
-}
-
-#[test]
-#[allow(deprecated)]
-fn gate_shim_produces_identical_tallies() {
-    use scdp_sim::{Engine, EngineCampaign, InputPlan};
-    let scenario = Scenario::new(Operator::Add, 3).technique(Technique::Both);
-    let unified = scenario
-        .campaign()
-        .backend(Backend::GateLevel)
-        .threads(2)
-        .run()
-        .expect("run");
-    // The shim path: hand-built structural universe, direct engine
-    // campaign — what gate_xval did before the unified API.
-    let dp = scdp_netlist::gen::self_checking_add_with(
-        3,
-        Technique::Both,
-        AdderRealisation::RippleCarry,
-    );
-    let engine = Engine::new(&dp.netlist);
-    let mut groups = Vec::new();
-    for site in dp.local_sites() {
-        for value in [false, true] {
-            groups.push(dp.correlated_fault(site, value));
-        }
-    }
-    let summary = EngineCampaign::new(&engine, groups)
-        .plan(InputPlan::Exhaustive)
-        .threads(2)
-        .run();
-    assert_eq!(*unified.four_way(), summary.tally);
-    assert_eq!(unified.simulated, summary.simulated);
-    assert_eq!(unified.fault_count(), summary.per_fault.len() as u64);
-    for (u, s) in unified.per_fault.iter().zip(&summary.per_fault) {
-        assert_eq!(u.tally, s.tally);
-        assert_eq!(u.detected, s.detected);
-        assert_eq!(u.escaped, s.escaped);
-    }
 }
 
 /// Sampled (Monte-Carlo) spaces flow through the unified surface and

@@ -8,23 +8,27 @@
 //! * **Cross-elaboration equivalence**: the sequential engine's
 //!   permanent-fault per-fault tallies must match the unrolled
 //!   correlated-injection tallies *exactly* for every fault site in a
-//!   functional-unit **core**. The only divergences allowed are sites
-//!   in the operand **mux-chain region** (`SeqFuSpan::mux_gates`),
-//!   where the two machines legitimately differ: the unrolled model
-//!   steers each instance with per-instance constant selects and
-//!   zero-tied dead legs, while the sequential machine drives one
-//!   physical chain with dynamic state-decoded selects and live
-//!   operand data on every leg. That region is an explicit allowlist,
-//!   not a tolerance — a single core-site mismatch fails the suite.
+//!   functional-unit **core**. Sites in the operand **mux-chain
+//!   region** (`SeqFuSpan::mux_gates`) legitimately diverge — the two
+//!   machines are *semantically different* there (see
+//!   `mux_divergence_is_semantically_required` for the root cause) —
+//!   but the divergence is no longer a blanket allowlist: every
+//!   divergent site and its exact tally delta is golden-pinned in
+//!   `tests/golden/seq_mux_divergence_w4.json` (regenerate with
+//!   `REGEN_GOLDEN=1`), so any behavioural drift in the steering
+//!   logic fails the suite site by site.
 //! * v1/v2/v3 documents all parse; v3 round-trips byte for byte; a
 //!   malformed latency histogram is a typed [`CampaignError`], never a
 //!   panic.
 
+use scdp_campaign::json::{self, Json};
 use scdp_campaign::{
     CampaignError, CampaignReport, DatapathScenario, DfgSource, FaultDuration, InputSpace,
     REPORT_SCHEMA, REPORT_SCHEMA_V2, REPORT_SCHEMA_V3,
 };
 use scdp_core::Technique;
+use scdp_coverage::TechTally;
+use std::path::PathBuf;
 
 /// The pinned scenario: width-4 FIR, Tech1, full SCK expansion, shared
 /// (worst-case) allocation, 2048 seeded Monte-Carlo vectors — the
@@ -92,8 +96,55 @@ fn width4_fir_tech1_sequential_tally_is_pinned() {
     assert_eq!((mem.instances, mem.faults), (0, 0));
 }
 
+/// One cross-elaboration divergence: universe index, the site's
+/// identity, and the exact four-way tallies on both machines.
+#[derive(Debug, PartialEq, Eq)]
+struct Divergence {
+    index: usize,
+    fu: String,
+    gate: usize,
+    /// `-1` encodes a stem fault.
+    pin: i64,
+    value: bool,
+    unrolled: TechTally,
+    sequential: TechTally,
+}
+
+fn tally_json(t: &TechTally) -> Json {
+    Json::Arr(
+        [
+            t.correct_silent,
+            t.correct_detected,
+            t.error_detected,
+            t.error_undetected,
+        ]
+        .iter()
+        .map(|&n| Json::Int(i128::from(n)))
+        .collect(),
+    )
+}
+
+fn tally_from_json(v: &Json) -> TechTally {
+    let cells = v.as_arr().expect("tally is a 4-array");
+    assert_eq!(cells.len(), 4, "tally is a 4-array");
+    let n = |i: usize| cells[i].as_u64().expect("tally cell is a count");
+    TechTally {
+        correct_silent: n(0),
+        correct_detected: n(1),
+        error_detected: n(2),
+        error_undetected: n(3),
+    }
+}
+
+fn divergence_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/seq_mux_divergence_w4.json")
+}
+
+/// The cross-elaboration differential, site by site: core sites must
+/// agree exactly; mux-region sites may diverge, but only in the exact
+/// per-site pattern pinned in the golden file.
 #[test]
-fn permanent_tallies_match_unrolled_outside_the_mux_allowlist() {
+fn permanent_tallies_match_unrolled_with_mux_divergence_pinned_per_site() {
     let scenario = pinned_scenario();
     let unrolled = scenario
         .clone()
@@ -113,7 +164,7 @@ fn permanent_tallies_match_unrolled_outside_the_mux_allowlist() {
     let dp = scenario.elaborate_seq();
     let (_, ranges) = dp.fault_universe();
     let mut core_faults = 0usize;
-    let mut mux_divergences = 0usize;
+    let mut divergences: Vec<Divergence> = Vec::new();
     for r in &ranges {
         let span = &dp.fus[r.fu];
         let sites = dp.fu_local_sites(r.fu);
@@ -122,10 +173,20 @@ fn permanent_tallies_match_unrolled_outside_the_mux_allowlist() {
             let u = &unrolled.per_fault[i];
             let s = &seq.per_fault[i];
             if site.gate < span.mux_gates {
-                // Steering logic: divergence allowed (dynamic selects
-                // and live dead-legs vs constants and zeros), verdict
-                // classes still meaningful on both sides.
-                mux_divergences += usize::from(u.tally != s.tally);
+                // Steering logic: the machines are semantically
+                // different here, so divergence is expected — but it
+                // must match the golden pin exactly, site by site.
+                if u.tally != s.tally {
+                    divergences.push(Divergence {
+                        index: i,
+                        fu: span.name.clone(),
+                        gate: site.gate,
+                        pin: site.pin.map_or(-1, i64::from),
+                        value: (i - r.start) % 2 == 1,
+                        unrolled: u.tally,
+                        sequential: s.tally,
+                    });
+                }
             } else {
                 core_faults += 1;
                 assert_eq!(
@@ -138,33 +199,203 @@ fn permanent_tallies_match_unrolled_outside_the_mux_allowlist() {
             }
         }
     }
-    assert_eq!(
-        core_faults + mux_site_faults(&dp),
-        unrolled.fault_count() as usize,
-        "every fault is classified as core or mux region"
-    );
     assert!(core_faults > 300, "the core region must be substantial");
-    // The allowlist is real but small; if it collapses to zero the two
-    // elaborations converged and the allowlist should be removed.
-    assert!(
-        mux_divergences > 0,
-        "mux-region divergence vanished — tighten this test to full equality"
+
+    let golden = Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("scdp.test.mux-divergence/v1".to_string()),
+        ),
+        (
+            "sites".to_string(),
+            Json::Arr(
+                divergences
+                    .iter()
+                    .map(|d| {
+                        Json::Obj(vec![
+                            ("index".to_string(), Json::Int(d.index as i128)),
+                            ("fu".to_string(), Json::Str(d.fu.clone())),
+                            ("gate".to_string(), Json::Int(d.gate as i128)),
+                            ("pin".to_string(), Json::Int(i128::from(d.pin))),
+                            ("value".to_string(), Json::Bool(d.value)),
+                            ("unrolled".to_string(), tally_json(&d.unrolled)),
+                            ("sequential".to_string(), tally_json(&d.sequential)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = format!("{}\n", golden.write_compact());
+    let path = divergence_golden_path();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).expect("divergence golden file present");
+    let pinned = json::parse(&pinned).expect("golden parses");
+    let sites = pinned
+        .get("sites")
+        .and_then(Json::as_arr)
+        .expect("sites array");
+    // The probe that motivated the pin measured 111 divergent sites;
+    // the exact per-site deltas are the golden content.
+    assert_eq!(
+        divergences.len(),
+        sites.len(),
+        "the number of divergent mux sites drifted (expected {}, measured {})",
+        sites.len(),
+        divergences.len()
     );
+    assert_eq!(sites.len(), 111, "the headline 111-site count");
+    for (d, g) in divergences.iter().zip(sites) {
+        let num = |key: &str| g.get(key).and_then(Json::as_u64).expect("count member");
+        assert_eq!(d.index as u64, num("index"), "site order drifted");
+        let context = format!(
+            "divergent site {} ({} local gate {} pin {})",
+            d.index, d.fu, d.gate, d.pin
+        );
+        assert_eq!(
+            d.fu,
+            g.get("fu").and_then(Json::as_str).unwrap(),
+            "{context}"
+        );
+        assert_eq!(d.gate as u64, num("gate"), "{context}");
+        assert_eq!(
+            tally_from_json(g.get("unrolled").expect("unrolled")),
+            d.unrolled,
+            "{context}: the unrolled tally drifted"
+        );
+        assert_eq!(
+            tally_from_json(g.get("sequential").expect("sequential")),
+            d.sequential,
+            "{context}: the sequential tally drifted"
+        );
+    }
 }
 
-/// Counts the universe's fault groups whose site lies in a mux-chain
-/// region.
-fn mux_site_faults(dp: &scdp_netlist::gen::SeqDatapath) -> usize {
+/// Root cause of the mux-region divergence, demonstrated on a minimal
+/// machine: two independent adds serialized onto one ALU, plain style
+/// (no checkers), exhaustive inputs.
+///
+/// The two elaborations are **semantically different** in the operand
+/// steering region, in two distinct ways:
+///
+/// 1. **Dead legs are live.** The unrolled model ties every
+///    not-selected mux leg to constant zero, so a stuck-at on such a
+///    leg's data path can never be excited there. The physical
+///    (sequential) machine routes *real operand data* through every
+///    leg in every cycle — the same local fault corrupts whatever
+///    flows past while the leg is selected. The test exhibits sites
+///    that are completely silent in the unrolled run yet corrupt
+///    results in the sequential run.
+/// 2. **Selects are dynamic, so checkers see different excitation.**
+///    Unrolled instances freeze the select lines at per-instance
+///    constants (the decoded controller state of one cycle); the
+///    physical chain decodes them from the live state machine, so a
+///    steering fault perturbs the data flowing to the comparators in
+///    cycles the unrolled model never represents. On the pinned FIR
+///    machine this shows up as sites where *neither* machine corrupts
+///    the final result, yet the alarm tallies differ
+///    (`correct_detected` vs `correct_silent`) — checked below against
+///    the golden divergence data, since it needs checkers (the minimal
+///    plain-style machine has none).
+///
+/// Neither effect can be "fixed" without making one machine model the
+/// other's approximation: the unrolled zero-tied legs are the
+/// *model's* don't-care abstraction, while the sequential netlist is
+/// the machine the paper actually describes. The divergence is
+/// therefore pinned (previous test), not fixed.
+#[test]
+fn mux_divergence_is_semantically_required() {
+    use scdp_hls::{Dfg, OpKind, SckStyle};
+    let mut d = Dfg::new("two_indep_adds");
+    let a = d.input("a");
+    let b = d.input("b");
+    let s1 = d.op(OpKind::Add, &[a, b]);
+    let s2 = d.op(OpKind::Add, &[b, a]);
+    d.output("o1", s1);
+    d.output("o2", s2);
+    let scenario = DatapathScenario::new(DfgSource::Custom(d), 2).style(SckStyle::Plain);
+
+    let unrolled = scenario
+        .clone()
+        .campaign()
+        .threads(2)
+        .run()
+        .expect("unrolled");
+    let seq = scenario
+        .clone()
+        .seq_campaign()
+        .duration(FaultDuration::Permanent)
+        .threads(2)
+        .run()
+        .expect("sequential");
+    let dp = scenario.elaborate_seq();
     let (_, ranges) = dp.fault_universe();
-    let mut n = 0usize;
+
+    let wrong = |t: &TechTally| t.error_detected + t.error_undetected;
+    let mut live_dead_leg = 0usize; // silent unrolled, corrupting sequential
     for r in &ranges {
         let span = &dp.fus[r.fu];
         let sites = dp.fu_local_sites(r.fu);
         for i in r.start..r.end {
-            n += usize::from(sites[(i - r.start) / 2].gate < span.mux_gates);
+            let site = sites[(i - r.start) / 2];
+            let u = &unrolled.per_fault[i];
+            let s = &seq.per_fault[i];
+            if site.gate >= span.mux_gates {
+                assert_eq!(
+                    u.tally, s.tally,
+                    "core fault {i}: outside the steering region the machines agree"
+                );
+                continue;
+            }
+            if wrong(&u.tally) == 0 && wrong(&s.tally) > 0 {
+                live_dead_leg += 1;
+            }
         }
     }
-    n
+    assert!(
+        live_dead_leg > 0,
+        "some mux fault must be unexcitable on zero-tied unrolled legs \
+         yet corrupt the live-data sequential chain"
+    );
+
+    // Effect 2, read from the pinned FIR divergence data: sites where
+    // neither machine ever corrupts the final result but the alarm
+    // excitation differs — only the dynamic steering can do that.
+    let pinned =
+        std::fs::read_to_string(divergence_golden_path()).expect("divergence golden file present");
+    let pinned = json::parse(&pinned).expect("golden parses");
+    let sites = pinned
+        .get("sites")
+        .and_then(Json::as_arr)
+        .expect("sites array");
+    let mut alarm_only = 0usize;
+    let mut result_corrupting = 0usize;
+    for g in sites {
+        let u = tally_from_json(g.get("unrolled").expect("unrolled"));
+        let s = tally_from_json(g.get("sequential").expect("sequential"));
+        if wrong(&u) == 0 && wrong(&s) == 0 {
+            assert_ne!(
+                u.correct_detected, s.correct_detected,
+                "a result-clean divergence must differ in alarm excitation"
+            );
+            alarm_only += 1;
+        }
+        if wrong(&u) == 0 && wrong(&s) > 0 {
+            result_corrupting += 1;
+        }
+    }
+    assert!(
+        alarm_only > 0,
+        "dynamic selects must perturb checker excitation on result-clean sites"
+    );
+    assert!(
+        result_corrupting > 0,
+        "live dead legs must corrupt results on the FIR machine too"
+    );
 }
 
 #[test]

@@ -1,10 +1,9 @@
 //! Scratch validation: compare both fault models against the paper's
 //! Table 2 for n = 1, 2, 3 (exhaustive).
 //!
-//! Drives the functional backend directly through its (deprecated)
-//! shim on purpose — this example lives below the unified
+//! Drives the functional backend directly through its engine-room
+//! entry on purpose — this example lives below the unified
 //! `scdp-campaign` surface.
-#![allow(deprecated)]
 use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
 
 fn main() {
@@ -17,7 +16,7 @@ fn main() {
     for model in [AdderFaultModel::Gate, AdderFaultModel::Cell] {
         println!("=== model {model:?} ===");
         for (w, expect) in paper {
-            let r = CampaignBuilder::new(OperatorKind::Add, w)
+            let r = CampaignBuilder::over(OperatorKind::Add, w)
                 .adder_model(model)
                 .run();
             println!(
@@ -33,7 +32,7 @@ fn main() {
         }
     }
     // The in-text 2-bit stats: 216 observable, 352/384/428 detections.
-    let r2 = CampaignBuilder::new(OperatorKind::Add, 2).run();
+    let r2 = CampaignBuilder::over(OperatorKind::Add, 2).run();
     let t = &r2.tally;
     println!(
         "2-bit: observable={} alarms(T1)={} alarms(T2)={} alarms(Both)={} detwhencorrect T1={} T2={} Both={}",

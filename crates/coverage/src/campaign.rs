@@ -35,20 +35,19 @@ pub enum AdderFaultModel {
 
 /// Configures and runs a functional fault-coverage campaign.
 ///
-/// This is now the *backend* behind the unified campaign surface:
-/// construct campaigns through `scdp_campaign::{Scenario, CampaignSpec}`
-/// instead, which validates with typed errors and serves both this
-/// engine and the gate-level one. [`CampaignBuilder::new`] remains as a
-/// deprecated shim for one release.
+/// This is the *backend* behind the unified campaign surface: construct
+/// campaigns through `scdp_campaign::{Scenario, CampaignSpec}`, which
+/// validates with typed errors and serves both this engine and the
+/// gate-level one. [`CampaignBuilder::over`] is the engine-room entry
+/// that surface drives.
 ///
 /// # Example
 ///
 /// ```
-/// # #![allow(deprecated)]
 /// use scdp_coverage::{CampaignBuilder, OperatorKind, TechIndex};
 /// use scdp_core::Allocation;
 ///
-/// let r = CampaignBuilder::new(OperatorKind::Add, 2).run();
+/// let r = CampaignBuilder::over(OperatorKind::Add, 2).run();
 /// // 2-bit adder, worst case: some observable errors escape Tech1
 /// // (the paper's §4.1 reports 32 such situations for its full-adder
 /// // netlist; our five-gate netlist yields 76 — see EXPERIMENTS.md).
@@ -63,6 +62,7 @@ pub struct CampaignBuilder {
     alloc: Allocation,
     space: InputSpace,
     threads: usize,
+    range: Option<std::ops::Range<usize>>,
 }
 
 impl CampaignBuilder {
@@ -75,12 +75,8 @@ impl CampaignBuilder {
     /// Panics if `width` is outside `1..=32`. The unified entry point
     /// (`scdp_campaign::CampaignSpec::run`) performs this validation
     /// up front and returns a typed `CampaignError` instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct campaigns via scdp_campaign::{Scenario, CampaignSpec}"
-    )]
     #[must_use]
-    pub fn new(op: OperatorKind, width: u32) -> Self {
+    pub fn over(op: OperatorKind, width: u32) -> Self {
         assert!((1..=32).contains(&width), "width {width} out of range");
         Self {
             op,
@@ -89,6 +85,7 @@ impl CampaignBuilder {
             alloc: Allocation::SingleUnit,
             space: InputSpace::Exhaustive,
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            range: None,
         }
     }
 
@@ -125,10 +122,41 @@ impl CampaignBuilder {
         self
     }
 
+    /// Restricts classification to the universe subrange `range` — the
+    /// shard-scoped iteration of a partitioned campaign. `per_fault`
+    /// then covers only `range`, in universe order; per-fault sampling
+    /// streams are keyed by the fault itself, so sharded results are
+    /// bit-identical to the corresponding slice of a full run.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the range exceeds the universe (the unified
+    /// surface validates shard plans first).
+    #[must_use]
+    pub fn fault_range(mut self, range: std::ops::Range<usize>) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// Number of faults in the (unrestricted) campaign universe — what
+    /// shard plans partition.
+    #[must_use]
+    pub fn universe_size(&self) -> usize {
+        self.fault_list().len()
+    }
+
     /// Runs the campaign.
     #[must_use]
     pub fn run(&self) -> CampaignResult {
-        let faults = self.fault_list();
+        let mut faults = self.fault_list();
+        if let Some(r) = &self.range {
+            assert!(
+                r.start <= r.end && r.end <= faults.len(),
+                "fault range {r:?} exceeds the {}-fault universe",
+                faults.len()
+            );
+            faults = faults[r.clone()].to_vec();
+        }
         let n_faults = faults.len();
         let threads = self.threads.min(n_faults.max(1));
         let chunk = n_faults.div_ceil(threads.max(1)).max(1);
@@ -332,20 +360,18 @@ impl CampaignResult {
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the deprecated shim directly on purpose.
-    #![allow(deprecated)]
     use super::*;
 
     #[test]
     fn add_width1_gate_counts() {
-        let r = CampaignBuilder::new(OperatorKind::Add, 1).threads(2).run();
+        let r = CampaignBuilder::over(OperatorKind::Add, 1).threads(2).run();
         assert_eq!(r.total_situations(), 128);
         assert_eq!(r.fault_count(), 32);
     }
 
     #[test]
     fn dedicated_allocation_reaches_full_coverage() {
-        let r = CampaignBuilder::new(OperatorKind::Add, 3)
+        let r = CampaignBuilder::over(OperatorKind::Add, 3)
             .allocation(Allocation::Dedicated)
             .run();
         for t in TechIndex::ALL {
@@ -361,10 +387,10 @@ mod tests {
             per_fault: 256,
             seed: 7,
         };
-        let r1 = CampaignBuilder::new(OperatorKind::Add, 6)
+        let r1 = CampaignBuilder::over(OperatorKind::Add, 6)
             .input_space(space)
             .run();
-        let r2 = CampaignBuilder::new(OperatorKind::Add, 6)
+        let r2 = CampaignBuilder::over(OperatorKind::Add, 6)
             .input_space(space)
             .threads(3)
             .run();
@@ -373,7 +399,7 @@ mod tests {
 
     #[test]
     fn div_campaign_excludes_zero_divisor() {
-        let r = CampaignBuilder::new(OperatorKind::Div, 2).run();
+        let r = CampaignBuilder::over(OperatorKind::Div, 2).run();
         let per_fault_inputs = 4 * 3; // 2^2 dividends x 3 non-zero divisors
         assert_eq!(
             r.total_situations(),
@@ -383,7 +409,7 @@ mod tests {
 
     #[test]
     fn per_fault_coverage_range_is_sane() {
-        let r = CampaignBuilder::new(OperatorKind::Add, 2).run();
+        let r = CampaignBuilder::over(OperatorKind::Add, 2).run();
         let (lo, hi) = r.per_fault_coverage_range(TechIndex::Both);
         assert!(lo <= hi);
         assert!(lo >= 0.0 && hi <= 1.0);
@@ -391,7 +417,7 @@ mod tests {
 
     #[test]
     fn mul_campaign_runs() {
-        let r = CampaignBuilder::new(OperatorKind::Mul, 3).run();
+        let r = CampaignBuilder::over(OperatorKind::Mul, 3).run();
         assert!(r.coverage(TechIndex::Both) >= r.coverage(TechIndex::Tech1) - f64::EPSILON);
         assert!(r.tally.of(TechIndex::Tech1).observable() > 0);
     }

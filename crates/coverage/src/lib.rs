@@ -25,18 +25,17 @@
 //! surface: new code should construct campaigns through
 //! `scdp_campaign::{Scenario, CampaignSpec}`, which adds typed
 //! validation errors and gate-level cross-validation on the same
-//! scenario. [`CampaignBuilder::new`] remains as a deprecated shim for
-//! one release.
+//! scenario. [`CampaignBuilder::over`] is the engine-room entry that
+//! surface drives.
 //!
 //! # Example
 //!
 //! ```
-//! # #![allow(deprecated)]
 //! use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind};
 //! use scdp_core::Allocation;
 //!
 //! // Table 2, first row: 1-bit ripple-carry adder, worst case.
-//! let result = CampaignBuilder::new(OperatorKind::Add, 1)
+//! let result = CampaignBuilder::over(OperatorKind::Add, 1)
 //!     .adder_model(AdderFaultModel::Gate)
 //!     .allocation(Allocation::SingleUnit)
 //!     .run();

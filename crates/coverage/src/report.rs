@@ -56,7 +56,6 @@ pub fn table2_row(result: &CampaignResult) -> Table2Row {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
     use super::*;
     use crate::{CampaignBuilder, OperatorKind};
 
@@ -69,7 +68,7 @@ mod tests {
 
     #[test]
     fn row_from_campaign() {
-        let r = CampaignBuilder::new(OperatorKind::Add, 1).run();
+        let r = CampaignBuilder::over(OperatorKind::Add, 1).run();
         let row = table2_row(&r);
         assert_eq!(row.bits, 1);
         assert_eq!(row.situations, 128);

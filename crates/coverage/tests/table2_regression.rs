@@ -2,9 +2,8 @@
 //! campaigns are deterministic, so the exact undetected counts are part
 //! of this repository's published claims and must never drift.
 //!
-//! Pins the deprecated shim path on purpose; the unified API's golden
+//! Pins the engine-room path on purpose; the unified API's golden
 //! tests live in `scdp-campaign`.
-#![allow(deprecated)]
 
 use scdp_core::Allocation;
 use scdp_coverage::{AdderFaultModel, CampaignBuilder, OperatorKind, TechIndex};
@@ -22,7 +21,7 @@ const PINNED: [(u32, u64, [u64; 3]); 4] = [
 #[test]
 fn exhaustive_gate_model_counts_are_stable() {
     for (width, total, undetected) in PINNED {
-        let r = CampaignBuilder::new(OperatorKind::Add, width)
+        let r = CampaignBuilder::over(OperatorKind::Add, width)
             .adder_model(AdderFaultModel::Gate)
             .run();
         assert_eq!(r.total_situations(), total, "width {width}");
@@ -41,7 +40,7 @@ fn cell_model_is_fully_covered() {
     // The alternative truth-table model: a documented finding — 100%
     // coverage because row-local faults cannot self-mask.
     for width in [1u32, 2, 3, 4] {
-        let r = CampaignBuilder::new(OperatorKind::Add, width)
+        let r = CampaignBuilder::over(OperatorKind::Add, width)
             .adder_model(AdderFaultModel::Cell)
             .run();
         for t in TechIndex::ALL {
@@ -53,7 +52,7 @@ fn cell_model_is_fully_covered() {
 #[test]
 fn dedicated_unit_is_fully_covered_every_width() {
     for width in [1u32, 2, 3, 4, 5, 6] {
-        let r = CampaignBuilder::new(OperatorKind::Add, width)
+        let r = CampaignBuilder::over(OperatorKind::Add, width)
             .allocation(Allocation::Dedicated)
             .run();
         assert_eq!(r.tally.of(TechIndex::Both).error_undetected, 0);
@@ -65,7 +64,7 @@ fn dedicated_unit_is_fully_covered_every_width() {
 fn width8_summary_statistics() {
     // The 8-bit row (16.7M situations) — run once, pin the coverage to
     // the EXPERIMENTS.md precision.
-    let r = CampaignBuilder::new(OperatorKind::Add, 8).run();
+    let r = CampaignBuilder::over(OperatorKind::Add, 8).run();
     let cov = |t| (r.coverage(t) * 10_000.0).round() / 100.0;
     assert_eq!(cov(TechIndex::Tech1), 95.21);
     assert_eq!(cov(TechIndex::Tech2), 95.61);

@@ -2,10 +2,12 @@
 
 use crate::batch::InputPlan;
 use crate::engine::Engine;
+use crate::error::SimError;
 use crate::par;
 use scdp_coverage::TechTally;
 use scdp_netlist::gen::SelfCheckingDatapath;
 use scdp_netlist::StuckAtLine;
+use std::ops::Range;
 
 /// When a fault leaves the simulated universe.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -86,22 +88,16 @@ pub struct EngineCampaign<'a> {
     plan: InputPlan,
     drop: DropPolicy,
     threads: usize,
+    range: Option<Range<usize>>,
 }
 
 impl<'a> EngineCampaign<'a> {
     /// Starts a campaign over `groups` with exhaustive inputs, no
-    /// dropping and all available cores.
-    ///
-    /// The unified entry point (`scdp_campaign::CampaignSpec::run`)
-    /// compiles the scenario's netlist, builds the fault universe and
-    /// validates the configuration with typed errors before reaching
-    /// this driver.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct campaigns via scdp_campaign::{Scenario, CampaignSpec}"
-    )]
+    /// dropping and all available cores — the engine-room entry the
+    /// unified `scdp_campaign::{Scenario, CampaignSpec}` surface drives
+    /// after validating the configuration with typed errors.
     #[must_use]
-    pub fn new(engine: &'a Engine, groups: Vec<Vec<StuckAtLine>>) -> Self {
+    pub fn over(engine: &'a Engine, groups: Vec<Vec<StuckAtLine>>) -> Self {
         let mut groups = groups;
         for g in &mut groups {
             g.sort_by_key(|f| (f.site.gate, f.site.pin));
@@ -112,6 +108,7 @@ impl<'a> EngineCampaign<'a> {
             plan: InputPlan::Exhaustive,
             drop: DropPolicy::Never,
             threads: par::default_threads(),
+            range: None,
         }
     }
 
@@ -141,10 +138,69 @@ impl<'a> EngineCampaign<'a> {
         self
     }
 
+    /// Restricts simulation to the universe subrange `range` — the
+    /// shard-scoped iteration of a partitioned campaign. The summary's
+    /// `per_fault` then covers only `range`, in universe order; because
+    /// every fault replays the same deterministic batch stream
+    /// independently, per-fault outcomes are bit-identical to the
+    /// corresponding slice of an unrestricted run.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the range exceeds the universe (campaign
+    /// front-ends validate shard plans before reaching this driver).
+    #[must_use]
+    pub fn fault_range(mut self, range: Range<usize>) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// The universe subrange that will be simulated.
+    fn scoped(&self) -> &[Vec<StuckAtLine>] {
+        match &self.range {
+            None => &self.groups,
+            Some(r) => {
+                assert!(
+                    r.start <= r.end && r.end <= self.groups.len(),
+                    "fault range {r:?} exceeds the {}-group universe",
+                    self.groups.len()
+                );
+                &self.groups[r.clone()]
+            }
+        }
+    }
+
+    /// Validates every in-scope fault group against the compiled
+    /// netlist — call before [`EngineCampaign::run`] to surface
+    /// malformed specs as typed errors instead of feeding them to the
+    /// packed evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] found, in universe order.
+    pub fn check(&self) -> Result<(), SimError> {
+        for group in self.scoped() {
+            self.engine.check_faults(group)?;
+        }
+        Ok(())
+    }
+
     /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault group names a gate or pin the compiled
+    /// netlist does not have — validate with [`EngineCampaign::check`]
+    /// first for a typed error (the unified `scdp-campaign` surface
+    /// does); silently dropping such lines would produce plausible but
+    /// wrong tallies.
     #[must_use]
     pub fn run(&self) -> CampaignSummary {
-        let per_fault = par::map_chunks(&self.groups, self.threads, |chunk| self.run_chunk(chunk));
+        if let Err(e) = self.check() {
+            panic!("invalid fault spec: {e} (validate with EngineCampaign::check)");
+        }
+        let scoped = self.scoped();
+        let per_fault = par::map_chunks(scoped, self.threads, |chunk| self.run_chunk(chunk));
         let mut tally = TechTally::default();
         let mut simulated = 0u64;
         for f in &per_fault {
@@ -240,9 +296,7 @@ fn datapath_coverage(
             });
         }
     }
-    // Internal use of the shim constructor this module still hosts.
-    #[allow(deprecated)]
-    let summary = EngineCampaign::new(&engine, groups)
+    let summary = EngineCampaign::over(&engine, groups)
         .plan(plan)
         .threads(threads)
         .run();
@@ -277,8 +331,6 @@ pub fn dedicated_coverage(
 
 #[cfg(test)]
 mod tests {
-    // These tests exercise the deprecated shim directly on purpose.
-    #![allow(deprecated)]
     use super::*;
     use scdp_core::{Operator, Technique};
     use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
@@ -329,11 +381,11 @@ mod tests {
                 groups.push(dp.correlated_fault(site, value));
             }
         }
-        let full = EngineCampaign::new(&engine, groups.clone())
+        let full = EngineCampaign::over(&engine, groups.clone())
             .drop_policy(DropPolicy::Never)
             .threads(2)
             .run();
-        let dropped = EngineCampaign::new(&engine, groups)
+        let dropped = EngineCampaign::over(&engine, groups)
             .drop_policy(DropPolicy::OnDetect)
             .threads(2)
             .run();

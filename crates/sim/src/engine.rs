@@ -1,6 +1,7 @@
 //! The levelized bit-parallel gate evaluator.
 
 use crate::batch::InputBatch;
+use crate::error::SimError;
 use scdp_netlist::{GateKind, Netlist, StuckAtLine};
 
 /// Splats a logic value across all 64 lanes.
@@ -126,6 +127,19 @@ impl Engine {
         self.input_bits
     }
 
+    /// Validates a fault list against the compiled netlist: every line
+    /// must name an existing gate and, for pin faults, an input pin the
+    /// gate actually has. Campaign drivers call this once per fault
+    /// group *before* simulation so a malformed spec becomes a typed
+    /// error instead of aborting a running (possibly sharded) campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] found, in fault-list order.
+    pub fn check_faults(&self, faults: &[StuckAtLine]) -> Result<(), SimError> {
+        check_lines(&self.kinds, faults)
+    }
+
     /// Evaluates one packed batch under `faults` into `values` (one
     /// word per net, reused across calls to avoid allocation).
     ///
@@ -170,7 +184,10 @@ impl Engine {
                     match faults[fi].site.pin {
                         Some(0) => pin0 = Some(faults[fi].value),
                         Some(1) => pin1 = Some(faults[fi].value),
-                        Some(p) => panic!("pin {p} out of range"),
+                        // Rejected by `check_faults`; ignored here so a
+                        // line smuggled past validation through the raw
+                        // batch API cannot abort a campaign.
+                        Some(_) => {}
                         None => stem = Some(faults[fi].value),
                     }
                     fi += 1;
@@ -239,6 +256,26 @@ impl Engine {
             mask,
         }
     }
+}
+
+/// The shared fault-list validation of both engines.
+pub(crate) fn check_lines(kinds: &[GateKind], faults: &[StuckAtLine]) -> Result<(), SimError> {
+    for f in faults {
+        let gate = f.site.gate;
+        let Some(kind) = kinds.get(gate) else {
+            return Err(SimError::GateOutOfRange {
+                gate,
+                gates: kinds.len(),
+            });
+        };
+        if let Some(pin) = f.site.pin {
+            let pins = kind.pins();
+            if pin >= pins {
+                return Err(SimError::PinOutOfRange { gate, pin, pins });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[inline]

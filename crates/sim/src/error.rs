@@ -1,0 +1,92 @@
+//! Typed simulation errors.
+//!
+//! The engines used to `panic!` from deep inside the packed evaluation
+//! loop when a fault spec named a pin the gate does not have, and
+//! `expect` on unconnected Dff cells during compilation. A single
+//! malformed fault group would then abort a whole campaign — fatal for
+//! sharded sweeps where one shard's bad spec must not lose the other
+//! shards' work. Validation now happens *before* simulation
+//! ([`crate::Engine::check_faults`], [`crate::SeqEngine::check_group`])
+//! and reports failures as values; the evaluation loops themselves are
+//! total (an out-of-range pin can no longer be reached after
+//! validation, and is ignored defensively if one is injected through
+//! the raw batch API).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a netlist could not be compiled or a fault spec rejected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A fault names a gate index beyond the compiled netlist.
+    GateOutOfRange {
+        /// The rejected gate index.
+        gate: usize,
+        /// Number of gates in the compiled netlist.
+        gates: usize,
+    },
+    /// A fault names an input pin the gate does not have (e.g. pin 1 on
+    /// an inverter, or any pin on a primary input).
+    PinOutOfRange {
+        /// The gate the fault is attached to.
+        gate: usize,
+        /// The rejected pin number.
+        pin: u8,
+        /// Number of input pins the gate actually has.
+        pins: u8,
+    },
+    /// A Dff cell reached the sequential compiler without a connected D
+    /// input (possible only on hand-built gate lists;
+    /// `NetlistBuilder::finish` validates this for built netlists).
+    UnconnectedDff {
+        /// The offending Dff's gate index.
+        gate: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GateOutOfRange { gate, gates } => {
+                write!(
+                    f,
+                    "fault gate {gate} out of range: netlist has {gates} gates"
+                )
+            }
+            SimError::PinOutOfRange { gate, pin, pins } => {
+                write!(
+                    f,
+                    "fault pin {pin} out of range: gate {gate} has {pins} input pins"
+                )
+            }
+            SimError::UnconnectedDff { gate } => {
+                write!(f, "Dff at gate {gate} has no connected D input")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let e = SimError::PinOutOfRange {
+            gate: 3,
+            pin: 7,
+            pins: 2,
+        };
+        assert!(e.to_string().contains("pin 7"));
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.to_string().contains("out of range"));
+        assert!(SimError::UnconnectedDff { gate: 1 }
+            .to_string()
+            .contains("Dff"));
+        assert!(SimError::GateOutOfRange { gate: 9, gates: 4 }
+            .to_string()
+            .contains("9"));
+    }
+}

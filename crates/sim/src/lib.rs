@@ -82,6 +82,7 @@
 mod batch;
 mod campaign;
 mod engine;
+mod error;
 pub mod par;
 mod seq;
 
@@ -91,6 +92,7 @@ pub use campaign::{
     FaultOutcome, XvalReport,
 };
 pub use engine::{BatchOutcome, Engine};
+pub use error::SimError;
 pub use scdp_netlist::FaultDuration;
 pub use seq::{
     mean_detection_latency, SeqBatchOutcome, SeqCampaign, SeqCampaignSummary, SeqEngine,

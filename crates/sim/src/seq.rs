@@ -25,10 +25,12 @@
 
 use crate::batch::{InputBatch, InputPlan};
 use crate::campaign::FaultOutcome;
-use crate::engine::BatchOutcome;
+use crate::engine::{check_lines, BatchOutcome};
+use crate::error::SimError;
 use crate::par;
 use scdp_coverage::TechTally;
 use scdp_netlist::{FaultDuration, GateKind, Netlist, StuckAtLine};
+use std::ops::Range;
 
 /// Splats a logic value across all 64 lanes.
 #[inline]
@@ -115,8 +117,25 @@ pub struct SeqEngine {
 impl SeqEngine {
     /// Compiles `netlist` for packed sequential evaluation. Works for
     /// purely combinational netlists too (they simply have no state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Dff cell has no connected D input — impossible for
+    /// netlists from `NetlistBuilder::finish`, which validates this.
+    /// Use [`SeqEngine::try_new`] for a typed error instead.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
+        Self::try_new(netlist).expect("netlist compiles")
+    }
+
+    /// Compiles `netlist` for packed sequential evaluation, reporting
+    /// malformed state cells as typed errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnconnectedDff`] if a Dff cell has no
+    /// connected D input.
+    pub fn try_new(netlist: &Netlist) -> Result<Self, SimError> {
         let gates = netlist.gates();
         let mut kinds = Vec::with_capacity(gates.len());
         let mut a = Vec::with_capacity(gates.len());
@@ -128,8 +147,11 @@ impl SeqEngine {
             a.push(g.a.map_or(0, |n| n.index() as u32));
             b.push(g.b.map_or(0, |n| n.index() as u32));
             if g.kind == GateKind::Dff {
+                let Some(d) = g.a else {
+                    return Err(SimError::UnconnectedDff { gate: i });
+                };
                 dff_index[i] = dffs.len() as u32;
-                dffs.push((i as u32, g.a.expect("Dff connected").index() as u32));
+                dffs.push((i as u32, d.index() as u32));
             }
         }
         let mut result_nets = Vec::new();
@@ -144,7 +166,7 @@ impl SeqEngine {
             }
             outputs.push((name.clone(), nets));
         }
-        Self {
+        Ok(Self {
             kinds,
             a,
             b,
@@ -155,7 +177,17 @@ impl SeqEngine {
             dff_index,
             outputs,
             name: netlist.name().to_string(),
-        }
+        })
+    }
+
+    /// Validates a fault group against the compiled netlist — the
+    /// sequential twin of [`crate::Engine::check_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] found, in line order.
+    pub fn check_group(&self, group: &SeqFaultGroup) -> Result<(), SimError> {
+        check_lines(&self.kinds, &group.lines)
     }
 
     /// The compiled design's name.
@@ -212,7 +244,10 @@ impl SeqEngine {
                     match faults[fi].site.pin {
                         Some(0) => pin0 = Some(faults[fi].value),
                         Some(1) => pin1 = Some(faults[fi].value),
-                        Some(p) => panic!("pin {p} out of range"),
+                        // Rejected by `check_group`; ignored here so a
+                        // line smuggled past validation through the raw
+                        // batch API cannot abort a campaign.
+                        Some(_) => {}
                         None => stem = Some(faults[fi].value),
                     }
                     fi += 1;
@@ -439,6 +474,7 @@ pub struct SeqCampaign<'a> {
     plan: InputPlan,
     drop: crate::DropPolicy,
     threads: usize,
+    range: Option<Range<usize>>,
 }
 
 impl<'a> SeqCampaign<'a> {
@@ -459,6 +495,7 @@ impl<'a> SeqCampaign<'a> {
             plan: InputPlan::Exhaustive,
             drop: crate::DropPolicy::Never,
             threads: par::default_threads(),
+            range: None,
         }
     }
 
@@ -488,10 +525,69 @@ impl<'a> SeqCampaign<'a> {
         self
     }
 
+    /// Restricts simulation to the universe subrange `range` — the
+    /// shard-scoped iteration of a partitioned campaign. The summary's
+    /// `per_fault` then covers only `range`, in universe order; because
+    /// every fault replays the same deterministic batch stream
+    /// independently, per-fault outcomes are bit-identical to the
+    /// corresponding slice of an unrestricted run.
+    ///
+    /// # Panics
+    ///
+    /// `run` panics if the range exceeds the universe (campaign
+    /// front-ends validate shard plans before reaching this driver).
+    #[must_use]
+    pub fn fault_range(mut self, range: Range<usize>) -> Self {
+        self.range = Some(range);
+        self
+    }
+
+    /// The universe subrange that will be simulated.
+    fn scoped(&self) -> &[SeqFaultGroup] {
+        match &self.range {
+            None => &self.groups,
+            Some(r) => {
+                assert!(
+                    r.start <= r.end && r.end <= self.groups.len(),
+                    "fault range {r:?} exceeds the {}-group universe",
+                    self.groups.len()
+                );
+                &self.groups[r.clone()]
+            }
+        }
+    }
+
+    /// Validates every in-scope fault group against the compiled
+    /// netlist — call before [`SeqCampaign::run`] to surface malformed
+    /// specs as typed errors instead of feeding them to the packed
+    /// evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] found, in universe order.
+    pub fn check(&self) -> Result<(), SimError> {
+        for group in self.scoped() {
+            self.engine.check_group(group)?;
+        }
+        Ok(())
+    }
+
     /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault group names a gate or pin the compiled
+    /// netlist does not have — validate with [`SeqCampaign::check`]
+    /// first for a typed error (the unified `scdp-campaign` surface
+    /// does); silently dropping such lines would produce plausible but
+    /// wrong tallies.
     #[must_use]
     pub fn run(&self) -> SeqCampaignSummary {
-        let per_fault = par::map_chunks(&self.groups, self.threads, |chunk| self.run_chunk(chunk));
+        if let Err(e) = self.check() {
+            panic!("invalid fault spec: {e} (validate with SeqCampaign::check)");
+        }
+        let scoped = self.scoped();
+        let per_fault = par::map_chunks(scoped, self.threads, |chunk| self.run_chunk(chunk));
         let mut tally = TechTally::default();
         let mut simulated = 0u64;
         let mut first_detect = vec![0u64; self.cycles as usize];
