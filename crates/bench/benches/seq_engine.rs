@@ -16,8 +16,11 @@ use scdp_bench::Bench;
 use scdp_campaign::{DatapathScenario, DfgSource};
 use scdp_core::Technique;
 use scdp_netlist::{FaultDuration, SeqStuckAt};
+use scdp_obs::Recorder;
 use scdp_sim::{par, InputPlan, SeqCampaign, SeqEngine, SeqFaultGroup};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let width = 4u32;
@@ -111,8 +114,27 @@ fn main() {
         "sequential engine: {speedup:.1}x over scalar, {mcycles_per_sec:.2} Mcycles/s \
          single-thread"
     );
+    // Telemetry-derived metrics: one instrumented parallel campaign.
+    // `seq.busy_ns` sums the workers' in-chunk time, so busy ÷
+    // (threads × wall) is the parallel utilisation.
+    let recorder = Arc::new(Recorder::new());
+    let start = Instant::now();
+    let summary = SeqCampaign::new(&engine, seq_groups.clone(), cycles)
+        .plan(plan)
+        .threads(threads)
+        .recorder(Arc::clone(&recorder))
+        .run();
+    black_box(summary.simulated);
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    let busy_ns = recorder.snapshot().counter("seq.busy_ns").unwrap_or(0) as f64;
+    let busy_fraction = busy_ns / (threads as f64 * wall_ns);
+    let faults_per_sec = seq_groups.len() as f64 * 1e9 / wall_ns;
+    eprintln!("parallel run: busy fraction {busy_fraction:.2}, {faults_per_sec:.0} faults/s");
+
     bench.metric("seq_speedup_1thread_vs_scalar", speedup);
     bench.metric("seq_mcycles_per_sec", mcycles_per_sec);
+    bench.metric("seq_parallel_busy_fraction", busy_fraction);
+    bench.metric("seq_faults_per_sec", faults_per_sec);
     bench.finish();
     assert!(
         speedup >= 8.0,

@@ -12,8 +12,11 @@
 use scdp_bench::{scalar_add_oracle, Bench};
 use scdp_core::{Operator, Technique};
 use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
+use scdp_obs::Recorder;
 use scdp_sim::{correlated_coverage, par, Engine, EngineCampaign, InputPlan};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let width = 4u32;
@@ -68,12 +71,32 @@ fn main() {
         black_box(correlated_coverage(&dp8, InputPlan::Exhaustive, threads).tally)
     });
 
+    // Telemetry-derived metrics: one instrumented parallel campaign
+    // over the width-4 universe. `engine.busy_ns` sums the workers'
+    // in-chunk time, so busy ÷ (threads × wall) is the parallel
+    // utilisation; both absolute rates demote to cross-machine
+    // warnings in `bench_check --cross-machine`.
+    let recorder = Arc::new(Recorder::new());
+    let start = Instant::now();
+    let summary = EngineCampaign::over(&engine, groups.clone())
+        .threads(threads)
+        .recorder(Arc::clone(&recorder))
+        .run();
+    black_box(summary.simulated);
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    let busy_ns = recorder.snapshot().counter("engine.busy_ns").unwrap_or(0) as f64;
+    let busy_fraction = busy_ns / (threads as f64 * wall_ns);
+    let faults_per_sec = groups.len() as f64 * 1e9 / wall_ns;
+
     let speedup_1t = scalar / packed;
     let speedup_mt = scalar / parallel;
     eprintln!("speedup vs scalar: {speedup_1t:.1}x single-thread, {speedup_mt:.1}x parallel");
+    eprintln!("parallel run: busy fraction {busy_fraction:.2}, {faults_per_sec:.0} faults/s");
     bench.metric("speedup_1thread_vs_scalar", speedup_1t);
     bench.metric("speedup_parallel_vs_scalar", speedup_mt);
     bench.metric("parallel_threads", threads as f64);
+    bench.metric("parallel_busy_fraction", busy_fraction);
+    bench.metric("faults_per_sec", faults_per_sec);
     bench.finish();
     assert!(
         speedup_1t >= 20.0,

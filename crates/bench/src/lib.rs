@@ -26,6 +26,7 @@ pub mod cli;
 pub mod harness;
 pub mod regression;
 pub mod scdp_cli;
+pub mod trace;
 
 pub use cli::{CliArgs, DEFAULT_SEED};
 pub use harness::{Bench, Record};

@@ -186,12 +186,14 @@ impl Default for CheckConfig {
     }
 }
 
-/// `true` for metrics carrying machine-absolute throughput (e.g.
-/// `seq_mcycles_per_sec`): like raw medians, they do not transfer
-/// between machines, so their decay findings follow the `medians_fail`
-/// rule instead of always failing. Speedup *ratios* stay strict.
+/// `true` for metrics carrying machine-absolute throughput or
+/// utilisation (e.g. `seq_mcycles_per_sec`, `faults_per_sec`,
+/// `parallel_busy_fraction`): like raw medians, they do not transfer
+/// between machines (core count changes both rates and utilisation),
+/// so their decay findings follow the `medians_fail` rule instead of
+/// always failing. Speedup *ratios* stay strict.
 fn absolute_metric(id: &str) -> bool {
-    id.ends_with("_per_sec")
+    id.ends_with("_per_sec") || id.ends_with("_busy_fraction")
 }
 
 /// Compares one fresh bench file against its committed baseline.
@@ -476,6 +478,37 @@ mod tests {
         let findings = check(&base, &regressed, &cross);
         assert!(fails(&findings) >= 2, "{findings:?}");
         assert!(findings.iter().any(|f| f.message.contains("hard floor")));
+    }
+
+    #[test]
+    fn busy_fraction_and_faults_per_sec_demote_cross_machine() {
+        // Utilisation and fault-grading rate shift with the core
+        // count: warnings cross-machine, failures same-machine.
+        let base = file(
+            &[],
+            &[
+                ("parallel_busy_fraction", 0.9),
+                ("faults_per_sec", 50_000.0),
+            ],
+        );
+        let other_machine = file(
+            &[],
+            &[
+                ("parallel_busy_fraction", 0.4),
+                ("faults_per_sec", 20_000.0),
+            ],
+        );
+        let cross = CheckConfig {
+            medians_fail: false,
+            ..CheckConfig::default()
+        };
+        let findings = check(&base, &other_machine, &cross);
+        assert_eq!(fails(&findings), 0, "{findings:?}");
+        assert_eq!(findings.len(), 2, "decays still warned: {findings:?}");
+        assert_eq!(
+            fails(&check(&base, &other_machine, &CheckConfig::default())),
+            2
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::cli::CliArgs;
 use crate::pct;
+use crate::trace;
 use scdp_campaign::{
     drop_from_label, duration_from_label, duration_label, op_from_label, realisation_from_label,
     style_from_label, style_label, technique_from_label, Backend, CampaignJob, CampaignReport,
@@ -40,17 +41,20 @@ const BARE_FLAGS: &[&str] = &[
     "--exhaustive",
     "--quiet",
     "--per-fu",
+    "--progress",
+    "--telemetry",
 ];
 
 const USAGE: &str = "\
 scdp — self-checking data-path campaigns
 
 USAGE:
-  scdp run [SCENARIO] [EXECUTION] [SHARDING] [--report FILE]
+  scdp run [SCENARIO] [EXECUTION] [SHARDING] [OBSERVABILITY] [--report FILE]
   scdp merge (--dir DIR | FILE...) [--out FILE]
   scdp validate FILE...
   scdp table (--dir DIR | FILE...)
   scdp sweep [--seq] [SCENARIO] [EXECUTION] [--report-dir DIR]
+  scdp trace summarize FILE...
 
 SCENARIO (pick an operator or a workload):
   --op add|sub|mul|div          checked operator scenario (default: add)
@@ -71,6 +75,14 @@ SHARDING (scdp run):
   --dir DIR         checkpoint each shard to DIR/shard-NNN.json; an
                     interrupted sweep resumes from DIR next invocation
   --max-shards K    stop after K fresh shards (deterministic interrupt)
+
+OBSERVABILITY (scdp run):
+  --trace FILE      write every campaign/shard/span event to FILE as
+                    JSONL (summarise later with `scdp trace summarize`)
+  --progress        live progress on stderr: shard bar, faults/s,
+                    drop rate, ETA
+  --telemetry       embed a telemetry section (spans, counters,
+                    histograms) in the report(s)
 ";
 
 /// Entry point used by the `scdp` binary: parses the process
@@ -99,6 +111,7 @@ pub fn run(raw: Vec<String>) -> i32 {
         "validate" => cmd_validate(&files),
         "table" => cmd_table(&args, &files),
         "sweep" => cmd_sweep(&args),
+        "trace" => cmd_trace(&files),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return 0;
@@ -232,16 +245,32 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
 }
 
 fn cmd_run(args: &CliArgs) -> Result<i32, String> {
-    let job = job_from_args(args)?;
+    let mut job = job_from_args(args)?;
     let shards = args.value_or("--shards", 1u32);
     let dir = args.value::<String>("--dir");
     let quiet = args.flag("--quiet");
+    let telemetry = args.flag("--telemetry");
+    let trace_path = args.value::<String>("--trace");
+    let mut sinks = Vec::new();
+    if let Some(path) = &trace_path {
+        sinks.push(trace::trace_sink(path)?);
+    }
+    if args.flag("--progress") {
+        sinks.push(trace::progress_sink());
+    }
+    let sink = trace::fan_out(sinks);
     // Any explicit shard count (including the invalid 0, which the
     // runner rejects with a typed error) or a checkpoint directory
     // routes through the runner; only the plain single-shot case runs
     // directly.
     let report = if shards != 1 || dir.is_some() {
         let mut runner = CampaignRunner::new(job, shards);
+        if let Some(sink) = sink {
+            runner = runner.events(sink);
+        }
+        if telemetry {
+            runner = runner.telemetry(true);
+        }
         if !quiet {
             runner = runner.on_shard(Arc::new(|index, count, state| {
                 let what = match state {
@@ -277,12 +306,48 @@ fn cmd_run(args: &CliArgs) -> Result<i32, String> {
             }
         }
     } else {
+        if let Some(sink) = sink {
+            job = job.events(sink);
+        }
+        if telemetry {
+            job = job.telemetry(true);
+        }
         job.run().map_err(|e| e.to_string())?
     };
     print_summary(&report, args.flag("--per-fu"));
+    if let Some(path) = &trace_path {
+        eprintln!("wrote trace {path}");
+    }
     if let Some(path) = args.value::<String>("--report") {
         std::fs::write(&path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    Ok(0)
+}
+
+/// `scdp trace summarize FILE...` — fold a `--trace` JSONL file back
+/// into event counts, span totals and a per-shard outcome table.
+fn cmd_trace(files: &[String]) -> Result<i32, String> {
+    let (action, files) = files
+        .split_first()
+        .ok_or("usage: scdp trace summarize FILE...")?;
+    if action != "summarize" {
+        return Err(format!(
+            "unknown trace action `{action}` (expected `summarize`)"
+        ));
+    }
+    if files.is_empty() {
+        return Err("pass trace files to summarize".to_string());
+    }
+    for file in files {
+        if files.len() > 1 {
+            println!("== {file}");
+        }
+        let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+        print!(
+            "{}",
+            trace::summarize(&text).map_err(|e| format!("{file}: {e}"))?
+        );
     }
     Ok(0)
 }
@@ -478,6 +543,14 @@ fn print_summary(report: &CampaignReport, per_fu: bool) {
         pct(report.safe_rate()),
         report.elapsed_ms,
     );
+    if let Some(tel) = &report.telemetry {
+        println!(
+            "  telemetry: {} counters, {} histograms, {} spans",
+            tel.counters.len(),
+            tel.histograms.len(),
+            tel.spans.len(),
+        );
+    }
     if let Some(seq) = &report.sequential {
         let latency = seq
             .mean_detection_latency()
@@ -711,6 +784,80 @@ mod tests {
             }
             other => panic!("expected sequential job, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharded_trace_sums_to_the_merged_report_and_matches_unsharded_telemetry() {
+        use scdp_campaign::json::{self, Json};
+        let dir = std::env::temp_dir().join(format!("scdp_cli_trace_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace_path = dir.join("t.jsonl").display().to_string();
+        let merged_path = dir.join("merged.json").display().to_string();
+        let scenario = &[
+            "--workload",
+            "fir",
+            "--technique",
+            "tech1",
+            "--width",
+            "4",
+            "--samples",
+            "64",
+            "--threads",
+            "2",
+        ];
+        let mut argv = strings(&["run"]);
+        argv.extend(strings(scenario));
+        argv.extend(strings(&[
+            "--shards",
+            "4",
+            "--trace",
+            &trace_path,
+            "--progress",
+            "--telemetry",
+            "--report",
+            &merged_path,
+            "--quiet",
+        ]));
+        assert_eq!(run(argv), 0);
+
+        // The trace carries span and shard events...
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(text.contains("\"event\":\"span\""), "spans traced");
+        assert!(
+            text.contains("\"event\":\"shard_finished\""),
+            "shards traced"
+        );
+        // ...whose per-shard fault counts sum to the merged universe.
+        let merged = load_report(Path::new(&merged_path)).expect("merged report");
+        let traced: u64 = text
+            .lines()
+            .filter_map(|l| {
+                let v = json::parse(l).expect("trace lines parse");
+                (v.get("event").and_then(Json::as_str) == Some("shard_finished"))
+                    .then(|| v.get("faults").and_then(Json::as_u64).unwrap_or(0))
+            })
+            .sum();
+        assert_eq!(traced, merged.fault_count());
+
+        // The merged telemetry's count-typed counters equal an
+        // unsharded run's.
+        let tel = merged.telemetry.as_ref().expect("merged telemetry");
+        let full = job_from_args(&CliArgs::from_vec(strings(scenario)))
+            .expect("job")
+            .telemetry(true)
+            .run()
+            .expect("unsharded run");
+        let full_tel = full.telemetry.as_ref().expect("unsharded telemetry");
+        assert_eq!(
+            tel.deterministic_counters(),
+            full_tel.deterministic_counters()
+        );
+
+        assert_eq!(run(strings(&["trace", "summarize", &trace_path])), 0);
+        assert_eq!(run(strings(&["trace", "summarize"])), 1);
+        assert_eq!(run(strings(&["trace", "frobnicate", &trace_path])), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -34,19 +34,22 @@
 //! ```
 
 use crate::error::CampaignError;
+use crate::obs::RunCtx;
 use crate::report::{drop_label, CampaignReport, DatapathDetails, FaultRecord, FuTally};
 use crate::scenario::{allocation_label, technique_label, Backend, FaultModel, Scenario};
 use crate::shard::{self, ShardInfo, ShardPlan};
-use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
+#[allow(deprecated)]
+use crate::spec::ProgressHook;
+use crate::spec::MAX_WIDTH;
 use scdp_coverage::{InputSpace, Tally};
 use scdp_fir::{dot_body_dfg, fir_body_dfg, iir_biquad_dfg, matvec_row_dfg};
 use scdp_hls::{
     bind, expand_sck, sched, BindOptions, ComponentLibrary, Dfg, ResourceSet, Role, SckStyle,
 };
 use scdp_netlist::gen::{class_label, elaborate_datapath, ElaboratedDatapath};
+use scdp_obs::EventSink;
 use scdp_sim::{DropPolicy, Engine, InputPlan};
 use std::fmt;
-use std::time::Instant;
 
 /// Exhaustive datapath campaigns are rejected above this many primary
 /// input bits (the engine could enumerate up to 63, but the run time
@@ -300,8 +303,15 @@ pub struct DatapathCampaignSpec {
     /// Restricts the run to one shard of the fault universe:
     /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
     pub shard: Option<(u32, u32)>,
-    /// Optional progress observer.
+    /// Optional deprecated progress observer (see
+    /// [`DatapathCampaignSpec::events`] for the structured stream).
+    #[allow(deprecated)]
     pub observer: Option<ProgressHook>,
+    /// Optional structured event sink ([`scdp_obs::ObsEvent`]).
+    pub events: Option<EventSink>,
+    /// When `true`, the report carries a presence-driven `telemetry`
+    /// section ([`scdp_obs::TelemetrySnapshot`]).
+    pub telemetry: bool,
 }
 
 impl fmt::Debug for DatapathCampaignSpec {
@@ -313,6 +323,8 @@ impl fmt::Debug for DatapathCampaignSpec {
             .field("threads", &self.threads)
             .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .field("events", &self.events.as_ref().map(|_| ".."))
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -329,6 +341,8 @@ impl DatapathCampaignSpec {
             threads: None,
             shard: None,
             observer: None,
+            events: None,
+            telemetry: false,
         }
     }
 
@@ -374,16 +388,59 @@ impl DatapathCampaignSpec {
     }
 
     /// Installs a progress observer, called on the driver thread.
+    #[deprecated(
+        since = "0.1.0",
+        note = "install a structured `scdp_obs::ObsEvent` sink with `events()`"
+    )]
+    #[allow(deprecated)]
     #[must_use]
     pub fn observer(mut self, hook: ProgressHook) -> Self {
         self.observer = Some(hook);
         self
     }
 
-    fn emit(&self, event: &Progress) {
-        if let Some(hook) = &self.observer {
-            hook(event);
+    /// Installs a structured event sink, called on the driver thread.
+    #[must_use]
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Embeds a telemetry snapshot in the report (presence-driven
+    /// `telemetry` section; off by default so reports stay
+    /// byte-reproducible).
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Validates the run knobs shared by [`DatapathCampaignSpec::run`]
+    /// and [`DatapathCampaignSpec::run_on`].
+    fn validate(&self) -> Result<(), CampaignError> {
+        if self.threads == Some(0) {
+            return Err(CampaignError::ZeroThreads);
         }
+        if let Some((index, count)) = self.shard {
+            if count == 0 {
+                return Err(CampaignError::ZeroShards);
+            }
+            if index >= count {
+                return Err(CampaignError::ShardIndexOutOfRange { index, count });
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens the run's observability context (post-validation).
+    fn start_ctx(&self) -> RunCtx {
+        RunCtx::start(
+            Backend::GateLevel,
+            FaultModel::Structural,
+            self.events.clone(),
+            self.observer.clone(),
+            self.telemetry,
+        )
     }
 
     /// Runs the campaign: expand → schedule → bind → elaborate →
@@ -403,7 +460,12 @@ impl DatapathCampaignSpec {
                 max: MAX_WIDTH,
             });
         }
-        self.run_on(&s.elaborate())
+        self.validate()?;
+        let ctx = self.start_ctx();
+        let span = ctx.span("elaborate");
+        let dp = s.elaborate();
+        span.close();
+        self.run_with(&dp, ctx)
     }
 
     /// Runs the campaign on a datapath elaborated earlier with
@@ -417,37 +479,32 @@ impl DatapathCampaignSpec {
     /// As [`DatapathCampaignSpec::run`], minus the width check the
     /// elaboration already enforced.
     pub fn run_on(&self, dp: &ElaboratedDatapath) -> Result<CampaignReport, CampaignError> {
+        self.validate()?;
+        self.run_with(dp, self.start_ctx())
+    }
+
+    /// The shared back half of `run`/`run_on`: compile, simulate,
+    /// tally, finish under `ctx`.
+    fn run_with(
+        &self,
+        dp: &ElaboratedDatapath,
+        ctx: RunCtx,
+    ) -> Result<CampaignReport, CampaignError> {
         let s = &self.scenario;
-        if self.threads == Some(0) {
-            return Err(CampaignError::ZeroThreads);
-        }
-        if let Some((index, count)) = self.shard {
-            if count == 0 {
-                return Err(CampaignError::ZeroShards);
-            }
-            if index >= count {
-                return Err(CampaignError::ShardIndexOutOfRange { index, count });
-            }
-        }
-        let start = Instant::now();
-        self.emit(&Progress::Started {
-            backend: Backend::GateLevel,
-            fault_model: FaultModel::Structural,
-        });
-
         let plan = datapath_input_plan(self.space, dp.netlist.input_bits())?;
+        let compile = ctx.span("compile");
         let (groups, ranges) = dp.fault_universe();
-        self.emit(&Progress::NetlistCompiled {
-            name: dp.netlist.name().to_string(),
-            gates: dp.netlist.gate_count(),
-            faults: groups.len(),
-        });
-
         let engine = Engine::new(&dp.netlist);
+        compile.close();
+        ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
+
         let universe = groups.len() as u64;
         let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
             .plan(plan)
             .drop_policy(self.drop);
+        if let Some(rec) = ctx.recorder() {
+            campaign = campaign.recorder(rec);
+        }
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
@@ -471,8 +528,11 @@ impl DatapathCampaignSpec {
         campaign.check().map_err(|e| CampaignError::FaultSpec {
             message: e.to_string(),
         })?;
+        let sim = ctx.span("simulate");
         let summary = campaign.run();
+        sim.close();
 
+        let tally_span = ctx.span("tally");
         let per_fault: Vec<FaultRecord> = summary
             .per_fault
             .iter()
@@ -530,6 +590,7 @@ impl DatapathCampaignSpec {
             gates: dp.netlist.gate_count() as u64,
             per_fu,
         };
+        tally_span.close();
         let mut report = CampaignReport {
             scenario: s.placeholder_scenario(),
             backend: Backend::GateLevel,
@@ -544,12 +605,9 @@ impl DatapathCampaignSpec {
             datapath: Some(details),
             sequential: None,
             shard,
+            telemetry: None,
         };
-        report.elapsed_ms = start.elapsed().as_millis() as u64;
-        self.emit(&Progress::Finished {
-            simulated: report.simulated,
-            elapsed_ms: report.elapsed_ms,
-        });
+        ctx.finish(&mut report);
         Ok(report)
     }
 }

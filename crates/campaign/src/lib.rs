@@ -62,6 +62,7 @@
 mod datapath;
 mod error;
 pub mod json;
+mod obs;
 mod report;
 mod runner;
 mod scenario;
@@ -86,7 +87,9 @@ pub use scenario::{
 };
 pub use seq::SeqDatapathCampaignSpec;
 pub use shard::{config_fingerprint, ShardInfo, ShardPlan};
-pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
+pub use spec::{CampaignSpec, MAX_WIDTH};
+#[allow(deprecated)]
+pub use spec::{Progress, ProgressHook};
 
 // The shared input-space configuration and its batched twin are part of
 // the unified surface: campaign front-ends configure an `InputSpace`;
@@ -96,3 +99,8 @@ pub use spec::{CampaignSpec, Progress, ProgressHook, MAX_WIDTH};
 pub use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
 pub use scdp_netlist::FaultDuration;
 pub use scdp_sim::{DropPolicy, InputPlan};
+
+// The observability vocabulary is part of the unified surface too:
+// every spec shape takes an `EventSink`, and reports embed a
+// `TelemetrySnapshot` when telemetry is requested.
+pub use scdp_obs::{EventSink, ObsEvent, TelemetrySnapshot};

@@ -1,0 +1,147 @@
+//! Run-scoped observability: the one lifecycle/telemetry context
+//! behind every campaign spec shape.
+//!
+//! [`RunCtx`] owns the run's root [`Span`], its [`Recorder`], the
+//! structured [`EventSink`] and the deprecated
+//! [`Progress`](crate::Progress) observer. The three spec shapes
+//! (`CampaignSpec`, `DatapathCampaignSpec`, `SeqDatapathCampaignSpec`)
+//! used to duplicate the same `Instant::now()` → emit `Started` → run →
+//! patch `elapsed_ms` → emit `Finished` choreography; they now share
+//! it here, which makes two things impossible by construction:
+//!
+//! * a report escaping with the `elapsed_ms: 0` placeholder — the only
+//!   writer of `elapsed_ms` is [`RunCtx::finish`], deriving it from the
+//!   root span;
+//! * the structured stream and the legacy observer drifting apart —
+//!   every lifecycle event goes through [`RunCtx::emit`], which fans
+//!   out to both.
+
+use crate::report::CampaignReport;
+use crate::scenario::{Backend, FaultModel};
+#[allow(deprecated)]
+use crate::spec::{Progress, ProgressHook};
+use scdp_obs::{EventSink, ObsEvent, Recorder, Span};
+use std::sync::Arc;
+
+/// The observability context of one campaign run.
+pub(crate) struct RunCtx {
+    recorder: Arc<Recorder>,
+    root: Option<Span>,
+    sink: Option<EventSink>,
+    #[allow(deprecated)]
+    observer: Option<ProgressHook>,
+    /// Embed a [`scdp_obs::TelemetrySnapshot`] in the finished report.
+    record: bool,
+    backend: Backend,
+    fault_model: FaultModel,
+}
+
+impl RunCtx {
+    /// Opens the root span and emits `CampaignStarted` (and the legacy
+    /// `Progress::Started`). Call *after* validation so failed configs
+    /// never announce a run.
+    #[allow(deprecated)]
+    pub(crate) fn start(
+        backend: Backend,
+        fault_model: FaultModel,
+        sink: Option<EventSink>,
+        observer: Option<ProgressHook>,
+        record: bool,
+    ) -> RunCtx {
+        let recorder = Arc::new(Recorder::new());
+        let root = recorder.span("campaign", sink.clone());
+        let ctx = RunCtx {
+            recorder,
+            root: Some(root),
+            sink,
+            observer,
+            record,
+            backend,
+            fault_model,
+        };
+        ctx.emit(&ObsEvent::CampaignStarted {
+            backend: backend.label().to_string(),
+            fault_model: fault_model.label().to_string(),
+        });
+        ctx
+    }
+
+    /// The run's recorder, when the spec asked for a telemetry section
+    /// (`None` keeps the engine hot loops instrumentation-free).
+    pub(crate) fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.record.then(|| Arc::clone(&self.recorder))
+    }
+
+    /// Opens a child span of the root (`campaign/<name>`).
+    pub(crate) fn span(&self, name: &str) -> Span {
+        self.root
+            .as_ref()
+            .expect("root span open until finish")
+            .child(name)
+    }
+
+    /// Emits `NetlistCompiled` on both channels.
+    pub(crate) fn netlist_compiled(&self, name: &str, gates: usize, faults: usize) {
+        self.emit(&ObsEvent::NetlistCompiled {
+            name: name.to_string(),
+            gates: gates as u64,
+            faults: faults as u64,
+        });
+    }
+
+    /// Fans an event out to the structured sink and, translated, to the
+    /// deprecated progress observer.
+    #[allow(deprecated)]
+    pub(crate) fn emit(&self, event: &ObsEvent) {
+        if let Some(sink) = &self.sink {
+            sink(event);
+        }
+        let Some(hook) = &self.observer else {
+            return;
+        };
+        let legacy = match event {
+            ObsEvent::CampaignStarted { .. } => Some(Progress::Started {
+                backend: self.backend,
+                fault_model: self.fault_model,
+            }),
+            ObsEvent::NetlistCompiled {
+                name,
+                gates,
+                faults,
+            } => Some(Progress::NetlistCompiled {
+                name: name.clone(),
+                gates: *gates as usize,
+                faults: *faults as usize,
+            }),
+            ObsEvent::CampaignFinished {
+                simulated,
+                elapsed_ms,
+            } => Some(Progress::Finished {
+                simulated: *simulated,
+                elapsed_ms: *elapsed_ms,
+            }),
+            _ => None,
+        };
+        if let Some(p) = legacy {
+            hook(&p);
+        }
+    }
+
+    /// Ends the run: closes the root span, stamps `elapsed_ms` from it
+    /// (the single place that writes the field), embeds the telemetry
+    /// snapshot when recording, and emits `CampaignFinished`.
+    pub(crate) fn finish(mut self, report: &mut CampaignReport) {
+        let root = self.root.take().expect("finish runs once");
+        report.elapsed_ms = root.close() / 1_000_000;
+        if self.record {
+            let snap = self.recorder.snapshot();
+            if !snap.is_empty() {
+                report.telemetry = Some(snap);
+            }
+        }
+        self.emit(&ObsEvent::CampaignFinished {
+            simulated: report.simulated,
+            elapsed_ms: report.elapsed_ms,
+        });
+    }
+}

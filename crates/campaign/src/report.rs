@@ -9,6 +9,7 @@ use crate::scenario::{
 use crate::shard::ShardInfo;
 use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
 use scdp_netlist::FaultDuration;
+use scdp_obs::{BucketCount, CounterSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
 use scdp_sim::DropPolicy;
 use std::fmt::Write as _;
 
@@ -198,6 +199,13 @@ pub struct CampaignReport {
     /// tallies, `per_fault` rows and histograms then cover only
     /// `shard.fault_start..shard.fault_end`.
     pub shard: Option<ShardInfo>,
+    /// Telemetry section: a frozen [`TelemetrySnapshot`] of the run's
+    /// counters, histograms and span timings. Presence-driven at every
+    /// schema version (a v1–v4 document with or without it parses and
+    /// round-trips unchanged); ignored by
+    /// [`CampaignReport::same_results`]; aggregated across shards by
+    /// [`CampaignReport::merge`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl CampaignReport {
@@ -436,6 +444,47 @@ impl CampaignReport {
             }
             o.push_str("]},\n");
         }
+        if let Some(tel) = &self.telemetry {
+            o.push_str("  \"telemetry\": {\"counters\": [");
+            for (i, c) in tel.counters.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"name\": ");
+                json::write_escaped(&mut o, &c.name);
+                let _ = write!(o, ", \"value\": {}}}", c.value);
+            }
+            o.push_str("], \"histograms\": [");
+            for (i, h) in tel.histograms.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"name\": ");
+                json::write_escaped(&mut o, &h.name);
+                o.push_str(", \"buckets\": [");
+                for (j, b) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        o.push_str(", ");
+                    }
+                    let _ = write!(o, "[{}, {}]", b.bucket, b.count);
+                }
+                o.push_str("]}");
+            }
+            o.push_str("], \"spans\": [");
+            for (i, s) in tel.spans.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                o.push_str("{\"path\": ");
+                json::write_escaped(&mut o, &s.path);
+                let _ = write!(
+                    o,
+                    ", \"count\": {}, \"total_ns\": {}}}",
+                    s.count, s.total_ns
+                );
+            }
+            o.push_str("]},\n");
+        }
         o.push_str("  \"per_fault\": [\n");
         for (i, f) in self.per_fault.iter().enumerate() {
             let _ = write!(
@@ -665,6 +714,13 @@ impl CampaignReport {
             }
         }
 
+        // The telemetry section is presence-driven at every version:
+        // operational metadata, not results.
+        let telemetry = match v.get("telemetry") {
+            Some(t) => Some(parse_telemetry(t)?),
+            None => None,
+        };
+
         Ok(CampaignReport {
             scenario,
             backend,
@@ -679,6 +735,7 @@ impl CampaignReport {
             datapath,
             sequential,
             shard,
+            telemetry,
         })
     }
 
@@ -793,6 +850,18 @@ impl CampaignReport {
 
         let datapath = merge_datapath(&ordered)?;
         let sequential = merge_sequential(&ordered)?;
+        // Telemetry aggregates over whichever shards carried it:
+        // counters and span accumulators sum, histograms sum
+        // bucket-wise, so the merged counters equal an unsharded run's
+        // for every count-typed metric.
+        let mut telemetry: Option<TelemetrySnapshot> = None;
+        for r in &ordered {
+            if let Some(t) = &r.telemetry {
+                telemetry
+                    .get_or_insert_with(TelemetrySnapshot::default)
+                    .merge(t);
+            }
+        }
         Ok(CampaignReport {
             scenario: first.scenario,
             backend: first.backend,
@@ -807,6 +876,7 @@ impl CampaignReport {
             datapath,
             sequential,
             shard: None,
+            telemetry,
         })
     }
 }
@@ -1076,6 +1146,69 @@ fn parse_datapath(dp: &Json) -> Result<DatapathDetails, CampaignError> {
     })
 }
 
+/// Parses the presence-driven `telemetry` section. Element order is
+/// preserved as written (snapshots serialise name-ordered), keeping
+/// `to_json` a fixpoint of parse-then-serialise.
+fn parse_telemetry(t: &Json) -> Result<TelemetrySnapshot, CampaignError> {
+    let arr = |key: &'static str| {
+        t.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err("telemetry", format!("missing or malformed `{key}` array")))
+    };
+    let mut counters = Vec::new();
+    for c in arr("counters")? {
+        counters.push(CounterSnapshot {
+            name: require_str(c, "name")
+                .map_err(|_| schema_err("telemetry", "counter without a name".into()))?
+                .to_string(),
+            value: require_u64(c, "value")
+                .map_err(|_| schema_err("telemetry", "counter value is not a count".into()))?,
+        });
+    }
+    let mut histograms = Vec::new();
+    for h in arr("histograms")? {
+        let name = require_str(h, "name")
+            .map_err(|_| schema_err("telemetry", "histogram without a name".into()))?
+            .to_string();
+        let cells = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema_err("telemetry", "histogram without a buckets array".into()))?;
+        let mut buckets = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let pair = cell.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                schema_err("telemetry", "bucket must be a [index, count] pair".into())
+            })?;
+            let bucket = pair[0]
+                .as_u64()
+                .and_then(|b| u32::try_from(b).ok())
+                .ok_or_else(|| schema_err("telemetry", "bucket index out of range".into()))?;
+            let count = pair[1]
+                .as_u64()
+                .ok_or_else(|| schema_err("telemetry", "bucket count is not a count".into()))?;
+            buckets.push(BucketCount { bucket, count });
+        }
+        histograms.push(HistogramSnapshot { name, buckets });
+    }
+    let mut spans = Vec::new();
+    for s in arr("spans")? {
+        spans.push(SpanSnapshot {
+            path: require_str(s, "path")
+                .map_err(|_| schema_err("telemetry", "span without a path".into()))?
+                .to_string(),
+            count: require_u64(s, "count")
+                .map_err(|_| schema_err("telemetry", "span count is not a count".into()))?,
+            total_ns: require_u64(s, "total_ns")
+                .map_err(|_| schema_err("telemetry", "span total_ns is not a count".into()))?,
+        });
+    }
+    Ok(TelemetrySnapshot {
+        counters,
+        histograms,
+        spans,
+    })
+}
+
 fn schema_err(field: &'static str, message: String) -> CampaignError {
     CampaignError::Schema { field, message }
 }
@@ -1185,6 +1318,7 @@ mod tests {
             datapath: None,
             sequential: None,
             shard: None,
+            telemetry: None,
         }
     }
 
@@ -1197,6 +1331,80 @@ mod tests {
         assert_eq!(parsed.backend, r.backend);
         assert_eq!(parsed.elapsed_ms, r.elapsed_ms);
         assert_eq!(parsed.to_json(), text, "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn telemetry_section_round_trips_and_stays_optional() {
+        let plain = tiny_report();
+        assert!(
+            !plain.to_json().contains("\"telemetry\""),
+            "reports without telemetry must not grow a section"
+        );
+
+        let mut r = tiny_report();
+        r.telemetry = Some(TelemetrySnapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "engine.faults".to_string(),
+                    value: 2,
+                },
+                CounterSnapshot {
+                    name: "engine.situations".to_string(),
+                    value: 16,
+                },
+            ],
+            histograms: vec![HistogramSnapshot {
+                name: "engine.fault_situations".to_string(),
+                buckets: vec![BucketCount {
+                    bucket: 4,
+                    count: 2,
+                }],
+            }],
+            spans: vec![
+                SpanSnapshot {
+                    path: "campaign".to_string(),
+                    count: 1,
+                    total_ns: 7_000_000,
+                },
+                SpanSnapshot {
+                    path: "campaign/simulate".to_string(),
+                    count: 1,
+                    total_ns: 5_500_000,
+                },
+            ],
+        });
+        let text = r.to_json();
+        let parsed = CampaignReport::from_json(&text).expect("round trip");
+        assert_eq!(parsed.telemetry, r.telemetry);
+        assert_eq!(
+            parsed.to_json(),
+            text,
+            "telemetry serialisation is a fixpoint"
+        );
+
+        // Merging telemetry-carrying shards aggregates the sections.
+        let mut a = r.clone();
+        let mut b = r.clone();
+        a.shard = Some(ShardInfo {
+            index: 0,
+            count: 2,
+            fault_start: 0,
+            fault_end: 2,
+            total_faults: 4,
+            plan_hash: 9,
+        });
+        b.shard = Some(ShardInfo {
+            index: 1,
+            count: 2,
+            fault_start: 2,
+            fault_end: 4,
+            total_faults: 4,
+            plan_hash: 9,
+        });
+        let merged = CampaignReport::merge(&[a, b]).expect("mergeable shards");
+        let tel = merged.telemetry.expect("merged telemetry");
+        assert_eq!(tel.counter("engine.faults"), Some(4));
+        assert_eq!(tel.span("campaign/simulate").map(|s| s.count), Some(2));
     }
 
     #[test]

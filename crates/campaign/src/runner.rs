@@ -41,6 +41,7 @@ use crate::seq::SeqDatapathCampaignSpec;
 use crate::shard::ShardPlan;
 use crate::spec::{CampaignSpec, MAX_WIDTH};
 use scdp_netlist::gen::{ElaboratedDatapath, SeqDatapath};
+use scdp_obs::{EventSink, ObsEvent};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -72,6 +73,29 @@ impl CampaignJob {
             CampaignJob::Operator(spec) => spec.config_fingerprint(),
             CampaignJob::Datapath(spec) => spec.config_fingerprint(),
             CampaignJob::Sequential(spec) => spec.config_fingerprint(),
+        }
+    }
+
+    /// Installs a structured event sink on the underlying spec: every
+    /// run of this job (sharded or not) streams its
+    /// [`scdp_obs::ObsEvent`]s there.
+    #[must_use]
+    pub fn events(self, sink: EventSink) -> Self {
+        match self {
+            CampaignJob::Operator(spec) => CampaignJob::Operator(spec.events(sink)),
+            CampaignJob::Datapath(spec) => CampaignJob::Datapath(spec.events(sink)),
+            CampaignJob::Sequential(spec) => CampaignJob::Sequential(spec.events(sink)),
+        }
+    }
+
+    /// Asks every run of this job to embed a
+    /// [`scdp_obs::TelemetrySnapshot`] in its report.
+    #[must_use]
+    pub fn telemetry(self, enabled: bool) -> Self {
+        match self {
+            CampaignJob::Operator(spec) => CampaignJob::Operator(spec.telemetry(enabled)),
+            CampaignJob::Datapath(spec) => CampaignJob::Datapath(spec.telemetry(enabled)),
+            CampaignJob::Sequential(spec) => CampaignJob::Sequential(spec.telemetry(enabled)),
         }
     }
 
@@ -198,6 +222,7 @@ pub struct CampaignRunner {
     dir: Option<PathBuf>,
     max_shards: Option<u32>,
     on_shard: Option<ShardHook>,
+    events: Option<EventSink>,
 }
 
 impl CampaignRunner {
@@ -213,6 +238,7 @@ impl CampaignRunner {
             dir: None,
             max_shards: None,
             on_shard: None,
+            events: None,
         }
     }
 
@@ -239,6 +265,26 @@ impl CampaignRunner {
     #[must_use]
     pub fn on_shard(mut self, hook: ShardHook) -> Self {
         self.on_shard = Some(hook);
+        self
+    }
+
+    /// Streams [`scdp_obs::ObsEvent`]s to `sink`: the runner emits
+    /// `ShardStarted`/`ShardFinished` around every shard, and the sink
+    /// is forwarded to the underlying spec so each shard's own
+    /// lifecycle and span events appear in the same stream.
+    #[must_use]
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.job = self.job.events(sink.clone());
+        self.events = Some(sink);
+        self
+    }
+
+    /// Asks every shard run (and thus the merged report) to carry a
+    /// telemetry section. The merged section aggregates the shards'
+    /// — count-typed counters then equal an unsharded run's.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.job = self.job.telemetry(enabled);
         self
     }
 
@@ -272,12 +318,14 @@ impl CampaignRunner {
         let mut fresh = 0u32;
         for index in 0..self.shards {
             if let Some(report) = self.load_checkpoint(index, fingerprint) {
+                self.shard_finished(index, "resumed", Some(&report), 0);
                 reports[index as usize] = Some(report);
                 self.notify(index, ShardState::Resumed);
                 states.push(ShardState::Resumed);
                 continue;
             }
             if self.max_shards.is_some_and(|max| fresh >= max) {
+                self.shard_finished(index, "pending", None, 0);
                 self.notify(index, ShardState::Pending);
                 states.push(ShardState::Pending);
                 continue;
@@ -327,7 +375,14 @@ impl CampaignRunner {
         index: u32,
         machine: &mut Option<Machine>,
     ) -> Result<CampaignReport, CampaignError> {
+        self.emit(&ObsEvent::ShardStarted {
+            shard: index,
+            of: self.shards,
+            // The universe size is unknown until the shard has run.
+            faults: 0,
+        });
         let report = self.job.run_shard_on(index, self.shards, machine)?;
+        self.shard_finished(index, "ran", Some(&report), report.elapsed_ms);
         if let Some(dir) = &self.dir {
             let io_err = |e: std::io::Error, path: &Path| CampaignError::Io {
                 path: path.display().to_string(),
@@ -365,6 +420,46 @@ impl CampaignRunner {
             hook(index, self.shards, state);
         }
     }
+
+    fn emit(&self, event: &ObsEvent) {
+        if let Some(sink) = &self.events {
+            sink(event);
+        }
+    }
+
+    /// Emits `ShardFinished` with the shard's outcome counts
+    /// (`resumed` shards report `elapsed_ms: 0` — resumption is free;
+    /// `pending` shards report zeros across the board).
+    fn shard_finished(
+        &self,
+        index: u32,
+        state: &str,
+        report: Option<&CampaignReport>,
+        elapsed_ms: u64,
+    ) {
+        if self.events.is_none() {
+            return;
+        }
+        let detected = report.map_or(0, |r| {
+            r.per_fault.iter().filter(|f| f.detected).count() as u64
+        });
+        let dropped = report.map_or(0, |r| {
+            r.per_fault
+                .iter()
+                .filter(|f| f.dropped_after.is_some())
+                .count() as u64
+        });
+        self.emit(&ObsEvent::ShardFinished {
+            shard: index,
+            of: self.shards,
+            state: state.to_string(),
+            faults: report.map_or(0, CampaignReport::fault_count),
+            detected,
+            dropped,
+            simulated: report.map_or(0, |r| r.simulated),
+            elapsed_ms,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +481,61 @@ mod tests {
         let full = job().run().expect("unsharded");
         assert!(merged.same_results(&full));
         assert!(merged.shard.is_none(), "merged reports are not partial");
+    }
+
+    #[test]
+    fn event_stream_and_telemetry_cover_every_shard() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<ObsEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let probe = Arc::clone(&seen);
+        let outcome = CampaignRunner::new(job(), 3)
+            .telemetry(true)
+            .events(Arc::new(move |e: &ObsEvent| {
+                probe.lock().unwrap().push(e.clone());
+            }))
+            .run()
+            .expect("runs");
+        let merged = outcome.report.expect("complete");
+        let seen = seen.lock().unwrap();
+
+        let finished: Vec<(u32, String, u64)> = seen
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::ShardFinished {
+                    shard,
+                    state,
+                    faults,
+                    ..
+                } => Some((*shard, state.clone(), *faults)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished.len(), 3, "one finish per shard");
+        assert!(finished.iter().all(|(_, s, _)| s == "ran"));
+        let traced: u64 = finished.iter().map(|(_, _, f)| f).sum();
+        assert_eq!(
+            traced,
+            merged.fault_count(),
+            "per-shard trace fault counts sum to the merged universe"
+        );
+        assert!(
+            seen.iter().any(|e| e.kind() == "shard_started"),
+            "fresh shards announce themselves"
+        );
+        assert!(
+            seen.iter().any(|e| e.kind() == "span"),
+            "shard campaigns stream their spans through the same sink"
+        );
+
+        // The merged telemetry's count-typed counters equal an
+        // unsharded run's — sharding only splits the work.
+        let tel = merged.telemetry.expect("merged telemetry");
+        let full = job().telemetry(true).run().expect("unsharded");
+        let full_tel = full.telemetry.expect("unsharded telemetry");
+        assert_eq!(
+            tel.deterministic_counters(),
+            full_tel.deterministic_counters()
+        );
     }
 
     #[test]

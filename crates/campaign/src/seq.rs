@@ -33,19 +33,22 @@
 
 use crate::datapath::{datapath_fingerprint, datapath_input_plan, style_label, DatapathScenario};
 use crate::error::CampaignError;
+use crate::obs::RunCtx;
 use crate::report::{
     duration_label, CampaignReport, DatapathDetails, FaultRecord, FuTally, SequentialDetails,
 };
 use crate::scenario::{Backend, FaultModel};
 use crate::shard::{ShardInfo, ShardPlan};
-use crate::spec::{Progress, ProgressHook, MAX_WIDTH};
+#[allow(deprecated)]
+use crate::spec::ProgressHook;
+use crate::spec::MAX_WIDTH;
 use scdp_coverage::Tally;
 use scdp_hls::{bind, sched, BindOptions, ComponentLibrary};
 use scdp_netlist::gen::{class_label, elaborate_seq_datapath, SeqDatapath};
 use scdp_netlist::FaultDuration;
+use scdp_obs::EventSink;
 use scdp_sim::{DropPolicy, SeqCampaign, SeqEngine, SeqFaultGroup};
 use std::fmt;
-use std::time::Instant;
 
 impl DatapathScenario {
     /// Runs the synthesis front half — expansion, list scheduling,
@@ -96,7 +99,12 @@ pub struct SeqDatapathCampaignSpec {
     /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
     pub shard: Option<(u32, u32)>,
     /// Optional progress observer.
+    #[allow(deprecated)]
     pub observer: Option<ProgressHook>,
+    /// Optional structured event sink ([`scdp_obs::ObsEvent`] stream).
+    pub events: Option<EventSink>,
+    /// Embed a [`scdp_obs::TelemetrySnapshot`] in the report.
+    pub telemetry: bool,
 }
 
 impl fmt::Debug for SeqDatapathCampaignSpec {
@@ -109,6 +117,8 @@ impl fmt::Debug for SeqDatapathCampaignSpec {
             .field("threads", &self.threads)
             .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .field("events", &self.events.as_ref().map(|_| ".."))
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -126,6 +136,8 @@ impl SeqDatapathCampaignSpec {
             threads: None,
             shard: None,
             observer: None,
+            events: None,
+            telemetry: false,
         }
     }
 
@@ -186,16 +198,56 @@ impl SeqDatapathCampaignSpec {
     }
 
     /// Installs a progress observer, called on the driver thread.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `events` for the structured ObsEvent stream"
+    )]
+    #[allow(deprecated)]
     #[must_use]
     pub fn observer(mut self, hook: ProgressHook) -> Self {
         self.observer = Some(hook);
         self
     }
 
-    fn emit(&self, event: &Progress) {
-        if let Some(hook) = &self.observer {
-            hook(event);
+    /// Installs a structured event sink, called on the driver thread
+    /// with every [`scdp_obs::ObsEvent`] of the run.
+    #[must_use]
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Embeds a [`scdp_obs::TelemetrySnapshot`] (spans, counters,
+    /// histograms) in the finished report's `telemetry` section.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        if self.threads == Some(0) {
+            return Err(CampaignError::ZeroThreads);
         }
+        if let Some((index, count)) = self.shard {
+            if count == 0 {
+                return Err(CampaignError::ZeroShards);
+            }
+            if index >= count {
+                return Err(CampaignError::ShardIndexOutOfRange { index, count });
+            }
+        }
+        Ok(())
+    }
+
+    fn start_ctx(&self) -> RunCtx {
+        RunCtx::start(
+            Backend::GateLevel,
+            FaultModel::Structural,
+            self.events.clone(),
+            self.observer.clone(),
+            self.telemetry,
+        )
     }
 
     /// Runs the campaign: expand → schedule → bind → sequential
@@ -218,7 +270,12 @@ impl SeqDatapathCampaignSpec {
                 max: MAX_WIDTH,
             });
         }
-        self.run_on(&s.elaborate_seq())
+        self.validate()?;
+        let ctx = self.start_ctx();
+        let elaborate = ctx.span("elaborate");
+        let dp = s.elaborate_seq();
+        elaborate.close();
+        self.run_with(&dp, ctx)
     }
 
     /// Runs the campaign on a machine elaborated earlier with
@@ -232,24 +289,12 @@ impl SeqDatapathCampaignSpec {
     /// As [`SeqDatapathCampaignSpec::run`], minus the width check the
     /// elaboration already enforced.
     pub fn run_on(&self, dp: &SeqDatapath) -> Result<CampaignReport, CampaignError> {
-        let s = &self.scenario;
-        if self.threads == Some(0) {
-            return Err(CampaignError::ZeroThreads);
-        }
-        if let Some((index, count)) = self.shard {
-            if count == 0 {
-                return Err(CampaignError::ZeroShards);
-            }
-            if index >= count {
-                return Err(CampaignError::ShardIndexOutOfRange { index, count });
-            }
-        }
-        let start = Instant::now();
-        self.emit(&Progress::Started {
-            backend: Backend::GateLevel,
-            fault_model: FaultModel::Structural,
-        });
+        self.validate()?;
+        self.run_with(dp, self.start_ctx())
+    }
 
+    fn run_with(&self, dp: &SeqDatapath, ctx: RunCtx) -> Result<CampaignReport, CampaignError> {
+        let s = &self.scenario;
         let plan = datapath_input_plan(self.space, dp.netlist.input_bits())?;
         if let FaultDuration::Transient { cycle } = self.duration {
             if cycle >= dp.total_cycles {
@@ -259,16 +304,14 @@ impl SeqDatapathCampaignSpec {
                 });
             }
         }
+        let compile = ctx.span("compile");
         let (groups, ranges) = dp.fault_universe();
-        self.emit(&Progress::NetlistCompiled {
-            name: dp.netlist.name().to_string(),
-            gates: dp.netlist.gate_count(),
-            faults: groups.len(),
-        });
-
         let engine = SeqEngine::try_new(&dp.netlist).map_err(|e| CampaignError::FaultSpec {
             message: e.to_string(),
         })?;
+        compile.close();
+        ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
+
         let groups: Vec<SeqFaultGroup> = groups
             .into_iter()
             .map(|lines| SeqFaultGroup::new(lines, self.duration))
@@ -277,6 +320,9 @@ impl SeqDatapathCampaignSpec {
         let mut campaign = SeqCampaign::new(&engine, groups, dp.total_cycles)
             .plan(plan)
             .drop_policy(self.drop);
+        if let Some(rec) = ctx.recorder() {
+            campaign = campaign.recorder(rec);
+        }
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
@@ -300,8 +346,11 @@ impl SeqDatapathCampaignSpec {
         campaign.check().map_err(|e| CampaignError::FaultSpec {
             message: e.to_string(),
         })?;
+        let sim = ctx.span("simulate");
         let summary = campaign.run();
+        sim.close();
 
+        let tally_span = ctx.span("tally");
         let per_fault: Vec<FaultRecord> = summary
             .per_fault
             .iter()
@@ -364,6 +413,7 @@ impl SeqDatapathCampaignSpec {
             total_cycles: u64::from(dp.total_cycles),
             first_detect_hist: summary.first_detect.clone(),
         };
+        tally_span.close();
         let mut report = CampaignReport {
             scenario: s.placeholder_scenario(),
             backend: Backend::GateLevel,
@@ -378,12 +428,9 @@ impl SeqDatapathCampaignSpec {
             datapath: Some(details),
             sequential: Some(sequential),
             shard,
+            telemetry: None,
         };
-        report.elapsed_ms = start.elapsed().as_millis() as u64;
-        self.emit(&Progress::Finished {
-            simulated: report.simulated,
-            elapsed_ms: report.elapsed_ms,
-        });
+        ctx.finish(&mut report);
         Ok(report)
     }
 }

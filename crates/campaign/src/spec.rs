@@ -1,6 +1,7 @@
 //! Campaign configuration and the unified `run()` entry point.
 
 use crate::error::CampaignError;
+use crate::obs::RunCtx;
 use crate::report::{drop_label, CampaignReport, FaultRecord};
 use crate::scenario::{
     allocation_label, realisation_label, technique_label, Backend, FaultModel, Scenario,
@@ -11,16 +12,21 @@ use scdp_coverage::{AdderFaultModel, InputSpace, OperatorKind, Tally, TechIndex}
 use scdp_netlist::gen::{
     self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
 };
+use scdp_obs::EventSink;
 use scdp_sim::{DropPolicy, Engine, InputPlan};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Maximum supported operand width (the functional cell models cap at
 /// 32 bits).
 pub const MAX_WIDTH: u32 = 32;
 
-/// Progress events emitted through [`CampaignSpec::observer`].
+/// Progress events emitted through the deprecated `observer` hook.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by the structured `scdp_obs::ObsEvent` stream; \
+            install a sink with `events()`"
+)]
 #[derive(Clone, Debug)]
 pub enum Progress {
     /// Validation passed; the campaign is being dispatched.
@@ -49,6 +55,11 @@ pub enum Progress {
 }
 
 /// A progress-observer callback; invoked on the driver thread.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `scdp_obs::EventSink`; install one with `events()`"
+)]
+#[allow(deprecated)]
 pub type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
 
 /// Configures *how* a [`Scenario`] is analysed and runs it.
@@ -99,8 +110,17 @@ pub struct CampaignSpec {
     /// `(index, count)` of a [`ShardPlan`] over the fault universe.
     /// `None` runs the whole universe.
     pub shard: Option<(u32, u32)>,
-    /// Optional progress observer.
+    /// Optional deprecated progress observer (see
+    /// [`CampaignSpec::events`] for the structured stream).
+    #[allow(deprecated)]
     pub observer: Option<ProgressHook>,
+    /// Optional structured event sink observing the run's lifecycle
+    /// and span closures ([`scdp_obs::ObsEvent`]).
+    pub events: Option<EventSink>,
+    /// When `true`, the report carries a presence-driven `telemetry`
+    /// section ([`scdp_obs::TelemetrySnapshot`]): engine counters and
+    /// histograms, per-stage span timings.
+    pub telemetry: bool,
 }
 
 impl fmt::Debug for CampaignSpec {
@@ -114,6 +134,8 @@ impl fmt::Debug for CampaignSpec {
             .field("threads", &self.threads)
             .field("shard", &self.shard)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .field("events", &self.events.as_ref().map(|_| ".."))
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -133,6 +155,8 @@ impl CampaignSpec {
             threads: None,
             shard: None,
             observer: None,
+            events: None,
+            telemetry: false,
         }
     }
 
@@ -206,16 +230,33 @@ impl CampaignSpec {
     }
 
     /// Installs a progress observer, called on the driver thread.
+    #[deprecated(
+        since = "0.1.0",
+        note = "install a structured `scdp_obs::ObsEvent` sink with `events()`"
+    )]
+    #[allow(deprecated)]
     #[must_use]
     pub fn observer(mut self, hook: ProgressHook) -> Self {
         self.observer = Some(hook);
         self
     }
 
-    fn emit(&self, event: &Progress) {
-        if let Some(hook) = &self.observer {
-            hook(event);
-        }
+    /// Installs a structured event sink, called on the driver thread:
+    /// lifecycle events plus a [`scdp_obs::ObsEvent::SpanClosed`] per
+    /// run stage.
+    #[must_use]
+    pub fn events(mut self, sink: EventSink) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Embeds a telemetry snapshot in the report (presence-driven
+    /// `telemetry` section; off by default so reports stay
+    /// byte-reproducible).
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
     }
 
     /// Runs the campaign on the selected backend.
@@ -228,20 +269,18 @@ impl CampaignSpec {
     /// exhaustive spaces too large to enumerate.
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
         let model = self.validate()?;
-        let start = Instant::now();
-        self.emit(&Progress::Started {
-            backend: self.backend,
-            fault_model: model,
-        });
+        let ctx = RunCtx::start(
+            self.backend,
+            model,
+            self.events.clone(),
+            self.observer.clone(),
+            self.telemetry,
+        );
         let mut report = match self.backend {
-            Backend::Functional => self.run_functional(model),
-            Backend::GateLevel => self.run_gate(model),
+            Backend::Functional => self.run_functional(model, &ctx),
+            Backend::GateLevel => self.run_gate(model, &ctx),
         }?;
-        report.elapsed_ms = start.elapsed().as_millis() as u64;
-        self.emit(&Progress::Finished {
-            simulated: report.simulated,
-            elapsed_ms: report.elapsed_ms,
-        });
+        ctx.finish(&mut report);
         Ok(report)
     }
 
@@ -320,7 +359,11 @@ impl CampaignSpec {
     }
 
     /// Dispatches to the functional classifier of `scdp-coverage`.
-    fn run_functional(&self, model: FaultModel) -> Result<CampaignReport, CampaignError> {
+    fn run_functional(
+        &self,
+        model: FaultModel,
+        ctx: &RunCtx,
+    ) -> Result<CampaignReport, CampaignError> {
         let s = &self.scenario;
         let kind = match s.op {
             Operator::Add => OperatorKind::Add,
@@ -358,7 +401,9 @@ impl CampaignSpec {
                 })
             }
         };
+        let sim = ctx.span("simulate");
         let result = builder.run();
+        sim.close();
         let selected = s.tech_index();
         let per_fault: Vec<FaultRecord> = result
             .per_fault
@@ -387,13 +432,15 @@ impl CampaignSpec {
             datapath: None,
             sequential: None,
             shard,
+            telemetry: None,
         })
     }
 
     /// Compiles the scenario's netlist and dispatches to the
     /// bit-parallel engine of `scdp-sim`.
-    fn run_gate(&self, model: FaultModel) -> Result<CampaignReport, CampaignError> {
+    fn run_gate(&self, model: FaultModel, ctx: &RunCtx) -> Result<CampaignReport, CampaignError> {
         let s = &self.scenario;
+        let compile = ctx.span("compile");
         let dp = match s.op {
             Operator::Add => self_checking_add_with(s.width, s.technique, s.realisation),
             Operator::Sub | Operator::Mul => self_checking(SelfCheckingSpec {
@@ -428,16 +475,16 @@ impl CampaignSpec {
             }
             _ => unreachable!("rejected by validate()"),
         };
-        self.emit(&Progress::NetlistCompiled {
-            name: dp.netlist.name().to_string(),
-            gates: dp.netlist.gate_count(),
-            faults: groups.len(),
-        });
         let engine = Engine::new(&dp.netlist);
+        compile.close();
+        ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
         let universe = groups.len() as u64;
         let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
             .plan(InputPlan::from_space(self.space))
             .drop_policy(self.drop);
+        if let Some(rec) = ctx.recorder() {
+            campaign = campaign.recorder(rec);
+        }
         if let Some(t) = self.threads {
             campaign = campaign.threads(t);
         }
@@ -461,7 +508,10 @@ impl CampaignSpec {
         campaign.check().map_err(|e| CampaignError::FaultSpec {
             message: e.to_string(),
         })?;
+        let sim = ctx.span("simulate");
         let summary = campaign.run();
+        sim.close();
+        let tally_span = ctx.span("tally");
         let selected = s.tech_index();
         let mut tally = Tally::default();
         tally.tech[selected as usize] = summary.tally;
@@ -475,6 +525,7 @@ impl CampaignSpec {
                 dropped_after: f.dropped_after,
             })
             .collect();
+        tally_span.close();
         Ok(CampaignReport {
             scenario: *s,
             backend: Backend::GateLevel,
@@ -489,6 +540,7 @@ impl CampaignSpec {
             datapath: None,
             sequential: None,
             shard,
+            telemetry: None,
         })
     }
 }
@@ -587,6 +639,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn observer_sees_start_netlist_and_finish() {
         let events = Arc::new(AtomicUsize::new(0));
         let seen = events.clone();
@@ -611,6 +664,47 @@ mod tests {
             .unwrap();
         assert!(r.total_situations() > 0);
         assert_eq!(events.load(Ordering::SeqCst), 111);
+    }
+
+    #[test]
+    fn event_sink_sees_lifecycle_and_spans() {
+        use scdp_obs::ObsEvent;
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let tap = Arc::clone(&seen);
+        let sink: EventSink = Arc::new(move |e: &ObsEvent| {
+            tap.lock().unwrap().push(e.kind().to_string());
+        });
+        let r = Scenario::new(Operator::Add, 2)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .events(sink)
+            .telemetry(true)
+            .run()
+            .unwrap();
+        let kinds = seen.lock().unwrap().clone();
+        assert_eq!(kinds.first().map(String::as_str), Some("campaign_started"));
+        assert!(kinds.contains(&"netlist_compiled".to_string()));
+        assert!(
+            kinds.iter().filter(|k| *k == "span").count() >= 4,
+            "compile/simulate/tally/root spans expected, got {kinds:?}"
+        );
+        assert_eq!(kinds.last().map(String::as_str), Some("campaign_finished"));
+        let tel = r.telemetry.as_ref().expect("telemetry requested");
+        assert!(tel.span("campaign/simulate").is_some());
+        assert_eq!(tel.counter("engine.faults"), Some(r.fault_count()));
+        assert_eq!(tel.counter("engine.situations"), Some(r.simulated));
+    }
+
+    #[test]
+    fn reports_without_telemetry_stay_plain() {
+        let r = Scenario::new(Operator::Add, 2)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .run()
+            .unwrap();
+        assert!(r.telemetry.is_none(), "telemetry is opt-in");
+        assert!(!r.to_json().contains("\"telemetry\""));
     }
 
     #[test]

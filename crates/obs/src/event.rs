@@ -1,0 +1,257 @@
+//! The unified structured event stream.
+//!
+//! One [`ObsEvent`] type replaces the old per-spec `Progress` enum:
+//! all three campaign spec shapes emit the same lifecycle events, the
+//! shard runner adds shard progress, and closing [`Span`](crate::Span)s
+//! emit timing — so a single [`EventSink`] (a JSONL trace file, a live
+//! stderr renderer, a test probe) observes an entire sharded campaign
+//! through one channel.
+//!
+//! The JSONL form (`to_json_line`) is the stable `--trace` file
+//! format: one object per line, field `"event"` first carrying the
+//! [`ObsEvent::kind`] tag.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A fan-out target for [`ObsEvent`]s. Sinks must tolerate concurrent
+/// calls (shards run on worker threads).
+pub type EventSink = Arc<dyn Fn(&ObsEvent) + Send + Sync>;
+
+/// One structured campaign event.
+///
+/// Labels are plain strings (`backend`, `fault_model`, shard `state`)
+/// rather than the campaign crate's enums — this crate sits below
+/// `scdp-campaign` and the stable label vocabulary
+/// (`functional`/`gate_level`, `fa_functional`/…, `ran`/`resumed`)
+/// already exists for the report schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A campaign run began.
+    CampaignStarted {
+        /// Backend label (e.g. `functional`).
+        backend: String,
+        /// Fault-model label (e.g. `fa_gate`).
+        fault_model: String,
+    },
+    /// The gate-level netlist was compiled (gate-level backends only).
+    NetlistCompiled {
+        /// Netlist name.
+        name: String,
+        /// Gate count.
+        gates: u64,
+        /// Fault-universe size.
+        faults: u64,
+    },
+    /// A campaign run completed.
+    CampaignFinished {
+        /// Situations simulated.
+        simulated: u64,
+        /// Wall-clock milliseconds (from the root span).
+        elapsed_ms: u64,
+    },
+    /// A [`Span`](crate::Span) closed.
+    SpanClosed {
+        /// Hierarchical span path.
+        path: String,
+        /// Wall-clock nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A shard began executing (or resuming) under the runner.
+    ShardStarted {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Total shard count.
+        of: u32,
+        /// Faults covered by the shard.
+        faults: u64,
+    },
+    /// A shard finished under the runner.
+    ShardFinished {
+        /// Shard index (0-based).
+        shard: u32,
+        /// Total shard count.
+        of: u32,
+        /// `ran` for a fresh execution, `resumed` for a checkpoint
+        /// hit.
+        state: String,
+        /// Faults covered by the shard.
+        faults: u64,
+        /// Faults the shard detected.
+        detected: u64,
+        /// Faults the shard dropped before exhausting their inputs.
+        dropped: u64,
+        /// Situations simulated by the shard.
+        simulated: u64,
+        /// Shard wall-clock milliseconds (0 for resumed shards).
+        elapsed_ms: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The stable tag written as the JSONL `"event"` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::CampaignStarted { .. } => "campaign_started",
+            ObsEvent::NetlistCompiled { .. } => "netlist_compiled",
+            ObsEvent::CampaignFinished { .. } => "campaign_finished",
+            ObsEvent::SpanClosed { .. } => "span",
+            ObsEvent::ShardStarted { .. } => "shard_started",
+            ObsEvent::ShardFinished { .. } => "shard_finished",
+        }
+    }
+
+    /// Serialises the event as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":");
+        write_json_string(&mut out, self.kind());
+        match self {
+            ObsEvent::CampaignStarted {
+                backend,
+                fault_model,
+            } => {
+                out.push_str(",\"backend\":");
+                write_json_string(&mut out, backend);
+                out.push_str(",\"fault_model\":");
+                write_json_string(&mut out, fault_model);
+            }
+            ObsEvent::NetlistCompiled {
+                name,
+                gates,
+                faults,
+            } => {
+                out.push_str(",\"name\":");
+                write_json_string(&mut out, name);
+                let _ = write!(out, ",\"gates\":{gates},\"faults\":{faults}");
+            }
+            ObsEvent::CampaignFinished {
+                simulated,
+                elapsed_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"simulated\":{simulated},\"elapsed_ms\":{elapsed_ms}"
+                );
+            }
+            ObsEvent::SpanClosed { path, elapsed_ns } => {
+                out.push_str(",\"path\":");
+                write_json_string(&mut out, path);
+                let _ = write!(out, ",\"elapsed_ns\":{elapsed_ns}");
+            }
+            ObsEvent::ShardStarted { shard, of, faults } => {
+                let _ = write!(out, ",\"shard\":{shard},\"of\":{of},\"faults\":{faults}");
+            }
+            ObsEvent::ShardFinished {
+                shard,
+                of,
+                state,
+                faults,
+                detected,
+                dropped,
+                simulated,
+                elapsed_ms,
+            } => {
+                let _ = write!(out, ",\"shard\":{shard},\"of\":{of},\"state\":");
+                write_json_string(&mut out, state);
+                let _ = write!(
+                    out,
+                    ",\"faults\":{faults},\"detected\":{detected},\"dropped\":{dropped},\
+                     \"simulated\":{simulated},\"elapsed_ms\":{elapsed_ms}"
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (quotes, escapes).
+///
+/// Public because the CLI's trace writer reuses it for ad-hoc fields.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let e = ObsEvent::SpanClosed {
+            path: "campaign/simulate".into(),
+            elapsed_ns: 5,
+        };
+        assert_eq!(e.kind(), "span");
+        assert_eq!(
+            e.to_json_line(),
+            "{\"event\":\"span\",\"path\":\"campaign/simulate\",\"elapsed_ns\":5}"
+        );
+    }
+
+    #[test]
+    fn every_variant_serialises_with_its_kind_first() {
+        let events = [
+            ObsEvent::CampaignStarted {
+                backend: "functional".into(),
+                fault_model: "fa_functional".into(),
+            },
+            ObsEvent::NetlistCompiled {
+                name: "add4".into(),
+                gates: 40,
+                faults: 128,
+            },
+            ObsEvent::CampaignFinished {
+                simulated: 7,
+                elapsed_ms: 3,
+            },
+            ObsEvent::ShardStarted {
+                shard: 0,
+                of: 4,
+                faults: 32,
+            },
+            ObsEvent::ShardFinished {
+                shard: 0,
+                of: 4,
+                state: "ran".into(),
+                faults: 32,
+                detected: 30,
+                dropped: 5,
+                simulated: 512,
+                elapsed_ms: 9,
+            },
+        ];
+        for e in events {
+            let line = e.to_json_line();
+            assert!(
+                line.starts_with(&format!("{{\"event\":\"{}\"", e.kind())),
+                "{line}"
+            );
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,50 @@
+//! `scdp-obs` — the telemetry layer of the reproduction.
+//!
+//! Campaigns in this workspace range from a millisecond functional
+//! sweep to a million-cycle sharded sequential run; before this crate
+//! nobody could say where that time went, how fast faults dropped, or
+//! which shard straggled. This crate is the instrument panel: a
+//! zero-dependency, thread-safe set of primitives that every layer
+//! (engine hot loop, spec runner, shard orchestrator, CLI) records
+//! into, and a stable snapshot type the campaign report embeds.
+//!
+//! * [`Counter`] — a monotonic atomic counter.
+//! * [`Histogram`] — log2-bucketed value distribution (65 buckets
+//!   cover the full `u64` range).
+//! * [`Span`] — a hierarchical wall-clock timer; closing a span folds
+//!   its duration into the owning [`Recorder`] under its `a/b/c` path
+//!   and optionally emits an [`ObsEvent::SpanClosed`] to a sink.
+//! * [`Recorder`] — the registry; [`Recorder::snapshot`] freezes it
+//!   into a [`TelemetrySnapshot`].
+//! * [`TelemetrySnapshot`] — plain, ordered, mergeable data; the
+//!   `telemetry` section of campaign reports.
+//! * [`ObsEvent`] / [`EventSink`] — the unified structured event
+//!   stream (campaign lifecycle, span closures, shard progress) with a
+//!   stable JSONL serialisation for `--trace` files.
+//!
+//! # Determinism contract
+//!
+//! Counter and histogram names that do **not** end in `_ns` are
+//! *count-typed*: their values must be independent of the thread count
+//! and of sharding (a merged sharded run equals the unsharded run).
+//! Names ending in `_ns` carry wall-clock nanoseconds and are exempt.
+//! [`TelemetrySnapshot::deterministic_counters`] selects the former;
+//! the campaign test-suite enforces the contract on it.
+//!
+//! The crate is deliberately free of dependencies — it sits *below*
+//! `scdp-campaign` (whose report embeds the snapshot), so it carries
+//! its own minimal JSONL writer rather than using `campaign::json`.
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod snapshot;
+
+pub use event::{write_json_string, EventSink, ObsEvent};
+pub use metrics::{bucket_floor, bucket_of, Counter, Histogram, HISTOGRAM_BUCKETS};
+pub use recorder::{Recorder, Span};
+pub use snapshot::{
+    BucketCount, CounterSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot,
+};

@@ -1,0 +1,169 @@
+//! The two scalar instruments: monotonic counters and log2-bucketed
+//! histograms. Both are lock-free (`Relaxed` atomics — telemetry wants
+//! cheap increments, not cross-metric ordering) and shared by `Arc`
+//! between the [`Recorder`](crate::Recorder) and the hot loops that
+//! increment them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `k >= 1` holds values in `[2^(k-1), 2^k)`, so 65 buckets cover the
+/// full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The log2 bucket index of `value` (0 for 0, `k` for
+/// `2^(k-1) <= value < 2^k`).
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The smallest value falling into bucket `index` (the inverse of
+/// [`bucket_of`] on bucket lower bounds). Used by trace summaries to
+/// label buckets.
+#[must_use]
+pub fn bucket_floor(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        k => 1u64 << (k - 1),
+    }
+}
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed distribution of `u64` samples.
+///
+/// Power-of-two buckets keep recording branch-free and the snapshot
+/// small regardless of the value range — detection latencies span six
+/// orders of magnitude between a combinational sweep and a
+/// million-cycle sequential campaign.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The count in bucket `index` (0 for out-of-range indices).
+    #[must_use]
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets
+            .get(index)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The non-empty `(bucket, count)` pairs in bucket order.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.bucket(i);
+                (n > 0).then_some((u32::try_from(i).expect("bucket index fits u32"), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for k in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(k)), k, "floor of bucket {k}");
+        }
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_records_and_lists_nonzero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,278 @@
+//! The [`Recorder`] registry and its hierarchical [`Span`] timer.
+
+use crate::event::{EventSink, ObsEvent};
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Accumulated closures of one span path.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+}
+
+/// The telemetry registry: named counters, histograms, and span
+/// accumulators, snapshot on demand.
+///
+/// Instruments are interned on first use and shared by `Arc`, so hot
+/// loops resolve a name once and then increment lock-free. The
+/// registry maps are `BTreeMap`s behind mutexes — snapshots come out
+/// name-ordered without a sort, and registration is far off any hot
+/// path.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Recorder {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// The counter registered under `name`, created zeroed on first
+    /// use. Names not ending in `_ns` must be thread-count and
+    /// sharding invariant (see the crate-level determinism contract).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram registered under `name`, created empty on first
+    /// use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Convenience: adds `n` to the counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: records `value` into the histogram `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Folds one closed span into the accumulator for `path`.
+    fn record_span(&self, path: &str, elapsed_ns: u64) {
+        let mut map = self.spans.lock().expect("span registry poisoned");
+        let stat = map.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+    }
+
+    /// Opens a root span named `path` on this recorder. The span emits
+    /// [`ObsEvent::SpanClosed`] to `sink` (if any) when closed.
+    #[must_use]
+    pub fn span(self: &Arc<Self>, path: &str, sink: Option<EventSink>) -> Span {
+        Span {
+            recorder: Arc::clone(self),
+            path: path.to_string(),
+            sink,
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    /// Freezes the registry into an ordered, mergeable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, c)| CounterSnapshot {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                buckets: h
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(bucket, count)| crate::BucketCount { bucket, count })
+                    .collect(),
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(path, stat)| SpanSnapshot {
+                path: path.clone(),
+                count: stat.count,
+                total_ns: stat.total_ns,
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+}
+
+/// A hierarchical wall-clock timer.
+///
+/// Spans form a tree through [`Span::child`]; a child's path is
+/// `parent_path/name`. Closing (explicitly via [`Span::close`] or
+/// implicitly on drop) folds the elapsed time into the recorder under
+/// the path and emits a [`ObsEvent::SpanClosed`] to the sink the span
+/// was opened with. Explicit closing returns the elapsed nanoseconds,
+/// which is how campaign reports derive `elapsed_ms` from the root
+/// span instead of patching it in afterwards.
+pub struct Span {
+    recorder: Arc<Recorder>,
+    path: String,
+    sink: Option<EventSink>,
+    start: Instant,
+    closed: bool,
+}
+
+impl Span {
+    /// The full `a/b/c` path of this span.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Opens a child span `self.path/name` sharing this span's
+    /// recorder and sink.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            recorder: Arc::clone(&self.recorder),
+            path: format!("{}/{name}", self.path),
+            sink: self.sink.clone(),
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    /// Nanoseconds since the span opened (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Closes the span and returns its elapsed nanoseconds.
+    pub fn close(mut self) -> u64 {
+        self.finish()
+    }
+
+    /// Runs `f` inside a child span (closed when `f` returns).
+    pub fn scope<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let child = self.child(name);
+        let out = f();
+        child.close();
+        out
+    }
+
+    fn finish(&mut self) -> u64 {
+        if self.closed {
+            return 0;
+        }
+        self.closed = true;
+        let elapsed_ns = self.elapsed_ns();
+        self.recorder.record_span(&self.path, elapsed_ns);
+        if let Some(sink) = &self.sink {
+            sink(&ObsEvent::SpanClosed {
+                path: self.path.clone(),
+                elapsed_ns,
+            });
+        }
+        elapsed_ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn instruments_are_interned_and_snapshots_sorted() {
+        let r = Recorder::new();
+        r.add("b.second", 2);
+        r.add("a.first", 1);
+        r.counter("a.first").add(9);
+        r.record("lat", 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        assert_eq!(snap.counters[0].name, "a.first");
+        assert_eq!(snap.counters[0].value, 10);
+        assert_eq!(snap.counters[1].value, 2);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(
+            snap.histograms[0].buckets,
+            vec![crate::BucketCount {
+                bucket: 2,
+                count: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn spans_nest_accumulate_and_emit() {
+        let r = Arc::new(Recorder::new());
+        let events = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&events);
+        let sink: EventSink = Arc::new(move |e| {
+            if matches!(e, ObsEvent::SpanClosed { .. }) {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let root = r.span("campaign", Some(sink));
+        root.scope("simulate", || std::hint::black_box(7));
+        let child = root.child("tally");
+        assert_eq!(child.path(), "campaign/tally");
+        child.close();
+        let ns = root.close();
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 3);
+        assert_eq!(snap.spans[0].path, "campaign");
+        assert_eq!(snap.spans[0].count, 1);
+        assert_eq!(snap.spans[0].total_ns, ns);
+        assert_eq!(snap.spans[1].path, "campaign/simulate");
+        assert_eq!(snap.spans[2].path, "campaign/tally");
+        assert_eq!(events.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn dropping_a_span_closes_it_once() {
+        let r = Arc::new(Recorder::new());
+        {
+            let s = r.span("only", None);
+            drop(s);
+        }
+        let s = r.span("only", None);
+        s.close();
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].count, 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! The frozen, mergeable form of a [`Recorder`](crate::Recorder):
+//! plain ordered data, embedded by `scdp-campaign` as the `telemetry`
+//! report section and aggregated across shards by report merge.
+
+/// One counter at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name (`_ns` suffix marks wall-clock values exempt
+    /// from the determinism contract).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Log2 bucket index (see [`bucket_floor`](crate::bucket_floor)).
+    pub bucket: u32,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// One histogram at snapshot time (non-empty buckets only, in bucket
+/// order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Non-empty `(bucket, count)` pairs.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Accumulated closures of one span path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Hierarchical `a/b/c` path.
+    pub path: String,
+    /// Number of closures.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across closures.
+    pub total_ns: u64,
+}
+
+/// A frozen telemetry registry: name-ordered counters, histograms,
+/// and span accumulators.
+///
+/// The ordering invariant (counters, histograms by `name`; spans by
+/// `path`; buckets by index) is established by
+/// [`Recorder::snapshot`](crate::Recorder::snapshot) and preserved by
+/// [`TelemetrySnapshot::merge`], which is what makes the report
+/// serialisation byte-stable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Counters, ordered by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms, ordered by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span accumulators, ordered by path.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// The value of counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The span accumulator at `path`, if present.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// The count-typed counters — every counter whose name does not
+    /// end in `_ns`. These are the values the determinism contract
+    /// covers: identical across thread counts, and shard-merged sums
+    /// equal the unsharded run's.
+    #[must_use]
+    pub fn deterministic_counters(&self) -> Vec<CounterSnapshot> {
+        self.counters
+            .iter()
+            .filter(|c| !c.name.ends_with("_ns"))
+            .cloned()
+            .collect()
+    }
+
+    /// Folds `other` into `self`: counters and span accumulators sum
+    /// by name/path, histograms sum bucket-wise. Ordering invariants
+    /// are preserved, so merging is associative and commutative on the
+    /// snapshot's serialised form.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for c in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|probe| probe.name.as_str().cmp(&c.name))
+            {
+                Ok(i) => self.counters[i].value += c.value,
+                Err(i) => self.counters.insert(i, c.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|probe| probe.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => merge_buckets(&mut self.histograms[i].buckets, &h.buckets),
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+        for s in &other.spans {
+            match self
+                .spans
+                .binary_search_by(|probe| probe.path.as_str().cmp(&s.path))
+            {
+                Ok(i) => {
+                    self.spans[i].count += s.count;
+                    self.spans[i].total_ns = self.spans[i].total_ns.saturating_add(s.total_ns);
+                }
+                Err(i) => self.spans.insert(i, s.clone()),
+            }
+        }
+    }
+}
+
+fn merge_buckets(into: &mut Vec<BucketCount>, from: &[BucketCount]) {
+    for b in from {
+        match into.binary_search_by_key(&b.bucket, |probe| probe.bucket) {
+            Ok(i) => into[i].count += b.count,
+            Err(i) => into.insert(i, *b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counters: &[(&str, u64)]) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: counters
+                .iter()
+                .map(|&(name, value)| CounterSnapshot {
+                    name: name.into(),
+                    value,
+                })
+                .collect(),
+            ..TelemetrySnapshot::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_order() {
+        let mut a = snap(&[("alpha", 1), ("gamma", 3)]);
+        let b = snap(&[("alpha", 9), ("beta", 2)]);
+        a.merge(&b);
+        let names: Vec<&str> = a.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        assert_eq!(a.counter("alpha"), Some(10));
+        assert_eq!(a.counter("beta"), Some(2));
+    }
+
+    #[test]
+    fn merge_sums_histograms_bucketwise_and_spans() {
+        let mut a = TelemetrySnapshot {
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                buckets: vec![BucketCount {
+                    bucket: 1,
+                    count: 2,
+                }],
+            }],
+            spans: vec![SpanSnapshot {
+                path: "root".into(),
+                count: 1,
+                total_ns: 100,
+            }],
+            ..TelemetrySnapshot::default()
+        };
+        let b = TelemetrySnapshot {
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                buckets: vec![
+                    BucketCount {
+                        bucket: 0,
+                        count: 5,
+                    },
+                    BucketCount {
+                        bucket: 1,
+                        count: 1,
+                    },
+                ],
+            }],
+            spans: vec![SpanSnapshot {
+                path: "root".into(),
+                count: 2,
+                total_ns: 50,
+            }],
+            ..TelemetrySnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.histograms[0].buckets,
+            vec![
+                BucketCount {
+                    bucket: 0,
+                    count: 5
+                },
+                BucketCount {
+                    bucket: 1,
+                    count: 3
+                },
+            ]
+        );
+        assert_eq!(a.spans[0].count, 3);
+        assert_eq!(a.spans[0].total_ns, 150);
+    }
+
+    #[test]
+    fn deterministic_counters_drop_ns_names() {
+        let s = snap(&[("engine.batches", 4), ("engine.busy_ns", 999)]);
+        let det = s.deterministic_counters();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].name, "engine.batches");
+        assert!(!s.is_empty());
+        assert!(TelemetrySnapshot::default().is_empty());
+    }
+}

@@ -7,7 +7,10 @@ use crate::par;
 use scdp_coverage::TechTally;
 use scdp_netlist::gen::SelfCheckingDatapath;
 use scdp_netlist::StuckAtLine;
+use scdp_obs::Recorder;
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// When a fault leaves the simulated universe.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -89,6 +92,7 @@ pub struct EngineCampaign<'a> {
     drop: DropPolicy,
     threads: usize,
     range: Option<Range<usize>>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<'a> EngineCampaign<'a> {
@@ -109,6 +113,7 @@ impl<'a> EngineCampaign<'a> {
             drop: DropPolicy::Never,
             threads: par::default_threads(),
             range: None,
+            recorder: None,
         }
     }
 
@@ -152,6 +157,17 @@ impl<'a> EngineCampaign<'a> {
     #[must_use]
     pub fn fault_range(mut self, range: Range<usize>) -> Self {
         self.range = Some(range);
+        self
+    }
+
+    /// Attaches a telemetry recorder. The driver then counts fault
+    /// groups, per-fault batch evaluations, dropped faults and
+    /// simulated situations under `engine.*` (all thread-count and
+    /// shard invariant), plus per-worker busy time under
+    /// `engine.busy_ns`.
+    #[must_use]
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -217,11 +233,13 @@ impl<'a> EngineCampaign<'a> {
     /// Simulates one contiguous chunk of the fault universe on the
     /// calling thread (PPSFP inner loop).
     fn run_chunk(&self, chunk: &[Vec<StuckAtLine>]) -> Vec<FaultOutcome> {
+        let busy = Instant::now();
         let engine = self.engine;
         let mut outcomes: Vec<FaultOutcome> = vec![FaultOutcome::default(); chunk.len()];
         let mut live: Vec<usize> = (0..chunk.len()).collect();
         let mut good = Vec::new();
         let mut faulty = Vec::new();
+        let mut batch_evals = 0u64;
         for batch in self.plan.stream(engine.input_bits()) {
             if live.is_empty() {
                 break;
@@ -233,6 +251,7 @@ impl<'a> EngineCampaign<'a> {
                 "good machine must be alarm-free"
             );
             let drop = self.drop;
+            batch_evals += live.len() as u64;
             live.retain(|&k| {
                 engine.eval_batch_into(&batch, &chunk[k], &mut faulty);
                 let v = engine.compare(&good, &faulty, batch.mask());
@@ -255,8 +274,40 @@ impl<'a> EngineCampaign<'a> {
                 !decided
             });
         }
+        if let Some(rec) = &self.recorder {
+            record_chunk_telemetry(rec, "engine", &outcomes, batch_evals, &busy);
+        }
         outcomes
     }
+}
+
+/// Flushes one chunk's telemetry into `rec` under the `prefix.*`
+/// namespace. Shared by the combinational and sequential drivers; one
+/// flush per chunk keeps the atomics entirely off the inner loop.
+pub(crate) fn record_chunk_telemetry(
+    rec: &Recorder,
+    prefix: &str,
+    outcomes: &[FaultOutcome],
+    batch_evals: u64,
+    busy: &Instant,
+) {
+    let hist = rec.histogram(&format!("{prefix}.fault_situations"));
+    let mut dropped = 0u64;
+    let mut situations = 0u64;
+    for o in outcomes {
+        let total = o.tally.total();
+        situations += total;
+        dropped += u64::from(o.dropped_after.is_some());
+        hist.record(total);
+    }
+    rec.add(&format!("{prefix}.faults"), outcomes.len() as u64);
+    rec.add(&format!("{prefix}.fault_batches"), batch_evals);
+    rec.add(&format!("{prefix}.faults_dropped"), dropped);
+    rec.add(&format!("{prefix}.situations"), situations);
+    rec.add(
+        &format!("{prefix}.busy_ns"),
+        u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
 }
 
 /// Summary of one gate-level cross-validation campaign.
@@ -401,6 +452,45 @@ mod tests {
              ({} vs {})",
             dropped.simulated,
             full.simulated
+        );
+    }
+
+    #[test]
+    fn telemetry_counters_are_thread_invariant() {
+        let dp = add_dp(5, Technique::Both);
+        let engine = Engine::new(&dp.netlist);
+        let mut groups = Vec::new();
+        for site in dp.local_sites() {
+            for value in [false, true] {
+                groups.push(dp.correlated_fault(site, value));
+            }
+        }
+        let run = |threads: usize| {
+            let rec = Arc::new(Recorder::new());
+            let summary = EngineCampaign::over(&engine, groups.clone())
+                .drop_policy(DropPolicy::OnDetect)
+                .threads(threads)
+                .recorder(Arc::clone(&rec))
+                .run();
+            (summary, rec.snapshot())
+        };
+        let (s1, t1) = run(1);
+        let (s4, t4) = run(4);
+        assert_eq!(t1.deterministic_counters(), t4.deterministic_counters());
+        assert_eq!(t1.histograms, t4.histograms);
+        assert_eq!(t1.counter("engine.faults"), Some(groups.len() as u64));
+        assert_eq!(t1.counter("engine.situations"), Some(s1.simulated));
+        assert_eq!(s1.simulated, s4.simulated);
+        let dropped = s1
+            .per_fault
+            .iter()
+            .filter(|f| f.dropped_after.is_some())
+            .count() as u64;
+        assert_eq!(t1.counter("engine.faults_dropped"), Some(dropped));
+        assert!(t1.counter("engine.busy_ns").is_some(), "busy time recorded");
+        assert!(
+            t1.counter("engine.fault_batches").unwrap() > 0,
+            "batch evaluations recorded"
         );
     }
 

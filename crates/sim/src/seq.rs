@@ -475,6 +475,7 @@ pub struct SeqCampaign<'a> {
     drop: crate::DropPolicy,
     threads: usize,
     range: Option<Range<usize>>,
+    recorder: Option<std::sync::Arc<scdp_obs::Recorder>>,
 }
 
 impl<'a> SeqCampaign<'a> {
@@ -496,6 +497,7 @@ impl<'a> SeqCampaign<'a> {
             drop: crate::DropPolicy::Never,
             threads: par::default_threads(),
             range: None,
+            recorder: None,
         }
     }
 
@@ -539,6 +541,17 @@ impl<'a> SeqCampaign<'a> {
     #[must_use]
     pub fn fault_range(mut self, range: Range<usize>) -> Self {
         self.range = Some(range);
+        self
+    }
+
+    /// Attaches a telemetry recorder. The driver then counts fault
+    /// groups, per-fault batch evaluations, dropped faults, simulated
+    /// situations and evaluated cycles under `seq.*` (all thread-count
+    /// and shard invariant), plus per-worker busy time under
+    /// `seq.busy_ns`.
+    #[must_use]
+    pub fn recorder(mut self, recorder: std::sync::Arc<scdp_obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -610,6 +623,7 @@ impl<'a> SeqCampaign<'a> {
     /// Simulates one contiguous chunk of the fault universe on the
     /// calling thread.
     fn run_chunk(&self, chunk: &[SeqFaultGroup]) -> Vec<SeqFaultOutcome> {
+        let busy = std::time::Instant::now();
         let engine = self.engine;
         let cycles = self.cycles;
         let mut outcomes: Vec<SeqFaultOutcome> = chunk
@@ -623,6 +637,7 @@ impl<'a> SeqCampaign<'a> {
         let mut good = Vec::new();
         let mut faulty = Vec::new();
         let mut state = Vec::new();
+        let mut batch_evals = 0u64;
         for batch in self.plan.stream(engine.input_bits()) {
             if live.is_empty() {
                 break;
@@ -632,6 +647,7 @@ impl<'a> SeqCampaign<'a> {
             let g = engine.run_batch_into(&batch, None, cycles, &mut good, &mut state);
             debug_assert_eq!(g.alarm, 0, "good machine must be alarm-free");
             let drop = self.drop;
+            batch_evals += live.len() as u64;
             live.retain(|&k| {
                 let mut v =
                     engine.run_batch_into(&batch, Some(&chunk[k]), cycles, &mut faulty, &mut state);
@@ -658,6 +674,12 @@ impl<'a> SeqCampaign<'a> {
                 }
                 !decided
             });
+        }
+        if let Some(rec) = &self.recorder {
+            let flat: Vec<FaultOutcome> = outcomes.iter().map(|o| o.outcome.clone()).collect();
+            crate::campaign::record_chunk_telemetry(rec, "seq", &flat, batch_evals, &busy);
+            let situations: u64 = flat.iter().map(|o| o.tally.total()).sum();
+            rec.add("seq.cycles_evaluated", situations * u64::from(cycles));
         }
         outcomes
     }
