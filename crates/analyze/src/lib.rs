@@ -1,0 +1,21 @@
+//! Static netlist analysis for self-checking data-paths.
+//!
+//! Two layers over [`scdp_netlist::Netlist`], both pure structural
+//! analysis (no simulation):
+//!
+//! * [`collapse`] — classic stuck-at fault-equivalence collapsing.
+//!   [`CollapsedUniverse`] maps every [`scdp_netlist::StuckAtLine`] to
+//!   an equivalence-class representative whose *complete faulty
+//!   function* matches, so campaign engines can simulate
+//!   representatives only and fan verdicts back out bit-identically
+//!   (`scdp-campaign`'s `.collapse(true)`).
+//! * [`lint()`] — structural sanity checks that catch elaboration bugs
+//!   (floating nets, combinational cycles, dead logic, alarms that can
+//!   never fire or never observe a region) before any vector runs;
+//!   surfaced on the CLI as `scdp lint`.
+
+pub mod collapse;
+pub mod lint;
+
+pub use collapse::{CollapsedGroups, CollapsedUniverse};
+pub use lint::{lint, Diagnostic, LintOptions, LintReport, Severity};

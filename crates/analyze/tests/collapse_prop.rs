@@ -1,0 +1,187 @@
+//! Seeded property tests: on random netlists, every collapsed line's
+//! faulty function must be *pointwise identical* to its
+//! representative's — the exact property `scdp-campaign` relies on to
+//! fan simulation verdicts back out bit-identically.
+
+use scdp_analyze::CollapsedUniverse;
+use scdp_netlist::{Netlist, NetlistBuilder, SeqStuckAt, StuckAtLine};
+use scdp_rng::{Rng, Xoshiro256StarStar};
+
+/// Builds a random flat (combinational) netlist: a DAG of random
+/// 1/2-input gates over random already-defined nets, plus a few
+/// constants, with a random subset of nets exported as outputs.
+fn random_flat(rng: &mut Xoshiro256StarStar) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_flat");
+    let width = 2 + rng.gen_range(4) as u32;
+    let mut nets = b.input_bus("in", width);
+    if rng.gen_bool() {
+        nets.push(b.constant(rng.gen_bool()));
+    }
+    let gates = 6 + rng.gen_range(20) as usize;
+    for _ in 0..gates {
+        let a = nets[rng.gen_range(nets.len() as u64) as usize];
+        let c = nets[rng.gen_range(nets.len() as u64) as usize];
+        let n = match rng.gen_range(8) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.xnor(a, c),
+            6 => b.not(a),
+            _ => b.buf(a),
+        };
+        nets.push(n);
+    }
+    // Export a random suffix so plenty of internal nets stay
+    // non-output (the interesting case for FFR chaining).
+    let keep = 1 + rng.gen_range(3) as usize;
+    let out: Vec<_> = nets[nets.len() - keep..].to_vec();
+    b.output("y", &out);
+    b.finish()
+}
+
+/// Random sequential netlist: same DAG plus a few Dffs whose D inputs
+/// are connected to late nets (exercising forward references).
+fn random_seq(rng: &mut Xoshiro256StarStar) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_seq");
+    let width = 2 + rng.gen_range(3) as u32;
+    let mut nets = b.input_bus("in", width);
+    let dffs: Vec<_> = (0..1 + rng.gen_range(3)).map(|_| b.dff()).collect();
+    nets.extend(&dffs);
+    let gates = 6 + rng.gen_range(16) as usize;
+    for _ in 0..gates {
+        let a = nets[rng.gen_range(nets.len() as u64) as usize];
+        let c = nets[rng.gen_range(nets.len() as u64) as usize];
+        let n = match rng.gen_range(8) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.xnor(a, c),
+            6 => b.not(a),
+            _ => b.buf(a),
+        };
+        nets.push(n);
+    }
+    for &q in &dffs {
+        let d = nets[nets.len() - 1 - rng.gen_range(4) as usize];
+        b.connect_dff(q, d);
+    }
+    let out: Vec<_> = nets[nets.len() - 2..].to_vec();
+    b.output("y", &out);
+    b.finish()
+}
+
+fn random_bits(rng: &mut Xoshiro256StarStar, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen_bool()).collect()
+}
+
+fn outputs_of(n: &Netlist, values: &[bool]) -> Vec<bool> {
+    n.outputs()
+        .iter()
+        .flat_map(|(_, bus)| bus.iter().map(|net| values[net.index()]))
+        .collect()
+}
+
+/// 64 random flat netlists × every line in the universe × 16 vectors:
+/// single-fault evaluation through the representative matches the
+/// original line on every output bit.
+#[test]
+fn collapsed_line_matches_representative_on_flat_netlists() {
+    let mut rng = Xoshiro256StarStar::from_seed(0x5cdb_0001);
+    for case in 0..64 {
+        let n = random_flat(&mut rng);
+        let cu = CollapsedUniverse::build(&n);
+        let lines = n.fault_lines();
+        assert!(cu.sites_after() <= cu.sites_before());
+        for &line in &lines {
+            let rep = cu.representative(line);
+            assert_eq!(cu.representative(rep), rep, "rep is a fixpoint");
+            if rep == line {
+                continue;
+            }
+            for _ in 0..16 {
+                let bits = random_bits(&mut rng, n.input_bits());
+                let a = outputs_of(&n, &n.eval_nets(&bits, &[line]));
+                let b = outputs_of(&n, &n.eval_nets(&bits, &[rep]));
+                assert_eq!(a, b, "case {case}: {line:?} vs rep {rep:?}");
+            }
+        }
+    }
+}
+
+/// Random multi-line groups: two groups with the same canonical form
+/// must have identical faulty functions (checked by evaluating both on
+/// random vectors); conflicting groups stay singleton classes.
+#[test]
+fn collapsed_groups_share_faulty_functions() {
+    let mut rng = Xoshiro256StarStar::from_seed(0x5cdb_0002);
+    for _ in 0..64 {
+        let n = random_flat(&mut rng);
+        let cu = CollapsedUniverse::build(&n);
+        let lines = n.fault_lines();
+        let groups: Vec<Vec<StuckAtLine>> = (0..24)
+            .map(|_| {
+                (0..1 + rng.gen_range(3))
+                    .map(|_| lines[rng.gen_range(lines.len() as u64) as usize])
+                    .collect()
+            })
+            .collect();
+        let cg = cu.collapse_groups(&groups);
+        assert_eq!(cg.class_of.len(), groups.len());
+        for (i, group) in groups.iter().enumerate() {
+            let rep_group = &cg.rep_groups[cg.class_of[i]];
+            for _ in 0..8 {
+                let bits = random_bits(&mut rng, n.input_bits());
+                let a = outputs_of(&n, &n.eval_nets(&bits, group));
+                let b = outputs_of(&n, &n.eval_nets(&bits, rep_group));
+                assert_eq!(a, b, "group {group:?} vs rep group {rep_group:?}");
+            }
+        }
+    }
+}
+
+/// Sequential variant: permanent and single-cycle-transient faults on
+/// random Dff-bearing netlists agree with their representatives across
+/// a multi-cycle evaluation.
+#[test]
+fn collapsed_line_matches_representative_on_seq_netlists() {
+    let mut rng = Xoshiro256StarStar::from_seed(0x5cdb_0003);
+    for case in 0..64 {
+        let n = random_seq(&mut rng);
+        let cu = CollapsedUniverse::build(&n);
+        let cycles = 3 + rng.gen_range(3) as u32;
+        for &line in &n.fault_lines() {
+            let rep = cu.representative(line);
+            if rep == line {
+                continue;
+            }
+            let faults = |l: StuckAtLine| -> Vec<SeqStuckAt> {
+                if rng_clone_bool(case) {
+                    vec![SeqStuckAt::permanent(l)]
+                } else {
+                    vec![SeqStuckAt::transient(l, case as u32 % cycles)]
+                }
+            };
+            for _ in 0..8 {
+                let bits = random_bits(&mut rng, n.input_bits());
+                let ta = n.eval_seq_nets(&bits, cycles, &faults(line));
+                let tb = n.eval_seq_nets(&bits, cycles, &faults(rep));
+                for (va, vb) in ta.iter().zip(&tb) {
+                    assert_eq!(
+                        outputs_of(&n, va),
+                        outputs_of(&n, vb),
+                        "case {case}: seq {line:?} vs rep {rep:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Alternate permanent/transient deterministically by case index.
+fn rng_clone_bool(case: usize) -> bool {
+    case % 2 == 0
+}

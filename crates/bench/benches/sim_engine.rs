@@ -9,6 +9,7 @@
 //! Benchmarks measure the engine layers directly, below the unified
 //! `scdp-campaign` surface, through the engine-room constructors.
 
+use scdp_analyze::CollapsedUniverse;
 use scdp_bench::{scalar_add_oracle, Bench};
 use scdp_core::{Operator, Technique};
 use scdp_netlist::gen::{self_checking, SelfCheckingSpec};
@@ -59,6 +60,30 @@ fn main() {
         )
     });
 
+    // Fault-equivalence collapsing on the same universe: simulate only
+    // class representatives and fan the verdicts back out. The wall
+    // clock must win by the gated `collapse_ratio` floor (bench_check:
+    // >= 1.3x) since the run cost is linear in the group count.
+    let cu = CollapsedUniverse::build(&dp.netlist);
+    let rep_groups = cu.collapse_groups(&groups).rep_groups;
+    let uncollapsed = bench.sample_elements("campaign_uncollapsed_w4", 10, situations, &mut || {
+        black_box(
+            EngineCampaign::over(&engine, groups.clone())
+                .threads(1)
+                .run()
+                .simulated,
+        )
+    });
+    let collapsed = bench.sample_elements("campaign_collapsed_w4", 10, situations, &mut || {
+        black_box(
+            EngineCampaign::over(&engine, rep_groups.clone())
+                .threads(1)
+                .run()
+                .simulated,
+        )
+    });
+    let collapse_ratio = uncollapsed / collapsed;
+
     // A width-8 engine-only run — infeasible on the scalar path inside a
     // bench budget, routine for the engine.
     let dp8 = self_checking(SelfCheckingSpec {
@@ -97,6 +122,12 @@ fn main() {
     bench.metric("parallel_threads", threads as f64);
     bench.metric("parallel_busy_fraction", busy_fraction);
     bench.metric("faults_per_sec", faults_per_sec);
+    eprintln!(
+        "collapse: {} -> {} groups, {collapse_ratio:.2}x campaign speedup",
+        groups.len(),
+        rep_groups.len()
+    );
+    bench.metric("collapse_ratio", collapse_ratio);
     bench.finish();
     assert!(
         speedup_1t >= 20.0,

@@ -173,7 +173,8 @@ pub struct CheckConfig {
 
 impl Default for CheckConfig {
     /// The committed gate: ±30% tolerance, combinational engine speedup
-    /// ≥ 100×, sequential engine speedup ≥ 8×.
+    /// ≥ 100×, sequential engine speedup ≥ 8×, fault-collapsed campaign
+    /// wall-clock win ≥ 1.3×.
     fn default() -> Self {
         Self {
             tolerance: 0.30,
@@ -181,6 +182,7 @@ impl Default for CheckConfig {
             metric_floors: vec![
                 ("speedup_1thread_vs_scalar".to_string(), 100.0),
                 ("seq_speedup_1thread_vs_scalar".to_string(), 8.0),
+                ("collapse_ratio".to_string(), 1.3),
             ],
         }
     }

@@ -43,6 +43,9 @@ const BARE_FLAGS: &[&str] = &[
     "--per-fu",
     "--progress",
     "--telemetry",
+    "--collapse",
+    "--strict",
+    "--json",
 ];
 
 const USAGE: &str = "\
@@ -54,6 +57,7 @@ USAGE:
   scdp validate FILE...
   scdp table (--dir DIR | FILE...)
   scdp sweep [--seq] [SCENARIO] [EXECUTION] [--report-dir DIR]
+  scdp lint [SCENARIO] [--strict] [--json]
   scdp trace summarize FILE...
 
 SCENARIO (pick an operator or a workload):
@@ -69,6 +73,16 @@ SCENARIO (pick an operator or a workload):
 EXECUTION:
   --samples N  --seed S  --monte-carlo  --exhaustive
   --threads N  --drop never|on-detect|on-escape
+  --collapse        simulate one representative per fault-equivalence
+                    class and fan verdicts back out (bit-identical
+                    reports, fewer simulated faults)
+
+LINT (scdp lint — static netlist analysis, no simulation):
+  lints the scenario's generated netlist (floating nets, combinational
+  cycles, dead logic, unreachable checker alarms) and reports the
+  fault-collapsing statistics; exits nonzero on lint errors
+  --strict          escalate waived findings to warnings
+  --json            machine-readable lint + collapse output
 
 SHARDING (scdp run):
   --shards N        partition the fault universe into N shards
@@ -111,6 +125,7 @@ pub fn run(raw: Vec<String>) -> i32 {
         "validate" => cmd_validate(&files),
         "table" => cmd_table(&args, &files),
         "sweep" => cmd_sweep(&args),
+        "lint" => cmd_lint(&args),
         "trace" => cmd_trace(&files),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -170,6 +185,7 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
         Allocation::SingleUnit
     };
 
+    let collapse = args.flag("--collapse");
     if let Some(workload) = args.value::<String>("--workload") {
         let source =
             DfgSource::from_label(&workload).ok_or(format!("unknown workload `{workload}`"))?;
@@ -200,7 +216,8 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
                     .duration(duration)
                     .input_space(space)
                     .drop_policy(drop)
-                    .threads(threads),
+                    .threads(threads)
+                    .collapse(collapse),
             ))
         } else {
             Ok(CampaignJob::Datapath(
@@ -208,7 +225,8 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
                     .campaign()
                     .input_space(space)
                     .drop_policy(drop)
-                    .threads(threads),
+                    .threads(threads)
+                    .collapse(collapse),
             ))
         }
     } else {
@@ -239,7 +257,8 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
                 .backend(backend)
                 .input_space(space)
                 .drop_policy(drop)
-                .threads(threads),
+                .threads(threads)
+                .collapse(collapse),
         ))
     }
 }
@@ -323,6 +342,95 @@ fn cmd_run(args: &CliArgs) -> Result<i32, String> {
         eprintln!("wrote {path}");
     }
     Ok(0)
+}
+
+/// `scdp lint` — static analysis of the scenario's generated netlist:
+/// structural lints plus the fault-collapsing statistics, without
+/// running a single simulation vector. Exits 1 when lint errors exist.
+fn cmd_lint(args: &CliArgs) -> Result<i32, String> {
+    use scdp_analyze::{lint, CollapsedUniverse, LintOptions};
+    use scdp_netlist::gen::{self_checking, self_checking_add_with, SelfCheckingSpec};
+
+    let width = args.width(4);
+    let technique = match args.value::<String>("--technique") {
+        None => Technique::Both,
+        Some(s) => technique_from_label(&s).ok_or(format!("unknown technique `{s}`"))?,
+    };
+    let netlist = if let Some(workload) = args.value::<String>("--workload") {
+        let source =
+            DfgSource::from_label(&workload).ok_or(format!("unknown workload `{workload}`"))?;
+        let style = match args.value::<String>("--style") {
+            None => SckStyle::Full,
+            Some(s) => style_from_label(&s).ok_or(format!("unknown style `{s}`"))?,
+        };
+        let allocation = if args.flag("--dedicated") {
+            Allocation::Dedicated
+        } else {
+            Allocation::SingleUnit
+        };
+        let scenario = DatapathScenario::new(source, width)
+            .technique(technique)
+            .style(style)
+            .allocation(allocation);
+        if args.flag("--seq") {
+            scenario.elaborate_seq().netlist
+        } else {
+            scenario.elaborate().netlist
+        }
+    } else {
+        let op_label = args
+            .value::<String>("--op")
+            .unwrap_or_else(|| "add".to_string());
+        let op = op_from_label(&op_label).ok_or(format!("unknown operator `{op_label}`"))?;
+        let realisation = match args.value::<String>("--realisation") {
+            None => scdp_netlist::gen::AdderRealisation::RippleCarry,
+            Some(r) => realisation_from_label(&r).ok_or(format!("unknown realisation `{r}`"))?,
+        };
+        match op {
+            scdp_core::Operator::Add => self_checking_add_with(width, technique, realisation),
+            scdp_core::Operator::Sub | scdp_core::Operator::Mul => {
+                self_checking(SelfCheckingSpec {
+                    op,
+                    technique,
+                    width,
+                })
+            }
+            scdp_core::Operator::Div => {
+                return Err("gate-level division checking is out of scope; \
+                            lint an add/sub/mul scenario or a --workload"
+                    .to_string())
+            }
+        }
+        .netlist
+    };
+
+    let report = lint(
+        &netlist,
+        &LintOptions {
+            strict: args.flag("--strict"),
+        },
+    );
+    let cu = CollapsedUniverse::build(&netlist);
+    if args.flag("--json") {
+        println!(
+            "{{\"lint\": {}, \"collapse\": {{\"sites_before\": {}, \"sites_after\": {}, \
+             \"classes\": {}, \"ratio\": {:.4}}}}}",
+            report.to_json(),
+            cu.sites_before(),
+            cu.sites_after(),
+            cu.classes(),
+            cu.ratio(),
+        );
+    } else {
+        print!("{}", report.render());
+        println!(
+            "collapse: {} stuck-at lines -> {} equivalence classes (ratio {:.3})",
+            cu.sites_before(),
+            cu.sites_after(),
+            cu.ratio(),
+        );
+    }
+    Ok(i32::from(report.errors() > 0))
 }
 
 /// `scdp trace summarize FILE...` — fold a `--trace` JSONL file back
@@ -590,6 +698,7 @@ fn print_per_fu(dp: &scdp_campaign::DatapathDetails) {
 /// duration axis) binaries.
 fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
     let seq = args.flag("--seq");
+    let collapse = args.flag("--collapse");
     let width = args.width(3).clamp(1, 16);
     let samples = args.samples(1024);
     let seed = args.seed();
@@ -666,6 +775,7 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                         .duration(duration)
                         .input_space(space)
                         .threads(threads)
+                        .collapse(collapse)
                         .run_on(&machine)
                         .map_err(|e| e.to_string())?;
                     let details = report.sequential.as_ref().expect("sequential section");
@@ -698,6 +808,7 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                     .campaign()
                     .input_space(space)
                     .threads(threads)
+                    .collapse(collapse)
                     .run()
                     .map_err(|e| e.to_string())?;
                 let details = report.datapath.as_ref().expect("datapath section");
@@ -784,6 +895,51 @@ mod tests {
             }
             other => panic!("expected sequential job, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_verb_runs_over_scenarios_and_workloads() {
+        assert_eq!(run(strings(&["lint", "--op", "add", "--width", "3"])), 0);
+        assert_eq!(
+            run(strings(&[
+                "lint",
+                "--workload",
+                "dot",
+                "--width",
+                "2",
+                "--seq",
+                "--json"
+            ])),
+            0
+        );
+        assert_eq!(run(strings(&["lint", "--workload", "nope"])), 1);
+        assert_eq!(run(strings(&["lint", "--op", "div"])), 1);
+    }
+
+    #[test]
+    fn collapse_flag_reaches_the_job_and_preserves_results() {
+        let scenario = strings(&[
+            "--workload",
+            "dot",
+            "--width",
+            "2",
+            "--samples",
+            "64",
+            "--threads",
+            "2",
+        ]);
+        let mut with = scenario.clone();
+        with.push("--collapse".to_string());
+        let plain = job_from_args(&CliArgs::from_vec(scenario))
+            .expect("job")
+            .run()
+            .expect("runs");
+        let collapsed = job_from_args(&CliArgs::from_vec(with))
+            .expect("job")
+            .run()
+            .expect("runs");
+        assert!(plain.same_results(&collapsed));
+        assert_eq!(plain.per_fault, collapsed.per_fault);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Shared collapse plumbing for the three spec shapes.
+//!
+//! `.collapse(true)` must leave every report *bit-identical* to the
+//! uncollapsed run, so the integration is deliberately uniform across
+//! `CampaignSpec`, `DatapathCampaignSpec` and `SeqDatapathCampaignSpec`:
+//!
+//! 1. build the [`CollapsedUniverse`] of the compiled netlist and
+//!    canonicalise the campaign's fault groups;
+//! 2. simulate **one representative group per class** that intersects
+//!    the run's covered range (the whole universe, or the shard's
+//!    slice) — representatives are passed as explicit groups, never via
+//!    `fault_range`, so a class whose representative lives outside the
+//!    shard still simulates;
+//! 3. fan each representative's verdict back out to every covered
+//!    member and recompute the aggregate tallies from the fanned rows.
+//!
+//! Step 3 is sound because the PPSFP engines replay the exact same
+//! deterministic batch stream for every fault group: a group's outcome
+//! depends only on its faulty circuit function, which canonicalisation
+//! preserves (see `scdp_analyze::collapse`). Sharding composes for the
+//! same reason — collapse-then-shard and shard-then-collapse both
+//! reduce to "each covered index gets its class verdict".
+
+use scdp_analyze::CollapsedUniverse;
+use scdp_netlist::{Netlist, StuckAtLine};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Which representative groups to simulate for one (possibly sharded)
+/// collapsed run, and how to fan verdicts back out.
+pub(crate) struct CollapsePlan {
+    /// Representative groups to hand to the engine, in first-use order.
+    pub rep_groups: Vec<Vec<StuckAtLine>>,
+    /// `slot_of[i]` — index into `rep_groups` (and thus into the
+    /// engine's `per_fault`) for the `i`-th *covered* original group.
+    pub slot_of: Vec<usize>,
+    /// Classes over the full group universe (telemetry:
+    /// `collapse.classes`).
+    pub classes_total: usize,
+}
+
+impl CollapsePlan {
+    /// Canonicalises `groups` against `netlist` and selects the
+    /// representatives needed to cover `covered` (a range of original
+    /// group indices).
+    pub(crate) fn build(
+        netlist: &Netlist,
+        groups: &[Vec<StuckAtLine>],
+        covered: Range<u64>,
+    ) -> CollapsePlan {
+        let cu = CollapsedUniverse::build(netlist);
+        let cg = cu.collapse_groups(groups);
+        let mut slot: HashMap<usize, usize> = HashMap::new();
+        let mut rep_groups = Vec::new();
+        let mut slot_of = Vec::with_capacity((covered.end - covered.start) as usize);
+        for i in covered {
+            let class = cg.class_of[i as usize];
+            let s = *slot.entry(class).or_insert_with(|| {
+                rep_groups.push(cg.rep_groups[class].clone());
+                rep_groups.len() - 1
+            });
+            slot_of.push(s);
+        }
+        CollapsePlan {
+            rep_groups,
+            slot_of,
+            classes_total: cg.rep_groups.len(),
+        }
+    }
+}

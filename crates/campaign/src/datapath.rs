@@ -35,7 +35,7 @@
 
 use crate::error::CampaignError;
 use crate::obs::RunCtx;
-use crate::report::{drop_label, CampaignReport, DatapathDetails, FaultRecord, FuTally};
+use crate::report::{drop_label, CampaignReport, DatapathDetails, FuTally};
 use crate::scenario::{allocation_label, technique_label, Backend, FaultModel, Scenario};
 use crate::shard::{self, ShardInfo, ShardPlan};
 #[allow(deprecated)]
@@ -312,6 +312,10 @@ pub struct DatapathCampaignSpec {
     /// When `true`, the report carries a presence-driven `telemetry`
     /// section ([`scdp_obs::TelemetrySnapshot`]).
     pub telemetry: bool,
+    /// When `true`, simulate only one representative per
+    /// fault-equivalence class and fan verdicts back out (bit-identical
+    /// reports, smaller wall clock).
+    pub collapse: bool,
 }
 
 impl fmt::Debug for DatapathCampaignSpec {
@@ -325,6 +329,7 @@ impl fmt::Debug for DatapathCampaignSpec {
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
             .field("telemetry", &self.telemetry)
+            .field("collapse", &self.collapse)
             .finish()
     }
 }
@@ -343,6 +348,7 @@ impl DatapathCampaignSpec {
             observer: None,
             events: None,
             telemetry: false,
+            collapse: false,
         }
     }
 
@@ -415,6 +421,17 @@ impl DatapathCampaignSpec {
         self
     }
 
+    /// Simulates only one representative per fault-equivalence class
+    /// (static collapsing via `scdp-analyze`) and fans verdicts back
+    /// out. Reports — including per-FU tallies and shard slices — stay
+    /// bit-identical; excluded from the configuration fingerprint so
+    /// collapsed and uncollapsed checkpoints stay interchangeable.
+    #[must_use]
+    pub fn collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
+
     /// Validates the run knobs shared by [`DatapathCampaignSpec::run`]
     /// and [`DatapathCampaignSpec::run_on`].
     fn validate(&self) -> Result<(), CampaignError> {
@@ -434,11 +451,14 @@ impl DatapathCampaignSpec {
 
     /// Opens the run's observability context (post-validation).
     fn start_ctx(&self) -> RunCtx {
+        #[allow(deprecated)]
+        let legacy = self.observer.clone().map(|hook| {
+            crate::spec::observer_sink(hook, Backend::GateLevel, FaultModel::Structural)
+        });
         RunCtx::start(
             Backend::GateLevel,
             FaultModel::Structural,
-            self.events.clone(),
-            self.observer.clone(),
+            crate::spec::compose_sinks(self.events.clone(), legacy),
             self.telemetry,
         )
     }
@@ -499,22 +519,12 @@ impl DatapathCampaignSpec {
         ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
 
         let universe = groups.len() as u64;
-        let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
-            .plan(plan)
-            .drop_policy(self.drop);
-        if let Some(rec) = ctx.recorder() {
-            campaign = campaign.recorder(rec);
-        }
-        if let Some(t) = self.threads {
-            campaign = campaign.threads(t);
-        }
         let shard = match self.shard {
             None => None,
             Some((index, count)) => {
                 let sp = ShardPlan::new(universe, count)?;
                 sp.check_index(index)?;
                 let range = sp.range(index);
-                campaign = campaign.fault_range(range.start as usize..range.end as usize);
                 Some(ShardInfo {
                     index,
                     count,
@@ -525,26 +535,20 @@ impl DatapathCampaignSpec {
                 })
             }
         };
-        campaign.check().map_err(|e| CampaignError::FaultSpec {
-            message: e.to_string(),
-        })?;
-        let sim = ctx.span("simulate");
-        let summary = campaign.run();
-        sim.close();
+        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
+        let (per_fault, col, simulated) = crate::spec::run_gate_groups(
+            &ctx,
+            &dp.netlist,
+            &engine,
+            groups,
+            covered.clone(),
+            plan,
+            self.drop,
+            self.threads,
+            self.collapse,
+        )?;
 
         let tally_span = ctx.span("tally");
-        let per_fault: Vec<FaultRecord> = summary
-            .per_fault
-            .iter()
-            .map(|f| FaultRecord {
-                tally: f.tally,
-                detected: f.detected,
-                escaped: f.escaped,
-                dropped_after: f.dropped_after,
-            })
-            .collect();
-
-        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
         let per_fu: Vec<FuTally> = ranges
             .iter()
             .map(|r| {
@@ -579,7 +583,7 @@ impl DatapathCampaignSpec {
 
         let selected = s.tech_index();
         let mut tally = Tally::default();
-        tally.tech[selected as usize] = summary.tally;
+        tally.tech[selected as usize] = col;
         let details = DatapathDetails {
             source: s.source.label(),
             style: style_label(s.style).to_string(),
@@ -600,7 +604,7 @@ impl DatapathCampaignSpec {
             tally,
             filled: vec![selected],
             per_fault,
-            simulated: summary.simulated,
+            simulated,
             elapsed_ms: 0,
             datapath: Some(details),
             sequential: None,

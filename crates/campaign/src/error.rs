@@ -50,6 +50,12 @@ pub enum CampaignError {
         /// The backend that cannot drop faults.
         backend: Backend,
     },
+    /// Fault-equivalence collapsing needs a gate-level netlist to
+    /// analyse; the functional classifier has none.
+    UnsupportedCollapse {
+        /// The backend that cannot collapse.
+        backend: Backend,
+    },
     /// The structural realisation only applies to `+` datapaths.
     UnsupportedRealisation {
         /// The rejected realisation.
@@ -152,6 +158,13 @@ impl fmt::Display for CampaignError {
                     f,
                     "fault dropping is not supported on the {backend} backend \
                      (coverage classification needs every situation tallied)"
+                )
+            }
+            CampaignError::UnsupportedCollapse { backend } => {
+                write!(
+                    f,
+                    "fault collapsing is not supported on the {backend} backend \
+                     (no gate-level netlist to analyse)"
                 )
             }
             CampaignError::UnsupportedRealisation { realisation, op } => {

@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+mod collapse;
 mod datapath;
 mod error;
 pub mod json;

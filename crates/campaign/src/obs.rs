@@ -1,25 +1,22 @@
 //! Run-scoped observability: the one lifecycle/telemetry context
 //! behind every campaign spec shape.
 //!
-//! [`RunCtx`] owns the run's root [`Span`], its [`Recorder`], the
-//! structured [`EventSink`] and the deprecated
-//! [`Progress`](crate::Progress) observer. The three spec shapes
-//! (`CampaignSpec`, `DatapathCampaignSpec`, `SeqDatapathCampaignSpec`)
-//! used to duplicate the same `Instant::now()` → emit `Started` → run →
-//! patch `elapsed_ms` → emit `Finished` choreography; they now share
-//! it here, which makes two things impossible by construction:
+//! [`RunCtx`] owns the run's root [`Span`], its [`Recorder`] and the
+//! structured [`EventSink`]. The three spec shapes (`CampaignSpec`,
+//! `DatapathCampaignSpec`, `SeqDatapathCampaignSpec`) used to duplicate
+//! the same `Instant::now()` → emit `Started` → run → patch
+//! `elapsed_ms` → emit `Finished` choreography; they now share it here,
+//! which makes it impossible by construction for a report to escape
+//! with the `elapsed_ms: 0` placeholder — the only writer of
+//! `elapsed_ms` is [`RunCtx::finish`], deriving it from the root span.
 //!
-//! * a report escaping with the `elapsed_ms: 0` placeholder — the only
-//!   writer of `elapsed_ms` is [`RunCtx::finish`], deriving it from the
-//!   root span;
-//! * the structured stream and the legacy observer drifting apart —
-//!   every lifecycle event goes through [`RunCtx::emit`], which fans
-//!   out to both.
+//! The deprecated `Progress` observer no longer flows through here: the
+//! public shim in `spec.rs` wraps a legacy hook into an [`EventSink`]
+//! ([`crate::CampaignSpec::observer`] et al.), so this context only
+//! ever sees the structured stream.
 
 use crate::report::CampaignReport;
 use crate::scenario::{Backend, FaultModel};
-#[allow(deprecated)]
-use crate::spec::{Progress, ProgressHook};
 use scdp_obs::{EventSink, ObsEvent, Recorder, Span};
 use std::sync::Arc;
 
@@ -28,24 +25,17 @@ pub(crate) struct RunCtx {
     recorder: Arc<Recorder>,
     root: Option<Span>,
     sink: Option<EventSink>,
-    #[allow(deprecated)]
-    observer: Option<ProgressHook>,
     /// Embed a [`scdp_obs::TelemetrySnapshot`] in the finished report.
     record: bool,
-    backend: Backend,
-    fault_model: FaultModel,
 }
 
 impl RunCtx {
-    /// Opens the root span and emits `CampaignStarted` (and the legacy
-    /// `Progress::Started`). Call *after* validation so failed configs
-    /// never announce a run.
-    #[allow(deprecated)]
+    /// Opens the root span and emits `CampaignStarted`. Call *after*
+    /// validation so failed configs never announce a run.
     pub(crate) fn start(
         backend: Backend,
         fault_model: FaultModel,
         sink: Option<EventSink>,
-        observer: Option<ProgressHook>,
         record: bool,
     ) -> RunCtx {
         let recorder = Arc::new(Recorder::new());
@@ -54,10 +44,7 @@ impl RunCtx {
             recorder,
             root: Some(root),
             sink,
-            observer,
             record,
-            backend,
-            fault_model,
         };
         ctx.emit(&ObsEvent::CampaignStarted {
             backend: backend.label().to_string(),
@@ -80,7 +67,7 @@ impl RunCtx {
             .child(name)
     }
 
-    /// Emits `NetlistCompiled` on both channels.
+    /// Emits `NetlistCompiled`.
     pub(crate) fn netlist_compiled(&self, name: &str, gates: usize, faults: usize) {
         self.emit(&ObsEvent::NetlistCompiled {
             name: name.to_string(),
@@ -89,42 +76,24 @@ impl RunCtx {
         });
     }
 
-    /// Fans an event out to the structured sink and, translated, to the
-    /// deprecated progress observer.
-    #[allow(deprecated)]
+    /// Emits an event to the structured sink.
     pub(crate) fn emit(&self, event: &ObsEvent) {
         if let Some(sink) = &self.sink {
             sink(event);
         }
-        let Some(hook) = &self.observer else {
+    }
+
+    /// Records the collapse counters when telemetry is on:
+    /// `collapse.sites_before` (original fault-group universe),
+    /// `collapse.sites_after` (representative groups actually
+    /// simulated) and `collapse.classes`.
+    pub(crate) fn record_collapse(&self, before: usize, after: usize, classes: usize) {
+        let Some(rec) = self.recorder() else {
             return;
         };
-        let legacy = match event {
-            ObsEvent::CampaignStarted { .. } => Some(Progress::Started {
-                backend: self.backend,
-                fault_model: self.fault_model,
-            }),
-            ObsEvent::NetlistCompiled {
-                name,
-                gates,
-                faults,
-            } => Some(Progress::NetlistCompiled {
-                name: name.clone(),
-                gates: *gates as usize,
-                faults: *faults as usize,
-            }),
-            ObsEvent::CampaignFinished {
-                simulated,
-                elapsed_ms,
-            } => Some(Progress::Finished {
-                simulated: *simulated,
-                elapsed_ms: *elapsed_ms,
-            }),
-            _ => None,
-        };
-        if let Some(p) = legacy {
-            hook(&p);
-        }
+        rec.add("collapse.sites_before", before as u64);
+        rec.add("collapse.sites_after", after as u64);
+        rec.add("collapse.classes", classes as u64);
     }
 
     /// Ends the run: closes the root span, stamps `elapsed_ms` from it

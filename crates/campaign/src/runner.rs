@@ -88,6 +88,23 @@ impl CampaignJob {
         }
     }
 
+    /// Asks every run of this job to collapse the fault universe into
+    /// equivalence classes before simulation (results stay
+    /// bit-identical; see [`CampaignSpec::collapse`]). Collapsing is
+    /// excluded from the configuration fingerprint, so collapsed and
+    /// uncollapsed invocations share checkpoints.
+    ///
+    /// Note the operator shape rejects this on the functional backend
+    /// at run time ([`CampaignError::UnsupportedCollapse`]).
+    #[must_use]
+    pub fn collapse(self, enabled: bool) -> Self {
+        match self {
+            CampaignJob::Operator(spec) => CampaignJob::Operator(spec.collapse(enabled)),
+            CampaignJob::Datapath(spec) => CampaignJob::Datapath(spec.collapse(enabled)),
+            CampaignJob::Sequential(spec) => CampaignJob::Sequential(spec.collapse(enabled)),
+        }
+    }
+
     /// Asks every run of this job to embed a
     /// [`scdp_obs::TelemetrySnapshot`] in its report.
     #[must_use]

@@ -47,7 +47,7 @@ use scdp_hls::{bind, sched, BindOptions, ComponentLibrary};
 use scdp_netlist::gen::{class_label, elaborate_seq_datapath, SeqDatapath};
 use scdp_netlist::FaultDuration;
 use scdp_obs::EventSink;
-use scdp_sim::{DropPolicy, SeqCampaign, SeqEngine, SeqFaultGroup};
+use scdp_sim::{DropPolicy, SeqCampaign, SeqEngine, SeqFaultGroup, SeqFaultOutcome};
 use std::fmt;
 
 impl DatapathScenario {
@@ -98,6 +98,9 @@ pub struct SeqDatapathCampaignSpec {
     /// Restricts the run to one shard of the fault universe:
     /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
     pub shard: Option<(u32, u32)>,
+    /// Simulate one representative per fault-equivalence class and fan
+    /// the verdicts back out (bit-identical results, fewer faults).
+    pub collapse: bool,
     /// Optional progress observer.
     #[allow(deprecated)]
     pub observer: Option<ProgressHook>,
@@ -116,6 +119,7 @@ impl fmt::Debug for SeqDatapathCampaignSpec {
             .field("drop", &self.drop)
             .field("threads", &self.threads)
             .field("shard", &self.shard)
+            .field("collapse", &self.collapse)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
             .field("telemetry", &self.telemetry)
@@ -135,6 +139,7 @@ impl SeqDatapathCampaignSpec {
             drop: DropPolicy::Never,
             threads: None,
             shard: None,
+            collapse: false,
             observer: None,
             events: None,
             telemetry: false,
@@ -180,6 +185,20 @@ impl SeqDatapathCampaignSpec {
     #[must_use]
     pub fn shard(mut self, index: u32, count: u32) -> Self {
         self.shard = Some((index, count));
+        self
+    }
+
+    /// Collapses the fault universe into equivalence classes before
+    /// simulation ([`scdp_analyze::CollapsedUniverse`]): one
+    /// representative group per class is simulated and its verdict
+    /// fanned back out, leaving every report field bit-identical to
+    /// the uncollapsed run — including the per-fault rows, per-FU
+    /// tallies and the detection-latency histogram. Excluded from
+    /// [`SeqDatapathCampaignSpec::config_fingerprint`], so collapsed
+    /// and uncollapsed shards interchange.
+    #[must_use]
+    pub fn collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
         self
     }
 
@@ -241,11 +260,14 @@ impl SeqDatapathCampaignSpec {
     }
 
     fn start_ctx(&self) -> RunCtx {
+        #[allow(deprecated)]
+        let legacy = self.observer.clone().map(|hook| {
+            crate::spec::observer_sink(hook, Backend::GateLevel, FaultModel::Structural)
+        });
         RunCtx::start(
             Backend::GateLevel,
             FaultModel::Structural,
-            self.events.clone(),
-            self.observer.clone(),
+            crate::spec::compose_sinks(self.events.clone(), legacy),
             self.telemetry,
         )
     }
@@ -312,27 +334,13 @@ impl SeqDatapathCampaignSpec {
         compile.close();
         ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
 
-        let groups: Vec<SeqFaultGroup> = groups
-            .into_iter()
-            .map(|lines| SeqFaultGroup::new(lines, self.duration))
-            .collect();
         let universe = groups.len() as u64;
-        let mut campaign = SeqCampaign::new(&engine, groups, dp.total_cycles)
-            .plan(plan)
-            .drop_policy(self.drop);
-        if let Some(rec) = ctx.recorder() {
-            campaign = campaign.recorder(rec);
-        }
-        if let Some(t) = self.threads {
-            campaign = campaign.threads(t);
-        }
         let shard = match self.shard {
             None => None,
             Some((index, count)) => {
                 let sp = ShardPlan::new(universe, count)?;
                 sp.check_index(index)?;
                 let range = sp.range(index);
-                campaign = campaign.fault_range(range.start as usize..range.end as usize);
                 Some(ShardInfo {
                     index,
                     count,
@@ -343,6 +351,35 @@ impl SeqDatapathCampaignSpec {
                 })
             }
         };
+        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
+        let collapse_plan = self
+            .collapse
+            .then(|| crate::collapse::CollapsePlan::build(&dp.netlist, &groups, covered.clone()));
+        if let Some(p) = &collapse_plan {
+            ctx.record_collapse(groups.len(), p.rep_groups.len(), p.classes_total);
+        }
+        let sim_groups = match &collapse_plan {
+            Some(p) => p.rep_groups.clone(),
+            None => groups,
+        };
+        let sim_groups: Vec<SeqFaultGroup> = sim_groups
+            .into_iter()
+            .map(|lines| SeqFaultGroup::new(lines, self.duration))
+            .collect();
+        let mut campaign = SeqCampaign::new(&engine, sim_groups, dp.total_cycles)
+            .plan(plan)
+            .drop_policy(self.drop);
+        if let Some(rec) = ctx.recorder() {
+            campaign = campaign.recorder(rec);
+        }
+        if let Some(t) = self.threads {
+            campaign = campaign.threads(t);
+        }
+        if let (Some(sh), None) = (&shard, &collapse_plan) {
+            // Representatives are explicit groups under collapsing; the
+            // engine-level range applies to uncollapsed shards only.
+            campaign = campaign.fault_range(sh.fault_start as usize..sh.fault_end as usize);
+        }
         campaign.check().map_err(|e| CampaignError::FaultSpec {
             message: e.to_string(),
         })?;
@@ -351,8 +388,15 @@ impl SeqDatapathCampaignSpec {
         sim.close();
 
         let tally_span = ctx.span("tally");
-        let per_fault: Vec<FaultRecord> = summary
-            .per_fault
+        // Fan each representative's verdict back out to every covered
+        // member; the aggregates below are then recomputed from the
+        // fanned rows exactly the way the engine computes them, so the
+        // collapsed report is bit-identical to the uncollapsed one.
+        let fanned: Vec<&SeqFaultOutcome> = match &collapse_plan {
+            Some(p) => p.slot_of.iter().map(|&s| &summary.per_fault[s]).collect(),
+            None => summary.per_fault.iter().collect(),
+        };
+        let per_fault: Vec<FaultRecord> = fanned
             .iter()
             .map(|f| FaultRecord {
                 tally: f.outcome.tally,
@@ -361,8 +405,16 @@ impl SeqDatapathCampaignSpec {
                 dropped_after: f.outcome.dropped_after,
             })
             .collect();
-
-        let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
+        let mut agg = scdp_coverage::TechTally::default();
+        let mut simulated = 0u64;
+        let mut first_detect_hist = vec![0u64; dp.total_cycles as usize];
+        for f in &fanned {
+            agg += f.outcome.tally;
+            simulated += f.outcome.tally.total();
+            for (h, n) in first_detect_hist.iter_mut().zip(&f.first_detect) {
+                *h += n;
+            }
+        }
         let per_fu: Vec<FuTally> = ranges
             .iter()
             .map(|r| {
@@ -397,7 +449,7 @@ impl SeqDatapathCampaignSpec {
 
         let selected = s.tech_index();
         let mut tally = Tally::default();
-        tally.tech[selected as usize] = summary.tally;
+        tally.tech[selected as usize] = agg;
         let details = DatapathDetails {
             source: s.source.label(),
             style: style_label(s.style).to_string(),
@@ -411,7 +463,7 @@ impl SeqDatapathCampaignSpec {
         let sequential = SequentialDetails {
             duration: self.duration,
             total_cycles: u64::from(dp.total_cycles),
-            first_detect_hist: summary.first_detect.clone(),
+            first_detect_hist,
         };
         tally_span.close();
         let mut report = CampaignReport {
@@ -423,7 +475,7 @@ impl SeqDatapathCampaignSpec {
             tally,
             filled: vec![selected],
             per_fault,
-            simulated: summary.simulated,
+            simulated,
             elapsed_ms: 0,
             datapath: Some(details),
             sequential: Some(sequential),

@@ -1,5 +1,6 @@
 //! Campaign configuration and the unified `run()` entry point.
 
+use crate::collapse::CollapsePlan;
 use crate::error::CampaignError;
 use crate::obs::RunCtx;
 use crate::report::{drop_label, CampaignReport, FaultRecord};
@@ -8,13 +9,15 @@ use crate::scenario::{
 };
 use crate::shard::{self, ShardInfo, ShardPlan};
 use scdp_core::{Allocation, Operator};
-use scdp_coverage::{AdderFaultModel, InputSpace, OperatorKind, Tally, TechIndex};
+use scdp_coverage::{AdderFaultModel, InputSpace, OperatorKind, Tally, TechIndex, TechTally};
 use scdp_netlist::gen::{
     self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
 };
-use scdp_obs::EventSink;
+use scdp_netlist::{Netlist, StuckAtLine};
+use scdp_obs::{EventSink, ObsEvent};
 use scdp_sim::{DropPolicy, Engine, InputPlan};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Maximum supported operand width (the functional cell models cap at
@@ -61,6 +64,58 @@ pub enum Progress {
 )]
 #[allow(deprecated)]
 pub type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
+
+/// Wraps a deprecated [`ProgressHook`] into an [`EventSink`] that
+/// translates the three lifecycle events. This adapter is the *only*
+/// internal consumer of the legacy enum — everything downstream of the
+/// spec builders speaks [`ObsEvent`].
+#[allow(deprecated)]
+pub(crate) fn observer_sink(
+    hook: ProgressHook,
+    backend: Backend,
+    fault_model: FaultModel,
+) -> EventSink {
+    Arc::new(move |event: &ObsEvent| {
+        let legacy = match event {
+            ObsEvent::CampaignStarted { .. } => Some(Progress::Started {
+                backend,
+                fault_model,
+            }),
+            ObsEvent::NetlistCompiled {
+                name,
+                gates,
+                faults,
+            } => Some(Progress::NetlistCompiled {
+                name: name.clone(),
+                gates: *gates as usize,
+                faults: *faults as usize,
+            }),
+            ObsEvent::CampaignFinished {
+                simulated,
+                elapsed_ms,
+            } => Some(Progress::Finished {
+                simulated: *simulated,
+                elapsed_ms: *elapsed_ms,
+            }),
+            _ => None,
+        };
+        if let Some(p) = legacy {
+            hook(&p);
+        }
+    })
+}
+
+/// Fans events out to both sinks when both are installed.
+pub(crate) fn compose_sinks(a: Option<EventSink>, b: Option<EventSink>) -> Option<EventSink> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(Arc::new(move |e: &ObsEvent| {
+            a(e);
+            b(e);
+        })),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
 
 /// Configures *how* a [`Scenario`] is analysed and runs it.
 ///
@@ -121,6 +176,10 @@ pub struct CampaignSpec {
     /// section ([`scdp_obs::TelemetrySnapshot`]): engine counters and
     /// histograms, per-stage span timings.
     pub telemetry: bool,
+    /// When `true`, the gate-level engine simulates only one
+    /// representative per fault-equivalence class and fans verdicts
+    /// back out — reports stay bit-identical, wall clock shrinks.
+    pub collapse: bool,
 }
 
 impl fmt::Debug for CampaignSpec {
@@ -136,6 +195,7 @@ impl fmt::Debug for CampaignSpec {
             .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
             .field("telemetry", &self.telemetry)
+            .field("collapse", &self.collapse)
             .finish()
     }
 }
@@ -157,6 +217,7 @@ impl CampaignSpec {
             observer: None,
             events: None,
             telemetry: false,
+            collapse: false,
         }
     }
 
@@ -259,6 +320,20 @@ impl CampaignSpec {
         self
     }
 
+    /// Simulates only one representative per fault-equivalence class
+    /// (static collapsing via `scdp-analyze`) and fans verdicts back
+    /// out to the full universe. The report — tallies, per-fault rows,
+    /// shard geometry — stays bit-identical to the uncollapsed run;
+    /// only wall clock and the `collapse.*` telemetry counters change.
+    /// Gate-level backend only; intentionally excluded from
+    /// [`CampaignSpec::config_fingerprint`] so collapsed and
+    /// uncollapsed checkpoints stay interchangeable.
+    #[must_use]
+    pub fn collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
+
     /// Runs the campaign on the selected backend.
     ///
     /// # Errors
@@ -269,13 +344,13 @@ impl CampaignSpec {
     /// exhaustive spaces too large to enumerate.
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
         let model = self.validate()?;
-        let ctx = RunCtx::start(
-            self.backend,
-            model,
-            self.events.clone(),
-            self.observer.clone(),
-            self.telemetry,
-        );
+        #[allow(deprecated)]
+        let legacy = self
+            .observer
+            .clone()
+            .map(|hook| observer_sink(hook, self.backend, model));
+        let sink = compose_sinks(self.events.clone(), legacy);
+        let ctx = RunCtx::start(self.backend, model, sink, self.telemetry);
         let mut report = match self.backend {
             Backend::Functional => self.run_functional(model, &ctx),
             Backend::GateLevel => self.run_gate(model, &ctx),
@@ -307,6 +382,11 @@ impl CampaignSpec {
         let model = self.fault_model.resolve(self.backend);
         match self.backend {
             Backend::Functional => {
+                if self.collapse {
+                    return Err(CampaignError::UnsupportedCollapse {
+                        backend: self.backend,
+                    });
+                }
                 if self.drop != DropPolicy::Never {
                     return Err(CampaignError::UnsupportedDropPolicy {
                         backend: self.backend,
@@ -479,22 +559,12 @@ impl CampaignSpec {
         compile.close();
         ctx.netlist_compiled(dp.netlist.name(), dp.netlist.gate_count(), groups.len());
         let universe = groups.len() as u64;
-        let mut campaign = scdp_sim::EngineCampaign::over(&engine, groups)
-            .plan(InputPlan::from_space(self.space))
-            .drop_policy(self.drop);
-        if let Some(rec) = ctx.recorder() {
-            campaign = campaign.recorder(rec);
-        }
-        if let Some(t) = self.threads {
-            campaign = campaign.threads(t);
-        }
         let shard = match self.shard {
             None => None,
             Some((index, count)) => {
                 let plan = ShardPlan::new(universe, count)?;
                 plan.check_index(index)?;
                 let range = plan.range(index);
-                campaign = campaign.fault_range(range.start as usize..range.end as usize);
                 Some(ShardInfo {
                     index,
                     count,
@@ -505,26 +575,24 @@ impl CampaignSpec {
                 })
             }
         };
-        campaign.check().map_err(|e| CampaignError::FaultSpec {
-            message: e.to_string(),
-        })?;
-        let sim = ctx.span("simulate");
-        let summary = campaign.run();
-        sim.close();
+        let covered: Range<u64> = shard
+            .as_ref()
+            .map_or(0..universe, |si| si.fault_start..si.fault_end);
+        let (per_fault, col, simulated) = run_gate_groups(
+            ctx,
+            &dp.netlist,
+            &engine,
+            groups,
+            covered,
+            InputPlan::from_space(self.space),
+            self.drop,
+            self.threads,
+            self.collapse,
+        )?;
         let tally_span = ctx.span("tally");
         let selected = s.tech_index();
         let mut tally = Tally::default();
-        tally.tech[selected as usize] = summary.tally;
-        let per_fault: Vec<FaultRecord> = summary
-            .per_fault
-            .iter()
-            .map(|f| FaultRecord {
-                tally: f.tally,
-                detected: f.detected,
-                escaped: f.escaped,
-                dropped_after: f.dropped_after,
-            })
-            .collect();
+        tally.tech[selected as usize] = col;
         tally_span.close();
         Ok(CampaignReport {
             scenario: *s,
@@ -535,7 +603,7 @@ impl CampaignSpec {
             tally,
             filled: vec![selected],
             per_fault,
-            simulated: summary.simulated,
+            simulated,
             elapsed_ms: 0,
             datapath: None,
             sequential: None,
@@ -543,6 +611,80 @@ impl CampaignSpec {
             telemetry: None,
         })
     }
+}
+
+/// Shared gate-level driver for combinational fault-group universes
+/// (operator and datapath campaigns): runs `groups` on `engine` over
+/// `covered` (the whole universe or one shard's slice) and returns the
+/// covered per-fault rows plus their summed tally and situation count.
+///
+/// With `collapse` the engine sees only one representative group per
+/// equivalence class intersecting `covered` (selected by
+/// [`CollapsePlan`]); each representative's verdict is then cloned to
+/// every covered member. The rows — and therefore everything derived
+/// from them — are bit-identical to the uncollapsed run because the
+/// engine replays the same deterministic batch stream for every group.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_gate_groups(
+    ctx: &RunCtx,
+    netlist: &Netlist,
+    engine: &Engine,
+    groups: Vec<Vec<StuckAtLine>>,
+    covered: Range<u64>,
+    plan: InputPlan,
+    drop: DropPolicy,
+    threads: Option<usize>,
+    collapse: bool,
+) -> Result<(Vec<FaultRecord>, TechTally, u64), CampaignError> {
+    let universe = groups.len();
+    let sharded = covered != (0..universe as u64);
+    let collapse_plan = collapse.then(|| CollapsePlan::build(netlist, &groups, covered.clone()));
+    if let Some(plan) = &collapse_plan {
+        ctx.record_collapse(universe, plan.rep_groups.len(), plan.classes_total);
+    }
+    let sim_groups = match &collapse_plan {
+        Some(plan) => plan.rep_groups.clone(),
+        None => groups,
+    };
+    let mut campaign = scdp_sim::EngineCampaign::over(engine, sim_groups)
+        .plan(plan)
+        .drop_policy(drop);
+    if let Some(rec) = ctx.recorder() {
+        campaign = campaign.recorder(rec);
+    }
+    if let Some(t) = threads {
+        campaign = campaign.threads(t);
+    }
+    if sharded && collapse_plan.is_none() {
+        campaign = campaign.fault_range(covered.start as usize..covered.end as usize);
+    }
+    campaign.check().map_err(|e| CampaignError::FaultSpec {
+        message: e.to_string(),
+    })?;
+    let sim = ctx.span("simulate");
+    let summary = campaign.run();
+    sim.close();
+    let record = |f: &scdp_sim::FaultOutcome| FaultRecord {
+        tally: f.tally,
+        detected: f.detected,
+        escaped: f.escaped,
+        dropped_after: f.dropped_after,
+    };
+    let per_fault: Vec<FaultRecord> = match &collapse_plan {
+        Some(plan) => plan
+            .slot_of
+            .iter()
+            .map(|&s| record(&summary.per_fault[s]))
+            .collect(),
+        None => summary.per_fault.iter().map(record).collect(),
+    };
+    let mut col = TechTally::default();
+    let mut simulated = 0u64;
+    for r in &per_fault {
+        col += r.tally;
+        simulated += r.tally.total();
+    }
+    Ok((per_fault, col, simulated))
 }
 
 #[cfg(test)]

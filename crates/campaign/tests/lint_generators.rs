@@ -1,0 +1,113 @@
+//! Every netlist this repo can generate passes the structural linter
+//! with zero errors — the lint gate CI greps for. Warnings are allowed
+//! (dangling diagnostic taps exist by design); the datapath
+//! elaborations additionally exercise the dead-mux-leg waiver.
+
+use scdp_analyze::{lint, LintOptions, Severity};
+use scdp_campaign::{DatapathScenario, DfgSource};
+use scdp_core::{Operator, Technique};
+use scdp_netlist::gen::{
+    addsub, array_mult, cla, csa, rca, restoring_divider, self_checking, two_rail_checker,
+    SelfCheckingSpec,
+};
+use scdp_netlist::Netlist;
+
+fn assert_no_errors(netlist: &Netlist) {
+    let report = lint(netlist, &LintOptions::default());
+    assert_eq!(
+        report.errors(),
+        0,
+        "{} must lint clean:\n{}",
+        netlist.name(),
+        report.render()
+    );
+    assert!(report.render().contains("0 errors"), "CI greps this label");
+}
+
+#[test]
+fn arithmetic_cores_lint_clean() {
+    for width in [2u32, 4] {
+        for n in [
+            rca(width),
+            cla(width),
+            csa(width),
+            addsub(width),
+            array_mult(width),
+            restoring_divider(width),
+        ] {
+            assert_no_errors(&n);
+        }
+    }
+    assert_no_errors(&two_rail_checker(4));
+}
+
+#[test]
+fn self_checking_datapaths_lint_clean() {
+    for op in [Operator::Add, Operator::Sub, Operator::Mul] {
+        for technique in [Technique::Tech1, Technique::Tech2, Technique::Both] {
+            let dp = self_checking(SelfCheckingSpec {
+                op,
+                technique,
+                width: 3,
+            });
+            assert_no_errors(&dp.netlist);
+        }
+    }
+}
+
+/// The unrolled and sequential elaborations tie inactive mux legs to
+/// the constant-zero bus; the linter must *waive* that (with a reason),
+/// not flag it — and certainly not count it as an error.
+#[test]
+fn elaborated_datapaths_lint_clean_with_waived_mux_legs() {
+    let mut any_waived = false;
+    for source in DfgSource::BUILTIN {
+        let scenario = DatapathScenario::new(source.clone(), 2).technique(Technique::Tech1);
+        let unrolled = scenario.clone().elaborate();
+        assert_no_errors(&unrolled.netlist);
+        let seq = scenario.elaborate_seq();
+        let report = lint(&seq.netlist, &LintOptions::default());
+        assert_eq!(
+            report.errors(),
+            0,
+            "{}:\n{}",
+            seq.netlist.name(),
+            report.render()
+        );
+        any_waived |= report.waived() > 0;
+        if report.waived() > 0 {
+            let diag = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Waived)
+                .expect("waived diagnostic");
+            assert!(
+                diag.message.contains("waived:"),
+                "waivers must carry a reason: {}",
+                diag.message
+            );
+        }
+    }
+    assert!(
+        any_waived,
+        "sequential datapaths are known to carry zero-tied mux legs"
+    );
+}
+
+/// Strict mode turns the waivers into real warnings but still finds no
+/// errors anywhere.
+#[test]
+fn strict_mode_finds_no_errors_in_generated_cores() {
+    let seq = DatapathScenario::new(DfgSource::Fir, 2)
+        .technique(Technique::Both)
+        .elaborate_seq();
+    let waiving = lint(&seq.netlist, &LintOptions::default());
+    let strict = lint(&seq.netlist, &LintOptions { strict: true });
+    assert_eq!(strict.errors(), 0);
+    assert_eq!(strict.waived(), 0, "strict mode has no waivers");
+    assert_eq!(
+        strict.warnings(),
+        waiving.warnings() + waiving.waived(),
+        "every waiver escalates to exactly one warning"
+    );
+}

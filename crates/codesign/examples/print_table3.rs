@@ -1,3 +1,5 @@
+//! Prints the co-design flow's Table 3 reproduction for the FIR body.
+
 fn main() {
     let flow = scdp_codesign::CodesignFlow::default();
     let t = flow.table3(&scdp_fir::fir_body_dfg());

@@ -249,6 +249,44 @@ impl Netlist {
         self.inputs.iter().map(|(_, b)| b.len()).sum()
     }
 
+    /// Per-net reader table: `readers()[n]` lists every `(gate, pin)`
+    /// that reads net `n`. A gate reading the same net on both pins
+    /// contributes two entries, so the list length is the net's exact
+    /// structural fanout. Dff D-pin reads (including forward
+    /// references) appear like any other read.
+    #[must_use]
+    pub fn readers(&self) -> Vec<Vec<(usize, u8)>> {
+        let mut readers = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            if let Some(a) = g.a {
+                readers[a.0].push((i, 0));
+            }
+            if let Some(b) = g.b {
+                readers[b.0].push((i, 1));
+            }
+        }
+        readers
+    }
+
+    /// `true` if net `n` belongs to any declared output bus.
+    #[must_use]
+    pub fn is_output_net(&self, n: usize) -> bool {
+        self.outputs
+            .iter()
+            .any(|(_, bus)| bus.iter().any(|net| net.0 == n))
+    }
+
+    /// Enumerates the full single-stuck-at line universe: every site
+    /// from [`Netlist::fault_sites`] at both polarities, stuck-at-0
+    /// first.
+    #[must_use]
+    pub fn fault_lines(&self) -> Vec<StuckAtLine> {
+        self.fault_sites()
+            .into_iter()
+            .flat_map(|site| [StuckAtLine::new(site, false), StuckAtLine::new(site, true)])
+            .collect()
+    }
+
     /// Enumerates every stuck-at fault site: one stem per logic gate plus
     /// one per input pin.
     #[must_use]
