@@ -83,7 +83,10 @@ fn main() {
                 .tally,
         )
     });
-    let threads = par::default_threads();
+    // Floor of 4 workers: exercises the work-stealing pool's
+    // multi-worker merge even on smaller machines (idle workers steal
+    // nothing and park); the actual count lands in `parallel_threads`.
+    let threads = par::default_threads().max(4);
     bench.sample_elements("seq_parallel_w4", 5, situations, &mut || {
         black_box(
             SeqCampaign::new(&engine, seq_groups.clone(), cycles)
@@ -135,6 +138,8 @@ fn main() {
     bench.metric("seq_mcycles_per_sec", mcycles_per_sec);
     bench.metric("seq_parallel_busy_fraction", busy_fraction);
     bench.metric("seq_faults_per_sec", faults_per_sec);
+    bench.metric("parallel_threads", threads as f64);
+    bench.metric("simd_lanes", scdp_sim::Lanes::Auto.limbs() as f64);
     bench.finish();
     assert!(
         speedup >= 8.0,

@@ -18,7 +18,7 @@
 //! structural datapath.
 
 use scdp_bench::{pct, CliArgs};
-use scdp_campaign::{Backend, Scenario, TechIndex};
+use scdp_campaign::{Backend, ExecPolicy, Scenario, TechIndex};
 use scdp_core::{Allocation, Operator, Technique};
 use scdp_fir::fir_body_dfg;
 use scdp_hls::{area, bind, expand_sck, sched, BindOptions, ErrorHandling, ResourceSet, SckStyle};
@@ -68,7 +68,7 @@ fn main() {
                 .allocation(alloc)
                 .campaign()
                 .backend(Backend::GateLevel)
-                .threads(args.threads())
+                .exec(ExecPolicy::new().threads(args.threads()))
                 .run()
                 .expect("valid gate scenario")
         };

@@ -35,11 +35,20 @@ fn main() {
         eprintln!("bench_check: --fresh DIR is required");
         std::process::exit(2);
     };
-    let cfg = CheckConfig {
+    let mut cfg = CheckConfig {
         tolerance: args.value_or("--tolerance", CheckConfig::default().tolerance),
         medians_fail: !args.flag("--cross-machine"),
         ..CheckConfig::default()
     };
+    // The pool's scaling floor only holds where the physics allow it:
+    // ≥ 3× at 4 workers needs ≥ 4 cores. Smaller runners still gate
+    // the shape floors (`parallel_threads`, `simd_lanes`), which are
+    // core-count independent.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if cores >= 4 {
+        cfg.metric_floors
+            .push(("parallel_speedup_w8".to_string(), 3.0));
+    }
 
     let (findings, compared) = match check_dirs(&baseline, &fresh, &cfg) {
         Ok(out) => out,

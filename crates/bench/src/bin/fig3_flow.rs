@@ -27,7 +27,8 @@
 
 use scdp_bench::CliArgs;
 use scdp_campaign::{
-    Backend, DatapathScenario, DfgSource, FaultDuration, FaultModel, InputSpace, Scenario,
+    Backend, DatapathScenario, DfgSource, ExecPolicy, FaultDuration, FaultModel, InputSpace,
+    Scenario,
 };
 use scdp_codesign::{partition, CodesignFlow, Goal, Mapping, PartitionProblem, TaskEstimate};
 use scdp_core::{Operator, Technique};
@@ -115,7 +116,7 @@ fn main() {
     let spec = scenario
         .campaign()
         .fault_model(FaultModel::FaGate)
-        .threads(args.threads());
+        .exec(ExecPolicy::new().threads(args.threads()));
     let functional = spec.clone().run().expect("functional campaign");
     let gate = spec
         .backend(Backend::GateLevel)
@@ -144,7 +145,7 @@ fn main() {
             per_fault: samples,
             seed: args.seed(),
         })
-        .threads(args.threads())
+        .exec(ExecPolicy::new().threads(args.threads()))
         .run()
         .expect("datapath campaign");
     let details = report.datapath.as_ref().expect("datapath section");
@@ -211,7 +212,7 @@ fn main() {
             .seq_campaign()
             .duration(duration)
             .input_space(seq_space)
-            .threads(args.threads())
+            .exec(ExecPolicy::new().threads(args.threads()))
             .run_on(&machine)
             .expect("sequential campaign");
         seq_reports.push((duration, r));

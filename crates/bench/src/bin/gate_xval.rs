@@ -26,7 +26,7 @@
 //! on the scalar path, completes in seconds this way.
 
 use scdp_bench::{pct, scalar_add_oracle, timed, CliArgs};
-use scdp_campaign::{Backend, CampaignReport, InputSpace, Scenario};
+use scdp_campaign::{Backend, CampaignReport, ExecPolicy, InputSpace, Scenario};
 use scdp_core::{Operator, Technique};
 use scdp_netlist::gen::AdderRealisation;
 
@@ -54,7 +54,7 @@ fn main() {
             .campaign()
             .backend(Backend::GateLevel)
             .input_space(space)
-            .threads(threads)
+            .exec(ExecPolicy::new().threads(threads))
             .run()
             .expect("valid cross-validation scenario")
     };
@@ -103,7 +103,7 @@ fn main() {
             .technique(Technique::Both)
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(threads)
+            .exec(ExecPolicy::new().threads(threads))
             .run()
             .expect("valid oracle scenario");
         let dp = scdp_netlist::gen::self_checking_add_with(

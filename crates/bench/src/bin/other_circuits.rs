@@ -11,7 +11,7 @@
 //!   other_circuits [--width N] [--samples N] [--seed S] [--threads N]
 
 use scdp_bench::{pct, timed, CliArgs};
-use scdp_campaign::{Backend, InputSpace, Scenario};
+use scdp_campaign::{Backend, ExecPolicy, InputSpace, Scenario};
 use scdp_core::{Operator, Technique};
 use scdp_fir::{dot_body_dfg, iir_biquad_dfg, matvec_row_dfg};
 use scdp_netlist::gen::AdderRealisation;
@@ -47,7 +47,7 @@ fn main() {
             .campaign()
             .backend(Backend::GateLevel)
             .input_space(space)
-            .threads(threads)
+            .exec(ExecPolicy::new().threads(threads))
             .run()
             .expect("valid companion-generator scenario")
     };
@@ -91,7 +91,7 @@ fn main() {
             .campaign()
             .backend(Backend::GateLevel)
             .input_space(space)
-            .threads(threads)
+            .exec(ExecPolicy::new().threads(threads))
             .run()
             .expect("valid multiplier scenario")
     });

@@ -16,7 +16,7 @@
 //!   table1 [--width N] [--samples N] [--seed S] [--exhaustive] [--gate]
 
 use scdp_bench::{pct, timed, CliArgs};
-use scdp_campaign::{Backend, InputSpace, Scenario, TechIndex};
+use scdp_campaign::{Backend, ExecPolicy, InputSpace, Scenario, TechIndex};
 use scdp_core::{Operator, Technique};
 
 const PAPER: [(Operator, f64, f64, Option<f64>); 4] = [
@@ -90,7 +90,7 @@ fn gate_section(args: &CliArgs, width: u32) {
                     .campaign()
                     .backend(Backend::GateLevel)
                     .input_space(space)
-                    .threads(threads)
+                    .exec(ExecPolicy::new().threads(threads))
                     .run()
                     .expect("valid gate scenario")
             });

@@ -17,7 +17,9 @@
 //!          [--seed S] [--gate] [--report FILE]
 
 use scdp_bench::{pct, timed, CliArgs};
-use scdp_campaign::{Backend, CampaignReport, FaultModel, InputSpace, Scenario, TechIndex};
+use scdp_campaign::{
+    Backend, CampaignReport, ExecPolicy, FaultModel, InputSpace, Scenario, TechIndex,
+};
 use scdp_core::{Allocation, Operator, Technique};
 use scdp_fault::SituationCount;
 
@@ -129,7 +131,7 @@ fn gate_section(args: &CliArgs) {
                 .campaign()
                 .backend(Backend::GateLevel)
                 .input_space(space)
-                .threads(threads)
+                .exec(ExecPolicy::new().threads(threads))
                 .run()
                 .expect("valid gate scenario");
             cov.push(report.coverage());

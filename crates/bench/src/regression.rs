@@ -174,7 +174,12 @@ pub struct CheckConfig {
 impl Default for CheckConfig {
     /// The committed gate: ±30% tolerance, combinational engine speedup
     /// ≥ 100×, sequential engine speedup ≥ 8×, fault-collapsed campaign
-    /// wall-clock win ≥ 1.3×.
+    /// wall-clock win ≥ 1.3×, and the execution-layer shape floors —
+    /// benches must exercise the work-stealing pool with ≥ 4 workers
+    /// and the wide-word engine with ≥ 4 SIMD lanes (64-bit limbs).
+    /// The pool's *scaling ratio* floor (`parallel_speedup_w8` ≥ 3×)
+    /// is machine-conditional and added by `bench_check` only on
+    /// runners with ≥ 4 physical cores.
     fn default() -> Self {
         Self {
             tolerance: 0.30,
@@ -183,6 +188,8 @@ impl Default for CheckConfig {
                 ("speedup_1thread_vs_scalar".to_string(), 100.0),
                 ("seq_speedup_1thread_vs_scalar".to_string(), 8.0),
                 ("collapse_ratio".to_string(), 1.3),
+                ("parallel_threads".to_string(), 4.0),
+                ("simd_lanes".to_string(), 4.0),
             ],
         }
     }

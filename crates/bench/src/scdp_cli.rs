@@ -25,7 +25,8 @@ use crate::trace;
 use scdp_campaign::{
     drop_from_label, duration_from_label, duration_label, op_from_label, realisation_from_label,
     style_from_label, style_label, technique_from_label, Backend, CampaignJob, CampaignReport,
-    CampaignRunner, DatapathScenario, DfgSource, FaultDuration, InputSpace, Scenario, ShardState,
+    CampaignRunner, DatapathScenario, DfgSource, ExecPolicy, FaultDuration, InputSpace, Lanes,
+    Scenario, ShardState,
 };
 use scdp_core::{Allocation, Technique};
 use scdp_hls::SckStyle;
@@ -73,6 +74,8 @@ SCENARIO (pick an operator or a workload):
 EXECUTION:
   --samples N  --seed S  --monte-carlo  --exhaustive
   --threads N  --drop never|on-detect|on-escape
+  --lanes auto|1|4|8  packed-engine lane width in 64-bit limbs
+                    (results are bit-identical at every width)
   --collapse        simulate one representative per fault-equivalence
                     class and fan verdicts back out (bit-identical
                     reports, fewer simulated faults)
@@ -165,19 +168,42 @@ fn positionals(raw: &[String]) -> Vec<String> {
     out
 }
 
+/// Parses a `--lanes auto|1|4|8` argument into a lane-width choice.
+fn lanes_from_args(args: &CliArgs) -> Result<Lanes, String> {
+    match args.value::<String>("--lanes") {
+        None => Ok(Lanes::Auto),
+        Some(s) if s == "auto" => Ok(Lanes::Auto),
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .and_then(Lanes::from_limbs)
+            .ok_or(format!("unknown lane width `{s}` (auto|1|4|8)")),
+    }
+}
+
+/// Builds the [`ExecPolicy`] a `run`/`sweep` invocation describes:
+/// threads, lane width, drop policy and collapsing in one value.
+fn exec_from_args(args: &CliArgs) -> Result<ExecPolicy, String> {
+    let drop = match args.value::<String>("--drop") {
+        None => scdp_campaign::DropPolicy::Never,
+        Some(s) => drop_from_label(&s).ok_or(format!("unknown drop policy `{s}`"))?,
+    };
+    Ok(ExecPolicy::new()
+        .threads(args.threads())
+        .lanes(lanes_from_args(args)?)
+        .drop_policy(drop)
+        .collapse(args.flag("--collapse")))
+}
+
 /// Builds the campaign job a `run` invocation describes.
 fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
     let width = args.width(4);
     let samples = args.samples(1024);
     let seed = args.seed();
-    let threads = args.threads();
+    let exec = exec_from_args(args)?;
     let technique = match args.value::<String>("--technique") {
         None => Technique::Both,
         Some(s) => technique_from_label(&s).ok_or(format!("unknown technique `{s}`"))?,
-    };
-    let drop = match args.value::<String>("--drop") {
-        None => scdp_campaign::DropPolicy::Never,
-        Some(s) => drop_from_label(&s).ok_or(format!("unknown drop policy `{s}`"))?,
     };
     let allocation = if args.flag("--dedicated") {
         Allocation::Dedicated
@@ -185,7 +211,6 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
         Allocation::SingleUnit
     };
 
-    let collapse = args.flag("--collapse");
     if let Some(workload) = args.value::<String>("--workload") {
         let source =
             DfgSource::from_label(&workload).ok_or(format!("unknown workload `{workload}`"))?;
@@ -215,18 +240,11 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
                     .seq_campaign()
                     .duration(duration)
                     .input_space(space)
-                    .drop_policy(drop)
-                    .threads(threads)
-                    .collapse(collapse),
+                    .exec(exec),
             ))
         } else {
             Ok(CampaignJob::Datapath(
-                scenario
-                    .campaign()
-                    .input_space(space)
-                    .drop_policy(drop)
-                    .threads(threads)
-                    .collapse(collapse),
+                scenario.campaign().input_space(space).exec(exec),
             ))
         }
     } else {
@@ -256,9 +274,7 @@ fn job_from_args(args: &CliArgs) -> Result<CampaignJob, String> {
                 .campaign()
                 .backend(backend)
                 .input_space(space)
-                .drop_policy(drop)
-                .threads(threads)
-                .collapse(collapse),
+                .exec(exec),
         ))
     }
 }
@@ -698,11 +714,10 @@ fn print_per_fu(dp: &scdp_campaign::DatapathDetails) {
 /// duration axis) binaries.
 fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
     let seq = args.flag("--seq");
-    let collapse = args.flag("--collapse");
     let width = args.width(3).clamp(1, 16);
     let samples = args.samples(1024);
     let seed = args.seed();
-    let threads = args.threads();
+    let exec = exec_from_args(args)?;
     let style = match args.value::<String>("--style") {
         None => SckStyle::Full,
         Some(s) => style_from_label(&s).ok_or(format!("unknown style `{s}`"))?,
@@ -774,8 +789,7 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                         .seq_campaign()
                         .duration(duration)
                         .input_space(space)
-                        .threads(threads)
-                        .collapse(collapse)
+                        .exec(exec)
                         .run_on(&machine)
                         .map_err(|e| e.to_string())?;
                     let details = report.sequential.as_ref().expect("sequential section");
@@ -807,8 +821,7 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                 let report = scenario
                     .campaign()
                     .input_space(space)
-                    .threads(threads)
-                    .collapse(collapse)
+                    .exec(exec)
                     .run()
                     .map_err(|e| e.to_string())?;
                 let details = report.datapath.as_ref().expect("datapath section");
@@ -940,6 +953,46 @@ mod tests {
             .expect("runs");
         assert!(plain.same_results(&collapsed));
         assert_eq!(plain.per_fault, collapsed.per_fault);
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_preserves_results() {
+        // Parsing: auto and the explicit widths resolve; junk is a
+        // usage error.
+        for (arg, lanes) in [
+            ("auto", Lanes::Auto),
+            ("1", Lanes::L1),
+            ("4", Lanes::L4),
+            ("8", Lanes::L8),
+        ] {
+            let exec =
+                exec_from_args(&CliArgs::from_vec(strings(&["--lanes", arg]))).expect("parses");
+            assert_eq!(exec.lanes, lanes, "--lanes {arg}");
+        }
+        for bad in ["2", "16", "wide"] {
+            assert!(exec_from_args(&CliArgs::from_vec(strings(&["--lanes", bad]))).is_err());
+        }
+
+        // Semantics: lane width never moves a result.
+        let base = strings(&["--workload", "dot", "--width", "2", "--samples", "64"]);
+        let narrow = {
+            let mut a = base.clone();
+            a.extend(strings(&["--lanes", "1"]));
+            job_from_args(&CliArgs::from_vec(a))
+                .expect("job")
+                .run()
+                .expect("runs")
+        };
+        let wide = {
+            let mut a = base;
+            a.extend(strings(&["--lanes", "8"]));
+            job_from_args(&CliArgs::from_vec(a))
+                .expect("job")
+                .run()
+                .expect("runs")
+        };
+        assert!(narrow.same_results(&wide));
+        assert_eq!(narrow.per_fault, wide.per_fault);
     }
 
     #[test]

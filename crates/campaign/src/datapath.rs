@@ -18,14 +18,14 @@
 //! # Example
 //!
 //! ```
-//! use scdp_campaign::{DatapathScenario, DfgSource, InputSpace};
+//! use scdp_campaign::{DatapathScenario, DfgSource, ExecPolicy, InputSpace};
 //! use scdp_core::Technique;
 //!
 //! let report = DatapathScenario::new(DfgSource::Fir, 3)
 //!     .technique(Technique::Tech1)
 //!     .campaign()
 //!     .input_space(InputSpace::Sampled { per_fault: 256, seed: 7 })
-//!     .threads(2)
+//!     .exec(ExecPolicy::new().threads(2))
 //!     .run()
 //!     .expect("valid scenario");
 //! let dp = report.datapath.as_ref().expect("datapath section");
@@ -38,9 +38,7 @@ use crate::obs::RunCtx;
 use crate::report::{drop_label, CampaignReport, DatapathDetails, FuTally};
 use crate::scenario::{allocation_label, technique_label, Backend, FaultModel, Scenario};
 use crate::shard::{self, ShardInfo, ShardPlan};
-#[allow(deprecated)]
-use crate::spec::ProgressHook;
-use crate::spec::MAX_WIDTH;
+use crate::spec::{ExecPolicy, MAX_WIDTH};
 use scdp_coverage::{InputSpace, Tally};
 use scdp_fir::{dot_body_dfg, fir_body_dfg, iir_biquad_dfg, matvec_row_dfg};
 use scdp_hls::{
@@ -296,26 +294,14 @@ pub struct DatapathCampaignSpec {
     pub scenario: DatapathScenario,
     /// The input-space strategy.
     pub space: InputSpace,
-    /// When faults leave the simulated universe.
-    pub drop: DropPolicy,
-    /// Worker-thread cap (`None` = all available cores).
-    pub threads: Option<usize>,
+    /// How the campaign executes: threads, lanes, dropping, collapsing,
+    /// telemetry.
+    pub exec: ExecPolicy,
     /// Restricts the run to one shard of the fault universe:
     /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
     pub shard: Option<(u32, u32)>,
-    /// Optional deprecated progress observer (see
-    /// [`DatapathCampaignSpec::events`] for the structured stream).
-    #[allow(deprecated)]
-    pub observer: Option<ProgressHook>,
     /// Optional structured event sink ([`scdp_obs::ObsEvent`]).
     pub events: Option<EventSink>,
-    /// When `true`, the report carries a presence-driven `telemetry`
-    /// section ([`scdp_obs::TelemetrySnapshot`]).
-    pub telemetry: bool,
-    /// When `true`, simulate only one representative per
-    /// fault-equivalence class and fan verdicts back out (bit-identical
-    /// reports, smaller wall clock).
-    pub collapse: bool,
 }
 
 impl fmt::Debug for DatapathCampaignSpec {
@@ -323,32 +309,24 @@ impl fmt::Debug for DatapathCampaignSpec {
         f.debug_struct("DatapathCampaignSpec")
             .field("scenario", &self.scenario)
             .field("space", &self.space)
-            .field("drop", &self.drop)
-            .field("threads", &self.threads)
+            .field("exec", &self.exec)
             .field("shard", &self.shard)
-            .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
-            .field("telemetry", &self.telemetry)
-            .field("collapse", &self.collapse)
             .finish()
     }
 }
 
 impl DatapathCampaignSpec {
-    /// Starts a campaign with exhaustive inputs, no dropping and all
-    /// available cores.
+    /// Starts a campaign with exhaustive inputs and the default
+    /// [`ExecPolicy`].
     #[must_use]
     pub fn new(scenario: DatapathScenario) -> Self {
         Self {
             scenario,
             space: InputSpace::Exhaustive,
-            drop: DropPolicy::Never,
-            threads: None,
+            exec: ExecPolicy::new(),
             shard: None,
-            observer: None,
             events: None,
-            telemetry: false,
-            collapse: false,
         }
     }
 
@@ -359,18 +337,33 @@ impl DatapathCampaignSpec {
         self
     }
 
+    /// Replaces the execution policy wholesale: threads, lanes, drop
+    /// policy, collapsing and telemetry in one value. This supersedes
+    /// the per-knob setters (`threads`, `drop_policy`, `collapse`,
+    /// `telemetry`), which remain as deprecated shims.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the drop policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec(ExecPolicy::new().drop_policy(..))`"
+    )]
     #[must_use]
     pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
-        self.drop = drop;
+        self.exec.drop = drop;
         self
     }
 
     /// Caps the worker thread count (validated by
     /// [`DatapathCampaignSpec::run`]).
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().threads(..))`")]
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.exec.threads = Some(threads);
         self
     }
 
@@ -390,19 +383,7 @@ impl DatapathCampaignSpec {
     /// different campaigns can never be resumed or merged together.
     #[must_use]
     pub fn config_fingerprint(&self) -> u64 {
-        datapath_fingerprint("datapath", &self.scenario, self.space, self.drop, None)
-    }
-
-    /// Installs a progress observer, called on the driver thread.
-    #[deprecated(
-        since = "0.1.0",
-        note = "install a structured `scdp_obs::ObsEvent` sink with `events()`"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn observer(mut self, hook: ProgressHook) -> Self {
-        self.observer = Some(hook);
-        self
+        datapath_fingerprint("datapath", &self.scenario, self.space, self.exec.drop, None)
     }
 
     /// Installs a structured event sink, called on the driver thread.
@@ -415,9 +396,10 @@ impl DatapathCampaignSpec {
     /// Embeds a telemetry snapshot in the report (presence-driven
     /// `telemetry` section; off by default so reports stay
     /// byte-reproducible).
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().telemetry(..))`")]
     #[must_use]
     pub fn telemetry(mut self, enabled: bool) -> Self {
-        self.telemetry = enabled;
+        self.exec.telemetry = enabled;
         self
     }
 
@@ -426,16 +408,17 @@ impl DatapathCampaignSpec {
     /// out. Reports — including per-FU tallies and shard slices — stay
     /// bit-identical; excluded from the configuration fingerprint so
     /// collapsed and uncollapsed checkpoints stay interchangeable.
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().collapse(..))`")]
     #[must_use]
     pub fn collapse(mut self, enabled: bool) -> Self {
-        self.collapse = enabled;
+        self.exec.collapse = enabled;
         self
     }
 
     /// Validates the run knobs shared by [`DatapathCampaignSpec::run`]
     /// and [`DatapathCampaignSpec::run_on`].
     fn validate(&self) -> Result<(), CampaignError> {
-        if self.threads == Some(0) {
+        if self.exec.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
         }
         if let Some((index, count)) = self.shard {
@@ -451,15 +434,11 @@ impl DatapathCampaignSpec {
 
     /// Opens the run's observability context (post-validation).
     fn start_ctx(&self) -> RunCtx {
-        #[allow(deprecated)]
-        let legacy = self.observer.clone().map(|hook| {
-            crate::spec::observer_sink(hook, Backend::GateLevel, FaultModel::Structural)
-        });
         RunCtx::start(
             Backend::GateLevel,
             FaultModel::Structural,
-            crate::spec::compose_sinks(self.events.clone(), legacy),
-            self.telemetry,
+            self.events.clone(),
+            self.exec.telemetry,
         )
     }
 
@@ -543,9 +522,7 @@ impl DatapathCampaignSpec {
             groups,
             covered.clone(),
             plan,
-            self.drop,
-            self.threads,
-            self.collapse,
+            &self.exec,
         )?;
 
         let tally_span = ctx.span("tally");
@@ -600,7 +577,7 @@ impl DatapathCampaignSpec {
             backend: Backend::GateLevel,
             fault_model: FaultModel::Structural,
             space: self.space,
-            drop: self.drop,
+            drop: self.exec.drop,
             tally,
             filled: vec![selected],
             per_fault,
@@ -670,7 +647,7 @@ mod tests {
                 per_fault: 128,
                 seed: 0xDA7E,
             })
-            .threads(2)
+            .exec(ExecPolicy::new().threads(2))
             .run()
             .expect("campaign runs")
     }
@@ -712,7 +689,7 @@ mod tests {
 
         let err = DatapathScenario::new(DfgSource::Fir, 4)
             .campaign()
-            .threads(0)
+            .exec(ExecPolicy::new().threads(0))
             .run()
             .unwrap_err();
         assert_eq!(err, CampaignError::ZeroThreads);
@@ -739,13 +716,13 @@ mod tests {
             .clone()
             .campaign()
             .input_space(space)
-            .threads(1)
+            .exec(ExecPolicy::new().threads(1))
             .run()
             .unwrap();
         let b = scenario
             .campaign()
             .input_space(space)
-            .threads(3)
+            .exec(ExecPolicy::new().threads(3))
             .run()
             .unwrap();
         assert!(a.same_results(&b));

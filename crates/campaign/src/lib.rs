@@ -12,8 +12,10 @@
 //! * [`Scenario`] — *what* is analysed: operator, width, check policy
 //!   (Table 1 technique), checker allocation, structural realisation.
 //! * [`CampaignSpec`] — *how*: backend selection, fault model, input
-//!   space (exhaustive / seeded Monte-Carlo), drop policy, thread
-//!   count, progress observer.
+//!   space (exhaustive / seeded Monte-Carlo), and one [`ExecPolicy`]
+//!   value bundling the execution knobs — worker threads, SIMD lane
+//!   width, drop policy, equivalence collapsing, telemetry — shared
+//!   verbatim by the datapath and sequential spec shapes.
 //! * [`CampaignReport`] — one result type for both engines: four-way
 //!   situation tallies, per-fault outcomes, detection/safe rates,
 //!   simulated-situation counts, wall-clock, and a stable hand-written
@@ -88,9 +90,7 @@ pub use scenario::{
 };
 pub use seq::SeqDatapathCampaignSpec;
 pub use shard::{config_fingerprint, ShardInfo, ShardPlan};
-pub use spec::{CampaignSpec, MAX_WIDTH};
-#[allow(deprecated)]
-pub use spec::{Progress, ProgressHook};
+pub use spec::{CampaignSpec, ExecPolicy, MAX_WIDTH};
 
 // The shared input-space configuration and its batched twin are part of
 // the unified surface: campaign front-ends configure an `InputSpace`;
@@ -99,7 +99,7 @@ pub use spec::{Progress, ProgressHook};
 // longer reaches into engine crates for them.
 pub use scdp_coverage::{InputSpace, Tally, TechIndex, TechTally};
 pub use scdp_netlist::FaultDuration;
-pub use scdp_sim::{DropPolicy, InputPlan};
+pub use scdp_sim::{DropPolicy, InputPlan, Lanes};
 
 // The observability vocabulary is part of the unified surface too:
 // every spec shape takes an `EventSink`, and reports embed a

@@ -39,7 +39,7 @@ use crate::error::CampaignError;
 use crate::report::CampaignReport;
 use crate::seq::SeqDatapathCampaignSpec;
 use crate::shard::ShardPlan;
-use crate::spec::{CampaignSpec, MAX_WIDTH};
+use crate::spec::{CampaignSpec, ExecPolicy, MAX_WIDTH};
 use scdp_netlist::gen::{ElaboratedDatapath, SeqDatapath};
 use scdp_obs::{EventSink, ObsEvent};
 use std::path::{Path, PathBuf};
@@ -98,22 +98,31 @@ impl CampaignJob {
     /// at run time ([`CampaignError::UnsupportedCollapse`]).
     #[must_use]
     pub fn collapse(self, enabled: bool) -> Self {
-        match self {
-            CampaignJob::Operator(spec) => CampaignJob::Operator(spec.collapse(enabled)),
-            CampaignJob::Datapath(spec) => CampaignJob::Datapath(spec.collapse(enabled)),
-            CampaignJob::Sequential(spec) => CampaignJob::Sequential(spec.collapse(enabled)),
-        }
+        self.update_exec(|exec| exec.collapse = enabled)
     }
 
     /// Asks every run of this job to embed a
     /// [`scdp_obs::TelemetrySnapshot`] in its report.
     #[must_use]
     pub fn telemetry(self, enabled: bool) -> Self {
-        match self {
-            CampaignJob::Operator(spec) => CampaignJob::Operator(spec.telemetry(enabled)),
-            CampaignJob::Datapath(spec) => CampaignJob::Datapath(spec.telemetry(enabled)),
-            CampaignJob::Sequential(spec) => CampaignJob::Sequential(spec.telemetry(enabled)),
+        self.update_exec(|exec| exec.telemetry = enabled)
+    }
+
+    /// Replaces the underlying spec's execution policy wholesale.
+    #[must_use]
+    pub fn exec(self, exec: ExecPolicy) -> Self {
+        self.update_exec(|e| *e = exec)
+    }
+
+    /// Applies `f` to the underlying spec's [`ExecPolicy`], whichever
+    /// backend shape the job wraps.
+    fn update_exec(mut self, f: impl FnOnce(&mut ExecPolicy)) -> Self {
+        match &mut self {
+            CampaignJob::Operator(spec) => f(&mut spec.exec),
+            CampaignJob::Datapath(spec) => f(&mut spec.exec),
+            CampaignJob::Sequential(spec) => f(&mut spec.exec),
         }
+        self
     }
 
     /// Runs shard `index` of a `count`-way partition of this job.
@@ -486,7 +495,11 @@ mod tests {
     use scdp_core::Operator;
 
     fn job() -> CampaignJob {
-        CampaignJob::Operator(Scenario::new(Operator::Add, 2).campaign().threads(2))
+        CampaignJob::Operator(
+            Scenario::new(Operator::Add, 2)
+                .campaign()
+                .exec(ExecPolicy::new().threads(2)),
+        )
     }
 
     #[test]

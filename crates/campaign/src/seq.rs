@@ -24,7 +24,7 @@
 //!     .seq_campaign()
 //!     .duration(FaultDuration::Permanent)
 //!     .input_space(InputSpace::Sampled { per_fault: 128, seed: 7 })
-//!     .threads(2)
+//!     .exec(scdp_campaign::ExecPolicy::new().threads(2))
 //!     .run()
 //!     .expect("valid scenario");
 //! let seq = report.sequential.as_ref().expect("sequential section");
@@ -39,9 +39,7 @@ use crate::report::{
 };
 use crate::scenario::{Backend, FaultModel};
 use crate::shard::{ShardInfo, ShardPlan};
-#[allow(deprecated)]
-use crate::spec::ProgressHook;
-use crate::spec::MAX_WIDTH;
+use crate::spec::{ExecPolicy, MAX_WIDTH};
 use scdp_coverage::Tally;
 use scdp_hls::{bind, sched, BindOptions, ComponentLibrary};
 use scdp_netlist::gen::{class_label, elaborate_seq_datapath, SeqDatapath};
@@ -91,23 +89,14 @@ pub struct SeqDatapathCampaignSpec {
     pub duration: FaultDuration,
     /// The input-space strategy.
     pub space: scdp_coverage::InputSpace,
-    /// When faults leave the simulated universe.
-    pub drop: DropPolicy,
-    /// Worker-thread cap (`None` = all available cores).
-    pub threads: Option<usize>,
+    /// How the campaign executes: threads, lanes, dropping, collapsing,
+    /// telemetry.
+    pub exec: ExecPolicy,
     /// Restricts the run to one shard of the fault universe:
     /// `(index, count)` of a [`ShardPlan`]. `None` runs everything.
     pub shard: Option<(u32, u32)>,
-    /// Simulate one representative per fault-equivalence class and fan
-    /// the verdicts back out (bit-identical results, fewer faults).
-    pub collapse: bool,
-    /// Optional progress observer.
-    #[allow(deprecated)]
-    pub observer: Option<ProgressHook>,
     /// Optional structured event sink ([`scdp_obs::ObsEvent`] stream).
     pub events: Option<EventSink>,
-    /// Embed a [`scdp_obs::TelemetrySnapshot`] in the report.
-    pub telemetry: bool,
 }
 
 impl fmt::Debug for SeqDatapathCampaignSpec {
@@ -116,33 +105,25 @@ impl fmt::Debug for SeqDatapathCampaignSpec {
             .field("scenario", &self.scenario)
             .field("duration", &self.duration)
             .field("space", &self.space)
-            .field("drop", &self.drop)
-            .field("threads", &self.threads)
+            .field("exec", &self.exec)
             .field("shard", &self.shard)
-            .field("collapse", &self.collapse)
-            .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
-            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
 
 impl SeqDatapathCampaignSpec {
-    /// Starts a campaign with permanent faults, exhaustive inputs, no
-    /// dropping and all available cores.
+    /// Starts a campaign with permanent faults, exhaustive inputs and
+    /// the default [`ExecPolicy`].
     #[must_use]
     pub fn new(scenario: DatapathScenario) -> Self {
         Self {
             scenario,
             duration: FaultDuration::Permanent,
             space: scdp_coverage::InputSpace::Exhaustive,
-            drop: DropPolicy::Never,
-            threads: None,
+            exec: ExecPolicy::new(),
             shard: None,
-            collapse: false,
-            observer: None,
             events: None,
-            telemetry: false,
         }
     }
 
@@ -161,18 +142,33 @@ impl SeqDatapathCampaignSpec {
         self
     }
 
+    /// Replaces the execution policy wholesale: threads, lanes, drop
+    /// policy, collapsing and telemetry in one value. This supersedes
+    /// the per-knob setters (`threads`, `drop_policy`, `collapse`,
+    /// `telemetry`), which remain as deprecated shims.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the drop policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec(ExecPolicy::new().drop_policy(..))`"
+    )]
     #[must_use]
     pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
-        self.drop = drop;
+        self.exec.drop = drop;
         self
     }
 
     /// Caps the worker thread count (validated by
     /// [`SeqDatapathCampaignSpec::run`]).
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().threads(..))`")]
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.exec.threads = Some(threads);
         self
     }
 
@@ -196,9 +192,10 @@ impl SeqDatapathCampaignSpec {
     /// tallies and the detection-latency histogram. Excluded from
     /// [`SeqDatapathCampaignSpec::config_fingerprint`], so collapsed
     /// and uncollapsed shards interchange.
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().collapse(..))`")]
     #[must_use]
     pub fn collapse(mut self, enabled: bool) -> Self {
-        self.collapse = enabled;
+        self.exec.collapse = enabled;
         self
     }
 
@@ -211,21 +208,9 @@ impl SeqDatapathCampaignSpec {
             "seq-datapath",
             &self.scenario,
             self.space,
-            self.drop,
+            self.exec.drop,
             Some(duration_label(self.duration)),
         )
-    }
-
-    /// Installs a progress observer, called on the driver thread.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `events` for the structured ObsEvent stream"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn observer(mut self, hook: ProgressHook) -> Self {
-        self.observer = Some(hook);
-        self
     }
 
     /// Installs a structured event sink, called on the driver thread
@@ -238,14 +223,15 @@ impl SeqDatapathCampaignSpec {
 
     /// Embeds a [`scdp_obs::TelemetrySnapshot`] (spans, counters,
     /// histograms) in the finished report's `telemetry` section.
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().telemetry(..))`")]
     #[must_use]
     pub fn telemetry(mut self, enabled: bool) -> Self {
-        self.telemetry = enabled;
+        self.exec.telemetry = enabled;
         self
     }
 
     fn validate(&self) -> Result<(), CampaignError> {
-        if self.threads == Some(0) {
+        if self.exec.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
         }
         if let Some((index, count)) = self.shard {
@@ -260,15 +246,11 @@ impl SeqDatapathCampaignSpec {
     }
 
     fn start_ctx(&self) -> RunCtx {
-        #[allow(deprecated)]
-        let legacy = self.observer.clone().map(|hook| {
-            crate::spec::observer_sink(hook, Backend::GateLevel, FaultModel::Structural)
-        });
         RunCtx::start(
             Backend::GateLevel,
             FaultModel::Structural,
-            crate::spec::compose_sinks(self.events.clone(), legacy),
-            self.telemetry,
+            self.events.clone(),
+            self.exec.telemetry,
         )
     }
 
@@ -353,6 +335,7 @@ impl SeqDatapathCampaignSpec {
         };
         let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
         let collapse_plan = self
+            .exec
             .collapse
             .then(|| crate::collapse::CollapsePlan::build(&dp.netlist, &groups, covered.clone()));
         if let Some(p) = &collapse_plan {
@@ -368,11 +351,12 @@ impl SeqDatapathCampaignSpec {
             .collect();
         let mut campaign = SeqCampaign::new(&engine, sim_groups, dp.total_cycles)
             .plan(plan)
-            .drop_policy(self.drop);
+            .drop_policy(self.exec.drop)
+            .lanes(self.exec.lanes);
         if let Some(rec) = ctx.recorder() {
             campaign = campaign.recorder(rec);
         }
-        if let Some(t) = self.threads {
+        if let Some(t) = self.exec.threads {
             campaign = campaign.threads(t);
         }
         if let (Some(sh), None) = (&shard, &collapse_plan) {
@@ -471,7 +455,7 @@ impl SeqDatapathCampaignSpec {
             backend: Backend::GateLevel,
             fault_model: FaultModel::Structural,
             space: self.space,
-            drop: self.drop,
+            drop: self.exec.drop,
             tally,
             filled: vec![selected],
             per_fault,
@@ -503,7 +487,7 @@ mod tests {
                 per_fault: 128,
                 seed: 0x5E9,
             })
-            .threads(2)
+            .exec(ExecPolicy::new().threads(2))
             .run()
             .expect("campaign runs")
     }
@@ -572,7 +556,7 @@ mod tests {
 
         let err = DatapathScenario::new(DfgSource::Fir, 4)
             .seq_campaign()
-            .threads(0)
+            .exec(ExecPolicy::new().threads(0))
             .run()
             .unwrap_err();
         assert_eq!(err, CampaignError::ZeroThreads);
@@ -612,13 +596,13 @@ mod tests {
             .clone()
             .seq_campaign()
             .input_space(space)
-            .threads(1)
+            .exec(ExecPolicy::new().threads(1))
             .run()
             .unwrap();
         let b = scenario
             .seq_campaign()
             .input_space(space)
-            .threads(3)
+            .exec(ExecPolicy::new().threads(3))
             .run()
             .unwrap();
         assert!(a.same_results(&b));

@@ -14,106 +14,113 @@ use scdp_netlist::gen::{
     self_checking, self_checking_add_with, AdderRealisation, SelfCheckingSpec,
 };
 use scdp_netlist::{Netlist, StuckAtLine};
-use scdp_obs::{EventSink, ObsEvent};
-use scdp_sim::{DropPolicy, Engine, InputPlan};
+use scdp_obs::EventSink;
+use scdp_sim::{DropPolicy, Engine, InputPlan, Lanes};
 use std::fmt;
 use std::ops::Range;
-use std::sync::Arc;
 
 /// Maximum supported operand width (the functional cell models cap at
 /// 32 bits).
 pub const MAX_WIDTH: u32 = 32;
 
-/// Progress events emitted through the deprecated `observer` hook.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by the structured `scdp_obs::ObsEvent` stream; \
-            install a sink with `events()`"
-)]
-#[derive(Clone, Debug)]
-pub enum Progress {
-    /// Validation passed; the campaign is being dispatched.
-    Started {
-        /// The executing backend.
-        backend: Backend,
-        /// The resolved fault model.
-        fault_model: FaultModel,
-    },
-    /// The gate-level backend compiled its netlist and fault universe.
-    NetlistCompiled {
-        /// The generated design name.
-        name: String,
-        /// Gate count of the compiled netlist.
-        gates: usize,
-        /// Number of fault groups in the universe.
-        faults: usize,
-    },
-    /// The campaign finished.
-    Finished {
-        /// Situations simulated for the canonical column.
-        simulated: u64,
-        /// Wall-clock duration in milliseconds.
-        elapsed_ms: u64,
-    },
+/// How a campaign *executes*, as opposed to *what* it simulates: the
+/// worker-thread cap, SIMD lane width, fault-drop policy, equivalence
+/// collapsing, and telemetry capture. One `ExecPolicy` is shared —
+/// field for field — by every spec builder ([`CampaignSpec`],
+/// [`crate::DatapathCampaignSpec`], [`crate::SeqDatapathCampaignSpec`]),
+/// so execution tuning written for one backend carries unchanged to the
+/// others.
+///
+/// # Example
+///
+/// ```
+/// use scdp_campaign::{Backend, ExecPolicy, Lanes, Scenario};
+/// use scdp_core::Operator;
+///
+/// let exec = ExecPolicy::new().threads(2).lanes(Lanes::Auto);
+/// let report = Scenario::new(Operator::Add, 3)
+///     .campaign()
+///     .backend(Backend::GateLevel)
+///     .exec(exec)
+///     .run()
+///     .expect("gate level");
+/// assert!(report.coverage() > 0.9);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker-thread cap for the work-stealing pool (`None` = all
+    /// available cores). Validated against zero at `run()` time.
+    pub threads: Option<usize>,
+    /// Packed-engine lane width: how many 64-bit limbs each simulated
+    /// word carries ([`Lanes::Auto`] picks the widest). Results are
+    /// bit-identical at every width.
+    pub lanes: Lanes,
+    /// When faults leave the simulated universe (gate level only).
+    pub drop: DropPolicy,
+    /// When `true`, the gate-level engine simulates only one
+    /// representative per fault-equivalence class and fans verdicts
+    /// back out — reports stay bit-identical, wall clock shrinks.
+    pub collapse: bool,
+    /// When `true`, the report carries a presence-driven `telemetry`
+    /// section ([`scdp_obs::TelemetrySnapshot`]): engine counters and
+    /// histograms, pool/scheduling observations, per-stage span
+    /// timings.
+    pub telemetry: bool,
 }
 
-/// A progress-observer callback; invoked on the driver thread.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by `scdp_obs::EventSink`; install one with `events()`"
-)]
-#[allow(deprecated)]
-pub type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-/// Wraps a deprecated [`ProgressHook`] into an [`EventSink`] that
-/// translates the three lifecycle events. This adapter is the *only*
-/// internal consumer of the legacy enum — everything downstream of the
-/// spec builders speaks [`ObsEvent`].
-#[allow(deprecated)]
-pub(crate) fn observer_sink(
-    hook: ProgressHook,
-    backend: Backend,
-    fault_model: FaultModel,
-) -> EventSink {
-    Arc::new(move |event: &ObsEvent| {
-        let legacy = match event {
-            ObsEvent::CampaignStarted { .. } => Some(Progress::Started {
-                backend,
-                fault_model,
-            }),
-            ObsEvent::NetlistCompiled {
-                name,
-                gates,
-                faults,
-            } => Some(Progress::NetlistCompiled {
-                name: name.clone(),
-                gates: *gates as usize,
-                faults: *faults as usize,
-            }),
-            ObsEvent::CampaignFinished {
-                simulated,
-                elapsed_ms,
-            } => Some(Progress::Finished {
-                simulated: *simulated,
-                elapsed_ms: *elapsed_ms,
-            }),
-            _ => None,
-        };
-        if let Some(p) = legacy {
-            hook(&p);
+impl ExecPolicy {
+    /// The default policy: all cores, auto lane width, no dropping, no
+    /// collapsing, no telemetry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            threads: None,
+            lanes: Lanes::Auto,
+            drop: DropPolicy::Never,
+            collapse: false,
+            telemetry: false,
         }
-    })
-}
+    }
 
-/// Fans events out to both sinks when both are installed.
-pub(crate) fn compose_sinks(a: Option<EventSink>, b: Option<EventSink>) -> Option<EventSink> {
-    match (a, b) {
-        (Some(a), Some(b)) => Some(Arc::new(move |e: &ObsEvent| {
-            a(e);
-            b(e);
-        })),
-        (a, None) => a,
-        (None, b) => b,
+    /// Caps the worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Selects the packed-engine lane width.
+    #[must_use]
+    pub fn lanes(mut self, lanes: Lanes) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Selects the drop policy (gate-level backend only).
+    #[must_use]
+    pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Enables fault-equivalence collapsing (gate-level backend only).
+    #[must_use]
+    pub fn collapse(mut self, enabled: bool) -> Self {
+        self.collapse = enabled;
+        self
+    }
+
+    /// Embeds a telemetry snapshot in the report.
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
     }
 }
 
@@ -122,7 +129,7 @@ pub(crate) fn compose_sinks(a: Option<EventSink>, b: Option<EventSink>) -> Optio
 /// # Example
 ///
 /// ```
-/// use scdp_campaign::{Backend, Scenario};
+/// use scdp_campaign::{Backend, ExecPolicy, Scenario};
 /// use scdp_core::{Operator, Technique};
 ///
 /// let scenario = Scenario::new(Operator::Add, 3).technique(Technique::Both);
@@ -131,7 +138,7 @@ pub(crate) fn compose_sinks(a: Option<EventSink>, b: Option<EventSink>) -> Optio
 /// let gate = scenario
 ///     .campaign()
 ///     .backend(Backend::GateLevel)
-///     .threads(2)
+///     .exec(ExecPolicy::new().threads(2))
 ///     .run()
 ///     .expect("gate level");
 /// assert!(functional.coverage() > 0.9);
@@ -157,29 +164,16 @@ pub struct CampaignSpec {
     pub fault_model: FaultModel,
     /// The input-space strategy.
     pub space: InputSpace,
-    /// When faults leave the simulated universe (gate level only).
-    pub drop: DropPolicy,
-    /// Worker-thread cap (`None` = all available cores).
-    pub threads: Option<usize>,
+    /// How the campaign executes: threads, lanes, dropping, collapsing,
+    /// telemetry.
+    pub exec: ExecPolicy,
     /// Restricts the run to one shard of a partitioned universe:
     /// `(index, count)` of a [`ShardPlan`] over the fault universe.
     /// `None` runs the whole universe.
     pub shard: Option<(u32, u32)>,
-    /// Optional deprecated progress observer (see
-    /// [`CampaignSpec::events`] for the structured stream).
-    #[allow(deprecated)]
-    pub observer: Option<ProgressHook>,
     /// Optional structured event sink observing the run's lifecycle
     /// and span closures ([`scdp_obs::ObsEvent`]).
     pub events: Option<EventSink>,
-    /// When `true`, the report carries a presence-driven `telemetry`
-    /// section ([`scdp_obs::TelemetrySnapshot`]): engine counters and
-    /// histograms, per-stage span timings.
-    pub telemetry: bool,
-    /// When `true`, the gate-level engine simulates only one
-    /// representative per fault-equivalence class and fans verdicts
-    /// back out — reports stay bit-identical, wall clock shrinks.
-    pub collapse: bool,
 }
 
 impl fmt::Debug for CampaignSpec {
@@ -189,21 +183,17 @@ impl fmt::Debug for CampaignSpec {
             .field("backend", &self.backend)
             .field("fault_model", &self.fault_model)
             .field("space", &self.space)
-            .field("drop", &self.drop)
-            .field("threads", &self.threads)
+            .field("exec", &self.exec)
             .field("shard", &self.shard)
-            .field("observer", &self.observer.as_ref().map(|_| ".."))
             .field("events", &self.events.as_ref().map(|_| ".."))
-            .field("telemetry", &self.telemetry)
-            .field("collapse", &self.collapse)
             .finish()
     }
 }
 
 impl CampaignSpec {
     /// Starts a campaign specification with the paper's defaults:
-    /// functional backend, canonical fault model, exhaustive inputs, no
-    /// dropping, all available cores.
+    /// functional backend, canonical fault model, exhaustive inputs,
+    /// and the default [`ExecPolicy`].
     #[must_use]
     pub fn new(scenario: Scenario) -> Self {
         Self {
@@ -211,13 +201,9 @@ impl CampaignSpec {
             backend: Backend::Functional,
             fault_model: FaultModel::Auto,
             space: InputSpace::Exhaustive,
-            drop: DropPolicy::Never,
-            threads: None,
+            exec: ExecPolicy::new(),
             shard: None,
-            observer: None,
             events: None,
-            telemetry: false,
-            collapse: false,
         }
     }
 
@@ -242,17 +228,32 @@ impl CampaignSpec {
         self
     }
 
+    /// Replaces the execution policy wholesale: threads, lanes, drop
+    /// policy, collapsing and telemetry in one value. This supersedes
+    /// the per-knob setters (`threads`, `drop_policy`, `collapse`,
+    /// `telemetry`), which remain as deprecated shims.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the drop policy (gate-level backend only).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `exec(ExecPolicy::new().drop_policy(..))`"
+    )]
     #[must_use]
     pub fn drop_policy(mut self, drop: DropPolicy) -> Self {
-        self.drop = drop;
+        self.exec.drop = drop;
         self
     }
 
     /// Caps the worker thread count (validated by [`CampaignSpec::run`]).
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().threads(..))`")]
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+        self.exec.threads = Some(threads);
         self
     }
 
@@ -286,20 +287,8 @@ impl CampaignSpec {
             self.backend.label(),
             self.fault_model.resolve(self.backend).label(),
             &space,
-            drop_label(self.drop),
+            drop_label(self.exec.drop),
         ])
-    }
-
-    /// Installs a progress observer, called on the driver thread.
-    #[deprecated(
-        since = "0.1.0",
-        note = "install a structured `scdp_obs::ObsEvent` sink with `events()`"
-    )]
-    #[allow(deprecated)]
-    #[must_use]
-    pub fn observer(mut self, hook: ProgressHook) -> Self {
-        self.observer = Some(hook);
-        self
     }
 
     /// Installs a structured event sink, called on the driver thread:
@@ -314,9 +303,10 @@ impl CampaignSpec {
     /// Embeds a telemetry snapshot in the report (presence-driven
     /// `telemetry` section; off by default so reports stay
     /// byte-reproducible).
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().telemetry(..))`")]
     #[must_use]
     pub fn telemetry(mut self, enabled: bool) -> Self {
-        self.telemetry = enabled;
+        self.exec.telemetry = enabled;
         self
     }
 
@@ -328,9 +318,10 @@ impl CampaignSpec {
     /// Gate-level backend only; intentionally excluded from
     /// [`CampaignSpec::config_fingerprint`] so collapsed and
     /// uncollapsed checkpoints stay interchangeable.
+    #[deprecated(since = "0.1.0", note = "use `exec(ExecPolicy::new().collapse(..))`")]
     #[must_use]
     pub fn collapse(mut self, enabled: bool) -> Self {
-        self.collapse = enabled;
+        self.exec.collapse = enabled;
         self
     }
 
@@ -344,13 +335,12 @@ impl CampaignSpec {
     /// exhaustive spaces too large to enumerate.
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
         let model = self.validate()?;
-        #[allow(deprecated)]
-        let legacy = self
-            .observer
-            .clone()
-            .map(|hook| observer_sink(hook, self.backend, model));
-        let sink = compose_sinks(self.events.clone(), legacy);
-        let ctx = RunCtx::start(self.backend, model, sink, self.telemetry);
+        let ctx = RunCtx::start(
+            self.backend,
+            model,
+            self.events.clone(),
+            self.exec.telemetry,
+        );
         let mut report = match self.backend {
             Backend::Functional => self.run_functional(model, &ctx),
             Backend::GateLevel => self.run_gate(model, &ctx),
@@ -368,7 +358,7 @@ impl CampaignSpec {
                 max: MAX_WIDTH,
             });
         }
-        if self.threads == Some(0) {
+        if self.exec.threads == Some(0) {
             return Err(CampaignError::ZeroThreads);
         }
         if let Some((index, count)) = self.shard {
@@ -382,12 +372,12 @@ impl CampaignSpec {
         let model = self.fault_model.resolve(self.backend);
         match self.backend {
             Backend::Functional => {
-                if self.collapse {
+                if self.exec.collapse {
                     return Err(CampaignError::UnsupportedCollapse {
                         backend: self.backend,
                     });
                 }
-                if self.drop != DropPolicy::Never {
+                if self.exec.drop != DropPolicy::Never {
                     return Err(CampaignError::UnsupportedDropPolicy {
                         backend: self.backend,
                     });
@@ -461,7 +451,7 @@ impl CampaignSpec {
             .adder_model(adder_model)
             .allocation(s.allocation)
             .input_space(self.space);
-        if let Some(t) = self.threads {
+        if let Some(t) = self.exec.threads {
             builder = builder.threads(t);
         }
         let shard = match self.shard {
@@ -503,7 +493,7 @@ impl CampaignSpec {
             backend: Backend::Functional,
             fault_model: model,
             space: self.space,
-            drop: self.drop,
+            drop: self.exec.drop,
             simulated: result.tally.of(selected).total(),
             tally: result.tally,
             filled: TechIndex::ALL.to_vec(),
@@ -585,9 +575,7 @@ impl CampaignSpec {
             groups,
             covered,
             InputPlan::from_space(self.space),
-            self.drop,
-            self.threads,
-            self.collapse,
+            &self.exec,
         )?;
         let tally_span = ctx.span("tally");
         let selected = s.tech_index();
@@ -599,7 +587,7 @@ impl CampaignSpec {
             backend: Backend::GateLevel,
             fault_model: model,
             space: self.space,
-            drop: self.drop,
+            drop: self.exec.drop,
             tally,
             filled: vec![selected],
             per_fault,
@@ -618,13 +606,12 @@ impl CampaignSpec {
 /// `covered` (the whole universe or one shard's slice) and returns the
 /// covered per-fault rows plus their summed tally and situation count.
 ///
-/// With `collapse` the engine sees only one representative group per
-/// equivalence class intersecting `covered` (selected by
+/// With `exec.collapse` the engine sees only one representative group
+/// per equivalence class intersecting `covered` (selected by
 /// [`CollapsePlan`]); each representative's verdict is then cloned to
 /// every covered member. The rows — and therefore everything derived
 /// from them — are bit-identical to the uncollapsed run because the
 /// engine replays the same deterministic batch stream for every group.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_gate_groups(
     ctx: &RunCtx,
     netlist: &Netlist,
@@ -632,13 +619,13 @@ pub(crate) fn run_gate_groups(
     groups: Vec<Vec<StuckAtLine>>,
     covered: Range<u64>,
     plan: InputPlan,
-    drop: DropPolicy,
-    threads: Option<usize>,
-    collapse: bool,
+    exec: &ExecPolicy,
 ) -> Result<(Vec<FaultRecord>, TechTally, u64), CampaignError> {
     let universe = groups.len();
     let sharded = covered != (0..universe as u64);
-    let collapse_plan = collapse.then(|| CollapsePlan::build(netlist, &groups, covered.clone()));
+    let collapse_plan = exec
+        .collapse
+        .then(|| CollapsePlan::build(netlist, &groups, covered.clone()));
     if let Some(plan) = &collapse_plan {
         ctx.record_collapse(universe, plan.rep_groups.len(), plan.classes_total);
     }
@@ -648,11 +635,12 @@ pub(crate) fn run_gate_groups(
     };
     let mut campaign = scdp_sim::EngineCampaign::over(engine, sim_groups)
         .plan(plan)
-        .drop_policy(drop);
+        .drop_policy(exec.drop)
+        .lanes(exec.lanes);
     if let Some(rec) = ctx.recorder() {
         campaign = campaign.recorder(rec);
     }
-    if let Some(t) = threads {
+    if let Some(t) = exec.threads {
         campaign = campaign.threads(t);
     }
     if sharded && collapse_plan.is_none() {
@@ -691,7 +679,7 @@ pub(crate) fn run_gate_groups(
 mod tests {
     use super::*;
     use scdp_core::Technique;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn validation_rejects_bad_configs() {
@@ -703,14 +691,14 @@ mod tests {
 
         let err = Scenario::new(Operator::Add, 4)
             .campaign()
-            .threads(0)
+            .exec(ExecPolicy::new().threads(0))
             .run()
             .unwrap_err();
         assert_eq!(err, CampaignError::ZeroThreads);
 
         let err = Scenario::new(Operator::Add, 4)
             .campaign()
-            .drop_policy(DropPolicy::OnDetect)
+            .exec(ExecPolicy::new().drop_policy(DropPolicy::OnDetect))
             .run()
             .unwrap_err();
         assert!(matches!(err, CampaignError::UnsupportedDropPolicy { .. }));
@@ -772,7 +760,7 @@ mod tests {
             .technique(Technique::Tech1)
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(2)
+            .exec(ExecPolicy::new().threads(2))
             .run()
             .unwrap();
         assert_eq!(r.filled, vec![TechIndex::Tech1]);
@@ -782,30 +770,31 @@ mod tests {
 
     #[test]
     #[allow(deprecated)]
-    fn observer_sees_start_netlist_and_finish() {
-        let events = Arc::new(AtomicUsize::new(0));
-        let seen = events.clone();
-        let hook: ProgressHook = Arc::new(move |e: &Progress| {
-            match e {
-                Progress::Started { .. } => seen.fetch_add(1, Ordering::SeqCst),
-                Progress::NetlistCompiled { gates, faults, .. } => {
-                    assert!(*gates > 0 && *faults > 0);
-                    seen.fetch_add(10, Ordering::SeqCst)
-                }
-                Progress::Finished { simulated, .. } => {
-                    assert!(*simulated > 0);
-                    seen.fetch_add(100, Ordering::SeqCst)
-                }
-            };
-        });
-        let r = Scenario::new(Operator::Add, 2)
+    fn deprecated_setters_are_equivalent_to_exec_policy() {
+        let scenario = Scenario::new(Operator::Add, 3);
+        let legacy = scenario
             .campaign()
             .backend(Backend::GateLevel)
-            .observer(hook)
-            .run()
-            .unwrap();
-        assert!(r.total_situations() > 0);
-        assert_eq!(events.load(Ordering::SeqCst), 111);
+            .threads(2)
+            .drop_policy(DropPolicy::OnDetect)
+            .collapse(true)
+            .telemetry(true);
+        let unified = scenario.campaign().backend(Backend::GateLevel).exec(
+            ExecPolicy::new()
+                .threads(2)
+                .drop_policy(DropPolicy::OnDetect)
+                .collapse(true)
+                .telemetry(true),
+        );
+        assert_eq!(legacy.exec, unified.exec, "shims must mutate ExecPolicy");
+        let a = legacy.run().unwrap();
+        let b = unified.run().unwrap();
+        assert!(a.same_results(&b));
+        assert_eq!(
+            legacy.config_fingerprint(),
+            unified.config_fingerprint(),
+            "fingerprints must agree across the old and new surface"
+        );
     }
 
     #[test]
@@ -821,7 +810,7 @@ mod tests {
             .campaign()
             .backend(Backend::GateLevel)
             .events(sink)
-            .telemetry(true)
+            .exec(ExecPolicy::new().telemetry(true))
             .run()
             .unwrap();
         let kinds = seen.lock().unwrap().clone();
@@ -855,13 +844,13 @@ mod tests {
         let a = scenario
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(1)
+            .exec(ExecPolicy::new().threads(1))
             .run()
             .unwrap();
         let b = scenario
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(4)
+            .exec(ExecPolicy::new().threads(4))
             .run()
             .unwrap();
         assert!(a.same_results(&b));
@@ -878,7 +867,7 @@ mod tests {
         let dropped = scenario
             .campaign()
             .backend(Backend::GateLevel)
-            .drop_policy(DropPolicy::OnDetect)
+            .exec(ExecPolicy::new().drop_policy(DropPolicy::OnDetect))
             .run()
             .unwrap();
         assert!(dropped.simulated < full.simulated);

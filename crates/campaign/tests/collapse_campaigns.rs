@@ -1,4 +1,4 @@
-//! `.collapse(true)` is an engine-side optimisation, never a result
+//! `ExecPolicy::collapse` is an engine-side optimisation, never a result
 //! change: every test here pins a collapsed campaign byte-for-byte
 //! against its uncollapsed twin — per-fault rows, per-FU tallies,
 //! latency histograms, shard sections and all.
@@ -6,7 +6,7 @@
 use scdp_analyze::CollapsedUniverse;
 use scdp_campaign::{
     Backend, CampaignError, CampaignJob, CampaignReport, CampaignRunner, DatapathScenario,
-    DfgSource, FaultDuration, FaultModel, InputSpace, Scenario,
+    DfgSource, ExecPolicy, FaultDuration, FaultModel, InputSpace, Scenario,
 };
 use scdp_core::{Operator, Technique};
 use scdp_hls::testgen::{random_dfg, DfgGenConfig};
@@ -32,9 +32,12 @@ fn gate_backend_collapse_is_bit_identical() {
             .campaign()
             .backend(Backend::GateLevel)
             .fault_model(model)
-            .threads(2);
+            .exec(ExecPolicy::new().threads(2));
         let plain = spec.clone().run().expect("uncollapsed");
-        let collapsed = spec.collapse(true).run().expect("collapsed");
+        let collapsed = spec
+            .exec(ExecPolicy::new().threads(2).collapse(true))
+            .run()
+            .expect("collapsed");
         assert_eq!(canonical(plain), canonical(collapsed), "{op:?}/{tech:?}");
     }
 }
@@ -43,7 +46,7 @@ fn gate_backend_collapse_is_bit_identical() {
 fn functional_backend_rejects_collapse() {
     let err = Scenario::new(Operator::Add, 3)
         .campaign()
-        .collapse(true)
+        .exec(ExecPolicy::new().collapse(true))
         .run()
         .unwrap_err();
     assert!(matches!(
@@ -67,10 +70,14 @@ fn golden_width4_tech1_campaigns_collapse_bit_identical() {
         .campaign()
         .backend(Backend::GateLevel)
         .fault_model(FaultModel::FaGate)
-        .threads(2);
+        .exec(ExecPolicy::new().threads(2));
     assert_eq!(
         canonical(op.clone().run().expect("op")),
-        canonical(op.collapse(true).run().expect("op collapsed"))
+        canonical(
+            op.exec(ExecPolicy::new().threads(2).collapse(true))
+                .run()
+                .expect("op collapsed")
+        )
     );
 
     // Unrolled FIR datapath.
@@ -82,10 +89,14 @@ fn golden_width4_tech1_campaigns_collapse_bit_identical() {
         .technique(Technique::Tech1)
         .campaign()
         .input_space(space)
-        .threads(2);
+        .exec(ExecPolicy::new().threads(2));
     assert_eq!(
         canonical(dp.clone().run().expect("dp")),
-        canonical(dp.collapse(true).run().expect("dp collapsed"))
+        canonical(
+            dp.exec(ExecPolicy::new().threads(2).collapse(true))
+                .run()
+                .expect("dp collapsed")
+        )
     );
 
     // Cycle-accurate sequential FIR machine.
@@ -93,9 +104,12 @@ fn golden_width4_tech1_campaigns_collapse_bit_identical() {
         .technique(Technique::Tech1)
         .seq_campaign()
         .input_space(space)
-        .threads(2);
+        .exec(ExecPolicy::new().threads(2));
     let plain = seq.clone().run().expect("seq");
-    let collapsed = seq.collapse(true).run().expect("seq collapsed");
+    let collapsed = seq
+        .exec(ExecPolicy::new().threads(2).collapse(true))
+        .run()
+        .expect("seq collapsed");
     assert_eq!(plain.sequential, collapsed.sequential);
     assert_eq!(canonical(plain), canonical(collapsed));
 }
@@ -115,9 +129,12 @@ fn sequential_collapse_preserves_latency_histograms_for_transients() {
             .seq_campaign()
             .duration(duration)
             .input_space(space)
-            .threads(2);
+            .exec(ExecPolicy::new().threads(2));
         let plain = spec.clone().run().expect("uncollapsed");
-        let collapsed = spec.collapse(true).run().expect("collapsed");
+        let collapsed = spec
+            .exec(ExecPolicy::new().threads(2).collapse(true))
+            .run()
+            .expect("collapsed");
         assert_eq!(canonical(plain), canonical(collapsed), "{duration:?}");
     }
 }
@@ -141,20 +158,28 @@ fn random_custom_dfg_campaigns_collapse_bit_identical() {
             .technique(Technique::Tech1)
             .campaign()
             .input_space(space)
-            .threads(2);
+            .exec(ExecPolicy::new().threads(2));
         assert_eq!(
             canonical(dp.clone().run().expect("dp")),
-            canonical(dp.collapse(true).run().expect("dp collapsed")),
+            canonical(
+                dp.exec(ExecPolicy::new().threads(2).collapse(true))
+                    .run()
+                    .expect("dp collapsed")
+            ),
             "datapath seed {seed}"
         );
         let seq = DatapathScenario::new(DfgSource::Custom(dfg), 2)
             .technique(Technique::Tech1)
             .seq_campaign()
             .input_space(space)
-            .threads(2);
+            .exec(ExecPolicy::new().threads(2));
         assert_eq!(
             canonical(seq.clone().run().expect("seq")),
-            canonical(seq.collapse(true).run().expect("seq collapsed")),
+            canonical(
+                seq.exec(ExecPolicy::new().threads(2).collapse(true))
+                    .run()
+                    .expect("seq collapsed")
+            ),
             "sequential seed {seed}"
         );
     }
@@ -170,16 +195,13 @@ fn collapse_composes_with_sharding() {
         .technique(Technique::Tech1)
         .campaign()
         .backend(Backend::GateLevel)
-        .threads(2);
+        .exec(ExecPolicy::new().threads(2));
     let full = spec.clone().run().expect("unsharded");
     let mut shards = Vec::new();
     for index in 0..3 {
-        let collapsed = spec
-            .clone()
-            .shard(index, 3)
-            .collapse(true)
-            .run()
-            .expect("collapsed shard");
+        let mut sharded = spec.clone().shard(index, 3);
+        sharded.exec.collapse = true;
+        let collapsed = sharded.run().expect("collapsed shard");
         let plain = spec.clone().shard(index, 3).run().expect("plain shard");
         assert_eq!(
             canonical(plain),
@@ -202,7 +224,7 @@ fn runner_collapse_passthrough_reaches_every_shape() {
         Scenario::new(Operator::Add, 2)
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(2),
+            .exec(ExecPolicy::new().threads(2)),
     );
     let merged = CampaignRunner::new(job.clone().collapse(true), 3)
         .run()
@@ -219,7 +241,7 @@ fn runner_collapse_passthrough_reaches_every_shape() {
                 per_fault: 64,
                 seed: 0x5E9,
             })
-            .threads(2),
+            .exec(ExecPolicy::new().threads(2)),
     );
     let merged = CampaignRunner::new(seq.clone().collapse(true), 2)
         .run()
@@ -255,9 +277,7 @@ fn collapse_telemetry_counters_are_recorded() {
         .technique(Technique::Tech1)
         .campaign()
         .backend(Backend::GateLevel)
-        .collapse(true)
-        .telemetry(true)
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2).collapse(true).telemetry(true))
         .run()
         .expect("runs");
     let tel = report.telemetry.as_ref().expect("telemetry section");

@@ -8,8 +8,8 @@
 //!   panic.
 
 use scdp_campaign::{
-    CampaignError, CampaignReport, DatapathScenario, DfgSource, InputSpace, REPORT_SCHEMA,
-    REPORT_SCHEMA_V2,
+    CampaignError, CampaignReport, DatapathScenario, DfgSource, ExecPolicy, InputSpace,
+    REPORT_SCHEMA, REPORT_SCHEMA_V2,
 };
 use scdp_core::Technique;
 
@@ -23,7 +23,7 @@ fn pinned_report() -> CampaignReport {
             per_fault: 2048,
             seed: 0xDA7E_2005,
         })
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("datapath campaign runs")
 }

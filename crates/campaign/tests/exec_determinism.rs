@@ -1,0 +1,161 @@
+//! The execution layer is invisible in the results: every
+//! [`ExecPolicy`] combination of worker threads × SIMD lane width ×
+//! fault-equivalence collapsing produces reports bit-identical to the
+//! single-thread scalar reference — tallies, per-fault rows, per-FU
+//! tallies and detection-latency histograms alike — on all three
+//! campaign shapes (gate-level operator, unrolled datapath,
+//! cycle-accurate sequential).
+//!
+//! Thread counts include a prime (7) so block boundaries never align
+//! with the universe size, and exceed this machine's core count, so
+//! the work-stealing path (not just the home-block path) is on trial.
+
+use scdp_campaign::{
+    Backend, CampaignReport, DatapathScenario, DfgSource, ExecPolicy, FaultDuration, InputSpace,
+    Lanes, Scenario,
+};
+use scdp_core::{Operator, Technique};
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+const LANES: [Lanes; 3] = [Lanes::L1, Lanes::L4, Lanes::L8];
+
+/// Byte-comparable form: wall clock zeroed, everything else verbatim.
+fn canonical(mut report: CampaignReport) -> String {
+    report.elapsed_ms = 0;
+    assert!(report.telemetry.is_none(), "comparisons run telemetry-free");
+    report.to_json()
+}
+
+/// Runs `build` under every threads × lanes × collapse combination and
+/// pins each report byte-for-byte against the single-thread scalar
+/// uncollapsed reference.
+fn assert_exec_invariant(shape: &str, build: impl Fn(ExecPolicy) -> CampaignReport) {
+    let reference = canonical(build(ExecPolicy::new().threads(1).lanes(Lanes::L1)));
+    for threads in THREADS {
+        for lanes in LANES {
+            for collapse in [false, true] {
+                let exec = ExecPolicy::new()
+                    .threads(threads)
+                    .lanes(lanes)
+                    .collapse(collapse);
+                assert_eq!(
+                    reference,
+                    canonical(build(exec)),
+                    "{shape}: {threads} threads, {lanes:?}, collapse={collapse}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_level_operator_reports_are_execution_invariant() {
+    assert_exec_invariant("gate", |exec| {
+        Scenario::new(Operator::Add, 3)
+            .technique(Technique::Both)
+            .campaign()
+            .backend(Backend::GateLevel)
+            .exec(exec)
+            .run()
+            .expect("gate campaign")
+    });
+}
+
+#[test]
+fn datapath_reports_are_execution_invariant() {
+    let space = InputSpace::Sampled {
+        per_fault: 96,
+        seed: 0xD1CE,
+    };
+    assert_exec_invariant("datapath", |exec| {
+        DatapathScenario::new(DfgSource::Dot, 2)
+            .technique(Technique::Tech1)
+            .campaign()
+            .input_space(space)
+            .exec(exec)
+            .run()
+            .expect("datapath campaign")
+    });
+}
+
+#[test]
+fn sequential_reports_are_execution_invariant() {
+    let space = InputSpace::Sampled {
+        per_fault: 64,
+        seed: 0x5EA,
+    };
+    assert_exec_invariant("sequential", |exec| {
+        DatapathScenario::new(DfgSource::Dot, 2)
+            .technique(Technique::Both)
+            .seq_campaign()
+            .duration(FaultDuration::Permanent)
+            .input_space(space)
+            .exec(exec)
+            .run()
+            .expect("sequential campaign")
+    });
+}
+
+/// The latency histogram is the sequential shape's most
+/// execution-order-sensitive field: transient faults detected at
+/// different cycles per vector batch would scramble it under any
+/// nondeterministic merge. Pin it explicitly across the grid.
+#[test]
+fn sequential_transient_latency_histograms_are_execution_invariant() {
+    let space = InputSpace::Sampled {
+        per_fault: 64,
+        seed: 0x7AB5,
+    };
+    assert_exec_invariant("transient", |exec| {
+        DatapathScenario::new(DfgSource::Dot, 2)
+            .technique(Technique::Tech1)
+            .seq_campaign()
+            .duration(FaultDuration::Transient { cycle: 1 })
+            .input_space(space)
+            .exec(exec)
+            .run()
+            .expect("transient campaign")
+    });
+}
+
+/// Drop policies interact with lane width (a dropped fault stops
+/// consuming batches mid-stream): the drop point must land on the
+/// same batch index at every lane width and thread count.
+#[test]
+fn drop_policies_are_execution_invariant() {
+    use scdp_campaign::DropPolicy;
+    for drop in [DropPolicy::OnDetect, DropPolicy::OnEscape] {
+        let reference = canonical(
+            Scenario::new(Operator::Add, 3)
+                .campaign()
+                .backend(Backend::GateLevel)
+                .exec(
+                    ExecPolicy::new()
+                        .threads(1)
+                        .lanes(Lanes::L1)
+                        .drop_policy(drop),
+                )
+                .run()
+                .expect("reference"),
+        );
+        for threads in THREADS {
+            for lanes in LANES {
+                let exec = ExecPolicy::new()
+                    .threads(threads)
+                    .lanes(lanes)
+                    .drop_policy(drop);
+                let report = Scenario::new(Operator::Add, 3)
+                    .campaign()
+                    .backend(Backend::GateLevel)
+                    .exec(exec)
+                    .run()
+                    .expect("gate campaign");
+                assert_eq!(
+                    reference,
+                    canonical(report),
+                    "{drop:?}: {threads} threads, {lanes:?}"
+                );
+            }
+        }
+    }
+}

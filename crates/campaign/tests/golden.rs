@@ -7,7 +7,9 @@
 //!   the *same* report up to the backend label — the functional fault
 //!   universe replayed structurally, bit for bit.
 
-use scdp_campaign::{Backend, CampaignReport, CampaignSpec, FaultModel, InputSpace, Scenario};
+use scdp_campaign::{
+    Backend, CampaignReport, CampaignSpec, ExecPolicy, FaultModel, InputSpace, Scenario,
+};
 use scdp_core::{Allocation, Operator, Technique};
 use std::path::PathBuf;
 
@@ -22,7 +24,7 @@ fn pinned_spec() -> CampaignSpec {
         .technique(Technique::Tech1)
         .campaign()
         .fault_model(FaultModel::FaGate)
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
 }
 
 fn canonical_json(mut report: CampaignReport) -> String {
@@ -121,7 +123,7 @@ fn sampled_campaign_report_round_trips() {
             per_fault: 512,
             seed: 0xDA7E,
         })
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("sampled run");
     assert!(report.sampled());

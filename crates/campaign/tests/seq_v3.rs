@@ -23,8 +23,8 @@
 
 use scdp_campaign::json::{self, Json};
 use scdp_campaign::{
-    CampaignError, CampaignReport, DatapathScenario, DfgSource, FaultDuration, InputSpace,
-    REPORT_SCHEMA, REPORT_SCHEMA_V2, REPORT_SCHEMA_V3,
+    CampaignError, CampaignReport, DatapathScenario, DfgSource, ExecPolicy, FaultDuration,
+    InputSpace, REPORT_SCHEMA, REPORT_SCHEMA_V2, REPORT_SCHEMA_V3,
 };
 use scdp_core::Technique;
 use scdp_coverage::TechTally;
@@ -49,7 +49,7 @@ fn pinned_seq_report() -> CampaignReport {
         .seq_campaign()
         .duration(FaultDuration::Permanent)
         .input_space(pinned_space())
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("sequential campaign runs")
 }
@@ -150,7 +150,7 @@ fn permanent_tallies_match_unrolled_with_mux_divergence_pinned_per_site() {
         .clone()
         .campaign()
         .input_space(pinned_space())
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("unrolled campaign runs");
     let seq = pinned_seq_report();
@@ -322,14 +322,14 @@ fn mux_divergence_is_semantically_required() {
     let unrolled = scenario
         .clone()
         .campaign()
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("unrolled");
     let seq = scenario
         .clone()
         .seq_campaign()
         .duration(FaultDuration::Permanent)
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("sequential");
     let dp = scenario.elaborate_seq();
@@ -408,7 +408,7 @@ fn v3_report_round_trips_byte_for_byte() {
             per_fault: 128,
             seed: 9,
         })
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("campaign runs");
     r.elapsed_ms = 0;
@@ -498,7 +498,7 @@ fn malformed_latency_histograms_are_typed_errors() {
             per_fault: 64,
             seed: 5,
         })
-        .threads(1)
+        .exec(ExecPolicy::new().threads(1))
         .run()
         .expect("campaign runs");
     r.elapsed_ms = 0;

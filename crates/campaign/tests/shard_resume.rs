@@ -6,8 +6,8 @@
 //! histogram.
 
 use scdp_campaign::{
-    CampaignJob, CampaignReport, CampaignRunner, DatapathScenario, DfgSource, FaultDuration,
-    InputSpace, ShardState,
+    CampaignJob, CampaignReport, CampaignRunner, DatapathScenario, DfgSource, ExecPolicy,
+    FaultDuration, InputSpace, ShardState,
 };
 use scdp_core::Technique;
 use std::path::{Path, PathBuf};
@@ -22,7 +22,7 @@ fn seq_fir_job() -> CampaignJob {
                 per_fault: 256,
                 seed: 0xF1E,
             })
-            .threads(2),
+            .exec(ExecPolicy::new().threads(2)),
     )
 }
 
@@ -148,7 +148,7 @@ fn stale_or_corrupt_checkpoints_are_rerun_not_trusted() {
                 per_fault: 256,
                 seed: 0xBAD,
             })
-            .threads(2),
+            .exec(ExecPolicy::new().threads(2)),
     );
     let alien = alien_job.run_shard(1, 3).expect("alien shard");
     std::fs::write(CampaignRunner::shard_path(dir, 1), alien.to_json()).expect("stale");

@@ -5,8 +5,8 @@
 //! counts and thread counts, including through JSON (the resume path).
 
 use scdp_campaign::{
-    Backend, CampaignError, CampaignReport, DatapathScenario, DfgSource, FaultDuration, InputSpace,
-    Scenario, REPORT_SCHEMA_V4,
+    Backend, CampaignError, CampaignReport, DatapathScenario, DfgSource, ExecPolicy, FaultDuration,
+    InputSpace, Scenario, REPORT_SCHEMA_V4,
 };
 use scdp_core::{Operator, Technique};
 
@@ -60,7 +60,7 @@ fn gate_backend_shards_merge_bit_identical() {
             .technique(Technique::Tech1)
             .campaign()
             .backend(Backend::GateLevel)
-            .threads(threads)
+            .exec(ExecPolicy::new().threads(threads))
     };
     let full = spec(2).run().expect("full run");
     for count in [1, 2, 3, 5] {
@@ -74,7 +74,11 @@ fn gate_backend_shards_merge_bit_identical() {
 
 #[test]
 fn functional_backend_shards_merge_bit_identical() {
-    let spec = || Scenario::new(Operator::Mul, 3).campaign().threads(2);
+    let spec = || {
+        Scenario::new(Operator::Mul, 3)
+            .campaign()
+            .exec(ExecPolicy::new().threads(2))
+    };
     let full = spec().run().expect("full run");
     for count in [2, 4] {
         assert_sharded_merge_is_bit_identical(&full, count, |i, n| {
@@ -93,7 +97,7 @@ fn datapath_shards_merge_bit_identical_per_fu_included() {
     let full = scenario()
         .campaign()
         .input_space(space)
-        .threads(2)
+        .exec(ExecPolicy::new().threads(2))
         .run()
         .expect("full run");
     for count in [2, 3] {
@@ -101,7 +105,7 @@ fn datapath_shards_merge_bit_identical_per_fu_included() {
             scenario()
                 .campaign()
                 .input_space(space)
-                .threads(1 + (i as usize) % 2)
+                .exec(ExecPolicy::new().threads(1 + (i as usize) % 2))
                 .shard(i, n)
                 .run()
                 .expect("shard")
@@ -136,7 +140,7 @@ fn sequential_shards_merge_bit_identical_latency_hist_included() {
                 per_fault: 256,
                 seed: 0x5E9,
             })
-            .threads(2)
+            .exec(ExecPolicy::new().threads(2))
     };
     let full = spec().run().expect("full run");
     for count in [2, 4] {

@@ -88,15 +88,19 @@ impl TelemetrySnapshot {
         self.spans.iter().find(|s| s.path == path)
     }
 
-    /// The count-typed counters — every counter whose name does not
-    /// end in `_ns`. These are the values the determinism contract
-    /// covers: identical across thread counts, and shard-merged sums
-    /// equal the unsharded run's.
+    /// The count-typed counters — every counter whose name neither
+    /// ends in `_ns` (wall-clock values) nor starts with `pool.`
+    /// (work-stealing schedule observations: block counts, steals,
+    /// per-worker busy time — all legitimately thread-count or
+    /// scheduling dependent). These are the values the determinism
+    /// contract covers: identical across thread counts, scheduling
+    /// orders and lane widths, and shard-merged sums equal the
+    /// unsharded run's.
     #[must_use]
     pub fn deterministic_counters(&self) -> Vec<CounterSnapshot> {
         self.counters
             .iter()
-            .filter(|c| !c.name.ends_with("_ns"))
+            .filter(|c| !c.name.ends_with("_ns") && !c.name.starts_with("pool."))
             .cloned()
             .collect()
     }
@@ -234,7 +238,12 @@ mod tests {
 
     #[test]
     fn deterministic_counters_drop_ns_names() {
-        let s = snap(&[("engine.batches", 4), ("engine.busy_ns", 999)]);
+        let s = snap(&[
+            ("engine.batches", 4),
+            ("engine.busy_ns", 999),
+            ("pool.blocks", 7),
+            ("pool.steals", 3),
+        ]);
         let det = s.deterministic_counters();
         assert_eq!(det.len(), 1);
         assert_eq!(det[0].name, "engine.batches");

@@ -2,6 +2,8 @@
 
 use scdp_rng::{Rng, Xoshiro256StarStar};
 
+use crate::words::Words;
+
 /// Number of input vectors packed into one machine word.
 pub const LANES: usize = 64;
 
@@ -142,6 +144,20 @@ impl InputPlan {
             },
         }
     }
+
+    /// A fresh deterministic stream of [`WideBatch`]es: the same
+    /// batches as [`InputPlan::stream`], fused `L` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exhaustive plan is requested for more than 63 input
+    /// bits.
+    #[must_use]
+    pub fn wide_stream<const L: usize>(&self, input_bits: usize) -> WideStream<L> {
+        WideStream {
+            inner: self.stream(input_bits),
+        }
+    }
 }
 
 impl From<scdp_coverage::InputSpace> for InputPlan {
@@ -198,6 +214,59 @@ impl Iterator for BatchStream {
     }
 }
 
+/// Up to `64 * L` input vectors, bit-sliced into `L`-limb words:
+/// limb `k` of `bits[i]` is exactly `bits[i]` of the `k`-th consecutive
+/// scalar [`InputBatch`] the plan would have produced.
+///
+/// That limb-order contract is what lets campaign drivers consume wide
+/// results one limb at a time and stay bit-identical to the scalar
+/// path — including the exact point at which fault dropping triggers.
+#[derive(Clone, Debug)]
+pub struct WideBatch<const L: usize> {
+    /// One wide word per primary input bit.
+    pub bits: Vec<Words<L>>,
+    /// Per-limb valid-lane masks (the scalar batches' `mask()`s).
+    pub mask: Words<L>,
+    /// Number of limbs holding real batches (1..=L); higher limbs have
+    /// an all-zero mask.
+    pub limbs: usize,
+}
+
+/// Iterator fusing the scalar [`BatchStream`] `L` batches at a time.
+///
+/// Like `BatchStream`, the stream is a pure function of the plan, so
+/// independent workers can each run their own copy and see identical
+/// wide batches.
+#[derive(Clone, Debug)]
+pub struct WideStream<const L: usize> {
+    inner: BatchStream,
+}
+
+impl<const L: usize> Iterator for WideStream<L> {
+    type Item = WideBatch<L>;
+
+    fn next(&mut self) -> Option<WideBatch<L>> {
+        let first = self.inner.next()?;
+        let input_bits = first.bits.len();
+        let mut bits = vec![Words::<L>::ZERO; input_bits];
+        let mut mask = Words::<L>::ZERO;
+        let mut limbs = 0;
+        let mut batch = Some(first);
+        while limbs < L {
+            let Some(b) = batch.take() else { break };
+            for (wide, &word) in bits.iter_mut().zip(&b.bits) {
+                wide.0[limbs] = word;
+            }
+            mask.0[limbs] = b.mask();
+            limbs += 1;
+            if limbs < L {
+                batch = self.inner.next();
+            }
+        }
+        Some(WideBatch { bits, mask, limbs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +307,35 @@ mod tests {
         let b: Vec<_> = plan.stream(5).map(|b| b.bits).collect();
         assert_eq!(a, b);
         assert_eq!(a.len(), 3, "130 vectors = 64 + 64 + 2 lanes");
+    }
+
+    #[test]
+    fn wide_stream_limbs_match_scalar_batches() {
+        for plan in [
+            InputPlan::Exhaustive,
+            InputPlan::Sampled {
+                vectors: 700,
+                seed: 42,
+            },
+        ] {
+            let scalar: Vec<_> = plan.stream(9).collect();
+            let mut k = 0;
+            for wide in plan.wide_stream::<4>(9) {
+                assert!(wide.limbs >= 1 && wide.limbs <= 4);
+                for limb in 0..wide.limbs {
+                    let b = &scalar[k];
+                    for (i, w) in wide.bits.iter().enumerate() {
+                        assert_eq!(w.limb(limb), b.bits[i], "bit {i} limb {limb}");
+                    }
+                    assert_eq!(wide.mask.limb(limb), b.mask());
+                    k += 1;
+                }
+                for limb in wide.limbs..4 {
+                    assert_eq!(wide.mask.limb(limb), 0, "dead limb must be masked off");
+                }
+            }
+            assert_eq!(k, scalar.len(), "wide stream must cover every batch");
+        }
     }
 
     #[test]

@@ -3,14 +3,15 @@
 use crate::batch::InputPlan;
 use crate::engine::Engine;
 use crate::error::SimError;
-use crate::par;
+use crate::par::{self, PoolStats};
+use crate::words::{LaneWord, Lanes};
 use scdp_coverage::TechTally;
 use scdp_netlist::gen::SelfCheckingDatapath;
 use scdp_netlist::StuckAtLine;
 use scdp_obs::Recorder;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// When a fault leaves the simulated universe.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -77,13 +78,15 @@ impl CampaignSummary {
 /// A configured bit-parallel campaign: a compiled engine, a universe of
 /// fault groups (each group is one multiple-stuck-at fault — e.g. the
 /// correlated copies of one local site across unit instances), an input
-/// plan and a drop policy.
+/// plan, a drop policy and a lane width.
 ///
-/// The driver partitions the universe into contiguous chunks, one per
-/// worker; every worker re-generates the same deterministic batch
-/// stream, simulates the good machine once per batch, then replays each
-/// of its live faults against the batch. Results are therefore
-/// independent of the worker count.
+/// The driver splits the universe into small fault blocks scheduled by
+/// the work-stealing pool ([`par::run_blocks`]); every block
+/// re-generates the same deterministic batch stream, simulates the good
+/// machine once per (wide) batch, then replays each of its live faults
+/// against the batch, consuming verdicts one 64-lane limb at a time.
+/// Results are therefore independent of the worker count, the
+/// scheduling order *and* the lane width.
 #[derive(Clone, Debug)]
 pub struct EngineCampaign<'a> {
     engine: &'a Engine,
@@ -91,6 +94,7 @@ pub struct EngineCampaign<'a> {
     plan: InputPlan,
     drop: DropPolicy,
     threads: usize,
+    lanes: Lanes,
     range: Option<Range<usize>>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -112,6 +116,7 @@ impl<'a> EngineCampaign<'a> {
             plan: InputPlan::Exhaustive,
             drop: DropPolicy::Never,
             threads: par::default_threads(),
+            lanes: Lanes::Auto,
             range: None,
             recorder: None,
         }
@@ -140,6 +145,15 @@ impl<'a> EngineCampaign<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
         self.threads = threads;
+        self
+    }
+
+    /// Selects the SIMD lane width (wide words per gate operation).
+    /// Results are bit-identical at every width; [`Lanes::Auto`] picks
+    /// the widest supported path.
+    #[must_use]
+    pub fn lanes(mut self, lanes: Lanes) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -209,87 +223,135 @@ impl<'a> EngineCampaign<'a> {
     /// netlist does not have — validate with [`EngineCampaign::check`]
     /// first for a typed error (the unified `scdp-campaign` surface
     /// does); silently dropping such lines would produce plausible but
-    /// wrong tallies.
+    /// wrong tallies. Also re-raises a worker panic (see
+    /// [`EngineCampaign::try_run`] for the typed-error form).
     #[must_use]
     pub fn run(&self) -> CampaignSummary {
-        if let Err(e) = self.check() {
-            panic!("invalid fault spec: {e} (validate with EngineCampaign::check)");
+        match self.try_run() {
+            Ok(summary) => summary,
+            Err(e @ SimError::WorkerPanicked { .. }) => panic!("{e}"),
+            Err(e) => panic!("invalid fault spec: {e} (validate with EngineCampaign::check)"),
         }
+    }
+
+    /// Runs the campaign, surfacing malformed fault specs and worker
+    /// panics as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] a fault group fails validation with, or
+    /// [`SimError::WorkerPanicked`] if a pool worker panicked.
+    pub fn try_run(&self) -> Result<CampaignSummary, SimError> {
+        self.check()?;
         let scoped = self.scoped();
-        let per_fault = par::map_chunks(scoped, self.threads, |chunk| self.run_chunk(chunk));
+        let block = par::auto_block(scoped.len(), self.threads);
+        let batch_evals = AtomicU64::new(0);
+        let (per_fault, stats) = match self.lanes.limbs() {
+            1 => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<1>(&scoped[r], &batch_evals)
+            })?,
+            4 => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<4>(&scoped[r], &batch_evals)
+            })?,
+            _ => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<8>(&scoped[r], &batch_evals)
+            })?,
+        };
+        if let Some(rec) = &self.recorder {
+            record_campaign_telemetry(
+                rec,
+                "engine",
+                &per_fault,
+                batch_evals.load(Ordering::Relaxed),
+                &stats,
+            );
+        }
         let mut tally = TechTally::default();
         let mut simulated = 0u64;
         for f in &per_fault {
             tally += f.tally;
             simulated += f.tally.total();
         }
-        CampaignSummary {
+        Ok(CampaignSummary {
             per_fault,
             tally,
             simulated,
-        }
+        })
     }
 
-    /// Simulates one contiguous chunk of the fault universe on the
-    /// calling thread (PPSFP inner loop).
-    fn run_chunk(&self, chunk: &[Vec<StuckAtLine>]) -> Vec<FaultOutcome> {
-        let busy = Instant::now();
+    /// Simulates one block of the fault universe on the calling worker
+    /// (PPSFP inner loop, `64 * L` situations per gate operation).
+    ///
+    /// Wide verdicts are consumed one limb at a time in scalar-batch
+    /// order — tallies, drop points and `batch_evals` (limbs tallied,
+    /// the scalar path's per-batch count) are lane-width invariant.
+    fn run_chunk<const L: usize>(
+        &self,
+        chunk: &[Vec<StuckAtLine>],
+        batch_evals: &AtomicU64,
+    ) -> Vec<FaultOutcome> {
         let engine = self.engine;
         let mut outcomes: Vec<FaultOutcome> = vec![FaultOutcome::default(); chunk.len()];
         let mut live: Vec<usize> = (0..chunk.len()).collect();
         let mut good = Vec::new();
         let mut faulty = Vec::new();
-        let mut batch_evals = 0u64;
-        for batch in self.plan.stream(engine.input_bits()) {
+        let mut evals = 0u64;
+        for wide in self.plan.wide_stream::<L>(engine.input_bits()) {
             if live.is_empty() {
                 break;
             }
-            engine.eval_batch_into(&batch, &[], &mut good);
-            debug_assert_eq!(
-                engine.compare(&good, &good, batch.mask()).alarm,
-                0,
+            engine.eval_wide_into(&wide, &[], &mut good);
+            debug_assert!(
+                engine.compare_wide(&good, &good, wide.mask).alarm.is_zero(),
                 "good machine must be alarm-free"
             );
             let drop = self.drop;
-            batch_evals += live.len() as u64;
             live.retain(|&k| {
-                engine.eval_batch_into(&batch, &chunk[k], &mut faulty);
-                let v = engine.compare(&good, &faulty, batch.mask());
-                let (cs, cd, ed, eu) = v.counts();
+                engine.eval_wide_into(&wide, &chunk[k], &mut faulty);
+                let v = engine.compare_wide(&good, &faulty, wide.mask);
                 let o = &mut outcomes[k];
-                o.tally.correct_silent += cs;
-                o.tally.correct_detected += cd;
-                o.tally.error_detected += ed;
-                o.tally.error_undetected += eu;
-                o.detected |= cd + ed > 0;
-                o.escaped |= eu > 0;
-                let decided = match drop {
-                    DropPolicy::Never => false,
-                    DropPolicy::OnDetect => o.detected,
-                    DropPolicy::OnEscape => o.escaped,
-                };
-                if decided {
-                    o.dropped_after = Some(o.tally.total());
+                let mut decided = false;
+                for limb in 0..wide.limbs {
+                    let (cs, cd, ed, eu) = v.limb(limb).counts();
+                    evals += 1;
+                    o.tally.correct_silent += cs;
+                    o.tally.correct_detected += cd;
+                    o.tally.error_detected += ed;
+                    o.tally.error_undetected += eu;
+                    o.detected |= cd + ed > 0;
+                    o.escaped |= eu > 0;
+                    decided = match drop {
+                        DropPolicy::Never => false,
+                        DropPolicy::OnDetect => o.detected,
+                        DropPolicy::OnEscape => o.escaped,
+                    };
+                    if decided {
+                        o.dropped_after = Some(o.tally.total());
+                        break;
+                    }
                 }
                 !decided
             });
         }
-        if let Some(rec) = &self.recorder {
-            record_chunk_telemetry(rec, "engine", &outcomes, batch_evals, &busy);
-        }
+        batch_evals.fetch_add(evals, Ordering::Relaxed);
         outcomes
     }
 }
 
-/// Flushes one chunk's telemetry into `rec` under the `prefix.*`
-/// namespace. Shared by the combinational and sequential drivers; one
-/// flush per chunk keeps the atomics entirely off the inner loop.
-pub(crate) fn record_chunk_telemetry(
+/// Flushes one campaign's telemetry into `rec` under the `prefix.*`
+/// and `pool.*` namespaces. Shared by the combinational and sequential
+/// drivers; one flush per campaign keeps the atomics entirely off the
+/// inner loop. The `prefix.*` counters (and the situation histogram)
+/// are thread-count, scheduling and lane-width invariant; the `pool.*`
+/// counters describe the schedule itself — blocks, steals, per-worker
+/// busy time — and are excluded from
+/// `TelemetrySnapshot::deterministic_counters`.
+pub(crate) fn record_campaign_telemetry(
     rec: &Recorder,
     prefix: &str,
     outcomes: &[FaultOutcome],
     batch_evals: u64,
-    busy: &Instant,
+    stats: &PoolStats,
 ) {
     let hist = rec.histogram(&format!("{prefix}.fault_situations"));
     let mut dropped = 0u64;
@@ -304,10 +366,12 @@ pub(crate) fn record_chunk_telemetry(
     rec.add(&format!("{prefix}.fault_batches"), batch_evals);
     rec.add(&format!("{prefix}.faults_dropped"), dropped);
     rec.add(&format!("{prefix}.situations"), situations);
-    rec.add(
-        &format!("{prefix}.busy_ns"),
-        u64::try_from(busy.elapsed().as_nanos()).unwrap_or(u64::MAX),
-    );
+    rec.add(&format!("{prefix}.busy_ns"), stats.busy_ns());
+    rec.add("pool.blocks", stats.blocks);
+    rec.add("pool.steals", stats.steals);
+    for (w, &busy_ns) in stats.worker_busy_ns.iter().enumerate() {
+        rec.add(&format!("pool.w{w}.busy_ns"), busy_ns);
+    }
 }
 
 /// Summary of one gate-level cross-validation campaign.
@@ -492,6 +556,58 @@ mod tests {
             t1.counter("engine.fault_batches").unwrap() > 0,
             "batch evaluations recorded"
         );
+    }
+
+    #[test]
+    fn lane_width_does_not_change_results_even_when_dropping() {
+        let dp = add_dp(5, Technique::Both);
+        let engine = Engine::new(&dp.netlist);
+        let mut groups = Vec::new();
+        for site in dp.local_sites() {
+            for value in [false, true] {
+                groups.push(dp.correlated_fault(site, value));
+            }
+        }
+        for drop in [
+            DropPolicy::Never,
+            DropPolicy::OnDetect,
+            DropPolicy::OnEscape,
+        ] {
+            let run = |lanes: Lanes| {
+                EngineCampaign::over(&engine, groups.clone())
+                    .drop_policy(drop)
+                    .threads(2)
+                    .lanes(lanes)
+                    .run()
+            };
+            let reference = run(Lanes::L1);
+            for lanes in [Lanes::L4, Lanes::L8, Lanes::Auto] {
+                let wide = run(lanes);
+                assert_eq!(reference.tally, wide.tally, "{drop:?} {lanes:?}");
+                assert_eq!(reference.simulated, wide.simulated, "{drop:?} {lanes:?}");
+                for (a, b) in reference.per_fault.iter().zip(&wide.per_fault) {
+                    assert_eq!(a.tally, b.tally, "{drop:?} {lanes:?}");
+                    assert_eq!(a.detected, b.detected);
+                    assert_eq!(a.escaped, b.escaped);
+                    assert_eq!(a.dropped_after, b.dropped_after, "{drop:?} {lanes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_surfaces_bad_specs_as_typed_errors() {
+        let dp = add_dp(3, Technique::Tech1);
+        let engine = Engine::new(&dp.netlist);
+        let bogus = vec![vec![scdp_netlist::StuckAtLine::new(
+            scdp_netlist::StuckSite {
+                gate: usize::MAX,
+                pin: None,
+            },
+            true,
+        )]];
+        let err = EngineCampaign::over(&engine, bogus).try_run().unwrap_err();
+        assert!(matches!(err, SimError::GateOutOfRange { .. }));
     }
 
     #[test]

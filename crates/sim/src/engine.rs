@@ -1,18 +1,14 @@
 //! The levelized bit-parallel gate evaluator.
+//!
+//! Evaluation is generic over [`LaneWord`]: the same forward pass runs
+//! on single `u64` words (64 vectors per gate op, the public
+//! differential-test path) or on [`Words<L>`] wide words (256/512
+//! vectors per gate op, the campaign hot path).
 
-use crate::batch::InputBatch;
+use crate::batch::{InputBatch, WideBatch};
 use crate::error::SimError;
+use crate::words::{LaneWord, Words};
 use scdp_netlist::{GateKind, Netlist, StuckAtLine};
-
-/// Splats a logic value across all 64 lanes.
-#[inline]
-fn splat(value: bool) -> u64 {
-    if value {
-        u64::MAX
-    } else {
-        0
-    }
-}
 
 /// A netlist compiled for bit-parallel evaluation.
 ///
@@ -63,6 +59,32 @@ impl BatchOutcome {
         let cd = (!wrong & alarm & self.mask).count_ones() as u64;
         let cs = self.mask.count_ones() as u64 - eu - ed - cd;
         (cs, cd, ed, eu)
+    }
+}
+
+/// Packed verdict of one faulty *wide* batch (`64 * L` vectors) against
+/// the good machine. Campaign drivers consume it one limb at a time via
+/// [`WideOutcome::limb`], in scalar-batch order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WideOutcome<const L: usize> {
+    /// Lanes whose result-bus values differ from the good machine.
+    pub wrong: Words<L>,
+    /// Lanes where an alarm net is asserted.
+    pub alarm: Words<L>,
+    /// Mask of lanes that carry real vectors.
+    pub mask: Words<L>,
+}
+
+impl<const L: usize> WideOutcome<L> {
+    /// The verdict of limb `k` — exactly the [`BatchOutcome`] the
+    /// scalar path would have produced for the `k`-th batch.
+    #[must_use]
+    pub fn limb(&self, k: usize) -> BatchOutcome {
+        BatchOutcome {
+            wrong: self.wrong.limb(k),
+            alarm: self.alarm.limb(k),
+            mask: self.mask.limb(k),
+        }
     }
 }
 
@@ -159,18 +181,40 @@ impl Engine {
         faults: &[StuckAtLine],
         values: &mut Vec<u64>,
     ) {
-        assert_eq!(
-            batch.bits.len(),
-            self.input_bits,
-            "input bit count mismatch"
-        );
+        self.eval_words_into(&batch.bits, faults, values);
+    }
+
+    /// Wide twin of [`Engine::eval_batch_into`]: evaluates `64 * L`
+    /// vectors per forward pass. Same fault semantics, same sort
+    /// requirement on `faults`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch width does not match the netlist.
+    pub fn eval_wide_into<const L: usize>(
+        &self,
+        batch: &WideBatch<L>,
+        faults: &[StuckAtLine],
+        values: &mut Vec<Words<L>>,
+    ) {
+        self.eval_words_into(&batch.bits, faults, values);
+    }
+
+    /// The generic forward pass shared by the scalar and wide paths.
+    fn eval_words_into<W: LaneWord>(
+        &self,
+        bits: &[W],
+        faults: &[StuckAtLine],
+        values: &mut Vec<W>,
+    ) {
+        assert_eq!(bits.len(), self.input_bits, "input bit count mismatch");
         debug_assert!(
             faults.windows(2).all(|w| w[0].site.gate <= w[1].site.gate),
             "fault list must be sorted by gate"
         );
         let n = self.kinds.len();
         values.clear();
-        values.resize(n, 0);
+        values.resize(n, W::ZERO);
         let mut next_input = 0usize;
         let mut fi = 0usize;
         let mut fault_gate = faults.first().map_or(usize::MAX, |f| f.site.gate);
@@ -193,16 +237,16 @@ impl Engine {
                     fi += 1;
                 }
                 fault_gate = faults.get(fi).map_or(usize::MAX, |f| f.site.gate);
-                let read = |pin: Option<bool>, net: u32, values: &[u64]| -> u64 {
-                    pin.map_or(values[net as usize], splat)
+                let read = |pin: Option<bool>, net: u32, values: &[W]| -> W {
+                    pin.map_or(values[net as usize], W::splat)
                 };
                 let out = match self.kinds[i] {
                     GateKind::Input => {
-                        let v = batch.bits[next_input];
+                        let v = bits[next_input];
                         next_input += 1;
                         v
                     }
-                    GateKind::Const(c) => splat(c),
+                    GateKind::Const(c) => W::splat(c),
                     GateKind::Not => !read(pin0, self.a[i], values),
                     GateKind::Buf => read(pin0, self.a[i], values),
                     kind => {
@@ -211,21 +255,22 @@ impl Engine {
                         apply2(kind, va, vb)
                     }
                 };
-                stem.map_or(out, splat)
+                stem.map_or(out, W::splat)
             } else {
                 match self.kinds[i] {
                     GateKind::Input => {
-                        let v = batch.bits[next_input];
+                        let v = bits[next_input];
                         next_input += 1;
                         v
                     }
-                    GateKind::Const(c) => splat(c),
+                    GateKind::Const(c) => W::splat(c),
                     GateKind::Not => !values[self.a[i] as usize],
                     GateKind::Buf => values[self.a[i] as usize],
                     kind => apply2(kind, values[self.a[i] as usize], values[self.b[i] as usize]),
                 }
             };
-            // Lanes beyond batch.len hold junk; harmless, masked later.
+            // Lanes beyond the batch length hold junk; harmless, masked
+            // later.
             values[i] = out;
         }
     }
@@ -242,19 +287,32 @@ impl Engine {
     /// batch, producing the packed taxonomy masks.
     #[must_use]
     pub fn compare(&self, good: &[u64], faulty: &[u64], mask: u64) -> BatchOutcome {
-        let mut wrong = 0u64;
+        let (wrong, alarm) = self.compare_words(good, faulty, mask);
+        BatchOutcome { wrong, alarm, mask }
+    }
+
+    /// Wide twin of [`Engine::compare`].
+    #[must_use]
+    pub fn compare_wide<const L: usize>(
+        &self,
+        good: &[Words<L>],
+        faulty: &[Words<L>],
+        mask: Words<L>,
+    ) -> WideOutcome<L> {
+        let (wrong, alarm) = self.compare_words(good, faulty, mask);
+        WideOutcome { wrong, alarm, mask }
+    }
+
+    fn compare_words<W: LaneWord>(&self, good: &[W], faulty: &[W], mask: W) -> (W, W) {
+        let mut wrong = W::ZERO;
         for &net in &self.result_nets {
-            wrong |= good[net as usize] ^ faulty[net as usize];
+            wrong = wrong | (good[net as usize] ^ faulty[net as usize]);
         }
-        let mut alarm = 0u64;
+        let mut alarm = W::ZERO;
         for &net in &self.alarm_nets {
-            alarm |= faulty[net as usize];
+            alarm = alarm | faulty[net as usize];
         }
-        BatchOutcome {
-            wrong: wrong & mask,
-            alarm: alarm & mask,
-            mask,
-        }
+        (wrong & mask, alarm & mask)
     }
 }
 
@@ -278,8 +336,10 @@ pub(crate) fn check_lines(kinds: &[GateKind], faults: &[StuckAtLine]) -> Result<
     Ok(())
 }
 
+/// The two-input gate functions, shared by both engines and all lane
+/// widths.
 #[inline]
-fn apply2(kind: GateKind, a: u64, b: u64) -> u64 {
+pub(crate) fn apply2<W: LaneWord>(kind: GateKind, a: W, b: W) -> W {
     match kind {
         GateKind::And => a & b,
         GateKind::Or => a | b,
@@ -353,6 +413,71 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn wide_eval_limbs_match_scalar_eval() {
+        // 8 inputs -> 256 vectors -> several scalar batches per wide
+        // batch at L = 4.
+        let mut b = NetlistBuilder::new("wide");
+        let x = b.input_bus("x", 8);
+        let mut acc = x[0];
+        for (i, &xi) in x.iter().enumerate().skip(1) {
+            acc = match i % 3 {
+                0 => b.and(acc, xi),
+                1 => b.xor(acc, xi),
+                _ => b.nor(acc, xi),
+            };
+        }
+        b.output("y", &[acc]);
+        let nl = b.finish();
+        let engine = Engine::new(&nl);
+        let fault = StuckAtLine::new(
+            StuckSite {
+                gate: 9,
+                pin: Some(0),
+            },
+            true,
+        );
+        for faults in [&[][..], &[fault][..]] {
+            let plan = InputPlan::Exhaustive;
+            let scalar: Vec<Vec<u64>> = plan
+                .stream(8)
+                .map(|batch| engine.eval_batch(&batch, faults))
+                .collect();
+            let mut k = 0;
+            let mut values = Vec::new();
+            for wide in plan.wide_stream::<4>(8) {
+                engine.eval_wide_into(&wide, faults, &mut values);
+                for limb in 0..wide.limbs {
+                    for (net, w) in values.iter().enumerate() {
+                        assert_eq!(w.limb(limb), scalar[k][net], "net {net} batch {k}");
+                    }
+                    k += 1;
+                }
+            }
+            assert_eq!(k, scalar.len());
+        }
+    }
+
+    #[test]
+    fn wide_compare_limbs_match_scalar_compare() {
+        let nl = xor_netlist();
+        let engine = Engine::new(&nl);
+        let fault = StuckAtLine::new(StuckSite { gate: 2, pin: None }, true);
+        let wide = InputPlan::Exhaustive.wide_stream::<4>(2).next().unwrap();
+        let mut good = Vec::new();
+        let mut faulty = Vec::new();
+        engine.eval_wide_into(&wide, &[], &mut good);
+        engine.eval_wide_into(&wide, &[fault], &mut faulty);
+        let outcome = engine.compare_wide(&good, &faulty, wide.mask);
+        let batch = InputPlan::Exhaustive.stream(2).next().unwrap();
+        let sg = engine.eval_batch(&batch, &[]);
+        let sf = engine.eval_batch(&batch, &[fault]);
+        assert_eq!(outcome.limb(0), engine.compare(&sg, &sf, batch.mask()));
+        for limb in 1..4 {
+            assert_eq!(outcome.limb(limb).mask, 0, "dead limbs stay masked");
         }
     }
 

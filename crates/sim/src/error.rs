@@ -15,8 +15,9 @@
 use std::error::Error;
 use std::fmt;
 
-/// Why a netlist could not be compiled or a fault spec rejected.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// Why a netlist could not be compiled, a fault spec rejected, or a
+/// parallel campaign aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// A fault names a gate index beyond the compiled netlist.
     GateOutOfRange {
@@ -42,6 +43,14 @@ pub enum SimError {
         /// The offending Dff's gate index.
         gate: usize,
     },
+    /// A worker thread in the parallel pool panicked. The pool stops
+    /// handing out work, joins the remaining workers, and surfaces the
+    /// first panic payload here instead of re-panicking on the caller's
+    /// thread.
+    WorkerPanicked {
+        /// The panic payload, rendered to a string when it was one.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +70,9 @@ impl fmt::Display for SimError {
             }
             SimError::UnconnectedDff { gate } => {
                 write!(f, "Dff at gate {gate} has no connected D input")
+            }
+            SimError::WorkerPanicked { message } => {
+                write!(f, "campaign worker panicked: {message}")
             }
         }
     }
@@ -88,5 +100,10 @@ mod tests {
         assert!(SimError::GateOutOfRange { gate: 9, gates: 4 }
             .to_string()
             .contains("9"));
+        let p = SimError::WorkerPanicked {
+            message: "index out of bounds".into(),
+        };
+        assert!(p.to_string().contains("worker panicked"));
+        assert!(p.to_string().contains("index out of bounds"));
     }
 }

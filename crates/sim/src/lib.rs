@@ -40,14 +40,18 @@
 //! detection-latency axis of the sequential datapath campaigns.
 //!
 //! On top sits a **parallel campaign driver** ([`EngineCampaign`]): the
-//! fault universe is partitioned across worker threads, every worker
-//! regenerates the same deterministic batch stream (so results are
-//! independent of thread count), and per-thread tallies are merged.
-//! `rayon` would provide the same fork-join shape, but the build
-//! environment is offline, so the driver uses `std::thread::scope`
-//! directly; the partitioning (contiguous chunks of the fault universe,
-//! one local good-machine evaluation per batch per worker) is what
-//! matters for reproducibility and scaling.
+//! fault universe is split into small blocks scheduled by a
+//! work-stealing pool ([`par::run_blocks`]), every block regenerates
+//! the same deterministic batch stream (so results are independent of
+//! thread count and scheduling), and per-block results are merged in
+//! block order at the join barrier. `rayon` would provide the same
+//! fork-join shape, but the build environment is offline, so the pool
+//! uses `std::thread::scope` and an atomic work index directly. The
+//! packing itself is lane-width generic ([`Words`], [`Lanes`]): the
+//! drivers default to 8×`u64` wide words — 512 situations per gate
+//! operation, auto-vectorised to the hardware's widest SIMD — and
+//! consume verdicts limb by limb so every tally, drop point and
+//! latency histogram stays bit-identical to the 64-lane path.
 //!
 //! # Relation to the paper's situation taxonomy
 //!
@@ -85,16 +89,19 @@ mod engine;
 mod error;
 pub mod par;
 mod seq;
+mod words;
 
-pub use batch::{BatchStream, InputBatch, InputPlan, LANES};
+pub use batch::{BatchStream, InputBatch, InputPlan, WideBatch, WideStream, LANES};
 pub use campaign::{
     correlated_coverage, dedicated_coverage, CampaignSummary, DropPolicy, EngineCampaign,
     FaultOutcome, XvalReport,
 };
-pub use engine::{BatchOutcome, Engine};
+pub use engine::{BatchOutcome, Engine, WideOutcome};
 pub use error::SimError;
+pub use par::PoolStats;
 pub use scdp_netlist::FaultDuration;
 pub use seq::{
     mean_detection_latency, SeqBatchOutcome, SeqCampaign, SeqCampaignSummary, SeqEngine,
     SeqFaultGroup, SeqFaultOutcome,
 };
+pub use words::{LaneWord, Lanes, Words};

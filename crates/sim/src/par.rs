@@ -1,12 +1,32 @@
-//! Minimal fork-join helper over `std::thread`.
+//! Work-stealing fork-join pool over `std::thread`.
 //!
-//! The campaign driver needs exactly one parallel shape: *partition a
-//! slice into contiguous chunks, map each chunk on its own worker,
-//! splice the results back in order*. `rayon`'s `par_chunks` would
-//! express this directly, but the build environment is offline, so this
-//! module provides the same semantics on scoped threads. Chunking is
-//! deterministic (`ceil(len / threads)` contiguous pieces), which keeps
-//! campaign output independent of scheduling.
+//! The campaign drivers need one parallel shape: *split a fault range
+//! into small blocks, evaluate each block on some worker, splice the
+//! per-block outputs back in index order*. `rayon` would express this
+//! directly, but the build environment is offline, so this module
+//! provides the same semantics on scoped threads.
+//!
+//! Scheduling is dynamic — workers race on a shared atomic work index,
+//! so a worker that finishes its "home" share early steals blocks that
+//! static contiguous chunking would have assigned elsewhere. Fault
+//! dropping makes per-fault cost wildly uneven (a dropped fault costs
+//! one batch, an undetected one costs the whole input space), which is
+//! exactly the load shape static chunking handles worst. Output stays
+//! bit-identical to single-thread because results are merged by block
+//! index at the join barrier, never by completion order.
+//!
+//! Worker panics do not propagate as panics: each worker runs under
+//! `std::panic::catch_unwind`, the first payload aborts the pool
+//! (remaining workers stop taking blocks), and the caller receives a
+//! typed [`SimError::WorkerPanicked`].
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::error::SimError;
 
 /// A sensible default worker count: the machine's available
 /// parallelism, 1 if it cannot be queried.
@@ -15,33 +35,197 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Maps `f` over contiguous chunks of `items` on up to `threads`
-/// workers and concatenates the per-chunk outputs in input order.
+/// Work-block size for `n` items on `threads` workers.
 ///
-/// `f` runs on the calling thread when a single chunk suffices, so
-/// small workloads pay no spawn cost.
-pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> Vec<R> + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    if threads <= 1 {
-        return f(items);
+/// Small enough that each worker sees several blocks (so stealing can
+/// balance uneven per-fault cost), large enough that the per-block
+/// fixed cost — re-evaluating the good machine once per block per
+/// batch — stays a few percent: ~4 blocks per worker, capped at 32
+/// faults per block.
+#[must_use]
+pub fn auto_block(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1) * 4).clamp(1, 32)
+}
+
+/// What the pool observed while running: exported as `pool.*` telemetry
+/// counters by the campaign drivers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers the pool actually ran with (1 for the inline path).
+    pub threads: usize,
+    /// Number of work blocks the range was split into.
+    pub blocks: u64,
+    /// Blocks executed by a worker other than their static "home"
+    /// worker — how much dynamic scheduling deviated from contiguous
+    /// chunking. Zero on one thread; scheduling-dependent otherwise.
+    pub steals: u64,
+    /// Wall time each worker spent inside `f`, in nanoseconds. All
+    /// entries are nonzero when every worker got at least one block.
+    pub worker_busy_ns: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total busy time across workers, in nanoseconds.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum()
     }
-    let chunk = items.len().div_ceil(threads);
-    let results: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|slice| s.spawn(|| f(slice)))
+}
+
+/// Maps `f` over `block`-sized index ranges of `0..n` on up to
+/// `threads` workers and concatenates the per-block outputs in index
+/// order, together with pool telemetry.
+///
+/// `f(lo..hi)` must depend only on the range, not on which worker runs
+/// it — the drivers regenerate their deterministic input streams per
+/// block — so the concatenation is bit-identical to calling
+/// `f(0..n)` ranges sequentially. Runs inline on the calling thread
+/// when one worker or one block suffices, so small workloads pay no
+/// spawn cost.
+///
+/// # Errors
+///
+/// [`SimError::WorkerPanicked`] if any invocation of `f` panics; the
+/// first payload is captured, the pool drains, and no result is
+/// returned.
+pub fn run_blocks<R, F>(
+    n: usize,
+    threads: usize,
+    block: usize,
+    f: F,
+) -> Result<(Vec<R>, PoolStats), SimError>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    let threads = threads.max(1).min(nblocks.max(1));
+    let range_of = |b: usize| b * block..((b + 1) * block).min(n);
+
+    if threads <= 1 {
+        let start = Instant::now();
+        let mut out = Vec::new();
+        let mut result = Ok(());
+        for b in 0..nblocks {
+            match catch_unwind(AssertUnwindSafe(|| f(range_of(b)))) {
+                Ok(items) => out.extend(items),
+                Err(payload) => {
+                    result = Err(SimError::WorkerPanicked {
+                        message: panic_message(payload.as_ref()),
+                    });
+                    break;
+                }
+            }
+        }
+        result?;
+        let stats = PoolStats {
+            threads: 1,
+            blocks: nblocks as u64,
+            steals: 0,
+            worker_busy_ns: vec![start.elapsed().as_nanos() as u64],
+        };
+        return Ok((out, stats));
+    }
+
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panic_msg: Mutex<Option<String>> = Mutex::new(None);
+
+    // (block index, block output, executing worker) triples per worker,
+    // merged by block index after the join barrier.
+    type WorkerOut<R> = (Vec<(usize, Vec<R>)>, u64, u64);
+    let per_worker: Vec<WorkerOut<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let next = &next;
+                let abort = &abort;
+                let panic_msg = &panic_msg;
+                let f = &f;
+                s.spawn(move || {
+                    let start = Instant::now();
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    let mut steals = 0u64;
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= nblocks {
+                            break;
+                        }
+                        // The worker static chunking would have given
+                        // this block to; executing it elsewhere is a
+                        // steal.
+                        if b * threads / nblocks != w {
+                            steals += 1;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(range_of(b)))) {
+                            Ok(items) => mine.push((b, items)),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let msg = panic_message(payload.as_ref());
+                                let mut slot = panic_msg.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.get_or_insert(msg);
+                                break;
+                            }
+                        }
+                    }
+                    (mine, steals, start.elapsed().as_nanos() as u64)
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // Unreachable: the closure body cannot panic (f runs
+                // under catch_unwind). Degrade to an empty share so the
+                // abort path below still reports cleanly.
+                Err(payload) => {
+                    abort.store(true, Ordering::Relaxed);
+                    let msg = panic_message(payload.as_ref());
+                    let mut slot = panic_msg.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(msg);
+                    (Vec::new(), 0, 0)
+                }
+            })
             .collect()
     });
-    results.into_iter().flatten().collect()
+
+    if let Some(message) = panic_msg.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        return Err(SimError::WorkerPanicked { message });
+    }
+
+    let mut stats = PoolStats {
+        threads,
+        blocks: nblocks as u64,
+        steals: 0,
+        worker_busy_ns: Vec::with_capacity(threads),
+    };
+    let mut slots: Vec<Option<Vec<R>>> = (0..nblocks).map(|_| None).collect();
+    for (mine, steals, busy_ns) in per_worker {
+        stats.steals += steals;
+        stats.worker_busy_ns.push(busy_ns);
+        for (b, items) in mine {
+            slots[b] = Some(items);
+        }
+    }
+    let out = slots
+        .into_iter()
+        .flat_map(|s| s.expect("pool completed without abort, so every block ran"))
+        .collect();
+    Ok((out, stats))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -50,20 +234,72 @@ mod tests {
 
     #[test]
     fn preserves_order_and_covers_all_items() {
-        let items: Vec<u64> = (0..1000).collect();
         for threads in [1, 2, 3, 7, 64] {
-            let doubled = map_chunks(&items, threads, |chunk| {
-                chunk.iter().map(|x| x * 2).collect()
-            });
-            assert_eq!(doubled.len(), 1000);
-            assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+            for block in [1, 3, 32, 1000, 5000] {
+                let (doubled, stats) =
+                    run_blocks(1000, threads, block, |r| r.map(|x| 2 * x as u64).collect())
+                        .unwrap();
+                assert_eq!(doubled.len(), 1000);
+                assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+                assert_eq!(stats.blocks, 1000u64.div_ceil(block.max(1) as u64));
+                assert!(stats.threads >= 1);
+                assert_eq!(stats.worker_busy_ns.len(), stats.threads);
+            }
         }
     }
 
     #[test]
     fn empty_input_is_fine() {
-        let out = map_chunks(&[] as &[u8], 4, |c| c.to_vec());
+        let (out, stats) = run_blocks(0, 4, 8, |_| vec![0u8]).unwrap();
         assert!(out.is_empty());
+        assert_eq!(stats.blocks, 0);
+    }
+
+    #[test]
+    fn worker_panic_becomes_typed_error() {
+        for threads in [1, 4] {
+            let err = run_blocks(100, threads, 4, |r| {
+                if r.contains(&57) {
+                    panic!("bad block at {}", r.start);
+                }
+                r.collect::<Vec<_>>()
+            })
+            .unwrap_err();
+            match err {
+                SimError::WorkerPanicked { message } => {
+                    assert!(message.contains("bad block"), "message: {message}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_thread_pool_reports_per_worker_busy() {
+        let (out, stats) = run_blocks(256, 4, 2, |r| {
+            // Enough work per block that every worker gets a slice.
+            let mut acc = 0u64;
+            for x in r.clone() {
+                for i in 0..2000 {
+                    acc = acc.wrapping_mul(31).wrapping_add(x as u64 ^ i);
+                }
+            }
+            vec![(acc & 1) + r.start as u64]
+        })
+        .unwrap();
+        assert_eq!(out.len(), 128);
+        assert_eq!(stats.blocks, 128);
+        assert_eq!(stats.worker_busy_ns.len(), stats.threads);
+        assert!(stats.busy_ns() > 0);
+    }
+
+    #[test]
+    fn auto_block_is_bounded() {
+        assert_eq!(auto_block(0, 4), 1);
+        assert_eq!(auto_block(1, 4), 1);
+        assert_eq!(auto_block(1000, 4), 32);
+        assert_eq!(auto_block(64, 4), 4);
+        assert!(auto_block(usize::MAX, 1) == 32);
     }
 
     #[test]

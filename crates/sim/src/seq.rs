@@ -25,22 +25,14 @@
 
 use crate::batch::{InputBatch, InputPlan};
 use crate::campaign::FaultOutcome;
-use crate::engine::{check_lines, BatchOutcome};
+use crate::engine::{apply2, check_lines, BatchOutcome};
 use crate::error::SimError;
 use crate::par;
+use crate::words::{LaneWord, Lanes};
 use scdp_coverage::TechTally;
 use scdp_netlist::{FaultDuration, GateKind, Netlist, StuckAtLine};
 use std::ops::Range;
-
-/// Splats a logic value across all 64 lanes.
-#[inline]
-fn splat(value: bool) -> u64 {
-    if value {
-        u64::MAX
-    } else {
-        0
-    }
-}
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One multiple-stuck-at fault with a duration: the unit of injection
 /// of a sequential campaign.
@@ -222,13 +214,13 @@ impl SeqEngine {
 
     /// Evaluates one forward pass (one cycle) into `values`: Dff cells
     /// output `state`, faults in `faults` are forced (pass an empty
-    /// slice for inactive cycles), inputs come from `batch`.
-    fn eval_cycle(
+    /// slice for inactive cycles), inputs come from `bits`.
+    fn eval_cycle<W: LaneWord>(
         &self,
-        batch: &InputBatch,
+        bits: &[W],
         faults: &[StuckAtLine],
-        state: &[u64],
-        values: &mut [u64],
+        state: &[W],
+        values: &mut [W],
     ) {
         let n = self.kinds.len();
         let mut next_input = 0usize;
@@ -253,16 +245,16 @@ impl SeqEngine {
                     fi += 1;
                 }
                 fault_gate = faults.get(fi).map_or(usize::MAX, |f| f.site.gate);
-                let read = |pin: Option<bool>, net: u32, values: &[u64]| -> u64 {
-                    pin.map_or(values[net as usize], splat)
+                let read = |pin: Option<bool>, net: u32, values: &[W]| -> W {
+                    pin.map_or(values[net as usize], W::splat)
                 };
                 let out = match self.kinds[i] {
                     GateKind::Input => {
-                        let v = batch.bits[next_input];
+                        let v = bits[next_input];
                         next_input += 1;
                         v
                     }
-                    GateKind::Const(c) => splat(c),
+                    GateKind::Const(c) => W::splat(c),
                     // A Dff outputs its state; a pin-0 fault affects
                     // the value *captured* (handled in `step`).
                     GateKind::Dff => state[self.dff_index[i] as usize],
@@ -274,15 +266,15 @@ impl SeqEngine {
                         apply2(kind, va, vb)
                     }
                 };
-                stem.map_or(out, splat)
+                stem.map_or(out, W::splat)
             } else {
                 match self.kinds[i] {
                     GateKind::Input => {
-                        let v = batch.bits[next_input];
+                        let v = bits[next_input];
                         next_input += 1;
                         v
                     }
-                    GateKind::Const(c) => splat(c),
+                    GateKind::Const(c) => W::splat(c),
                     GateKind::Dff => state[self.dff_index[i] as usize],
                     GateKind::Not => !values[self.a[i] as usize],
                     GateKind::Buf => values[self.a[i] as usize],
@@ -295,7 +287,7 @@ impl SeqEngine {
 
     /// Captures the next state from the D nets, honouring pin-0 faults
     /// on Dff cells.
-    fn step(&self, faults: &[StuckAtLine], values: &[u64], state: &mut [u64]) {
+    fn step<W: LaneWord>(&self, faults: &[StuckAtLine], values: &[W], state: &mut [W]) {
         for (k, &(_, d)) in self.dffs.iter().enumerate() {
             state[k] = values[d as usize];
         }
@@ -303,7 +295,7 @@ impl SeqEngine {
             if f.site.pin == Some(0) {
                 let k = self.dff_index[f.site.gate];
                 if k != u32::MAX {
-                    state[k as usize] = splat(f.value);
+                    state[k as usize] = W::splat(f.value);
                 }
             }
         }
@@ -330,72 +322,75 @@ impl SeqEngine {
         values: &mut Vec<u64>,
         state: &mut Vec<u64>,
     ) -> SeqBatchOutcome {
-        assert_eq!(
-            batch.bits.len(),
-            self.input_bits,
-            "input bit count mismatch"
-        );
+        let (alarm, first_detect) =
+            self.run_words_into(&batch.bits, batch.mask(), fault, cycles, values, state);
+        SeqBatchOutcome {
+            wrong: 0,
+            alarm,
+            mask: batch.mask(),
+            first_detect,
+        }
+    }
+
+    /// The generic multi-cycle run shared by the scalar and wide paths:
+    /// returns the sticky alarm word and the per-cycle first-detection
+    /// words, leaving the final cycle's net values in `values`.
+    fn run_words_into<W: LaneWord>(
+        &self,
+        bits: &[W],
+        mask: W,
+        fault: Option<&SeqFaultGroup>,
+        cycles: u32,
+        values: &mut Vec<W>,
+        state: &mut Vec<W>,
+    ) -> (W, Vec<W>) {
+        assert_eq!(bits.len(), self.input_bits, "input bit count mismatch");
         assert!(cycles > 0, "at least one cycle required");
         debug_assert!(
             fault.is_none_or(|f| f.lines.windows(2).all(|w| w[0].site.gate <= w[1].site.gate)),
             "fault lines must be sorted by gate"
         );
         values.clear();
-        values.resize(self.kinds.len(), 0);
+        values.resize(self.kinds.len(), W::ZERO);
         state.clear();
-        state.resize(self.dffs.len(), 0);
-        let mask = batch.mask();
-        let mut alarm_seen = 0u64;
-        let mut first_detect = vec![0u64; cycles as usize];
+        state.resize(self.dffs.len(), W::ZERO);
+        let mut alarm_seen = W::ZERO;
+        let mut first_detect = vec![W::ZERO; cycles as usize];
         for cycle in 0..cycles {
             let active: &[StuckAtLine] = match fault {
                 Some(f) if f.duration.active_at(cycle) => &f.lines,
                 _ => &[],
             };
-            self.eval_cycle(batch, active, state, values);
-            let mut alarm = 0u64;
+            self.eval_cycle(bits, active, state, values);
+            let mut alarm = W::ZERO;
             for &net in &self.alarm_nets {
-                alarm |= values[net as usize];
+                alarm = alarm | values[net as usize];
             }
-            alarm &= mask;
+            alarm = alarm & mask;
             let fired = alarm & !alarm_seen;
-            if fired != 0 {
+            if !fired.is_zero() {
                 first_detect[cycle as usize] = fired;
-                alarm_seen |= fired;
+                alarm_seen = alarm_seen | fired;
             }
             if cycle + 1 < cycles {
                 self.step(active, values, state);
             }
         }
-        SeqBatchOutcome {
-            wrong: 0,
-            alarm: alarm_seen,
-            mask,
-            first_detect,
-        }
+        (alarm_seen, first_detect)
     }
 
     /// XOR-compares the result nets of two final-cycle value vectors.
     #[must_use]
     pub fn result_diff(&self, good: &[u64], faulty: &[u64], mask: u64) -> u64 {
-        let mut wrong = 0u64;
+        self.result_diff_words(good, faulty, mask)
+    }
+
+    fn result_diff_words<W: LaneWord>(&self, good: &[W], faulty: &[W], mask: W) -> W {
+        let mut wrong = W::ZERO;
         for &net in &self.result_nets {
-            wrong |= good[net as usize] ^ faulty[net as usize];
+            wrong = wrong | (good[net as usize] ^ faulty[net as usize]);
         }
         wrong & mask
-    }
-}
-
-#[inline]
-fn apply2(kind: GateKind, a: u64, b: u64) -> u64 {
-    match kind {
-        GateKind::And => a & b,
-        GateKind::Or => a | b,
-        GateKind::Xor => a ^ b,
-        GateKind::Nand => !(a & b),
-        GateKind::Nor => !(a | b),
-        GateKind::Xnor => !(a ^ b),
-        _ => unreachable!("two-input kinds only"),
     }
 }
 
@@ -461,11 +456,12 @@ pub fn mean_detection_latency(hist: &[u64]) -> Option<f64> {
 
 /// A configured sequential campaign: a compiled [`SeqEngine`], a
 /// universe of duration-qualified fault groups, a cycle count, an input
-/// plan and a drop policy. The driver shape matches
-/// [`crate::EngineCampaign`]: contiguous chunks of the universe per
-/// worker, every worker re-generating the same deterministic batch
-/// stream and sharing one good-machine evaluation per batch, so results
-/// are independent of the worker count.
+/// plan, a drop policy and a lane width. The driver shape matches
+/// [`crate::EngineCampaign`]: small fault blocks scheduled by the
+/// work-stealing pool, every block re-generating the same deterministic
+/// batch stream and sharing one good-machine evaluation per (wide)
+/// batch, so results are independent of the worker count, the
+/// scheduling order and the lane width.
 #[derive(Clone, Debug)]
 pub struct SeqCampaign<'a> {
     engine: &'a SeqEngine,
@@ -474,6 +470,7 @@ pub struct SeqCampaign<'a> {
     plan: InputPlan,
     drop: crate::DropPolicy,
     threads: usize,
+    lanes: Lanes,
     range: Option<Range<usize>>,
     recorder: Option<std::sync::Arc<scdp_obs::Recorder>>,
 }
@@ -496,6 +493,7 @@ impl<'a> SeqCampaign<'a> {
             plan: InputPlan::Exhaustive,
             drop: crate::DropPolicy::Never,
             threads: par::default_threads(),
+            lanes: Lanes::Auto,
             range: None,
             recorder: None,
         }
@@ -524,6 +522,15 @@ impl<'a> SeqCampaign<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "thread count must be positive");
         self.threads = threads;
+        self
+    }
+
+    /// Selects the SIMD lane width (wide words per gate operation).
+    /// Results are bit-identical at every width; [`Lanes::Auto`] picks
+    /// the widest supported path.
+    #[must_use]
+    pub fn lanes(mut self, lanes: Lanes) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -593,14 +600,52 @@ impl<'a> SeqCampaign<'a> {
     /// netlist does not have — validate with [`SeqCampaign::check`]
     /// first for a typed error (the unified `scdp-campaign` surface
     /// does); silently dropping such lines would produce plausible but
-    /// wrong tallies.
+    /// wrong tallies. Also re-raises a worker panic (see
+    /// [`SeqCampaign::try_run`] for the typed-error form).
     #[must_use]
     pub fn run(&self) -> SeqCampaignSummary {
-        if let Err(e) = self.check() {
-            panic!("invalid fault spec: {e} (validate with SeqCampaign::check)");
+        match self.try_run() {
+            Ok(summary) => summary,
+            Err(e @ SimError::WorkerPanicked { .. }) => panic!("{e}"),
+            Err(e) => panic!("invalid fault spec: {e} (validate with SeqCampaign::check)"),
         }
+    }
+
+    /// Runs the campaign, surfacing malformed fault specs and worker
+    /// panics as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] a fault group fails validation with, or
+    /// [`SimError::WorkerPanicked`] if a pool worker panicked.
+    pub fn try_run(&self) -> Result<SeqCampaignSummary, SimError> {
+        self.check()?;
         let scoped = self.scoped();
-        let per_fault = par::map_chunks(scoped, self.threads, |chunk| self.run_chunk(chunk));
+        let block = par::auto_block(scoped.len(), self.threads);
+        let batch_evals = AtomicU64::new(0);
+        let (per_fault, stats) = match self.lanes.limbs() {
+            1 => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<1>(&scoped[r], &batch_evals)
+            })?,
+            4 => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<4>(&scoped[r], &batch_evals)
+            })?,
+            _ => par::run_blocks(scoped.len(), self.threads, block, |r| {
+                self.run_chunk::<8>(&scoped[r], &batch_evals)
+            })?,
+        };
+        if let Some(rec) = &self.recorder {
+            let flat: Vec<FaultOutcome> = per_fault.iter().map(|o| o.outcome.clone()).collect();
+            crate::campaign::record_campaign_telemetry(
+                rec,
+                "seq",
+                &flat,
+                batch_evals.load(Ordering::Relaxed),
+                &stats,
+            );
+            let situations: u64 = flat.iter().map(|o| o.tally.total()).sum();
+            rec.add("seq.cycles_evaluated", situations * u64::from(self.cycles));
+        }
         let mut tally = TechTally::default();
         let mut simulated = 0u64;
         let mut first_detect = vec![0u64; self.cycles as usize];
@@ -611,19 +656,27 @@ impl<'a> SeqCampaign<'a> {
                 first_detect[c] += n;
             }
         }
-        SeqCampaignSummary {
+        Ok(SeqCampaignSummary {
             per_fault,
             tally,
             simulated,
             first_detect,
             cycles: self.cycles,
-        }
+        })
     }
 
-    /// Simulates one contiguous chunk of the fault universe on the
-    /// calling thread.
-    fn run_chunk(&self, chunk: &[SeqFaultGroup]) -> Vec<SeqFaultOutcome> {
-        let busy = std::time::Instant::now();
+    /// Simulates one block of the fault universe on the calling worker
+    /// (`64 * L` situations per gate operation per cycle).
+    ///
+    /// Wide verdicts — including the per-cycle first-detection words —
+    /// are consumed one limb at a time in scalar-batch order, so
+    /// tallies, latency histograms and drop points are lane-width
+    /// invariant.
+    fn run_chunk<const L: usize>(
+        &self,
+        chunk: &[SeqFaultGroup],
+        batch_evals: &AtomicU64,
+    ) -> Vec<SeqFaultOutcome> {
         let engine = self.engine;
         let cycles = self.cycles;
         let mut outcomes: Vec<SeqFaultOutcome> = chunk
@@ -637,50 +690,61 @@ impl<'a> SeqCampaign<'a> {
         let mut good = Vec::new();
         let mut faulty = Vec::new();
         let mut state = Vec::new();
-        let mut batch_evals = 0u64;
-        for batch in self.plan.stream(engine.input_bits()) {
+        let mut evals = 0u64;
+        for wide in self.plan.wide_stream::<L>(engine.input_bits()) {
             if live.is_empty() {
                 break;
             }
-            // The good machine runs once per batch, shared across every
-            // fault (and every cycle) of this chunk.
-            let g = engine.run_batch_into(&batch, None, cycles, &mut good, &mut state);
-            debug_assert_eq!(g.alarm, 0, "good machine must be alarm-free");
+            // The good machine runs once per wide batch, shared across
+            // every fault (and every cycle) of this block.
+            let (g_alarm, _) =
+                engine.run_words_into(&wide.bits, wide.mask, None, cycles, &mut good, &mut state);
+            debug_assert!(g_alarm.is_zero(), "good machine must be alarm-free");
             let drop = self.drop;
-            batch_evals += live.len() as u64;
             live.retain(|&k| {
-                let mut v =
-                    engine.run_batch_into(&batch, Some(&chunk[k]), cycles, &mut faulty, &mut state);
-                v.wrong = engine.result_diff(&good, &faulty, batch.mask());
-                let (cs, cd, ed, eu) = v.counts();
+                let (alarm, first_detect) = engine.run_words_into(
+                    &wide.bits,
+                    wide.mask,
+                    Some(&chunk[k]),
+                    cycles,
+                    &mut faulty,
+                    &mut state,
+                );
+                let wrong = engine.result_diff_words(&good, &faulty, wide.mask);
                 let so = &mut outcomes[k];
-                let o = &mut so.outcome;
-                o.tally.correct_silent += cs;
-                o.tally.correct_detected += cd;
-                o.tally.error_detected += ed;
-                o.tally.error_undetected += eu;
-                o.detected |= cd + ed > 0;
-                o.escaped |= eu > 0;
-                for (c, m) in v.first_detect.iter().enumerate() {
-                    so.first_detect[c] += m.count_ones() as u64;
-                }
-                let decided = match drop {
-                    crate::DropPolicy::Never => false,
-                    crate::DropPolicy::OnDetect => o.detected,
-                    crate::DropPolicy::OnEscape => o.escaped,
-                };
-                if decided {
-                    o.dropped_after = Some(o.tally.total());
+                let mut decided = false;
+                for limb in 0..wide.limbs {
+                    let (cs, cd, ed, eu) = BatchOutcome {
+                        wrong: wrong.limb(limb),
+                        alarm: alarm.limb(limb),
+                        mask: wide.mask.limb(limb),
+                    }
+                    .counts();
+                    evals += 1;
+                    let o = &mut so.outcome;
+                    o.tally.correct_silent += cs;
+                    o.tally.correct_detected += cd;
+                    o.tally.error_detected += ed;
+                    o.tally.error_undetected += eu;
+                    o.detected |= cd + ed > 0;
+                    o.escaped |= eu > 0;
+                    for (c, m) in first_detect.iter().enumerate() {
+                        so.first_detect[c] += u64::from(m.limb(limb).count_ones());
+                    }
+                    decided = match drop {
+                        crate::DropPolicy::Never => false,
+                        crate::DropPolicy::OnDetect => so.outcome.detected,
+                        crate::DropPolicy::OnEscape => so.outcome.escaped,
+                    };
+                    if decided {
+                        so.outcome.dropped_after = Some(so.outcome.tally.total());
+                        break;
+                    }
                 }
                 !decided
             });
         }
-        if let Some(rec) = &self.recorder {
-            let flat: Vec<FaultOutcome> = outcomes.iter().map(|o| o.outcome.clone()).collect();
-            crate::campaign::record_chunk_telemetry(rec, "seq", &flat, batch_evals, &busy);
-            let situations: u64 = flat.iter().map(|o| o.tally.total()).sum();
-            rec.add("seq.cycles_evaluated", situations * u64::from(cycles));
-        }
+        batch_evals.fetch_add(evals, Ordering::Relaxed);
         outcomes
     }
 }
@@ -916,6 +980,55 @@ mod tests {
             assert_eq!(f.outcome.detected, d.outcome.detected);
         }
         assert!(dropped.simulated <= full.simulated);
+    }
+
+    #[test]
+    fn lane_width_does_not_change_seq_results() {
+        let nl = quiet_alarm_netlist();
+        let engine = SeqEngine::new(&nl);
+        let groups: Vec<SeqFaultGroup> = (0..nl.gate_count())
+            .flat_map(|gate| {
+                [
+                    SeqFaultGroup::new(
+                        vec![StuckAtLine::new(StuckSite { gate, pin: None }, true)],
+                        FaultDuration::Permanent,
+                    ),
+                    SeqFaultGroup::new(
+                        vec![StuckAtLine::new(StuckSite { gate, pin: None }, false)],
+                        FaultDuration::Transient { cycle: 1 },
+                    ),
+                ]
+            })
+            .collect();
+        let plan = InputPlan::Sampled {
+            vectors: 300,
+            seed: 0x5EED,
+        };
+        let run = |lanes: Lanes, drop: crate::DropPolicy| {
+            SeqCampaign::new(&engine, groups.clone(), 4)
+                .plan(plan)
+                .drop_policy(drop)
+                .threads(2)
+                .lanes(lanes)
+                .run()
+        };
+        for drop in [crate::DropPolicy::Never, crate::DropPolicy::OnDetect] {
+            let reference = run(Lanes::L1, drop);
+            for lanes in [Lanes::L4, Lanes::L8] {
+                let wide = run(lanes, drop);
+                assert_eq!(reference.tally, wide.tally, "{drop:?} {lanes:?}");
+                assert_eq!(
+                    reference.first_detect, wide.first_detect,
+                    "{drop:?} {lanes:?}"
+                );
+                assert_eq!(reference.simulated, wide.simulated);
+                for (a, b) in reference.per_fault.iter().zip(&wide.per_fault) {
+                    assert_eq!(a.outcome.tally, b.outcome.tally);
+                    assert_eq!(a.outcome.dropped_after, b.outcome.dropped_after);
+                    assert_eq!(a.first_detect, b.first_detect);
+                }
+            }
+        }
     }
 
     #[test]
