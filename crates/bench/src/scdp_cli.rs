@@ -47,6 +47,7 @@ const BARE_FLAGS: &[&str] = &[
     "--collapse",
     "--strict",
     "--json",
+    "--wait",
 ];
 
 const USAGE: &str = "\
@@ -60,6 +61,8 @@ USAGE:
   scdp sweep [--seq] [SCENARIO] [EXECUTION] [--report-dir DIR]
   scdp lint [SCENARIO] [--strict] [--json]
   scdp trace summarize FILE...
+  scdp serve [--addr A] [--dir DIR] [--jobs N]
+  scdp submit SPEC.json [--addr A] [--wait] [--out FILE]
 
 SCENARIO (pick an operator or a workload):
   --op add|sub|mul|div          checked operator scenario (default: add)
@@ -92,6 +95,16 @@ SHARDING (scdp run):
   --dir DIR         checkpoint each shard to DIR/shard-NNN.json; an
                     interrupted sweep resumes from DIR next invocation
   --max-shards K    stop after K fresh shards (deterministic interrupt)
+
+SERVING (scdp serve / scdp submit):
+  serve runs the campaign job server: POST /jobs, GET /jobs/<id>,
+  GET /jobs/<id>/report, GET /healthz — results are cached by
+  configuration fingerprint and interrupted jobs resume on restart
+  --addr A          bind (serve) / connect (submit); default 127.0.0.1:7878
+  --dir DIR         job-state directory (default scdp-jobs)
+  --jobs N          concurrent campaign jobs (default 2)
+  --wait            poll the submitted job until it finishes
+  --out FILE        write the fetched report (implies --wait)
 
 OBSERVABILITY (scdp run):
   --trace FILE      write every campaign/shard/span event to FILE as
@@ -130,6 +143,8 @@ pub fn run(raw: Vec<String>) -> i32 {
         "sweep" => cmd_sweep(&args),
         "lint" => cmd_lint(&args),
         "trace" => cmd_trace(&files),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args, &files),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return 0;
@@ -709,6 +724,62 @@ fn print_per_fu(dp: &scdp_campaign::DatapathDetails) {
     }
 }
 
+/// The default server address shared by `scdp serve` and
+/// `scdp submit`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7878";
+
+/// `scdp serve` — run the campaign job server in the foreground until
+/// killed. Jobs (specs, checkpoints and merged reports) persist under
+/// `--dir`; interrupted jobs resume on the next start.
+fn cmd_serve(args: &CliArgs) -> Result<i32, String> {
+    let config = scdp_serve::ServerConfig {
+        addr: args.value_or("--addr", DEFAULT_SERVE_ADDR.to_string()),
+        dir: PathBuf::from(args.value_or("--dir", "scdp-jobs".to_string())),
+        workers: args.value_or("--jobs", 2usize),
+    };
+    let handle = scdp_serve::Server::start(&config)
+        .map_err(|e| format!("start server on {}: {e}", config.addr))?;
+    eprintln!(
+        "scdp serve: listening on http://{} ({} worker(s), jobs under {})",
+        handle.addr(),
+        config.workers.max(1),
+        config.dir.display(),
+    );
+    handle.join();
+    Ok(0)
+}
+
+/// `scdp submit` — POST a spec file to a running server, report the
+/// cache verdict, and optionally wait for (and fetch) the result.
+fn cmd_submit(args: &CliArgs, files: &[String]) -> Result<i32, String> {
+    let Some(spec_path) = files.first() else {
+        return Err("usage: scdp submit SPEC.json [--addr A] [--wait] [--out FILE]".to_string());
+    };
+    let addr = args.value_or("--addr", DEFAULT_SERVE_ADDR.to_string());
+    let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("read {spec_path}: {e}"))?;
+    let submitted = scdp_serve::client::submit(&addr, &spec)?;
+    println!(
+        "job {}  cache: {}  status: {}",
+        submitted.id, submitted.cache, submitted.status
+    );
+    let out = args.value::<String>("--out");
+    if !args.flag("--wait") && out.is_none() {
+        return Ok(0);
+    }
+    let done =
+        scdp_serve::client::wait(&addr, &submitted.id, std::time::Duration::from_millis(300))?;
+    println!(
+        "job {}  done ({}/{} shards)",
+        submitted.id, done.done, done.total
+    );
+    if let Some(path) = out {
+        let report = scdp_serve::client::fetch_report(&addr, &submitted.id)?;
+        std::fs::write(&path, report).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(0)
+}
+
 /// The workload × technique sweep: the former `table_datapath`
 /// (unrolled) and, with `--seq`, `table_seq` (cycle-accurate with a
 /// duration axis) binaries.
@@ -792,7 +863,12 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                         .exec(exec)
                         .run_on(&machine)
                         .map_err(|e| e.to_string())?;
-                    let details = report.sequential.as_ref().expect("sequential section");
+                    let details = report.sequential.as_ref().ok_or_else(|| {
+                        format!(
+                            "sweep {label}/{tech}: sequential campaign report is \
+                             missing its sequential section"
+                        )
+                    })?;
                     let latency = details
                         .mean_detection_latency()
                         .map_or("-".to_string(), |l| format!("{l:.2}c"));
@@ -824,7 +900,12 @@ fn cmd_sweep(args: &CliArgs) -> Result<i32, String> {
                     .exec(exec)
                     .run()
                     .map_err(|e| e.to_string())?;
-                let details = report.datapath.as_ref().expect("datapath section");
+                let details = report.datapath.as_ref().ok_or_else(|| {
+                    format!(
+                        "sweep {label}/{tech}: datapath campaign report is \
+                         missing its datapath section"
+                    )
+                })?;
                 println!(
                     "{:<8} {:<6} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
                     label,
@@ -1066,6 +1147,52 @@ mod tests {
         assert_eq!(run(strings(&["trace", "summarize", &trace_path])), 0);
         assert_eq!(run(strings(&["trace", "summarize"])), 1);
         assert_eq!(run(strings(&["trace", "frobnicate", &trace_path])), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submit_verb_round_trips_against_a_live_server() {
+        let dir = std::env::temp_dir().join(format!("scdp_cli_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let handle = scdp_serve::Server::start(&scdp_serve::ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            dir: dir.join("jobs"),
+            workers: 1,
+        })
+        .expect("bind");
+        let addr = handle.addr().to_string();
+        let spec_path = dir.join("spec.json").display().to_string();
+        std::fs::write(
+            &spec_path,
+            r#"{"kind":"operator","op":"add","backend":"gate-level",
+                "width":3,"samples":64,"shards":2}"#,
+        )
+        .expect("spec file");
+        let out = dir.join("report.json").display().to_string();
+
+        // Usage and connection errors are errors, not panics.
+        assert_eq!(run(strings(&["submit"])), 1);
+        assert_eq!(
+            run(strings(&["submit", &spec_path, "--addr", "127.0.0.1:1"])),
+            1
+        );
+
+        // Submit, wait, fetch; the fetched report validates.
+        assert_eq!(
+            run(strings(&[
+                "submit", &spec_path, "--addr", &addr, "--out", &out
+            ])),
+            0
+        );
+        assert_eq!(run(strings(&["validate", &out])), 0);
+        // Resubmission is a cache hit (the report is already there).
+        assert_eq!(
+            run(strings(&["submit", &spec_path, "--addr", &addr, "--wait"])),
+            0
+        );
+
+        handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

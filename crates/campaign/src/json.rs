@@ -120,7 +120,18 @@ impl Json {
 
 /// Writes `f` in Rust's shortest round-trip form, forcing a decimal
 /// point so the value re-parses as [`Json::Float`].
+///
+/// JSON has no representation for non-finite numbers (`format!` would
+/// produce `inf`/`NaN`, which no parser — including [`parse`] —
+/// accepts), so non-finite input is a caller bug: it debug-asserts,
+/// and in release builds degrades to `null` so the emitted document
+/// still re-parses instead of poisoning every consumer downstream.
 pub fn write_f64(out: &mut String, f: f64) {
+    debug_assert!(f.is_finite(), "non-finite {f} cannot be serialised as JSON");
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
     let s = format!("{f}");
     out.push_str(&s);
     if !s.contains(['.', 'e', 'E']) {
@@ -311,27 +322,32 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
+                    let c = match self.peek() {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b'r') => '\r',
+                        Some(b't') => '\t',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32)
-                                .ok_or_else(|| self.error("bad \\u escape"))?;
-                            s.push(hex);
-                            self.pos += 4;
+                            // `unicode_escape` consumes through the last
+                            // hex digit itself (it may span two `\uXXXX`
+                            // units for a surrogate pair).
+                            s.push(self.unicode_escape()?);
+                            continue;
                         }
                         _ => return Err(self.error("bad escape")),
-                    }
+                    };
+                    s.push(c);
                     self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    // RFC 8259: control characters must be escaped. Raw
+                    // ones in untrusted input are rejected, not smuggled
+                    // into a string that would not round-trip.
+                    return Err(self.error("raw control character in string"));
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so the
@@ -344,6 +360,47 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Decodes one `\uXXXX` escape with `self.pos` on the `u`,
+    /// consuming through the final hex digit. UTF-16 surrogate pairs —
+    /// the default output of every `ensure_ascii` JSON emitter for
+    /// astral-plane characters — are combined into one scalar; lone or
+    /// mismatched surrogates are typed parse errors.
+    fn unicode_escape(&mut self) -> Result<char, CampaignError> {
+        let hi = self.hex4()?;
+        match hi {
+            0xD800..=0xDBFF => {
+                if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                    return Err(self.error("unpaired high surrogate in \\u escape"));
+                }
+                self.pos += 1; // now on the `u` of the low half
+                let lo = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(self.error("expected low surrogate after high surrogate"));
+                }
+                let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| self.error("bad \\u escape"))
+            }
+            0xDC00..=0xDFFF => Err(self.error("lone low surrogate in \\u escape")),
+            v => char::from_u32(v).ok_or_else(|| self.error("bad \\u escape")),
+        }
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape with `self.pos`
+    /// on the `u`, leaving it past the last digit. Exactly four ASCII
+    /// hex digits — `from_str_radix`'s tolerance for a leading `+` must
+    /// not leak into the JSON grammar.
+    fn hex4(&mut self) -> Result<u32, CampaignError> {
+        let digits = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.error("bad \\u escape"))?;
+        self.pos += 5;
+        Ok(digits)
     }
 
     fn number(&mut self) -> Result<Json, CampaignError> {
@@ -373,14 +430,32 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let overflow = |message: &str| CampaignError::Parse {
+            offset: start,
+            message: message.to_string(),
+        };
         if float {
-            text.parse::<f64>()
-                .map(Json::Float)
-                .map_err(|e| self.error(&format!("bad number: {e}")))
+            let f = text
+                .parse::<f64>()
+                .map_err(|e| self.error(&format!("bad number: {e}")))?;
+            // `1e999` parses to infinity, which `write_f64` could never
+            // re-serialise as JSON — reject it here so parse/serialise
+            // stays a fixpoint even on adversarial input.
+            if !f.is_finite() {
+                return Err(overflow("number overflows the f64 range"));
+            }
+            Ok(Json::Float(f))
         } else {
-            text.parse::<i128>()
-                .map(Json::Int)
-                .map_err(|e| self.error(&format!("bad number: {e}")))
+            text.parse::<i128>().map(Json::Int).map_err(|e| {
+                // A digitless token (`-` alone) is a syntax error; with
+                // digits present the only way i128 parsing fails is
+                // overflow.
+                if text.bytes().any(|b| b.is_ascii_digit()) {
+                    overflow("integer overflows the i128 range")
+                } else {
+                    self.error(&format!("bad number: {e}"))
+                }
+            })
         }
     }
 }
@@ -458,6 +533,111 @@ mod tests {
             "]".repeat(MAX_DEPTH + 1)
         );
         assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // The default `ensure_ascii` encoding of U+1F600 (the grinning
+        // emoji), e.g. Python's `json.dumps`.
+        let v = parse(r#"{"a":"\ud83d\ude00"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_str(), Some("\u{1f600}"));
+        // The escaped and raw spellings parse to the same value...
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            parse("\"\u{1f600}\"").unwrap()
+        );
+        // ...and the round trip lands on the raw spelling.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().write_compact(),
+            format!("\"\u{1f600}\"")
+        );
+        // Boundary pairs of the astral range.
+        assert_eq!(
+            parse(r#""\ud800\udc00""#).unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            parse(r#""\udbff\udfff""#).unwrap().as_str(),
+            Some("\u{10ffff}")
+        );
+        // Escaped BMP scalars (no pair) still decode as before.
+        assert_eq!(
+            parse(r#""\u0041\u00e9""#).unwrap().as_str(),
+            Some("A\u{e9}")
+        );
+    }
+
+    #[test]
+    fn lone_and_mismatched_surrogates_are_typed_errors() {
+        for text in [
+            r#""\ud800""#,       // unpaired high at end of string
+            r#""\ud800x""#,      // high followed by a plain char
+            r#""\ud800\ud800""#, // high followed by another high
+            r#""\udc00""#,       // lone low
+            r#""\ude00\ud83d""#, // pair in the wrong order
+            r#""\ud83d\ude0""#,  // truncated low half
+            r#""\u+123""#,       // from_str_radix sign tolerance
+            r#""\uDEFG""#,       // non-hex digits
+        ] {
+            assert!(
+                matches!(parse(text), Err(CampaignError::Parse { .. })),
+                "{text} must be a typed parse error, got {:?}",
+                parse(text)
+            );
+        }
+    }
+
+    #[test]
+    fn raw_control_characters_in_strings_are_rejected() {
+        assert!(matches!(
+            parse("\"a\u{0}b\""),
+            Err(CampaignError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("\"a\nb\""),
+            Err(CampaignError::Parse { .. })
+        ));
+        // Their escaped spellings stay valid and round-trip.
+        let v = parse(r#""a\u0000b\nc\bd\fe""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\u{0}b\nc\u{8}d\u{c}e"));
+        assert!(parse(&v.write_compact()).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_at_parse_time() {
+        // 1e308 is the largest finite decade and must stay accepted.
+        assert_eq!(parse("1e308").unwrap(), Json::Float(1e308));
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Json::Float(f64::MIN)
+        );
+        for text in ["1e999", "-1e999", "1e99999", "[1e400]", "123e999999999"] {
+            match parse(text) {
+                Err(CampaignError::Parse { message, .. }) => {
+                    assert!(message.contains("overflow"), "{text}: {message}");
+                }
+                other => panic!("{text}: expected overflow error, got {other:?}"),
+            }
+        }
+        // Oversized integers overflow i128 with a typed error too.
+        let huge = "9".repeat(50);
+        assert!(matches!(parse(&huge), Err(CampaignError::Parse { .. })));
+    }
+
+    #[test]
+    fn finite_floats_round_trip_and_non_finite_never_serialise_as_inf() {
+        for f in [1e308, -1e308, 5e-324, 0.1, -2.5e17] {
+            let mut s = String::new();
+            write_f64(&mut s, f);
+            assert_eq!(parse(&s).unwrap(), Json::Float(f), "{f}");
+        }
+        // Release-mode fallback: a non-finite value degrades to null,
+        // which still re-parses (debug builds assert instead).
+        if !cfg!(debug_assertions) {
+            let mut s = String::new();
+            write_f64(&mut s, f64::INFINITY);
+            assert_eq!(parse(&s).unwrap(), Json::Null);
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Adversarial input for [`scdp_campaign::json::parse`] — the
+//! contract `scdp serve` relies on when it hands network bytes to the
+//! parser: every hostile document yields a typed
+//! [`CampaignError::Parse`]/[`CampaignError::Schema`], never a panic,
+//! and every document that does parse re-serialises
+//! (`write_compact`) to a document that re-parses equal.
+
+use scdp_campaign::json::{self, Json, MAX_DEPTH};
+use scdp_campaign::CampaignError;
+
+/// Asserts `text` is rejected with a typed error (and a sane offset).
+fn assert_typed_error(text: &str) {
+    match json::parse(text) {
+        Err(CampaignError::Parse { offset, .. }) => {
+            assert!(
+                offset <= text.len(),
+                "offset {offset} beyond {} bytes",
+                text.len()
+            );
+        }
+        Err(CampaignError::Schema { field, .. }) => {
+            assert_eq!(
+                field, "json",
+                "schema errors from the parser name the json field"
+            );
+        }
+        Ok(v) => panic!("{text:?}: expected a typed error, parsed {v:?}"),
+        Err(other) => panic!("{text:?}: unexpected error shape {other}"),
+    }
+}
+
+/// The serialize/parse fixpoint: whatever parses must re-parse equal
+/// from its own `write_compact` output.
+fn assert_fixpoint(value: &Json) {
+    let written = value.write_compact();
+    let again = json::parse(&written)
+        .unwrap_or_else(|e| panic!("write_compact output {written:?} must re-parse: {e}"));
+    assert_eq!(&again, value, "round trip through {written:?}");
+}
+
+#[test]
+fn every_truncation_of_a_representative_doc_errors_cleanly() {
+    // Escapes, a surrogate pair, raw multibyte UTF-8 and both number
+    // shapes — so truncation lands mid-escape, mid-pair, mid-token.
+    let doc = concat!(
+        r#"{"s":"x\u0041 héllo 😀","t":"\ud83d\ude00","#,
+        r#""n":[1,-2.5e3,true,null]}"#
+    );
+    assert_fixpoint(&json::parse(doc).expect("the full document is valid"));
+    // Character-boundary prefixes: the parser sees well-formed UTF-8
+    // cut mid-document.
+    for end in (0..doc.len()).filter(|&i| doc.is_char_boundary(i)) {
+        assert_typed_error(&doc[..end]);
+    }
+    // Byte-level prefixes that happen to be valid UTF-8 (the others
+    // cannot even become a `&str`, which is the point of the API).
+    let bytes = doc.as_bytes();
+    for end in 0..bytes.len() {
+        if let Ok(prefix) = std::str::from_utf8(&bytes[..end]) {
+            assert_typed_error(prefix);
+        }
+    }
+}
+
+#[test]
+fn ten_thousand_deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+    let deep_arrays = format!("{}{}", "[".repeat(10_000), "]".repeat(10_000));
+    assert_typed_error(&deep_arrays);
+    let deep_objects = format!("{}1{}", r#"{"k":"#.repeat(10_000), "}".repeat(10_000));
+    assert_typed_error(&deep_objects);
+    // Unclosed towers die at the depth gate too, not at EOF.
+    assert_typed_error(&"[".repeat(10_000));
+    assert_typed_error(&r#"{"k":"#.repeat(10_000));
+}
+
+#[test]
+fn nesting_boundary_sits_exactly_at_max_depth() {
+    let at_limit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert_fixpoint(&json::parse(&at_limit).expect("MAX_DEPTH nesting is legal"));
+    let over = format!(
+        "{}1{}",
+        "[".repeat(MAX_DEPTH + 1),
+        "]".repeat(MAX_DEPTH + 1)
+    );
+    assert_typed_error(&over);
+}
+
+#[test]
+fn huge_exponents_overflow_with_typed_errors_and_boundary_values_round_trip() {
+    for overflowing in [
+        "1e999",
+        "-1e999",
+        "1e+999",
+        "1e99999999999999999999",
+        "[1e400]",
+        r#"{"x":-1e309}"#,
+        "123456789e999999999",
+    ] {
+        assert_typed_error(overflowing);
+    }
+    // Finite neighbours of the overflow boundary still parse — and
+    // their serialisation re-parses.
+    for finite in [
+        "1e308",
+        "-1e308",
+        "1e-999",
+        "0.0000000001e310",
+        "2.5",
+        "-0.0",
+    ] {
+        assert_fixpoint(&json::parse(finite).unwrap_or_else(|e| panic!("{finite}: {e}")));
+    }
+}
+
+#[test]
+fn lone_surrogates_nul_bytes_and_raw_controls_are_rejected() {
+    for bad in [
+        r#""\ud800""#,
+        r#""\udc00""#,
+        r#""\ud800\ud800""#,
+        r#""\ud800x""#,
+        r#""\udfff \ud800""#,
+        r#"{"\uDEAD":1}"#,
+    ] {
+        assert_typed_error(bad);
+    }
+    // Raw NUL bytes: inside a string, as a key, and as stray bytes.
+    assert_typed_error(&format!("{}\"a{}b\":1{}", '{', '\0', '}'));
+    assert_typed_error(&format!("{}1", '\0'));
+    assert_typed_error(&format!("[1,{}2]", '\0'));
+    // Escaped NUL is legal JSON — and must serialise back as an
+    // escape, never as a raw control byte.
+    let nul = json::parse(r#""\u0000""#).expect("escaped NUL is legal");
+    assert_eq!(nul, Json::Str(String::from('\0')));
+    let written = nul.write_compact();
+    assert!(written.is_ascii() && !written.contains('\0'), "{written:?}");
+    assert_fixpoint(&nul);
+}
+
+#[test]
+fn seeded_corpus_never_panics_and_every_ok_parse_is_a_fixpoint() {
+    let corpus: &[&str] = &[
+        "",
+        " ",
+        "\n\t ",
+        "nul",
+        "nulll",
+        "tru",
+        "truex",
+        "falsehood",
+        "-",
+        "+1",
+        "01",
+        "0x10",
+        "1.",
+        ".5",
+        "1e",
+        "1e+",
+        "1e-",
+        "9999999999999999999999999999999999999999",
+        "-170141183460469231731687303715884105729",
+        "\"",
+        "\"abc",
+        r#""\""#,
+        r#""\q""#,
+        r#""\u""#,
+        r#""\u12""#,
+        r#""\uGGGG""#,
+        r#""\u+123""#,
+        r#""\uD83D\uDE00""#,
+        "[",
+        "[1,",
+        "[1 2]",
+        "[1,]",
+        "{",
+        r#"{"a"#,
+        r#"{"a""#,
+        r#"{"a":"#,
+        r#"{"a":}"#,
+        r#"{"a":1,}"#,
+        r#"{"a":1 "b":2}"#,
+        "{1:2}",
+        "]",
+        "}",
+        ",",
+        "123abc",
+        "1 2",
+        "Infinity",
+        "-Infinity",
+        "NaN",
+        "\"a\tb\"",
+        r#"{"a":[{"b":[{"c":"\ud83d\ude00"}]}],"z":1e2}"#,
+        r#"[null,true,false,0,-0,1.5e-3,"end"]"#,
+    ];
+    for text in corpus {
+        // The only contract: a typed result, never a panic...
+        if let Ok(value) = json::parse(text) {
+            // ...and Ok parses must survive their own serialisation.
+            assert_fixpoint(&value);
+        } else {
+            assert_typed_error(text);
+        }
+    }
+}

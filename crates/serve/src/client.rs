@@ -1,0 +1,190 @@
+//! The client side of the job server: a one-request HTTP client over
+//! [`std::net::TcpStream`] plus typed wrappers for the four routes —
+//! what `scdp submit` (and the integration tests) are built on.
+
+use scdp_campaign::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long the client waits for a connection or a response.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A raw HTTP exchange: status code and response body.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The response status code.
+    pub status: u16,
+    /// The response body, verbatim.
+    pub body: String,
+}
+
+/// Performs one `Connection: close` request against `addr`.
+///
+/// # Errors
+///
+/// Returns a description of the connection, protocol or timeout
+/// failure.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(CLIENT_TIMEOUT))
+        .map_err(|e| format!("configure socket: {e}"))?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len(),
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| format!("response from {addr} has no body"))?;
+    Ok(HttpResponse { status, body })
+}
+
+/// The parsed `POST /jobs` response.
+#[derive(Clone, Debug)]
+pub struct SubmitOutcome {
+    /// The job's content address.
+    pub id: String,
+    /// The job's lifecycle state at submission time.
+    pub status: String,
+    /// `"hit"` when the spec was already known, `"miss"` when this
+    /// submission enqueued it.
+    pub cache: String,
+}
+
+/// Submits a spec document, returning the server's verdict.
+///
+/// # Errors
+///
+/// Connection failures and every non-2xx response (with the server's
+/// error message).
+pub fn submit(addr: &str, spec: &str) -> Result<SubmitOutcome, String> {
+    let response = request(addr, "POST", "/jobs", Some(spec))?;
+    let doc = parse_ok(addr, &response)?;
+    Ok(SubmitOutcome {
+        id: field(&doc, "id")?,
+        status: field(&doc, "status")?,
+        cache: field(&doc, "cache")?,
+    })
+}
+
+/// The parsed `GET /jobs/<id>` response.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// `queued`, `running`, `done` or `failed`.
+    pub status: String,
+    /// Shards finished so far.
+    pub done: u64,
+    /// Shards in the job's partition.
+    pub total: u64,
+    /// The failure message, when `status` is `failed`.
+    pub error: Option<String>,
+}
+
+/// Polls one job's status.
+///
+/// # Errors
+///
+/// Connection failures and every non-2xx response.
+pub fn job_status(addr: &str, id: &str) -> Result<JobStatus, String> {
+    let response = request(addr, "GET", &format!("/jobs/{id}"), None)?;
+    let doc = parse_ok(addr, &response)?;
+    let shards = doc.get("shards");
+    let count = |key| {
+        shards
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(JobStatus {
+        status: field(&doc, "status")?,
+        done: count("done"),
+        total: count("total"),
+        error: doc
+            .get("error")
+            .and_then(Json::as_str)
+            .map(ToString::to_string),
+    })
+}
+
+/// Fetches a finished job's merged report, byte-verbatim.
+///
+/// # Errors
+///
+/// Connection failures and every non-2xx response (including the 409
+/// served while the job is still running).
+pub fn fetch_report(addr: &str, id: &str) -> Result<String, String> {
+    let response = request(addr, "GET", &format!("/jobs/{id}/report"), None)?;
+    if response.status != 200 {
+        return Err(server_error(addr, &response));
+    }
+    Ok(response.body)
+}
+
+/// Polls `id` until it reaches `done` or `failed`.
+///
+/// # Errors
+///
+/// A failed job's error message, or the connection failure that
+/// interrupted polling.
+pub fn wait(addr: &str, id: &str, poll: Duration) -> Result<JobStatus, String> {
+    loop {
+        let status = job_status(addr, id)?;
+        match status.status.as_str() {
+            "done" => return Ok(status),
+            "failed" => return Err(status.error.unwrap_or_else(|| format!("job `{id}` failed"))),
+            _ => std::thread::sleep(poll),
+        }
+    }
+}
+
+/// Accepts a 2xx response and parses its JSON body.
+fn parse_ok(addr: &str, response: &HttpResponse) -> Result<Json, String> {
+    if !(200..300).contains(&response.status) {
+        return Err(server_error(addr, response));
+    }
+    json::parse(&response.body).map_err(|e| format!("response from {addr}: {e}"))
+}
+
+/// Renders a non-2xx response: the server's typed message if the body
+/// carries one, the raw body otherwise.
+fn server_error(addr: &str, response: &HttpResponse) -> String {
+    let message = json::parse(&response.body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(|m| m.as_str().map(ToString::to_string))
+        })
+        .unwrap_or_else(|| response.body.clone());
+    format!("{addr} responded {}: {message}", response.status)
+}
+
+/// A required string member of a response object.
+fn field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(ToString::to_string)
+        .ok_or_else(|| format!("response is missing `{key}`"))
+}

@@ -34,7 +34,10 @@
 //!   SCK expansion pass (Table 3 hardware);
 //! * [`codesign`] — the Figure 3 co-design flow and
 //!   software cost model;
-//! * [`fir`] — the FIR case study and companion workloads.
+//! * [`fir`] — the FIR case study and companion workloads;
+//! * [`serve`] — the campaign job server behind `scdp serve`:
+//!   HTTP/1.1 + JSON over `std::net` with a fingerprint-keyed result
+//!   cache and checkpoint-backed resume.
 //!
 //! ## Quick start
 //!
@@ -58,6 +61,7 @@ pub use scdp_fir as fir;
 pub use scdp_hls as hls;
 pub use scdp_netlist as netlist;
 pub use scdp_rng as rng;
+pub use scdp_serve as serve;
 pub use scdp_sim as sim;
 
 pub use scdp_core::{sck, BothPolicy, Sck, SckError, Technique};
