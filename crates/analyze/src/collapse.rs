@@ -33,15 +33,20 @@
 //!
 //! Dominance relations (e.g. AND stem s-a-1 is detected by any test for
 //! an input s-a-1) only preserve detectability, not the four-way
-//! silent/detected taxonomy this project reports, so
-//! [`CollapsedUniverse::dominance_edges`] is informational and never
-//! used to drop simulation work.
+//! silent/detected taxonomy this project reports, so they cannot fan a
+//! verdict out the way equivalence classes do. They are still strong
+//! enough to *settle* faults deductively in the one direction that is
+//! safe: when a dominator's simulated outcome is completely silent, all
+//! of its dominated lines are provably silent too. The consumer is
+//! [`crate::dominance::DominatorChains`], which closes
+//! [`CollapsedUniverse::dominance_edges`] into per-line dominator
+//! chains for `scdp-campaign`'s `.prune(true)` pass.
 
 use scdp_netlist::{GateKind, Netlist, StuckAtLine, StuckSite};
 use std::collections::HashMap;
 
 /// Dense key for a [`StuckAtLine`]: `(gate, pin∈{stem,0,1}, value)`.
-fn line_key(line: &StuckAtLine) -> usize {
+pub(crate) fn line_key(line: &StuckAtLine) -> usize {
     let pin_code = match line.site.pin {
         None => 0,
         Some(p) => p as usize + 1,
@@ -190,13 +195,31 @@ impl CollapsedUniverse {
         self.sites_after() as f64 / self.sites_before() as f64
     }
 
-    /// Informational `(dominator, dominated)` pairs: every test
-    /// detecting the dominated line also detects the dominator. Never
-    /// used for simulation — dominance preserves detectability only,
-    /// not the four-way verdict taxonomy.
+    /// `(dominator, dominated)` pairs from local gate rules: on any
+    /// vector where the dominated pin fault perturbs the gate at all,
+    /// the dominator stem fault forces the *same* output value, so the
+    /// two faulty machines agree net-for-net on that vector. Consumed
+    /// by [`crate::dominance::DominatorChains`], which closes these
+    /// edges (through equivalence-chase links) into per-line dominator
+    /// chains for deductive pruning (`scdp-campaign`'s `.prune(true)`):
+    /// a dominator whose simulated outcome is completely silent settles
+    /// every line it dominates without simulating it.
     #[must_use]
     pub fn dominance_edges(&self) -> &[(StuckAtLine, StuckAtLine)] {
         &self.dominance
+    }
+
+    /// The *chase-only* representative of `line` — equivalence rewrites
+    /// without constant-redundancy folding, so the result always has
+    /// the exact same faulty function as `line` even inside multi-line
+    /// groups. Lines outside the universe map to themselves.
+    #[must_use]
+    pub fn chased(&self, line: StuckAtLine) -> StuckAtLine {
+        self.rep_chase
+            .get(line_key(&line))
+            .copied()
+            .flatten()
+            .unwrap_or(line)
     }
 
     /// Collapses a campaign's fault-group universe: groups whose
@@ -502,6 +525,98 @@ mod tests {
         assert!(cu
             .dominance_edges()
             .contains(&(stem(g, true), pin(g, 0, true))));
+    }
+
+    /// Dominance edges for the OR/NAND/NOR duals of the AND rule.
+    #[test]
+    fn dominance_edges_for_or_nand_nor() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 2);
+        let o = b.or(a[0], a[1]);
+        let nd = b.nand(a[0], a[1]);
+        let nr = b.nor(a[0], a[1]);
+        b.output("y", &[o, nd, nr]);
+        let n = b.finish();
+        let cu = CollapsedUniverse::build(&n);
+        for p in 0..2 {
+            // OR: stem s-a-0 dominated by pin s-a-0.
+            assert!(cu
+                .dominance_edges()
+                .contains(&(stem(o.index(), false), pin(o.index(), p, false))));
+            // NAND: stem s-a-0 dominated by pin s-a-1.
+            assert!(cu
+                .dominance_edges()
+                .contains(&(stem(nd.index(), false), pin(nd.index(), p, true))));
+            // NOR: stem s-a-1 dominated by pin s-a-0.
+            assert!(cu
+                .dominance_edges()
+                .contains(&(stem(nr.index(), true), pin(nr.index(), p, false))));
+        }
+    }
+
+    /// NOT/BUF pin faults are exact *equivalences* (transfer rules), so
+    /// they contribute chase links, never dominance edges.
+    #[test]
+    fn inverters_and_buffers_produce_no_dominance_edges() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 1)[0];
+        let x = b.not(a);
+        let y = b.buf(x);
+        b.output("y", &[y]);
+        let n = b.finish();
+        let cu = CollapsedUniverse::build(&n);
+        assert!(cu.dominance_edges().is_empty());
+        // The transfer rules show up as equivalences instead.
+        assert_eq!(cu.chased(pin(x.index(), 0, false)), stem(y.index(), true));
+        assert_eq!(cu.chased(pin(y.index(), 0, true)), stem(y.index(), true));
+    }
+
+    /// Brute-force soundness of every dominance edge on a mixed
+    /// netlist with AND/OR/NAND/NOR/NOT/BUF and a fanout-free chain:
+    /// on every vector where the dominated fault disturbs any output,
+    /// the dominator produces the *identical* faulty outputs — the
+    /// containment `scdp-campaign`'s dominance settling relies on.
+    #[test]
+    fn dominance_edges_are_brute_force_sound() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input_bus("a", 4);
+        let x = b.or(a[0], a[1]);
+        let y = b.nand(x, a[2]);
+        // Fanout-free chain hanging off the NOR: nor → not → buf → and.
+        let z = b.nor(y, a[3]);
+        let w = b.not(z);
+        let v = b.buf(w);
+        let u = b.and(v, a[0]);
+        b.output("y", &[u, y]);
+        let n = b.finish();
+        let cu = CollapsedUniverse::build(&n);
+        assert!(cu.dominance_edges().len() >= 8, "AND/OR/NAND/NOR each edge");
+        let outs = |faults: &[StuckAtLine], bits: &[bool]| -> Vec<bool> {
+            let values = n.eval_nets(bits, faults);
+            n.outputs()
+                .iter()
+                .flat_map(|(_, bus)| bus.iter().map(|net| values[net.index()]))
+                .collect()
+        };
+        for &(dom, sub) in cu.dominance_edges() {
+            let mut perturbs = false;
+            for word in 0..(1u32 << n.input_bits()) {
+                let bits: Vec<bool> = (0..n.input_bits()).map(|i| word >> i & 1 != 0).collect();
+                let good = outs(&[], &bits);
+                let faulty = outs(&[sub], &bits);
+                if faulty != good {
+                    perturbs = true;
+                    assert_eq!(
+                        outs(&[dom], &bits),
+                        faulty,
+                        "dominator {dom:?} must replay dominated {sub:?} exactly"
+                    );
+                }
+            }
+            // The netlist is small enough that every edge's dominated
+            // fault is actually detectable — the check above is live.
+            assert!(perturbs, "edge ({dom:?}, {sub:?}) never witnessed");
+        }
     }
 
     /// Dff D-pin: an upstream stem with fanout 1 into the D input

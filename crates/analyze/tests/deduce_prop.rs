@@ -1,0 +1,232 @@
+//! Seeded property tests for the deductive layer: on random netlists
+//! (≤12 inputs), every `ProvenUntestable` verdict is cross-checked by
+//! brute force — exhaustive input enumeration must show the faulty
+//! machine pointwise identical to the fault-free one — and every
+//! dominator-chain implication is verified per vector. These are the
+//! soundness obligations `scdp-campaign`'s `.prune(true)` rests on.
+
+use scdp_analyze::{CollapsedUniverse, DominatorChains, PrunedUniverse, Verdict};
+use scdp_netlist::{Netlist, NetlistBuilder, SeqStuckAt, StuckAtLine};
+use scdp_rng::{Rng, Xoshiro256StarStar};
+
+/// Random flat (combinational) netlist, mirroring `collapse_prop.rs`
+/// but with constants always present — the deductive pass is only
+/// interesting when the constant lattice has something to chew on.
+fn random_flat(rng: &mut Xoshiro256StarStar) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_flat");
+    let width = 2 + rng.gen_range(4) as u32;
+    let mut nets = b.input_bus("in", width);
+    nets.push(b.constant(false));
+    if rng.gen_bool() {
+        nets.push(b.constant(true));
+    }
+    let gates = 6 + rng.gen_range(20) as usize;
+    for _ in 0..gates {
+        let a = nets[rng.gen_range(nets.len() as u64) as usize];
+        let c = nets[rng.gen_range(nets.len() as u64) as usize];
+        let n = match rng.gen_range(8) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.xnor(a, c),
+            6 => b.not(a),
+            _ => b.buf(a),
+        };
+        nets.push(n);
+    }
+    let keep = 1 + rng.gen_range(3) as usize;
+    let out: Vec<_> = nets[nets.len() - keep..].to_vec();
+    b.output("y", &out);
+    b.finish()
+}
+
+/// Random sequential netlist with constants and Dffs.
+fn random_seq(rng: &mut Xoshiro256StarStar) -> Netlist {
+    let mut b = NetlistBuilder::new("rand_seq");
+    let width = 2 + rng.gen_range(3) as u32;
+    let mut nets = b.input_bus("in", width);
+    nets.push(b.constant(false));
+    let dffs: Vec<_> = (0..1 + rng.gen_range(3)).map(|_| b.dff()).collect();
+    nets.extend(&dffs);
+    let gates = 6 + rng.gen_range(16) as usize;
+    for _ in 0..gates {
+        let a = nets[rng.gen_range(nets.len() as u64) as usize];
+        let c = nets[rng.gen_range(nets.len() as u64) as usize];
+        let n = match rng.gen_range(8) {
+            0 => b.and(a, c),
+            1 => b.or(a, c),
+            2 => b.xor(a, c),
+            3 => b.nand(a, c),
+            4 => b.nor(a, c),
+            5 => b.xnor(a, c),
+            6 => b.not(a),
+            _ => b.buf(a),
+        };
+        nets.push(n);
+    }
+    for &q in &dffs {
+        let d = nets[nets.len() - 1 - rng.gen_range(4) as usize];
+        b.connect_dff(q, d);
+    }
+    let out: Vec<_> = nets[nets.len() - 2..].to_vec();
+    b.output("y", &out);
+    b.finish()
+}
+
+fn outputs_of(n: &Netlist, values: &[bool]) -> Vec<bool> {
+    n.outputs()
+        .iter()
+        .flat_map(|(_, bus)| bus.iter().map(|net| values[net.index()]))
+        .collect()
+}
+
+fn bits_of(word: u32, width: usize) -> Vec<bool> {
+    (0..width).map(|i| word >> i & 1 != 0).collect()
+}
+
+/// Exhaustive: a flat netlist's `ProvenUntestable` singleton lines are
+/// genuinely undetectable on every one of the ≤2^12 input vectors —
+/// and not only on the declared outputs: on *every* net (the stronger
+/// property the baseline-settling in `scdp-campaign` relies on is
+/// output equality; checking all nets also exercises the tier-2
+/// closure's internal reasoning).
+#[test]
+fn proven_untestable_lines_are_untestable_flat() {
+    let mut rng = Xoshiro256StarStar::from_seed(0xdedc_0001);
+    let mut proven_total = 0usize;
+    for case in 0..96 {
+        let n = random_flat(&mut rng);
+        assert!(n.input_bits() <= 12);
+        let lines = n.fault_lines();
+        let groups: Vec<Vec<StuckAtLine>> = lines.iter().map(|&l| vec![l]).collect();
+        let pu = PrunedUniverse::build(&n, &groups);
+        for (i, &line) in lines.iter().enumerate() {
+            if !matches!(pu.verdict(i), Verdict::ProvenUntestable(_)) {
+                continue;
+            }
+            proven_total += 1;
+            for word in 0..(1u32 << n.input_bits()) {
+                let bits = bits_of(word, n.input_bits());
+                let good = outputs_of(&n, &n.eval_nets(&bits, &[]));
+                let faulty = outputs_of(&n, &n.eval_nets(&bits, &[line]));
+                assert_eq!(
+                    good, faulty,
+                    "case {case}: {line:?} proven untestable but detected on {bits:?}"
+                );
+            }
+        }
+    }
+    // The suite must actually exercise the proofs.
+    assert!(proven_total > 100, "only {proven_total} proofs exercised");
+}
+
+/// Exhaustive soundness for random *multi-line* groups on flat
+/// netlists: a group-level untestability proof must hold under the
+/// engine's whole-group injection semantics.
+#[test]
+fn proven_untestable_groups_are_untestable_flat() {
+    let mut rng = Xoshiro256StarStar::from_seed(0xdedc_0002);
+    let mut proven_total = 0usize;
+    for case in 0..96 {
+        let n = random_flat(&mut rng);
+        let lines = n.fault_lines();
+        let groups: Vec<Vec<StuckAtLine>> = (0..24)
+            .map(|_| {
+                (0..1 + rng.gen_range(3))
+                    .map(|_| lines[rng.gen_range(lines.len() as u64) as usize])
+                    .collect()
+            })
+            .collect();
+        let pu = PrunedUniverse::build(&n, &groups);
+        for (i, group) in groups.iter().enumerate() {
+            if !matches!(pu.verdict(i), Verdict::ProvenUntestable(_)) {
+                continue;
+            }
+            proven_total += 1;
+            for word in 0..(1u32 << n.input_bits()) {
+                let bits = bits_of(word, n.input_bits());
+                let good = outputs_of(&n, &n.eval_nets(&bits, &[]));
+                let faulty = outputs_of(&n, &n.eval_nets(&bits, group));
+                assert_eq!(good, faulty, "case {case}: group {group:?} detected");
+            }
+        }
+    }
+    assert!(proven_total > 40, "only {proven_total} proofs exercised");
+}
+
+/// Sequential netlists: proofs must hold per cycle across a
+/// multi-cycle trace, for permanent and transient durations alike.
+#[test]
+fn proven_untestable_lines_are_untestable_seq() {
+    let mut rng = Xoshiro256StarStar::from_seed(0xdedc_0003);
+    let mut proven_total = 0usize;
+    for case in 0..96 {
+        let n = random_seq(&mut rng);
+        let lines = n.fault_lines();
+        let groups: Vec<Vec<StuckAtLine>> = lines.iter().map(|&l| vec![l]).collect();
+        let pu = PrunedUniverse::build(&n, &groups);
+        let cycles = 4u32;
+        for (i, &line) in lines.iter().enumerate() {
+            if !matches!(pu.verdict(i), Verdict::ProvenUntestable(_)) {
+                continue;
+            }
+            proven_total += 1;
+            for duration in [
+                SeqStuckAt::permanent(line),
+                SeqStuckAt::transient(line, case as u32 % cycles),
+            ] {
+                for word in 0..(1u32 << n.input_bits()) {
+                    let bits = bits_of(word, n.input_bits());
+                    let good = n.eval_seq_nets(&bits, cycles, &[]);
+                    let faulty = n.eval_seq_nets(&bits, cycles, &[duration]);
+                    for (vg, vf) in good.iter().zip(&faulty) {
+                        assert_eq!(
+                            outputs_of(&n, vg),
+                            outputs_of(&n, vf),
+                            "case {case}: seq {line:?} detected"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(proven_total > 40, "only {proven_total} proofs exercised");
+}
+
+/// Dominator-chain implication, exhaustively: on every vector where a
+/// line's fault perturbs any output, its deferrable root produces the
+/// *identical* faulty outputs. This is the exact containment that lets
+/// a silent root settle the line with the baseline outcome.
+#[test]
+fn dominator_chain_implications_hold_flat() {
+    let mut rng = Xoshiro256StarStar::from_seed(0xdedc_0004);
+    let mut checked = 0usize;
+    for case in 0..96 {
+        let n = random_flat(&mut rng);
+        let cu = CollapsedUniverse::build(&n);
+        let dc = DominatorChains::build(&n, &cu);
+        for &line in &n.fault_lines() {
+            let Some(root) = dc.deferrable_root(line) else {
+                continue;
+            };
+            // The root must itself be a fixpoint: settling is acyclic.
+            assert_eq!(dc.deferrable_root(root), None, "case {case}: cyclic root");
+            checked += 1;
+            for word in 0..(1u32 << n.input_bits()) {
+                let bits = bits_of(word, n.input_bits());
+                let good = outputs_of(&n, &n.eval_nets(&bits, &[]));
+                let faulty = outputs_of(&n, &n.eval_nets(&bits, &[line]));
+                if faulty != good {
+                    assert_eq!(
+                        outputs_of(&n, &n.eval_nets(&bits, &[root])),
+                        faulty,
+                        "case {case}: root {root:?} must replay {line:?} on {bits:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(checked > 200, "only {checked} chains exercised");
+}

@@ -107,6 +107,31 @@ fn main() {
         )
     });
 
+    // Deductive pruning on the same universe: sequential campaigns
+    // settle untestability proofs only (dominance deferral needs a
+    // combinational netlist), so the ratio is informational here — the
+    // gated floor lives on the combinational bench.
+    let pu = scdp_analyze::PrunedUniverse::build(&dp.netlist, &groups);
+    let skip = pu.untestable_indices();
+    let seq_untestable = skip.len() as u64;
+    let seq_simulated_groups = groups.len() as u64 - seq_untestable;
+    let seq_prune_ratio = groups.len() as f64 / seq_simulated_groups as f64;
+    bench.sample_elements("seq_pruned_w4", 5, situations, &mut || {
+        black_box(
+            SeqCampaign::new(&engine, seq_groups.clone(), cycles)
+                .plan(plan)
+                .threads(1)
+                .skip_resolved(skip.clone())
+                .run()
+                .tally,
+        )
+    });
+    eprintln!(
+        "prune: {} groups -> {seq_simulated_groups} simulated \
+         ({seq_untestable} untestable); ratio {seq_prune_ratio:.2}x",
+        groups.len()
+    );
+
     // Per-situation-cycle rates: scalar measured on its slice, packed
     // on the full campaign.
     let scalar_ns_per_cycle = scalar_ns / scalar_work as f64;
@@ -140,6 +165,9 @@ fn main() {
     bench.metric("seq_faults_per_sec", faults_per_sec);
     bench.metric("parallel_threads", threads as f64);
     bench.metric("simd_lanes", scdp_sim::Lanes::Auto.limbs() as f64);
+    bench.metric("seq_prune_ratio", seq_prune_ratio);
+    bench.metric("deduce.untestable", seq_untestable as f64);
+    bench.metric("deduce.simulated", seq_simulated_groups as f64);
     bench.finish();
     assert!(
         speedup >= 8.0,

@@ -174,7 +174,8 @@ pub struct CheckConfig {
 impl Default for CheckConfig {
     /// The committed gate: ±30% tolerance, combinational engine speedup
     /// ≥ 100×, sequential engine speedup ≥ 8×, fault-collapsed campaign
-    /// wall-clock win ≥ 1.3×, and the execution-layer shape floors —
+    /// wall-clock win ≥ 1.3×, deductive prune ratio ≥ 1.15× (universe ÷
+    /// still-simulated groups), and the execution-layer shape floors —
     /// benches must exercise the work-stealing pool with ≥ 4 workers
     /// and the wide-word engine with ≥ 4 SIMD lanes (64-bit limbs).
     /// The pool's *scaling ratio* floor (`parallel_speedup_w8` ≥ 3×)
@@ -188,6 +189,7 @@ impl Default for CheckConfig {
                 ("speedup_1thread_vs_scalar".to_string(), 100.0),
                 ("seq_speedup_1thread_vs_scalar".to_string(), 8.0),
                 ("collapse_ratio".to_string(), 1.3),
+                ("prune_ratio".to_string(), 1.15),
                 ("parallel_threads".to_string(), 4.0),
                 ("simd_lanes".to_string(), 4.0),
             ],

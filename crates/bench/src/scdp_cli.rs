@@ -45,6 +45,7 @@ const BARE_FLAGS: &[&str] = &[
     "--progress",
     "--telemetry",
     "--collapse",
+    "--prune",
     "--strict",
     "--json",
     "--wait",
@@ -60,6 +61,7 @@ USAGE:
   scdp table (--dir DIR | FILE...)
   scdp sweep [--seq] [SCENARIO] [EXECUTION] [--report-dir DIR]
   scdp lint [SCENARIO] [--strict] [--json]
+  scdp analyze [SCENARIO] [--json]
   scdp trace summarize FILE...
   scdp serve [--addr A] [--dir DIR] [--jobs N]
   scdp submit SPEC.json [--addr A] [--wait] [--out FILE]
@@ -82,6 +84,10 @@ EXECUTION:
   --collapse        simulate one representative per fault-equivalence
                     class and fan verdicts back out (bit-identical
                     reports, fewer simulated faults)
+  --prune           settle deductively resolved faults (untestability
+                    proofs, dominance deferral) from the baseline probe
+                    instead of simulating them (bit-identical reports;
+                    the `deduce` section records the provenance)
 
 LINT (scdp lint — static netlist analysis, no simulation):
   lints the scenario's generated netlist (floating nets, combinational
@@ -89,6 +95,12 @@ LINT (scdp lint — static netlist analysis, no simulation):
   fault-collapsing statistics; exits nonzero on lint errors
   --strict          escalate waived findings to warnings
   --json            machine-readable lint + collapse output
+
+ANALYZE (scdp analyze — deductive pruning preview, no simulation):
+  prints what `--prune` would settle on the scenario's stuck-at line
+  universe: untestability proofs by reason (redundant, blocked,
+  unobservable), dominance-deferrable lines, and the prune ratio
+  --json            machine-readable breakdown
 
 SHARDING (scdp run):
   --shards N        partition the fault universe into N shards
@@ -142,6 +154,7 @@ pub fn run(raw: Vec<String>) -> i32 {
         "table" => cmd_table(&args, &files),
         "sweep" => cmd_sweep(&args),
         "lint" => cmd_lint(&args),
+        "analyze" => cmd_analyze(&args),
         "trace" => cmd_trace(&files),
         "serve" => cmd_serve(&args),
         "submit" => cmd_submit(&args, &files),
@@ -207,7 +220,8 @@ fn exec_from_args(args: &CliArgs) -> Result<ExecPolicy, String> {
         .threads(args.threads())
         .lanes(lanes_from_args(args)?)
         .drop_policy(drop)
-        .collapse(args.flag("--collapse")))
+        .collapse(args.flag("--collapse"))
+        .prune(args.flag("--prune")))
 }
 
 /// Builds the campaign job a `run` invocation describes.
@@ -375,11 +389,10 @@ fn cmd_run(args: &CliArgs) -> Result<i32, String> {
     Ok(0)
 }
 
-/// `scdp lint` — static analysis of the scenario's generated netlist:
-/// structural lints plus the fault-collapsing statistics, without
-/// running a single simulation vector. Exits 1 when lint errors exist.
-fn cmd_lint(args: &CliArgs) -> Result<i32, String> {
-    use scdp_analyze::{lint, CollapsedUniverse, LintOptions};
+/// Elaborates the netlist a `lint`/`analyze` invocation describes —
+/// the same SCENARIO grammar as `run`, minus the input space (static
+/// analysis needs no vectors).
+fn netlist_from_args(args: &CliArgs) -> Result<scdp_netlist::Netlist, String> {
     use scdp_netlist::gen::{self_checking, self_checking_add_with, SelfCheckingSpec};
 
     let width = args.width(4);
@@ -428,13 +441,22 @@ fn cmd_lint(args: &CliArgs) -> Result<i32, String> {
             }
             scdp_core::Operator::Div => {
                 return Err("gate-level division checking is out of scope; \
-                            lint an add/sub/mul scenario or a --workload"
+                            analyse an add/sub/mul scenario or a --workload"
                     .to_string())
             }
         }
         .netlist
     };
+    Ok(netlist)
+}
 
+/// `scdp lint` — static analysis of the scenario's generated netlist:
+/// structural lints plus the fault-collapsing statistics, without
+/// running a single simulation vector. Exits 1 when lint errors exist.
+fn cmd_lint(args: &CliArgs) -> Result<i32, String> {
+    use scdp_analyze::{lint, CollapsedUniverse, LintOptions};
+
+    let netlist = netlist_from_args(args)?;
     let report = lint(
         &netlist,
         &LintOptions {
@@ -462,6 +484,75 @@ fn cmd_lint(args: &CliArgs) -> Result<i32, String> {
         );
     }
     Ok(i32::from(report.errors() > 0))
+}
+
+/// `scdp analyze` — the deductive-pruning preview: classifies the
+/// scenario's stuck-at line universe without simulating and prints
+/// what a `--prune` campaign would settle — untestability proofs by
+/// reason, dominance-deferrable lines, and the resulting prune ratio.
+fn cmd_analyze(args: &CliArgs) -> Result<i32, String> {
+    use scdp_analyze::{
+        CollapsedUniverse, DominatorChains, PrunedUniverse, UntestableReason, Verdict,
+    };
+
+    let netlist = netlist_from_args(args)?;
+    let lines = netlist.fault_lines();
+    let groups: Vec<Vec<scdp_netlist::StuckAtLine>> = lines.iter().map(|&l| vec![l]).collect();
+    let pu = PrunedUniverse::build(&netlist, &groups);
+    let cu = CollapsedUniverse::build(&netlist);
+
+    let (mut redundant, mut blocked, mut unobservable) = (0usize, 0usize, 0usize);
+    for v in pu.verdicts() {
+        match v {
+            Verdict::ProvenUntestable(UntestableReason::Redundant) => redundant += 1,
+            Verdict::ProvenUntestable(UntestableReason::Blocked) => blocked += 1,
+            Verdict::ProvenUntestable(UntestableReason::Unobservable) => unobservable += 1,
+            Verdict::MustSimulate => {}
+        }
+    }
+    let untestable = redundant + blocked + unobservable;
+
+    // Dominance deferral is combinational-only; count live lines whose
+    // chain ends in a distinct deferrable root, like the campaign does.
+    let deferrable = if netlist.is_sequential() {
+        0
+    } else {
+        let dc = DominatorChains::build(&netlist, &cu);
+        lines
+            .iter()
+            .enumerate()
+            .filter(|&(i, line)| {
+                pu.verdict(i) == Verdict::MustSimulate
+                    && dc.deferrable_root(*line).is_some_and(|root| root != *line)
+            })
+            .count()
+    };
+
+    let total = lines.len();
+    let simulate = total - untestable - deferrable;
+    let ratio = total as f64 / simulate.max(1) as f64;
+    if args.flag("--json") {
+        println!(
+            "{{\"lines\": {total}, \"classes\": {}, \"untestable\": {{\"total\": {untestable}, \
+             \"redundant\": {redundant}, \"blocked\": {blocked}, \
+             \"unobservable\": {unobservable}}}, \"deferrable\": {deferrable}, \
+             \"simulate\": {simulate}, \"prune_ratio\": {ratio:.4}}}",
+            cu.classes(),
+        );
+    } else {
+        println!(
+            "analyze `{}`: {total} stuck-at lines, {} equivalence classes",
+            netlist.name(),
+            cu.classes(),
+        );
+        println!(
+            "  untestable {untestable} (redundant {redundant}, blocked {blocked}, \
+             unobservable {unobservable})"
+        );
+        println!("  deferrable {deferrable} (dominance chains with a distinct root)");
+        println!("  simulate   {simulate} of {total} — prune ratio {ratio:.3}x");
+    }
+    Ok(0)
 }
 
 /// `scdp trace summarize FILE...` — fold a `--trace` JSONL file back
@@ -682,6 +773,16 @@ fn print_summary(report: &CampaignReport, per_fu: bool) {
         pct(report.safe_rate()),
         report.elapsed_ms,
     );
+    if let Some(d) = &report.deduce {
+        println!(
+            "  deduce: {} untestable, {} dominated, {} simulated \
+             ({} rows settled without simulation)",
+            d.untestable,
+            d.dominated,
+            d.simulated,
+            d.rows.len(),
+        );
+    }
     if let Some(tel) = &report.telemetry {
         println!(
             "  telemetry: {} counters, {} histograms, {} spans",
@@ -1008,6 +1109,59 @@ mod tests {
         );
         assert_eq!(run(strings(&["lint", "--workload", "nope"])), 1);
         assert_eq!(run(strings(&["lint", "--op", "div"])), 1);
+    }
+
+    #[test]
+    fn analyze_verb_runs_over_scenarios_and_workloads() {
+        assert_eq!(run(strings(&["analyze", "--op", "add", "--width", "3"])), 0);
+        assert_eq!(
+            run(strings(&[
+                "analyze",
+                "--workload",
+                "fir",
+                "--width",
+                "3",
+                "--technique",
+                "tech1",
+                "--json"
+            ])),
+            0
+        );
+        assert_eq!(run(strings(&["analyze", "--workload", "dot", "--seq"])), 0);
+        assert_eq!(run(strings(&["analyze", "--workload", "nope"])), 1);
+        assert_eq!(run(strings(&["analyze", "--op", "div"])), 1);
+    }
+
+    #[test]
+    fn prune_flag_reaches_the_job_and_preserves_results() {
+        let scenario = strings(&[
+            "--workload",
+            "fir",
+            "--technique",
+            "tech1",
+            "--width",
+            "3",
+            "--samples",
+            "64",
+            "--threads",
+            "2",
+        ]);
+        let mut with = scenario.clone();
+        with.push("--prune".to_string());
+        let exec = exec_from_args(&CliArgs::from_vec(with.clone())).expect("parses");
+        assert!(exec.prune, "--prune reaches the policy");
+        let plain = job_from_args(&CliArgs::from_vec(scenario))
+            .expect("job")
+            .run()
+            .expect("runs");
+        let pruned = job_from_args(&CliArgs::from_vec(with))
+            .expect("job")
+            .run()
+            .expect("runs");
+        assert!(plain.same_results(&pruned));
+        assert_eq!(plain.per_fault, pruned.per_fault);
+        let d = pruned.deduce.as_ref().expect("pruned runs carry deduce");
+        assert!(d.untestable + d.dominated > 0, "the FIR datapath deduces");
     }
 
     #[test]

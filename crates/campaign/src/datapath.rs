@@ -515,7 +515,7 @@ impl DatapathCampaignSpec {
             }
         };
         let covered = shard.map_or(0..universe, |sh| sh.fault_start..sh.fault_end);
-        let (per_fault, col, simulated) = crate::spec::run_gate_groups(
+        let (per_fault, col, simulated, deduce) = crate::spec::run_gate_groups(
             &ctx,
             &dp.netlist,
             &engine,
@@ -586,6 +586,7 @@ impl DatapathCampaignSpec {
             datapath: Some(details),
             sequential: None,
             shard,
+            deduce,
             telemetry: None,
         };
         ctx.finish(&mut report);

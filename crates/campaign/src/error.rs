@@ -56,6 +56,12 @@ pub enum CampaignError {
         /// The backend that cannot collapse.
         backend: Backend,
     },
+    /// Deductive pruning needs a gate-level netlist to analyse; the
+    /// functional classifier has none.
+    UnsupportedPrune {
+        /// The backend that cannot prune.
+        backend: Backend,
+    },
     /// The structural realisation only applies to `+` datapaths.
     UnsupportedRealisation {
         /// The rejected realisation.
@@ -164,6 +170,13 @@ impl fmt::Display for CampaignError {
                 write!(
                     f,
                     "fault collapsing is not supported on the {backend} backend \
+                     (no gate-level netlist to analyse)"
+                )
+            }
+            CampaignError::UnsupportedPrune { backend } => {
+                write!(
+                    f,
+                    "deductive pruning is not supported on the {backend} backend \
                      (no gate-level netlist to analyse)"
                 )
             }

@@ -66,6 +66,7 @@ mod datapath;
 mod error;
 pub mod json;
 mod obs;
+mod prune;
 mod report;
 mod runner;
 mod scenario;
@@ -80,8 +81,8 @@ pub use datapath::{
 pub use error::CampaignError;
 pub use report::{
     drop_from_label, drop_label, duration_from_label, duration_label, CampaignReport,
-    DatapathDetails, FaultRecord, FuTally, SequentialDetails, REPORT_SCHEMA, REPORT_SCHEMA_V2,
-    REPORT_SCHEMA_V3, REPORT_SCHEMA_V4,
+    DatapathDetails, DeduceDetails, FaultRecord, FuTally, SequentialDetails, REPORT_SCHEMA,
+    REPORT_SCHEMA_V2, REPORT_SCHEMA_V3, REPORT_SCHEMA_V4,
 };
 pub use runner::{CampaignJob, CampaignRunner, RunnerOutcome, ShardState};
 pub use scenario::{

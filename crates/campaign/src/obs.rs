@@ -96,6 +96,19 @@ impl RunCtx {
         rec.add("collapse.classes", classes as u64);
     }
 
+    /// Records the deductive-pruning counters when telemetry is on:
+    /// `deduce.untestable` (engine groups settled by an untestability
+    /// proof), `deduce.dominated` (settled by a silent dominator) and
+    /// `deduce.simulated` (groups that still went to the engine).
+    pub(crate) fn record_deduce(&self, untestable: u64, dominated: u64, simulated: u64) {
+        let Some(rec) = self.recorder() else {
+            return;
+        };
+        rec.add("deduce.untestable", untestable);
+        rec.add("deduce.dominated", dominated);
+        rec.add("deduce.simulated", simulated);
+    }
+
     /// Ends the run: closes the root span, stamps `elapsed_ms` from it
     /// (the single place that writes the field), embeds the telemetry
     /// snapshot when recording, and emits `CampaignFinished`.

@@ -1,0 +1,212 @@
+//! Shared deductive-pruning plumbing for the gate-level spec shapes.
+//!
+//! `.prune(true)` must leave every report *bit-identical* to the
+//! unpruned run, so the integration mirrors [`crate::collapse`]: the
+//! static analysis only decides which engine fault groups can skip the
+//! packing loop, never what their outcomes are allowed to be. Two
+//! deductions are drawn, both from `scdp-analyze`:
+//!
+//! 1. **Untestability proofs** ([`scdp_analyze::PrunedUniverse`]) — a
+//!    group proven to behave like the fault-free machine on every
+//!    vector takes the fault-free *baseline probe* outcome verbatim.
+//!    The engine computes that probe with the exact same deterministic
+//!    batch stream a simulated group would see, so the settled row
+//!    equals what simulation would have produced, bit for bit. Valid
+//!    on combinational and sequential netlists alike.
+//! 2. **Dominance deferral** ([`scdp_analyze::DominatorChains`]) — a
+//!    singleton line whose dominator chain ends in a distinct root
+//!    *defers*: it is skipped in the first pass, and settled with the
+//!    baseline outcome only when the root's simulated outcome turned
+//!    out completely silent and undropped (dominance guarantees the
+//!    deferred line perturbs at most where its root does). Deferred
+//!    lines whose root did anything else are re-simulated in a second
+//!    pass — bit-safe because every group's outcome is independent of
+//!    its neighbours. Only legal on combinational netlists and for
+//!    singleton groups; multi-line groups and sequential campaigns get
+//!    untestability pruning only.
+//!
+//! Shard geometry is computed on the *original* universe before any of
+//! this, so prune-then-shard and shard-then-prune coincide and the plan
+//! fingerprint is unchanged.
+
+use scdp_analyze::{CollapsedUniverse, DominatorChains, PrunedUniverse};
+use scdp_netlist::{Netlist, StuckAtLine};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// One stuck line as a hashable identity (`scdp-analyze` keeps its own
+/// key private; the triple is equivalent).
+type LineKey = (usize, Option<u8>, bool);
+
+fn key_of(line: &StuckAtLine) -> LineKey {
+    (line.site.gate, line.site.pin, line.value)
+}
+
+/// Which engine fault groups one (possibly sharded, possibly collapsed)
+/// pruned run may settle without simulating.
+///
+/// All indices are *absolute* positions in the engine's group list —
+/// the same coordinate space `EngineCampaign::skip_resolved` expects,
+/// so they compose with `fault_range` unchanged.
+pub(crate) struct PrunePlan {
+    /// Groups with an untestability proof: their outcome is the
+    /// fault-free baseline by construction.
+    pub untestable: Vec<usize>,
+    /// `(deferred, root)` pairs: `deferred` is skipped in pass 1 and
+    /// settled with the baseline exactly when `root`'s pass-1 outcome
+    /// equals the (silent, undropped) baseline; re-simulated otherwise.
+    pub deferred: Vec<(usize, usize)>,
+}
+
+impl PrunePlan {
+    /// Analyses the `scope` slice of `groups` (the engine's group list)
+    /// against `netlist`.
+    pub(crate) fn build(
+        netlist: &Netlist,
+        groups: &[Vec<StuckAtLine>],
+        scope: Range<usize>,
+    ) -> PrunePlan {
+        let scoped = &groups[scope.clone()];
+        let pu = PrunedUniverse::build(netlist, scoped);
+        let untestable: Vec<usize> = pu
+            .untestable_indices()
+            .iter()
+            .map(|&i| i + scope.start)
+            .collect();
+        let mut deferred = Vec::new();
+        if !netlist.is_sequential() {
+            // Units: singleton groups by line identity. First occurrence
+            // wins so duplicated lines defer to one shared root slot.
+            let mut unit_of: HashMap<LineKey, usize> = HashMap::new();
+            for (i, g) in scoped.iter().enumerate() {
+                if let [line] = g[..] {
+                    unit_of.entry(key_of(&line)).or_insert(i + scope.start);
+                }
+            }
+            let cu = CollapsedUniverse::build(netlist);
+            let dc = DominatorChains::build(netlist, &cu);
+            let untestable_set: HashSet<usize> = untestable.iter().copied().collect();
+            let mut candidates = Vec::new();
+            let mut candidate_set = HashSet::new();
+            for (i, g) in scoped.iter().enumerate() {
+                let idx = i + scope.start;
+                if untestable_set.contains(&idx) {
+                    continue;
+                }
+                let [line] = g[..] else { continue };
+                let Some(root) = dc.deferrable_root(line) else {
+                    continue;
+                };
+                // The root must itself be simulated in this scope for
+                // its outcome to exist in pass 1.
+                let Some(&anc) = unit_of.get(&key_of(&root)) else {
+                    continue;
+                };
+                if anc == idx {
+                    continue;
+                }
+                candidates.push((idx, anc));
+                candidate_set.insert(idx);
+            }
+            // Roots are fixpoints of the chain relation, but a root
+            // could still be a *candidate* through a duplicated line;
+            // settling must read simulated (or untestable-settled)
+            // outcomes only, so drop pairs whose root is itself
+            // deferred.
+            deferred = candidates
+                .into_iter()
+                .filter(|&(_, anc)| !candidate_set.contains(&anc))
+                .collect();
+        }
+        PrunePlan {
+            untestable,
+            deferred,
+        }
+    }
+
+    /// Pass-1 skip list: untestable groups plus deferred candidates.
+    pub(crate) fn skip(&self) -> Vec<usize> {
+        let mut s = self.untestable.clone();
+        s.extend(self.deferred.iter().map(|&(u, _)| u));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scdp_netlist::NetlistBuilder;
+
+    /// A tiny circuit with a constant-killed AND leg and a dominated
+    /// input pin: `y = (a & const0) | (b & c)`.
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny_prune");
+        let ins = b.input_bus("in", 3);
+        let (a, bb, c) = (ins[0], ins[1], ins[2]);
+        let z = b.constant(false);
+        let dead = b.and(a, z);
+        let live = b.and(bb, c);
+        let y = b.or(dead, live);
+        b.output("y", &[y]);
+        b.finish()
+    }
+
+    #[test]
+    fn plan_finds_untestable_and_deferred_units() {
+        let n = tiny();
+        let groups: Vec<Vec<StuckAtLine>> = n.fault_lines().iter().map(|&l| vec![l]).collect();
+        let plan = PrunePlan::build(&n, &groups, 0..groups.len());
+        assert!(!plan.untestable.is_empty(), "dead AND leg must be proven");
+        assert!(!plan.deferred.is_empty(), "AND pins must defer to stems");
+        let untestable: HashSet<usize> = plan.untestable.iter().copied().collect();
+        for &(u, anc) in &plan.deferred {
+            assert!(!untestable.contains(&u), "deferred units are live");
+            assert!(
+                plan.deferred.iter().all(|&(v, _)| v != anc),
+                "roots are never themselves deferred"
+            );
+            assert_ne!(u, anc);
+        }
+        let skip = plan.skip();
+        assert_eq!(skip.len(), plan.untestable.len() + plan.deferred.len());
+    }
+
+    #[test]
+    fn scoped_plans_match_the_full_plan_on_the_overlap() {
+        let n = tiny();
+        let groups: Vec<Vec<StuckAtLine>> = n.fault_lines().iter().map(|&l| vec![l]).collect();
+        let full = PrunePlan::build(&n, &groups, 0..groups.len());
+        let scope = 2..groups.len() - 2;
+        let part = PrunePlan::build(&n, &groups, scope.clone());
+        let full_untestable: HashSet<usize> = full.untestable.iter().copied().collect();
+        for &i in &part.untestable {
+            assert!(scope.contains(&i));
+            assert!(full_untestable.contains(&i), "proofs are per-group");
+        }
+        // A scoped plan may defer less (roots outside the scope cannot
+        // settle anything) but never introduces out-of-scope indices.
+        for &(u, anc) in &part.deferred {
+            assert!(scope.contains(&u) && scope.contains(&anc));
+        }
+    }
+
+    #[test]
+    fn sequential_netlists_get_untestability_only() {
+        let mut b = NetlistBuilder::new("seq_prune");
+        let a = b.input_bus("in", 1)[0];
+        let z = b.constant(false);
+        let q = b.dff();
+        let dead = b.and(a, z);
+        let y = b.or(q, dead);
+        b.connect_dff(q, y);
+        b.output("y", &[y]);
+        let n = b.finish();
+        let groups: Vec<Vec<StuckAtLine>> = n.fault_lines().iter().map(|&l| vec![l]).collect();
+        let plan = PrunePlan::build(&n, &groups, 0..groups.len());
+        assert!(
+            plan.deferred.is_empty(),
+            "dominance needs a combinational netlist"
+        );
+        assert!(!plan.untestable.is_empty());
+    }
+}

@@ -115,6 +115,28 @@ pub struct DatapathDetails {
     pub per_fu: Vec<FuTally>,
 }
 
+/// The deductive-pruning section of a report produced with
+/// `ExecPolicy::prune(true)` (see `scdp_analyze::deduce`): how many
+/// engine fault groups were settled without simulation and which
+/// per-fault rows carry deduced verdicts. Presence-driven at every
+/// schema version (like `telemetry`) and ignored by
+/// [`CampaignReport::same_results`] — pruning never changes results,
+/// only how they were obtained.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeduceDetails {
+    /// Engine fault groups settled by an untestability proof.
+    pub untestable: u64,
+    /// Engine fault groups settled by a provably dominating fault that
+    /// simulated completely silent.
+    pub dominated: u64,
+    /// Engine fault groups that were actually simulated.
+    pub simulated: u64,
+    /// Indices into `per_fault` (shard-local) whose verdicts were
+    /// deduced rather than simulated. With collapsing on top, a row is
+    /// listed when its equivalence-class representative was deduced.
+    pub rows: Vec<u64>,
+}
+
 /// Per-fault outcome of a campaign, for the scenario's check policy.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultRecord {
@@ -199,6 +221,13 @@ pub struct CampaignReport {
     /// tallies, `per_fault` rows and histograms then cover only
     /// `shard.fault_start..shard.fault_end`.
     pub shard: Option<ShardInfo>,
+    /// Deductive-pruning section: present exactly when the run was
+    /// executed with `ExecPolicy::prune(true)` on a gate-level backend.
+    /// Presence-driven at every schema version; ignored by
+    /// [`CampaignReport::same_results`]; aggregated across shards by
+    /// [`CampaignReport::merge`] (counts sum, row indices shift by the
+    /// shard's `fault_start`).
+    pub deduce: Option<DeduceDetails>,
     /// Telemetry section: a frozen [`TelemetrySnapshot`] of the run's
     /// counters, histograms and span timings. Presence-driven at every
     /// schema version (a v1–v4 document with or without it parses and
@@ -441,6 +470,21 @@ impl CampaignReport {
                     o.push_str(", ");
                 }
                 let _ = write!(o, "{n}");
+            }
+            o.push_str("]},\n");
+        }
+        if let Some(d) = &self.deduce {
+            let _ = write!(
+                o,
+                "  \"deduce\": {{\"untestable\": {}, \"dominated\": {}, \"simulated\": {}, \
+                 \"rows\": [",
+                d.untestable, d.dominated, d.simulated
+            );
+            for (i, r) in d.rows.iter().enumerate() {
+                if i > 0 {
+                    o.push_str(", ");
+                }
+                let _ = write!(o, "{r}");
             }
             o.push_str("]},\n");
         }
@@ -714,8 +758,13 @@ impl CampaignReport {
             }
         }
 
-        // The telemetry section is presence-driven at every version:
-        // operational metadata, not results.
+        // The deduce and telemetry sections are presence-driven at
+        // every version: pruning provenance and operational metadata,
+        // not results.
+        let deduce = match v.get("deduce") {
+            Some(d) => Some(parse_deduce(d)?),
+            None => None,
+        };
         let telemetry = match v.get("telemetry") {
             Some(t) => Some(parse_telemetry(t)?),
             None => None,
@@ -735,6 +784,7 @@ impl CampaignReport {
             datapath,
             sequential,
             shard,
+            deduce,
             telemetry,
         })
     }
@@ -850,6 +900,21 @@ impl CampaignReport {
 
         let datapath = merge_datapath(&ordered)?;
         let sequential = merge_sequential(&ordered)?;
+        // Deduce sections aggregate over whichever shards carried them:
+        // counts sum; shard-local row indices shift by the shard's
+        // fault_start so they index the concatenated per_fault.
+        let mut deduce: Option<DeduceDetails> = None;
+        for r in &ordered {
+            if let Some(d) = &r.deduce {
+                let sh = r.shard.expect("checked above");
+                let m = deduce.get_or_insert_with(DeduceDetails::default);
+                m.untestable += d.untestable;
+                m.dominated += d.dominated;
+                m.simulated += d.simulated;
+                m.rows
+                    .extend(d.rows.iter().map(|&row| row + sh.fault_start));
+            }
+        }
         // Telemetry aggregates over whichever shards carried it:
         // counters and span accumulators sum, histograms sum
         // bucket-wise, so the merged counters equal an unsharded run's
@@ -876,6 +941,7 @@ impl CampaignReport {
             datapath,
             sequential,
             shard: None,
+            deduce,
             telemetry,
         })
     }
@@ -1209,6 +1275,32 @@ fn parse_telemetry(t: &Json) -> Result<TelemetrySnapshot, CampaignError> {
     })
 }
 
+/// Parses the presence-driven `deduce` section.
+fn parse_deduce(d: &Json) -> Result<DeduceDetails, CampaignError> {
+    let num = |key: &'static str| {
+        d.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| schema_err("deduce", format!("missing or malformed `{key}` member")))
+    };
+    let cells = d
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| schema_err("deduce", "missing or malformed `rows` array".into()))?;
+    let mut rows = Vec::with_capacity(cells.len());
+    for cell in cells {
+        rows.push(
+            cell.as_u64()
+                .ok_or_else(|| schema_err("deduce", "row index is not a count".into()))?,
+        );
+    }
+    Ok(DeduceDetails {
+        untestable: num("untestable")?,
+        dominated: num("dominated")?,
+        simulated: num("simulated")?,
+        rows,
+    })
+}
+
 fn schema_err(field: &'static str, message: String) -> CampaignError {
     CampaignError::Schema { field, message }
 }
@@ -1318,6 +1410,7 @@ mod tests {
             datapath: None,
             sequential: None,
             shard: None,
+            deduce: None,
             telemetry: None,
         }
     }
@@ -1405,6 +1498,52 @@ mod tests {
         let tel = merged.telemetry.expect("merged telemetry");
         assert_eq!(tel.counter("engine.faults"), Some(4));
         assert_eq!(tel.span("campaign/simulate").map(|s| s.count), Some(2));
+    }
+
+    #[test]
+    fn deduce_section_round_trips_and_merges_with_offsets() {
+        let plain = tiny_report();
+        assert!(
+            !plain.to_json().contains("\"deduce\""),
+            "reports without pruning must not grow a section"
+        );
+
+        let mut r = tiny_report();
+        r.deduce = Some(DeduceDetails {
+            untestable: 1,
+            dominated: 0,
+            simulated: 1,
+            rows: vec![1],
+        });
+        let text = r.to_json();
+        let parsed = CampaignReport::from_json(&text).expect("round trip");
+        assert_eq!(parsed.deduce, r.deduce);
+        assert!(parsed.same_results(&plain), "deduce never changes results");
+        assert_eq!(parsed.to_json(), text, "deduce serialisation is a fixpoint");
+
+        // Merging shifts shard-local row indices by the shard's start.
+        let mut a = r.clone();
+        let mut b = r.clone();
+        a.shard = Some(ShardInfo {
+            index: 0,
+            count: 2,
+            fault_start: 0,
+            fault_end: 2,
+            total_faults: 4,
+            plan_hash: 9,
+        });
+        b.shard = Some(ShardInfo {
+            index: 1,
+            count: 2,
+            fault_start: 2,
+            fault_end: 4,
+            total_faults: 4,
+            plan_hash: 9,
+        });
+        let merged = CampaignReport::merge(&[a, b]).expect("mergeable shards");
+        let d = merged.deduce.expect("merged deduce");
+        assert_eq!((d.untestable, d.dominated, d.simulated), (2, 0, 2));
+        assert_eq!(d.rows, vec![1, 3]);
     }
 
     #[test]

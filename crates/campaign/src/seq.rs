@@ -35,7 +35,8 @@ use crate::datapath::{datapath_fingerprint, datapath_input_plan, style_label, Da
 use crate::error::CampaignError;
 use crate::obs::RunCtx;
 use crate::report::{
-    duration_label, CampaignReport, DatapathDetails, FaultRecord, FuTally, SequentialDetails,
+    duration_label, CampaignReport, DatapathDetails, DeduceDetails, FaultRecord, FuTally,
+    SequentialDetails,
 };
 use crate::scenario::{Backend, FaultModel};
 use crate::shard::{ShardInfo, ShardPlan};
@@ -345,6 +346,24 @@ impl SeqDatapathCampaignSpec {
             Some(p) => p.rep_groups.clone(),
             None => groups,
         };
+        // Deductive pruning on the sequential machine settles
+        // untestability proofs only: each skipped group takes the
+        // fault-free baseline trace (valid per cycle, for permanent and
+        // transient durations alike — see `scdp_analyze::deduce`).
+        // Dominance deferral needs a combinational netlist, so
+        // `PrunePlan` yields no deferred pairs here.
+        let ranged = shard.is_some() && collapse_plan.is_none();
+        let scope = if ranged {
+            covered.start as usize..covered.end as usize
+        } else {
+            0..sim_groups.len()
+        };
+        let prune_plan = self.exec.prune.then(|| {
+            let span = ctx.span("deduce");
+            let pp = crate::prune::PrunePlan::build(&dp.netlist, &sim_groups, scope.clone());
+            span.close();
+            pp
+        });
         let sim_groups: Vec<SeqFaultGroup> = sim_groups
             .into_iter()
             .map(|lines| SeqFaultGroup::new(lines, self.duration))
@@ -353,6 +372,9 @@ impl SeqDatapathCampaignSpec {
             .plan(plan)
             .drop_policy(self.exec.drop)
             .lanes(self.exec.lanes);
+        if let Some(pp) = &prune_plan {
+            campaign = campaign.skip_resolved(pp.skip());
+        }
         if let Some(rec) = ctx.recorder() {
             campaign = campaign.recorder(rec);
         }
@@ -370,6 +392,38 @@ impl SeqDatapathCampaignSpec {
         let sim = ctx.span("simulate");
         let summary = campaign.run();
         sim.close();
+
+        let mut deduce = None;
+        if let Some(pp) = &prune_plan {
+            let mut deduced = vec![false; scope.len()];
+            for &u in &pp.untestable {
+                deduced[u - scope.start] = true;
+            }
+            let untestable = pp.untestable.len() as u64;
+            let simulated_groups = scope.len() as u64 - untestable;
+            ctx.record_deduce(untestable, 0, simulated_groups);
+            let rows = match &collapse_plan {
+                Some(p) => p
+                    .slot_of
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| deduced[s])
+                    .map(|(i, _)| i as u64)
+                    .collect(),
+                None => deduced
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d)
+                    .map(|(i, _)| i as u64)
+                    .collect(),
+            };
+            deduce = Some(DeduceDetails {
+                untestable,
+                dominated: 0,
+                simulated: simulated_groups,
+                rows,
+            });
+        }
 
         let tally_span = ctx.span("tally");
         // Fan each representative's verdict back out to every covered
@@ -464,6 +518,7 @@ impl SeqDatapathCampaignSpec {
             datapath: Some(details),
             sequential: Some(sequential),
             shard,
+            deduce,
             telemetry: None,
         };
         ctx.finish(&mut report);

@@ -3,7 +3,8 @@
 use crate::collapse::CollapsePlan;
 use crate::error::CampaignError;
 use crate::obs::RunCtx;
-use crate::report::{drop_label, CampaignReport, FaultRecord};
+use crate::prune::PrunePlan;
+use crate::report::{drop_label, CampaignReport, DeduceDetails, FaultRecord};
 use crate::scenario::{
     allocation_label, realisation_label, technique_label, Backend, FaultModel, Scenario,
 };
@@ -16,6 +17,7 @@ use scdp_netlist::gen::{
 use scdp_netlist::{Netlist, StuckAtLine};
 use scdp_obs::EventSink;
 use scdp_sim::{DropPolicy, Engine, InputPlan, Lanes};
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 
@@ -25,7 +27,7 @@ pub const MAX_WIDTH: u32 = 32;
 
 /// How a campaign *executes*, as opposed to *what* it simulates: the
 /// worker-thread cap, SIMD lane width, fault-drop policy, equivalence
-/// collapsing, and telemetry capture. One `ExecPolicy` is shared —
+/// collapsing, deductive pruning, and telemetry capture. One `ExecPolicy` is shared —
 /// field for field — by every spec builder ([`CampaignSpec`],
 /// [`crate::DatapathCampaignSpec`], [`crate::SeqDatapathCampaignSpec`]),
 /// so execution tuning written for one backend carries unchanged to the
@@ -61,6 +63,13 @@ pub struct ExecPolicy {
     /// representative per fault-equivalence class and fans verdicts
     /// back out — reports stay bit-identical, wall clock shrinks.
     pub collapse: bool,
+    /// When `true`, the deductive pre-classifier (`scdp-analyze`'s
+    /// `PrunedUniverse` / `DominatorChains`) settles provably
+    /// untestable faults from a fault-free baseline probe and defers
+    /// dominated faults behind their dominators — reports stay
+    /// bit-identical, wall clock shrinks; the report carries a
+    /// presence-driven `deduce` section with the breakdown.
+    pub prune: bool,
     /// When `true`, the report carries a presence-driven `telemetry`
     /// section ([`scdp_obs::TelemetrySnapshot`]): engine counters and
     /// histograms, pool/scheduling observations, per-stage span
@@ -76,7 +85,7 @@ impl Default for ExecPolicy {
 
 impl ExecPolicy {
     /// The default policy: all cores, auto lane width, no dropping, no
-    /// collapsing, no telemetry.
+    /// collapsing, no pruning, no telemetry.
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -84,6 +93,7 @@ impl ExecPolicy {
             lanes: Lanes::Auto,
             drop: DropPolicy::Never,
             collapse: false,
+            prune: false,
             telemetry: false,
         }
     }
@@ -113,6 +123,21 @@ impl ExecPolicy {
     #[must_use]
     pub fn collapse(mut self, enabled: bool) -> Self {
         self.collapse = enabled;
+        self
+    }
+
+    /// Enables deductive pruning (gate-level backends only): provably
+    /// untestable faults are settled from a fault-free baseline probe
+    /// without simulation, and — for combinational detection
+    /// campaigns — dominated faults are deferred behind their
+    /// dominators and settled whenever the dominator stays silent.
+    /// Reports (tallies, per-fault rows, shard geometry, fingerprints)
+    /// stay bit-identical to the unpruned run; the `deduce.*`
+    /// telemetry counters and the report's `deduce` section record
+    /// what was saved.
+    #[must_use]
+    pub fn prune(mut self, enabled: bool) -> Self {
+        self.prune = enabled;
         self
     }
 
@@ -377,6 +402,11 @@ impl CampaignSpec {
                         backend: self.backend,
                     });
                 }
+                if self.exec.prune {
+                    return Err(CampaignError::UnsupportedPrune {
+                        backend: self.backend,
+                    });
+                }
                 if self.exec.drop != DropPolicy::Never {
                     return Err(CampaignError::UnsupportedDropPolicy {
                         backend: self.backend,
@@ -502,6 +532,7 @@ impl CampaignSpec {
             datapath: None,
             sequential: None,
             shard,
+            deduce: None,
             telemetry: None,
         })
     }
@@ -568,7 +599,7 @@ impl CampaignSpec {
         let covered: Range<u64> = shard
             .as_ref()
             .map_or(0..universe, |si| si.fault_start..si.fault_end);
-        let (per_fault, col, simulated) = run_gate_groups(
+        let (per_fault, col, simulated, deduce) = run_gate_groups(
             ctx,
             &dp.netlist,
             &engine,
@@ -596,6 +627,7 @@ impl CampaignSpec {
             datapath: None,
             sequential: None,
             shard,
+            deduce,
             telemetry: None,
         })
     }
@@ -612,6 +644,15 @@ impl CampaignSpec {
 /// every covered member. The rows — and therefore everything derived
 /// from them — are bit-identical to the uncollapsed run because the
 /// engine replays the same deterministic batch stream for every group.
+///
+/// With `exec.prune` a [`PrunePlan`] additionally settles engine groups
+/// deductively: untestable groups take the fault-free baseline probe
+/// outcome, dominated singleton lines defer behind their dominator root
+/// and settle with the baseline when that root simulated completely
+/// silent — any root that did not stays bit-exact via a second engine
+/// pass over just the unsettled lines. The returned [`DeduceDetails`]
+/// records the breakdown and which rows were settled without
+/// simulation.
 pub(crate) fn run_gate_groups(
     ctx: &RunCtx,
     netlist: &Netlist,
@@ -620,31 +661,57 @@ pub(crate) fn run_gate_groups(
     covered: Range<u64>,
     plan: InputPlan,
     exec: &ExecPolicy,
-) -> Result<(Vec<FaultRecord>, TechTally, u64), CampaignError> {
+) -> Result<(Vec<FaultRecord>, TechTally, u64, Option<DeduceDetails>), CampaignError> {
     let universe = groups.len();
     let sharded = covered != (0..universe as u64);
     let collapse_plan = exec
         .collapse
         .then(|| CollapsePlan::build(netlist, &groups, covered.clone()));
-    if let Some(plan) = &collapse_plan {
-        ctx.record_collapse(universe, plan.rep_groups.len(), plan.classes_total);
+    if let Some(cp) = &collapse_plan {
+        ctx.record_collapse(universe, cp.rep_groups.len(), cp.classes_total);
     }
     let sim_groups = match &collapse_plan {
-        Some(plan) => plan.rep_groups.clone(),
+        Some(cp) => cp.rep_groups.clone(),
         None => groups,
     };
+    let ranged = sharded && collapse_plan.is_none();
+    let scope: Range<usize> = if ranged {
+        covered.start as usize..covered.end as usize
+    } else {
+        0..sim_groups.len()
+    };
+    let prune_plan = exec.prune.then(|| {
+        let span = ctx.span("deduce");
+        let pp = PrunePlan::build(netlist, &sim_groups, scope.clone());
+        span.close();
+        pp
+    });
+    // Deferred groups are the only ones that might re-simulate in a
+    // second pass; keep copies before the engine takes the universe.
+    let deferred_groups: HashMap<usize, Vec<StuckAtLine>> = prune_plan
+        .as_ref()
+        .map(|pp| {
+            pp.deferred
+                .iter()
+                .map(|&(u, _)| (u, sim_groups[u].clone()))
+                .collect()
+        })
+        .unwrap_or_default();
     let mut campaign = scdp_sim::EngineCampaign::over(engine, sim_groups)
         .plan(plan)
         .drop_policy(exec.drop)
         .lanes(exec.lanes);
+    if let Some(pp) = &prune_plan {
+        campaign = campaign.skip_resolved(pp.skip());
+    }
     if let Some(rec) = ctx.recorder() {
         campaign = campaign.recorder(rec);
     }
     if let Some(t) = exec.threads {
         campaign = campaign.threads(t);
     }
-    if sharded && collapse_plan.is_none() {
-        campaign = campaign.fault_range(covered.start as usize..covered.end as usize);
+    if ranged {
+        campaign = campaign.fault_range(scope.clone());
     }
     campaign.check().map_err(|e| CampaignError::FaultSpec {
         message: e.to_string(),
@@ -652,6 +719,66 @@ pub(crate) fn run_gate_groups(
     let sim = ctx.span("simulate");
     let summary = campaign.run();
     sim.close();
+    let mut outcomes = summary.per_fault;
+    // Deductive settling: skipped entries already carry the fault-free
+    // baseline outcome; deferred ones keep it only when their root's
+    // simulated outcome *is* that (silent, undropped) baseline, and are
+    // re-simulated otherwise — each group's outcome is independent of
+    // its neighbours, so the second pass reproduces the unpruned rows
+    // bit for bit.
+    let mut deduced = vec![false; scope.len()];
+    let mut deduce = None;
+    if let Some(pp) = &prune_plan {
+        for &u in &pp.untestable {
+            deduced[u - scope.start] = true;
+        }
+        let baseline = summary.baseline.as_ref();
+        let silent_baseline = baseline.is_some_and(|b| {
+            b.tally.correct_detected == 0
+                && b.tally.error_detected == 0
+                && b.tally.error_undetected == 0
+                && b.dropped_after.is_none()
+        });
+        let mut unsettled: Vec<usize> = Vec::new();
+        for &(u, anc) in &pp.deferred {
+            let settled = silent_baseline && Some(&outcomes[anc - scope.start]) == baseline;
+            if settled {
+                deduced[u - scope.start] = true;
+            } else {
+                unsettled.push(u);
+            }
+        }
+        if !unsettled.is_empty() {
+            let rerun: Vec<Vec<StuckAtLine>> = unsettled
+                .iter()
+                .map(|&u| deferred_groups[&u].clone())
+                .collect();
+            // No recorder here: pass-1 situation counters already cover
+            // the whole scope (baseline-filled rows included), keeping
+            // `engine.situations` equal to the report's `simulated`.
+            let mut pass2 = scdp_sim::EngineCampaign::over(engine, rerun)
+                .plan(plan)
+                .drop_policy(exec.drop)
+                .lanes(exec.lanes);
+            if let Some(t) = exec.threads {
+                pass2 = pass2.threads(t);
+            }
+            let second = pass2.run();
+            for (k, &u) in unsettled.iter().enumerate() {
+                outcomes[u - scope.start] = second.per_fault[k].clone();
+            }
+        }
+        let untestable = pp.untestable.len() as u64;
+        let dominated = (pp.deferred.len() - unsettled.len()) as u64;
+        let simulated = scope.len() as u64 - untestable - dominated;
+        ctx.record_deduce(untestable, dominated, simulated);
+        deduce = Some(DeduceDetails {
+            untestable,
+            dominated,
+            simulated,
+            rows: Vec::new(),
+        });
+    }
     let record = |f: &scdp_sim::FaultOutcome| FaultRecord {
         tally: f.tally,
         detected: f.detected,
@@ -659,20 +786,33 @@ pub(crate) fn run_gate_groups(
         dropped_after: f.dropped_after,
     };
     let per_fault: Vec<FaultRecord> = match &collapse_plan {
-        Some(plan) => plan
-            .slot_of
-            .iter()
-            .map(|&s| record(&summary.per_fault[s]))
-            .collect(),
-        None => summary.per_fault.iter().map(record).collect(),
+        Some(cp) => cp.slot_of.iter().map(|&s| record(&outcomes[s])).collect(),
+        None => outcomes.iter().map(record).collect(),
     };
+    if let Some(d) = &mut deduce {
+        d.rows = match &collapse_plan {
+            Some(cp) => cp
+                .slot_of
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| deduced[s])
+                .map(|(i, _)| i as u64)
+                .collect(),
+            None => deduced
+                .iter()
+                .enumerate()
+                .filter(|&(_, &d)| d)
+                .map(|(i, _)| i as u64)
+                .collect(),
+        };
+    }
     let mut col = TechTally::default();
     let mut simulated = 0u64;
     for r in &per_fault {
         col += r.tally;
         simulated += r.tally.total();
     }
-    Ok((per_fault, col, simulated))
+    Ok((per_fault, col, simulated, deduce))
 }
 
 #[cfg(test)]

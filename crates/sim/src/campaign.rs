@@ -29,7 +29,7 @@ pub enum DropPolicy {
 }
 
 /// Per-fault result of a campaign.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultOutcome {
     /// Situation tallies (exact for [`DropPolicy::Never`], partial up
     /// to the dropping batch otherwise).
@@ -53,6 +53,11 @@ pub struct CampaignSummary {
     /// Situations actually simulated (drops make this smaller than
     /// `faults × vectors`).
     pub simulated: u64,
+    /// The fault-free **baseline probe**: the outcome of replaying the
+    /// batch stream with an empty fault group, computed once when any
+    /// group was skipped via [`EngineCampaign::skip_resolved`] (`None`
+    /// otherwise). Skipped entries of `per_fault` hold a copy of it.
+    pub baseline: Option<FaultOutcome>,
 }
 
 impl CampaignSummary {
@@ -96,6 +101,7 @@ pub struct EngineCampaign<'a> {
     threads: usize,
     lanes: Lanes,
     range: Option<Range<usize>>,
+    skip: Vec<usize>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -118,6 +124,7 @@ impl<'a> EngineCampaign<'a> {
             threads: par::default_threads(),
             lanes: Lanes::Auto,
             range: None,
+            skip: Vec::new(),
             recorder: None,
         }
     }
@@ -171,6 +178,25 @@ impl<'a> EngineCampaign<'a> {
     #[must_use]
     pub fn fault_range(mut self, range: Range<usize>) -> Self {
         self.range = Some(range);
+        self
+    }
+
+    /// Marks fault groups as **pre-resolved**: the given indices (into
+    /// the universe passed to [`EngineCampaign::over`], before any
+    /// [`EngineCampaign::fault_range`] scoping) are excluded from
+    /// packing and never simulated. Instead, the driver replays the
+    /// batch stream once with an *empty* fault group — the fault-free
+    /// baseline probe — and fills each skipped entry of
+    /// `per_fault` with a copy of that outcome. For a fault proven to
+    /// behave exactly like the fault-free machine (see
+    /// `scdp-analyze`'s `PrunedUniverse`), this is bit-identical to
+    /// simulating it under every drop policy: the baseline is silent
+    /// by construction wherever the good machine is, and a silent
+    /// fault is never dropped. Indices outside the scoped range are
+    /// ignored, so shard geometry composes with skipping.
+    #[must_use]
+    pub fn skip_resolved(mut self, skip: Vec<usize>) -> Self {
+        self.skip = skip;
         self
     }
 
@@ -244,19 +270,46 @@ impl<'a> EngineCampaign<'a> {
     pub fn try_run(&self) -> Result<CampaignSummary, SimError> {
         self.check()?;
         let scoped = self.scoped();
+        let start = self.range.as_ref().map_or(0, |r| r.start);
+        let mut skip_mask = vec![false; scoped.len()];
+        for &i in &self.skip {
+            if let Some(s) = i.checked_sub(start).filter(|&s| s < scoped.len()) {
+                skip_mask[s] = true;
+            }
+        }
         let block = par::auto_block(scoped.len(), self.threads);
         let batch_evals = AtomicU64::new(0);
-        let (per_fault, stats) = match self.lanes.limbs() {
+        // One fault-free probe stands in for every skipped group; its
+        // limbs count toward `batch_evals` exactly like a simulated
+        // group's, keeping the counter deterministic.
+        let probe = [Vec::new()];
+        let baseline: Option<FaultOutcome> = skip_mask.contains(&true).then(|| {
+            match self.lanes.limbs() {
+                1 => self.run_chunk::<1>(&probe, &[false], &batch_evals),
+                4 => self.run_chunk::<4>(&probe, &[false], &batch_evals),
+                _ => self.run_chunk::<8>(&probe, &[false], &batch_evals),
+            }
+            .pop()
+            .expect("probe chunk yields one outcome")
+        });
+        let (mut per_fault, stats) = match self.lanes.limbs() {
             1 => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<1>(&scoped[r], &batch_evals)
+                self.run_chunk::<1>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
             4 => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<4>(&scoped[r], &batch_evals)
+                self.run_chunk::<4>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
             _ => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<8>(&scoped[r], &batch_evals)
+                self.run_chunk::<8>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
         };
+        if let Some(b) = &baseline {
+            for (o, &skipped) in per_fault.iter_mut().zip(&skip_mask) {
+                if skipped {
+                    *o = b.clone();
+                }
+            }
+        }
         if let Some(rec) = &self.recorder {
             record_campaign_telemetry(
                 rec,
@@ -276,6 +329,7 @@ impl<'a> EngineCampaign<'a> {
             per_fault,
             tally,
             simulated,
+            baseline,
         })
     }
 
@@ -288,11 +342,14 @@ impl<'a> EngineCampaign<'a> {
     fn run_chunk<const L: usize>(
         &self,
         chunk: &[Vec<StuckAtLine>],
+        skip: &[bool],
         batch_evals: &AtomicU64,
     ) -> Vec<FaultOutcome> {
         let engine = self.engine;
         let mut outcomes: Vec<FaultOutcome> = vec![FaultOutcome::default(); chunk.len()];
-        let mut live: Vec<usize> = (0..chunk.len()).collect();
+        let mut live: Vec<usize> = (0..chunk.len())
+            .filter(|&k| !skip.get(k).copied().unwrap_or(false))
+            .collect();
         let mut good = Vec::new();
         let mut faulty = Vec::new();
         let mut evals = 0u64;
@@ -593,6 +650,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Skipping a group whose faulty machine *is* the fault-free
+    /// machine (here: an empty group) must reproduce the unskipped run
+    /// bit-for-bit — per-fault rows, tallies and simulated count — and
+    /// expose the baseline probe.
+    #[test]
+    fn skipping_resolved_groups_is_bit_identical() {
+        let dp = add_dp(4, Technique::Both);
+        let engine = Engine::new(&dp.netlist);
+        let mut groups = vec![Vec::new()];
+        for site in dp.local_sites() {
+            for value in [false, true] {
+                groups.push(dp.correlated_fault(site, value));
+            }
+        }
+        let mid = groups.len() / 2;
+        groups.insert(mid, Vec::new());
+        for drop in [DropPolicy::Never, DropPolicy::OnDetect] {
+            let plain = EngineCampaign::over(&engine, groups.clone())
+                .drop_policy(drop)
+                .threads(2)
+                .run();
+            let skipped = EngineCampaign::over(&engine, groups.clone())
+                .drop_policy(drop)
+                .threads(2)
+                .skip_resolved(vec![0, mid])
+                .run();
+            assert_eq!(plain.per_fault, skipped.per_fault, "{drop:?}");
+            assert_eq!(plain.tally, skipped.tally);
+            assert_eq!(plain.simulated, skipped.simulated);
+            assert!(plain.baseline.is_none());
+            let baseline = skipped.baseline.expect("probe ran");
+            assert_eq!(baseline, skipped.per_fault[0]);
+            assert!(!baseline.detected && !baseline.escaped);
+        }
+    }
+
+    /// Skip indices address the pre-range universe; out-of-range ones
+    /// are ignored, so shard scoping composes with skipping.
+    #[test]
+    fn skip_indices_compose_with_fault_range() {
+        let dp = add_dp(4, Technique::Tech1);
+        let engine = Engine::new(&dp.netlist);
+        let mut groups = Vec::new();
+        for site in dp.local_sites() {
+            for value in [false, true] {
+                groups.push(dp.correlated_fault(site, value));
+            }
+        }
+        groups.insert(3, Vec::new());
+        let range = 2..groups.len().min(8);
+        let plain = EngineCampaign::over(&engine, groups.clone())
+            .fault_range(range.clone())
+            .threads(2)
+            .run();
+        let skipped = EngineCampaign::over(&engine, groups.clone())
+            .fault_range(range)
+            .threads(2)
+            // 3 is the empty group (in range); 0 is out of range.
+            .skip_resolved(vec![0, 3])
+            .run();
+        assert_eq!(plain.per_fault, skipped.per_fault);
+        assert_eq!(plain.simulated, skipped.simulated);
     }
 
     #[test]

@@ -396,7 +396,7 @@ impl SeqEngine {
 
 /// Per-fault result of a sequential campaign: the combinational
 /// [`FaultOutcome`] fields plus the detection-latency histogram.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SeqFaultOutcome {
     /// Four-way tallies / verdicts / drop point, as combinational.
     pub outcome: FaultOutcome,
@@ -420,6 +420,11 @@ pub struct SeqCampaignSummary {
     pub first_detect: Vec<u64>,
     /// Cycles each situation ran.
     pub cycles: u32,
+    /// The fault-free baseline probe (an empty fault group replayed
+    /// over the batch stream), computed once when any group was
+    /// skipped via [`SeqCampaign::skip_resolved`]; skipped entries of
+    /// `per_fault` hold a copy of it.
+    pub baseline: Option<SeqFaultOutcome>,
 }
 
 impl SeqCampaignSummary {
@@ -472,6 +477,7 @@ pub struct SeqCampaign<'a> {
     threads: usize,
     lanes: Lanes,
     range: Option<Range<usize>>,
+    skip: Vec<usize>,
     recorder: Option<std::sync::Arc<scdp_obs::Recorder>>,
 }
 
@@ -495,6 +501,7 @@ impl<'a> SeqCampaign<'a> {
             threads: par::default_threads(),
             lanes: Lanes::Auto,
             range: None,
+            skip: Vec::new(),
             recorder: None,
         }
     }
@@ -548,6 +555,20 @@ impl<'a> SeqCampaign<'a> {
     #[must_use]
     pub fn fault_range(mut self, range: Range<usize>) -> Self {
         self.range = Some(range);
+        self
+    }
+
+    /// Marks fault groups as **pre-resolved**: the given universe
+    /// indices (pre-[`SeqCampaign::fault_range`] scoping; out-of-range
+    /// indices are ignored) are never simulated — each takes a copy of
+    /// the fault-free baseline probe instead, which is bit-identical
+    /// for any group proven to behave like the fault-free machine in
+    /// every cycle (see `scdp-analyze`'s `PrunedUniverse`). The
+    /// baseline's `first_detect` histogram is all zeros, exactly like
+    /// a never-alarming fault's.
+    #[must_use]
+    pub fn skip_resolved(mut self, skip: Vec<usize>) -> Self {
+        self.skip = skip;
         self
     }
 
@@ -621,19 +642,43 @@ impl<'a> SeqCampaign<'a> {
     pub fn try_run(&self) -> Result<SeqCampaignSummary, SimError> {
         self.check()?;
         let scoped = self.scoped();
+        let start = self.range.as_ref().map_or(0, |r| r.start);
+        let mut skip_mask = vec![false; scoped.len()];
+        for &i in &self.skip {
+            if let Some(s) = i.checked_sub(start).filter(|&s| s < scoped.len()) {
+                skip_mask[s] = true;
+            }
+        }
         let block = par::auto_block(scoped.len(), self.threads);
         let batch_evals = AtomicU64::new(0);
-        let (per_fault, stats) = match self.lanes.limbs() {
+        let probe = [SeqFaultGroup::new(Vec::new(), FaultDuration::Permanent)];
+        let baseline: Option<SeqFaultOutcome> = skip_mask.contains(&true).then(|| {
+            match self.lanes.limbs() {
+                1 => self.run_chunk::<1>(&probe, &[false], &batch_evals),
+                4 => self.run_chunk::<4>(&probe, &[false], &batch_evals),
+                _ => self.run_chunk::<8>(&probe, &[false], &batch_evals),
+            }
+            .pop()
+            .expect("probe chunk yields one outcome")
+        });
+        let (mut per_fault, stats) = match self.lanes.limbs() {
             1 => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<1>(&scoped[r], &batch_evals)
+                self.run_chunk::<1>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
             4 => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<4>(&scoped[r], &batch_evals)
+                self.run_chunk::<4>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
             _ => par::run_blocks(scoped.len(), self.threads, block, |r| {
-                self.run_chunk::<8>(&scoped[r], &batch_evals)
+                self.run_chunk::<8>(&scoped[r.clone()], &skip_mask[r], &batch_evals)
             })?,
         };
+        if let Some(b) = &baseline {
+            for (o, &skipped) in per_fault.iter_mut().zip(&skip_mask) {
+                if skipped {
+                    *o = b.clone();
+                }
+            }
+        }
         if let Some(rec) = &self.recorder {
             let flat: Vec<FaultOutcome> = per_fault.iter().map(|o| o.outcome.clone()).collect();
             crate::campaign::record_campaign_telemetry(
@@ -662,6 +707,7 @@ impl<'a> SeqCampaign<'a> {
             simulated,
             first_detect,
             cycles: self.cycles,
+            baseline,
         })
     }
 
@@ -675,6 +721,7 @@ impl<'a> SeqCampaign<'a> {
     fn run_chunk<const L: usize>(
         &self,
         chunk: &[SeqFaultGroup],
+        skip: &[bool],
         batch_evals: &AtomicU64,
     ) -> Vec<SeqFaultOutcome> {
         let engine = self.engine;
@@ -686,7 +733,9 @@ impl<'a> SeqCampaign<'a> {
                 first_detect: vec![0u64; cycles as usize],
             })
             .collect();
-        let mut live: Vec<usize> = (0..chunk.len()).collect();
+        let mut live: Vec<usize> = (0..chunk.len())
+            .filter(|&k| !skip.get(k).copied().unwrap_or(false))
+            .collect();
         let mut good = Vec::new();
         let mut faulty = Vec::new();
         let mut state = Vec::new();
@@ -914,6 +963,39 @@ mod tests {
             assert_eq!(x.outcome.tally, y.outcome.tally);
             assert_eq!(x.first_detect, y.first_detect);
         }
+    }
+
+    /// Skipping a group whose faulty machine *is* the fault-free
+    /// machine (an empty group) reproduces the unskipped run
+    /// bit-for-bit, latency histograms included.
+    #[test]
+    fn skipping_resolved_groups_is_bit_identical() {
+        let nl = shift_netlist();
+        let engine = SeqEngine::new(&nl);
+        let mut groups = vec![SeqFaultGroup::new(Vec::new(), FaultDuration::Permanent)];
+        for gate in 0..nl.gate_count() {
+            for value in [false, true] {
+                groups.push(SeqFaultGroup::new(
+                    vec![StuckAtLine::new(StuckSite { gate, pin: None }, value)],
+                    FaultDuration::Permanent,
+                ));
+            }
+        }
+        let plain = SeqCampaign::new(&engine, groups.clone(), 5)
+            .threads(2)
+            .run();
+        let skipped = SeqCampaign::new(&engine, groups, 5)
+            .threads(2)
+            .skip_resolved(vec![0])
+            .run();
+        assert_eq!(plain.per_fault, skipped.per_fault);
+        assert_eq!(plain.tally, skipped.tally);
+        assert_eq!(plain.simulated, skipped.simulated);
+        assert_eq!(plain.first_detect, skipped.first_detect);
+        assert!(plain.baseline.is_none());
+        let baseline = skipped.baseline.expect("probe ran");
+        assert_eq!(baseline, skipped.per_fault[0]);
+        assert!(baseline.first_detect.iter().all(|&n| n == 0));
     }
 
     #[test]
